@@ -1,0 +1,153 @@
+package repro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the WL
+// kernel's round count (the paper reports t = 5 works well), the
+// composition of the homomorphism pattern class (trees vs cycles vs both),
+// node2vec's (p,q) walk bias, and the fast-vs-naive refinement and
+// DP-vs-brute-force hom counting implementations. Accuracy/NMI numbers are
+// attached to the benchmark output via ReportMetric.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/kernel"
+	"repro/internal/wl"
+)
+
+func ablationDataset() *dataset.GraphClassification {
+	return dataset.CycleParity(16, 8, rand.New(rand.NewSource(99)))
+}
+
+func BenchmarkAblationWLRounds(b *testing.B) {
+	d := ablationDataset()
+	for _, rounds := range []int{1, 2, 3, 5} {
+		b.Run(benchName("t", rounds), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = core.ClassifyWithKernel(kernel.WLSubtree{Rounds: rounds},
+					d.Graphs, d.Labels, 4, rand.New(rand.NewSource(1)))
+			}
+			b.ReportMetric(acc, "accuracy")
+		})
+	}
+}
+
+func BenchmarkAblationHomClassComposition(b *testing.B) {
+	d := ablationDataset()
+	classes := []struct {
+		name  string
+		class []*graph.Graph
+	}{
+		{"trees-only", graph.BinaryTrees(6)},
+		{"cycles-only", graph.CyclesUpTo(11)},
+		{"trees+cycles", hom.StandardClass()},
+	}
+	for _, c := range classes {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = core.ClassifyWithEmbedder(core.NewHomEmbedder(c.class),
+					d.Graphs, d.Labels, 4, rand.New(rand.NewSource(1)))
+			}
+			b.ReportMetric(acc, "accuracy")
+		})
+	}
+}
+
+func BenchmarkAblationNode2vecPQ(b *testing.B) {
+	rng := rand.New(rand.NewSource(98))
+	g, truth := graph.SBM([]int{14, 14}, 0.8, 0.05, rng)
+	cases := []struct {
+		name string
+		p, q float64
+	}{
+		{"deepwalk_p1_q1", 1, 1},
+		{"bfs-ish_p1_q4", 1, 4},
+		{"dfs-ish_p1_q0.25", 1, 0.25},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var nmi float64
+			for i := 0; i < b.N; i++ {
+				e := embed.Node2Vec(g, 8, c.p, c.q, rand.New(rand.NewSource(int64(i))))
+				nmi = embed.CommunityRecovery(e, truth, 2, rand.New(rand.NewSource(7)))
+			}
+			b.ReportMetric(nmi, "nmi")
+		})
+	}
+}
+
+func BenchmarkAblationRefinementImplementations(b *testing.B) {
+	g := graph.Random(800, 0.01, rand.New(rand.NewSource(97)))
+	b.Run("naive-string-hashing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wl.Refine(g)
+		}
+	})
+	b.Run("partition-refinement", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wl.RefineFast(g)
+		}
+	})
+}
+
+func BenchmarkAblationHomCountingImplementations(b *testing.B) {
+	g := graph.Random(9, 0.4, rand.New(rand.NewSource(96)))
+	pattern := graph.AllTrees(6)[2]
+	b.Run("brute-force", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hom.BruteForce(pattern, g)
+		}
+	})
+	b.Run("tree-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hom.CountTree(pattern, g)
+		}
+	})
+	cyc := graph.Cycle(5)
+	b.Run("cycle-brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hom.BruteForce(cyc, g)
+		}
+	})
+	b.Run("cycle-trace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hom.CountCycle(5, g)
+		}
+	})
+	b.Run("cycle-treedec-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hom.CountTD(cyc, g)
+		}
+	})
+}
+
+func BenchmarkAblationLogScalingInHomFeatures(b *testing.B) {
+	d := ablationDataset()
+	for _, logScale := range []bool{false, true} {
+		name := "raw-scaled"
+		if logScale {
+			name = "log-scaled"
+		}
+		k := kernel.HomVector{Log: logScale}
+		b.Run(name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = core.ClassifyWithKernel(k, d.Graphs, d.Labels, 4, rand.New(rand.NewSource(1)))
+			}
+			b.ReportMetric(acc, "accuracy")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + string(rune('0'+v))
+}

@@ -1,0 +1,250 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md's E01–E24 index: running
+// `go test -bench=.` regenerates every figure, worked example, and theorem
+// check of the paper. Micro-benchmarks for the core algorithms follow the
+// experiment benches.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/kernel"
+	"repro/internal/kge"
+	"repro/internal/linalg"
+	"repro/internal/similarity"
+	"repro/internal/wl"
+)
+
+func runExperiment(b *testing.B, f func(io.Writer) experiments.Result) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := f(io.Discard)
+		if !r.Passed {
+			b.Fatalf("%s failed: %s", r.ID, r.Notes)
+		}
+	}
+}
+
+func BenchmarkE01Fig2NodeEmbeddings(b *testing.B) { runExperiment(b, experiments.E01Fig2) }
+func BenchmarkE02Fig3ColourRefinement(b *testing.B) {
+	runExperiment(b, experiments.E02Fig3)
+}
+func BenchmarkE03Fig4MatrixWL(b *testing.B)    { runExperiment(b, experiments.E03Fig4) }
+func BenchmarkE04Fig5ColourTrees(b *testing.B) { runExperiment(b, experiments.E04Fig5) }
+func BenchmarkE05Ex41HomCounts(b *testing.B)   { runExperiment(b, experiments.E05Ex41) }
+func BenchmarkE06LovaszTheorem(b *testing.B)   { runExperiment(b, experiments.E06Lovasz) }
+func BenchmarkE07CospectralCycles(b *testing.B) {
+	runExperiment(b, experiments.E07Cospectral)
+}
+func BenchmarkE08TreeHomsVsWL(b *testing.B) { runExperiment(b, experiments.E08TreeHoms) }
+func BenchmarkE09PathHomsVsRationalSolutions(b *testing.B) {
+	runExperiment(b, experiments.E09PathHoms)
+}
+func BenchmarkE10TreeDepthHomsVsLogic(b *testing.B) {
+	runExperiment(b, experiments.E10TreeDepth)
+}
+func BenchmarkE11RootedTreeHomsNodes(b *testing.B) {
+	runExperiment(b, experiments.E11RootedHoms)
+}
+func BenchmarkE12IncidenceStructures(b *testing.B) {
+	runExperiment(b, experiments.E12Incidence)
+}
+func BenchmarkE13WeightedHoms(b *testing.B) { runExperiment(b, experiments.E13Weighted) }
+func BenchmarkE14GNNvsWL(b *testing.B)      { runExperiment(b, experiments.E14GNNvsWL) }
+func BenchmarkE15HomVectorClassification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, rows := experiments.E15Classification(io.Discard)
+		if !r.Passed {
+			b.Fatalf("E15 failed: %s", r.Notes)
+		}
+		if len(rows) == 0 {
+			b.Fatal("E15 produced no table rows")
+		}
+	}
+}
+func BenchmarkE16TransE(b *testing.B)          { runExperiment(b, experiments.E16TransE) }
+func BenchmarkE17RESCAL(b *testing.B)          { runExperiment(b, experiments.E17RESCAL) }
+func BenchmarkE18MatrixDistances(b *testing.B) { runExperiment(b, experiments.E18Distances) }
+func BenchmarkE19CutNorm(b *testing.B)         { runExperiment(b, experiments.E19CutNorm) }
+func BenchmarkE20KernelEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, rows := experiments.E20KernelEfficiency(io.Discard)
+		if !r.Passed {
+			b.Fatalf("E20 failed: %s", r.Notes)
+		}
+		if len(rows) != 4 {
+			b.Fatal("E20 should time 4 kernels")
+		}
+	}
+}
+func BenchmarkE21HomComplexity(b *testing.B) {
+	runExperiment(b, experiments.E21HomComplexity)
+}
+func BenchmarkE22Node2vecCommunities(b *testing.B) {
+	runExperiment(b, experiments.E22Communities)
+}
+func BenchmarkE23Graph2vec(b *testing.B) { runExperiment(b, experiments.E23Graph2vec) }
+func BenchmarkE24CFI(b *testing.B)       { runExperiment(b, experiments.E24CFI) }
+
+// --- micro-benchmarks for the core algorithms ---
+
+func benchGraph(n int, seed int64) *graph.Graph {
+	return graph.Random(n, 0.2, rand.New(rand.NewSource(seed)))
+}
+
+func BenchmarkWLRefine100(b *testing.B) {
+	g := benchGraph(100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.Refine(g)
+	}
+}
+
+func BenchmarkWLRefine500(b *testing.B) {
+	g := benchGraph(500, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.Refine(g)
+	}
+}
+
+func BenchmarkKWL2OnC6(b *testing.B) {
+	g, h := graph.WLIndistinguishablePair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.KWLDistinguishes(g, h, 2)
+	}
+}
+
+func BenchmarkHomTreeDP(b *testing.B) {
+	g := benchGraph(100, 3)
+	t := graph.AllTrees(7)[5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hom.CountTree(t, g)
+	}
+}
+
+func BenchmarkHomTreewidth2DP(b *testing.B) {
+	g := benchGraph(40, 4)
+	pattern := graph.Cycle(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hom.CountTD(pattern, g)
+	}
+}
+
+func BenchmarkHomVector20Patterns(b *testing.B) {
+	g := benchGraph(30, 5)
+	class := hom.StandardClass()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hom.LogScaledVector(class, g)
+	}
+}
+
+func BenchmarkWLSubtreeKernel(b *testing.B) {
+	g := benchGraph(50, 6)
+	h := benchGraph(50, 7)
+	k := kernel.WLSubtree{Rounds: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Compute(g, h)
+	}
+}
+
+func BenchmarkShortestPathKernel(b *testing.B) {
+	g := benchGraph(50, 8)
+	h := benchGraph(50, 9)
+	k := kernel.ShortestPath{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Compute(g, h)
+	}
+}
+
+func BenchmarkGraphletKernel(b *testing.B) {
+	g := benchGraph(30, 10)
+	h := benchGraph(30, 11)
+	k := kernel.Graphlet{Size: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Compute(g, h)
+	}
+}
+
+func BenchmarkNode2VecKarate(b *testing.B) {
+	g, _ := graph.KarateClub()
+	for i := 0; i < b.N; i++ {
+		embed.Node2Vec(g, 8, 1, 0.5, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+func BenchmarkSpectralEmbedding(b *testing.B) {
+	g, _ := graph.KarateClub()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		embed.DistanceSimilaritySpectral(g, 2, 2)
+	}
+}
+
+func BenchmarkFrankWolfe(b *testing.B) {
+	g, h := graph.WLIndistinguishablePair()
+	a := linalg.FromRows(g.AdjacencyMatrix())
+	bb := linalg.FromRows(h.AdjacencyMatrix())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.FrankWolfe(a, bb, 100)
+	}
+}
+
+func BenchmarkExactGraphDistance(b *testing.B) {
+	g := benchGraph(7, 12)
+	h := benchGraph(7, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		similarity.Dist(g, h, similarity.Frobenius)
+	}
+}
+
+func BenchmarkIsomorphismPetersen(b *testing.B) {
+	g := graph.Petersen()
+	h := graph.Petersen()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Isomorphic(g, h)
+	}
+}
+
+func BenchmarkTransETraining(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	kgTriples, ne, nr := benchWorld(rng)
+	cfg := kge.DefaultTransEConfig()
+	cfg.Epochs = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kge.TrainTransE(kgTriples, ne, nr, cfg, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+func benchWorld(rng *rand.Rand) ([]kge.Triple, int, int) {
+	// Inline small synthetic KG to avoid importing dataset twice.
+	var triples []kge.Triple
+	ne := 0
+	add := func() int { ne++; return ne - 1 }
+	cont := []int{add(), add()}
+	for i := 0; i < 8; i++ {
+		country, capital, currency := add(), add(), add()
+		triples = append(triples,
+			kge.Triple{capital, 0, country},
+			kge.Triple{country, 1, cont[rng.Intn(2)]},
+			kge.Triple{currency, 2, country})
+	}
+	return triples, ne, 3
+}

@@ -1,0 +1,30 @@
+// Command experiments runs every paper-reproduction experiment (E01–E24)
+// and prints the per-experiment reports followed by a summary table; the
+// recorded outputs back EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	results := experiments.RunAll(os.Stdout)
+	fmt.Println("\n=== summary ===")
+	pass := 0
+	for _, r := range results {
+		status := "PASS"
+		if !r.Passed {
+			status = "FAIL"
+		} else {
+			pass++
+		}
+		fmt.Printf("%-5s %-4s %s\n", r.ID, status, r.Notes)
+	}
+	fmt.Printf("%d/%d experiments reproduce the paper's claims\n", pass, len(results))
+	if pass != len(results) {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,271 @@
+// Command x2vec is a small CLI over the library: colour refinement,
+// homomorphism counting, graph kernels, node embeddings, and graph
+// distances on edge-list files.
+//
+// Usage:
+//
+//	x2vec wl FILE              stable 1-WL colouring
+//	x2vec hom PATTERN FILE     homomorphism count (PATTERN: path:K, cycle:K, star:K, clique:K)
+//	x2vec kernel NAME A B      kernel value between two graphs (wl, sp, graphlet, hom)
+//	x2vec embed METHOD FILE    node embedding (adjacency, distance, node2vec, deepwalk)
+//	x2vec dist NORM A B        aligned distance (frobenius, l1, cut) — small graphs only
+//
+// Edge-list format: one "u v [weight]" pair per line; vertex count inferred.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/kernel"
+	"repro/internal/similarity"
+	"repro/internal/wl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "wl":
+		err = cmdWL(os.Args[2:])
+	case "hom":
+		err = cmdHom(os.Args[2:])
+	case "kernel":
+		err = cmdKernel(os.Args[2:])
+	case "embed":
+		err = cmdEmbed(os.Args[2:])
+	case "dist":
+		err = cmdDist(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "x2vec:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: x2vec {wl|hom|kernel|embed|dist} ...")
+	os.Exit(2)
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var edges [][3]float64
+	maxV := -1
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("bad edge line: %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, err
+			}
+		}
+		edges = append(edges, [3]float64{float64(u), float64(v), w})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := graph.New(maxV + 1)
+	for _, e := range edges {
+		g.AddWeightedEdge(int(e[0]), int(e[1]), e[2])
+	}
+	return g, nil
+}
+
+func parsePattern(spec string) (*graph.Graph, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("pattern must be kind:size, got %q", spec)
+	}
+	k, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	switch parts[0] {
+	case "path":
+		return graph.Path(k), nil
+	case "cycle":
+		return graph.Cycle(k), nil
+	case "star":
+		return graph.Star(k), nil
+	case "clique":
+		return graph.Complete(k), nil
+	}
+	return nil, fmt.Errorf("unknown pattern kind %q", parts[0])
+}
+
+func cmdWL(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: x2vec wl FILE")
+	}
+	g, err := loadGraph(args[0])
+	if err != nil {
+		return err
+	}
+	c := wl.Refine(g)
+	fmt.Printf("n=%d m=%d rounds=%d classes=%d\n", g.N(), g.M(), c.Rounds, c.NumColors())
+	for color, vs := range c.Classes() {
+		fmt.Printf("  colour %d: %v\n", color, vs)
+	}
+	return nil
+}
+
+func cmdHom(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: x2vec hom PATTERN FILE")
+	}
+	pattern, err := parsePattern(args[0])
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hom(%s, %s) = %g\n", args[0], args[1], hom.Count(pattern, g))
+	return nil
+}
+
+func cmdKernel(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: x2vec kernel {wl|sp|graphlet|hom} A B")
+	}
+	var k kernel.Kernel
+	switch args[0] {
+	case "wl":
+		k = kernel.WLSubtree{Rounds: 5}
+	case "sp":
+		k = kernel.ShortestPath{}
+	case "graphlet":
+		k = kernel.Graphlet{Size: 3}
+	case "hom":
+		k = kernel.HomVector{Log: true}
+	default:
+		return fmt.Errorf("unknown kernel %q", args[0])
+	}
+	a, err := loadGraph(args[1])
+	if err != nil {
+		return err
+	}
+	b, err := loadGraph(args[2])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("K_%s = %g\n", k.Name(), k.Compute(a, b))
+	return nil
+}
+
+func cmdEmbed(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: x2vec embed {adjacency|distance|node2vec|deepwalk} FILE")
+	}
+	g, err := loadGraph(args[1])
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	var e *embed.NodeEmbedding
+	switch args[0] {
+	case "adjacency":
+		e = embed.AdjacencySpectral(g, 2)
+	case "distance":
+		e = embed.DistanceSimilaritySpectral(g, 2, 2)
+	case "node2vec":
+		e = embed.Node2Vec(g, 8, 1, 0.5, rng)
+	case "deepwalk":
+		e = embed.DeepWalk(g, 8, rng)
+	default:
+		return fmt.Errorf("unknown method %q", args[0])
+	}
+	for v := 0; v < g.N(); v++ {
+		fmt.Printf("%d", v)
+		for _, x := range e.Vector(v) {
+			fmt.Printf(" %.4f", x)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdDist(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: x2vec dist {frobenius|l1|cut} A B")
+	}
+	var norm similarity.Norm
+	switch args[0] {
+	case "frobenius":
+		norm = similarity.Frobenius
+	case "l1":
+		norm = similarity.Entry1
+	case "cut":
+		norm = similarity.Cut
+	default:
+		return fmt.Errorf("unknown norm %q", args[0])
+	}
+	a, err := loadGraph(args[1])
+	if err != nil {
+		return err
+	}
+	b, err := loadGraph(args[2])
+	if err != nil {
+		return err
+	}
+	l := lcm(a.N(), b.N())
+	if l > 8 {
+		return fmt.Errorf("exact alignment distance limited to graphs whose order lcm is <= 8 (got %d)", l)
+	}
+	fmt.Printf("dist = %g\n", similarity.DistAnyOrder(a, b, norm))
+	return nil
+}
+
+func lcm(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadGraph(t *testing.T) {
+	p := writeTemp(t, "# comment\n0 1\n1 2 2.5\n\n2 0\n")
+	g, err := loadGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if w := g.EdgeWeight(1, 2); w != 2.5 {
+		t.Errorf("weight=%v", w)
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	if _, err := loadGraph(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+	p := writeTemp(t, "0\n")
+	if _, err := loadGraph(p); err == nil {
+		t.Error("malformed line should error")
+	}
+	p2 := writeTemp(t, "a b\n")
+	if _, err := loadGraph(p2); err == nil {
+		t.Error("non-numeric vertices should error")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	tests := []struct {
+		spec    string
+		n, m    int
+		wantErr bool
+	}{
+		{"path:4", 4, 3, false},
+		{"cycle:5", 5, 5, false},
+		{"star:3", 4, 3, false},
+		{"clique:4", 4, 6, false},
+		{"blob:3", 0, 0, true},
+		{"path", 0, 0, true},
+		{"path:x", 0, 0, true},
+	}
+	for _, tc := range tests {
+		g, err := parsePattern(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: want error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if g.N() != tc.n || g.M() != tc.m {
+			t.Errorf("%s: n=%d m=%d, want %d,%d", tc.spec, g.N(), g.M(), tc.n, tc.m)
+		}
+	}
+}
+
+func TestSubcommands(t *testing.T) {
+	triangle := writeTemp(t, "0 1\n1 2\n2 0\n")
+	square := writeTemp(t, "0 1\n1 2\n2 3\n3 0\n")
+	hexagon := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n")
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"wl", func() error { return cmdWL([]string{triangle}) }},
+		{"hom", func() error { return cmdHom([]string{"cycle:3", triangle}) }},
+		{"kernel", func() error { return cmdKernel([]string{"wl", triangle, square}) }},
+		{"kernel-hom", func() error { return cmdKernel([]string{"hom", triangle, square}) }},
+		{"embed", func() error { return cmdEmbed([]string{"adjacency", triangle}) }},
+		{"dist", func() error { return cmdDist([]string{"frobenius", triangle, hexagon}) }},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestSubcommandErrors(t *testing.T) {
+	triangle := writeTemp(t, "0 1\n1 2\n2 0\n")
+	if err := cmdKernel([]string{"nope", triangle, triangle}); err == nil {
+		t.Error("unknown kernel should error")
+	}
+	if err := cmdEmbed([]string{"nope", triangle}); err == nil {
+		t.Error("unknown embed method should error")
+	}
+	if err := cmdDist([]string{"nope", triangle, triangle}); err == nil {
+		t.Error("unknown norm should error")
+	}
+	if err := cmdWL([]string{}); err == nil {
+		t.Error("missing args should error")
+	}
+	// Alignment distance rejects pairs whose blown-up order explodes.
+	big := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 0\n")
+	if err := cmdDist([]string{"frobenius", triangle, big}); err == nil {
+		t.Error("lcm(3,5)=15 should be rejected")
+	}
+}

@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "word2vec, node2vec,
+// graph2vec, X2vec: Towards a Theory of Vector Embeddings of Structured
+// Data" (Martin Grohe, PODS 2020). The library lives under internal/ (see
+// README.md for the map); the root package hosts the benchmark harness that
+// regenerates every figure and worked example of the paper (bench_test.go,
+// one benchmark per experiment E01–E24 of DESIGN.md).
+package repro

@@ -1,0 +1,33 @@
+// Graph classification: the paper's "initial experiments" end to end — the
+// log-scaled homomorphism vector over 20 binary trees and cycles, fed to a
+// kernel SVM, against the WL subtree and shortest-path kernels on three
+// synthetic tasks.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	tasks := []*dataset.GraphClassification{
+		dataset.CycleParity(16, 8, rng),
+		dataset.TriangleDensity(16, 12, rng),
+		dataset.ERvsPA(16, 20, rng),
+	}
+	homEmb := core.NewHomEmbedder(nil)
+	fmt.Printf("%-18s %10s %12s %14s\n", "dataset", "hom+SVM", "wl+SVM", "sp+SVM")
+	for _, d := range tasks {
+		accHom := core.ClassifyWithEmbedder(homEmb, d.Graphs, d.Labels, 5, rand.New(rand.NewSource(1)))
+		accWL := core.ClassifyWithKernel(kernel.WLSubtree{Rounds: 5}, d.Graphs, d.Labels, 5, rand.New(rand.NewSource(1)))
+		accSP := core.ClassifyWithKernel(kernel.ShortestPath{}, d.Graphs, d.Labels, 5, rand.New(rand.NewSource(1)))
+		fmt.Printf("%-18s %10.3f %12.3f %14.3f\n", d.Name, accHom, accWL, accSP)
+	}
+	fmt.Println("\nThe paper's claim is relative: a 20-dimensional homomorphism")
+	fmt.Println("vector is competitive with full graph kernels on these tasks.")
+}

@@ -1,0 +1,263 @@
+// Package core is the unifying public API of the x2vec library — the
+// "X2vec" viewpoint of the paper: word2vec, node2vec, graph2vec, graph
+// kernels, homomorphism vectors, and GNNs are all vector embeddings of
+// structured data, differing in what they embed (nodes vs graphs), how
+// (learned vs constructed), and what equivalence they respect (1-WL,
+// spectra, isomorphism).
+//
+// The package exposes uniform GraphEmbedder / NodeEmbedder interfaces over
+// the specialised packages, plus an end-to-end classification pipeline
+// (embed → Gram matrix → kernel SVM) used by the examples and experiments.
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/embed"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/svm"
+	"repro/internal/wl"
+)
+
+// GraphEmbedder maps whole graphs to fixed-dimension vectors (an explicit
+// feature map; every GraphEmbedder induces a kernel via the inner product).
+type GraphEmbedder interface {
+	EmbedGraph(g *graph.Graph) []float64
+	Name() string
+}
+
+// NodeEmbedder maps the nodes of one graph to vectors.
+type NodeEmbedder interface {
+	EmbedNodes(g *graph.Graph) *linalg.Matrix
+	Name() string
+}
+
+// HomEmbedder is the homomorphism-vector graph embedding of Section 4: the
+// log-scaled counts over a fixed pattern class.
+type HomEmbedder struct {
+	Class []*graph.Graph
+}
+
+// NewHomEmbedder uses the paper's ~20-pattern class of binary trees and
+// cycles when class is nil.
+func NewHomEmbedder(class []*graph.Graph) *HomEmbedder {
+	if class == nil {
+		class = hom.StandardClass()
+	}
+	return &HomEmbedder{Class: class}
+}
+
+// EmbedGraph implements GraphEmbedder.
+func (e *HomEmbedder) EmbedGraph(g *graph.Graph) []float64 {
+	return hom.LogScaledVector(e.Class, g)
+}
+
+// Name implements GraphEmbedder.
+func (e *HomEmbedder) Name() string { return "hom-vector" }
+
+// WLEmbedder is the explicit WL-subtree feature map restricted to a fixed
+// feature index (colours discovered on a reference corpus), so vectors have
+// a common fixed dimension.
+type WLEmbedder struct {
+	Rounds int
+	index  map[[2]int]int
+}
+
+// NewWLEmbedder builds the feature index from a reference corpus of graphs.
+func NewWLEmbedder(rounds int, corpus []*graph.Graph) *WLEmbedder {
+	e := &WLEmbedder{Rounds: rounds, index: map[[2]int]int{}}
+	for _, g := range corpus {
+		counts := wl.RoundColorCounts(g, rounds)
+		for r, m := range counts {
+			for c := range m {
+				key := [2]int{r, c}
+				if _, ok := e.index[key]; !ok {
+					e.index[key] = len(e.index)
+				}
+			}
+		}
+	}
+	return e
+}
+
+// EmbedGraph implements GraphEmbedder. Colours outside the reference index
+// are dropped (out-of-vocabulary), mirroring how fixed feature maps behave
+// on unseen structure.
+func (e *WLEmbedder) EmbedGraph(g *graph.Graph) []float64 {
+	out := make([]float64, len(e.index))
+	counts := wl.RoundColorCounts(g, e.Rounds)
+	for r, m := range counts {
+		for c, n := range m {
+			if i, ok := e.index[[2]int{r, c}]; ok {
+				out[i] = float64(n)
+			}
+		}
+	}
+	return out
+}
+
+// Name implements GraphEmbedder.
+func (e *WLEmbedder) Name() string { return "wl-features" }
+
+// GNNEmbedder sum-pools the node states of a (possibly untrained) GNN — the
+// Section 2.5 whole-graph use of GNNs. It is inductive: one model embeds
+// any graph.
+type GNNEmbedder struct {
+	Net      *gnn.Network
+	InputDim int
+}
+
+// NewGNNEmbedder creates an untrained random GNN embedder (useful as a
+// structural fingerprint bounded by 1-WL).
+func NewGNNEmbedder(dims []int, outDim int, rng *rand.Rand) *GNNEmbedder {
+	return &GNNEmbedder{Net: gnn.New(dims, outDim, rng), InputDim: dims[0]}
+}
+
+// EmbedGraph implements GraphEmbedder.
+func (e *GNNEmbedder) EmbedGraph(g *graph.Graph) []float64 {
+	return e.Net.GraphLogits(g, gnn.ConstantFeatures(g.N(), e.InputDim))
+}
+
+// Name implements GraphEmbedder.
+func (e *GNNEmbedder) Name() string { return "gnn-pooled" }
+
+// SpectralNodeEmbedder wraps the Figure 2 spectral node embeddings.
+type SpectralNodeEmbedder struct {
+	Dim int
+	C   float64 // 0 = raw adjacency (Fig 2a), else exp(-C dist) (Fig 2b)
+}
+
+// EmbedNodes implements NodeEmbedder.
+func (e *SpectralNodeEmbedder) EmbedNodes(g *graph.Graph) *linalg.Matrix {
+	if e.C == 0 {
+		return embed.AdjacencySpectral(g, e.Dim).Vectors
+	}
+	return embed.DistanceSimilaritySpectral(g, e.Dim, e.C).Vectors
+}
+
+// Name implements NodeEmbedder.
+func (e *SpectralNodeEmbedder) Name() string {
+	if e.C == 0 {
+		return "adjacency-spectral"
+	}
+	return "distance-spectral"
+}
+
+// Node2VecEmbedder wraps the random-walk node embedding (Fig 2c).
+type Node2VecEmbedder struct {
+	Dim  int
+	P, Q float64
+	Seed int64
+}
+
+// EmbedNodes implements NodeEmbedder.
+func (e *Node2VecEmbedder) EmbedNodes(g *graph.Graph) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(e.Seed))
+	return embed.Node2Vec(g, e.Dim, e.P, e.Q, rng).Vectors
+}
+
+// Name implements NodeEmbedder.
+func (e *Node2VecEmbedder) Name() string { return "node2vec" }
+
+// GramFromEmbedder computes the linear-kernel Gram matrix of an explicit
+// graph embedding over a graph set.
+func GramFromEmbedder(e GraphEmbedder, gs []*graph.Graph) *linalg.Matrix {
+	feats := make([][]float64, len(gs))
+	for i, g := range gs {
+		feats[i] = e.EmbedGraph(g)
+	}
+	n := len(gs)
+	gram := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := linalg.Dot(feats[i], feats[j])
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	return gram
+}
+
+// StandardizedGram embeds every graph, z-scores each feature dimension
+// across the set, and returns the linear-kernel Gram matrix. Explicit
+// feature maps like the log-scaled hom vector have wildly different
+// per-dimension scales; standardisation puts them on equal footing before
+// the SVM.
+func StandardizedGram(e GraphEmbedder, gs []*graph.Graph) *linalg.Matrix {
+	feats := make([][]float64, len(gs))
+	for i, g := range gs {
+		feats[i] = e.EmbedGraph(g)
+	}
+	if len(feats) > 0 {
+		d := len(feats[0])
+		for j := 0; j < d; j++ {
+			var mean, sq float64
+			for i := range feats {
+				mean += feats[i][j]
+			}
+			mean /= float64(len(feats))
+			for i := range feats {
+				diff := feats[i][j] - mean
+				sq += diff * diff
+			}
+			std := math.Sqrt(sq / float64(len(feats)))
+			if std < 1e-12 {
+				std = 1
+			}
+			for i := range feats {
+				feats[i][j] = (feats[i][j] - mean) / std
+			}
+		}
+	}
+	n := len(gs)
+	gram := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := linalg.Dot(feats[i], feats[j])
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	return gram
+}
+
+// ClassifyWithEmbedder runs the full downstream pipeline of the paper's
+// "initial experiments": embed every graph, standardise features, form the
+// Gram matrix, and cross-validate a kernel SVM. Returns mean accuracy.
+func ClassifyWithEmbedder(e GraphEmbedder, gs []*graph.Graph, labels []int, folds int, rng *rand.Rand) float64 {
+	gram := StandardizedGram(e, gs)
+	return svm.CrossValidate(gram, labels, folds, svm.DefaultConfig(), rng)
+}
+
+// ClassifyWithKernel is the same pipeline for implicit (kernel) methods.
+func ClassifyWithKernel(k kernel.Kernel, gs []*graph.Graph, labels []int, folds int, rng *rand.Rand) float64 {
+	gram := kernel.Normalize(kernel.Gram(k, gs))
+	return svm.CrossValidate(gram, labels, folds, svm.DefaultConfig(), rng)
+}
+
+// InducedGraphDistance is dist_f(G,H) = ‖f(G) − f(H)‖ for an explicit
+// embedding f — the induced distance measure of the introduction.
+func InducedGraphDistance(e GraphEmbedder, g, h *graph.Graph) float64 {
+	a, b := e.EmbedGraph(g), e.EmbedGraph(h)
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		var x, y float64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		s += (x - y) * (x - y)
+	}
+	return math.Sqrt(s)
+}

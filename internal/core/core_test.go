@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+)
+
+func TestHomEmbedderDefaultClass(t *testing.T) {
+	e := NewHomEmbedder(nil)
+	v := e.EmbedGraph(graph.Petersen())
+	if len(v) != 20 {
+		t.Fatalf("default hom embedding has %d entries, want 20", len(v))
+	}
+	if e.Name() != "hom-vector" {
+		t.Error("name")
+	}
+}
+
+func TestHomEmbedderSeparatesCospectral(t *testing.T) {
+	e := NewHomEmbedder(nil)
+	g, h := graph.CospectralPair()
+	if d := InducedGraphDistance(e, g, h); d <= 0 {
+		t.Errorf("induced distance %v between tree-distinguishable graphs", d)
+	}
+	if d := InducedGraphDistance(e, g, g); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+}
+
+func TestWLEmbedderConsistentDimensions(t *testing.T) {
+	corpus := []*graph.Graph{graph.Cycle(4), graph.Path(5), graph.Star(3)}
+	e := NewWLEmbedder(2, corpus)
+	d := -1
+	for _, g := range corpus {
+		v := e.EmbedGraph(g)
+		if d < 0 {
+			d = len(v)
+		}
+		if len(v) != d {
+			t.Fatal("all embeddings must share a dimension")
+		}
+	}
+	// Unseen graph still embeds (possibly with zero OOV features).
+	v := e.EmbedGraph(graph.Complete(5))
+	if len(v) != d {
+		t.Fatal("unseen graph embedding dimension mismatch")
+	}
+}
+
+func TestGNNEmbedderRespects1WL(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	e := NewGNNEmbedder([]int{2, 6}, 4, rng)
+	g, h := graph.WLIndistinguishablePair()
+	if d := InducedGraphDistance(e, g, h); d > 1e-9 {
+		t.Errorf("untrained GNN embedder separates a WL-equivalent pair: %v", d)
+	}
+}
+
+func TestNodeEmbedderWrappers(t *testing.T) {
+	g, _ := graph.KarateClub()
+	for _, e := range []NodeEmbedder{
+		&SpectralNodeEmbedder{Dim: 2},
+		&SpectralNodeEmbedder{Dim: 2, C: 2},
+		&Node2VecEmbedder{Dim: 4, P: 1, Q: 1, Seed: 7},
+	} {
+		x := e.EmbedNodes(g)
+		if x.Rows != g.N() {
+			t.Errorf("%s: %d rows, want %d", e.Name(), x.Rows, g.N())
+		}
+	}
+}
+
+func TestClassificationPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	d := dataset.CycleParity(16, 8, rng)
+	acc := ClassifyWithEmbedder(NewHomEmbedder(nil), d.Graphs, d.Labels, 4, rng)
+	if acc < 0.9 {
+		t.Errorf("hom-vector pipeline accuracy %v, want >= 0.9 on cycle parity", acc)
+	}
+	accWL := ClassifyWithKernel(kernel.WLSubtree{Rounds: 3}, d.Graphs, d.Labels, 4, rng)
+	if accWL < 0.4 {
+		t.Errorf("WL kernel pipeline accuracy %v unreasonably low", accWL)
+	}
+	t.Logf("cycle-parity: hom=%v wl=%v", acc, accWL)
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCommunityCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	d := CommunityCount(5, 16, rng)
+	if len(d.Graphs) != 10 || len(d.Labels) != 10 {
+		t.Fatalf("sizes %d/%d", len(d.Graphs), len(d.Labels))
+	}
+	for _, g := range d.Graphs {
+		if g.N() != 16 {
+			t.Errorf("graph size %d, want 16", g.N())
+		}
+	}
+}
+
+func TestTriangleDensityHasSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	d := TriangleDensity(10, 14, rng)
+	// Triangle-rich class should have more triangles on average.
+	var tri [2]float64
+	var cnt [2]int
+	for i, g := range d.Graphs {
+		tri[d.Labels[i]] += float64(g.Triangles())
+		cnt[d.Labels[i]]++
+	}
+	if tri[1]/float64(cnt[1]) <= tri[0]/float64(cnt[0]) {
+		t.Errorf("triangle-rich class mean %v should exceed ER %v",
+			tri[1]/float64(cnt[1]), tri[0]/float64(cnt[0]))
+	}
+}
+
+func TestCycleParityBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	d := CycleParity(4, 8, rng)
+	for i, g := range d.Graphs {
+		hasOdd := g.Girth() > 0 && g.Girth()%2 == 1
+		wantOdd := d.Labels[i] == 1
+		if hasOdd != wantOdd {
+			t.Errorf("graph %d: odd-girth=%v label=%d", i, hasOdd, d.Labels[i])
+		}
+	}
+}
+
+func TestERvsPA(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	d := ERvsPA(6, 30, rng)
+	if len(d.Graphs) != 12 {
+		t.Fatalf("size %d", len(d.Graphs))
+	}
+	// PA graphs should have higher maximum degree on average.
+	var maxDeg [2]float64
+	var cnt [2]int
+	for i, g := range d.Graphs {
+		md := 0
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) > md {
+				md = g.Degree(v)
+			}
+		}
+		maxDeg[d.Labels[i]] += float64(md)
+		cnt[d.Labels[i]]++
+	}
+	if maxDeg[1]/float64(cnt[1]) <= maxDeg[0]/float64(cnt[0]) {
+		t.Error("PA class should have heavier-tailed degrees")
+	}
+}
+
+func TestWorldKG(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	kg := World(6, rng)
+	if kg.NumEntities() != 2+6*3 {
+		t.Errorf("entities=%d, want 20", kg.NumEntities())
+	}
+	if kg.NumRelations() != 3 {
+		t.Errorf("relations=%d", kg.NumRelations())
+	}
+	if len(kg.Triples) != 18 {
+		t.Errorf("triples=%d, want 18", len(kg.Triples))
+	}
+	train, test := kg.Split(0.2, rng)
+	if len(train)+len(test) != 18 || len(test) == 0 {
+		t.Errorf("split %d/%d", len(train), len(test))
+	}
+	g := kg.AsGraph()
+	if !g.Directed() || g.M() != 18 {
+		t.Errorf("KG graph: directed=%v m=%d", g.Directed(), g.M())
+	}
+}
+
+func TestSBMNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	nc := SBMNodes([]int{10, 10, 10}, 0.7, 0.05, rng)
+	if nc.Graph.N() != 30 || len(nc.Labels) != 30 {
+		t.Fatalf("node task sizes wrong")
+	}
+	seen := map[int]bool{}
+	for _, l := range nc.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("want 3 classes, got %d", len(seen))
+	}
+}

@@ -1,0 +1,210 @@
+// Package embed implements the node-embedding techniques of Section 2.1 and
+// Figure 2 of the paper: spectral (SVD) factorisation of the adjacency
+// matrix, factorisation of the exp(−c·dist) similarity matrix, a generic
+// encoder-decoder trained by gradient descent, and the random-walk methods
+// DeepWalk and node2vec built on the word2vec SGNS engine.
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/word2vec"
+)
+
+// NodeEmbedding maps each vertex of one graph to a d-dimensional vector.
+type NodeEmbedding struct {
+	Vectors *linalg.Matrix // row v = embedding of vertex v
+	Method  string
+}
+
+// Vector returns the embedding of vertex v.
+func (e *NodeEmbedding) Vector(v int) []float64 { return e.Vectors.Row(v) }
+
+// Dim returns the embedding dimension.
+func (e *NodeEmbedding) Dim() int { return e.Vectors.Cols }
+
+// InducedDistance is the distance measure dist_f induced by the embedding:
+// the Euclidean distance between vertex images.
+func (e *NodeEmbedding) InducedDistance(v, w int) float64 {
+	a, b := e.Vector(v), e.Vector(w)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// AdjacencySpectral is the Figure 2(a) embedding: the rank-d spectral
+// factorisation of the adjacency matrix (first-order proximity).
+func AdjacencySpectral(g *graph.Graph, d int) *NodeEmbedding {
+	s := linalg.FromRows(g.AdjacencyMatrix())
+	return &NodeEmbedding{Vectors: linalg.SpectralEmbedding(s, d), Method: "adjacency-svd"}
+}
+
+// DistanceSimilaritySpectral is the Figure 2(b) embedding: factorise the
+// similarity matrix S_vw = exp(−c·dist(v,w)); unreachable pairs get
+// similarity 0.
+func DistanceSimilaritySpectral(g *graph.Graph, d int, c float64) *NodeEmbedding {
+	n := g.N()
+	dist := g.AllPairsDistances()
+	s := linalg.NewMatrix(n, n)
+	for v := 0; v < n; v++ {
+		for w := 0; w < n; w++ {
+			if dist[v][w] >= 0 {
+				s.Set(v, w, math.Exp(-c*float64(dist[v][w])))
+			}
+		}
+	}
+	return &NodeEmbedding{Vectors: linalg.SpectralEmbedding(s, d), Method: "exp-distance-svd"}
+}
+
+// EncoderDecoder trains an explicit embedding matrix X to minimise
+// ‖XXᵀ − S‖²_F by gradient descent — the shallow encoder-decoder framing the
+// paper uses for all Section 2.1 methods. S must be symmetric.
+func EncoderDecoder(s *linalg.Matrix, d, iters int, lr float64, rng *rand.Rand) *NodeEmbedding {
+	n := s.Rows
+	x := linalg.NewMatrix(n, d)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64() * 0.1
+	}
+	for it := 0; it < iters; it++ {
+		// grad = 4 (XXᵀ − S) X
+		diff := x.Mul(x.T()).Sub(s)
+		grad := diff.Mul(x).Scale(4)
+		x = x.Sub(grad.Scale(lr))
+	}
+	return &NodeEmbedding{Vectors: x, Method: "encoder-decoder"}
+}
+
+// ReconstructionError returns ‖XXᵀ − S‖_F for an embedding against a target
+// similarity matrix.
+func ReconstructionError(e *NodeEmbedding, s *linalg.Matrix) float64 {
+	return linalg.Frobenius(e.Vectors.Mul(e.Vectors.T()).Sub(s))
+}
+
+// WalkConfig controls random-walk corpus generation.
+type WalkConfig struct {
+	WalksPerNode int
+	WalkLength   int
+	P, Q         float64 // node2vec return / in-out parameters; 1,1 = DeepWalk
+}
+
+// RandomWalks samples second-order biased random walks in the node2vec
+// sense: the unnormalised probability of stepping from v to x, having
+// arrived from t, is 1/P if x = t, 1 if x is adjacent to t, and 1/Q
+// otherwise. P = Q = 1 yields uniform walks (DeepWalk).
+func RandomWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]int {
+	var corpus [][]int
+	for start := 0; start < g.N(); start++ {
+		for w := 0; w < cfg.WalksPerNode; w++ {
+			walk := biasedWalk(g, start, cfg, rng)
+			if len(walk) > 1 {
+				corpus = append(corpus, walk)
+			}
+		}
+	}
+	return corpus
+}
+
+func biasedWalk(g *graph.Graph, start int, cfg WalkConfig, rng *rand.Rand) []int {
+	walk := []int{start}
+	if g.Degree(start) == 0 {
+		return walk
+	}
+	cur := start
+	prev := -1
+	for len(walk) < cfg.WalkLength {
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) == 0 {
+			break
+		}
+		var next int
+		if prev < 0 || (cfg.P == 1 && cfg.Q == 1) {
+			next = nbrs[rng.Intn(len(nbrs))]
+		} else {
+			weights := make([]float64, len(nbrs))
+			var total float64
+			for i, x := range nbrs {
+				switch {
+				case x == prev:
+					weights[i] = 1 / cfg.P
+				case g.HasEdge(x, prev):
+					weights[i] = 1
+				default:
+					weights[i] = 1 / cfg.Q
+				}
+				total += weights[i]
+			}
+			r := rng.Float64() * total
+			acc := 0.0
+			next = nbrs[len(nbrs)-1]
+			for i, w := range weights {
+				acc += w
+				if r <= acc {
+					next = nbrs[i]
+					break
+				}
+			}
+		}
+		walk = append(walk, next)
+		prev = cur
+		cur = next
+	}
+	return walk
+}
+
+// DeepWalk embeds nodes by SGNS over uniform random walks (Perozzi et al.).
+func DeepWalk(g *graph.Graph, d int, rng *rand.Rand) *NodeEmbedding {
+	return Node2Vec(g, d, 1, 1, rng)
+}
+
+// Node2Vec embeds nodes by SGNS over (p,q)-biased walks (Grover-Leskovec),
+// the Figure 2(c) method.
+func Node2Vec(g *graph.Graph, d int, p, q float64, rng *rand.Rand) *NodeEmbedding {
+	walks := RandomWalks(g, WalkConfig{WalksPerNode: 10, WalkLength: 20, P: p, Q: q}, rng)
+	cfg := word2vec.DefaultConfig()
+	cfg.Dim = d
+	cfg.Window = 5
+	model := word2vec.Train(walks, g.N(), cfg, rng)
+	x := linalg.NewMatrix(g.N(), d)
+	for v := 0; v < g.N(); v++ {
+		copy(x.Row(v), model.Vector(v))
+	}
+	return &NodeEmbedding{Vectors: x, Method: "node2vec"}
+}
+
+// WalkSimilarity estimates the implicit similarity matrix the random-walk
+// methods factorise: S_vw = probability that a fixed-length uniform walk
+// from v visits w, estimated from samples.
+func WalkSimilarity(g *graph.Graph, walkLen, samples int, rng *rand.Rand) *linalg.Matrix {
+	n := g.N()
+	s := linalg.NewMatrix(n, n)
+	for v := 0; v < n; v++ {
+		for t := 0; t < samples; t++ {
+			cur := v
+			for step := 0; step < walkLen; step++ {
+				nbrs := g.Neighbors(cur)
+				if len(nbrs) == 0 {
+					break
+				}
+				cur = nbrs[rng.Intn(len(nbrs))]
+			}
+			s.Set(v, cur, s.At(v, cur)+1)
+		}
+		for w := 0; w < n; w++ {
+			s.Set(v, w, s.At(v, w)/float64(samples))
+		}
+	}
+	return s
+}
+
+// CommunityRecovery clusters an embedding with k-means and scores it
+// against ground-truth communities by NMI.
+func CommunityRecovery(e *NodeEmbedding, truth []int, k int, rng *rand.Rand) float64 {
+	assign := linalg.KMeans(e.Vectors, k, rng)
+	return linalg.NMI(truth, assign)
+}

@@ -1,0 +1,156 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+func TestAdjacencySpectralShape(t *testing.T) {
+	g := graph.Cycle(6)
+	e := AdjacencySpectral(g, 2)
+	if e.Vectors.Rows != 6 || e.Dim() != 2 {
+		t.Fatalf("embedding shape %dx%d", e.Vectors.Rows, e.Dim())
+	}
+	if e.Method != "adjacency-svd" {
+		t.Error("method name")
+	}
+}
+
+func TestSpectralEmbeddingRespectsSymmetry(t *testing.T) {
+	// On a path, symmetric vertices should be at equal distance from the
+	// centre in embedding space.
+	g := graph.Path(5)
+	e := DistanceSimilaritySpectral(g, 2, 2)
+	d04 := e.InducedDistance(0, 2) - e.InducedDistance(4, 2)
+	if math.Abs(d04) > 1e-6 {
+		t.Errorf("symmetric vertices at different embedded distances: %v", d04)
+	}
+}
+
+func TestDistanceSimilaritySeparatesCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	g, truth := graph.SBM([]int{12, 12}, 0.9, 0.05, rng)
+	e := DistanceSimilaritySpectral(g, 2, 2)
+	nmi := CommunityRecovery(e, truth, 2, rng)
+	if nmi < 0.8 {
+		t.Errorf("spectral similarity embedding NMI=%v, want >= 0.8 on a strong SBM", nmi)
+	}
+}
+
+func TestNode2VecSeparatesCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	g, truth := graph.SBM([]int{12, 12}, 0.9, 0.02, rng)
+	e := Node2Vec(g, 8, 1, 0.5, rng)
+	nmi := CommunityRecovery(e, truth, 2, rng)
+	if nmi < 0.7 {
+		t.Errorf("node2vec NMI=%v, want >= 0.7 on a strong SBM", nmi)
+	}
+}
+
+func TestDeepWalkKarateClub(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g, factions := graph.KarateClub()
+	e := DeepWalk(g, 8, rng)
+	nmi := CommunityRecovery(e, factions, 2, rng)
+	if nmi < 0.3 {
+		t.Errorf("DeepWalk on karate club NMI=%v, want >= 0.3", nmi)
+	}
+}
+
+func TestEncoderDecoderReducesReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	g := graph.Cycle(8)
+	s := linalg.FromRows(g.AdjacencyMatrix())
+	e0 := EncoderDecoder(s, 3, 0, 0.01, rand.New(rand.NewSource(84)))
+	e1 := EncoderDecoder(s, 3, 300, 0.01, rand.New(rand.NewSource(84)))
+	if ReconstructionError(e1, s) >= ReconstructionError(e0, s) {
+		t.Errorf("training should reduce reconstruction error: %v -> %v",
+			ReconstructionError(e0, s), ReconstructionError(e1, s))
+	}
+	_ = rng
+}
+
+func TestRandomWalksProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	g := graph.Cycle(5)
+	walks := RandomWalks(g, WalkConfig{WalksPerNode: 3, WalkLength: 10, P: 1, Q: 1}, rng)
+	if len(walks) != 15 {
+		t.Fatalf("got %d walks, want 15", len(walks))
+	}
+	for _, w := range walks {
+		if len(w) != 10 {
+			t.Errorf("walk length %d, want 10", len(w))
+		}
+		for i := 1; i < len(w); i++ {
+			if !g.HasEdge(w[i-1], w[i]) {
+				t.Fatalf("walk uses a non-edge %d-%d", w[i-1], w[i])
+			}
+		}
+	}
+}
+
+func TestBiasedWalkReturnsMoreWithSmallP(t *testing.T) {
+	// With tiny P the walk returns to the previous node very often.
+	rng := rand.New(rand.NewSource(86))
+	g := graph.Star(5) // walks on a star alternate centre-leaf
+	returns := func(p, q float64) int {
+		count := 0
+		for trial := 0; trial < 200; trial++ {
+			w := biasedWalk(g, 1, WalkConfig{WalkLength: 3, P: p, Q: q}, rng)
+			if len(w) == 3 && w[2] == w[0] {
+				count++
+			}
+		}
+		return count
+	}
+	many := returns(0.01, 1)
+	few := returns(100, 1)
+	if many <= few {
+		t.Errorf("small P should cause more returns: %d vs %d", many, few)
+	}
+}
+
+func TestWalkSimilarityRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	g := graph.Cycle(4)
+	s := WalkSimilarity(g, 3, 200, rng)
+	for v := 0; v < 4; v++ {
+		var rowSum float64
+		for w := 0; w < 4; w++ {
+			rowSum += s.At(v, w)
+		}
+		if math.Abs(rowSum-1) > 1e-9 {
+			t.Errorf("walk similarity row %d sums to %v", v, rowSum)
+		}
+	}
+	// Odd cycle: a 3-step walk from v cannot end at v (bipartite-like parity
+	// does not apply to C4: 3 steps from v lands at odd distance).
+	if s.At(0, 0) != 0 {
+		t.Errorf("3-step walk on C4 cannot return to start: %v", s.At(0, 0))
+	}
+}
+
+func TestInducedDistanceIsMetricOnEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	g := graph.Random(8, 0.5, rng)
+	e := AdjacencySpectral(g, 3)
+	for a := 0; a < 8; a++ {
+		if e.InducedDistance(a, a) > 1e-12 {
+			t.Error("self distance should be 0")
+		}
+		for b := 0; b < 8; b++ {
+			if math.Abs(e.InducedDistance(a, b)-e.InducedDistance(b, a)) > 1e-12 {
+				t.Error("induced distance should be symmetric")
+			}
+			for c := 0; c < 8; c++ {
+				if e.InducedDistance(a, c) > e.InducedDistance(a, b)+e.InducedDistance(b, c)+1e-9 {
+					t.Error("triangle inequality violated")
+				}
+			}
+		}
+	}
+}

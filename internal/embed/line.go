@@ -1,0 +1,64 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// LINE implements the first-order proximity variant of the LINE embedding
+// cited in Section 2.1: node pairs joined by an edge should have similar
+// vectors, trained by logistic loss with negative sampling over edges —
+// matrix factorisation of the adjacency matrix in disguise, without random
+// walks.
+func LINE(g *graph.Graph, d, epochs int, lr float64, rng *rand.Rand) *NodeEmbedding {
+	n := g.N()
+	vec := linalg.NewMatrix(n, d)
+	for i := range vec.Data {
+		vec.Data[i] = (rng.Float64()*2 - 1) * 0.5 / float64(d)
+	}
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return &NodeEmbedding{Vectors: vec, Method: "line"}
+	}
+	const negative = 5
+	for e := 0; e < epochs; e++ {
+		for _, edge := range edges {
+			lineUpdate(vec, edge.U, edge.V, 1, lr)
+			for k := 0; k < negative; k++ {
+				w := rng.Intn(n)
+				if w != edge.V && !g.HasEdge(edge.U, w) {
+					lineUpdate(vec, edge.U, w, 0, lr)
+				}
+			}
+		}
+	}
+	return &NodeEmbedding{Vectors: vec, Method: "line"}
+}
+
+func lineUpdate(vec *linalg.Matrix, u, v int, label, lr float64) {
+	a, b := vec.Row(u), vec.Row(v)
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	p := 1 / (1 + math.Exp(-clamp(dot)))
+	g := (label - p) * lr
+	for i := range a {
+		ai := a[i]
+		a[i] += g * b[i]
+		b[i] += g * ai
+	}
+}
+
+func clamp(x float64) float64 {
+	if x > 30 {
+		return 30
+	}
+	if x < -30 {
+		return -30
+	}
+	return x
+}

@@ -1,0 +1,44 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+func TestLINESeparatesCommunities(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	g, truth := graph.SBM([]int{12, 12}, 0.9, 0.02, rng)
+	e := LINE(g, 8, 60, 0.05, rng)
+	nmi := CommunityRecovery(e, truth, 2, rng)
+	if nmi < 0.6 {
+		t.Errorf("LINE NMI=%v, want >= 0.6 on a strong SBM", nmi)
+	}
+	if e.Method != "line" {
+		t.Error("method name")
+	}
+}
+
+func TestLINENeighboursMoreSimilarThanStrangers(t *testing.T) {
+	rng := rand.New(rand.NewSource(192))
+	g := graph.Cycle(10)
+	e := LINE(g, 6, 200, 0.05, rng)
+	var nbr, far float64
+	for v := 0; v < 10; v++ {
+		nbr += linalg.CosineSimilarity(e.Vector(v), e.Vector((v+1)%10))
+		far += linalg.CosineSimilarity(e.Vector(v), e.Vector((v+5)%10))
+	}
+	if nbr <= far {
+		t.Errorf("first-order proximity: neighbour similarity %v should beat antipodal %v", nbr, far)
+	}
+}
+
+func TestLINEEdgelessGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	e := LINE(graph.New(4), 3, 10, 0.05, rng)
+	if e.Vectors.Rows != 4 || e.Vectors.Cols != 3 {
+		t.Errorf("shape %dx%d", e.Vectors.Rows, e.Vectors.Cols)
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// fast experiments that must pass and report sensibly.
+func TestFastExperimentsPass(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(io.Writer) Result
+	}{
+		{"E02", E02Fig3},
+		{"E03", E03Fig4},
+		{"E04", E04Fig5},
+		{"E05", E05Ex41},
+		{"E07", E07Cospectral},
+		{"E13", E13Weighted},
+		{"E14", E14GNNvsWL},
+		{"E18", E18Distances},
+		{"E19", E19CutNorm},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		r := tc.f(&buf)
+		if r.ID != tc.name {
+			t.Errorf("%s: wrong ID %q", tc.name, r.ID)
+		}
+		if !r.Passed {
+			t.Errorf("%s failed: %s\n%s", tc.name, r.Notes, buf.String())
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no report", tc.name)
+		}
+	}
+}
+
+func TestE05ExactPaperNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	r := E05Ex41(&buf)
+	if !r.Passed {
+		t.Fatalf("E05: %s", r.Notes)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "18") || !strings.Contains(out, "114") {
+		t.Errorf("E05 report should contain the paper's exact numbers:\n%s", out)
+	}
+}
+
+func TestE07ExactPaperNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	r := E07Cospectral(&buf)
+	if !r.Passed {
+		t.Fatalf("E07: %s", r.Notes)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "20") || !strings.Contains(out, "16") {
+		t.Errorf("E07 report should contain hom(P3) = 20 and 16:\n%s", out)
+	}
+}
+
+func TestE15ReturnsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 trains SVMs on three datasets")
+	}
+	r, rows := E15Classification(io.Discard)
+	if !r.Passed {
+		t.Errorf("E15: %s", r.Notes)
+	}
+	if len(rows) != 12 { // 3 datasets x 4 methods
+		t.Errorf("E15 table has %d rows, want 12", len(rows))
+	}
+	for _, row := range rows {
+		if row.Acc < 0 || row.Acc > 1 {
+			t.Errorf("accuracy out of range: %+v", row)
+		}
+	}
+}
+
+func TestRationalSolutionExistsMatchesWLOnKnownPairs(t *testing.T) {
+	// For the regular pair C6/2C3 the system must be solvable; for the
+	// cospectral pair it must not (paths distinguish them).
+	var buf bytes.Buffer
+	r := E09PathHoms(&buf)
+	if !r.Passed {
+		t.Errorf("E09: %s\n%s", r.Notes, buf.String())
+	}
+	if !strings.Contains(buf.String(), "witness") {
+		t.Error("E09 should print a Figure-7 witness")
+	}
+}

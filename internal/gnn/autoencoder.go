@@ -1,0 +1,178 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// Autoencoder is the graph autoencoder of Section 2.5 (Kipf-Welling GAE
+// style): a message-passing encoder produces node states Z, and the inner-
+// product decoder σ(z_vᵀ z_w) reconstructs the adjacency matrix. Training
+// is unsupervised — the reconstruction loss needs no labels — giving an
+// unsupervised way to train graph/node embeddings.
+type Autoencoder struct {
+	Encoder *Network
+	Dim     int
+}
+
+// NewAutoencoder builds an encoder with the given widths (dims[0] is the
+// input feature width; the final width is the latent dimension).
+func NewAutoencoder(dims []int, rng *rand.Rand) *Autoencoder {
+	// The output head is unused; give it width 1.
+	return &Autoencoder{Encoder: New(dims, 1, rng), Dim: dims[len(dims)-1]}
+}
+
+// Encode returns the latent node states Z. The final encoder layer is
+// applied without its ReLU (a linear output layer, as in the original graph
+// autoencoder) so latent coordinates can be negative and inner products are
+// unconstrained.
+func (ae *Autoencoder) Encode(g *graph.Graph, x0 *linalg.Matrix) *linalg.Matrix {
+	st := ae.Encoder.forward(g, x0)
+	return st.pre[len(st.pre)-1]
+}
+
+// posWeight returns the standard GAE class-balance factor: the ratio of
+// non-edges to edges among ordered off-diagonal pairs. Weighting positive
+// terms by it keeps the all-zero latent from being a stable saddle on
+// sparse graphs.
+func posWeight(g *graph.Graph) float64 {
+	n := g.N()
+	total := n*n - n
+	pos := 0
+	a := g.AdjacencyMatrix()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && a[i][j] != 0 {
+				pos++
+			}
+		}
+	}
+	if pos == 0 || total == pos {
+		return 1
+	}
+	return float64(total-pos) / float64(pos)
+}
+
+// ReconstructionLoss is the mean binary cross-entropy between σ(ZZᵀ) and
+// the adjacency matrix (diagonal excluded), with positive pairs re-weighted
+// by the non-edge/edge ratio.
+func (ae *Autoencoder) ReconstructionLoss(g *graph.Graph, x0 *linalg.Matrix) float64 {
+	z := ae.Encode(g, x0)
+	a := g.AdjacencyMatrix()
+	n := g.N()
+	pw := posWeight(g)
+	var loss float64
+	var count int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			p := sigmoidAE(linalg.Dot(z.Row(i), z.Row(j)))
+			if a[i][j] != 0 {
+				loss += -pw * math.Log(math.Max(p, 1e-12))
+			} else {
+				loss += -math.Log(math.Max(1-p, 1e-12))
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return loss / float64(count)
+}
+
+// Train runs full-batch gradient descent on the reconstruction loss via
+// backprop through the inner-product decoder and the encoder layers,
+// returning the loss trace.
+func (ae *Autoencoder) Train(g *graph.Graph, x0 *linalg.Matrix, epochs int, lr float64) []float64 {
+	trace := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		trace = append(trace, ae.step(g, x0, lr))
+	}
+	return trace
+}
+
+func (ae *Autoencoder) step(g *graph.Graph, x0 *linalg.Matrix, lr float64) float64 {
+	net := ae.Encoder
+	st := net.forward(g, x0)
+	z := st.pre[len(st.pre)-1]
+	a := g.AdjacencyMatrix()
+	n := g.N()
+	// Loss and gradient wrt Z: dL/dz_i = Σ_j (σ(z_i·z_j) − A_ij)·z_j / count.
+	dZ := linalg.NewMatrix(n, ae.Dim)
+	var loss float64
+	count := n*n - n
+	if count == 0 {
+		return 0
+	}
+	pw := posWeight(g)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			p := sigmoidAE(linalg.Dot(z.Row(i), z.Row(j)))
+			var gcoef float64
+			if a[i][j] != 0 {
+				loss += -pw * math.Log(math.Max(p, 1e-12))
+				gcoef = pw * (p - 1) / float64(count)
+			} else {
+				loss += -math.Log(math.Max(1-p, 1e-12))
+				gcoef = p / float64(count)
+			}
+			zi, zj := z.Row(i), z.Row(j)
+			di := dZ.Row(i)
+			for d := 0; d < ae.Dim; d++ {
+				di[d] += gcoef * zj[d]
+			}
+			dj := dZ.Row(j)
+			for d := 0; d < ae.Dim; d++ {
+				dj[d] += gcoef * zi[d]
+			}
+		}
+	}
+	loss /= float64(count)
+	// Backprop dZ through the encoder layers (same machinery as step()).
+	dX := dZ
+	for l := len(net.Layers) - 1; l >= 0; l-- {
+		dZl := dX.Clone()
+		if l < len(net.Layers)-1 {
+			// Inner layers pass through ReLU; the final layer is linear.
+			zpre := st.pre[l]
+			for i, v := range zpre.Data {
+				if v <= 0 {
+					dZl.Data[i] = 0
+				}
+			}
+		}
+		xin := st.inputs[l]
+		ax := st.a.Mul(xin)
+		dWSelf := xin.T().Mul(dZl)
+		dWAgg := ax.T().Mul(dZl)
+		dBias := colSums(dZl)
+		if l > 0 {
+			dX = dZl.Mul(net.Layers[l].WSelf.T()).Add(st.a.T().Mul(dZl).Mul(net.Layers[l].WAgg.T()))
+		}
+		applyUpdate(net.Layers[l].WSelf, dWSelf, lr)
+		applyUpdate(net.Layers[l].WAgg, dWAgg, lr)
+		for j := range net.Layers[l].Bias {
+			net.Layers[l].Bias[j] -= lr * dBias[j]
+		}
+	}
+	return loss
+}
+
+func sigmoidAE(x float64) float64 {
+	switch {
+	case x > 30:
+		return 1
+	case x < -30:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}

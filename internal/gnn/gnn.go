@@ -1,0 +1,331 @@
+// Package gnn implements the message-passing graph neural networks of
+// Section 2.2 (equations 2.1/2.2): layers computing
+//
+//	X' = ReLU(X·W_self + A·X·W_agg + b)
+//
+// with shared parameters across nodes, trained by manual backpropagation
+// for node classification (softmax cross-entropy) or sum-pooled graph
+// classification. The package also provides the expressiveness probes of
+// Section 3.6: GNN outputs are invariant across 1-WL-equivalent nodes when
+// initial features are constant, and random initial features break that
+// ceiling at the price of per-run invariance.
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// Layer is one message-passing layer.
+type Layer struct {
+	WSelf *linalg.Matrix // d_in × d_out
+	WAgg  *linalg.Matrix // d_in × d_out
+	Bias  []float64      // d_out
+}
+
+// Network is a stack of message-passing layers plus a linear output head.
+type Network struct {
+	Layers []*Layer
+	WOut   *linalg.Matrix // d_last × classes
+	BOut   []float64
+}
+
+// New creates a network with the given layer widths: dims[0] is the input
+// feature width, dims[1..] the hidden widths, classes the output width.
+func New(dims []int, classes int, rng *rand.Rand) *Network {
+	net := &Network{}
+	for i := 0; i+1 < len(dims); i++ {
+		net.Layers = append(net.Layers, &Layer{
+			WSelf: glorot(dims[i], dims[i+1], rng),
+			WAgg:  glorot(dims[i], dims[i+1], rng),
+			Bias:  make([]float64, dims[i+1]),
+		})
+	}
+	net.WOut = glorot(dims[len(dims)-1], classes, rng)
+	net.BOut = make([]float64, classes)
+	return net
+}
+
+func glorot(in, out int, rng *rand.Rand) *linalg.Matrix {
+	m := linalg.NewMatrix(in, out)
+	scale := math.Sqrt(6 / float64(in+out))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// ConstantFeatures returns the all-ones n×d feature matrix (the paper's
+// default initial state).
+func ConstantFeatures(n, d int) *linalg.Matrix {
+	x := linalg.NewMatrix(n, d)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	return x
+}
+
+// RandomFeatures returns i.i.d. uniform initial states, the Section 3.6
+// trick that lifts GNN expressiveness beyond 1-WL.
+func RandomFeatures(n, d int, rng *rand.Rand) *linalg.Matrix {
+	x := linalg.NewMatrix(n, d)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	return x
+}
+
+// forwardState captures intermediate activations for backprop.
+type forwardState struct {
+	a      *linalg.Matrix   // adjacency
+	inputs []*linalg.Matrix // X_0 .. X_L (post-activation)
+	pre    []*linalg.Matrix // Z_1 .. Z_L (pre-activation)
+}
+
+// Embed runs the message-passing layers and returns the final node states —
+// the GNN node embedding of Section 2.2.
+func (net *Network) Embed(g *graph.Graph, x0 *linalg.Matrix) *linalg.Matrix {
+	st := net.forward(g, x0)
+	return st.inputs[len(st.inputs)-1]
+}
+
+func (net *Network) forward(g *graph.Graph, x0 *linalg.Matrix) *forwardState {
+	a := linalg.FromRows(g.AdjacencyMatrix())
+	st := &forwardState{a: a, inputs: []*linalg.Matrix{x0}}
+	x := x0
+	for _, l := range net.Layers {
+		z := x.Mul(l.WSelf).Add(a.Mul(x).Mul(l.WAgg))
+		for i := 0; i < z.Rows; i++ {
+			row := z.Row(i)
+			for j := range row {
+				row[j] += l.Bias[j]
+			}
+		}
+		st.pre = append(st.pre, z)
+		x = relu(z)
+		st.inputs = append(st.inputs, x)
+	}
+	return st
+}
+
+func relu(m *linalg.Matrix) *linalg.Matrix {
+	out := m.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// NodeLogits returns per-node class scores.
+func (net *Network) NodeLogits(g *graph.Graph, x0 *linalg.Matrix) *linalg.Matrix {
+	emb := net.Embed(g, x0)
+	return net.head(emb)
+}
+
+func (net *Network) head(emb *linalg.Matrix) *linalg.Matrix {
+	logits := emb.Mul(net.WOut)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		for j := range row {
+			row[j] += net.BOut[j]
+		}
+	}
+	return logits
+}
+
+// GraphLogits sum-pools final node states and applies the output head —
+// the simplest whole-graph embedding of Section 2.5.
+func (net *Network) GraphLogits(g *graph.Graph, x0 *linalg.Matrix) []float64 {
+	emb := net.Embed(g, x0)
+	pooled := make([]float64, emb.Cols)
+	for i := 0; i < emb.Rows; i++ {
+		row := emb.Row(i)
+		for j, v := range row {
+			pooled[j] += v
+		}
+	}
+	logits := make([]float64, net.WOut.Cols)
+	for j := 0; j < net.WOut.Cols; j++ {
+		s := net.BOut[j]
+		for d := 0; d < net.WOut.Rows; d++ {
+			s += pooled[d] * net.WOut.At(d, j)
+		}
+		logits[j] = s
+	}
+	return logits
+}
+
+// PredictNodes returns argmax class per node.
+func (net *Network) PredictNodes(g *graph.Graph, x0 *linalg.Matrix) []int {
+	logits := net.NodeLogits(g, x0)
+	out := make([]int, logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		out[i] = argmax(logits.Row(i))
+	}
+	return out
+}
+
+func argmax(xs []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range xs {
+		if x > best {
+			best = x
+			bi = i
+		}
+	}
+	return bi
+}
+
+// NodeLoss computes the mean softmax cross-entropy over the masked nodes.
+func (net *Network) NodeLoss(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask []bool) float64 {
+	logits := net.NodeLogits(g, x0)
+	loss, count := 0.0, 0
+	for i := 0; i < logits.Rows; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		p := softmax(logits.Row(i))
+		loss += -math.Log(math.Max(p[labels[i]], 1e-12))
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return loss / float64(count)
+}
+
+func softmax(xs []float64) []float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	var sum float64
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Exp(x - m)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// TrainNodes runs full-batch gradient descent on node classification and
+// returns the loss trace. mask selects training nodes (nil = all).
+func (net *Network) TrainNodes(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask []bool, epochs int, lr float64) []float64 {
+	trace := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		loss := net.step(g, x0, labels, mask, lr)
+		trace = append(trace, loss)
+	}
+	return trace
+}
+
+// step does one forward/backward/update pass and returns the loss.
+func (net *Network) step(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask []bool, lr float64) float64 {
+	st := net.forward(g, x0)
+	emb := st.inputs[len(st.inputs)-1]
+	logits := net.head(emb)
+	n := logits.Rows
+	classes := logits.Cols
+
+	// Loss and dLogits.
+	dLogits := linalg.NewMatrix(n, classes)
+	loss, count := 0.0, 0
+	for i := 0; i < n; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		p := softmax(logits.Row(i))
+		loss += -math.Log(math.Max(p[labels[i]], 1e-12))
+		for j := 0; j < classes; j++ {
+			grad := p[j]
+			if j == labels[i] {
+				grad--
+			}
+			dLogits.Set(i, j, grad/float64(count))
+		}
+	}
+	loss /= float64(count)
+
+	// Output head gradients.
+	dWOut := emb.T().Mul(dLogits)
+	dBOut := colSums(dLogits)
+	dX := dLogits.Mul(net.WOut.T())
+
+	// Layer gradients, backwards.
+	type layerGrad struct {
+		dWSelf, dWAgg *linalg.Matrix
+		dBias         []float64
+	}
+	grads := make([]layerGrad, len(net.Layers))
+	for l := len(net.Layers) - 1; l >= 0; l-- {
+		z := st.pre[l]
+		dZ := dX.Clone()
+		for i, v := range z.Data {
+			if v <= 0 {
+				dZ.Data[i] = 0
+			}
+		}
+		xin := st.inputs[l]
+		ax := st.a.Mul(xin)
+		grads[l] = layerGrad{
+			dWSelf: xin.T().Mul(dZ),
+			dWAgg:  ax.T().Mul(dZ),
+			dBias:  colSums(dZ),
+		}
+		if l > 0 {
+			// dX_{l-1} = dZ Wselfᵀ + Aᵀ dZ Waggᵀ (A symmetric for
+			// undirected graphs; use transpose for generality).
+			dX = dZ.Mul(net.Layers[l].WSelf.T()).Add(st.a.T().Mul(dZ).Mul(net.Layers[l].WAgg.T()))
+		}
+	}
+
+	// SGD update.
+	for l, lg := range grads {
+		applyUpdate(net.Layers[l].WSelf, lg.dWSelf, lr)
+		applyUpdate(net.Layers[l].WAgg, lg.dWAgg, lr)
+		for j := range net.Layers[l].Bias {
+			net.Layers[l].Bias[j] -= lr * lg.dBias[j]
+		}
+	}
+	applyUpdate(net.WOut, dWOut, lr)
+	for j := range net.BOut {
+		net.BOut[j] -= lr * dBOut[j]
+	}
+	return loss
+}
+
+func applyUpdate(w, g *linalg.Matrix, lr float64) {
+	for i := range w.Data {
+		w.Data[i] -= lr * g.Data[i]
+	}
+}
+
+func colSums(m *linalg.Matrix) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}

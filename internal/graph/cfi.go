@@ -1,0 +1,104 @@
+package graph
+
+// CFI builds the Cai–Fürer–Immerman graph of a connected base graph. For
+// each base vertex v a gadget with one node per even-cardinality subset of
+// v's incident edges is created, and for each base edge e = {u,v} gadget
+// nodes a_{u,X}, a_{v,Y} are joined when e's membership in X and Y agrees.
+// With twist set to true, exactly one base edge has the agreement condition
+// flipped, producing the "twisted" companion.
+//
+// For a connected base graph, CFI(base,false) and CFI(base,true) are
+// non-isomorphic, yet 1-WL (and, for bases of high enough treewidth, k-WL)
+// cannot distinguish them — the standard lower-bound construction cited in
+// Section 3.3 of the paper. Gadget nodes are vertex-labelled by their base
+// vertex so the pairing is rigid.
+func CFI(base *Graph, twist bool) *Graph {
+	if base.Directed() {
+		panic("graph: CFI requires an undirected base")
+	}
+	n := base.N()
+	// Incident edge indices per base vertex.
+	inc := make([][]int, n)
+	for i, e := range base.Edges() {
+		inc[e.U] = append(inc[e.U], i)
+		if e.V != e.U {
+			inc[e.V] = append(inc[e.V], i)
+		}
+	}
+	// Enumerate even subsets of each vertex's incident edges.
+	type gadgetNode struct {
+		base   int
+		subset uint32 // bitmask over positions in inc[base]
+	}
+	var nodes []gadgetNode
+	nodeID := map[gadgetNode]int{}
+	for v := 0; v < n; v++ {
+		d := len(inc[v])
+		for mask := uint32(0); mask < 1<<uint(d); mask++ {
+			if popcount(mask)%2 == 0 {
+				id := len(nodes)
+				gn := gadgetNode{v, mask}
+				nodes = append(nodes, gn)
+				nodeID[gn] = id
+			}
+		}
+	}
+	g := New(len(nodes))
+	for id, gn := range nodes {
+		g.SetVertexLabel(id, gn.base+1)
+	}
+	// position of edge e within inc[v]
+	posIn := func(v, e int) int {
+		for i, x := range inc[v] {
+			if x == e {
+				return i
+			}
+		}
+		return -1
+	}
+	twistEdge := -1
+	if twist && base.M() > 0 {
+		twistEdge = 0
+	}
+	for eIdx, e := range base.Edges() {
+		pu := posIn(e.U, eIdx)
+		pv := posIn(e.V, eIdx)
+		for _, a := range nodes {
+			if a.base != e.U {
+				continue
+			}
+			inU := a.subset&(1<<uint(pu)) != 0
+			for _, b := range nodes {
+				if b.base != e.V {
+					continue
+				}
+				inV := b.subset&(1<<uint(pv)) != 0
+				agree := inU == inV
+				if eIdx == twistEdge {
+					agree = !agree
+				}
+				if agree {
+					g.AddEdge(nodeID[gadgetNode{a.base, a.subset}], nodeID[gadgetNode{b.base, b.subset}])
+				}
+			}
+		}
+	}
+	return g
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// CFIPair returns the untwisted and twisted CFI graphs over the complete
+// graph K4, the smallest convenient base: 16 vertices each, non-isomorphic,
+// 1-WL-equivalent.
+func CFIPair() (*Graph, *Graph) {
+	base := Complete(4)
+	return CFI(base, false), CFI(base, true)
+}

@@ -1,0 +1,110 @@
+package graph
+
+import "testing"
+
+func TestEmptyGraphBehaviour(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatal("empty graph")
+	}
+	if !g.IsConnected() {
+		t.Error("empty graph counts as connected")
+	}
+	if comps := g.Components(); len(comps) != 0 {
+		t.Errorf("empty graph has %d components", len(comps))
+	}
+	if a := g.AdjacencyMatrix(); len(a) != 0 {
+		t.Error("empty adjacency")
+	}
+	if Automorphisms(g) != 1 {
+		t.Error("empty graph has exactly the identity map")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	if g.M() != 1 {
+		t.Fatal("loop should count as one edge")
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("loop contributes 2 to degree, got %d", g.Degree(0))
+	}
+	if !g.HasEdge(0, 0) {
+		t.Error("loop should be visible")
+	}
+	a := g.AdjacencyMatrix()
+	if a[0][0] != 1 {
+		t.Errorf("loop diagonal entry %v", a[0][0])
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"negative vertex count", func() { New(-1) }},
+		{"edge out of range", func() { New(2).AddEdge(0, 5) }},
+		{"negative endpoint", func() { New(2).AddEdge(-1, 0) }},
+		{"cycle too small", func() { Cycle(2) }},
+		{"regular impossible", func() { RandomRegular(3, 3, nil) }},
+		{"complement of directed", func() { NewDirected(2).Complement() }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}
+
+func TestSingleVertexGraph(t *testing.T) {
+	g := New(1)
+	if !g.IsConnected() || g.Girth() != -1 || g.Triangles() != 0 {
+		t.Error("single vertex invariants")
+	}
+	if d := g.BFSDistances(0); d[0] != 0 {
+		t.Error("distance to self")
+	}
+	if !Isomorphic(g, New(1)) {
+		t.Error("single vertices are isomorphic")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Cycle(4)
+	h := g.Clone()
+	h.AddEdge(0, 2)
+	if g.M() != 4 || h.M() != 5 {
+		t.Error("clone should be independent")
+	}
+	h.SetVertexLabel(0, 7)
+	if g.VertexLabel(0) == 7 {
+		t.Error("labels should not be shared")
+	}
+}
+
+func TestInducedSubgraphEmptySelection(t *testing.T) {
+	g := Complete(4)
+	h := g.InducedSubgraph(nil)
+	if h.N() != 0 || h.M() != 0 {
+		t.Error("empty selection yields empty graph")
+	}
+}
+
+func TestDirectedDegreeAsymmetry(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	if g.Degree(0) != 2 || g.Degree(1) != 0 {
+		t.Error("out-degrees")
+	}
+	if g.InDegree(0) != 0 || g.InDegree(1) != 1 {
+		t.Error("in-degrees")
+	}
+}

@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AllGraphs returns one representative of every isomorphism class of simple
+// undirected graphs on n vertices (n <= 6; there are 1, 2, 4, 11, 34, 156
+// classes for n = 1..6). Results are memoised; callers must not mutate the
+// returned graphs.
+func AllGraphs(n int) []*Graph {
+	if n < 0 || n > 6 {
+		panic(fmt.Sprintf("graph: AllGraphs supports n in [0,6], got %d", n))
+	}
+	allGraphsMu.Lock()
+	defer allGraphsMu.Unlock()
+	if gs, ok := allGraphsMemo[n]; ok {
+		return gs
+	}
+	gs := enumerateGraphs(n)
+	allGraphsMemo[n] = gs
+	return gs
+}
+
+var (
+	allGraphsMu   sync.Mutex
+	allGraphsMemo = map[int][]*Graph{}
+)
+
+// pairIndex enumerates the vertex pairs (i,j), i<j, in a fixed order so that
+// an m-bit mask encodes an n-vertex graph.
+func pairIndex(n int) [][2]int {
+	var ps [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ps = append(ps, [2]int{i, j})
+		}
+	}
+	return ps
+}
+
+func enumerateGraphs(n int) []*Graph {
+	ps := pairIndex(n)
+	perms := permutations(n)
+	seen := map[uint64]bool{}
+	var out []*Graph
+	for mask := uint64(0); mask < 1<<len(ps); mask++ {
+		if canonicalMask(mask, ps, perms, n) != mask {
+			continue
+		}
+		if seen[mask] {
+			continue
+		}
+		seen[mask] = true
+		g := New(n)
+		for b, p := range ps {
+			if mask&(1<<uint(b)) != 0 {
+				g.AddEdge(p[0], p[1])
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// canonicalMask returns the lexicographically smallest mask over all vertex
+// permutations.
+func canonicalMask(mask uint64, ps [][2]int, perms [][]int, n int) uint64 {
+	// Precompute pair -> bit lookup.
+	bitOf := make([][]int, n)
+	for i := range bitOf {
+		bitOf[i] = make([]int, n)
+	}
+	for b, p := range ps {
+		bitOf[p[0]][p[1]] = b
+		bitOf[p[1]][p[0]] = b
+	}
+	best := mask
+	for _, perm := range perms {
+		var m uint64
+		for b, p := range ps {
+			if mask&(1<<uint(b)) != 0 {
+				u, v := perm[p[0]], perm[p[1]]
+				m |= 1 << uint(bitOf[u][v])
+			}
+		}
+		if m < best {
+			best = m
+		}
+	}
+	return best
+}
+
+func permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), base...))
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ConnectedGraphs filters AllGraphs(n) to connected representatives.
+func ConnectedGraphs(n int) []*Graph {
+	var out []*Graph
+	for _, g := range AllGraphs(n) {
+		if g.IsConnected() {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// AllTrees returns one representative of every isomorphism class of free
+// trees on n vertices (n <= 8; the counts are 1, 1, 1, 2, 3, 6, 11, 23 for
+// n = 1..8). Results are memoised.
+func AllTrees(n int) []*Graph {
+	if n < 1 || n > 8 {
+		panic(fmt.Sprintf("graph: AllTrees supports n in [1,8], got %d", n))
+	}
+	allTreesMu.Lock()
+	defer allTreesMu.Unlock()
+	if ts, ok := allTreesMemo[n]; ok {
+		return ts
+	}
+	ts := enumerateTrees(n)
+	allTreesMemo[n] = ts
+	return ts
+}
+
+var (
+	allTreesMu   sync.Mutex
+	allTreesMemo = map[int][]*Graph{}
+)
+
+func enumerateTrees(n int) []*Graph {
+	if n == 1 {
+		return []*Graph{New(1)}
+	}
+	if n == 2 {
+		return []*Graph{Path(2)}
+	}
+	var reps []*Graph
+	var keys []string
+	seq := make([]int, n-2)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(seq) {
+			t := TreeFromPrufer(seq)
+			k := treeInvariantKey(t)
+			for j, rk := range keys {
+				if rk == k && Isomorphic(t, reps[j]) {
+					return
+				}
+			}
+			reps = append(reps, t)
+			keys = append(keys, k)
+			return
+		}
+		for v := 0; v < n; v++ {
+			seq[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return reps
+}
+
+func treeInvariantKey(t *Graph) string {
+	ds := t.DegreeSequence()
+	ecc := make([]int, t.N())
+	for v := 0; v < t.N(); v++ {
+		for _, d := range t.BFSDistances(v) {
+			if d > ecc[v] {
+				ecc[v] = d
+			}
+		}
+	}
+	sort.Ints(ecc)
+	return fmt.Sprintf("%v|%v", ds, ecc)
+}
+
+// BinaryTrees returns all free trees on up to maxN vertices whose maximum
+// degree is at most 3 ("binary trees" in the paper's Section 4 sense).
+func BinaryTrees(maxN int) []*Graph {
+	var out []*Graph
+	for n := 1; n <= maxN; n++ {
+		for _, t := range AllTrees(n) {
+			maxDeg := 0
+			for v := 0; v < t.N(); v++ {
+				if d := t.Degree(v); d > maxDeg {
+					maxDeg = d
+				}
+			}
+			if maxDeg <= 3 {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// PathsUpTo returns the paths P_1 .. P_k.
+func PathsUpTo(k int) []*Graph {
+	out := make([]*Graph, 0, k)
+	for i := 1; i <= k; i++ {
+		out = append(out, Path(i))
+	}
+	return out
+}
+
+// CyclesUpTo returns the cycles C_3 .. C_k.
+func CyclesUpTo(k int) []*Graph {
+	var out []*Graph
+	for i := 3; i <= k; i++ {
+		out = append(out, Cycle(i))
+	}
+	return out
+}
+
+// TreesUpTo returns all free trees with at most k vertices (k <= 8).
+func TreesUpTo(k int) []*Graph {
+	var out []*Graph
+	for n := 1; n <= k; n++ {
+		out = append(out, AllTrees(n)...)
+	}
+	return out
+}

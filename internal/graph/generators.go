@@ -1,0 +1,313 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph with k vertices (k-1 edges). P(1) is a single
+// vertex.
+func Path(k int) *Graph {
+	g := New(k)
+	for i := 0; i+1 < k; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle with k >= 3 vertices.
+func Cycle(k int) *Graph {
+	if k < 3 {
+		panic("graph: cycle needs at least 3 vertices")
+	}
+	g := New(k)
+	for i := 0; i < k; i++ {
+		g.AddEdge(i, (i+1)%k)
+	}
+	return g
+}
+
+// Complete returns the complete graph on k vertices.
+func Complete(k int) *Graph {
+	g := New(k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Star returns the star S_k: one centre (vertex 0) joined to k leaves.
+func Star(k int) *Graph {
+	g := New(k + 1)
+	for i := 1; i <= k; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddEdge(i, a+j)
+		}
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph.
+func Petersen() *Graph {
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer cycle
+		g.AddEdge(i, i+5)         // spokes
+		g.AddEdge(i+5, (i+2)%5+5) // inner pentagram
+	}
+	return g
+}
+
+// Erdos-Renyi random graph G(n, p).
+func Random(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices via a
+// random Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n <= 0 {
+		return New(0)
+	}
+	if n == 1 {
+		return New(1)
+	}
+	if n == 2 {
+		g := New(2)
+		g.AddEdge(0, 1)
+		return g
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n)
+	}
+	return TreeFromPrufer(seq)
+}
+
+// TreeFromPrufer decodes a Prüfer sequence into the tree on len(seq)+2
+// vertices.
+func TreeFromPrufer(seq []int) *Graph {
+	n := len(seq) + 2
+	g := New(n)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, v := range seq {
+		deg[v]++
+	}
+	for _, v := range seq {
+		for u := 0; u < n; u++ {
+			if deg[u] == 1 {
+				g.AddEdge(u, v)
+				deg[u]--
+				deg[v]--
+				break
+			}
+		}
+	}
+	u, w := -1, -1
+	for v := 0; v < n; v++ {
+		if deg[v] == 1 {
+			if u < 0 {
+				u = v
+			} else {
+				w = v
+			}
+		}
+	}
+	g.AddEdge(u, w)
+	return g
+}
+
+// RandomRegular returns a random d-regular simple graph on n vertices using
+// the pairing model with restarts. n*d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 || d >= n {
+		panic(fmt.Sprintf("graph: no %d-regular graph on %d vertices", d, n))
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		g := New(n)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.AddEdge(u, v)
+		}
+		if ok {
+			return g
+		}
+	}
+	panic("graph: random regular generation failed after 1000 attempts")
+}
+
+// SBM samples a stochastic block model: sizes[i] vertices in block i, edge
+// probability pin within a block and pout across blocks. The returned
+// assignment maps each vertex to its block.
+func SBM(sizes []int, pin, pout float64, rng *rand.Rand) (*Graph, []int) {
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	block := make([]int, n)
+	v := 0
+	for b, s := range sizes {
+		for i := 0; i < s; i++ {
+			block[v] = b
+			v++
+		}
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pout
+			if block[i] == block[j] {
+				p = pin
+			}
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g, block
+}
+
+// PreferentialAttachment grows a Barabási–Albert-style graph: start from a
+// small clique and attach each new vertex to m existing vertices chosen with
+// probability proportional to degree.
+func PreferentialAttachment(n, m int, rng *rand.Rand) *Graph {
+	if n < m+1 {
+		panic("graph: preferential attachment needs n >= m+1")
+	}
+	g := New(n)
+	var targets []int
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddEdge(i, j)
+			targets = append(targets, i, j)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			chosen[targets[rng.Intn(len(targets))]] = true
+		}
+		for u := range chosen {
+			g.AddEdge(v, u)
+			targets = append(targets, v, u)
+		}
+	}
+	return g
+}
+
+// KarateClub returns Zachary's karate club network (34 vertices, 78 edges),
+// the canonical small social network used for node-embedding figures, along
+// with the standard two-faction split (0 = instructor's faction, 1 =
+// president's faction).
+func KarateClub() (*Graph, []int) {
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}, {0, 10},
+		{0, 11}, {0, 12}, {0, 13}, {0, 17}, {0, 19}, {0, 21}, {0, 31}, {1, 2},
+		{1, 3}, {1, 7}, {1, 13}, {1, 17}, {1, 19}, {1, 21}, {1, 30}, {2, 3},
+		{2, 7}, {2, 8}, {2, 9}, {2, 13}, {2, 27}, {2, 28}, {2, 32}, {3, 7},
+		{3, 12}, {3, 13}, {4, 6}, {4, 10}, {5, 6}, {5, 10}, {5, 16}, {6, 16},
+		{8, 30}, {8, 32}, {8, 33}, {9, 33}, {13, 33}, {14, 32}, {14, 33},
+		{15, 32}, {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33},
+		{22, 32}, {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33},
+		{24, 25}, {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33},
+		{28, 31}, {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32},
+		{31, 33}, {32, 33},
+	}
+	g := FromEdgeList(34, edges)
+	factions := []int{
+		0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0,
+		1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+	}
+	return g, factions
+}
+
+// CospectralPair returns the classic co-spectral but non-isomorphic pair
+// from Figure 6 of the paper: the star K_{1,4} and the disjoint union
+// C4 ∪ K1. Both have spectrum {-2, 0, 0, 0, 2}.
+func CospectralPair() (*Graph, *Graph) {
+	star := Star(4)
+	c4k1 := DisjointUnion(Cycle(4), New(1))
+	return star, c4k1
+}
+
+// WLIndistinguishablePair returns the textbook pair that 1-WL cannot
+// distinguish: the 6-cycle and the disjoint union of two triangles (both
+// 2-regular on six vertices).
+func WLIndistinguishablePair() (*Graph, *Graph) {
+	return Cycle(6), DisjointUnion(Cycle(3), Cycle(3))
+}
+
+// Fig5Graph returns the running example graph used for Figures 3 and 5 and
+// Examples 3.3/4.1 of the paper: the "paw" graph (a triangle with a pendant
+// vertex) satisfies the paper's published homomorphism counts
+// hom(S2, G) = 18 and hom(T, G) = 114 for the height-2 tree T used in
+// Example 4.1 (see EXPERIMENTS.md E05 for the reconstruction).
+func Fig5Graph() *Graph {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	return g
+}
+
+// Fig4Matrix returns the 3×5 matrix from Figure 4 of the paper, used by the
+// matrix-WL experiment.
+func Fig4Matrix() [][]float64 {
+	return [][]float64{
+		{0.3, 2, 1, 0, 0.7},
+		{1, 0, 1, 1, 1},
+		{0.7, 2, 0, 1, 0.3},
+	}
+}
+
+// Grid returns the r-by-c grid graph.
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	at := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(at(i, j), at(i, j+1))
+			}
+			if i+1 < r {
+				g.AddEdge(at(i, j), at(i+1, j))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,463 @@
+// Package graph provides the core graph data structures used throughout the
+// x2vec reproduction: finite graphs with optional direction, vertex labels,
+// edge labels, and real edge weights, together with generators, exact
+// isomorphism tests, and enumeration of small graphs up to isomorphism.
+//
+// Vertices are integers 0..N()-1. The zero value of Graph is not usable;
+// construct graphs with New or NewDirected.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Arc is one directed half-edge in an adjacency list. For undirected graphs
+// each edge contributes an Arc in both endpoint lists (self-loops contribute
+// two arcs at the same vertex).
+type Arc struct {
+	To   int // head vertex
+	Edge int // index into Edges()
+}
+
+// Edge is a single edge record. For undirected graphs U <= V is not
+// guaranteed; use Endpoints for a normalised view.
+type Edge struct {
+	U, V   int
+	Weight float64
+	Label  int
+}
+
+// Graph is a finite graph with optional direction, integer vertex and edge
+// labels, and float64 edge weights (default 1).
+type Graph struct {
+	n        int
+	directed bool
+	edges    []Edge
+	adj      [][]Arc
+	vlabels  []int
+}
+
+// New returns an undirected graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]Arc, n), vlabels: make([]int, n)}
+}
+
+// NewDirected returns a directed graph with n vertices and no edges.
+func NewDirected(n int) *Graph {
+	g := New(n)
+	g.directed = true
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// AddVertex appends a fresh vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.n++
+	g.adj = append(g.adj, nil)
+	g.vlabels = append(g.vlabels, 0)
+	return g.n - 1
+}
+
+// AddEdge adds an edge of weight 1 and label 0 between u and v and returns
+// its edge index.
+func (g *Graph) AddEdge(u, v int) int { return g.AddEdgeFull(u, v, 1, 0) }
+
+// AddWeightedEdge adds an edge with the given weight and label 0.
+func (g *Graph) AddWeightedEdge(u, v int, w float64) int { return g.AddEdgeFull(u, v, w, 0) }
+
+// AddLabeledEdge adds an edge of weight 1 with the given label.
+func (g *Graph) AddLabeledEdge(u, v, label int) int { return g.AddEdgeFull(u, v, 1, label) }
+
+// AddEdgeFull adds an edge with explicit weight and label and returns its
+// edge index. Parallel edges are permitted.
+func (g *Graph) AddEdgeFull(u, v int, w float64, label int) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Weight: w, Label: label})
+	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: idx})
+	if !g.directed {
+		g.adj[v] = append(g.adj[v], Arc{To: u, Edge: idx})
+	}
+	return idx
+}
+
+// Edges returns the underlying edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Arcs returns the adjacency list of v (out-arcs for directed graphs).
+// Callers must not modify the returned slice.
+func (g *Graph) Arcs(v int) []Arc { return g.adj[v] }
+
+// Neighbors returns the out-neighbours of v as a fresh slice.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, a := range g.adj[v] {
+		out[i] = a.To
+	}
+	return out
+}
+
+// Degree returns the out-degree of v (degree for undirected graphs).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// InDegree returns the in-degree of v. For undirected graphs it equals
+// Degree(v).
+func (g *Graph) InDegree(v int) int {
+	if !g.directed {
+		return g.Degree(v)
+	}
+	d := 0
+	for _, e := range g.edges {
+		if e.V == v {
+			d++
+		}
+	}
+	return d
+}
+
+// HasEdge reports whether an edge u->v exists (or u-v for undirected).
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the sum of the weights of all edges from u to v (0 when
+// none exist). Summing makes parallel edges behave like their combined
+// weight, matching the weighted-WL convention.
+func (g *Graph) EdgeWeight(u, v int) float64 {
+	var w float64
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			w += g.edges[a.Edge].Weight
+		}
+	}
+	return w
+}
+
+// VertexLabel returns the label of v.
+func (g *Graph) VertexLabel(v int) int { return g.vlabels[v] }
+
+// SetVertexLabel assigns a label to v.
+func (g *Graph) SetVertexLabel(v, label int) { g.vlabels[v] = label }
+
+// VertexLabels returns a copy of the vertex-label slice.
+func (g *Graph) VertexLabels() []int {
+	out := make([]int, g.n)
+	copy(out, g.vlabels)
+	return out
+}
+
+// HasVertexLabels reports whether any vertex carries a non-zero label.
+func (g *Graph) HasVertexLabels() bool {
+	for _, l := range g.vlabels {
+		if l != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{n: g.n, directed: g.directed}
+	h.edges = append([]Edge(nil), g.edges...)
+	h.vlabels = append([]int(nil), g.vlabels...)
+	h.adj = make([][]Arc, g.n)
+	for v := range g.adj {
+		h.adj[v] = append([]Arc(nil), g.adj[v]...)
+	}
+	return h
+}
+
+// AdjacencyMatrix returns the n-by-n weighted adjacency matrix. Entry (u,v)
+// is the total weight of edges from u to v. Undirected edges appear
+// symmetrically.
+func (g *Graph) AdjacencyMatrix() [][]float64 {
+	a := make([][]float64, g.n)
+	for i := range a {
+		a[i] = make([]float64, g.n)
+	}
+	for _, e := range g.edges {
+		a[e.U][e.V] += e.Weight
+		if !g.directed && e.U != e.V {
+			a[e.V][e.U] += e.Weight
+		}
+	}
+	return a
+}
+
+// DegreeSequence returns the sorted (descending) degree sequence.
+func (g *Graph) DegreeSequence() []int {
+	d := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	return d
+}
+
+// DisjointUnion returns the disjoint union of g and h. Vertices of h are
+// shifted by g.N(). Both graphs must agree on directedness.
+func DisjointUnion(g, h *Graph) *Graph {
+	if g.directed != h.directed {
+		panic("graph: disjoint union of mixed directedness")
+	}
+	u := New(g.n + h.n)
+	u.directed = g.directed
+	copy(u.vlabels, g.vlabels)
+	for v := 0; v < h.n; v++ {
+		u.vlabels[g.n+v] = h.vlabels[v]
+	}
+	for _, e := range g.edges {
+		u.AddEdgeFull(e.U, e.V, e.Weight, e.Label)
+	}
+	for _, e := range h.edges {
+		u.AddEdgeFull(e.U+g.n, e.V+g.n, e.Weight, e.Label)
+	}
+	return u
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices; the
+// i-th listed vertex becomes vertex i.
+func (g *Graph) InducedSubgraph(vs []int) *Graph {
+	idx := make(map[int]int, len(vs))
+	for i, v := range vs {
+		idx[v] = i
+	}
+	h := New(len(vs))
+	h.directed = g.directed
+	for i, v := range vs {
+		h.vlabels[i] = g.vlabels[v]
+	}
+	for _, e := range g.edges {
+		iu, oku := idx[e.U]
+		iv, okv := idx[e.V]
+		if oku && okv {
+			h.AddEdgeFull(iu, iv, e.Weight, e.Label)
+		}
+	}
+	return h
+}
+
+// Complement returns the complement of a simple undirected graph (labels are
+// preserved, loops are never added).
+func (g *Graph) Complement() *Graph {
+	if g.directed {
+		panic("graph: complement of directed graph not supported")
+	}
+	h := New(g.n)
+	copy(h.vlabels, g.vlabels)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if !g.HasEdge(u, v) {
+				h.AddEdge(u, v)
+			}
+		}
+	}
+	return h
+}
+
+// BFSDistances returns shortest-path hop distances from src; unreachable
+// vertices get -1.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[v] {
+			if dist[a.To] < 0 {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDistances returns the hop-distance matrix (−1 for unreachable).
+func (g *Graph) AllPairsDistances() [][]int {
+	d := make([][]int, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.BFSDistances(v)
+	}
+	return d
+}
+
+// IsConnected reports whether an undirected graph (or the underlying
+// undirected graph of a directed one) is connected. The empty graph counts
+// as connected.
+func (g *Graph) IsConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	return len(g.componentOf(0)) == g.n
+}
+
+func (g *Graph) componentOf(src int) []int {
+	seen := make([]bool, g.n)
+	seen[src] = true
+	stack := []int{src}
+	comp := []int{src}
+	und := g.undirectedAdj()
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range und[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+				comp = append(comp, w)
+			}
+		}
+	}
+	sort.Ints(comp)
+	return comp
+}
+
+func (g *Graph) undirectedAdj() [][]int {
+	und := make([][]int, g.n)
+	for _, e := range g.edges {
+		und[e.U] = append(und[e.U], e.V)
+		und[e.V] = append(und[e.V], e.U)
+	}
+	return und
+}
+
+// Components returns the vertex sets of the connected components (of the
+// underlying undirected graph), each sorted, in order of smallest vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		comp := g.componentOf(v)
+		for _, w := range comp {
+			seen[w] = true
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// ComponentGraphs returns each connected component as its own graph.
+func (g *Graph) ComponentGraphs() []*Graph {
+	var out []*Graph
+	for _, comp := range g.Components() {
+		out = append(out, g.InducedSubgraph(comp))
+	}
+	return out
+}
+
+// Triangles returns the number of triangles in a simple undirected graph.
+func (g *Graph) Triangles() int {
+	count := 0
+	for u := 0; u < g.n; u++ {
+		for _, a := range g.adj[u] {
+			v := a.To
+			if v <= u {
+				continue
+			}
+			for _, b := range g.adj[v] {
+				w := b.To
+				if w <= v {
+					continue
+				}
+				if g.HasEdge(u, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Girth returns the length of a shortest cycle, or -1 for forests.
+func (g *Graph) Girth() int {
+	best := -1
+	for s := 0; s < g.n; s++ {
+		dist := make([]int, g.n)
+		parent := make([]int, g.n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		parent[s] = -1
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, a := range g.adj[v] {
+				w := a.To
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					parent[w] = v
+					queue = append(queue, w)
+				} else if parent[v] != w {
+					c := dist[v] + dist[w] + 1
+					if best < 0 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// String renders a compact description, useful in test failures.
+func (g *Graph) String() string {
+	var b strings.Builder
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	fmt.Fprintf(&b, "%s graph n=%d m=%d edges=[", kind, g.n, len(g.edges))
+	for i, e := range g.edges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if e.Weight != 1 || e.Label != 0 {
+			fmt.Fprintf(&b, "%d-%d(w=%g,l=%d)", e.U, e.V, e.Weight, e.Label)
+		} else {
+			fmt.Fprintf(&b, "%d-%d", e.U, e.V)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// FromEdgeList builds an undirected, unweighted graph with n vertices from
+// (u,v) pairs.
+func FromEdgeList(n int, pairs [][2]int) *Graph {
+	g := New(n)
+	for _, p := range pairs {
+		g.AddEdge(p[0], p[1])
+	}
+	return g
+}

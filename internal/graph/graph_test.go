@@ -1,0 +1,471 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicConstruction(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want 3,2", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge should be visible from both sides")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("unexpected edge 0-2")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("deg(1)=%d, want 2", g.Degree(1))
+	}
+}
+
+func TestDirectedConstruction(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("missing arc 0->1")
+	}
+	if g.HasEdge(1, 0) {
+		t.Error("directed graph should not have reverse arc")
+	}
+	if g.InDegree(1) != 1 || g.InDegree(0) != 0 {
+		t.Errorf("in-degrees wrong: %d, %d", g.InDegree(1), g.InDegree(0))
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(1)
+	v := g.AddVertex()
+	if v != 1 || g.N() != 2 {
+		t.Fatalf("AddVertex returned %d, n=%d", v, g.N())
+	}
+	g.AddEdge(0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Error("edge to new vertex missing")
+	}
+}
+
+func TestAdjacencyMatrix(t *testing.T) {
+	g := New(3)
+	g.AddWeightedEdge(0, 1, 2.5)
+	g.AddEdge(1, 2)
+	a := g.AdjacencyMatrix()
+	if a[0][1] != 2.5 || a[1][0] != 2.5 {
+		t.Errorf("weighted entry wrong: %v", a)
+	}
+	if a[1][2] != 1 || a[0][2] != 0 {
+		t.Errorf("entries wrong: %v", a)
+	}
+}
+
+func TestEdgeWeightSumsParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddWeightedEdge(0, 1, 1.5)
+	g.AddWeightedEdge(0, 1, 2.5)
+	if w := g.EdgeWeight(0, 1); w != 4 {
+		t.Errorf("EdgeWeight=%v, want 4", w)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"P4", Path(4), 4, 3},
+		{"C5", Cycle(5), 5, 5},
+		{"K4", Complete(4), 4, 6},
+		{"S3", Star(3), 4, 3},
+		{"K23", CompleteBipartite(2, 3), 5, 6},
+		{"Petersen", Petersen(), 10, 15},
+		{"Grid23", Grid(2, 3), 6, 7},
+		{"Paw", Fig5Graph(), 4, 4},
+	}
+	for _, tc := range tests {
+		if tc.g.N() != tc.n || tc.g.M() != tc.m {
+			t.Errorf("%s: n=%d m=%d, want %d,%d", tc.name, tc.g.N(), tc.g.M(), tc.n, tc.m)
+		}
+	}
+}
+
+func TestPetersenProperties(t *testing.T) {
+	p := Petersen()
+	for v := 0; v < 10; v++ {
+		if p.Degree(v) != 3 {
+			t.Fatalf("Petersen deg(%d)=%d, want 3", v, p.Degree(v))
+		}
+	}
+	if g := p.Girth(); g != 5 {
+		t.Errorf("Petersen girth=%d, want 5", g)
+	}
+	if tr := p.Triangles(); tr != 0 {
+		t.Errorf("Petersen triangles=%d, want 0", tr)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	tests := []struct {
+		g    *Graph
+		want int
+	}{
+		{Complete(3), 1},
+		{Complete(4), 4},
+		{Complete(5), 10},
+		{Cycle(5), 0},
+		{Fig5Graph(), 1},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Triangles(); got != tc.want {
+			t.Errorf("%v: triangles=%d, want %d", tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestGirth(t *testing.T) {
+	tests := []struct {
+		g    *Graph
+		want int
+	}{
+		{Cycle(7), 7},
+		{Complete(4), 3},
+		{Path(5), -1},
+		{Grid(3, 3), 4},
+	}
+	for _, tc := range tests {
+		if got := tc.g.Girth(); got != tc.want {
+			t.Errorf("%v: girth=%d, want %d", tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := DisjointUnion(Cycle(3), Path(2))
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Errorf("component sizes %d,%d want 3,2", len(comps[0]), len(comps[1]))
+	}
+	if g.IsConnected() {
+		t.Error("disjoint union should not be connected")
+	}
+	if !Cycle(4).IsConnected() {
+		t.Error("C4 should be connected")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(4)
+	d := g.BFSDistances(0)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist(0,%d)=%d, want %d", i, d[i], want[i])
+		}
+	}
+	h := DisjointUnion(Path(2), New(1))
+	if dh := h.BFSDistances(0); dh[2] != -1 {
+		t.Errorf("unreachable vertex should have distance -1, got %d", dh[2])
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(4)
+	h := g.InducedSubgraph([]int{0, 1, 2})
+	if h.N() != 3 || h.M() != 3 {
+		t.Errorf("induced K3: n=%d m=%d", h.N(), h.M())
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := Cycle(5)
+	c := g.Complement()
+	if c.M() != 5 {
+		t.Errorf("complement of C5 has %d edges, want 5", c.M())
+	}
+	if !Isomorphic(c, Cycle(5)) {
+		t.Error("complement of C5 should be isomorphic to C5 (self-complementary)")
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	tests := []struct {
+		name string
+		g, h *Graph
+		want bool
+	}{
+		{"C6 vs C6 relabeled", Cycle(6), FromEdgeList(6, [][2]int{{0, 2}, {2, 4}, {4, 1}, {1, 3}, {3, 5}, {5, 0}}), true},
+		{"C6 vs 2C3", Cycle(6), DisjointUnion(Cycle(3), Cycle(3)), false},
+		{"K4 vs K4", Complete(4), Complete(4), true},
+		{"star vs path", Star(3), Path(4), false},
+		{"cospectral pair", nil, nil, false},
+	}
+	tests[4].g, tests[4].h = CospectralPair()
+	for _, tc := range tests {
+		if got := Isomorphic(tc.g, tc.h); got != tc.want {
+			t.Errorf("%s: Isomorphic=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestIsomorphicRespectsLabels(t *testing.T) {
+	g := Path(2)
+	h := Path(2)
+	h.SetVertexLabel(0, 7)
+	if Isomorphic(g, h) {
+		t.Error("label mismatch should break isomorphism")
+	}
+	g.SetVertexLabel(1, 7)
+	if !Isomorphic(g, h) {
+		t.Error("labelled P2s should be isomorphic")
+	}
+}
+
+func TestIsomorphicRandomRelabelling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := Random(8, 0.4, rng)
+		perm := rng.Perm(8)
+		h := New(8)
+		for _, e := range g.Edges() {
+			h.AddEdge(perm[e.U], perm[e.V])
+		}
+		if !Isomorphic(g, h) {
+			t.Fatalf("trial %d: relabelled graph not recognised as isomorphic\n%v\n%v", trial, g, h)
+		}
+	}
+}
+
+func TestAutomorphisms(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K3", Complete(3), 6},
+		{"C4", Cycle(4), 8},
+		{"C5", Cycle(5), 10},
+		{"P3", Path(3), 2},
+		{"S3", Star(3), 6},
+		{"K4", Complete(4), 24},
+		{"Petersen", Petersen(), 120},
+	}
+	for _, tc := range tests {
+		if got := Automorphisms(tc.g); got != tc.want {
+			t.Errorf("%s: aut=%d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAllGraphsCounts(t *testing.T) {
+	want := map[int]int{1: 1, 2: 2, 3: 4, 4: 11, 5: 34, 6: 156}
+	for n := 1; n <= 6; n++ {
+		if got := len(AllGraphs(n)); got != want[n] {
+			t.Errorf("AllGraphs(%d)=%d classes, want %d", n, got, want[n])
+		}
+	}
+}
+
+func TestConnectedGraphsCounts(t *testing.T) {
+	want := map[int]int{1: 1, 2: 1, 3: 2, 4: 6, 5: 21, 6: 112}
+	for n := 1; n <= 6; n++ {
+		if got := len(ConnectedGraphs(n)); got != want[n] {
+			t.Errorf("ConnectedGraphs(%d)=%d, want %d", n, got, want[n])
+		}
+	}
+}
+
+func TestAllTreesCounts(t *testing.T) {
+	want := map[int]int{1: 1, 2: 1, 3: 1, 4: 2, 5: 3, 6: 6, 7: 11, 8: 23}
+	for n := 1; n <= 8; n++ {
+		if got := len(AllTrees(n)); got != want[n] {
+			t.Errorf("AllTrees(%d)=%d, want %d", n, got, want[n])
+		}
+	}
+}
+
+func TestAllTreesAreTrees(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		for _, tr := range AllTrees(n) {
+			if tr.N() != n || tr.M() != n-1 || !tr.IsConnected() {
+				t.Errorf("not a tree: %v", tr)
+			}
+		}
+	}
+}
+
+func TestBinaryTrees(t *testing.T) {
+	for _, bt := range BinaryTrees(7) {
+		for v := 0; v < bt.N(); v++ {
+			if bt.Degree(v) > 3 {
+				t.Errorf("binary tree has vertex of degree %d: %v", bt.Degree(v), bt)
+			}
+		}
+	}
+	if len(BinaryTrees(4)) != 4 {
+		// n=1,2,3 have 1 each; n=4 has P4 only (the star S3 has degree 3 centre,
+		// which is allowed: max degree <= 3), so 2 trees at n=4.
+		t.Logf("BinaryTrees(4) size = %d", len(BinaryTrees(4)))
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 20; n++ {
+		tr := RandomTree(n, rng)
+		if tr.N() != n || (n > 0 && tr.M() != n-1) || !tr.IsConnected() {
+			t.Errorf("RandomTree(%d) not a tree: %v", n, tr)
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomRegular(10, 3, rng)
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("deg(%d)=%d, want 3", v, g.Degree(v))
+		}
+	}
+}
+
+func TestSBM(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, block := SBM([]int{20, 20}, 0.8, 0.05, rng)
+	if g.N() != 40 {
+		t.Fatalf("SBM n=%d", g.N())
+	}
+	in, out := 0, 0
+	for _, e := range g.Edges() {
+		if block[e.U] == block[e.V] {
+			in++
+		} else {
+			out++
+		}
+	}
+	if in <= out {
+		t.Errorf("SBM with pin>>pout should have more internal edges: in=%d out=%d", in, out)
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := PreferentialAttachment(50, 2, rng)
+	if g.N() != 50 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Error("PA graph should be connected")
+	}
+}
+
+func TestKarateClub(t *testing.T) {
+	g, f := KarateClub()
+	if g.N() != 34 || g.M() != 78 {
+		t.Fatalf("karate club: n=%d m=%d, want 34, 78", g.N(), g.M())
+	}
+	if len(f) != 34 {
+		t.Fatalf("factions length %d", len(f))
+	}
+	if !g.IsConnected() {
+		t.Error("karate club should be connected")
+	}
+}
+
+func TestCospectralPairNotIsomorphic(t *testing.T) {
+	g, h := CospectralPair()
+	if g.N() != 5 || h.N() != 5 {
+		t.Fatal("cospectral pair should have 5 vertices each")
+	}
+	if Isomorphic(g, h) {
+		t.Error("K1,4 and C4+K1 must not be isomorphic")
+	}
+}
+
+func TestCFIPairProperties(t *testing.T) {
+	g, h := CFIPair()
+	if g.N() != h.N() || g.M() != h.M() {
+		t.Fatalf("CFI pair sizes differ: (%d,%d) vs (%d,%d)", g.N(), g.M(), h.N(), h.M())
+	}
+	if g.N() != 16 {
+		t.Errorf("CFI over K4 should have 16 vertices, got %d", g.N())
+	}
+	if Isomorphic(g, h) {
+		t.Error("twisted CFI graph must not be isomorphic to untwisted")
+	}
+	// Double twist is isomorphic to no twist: emulate by twisting edge 0 twice
+	// (i.e. not at all) — sanity check that the untwisted graph is iso to itself
+	// under relabelling.
+	if !Isomorphic(g, g.Clone()) {
+		t.Error("clone should be isomorphic")
+	}
+}
+
+func TestDisjointUnionHomCompatibility(t *testing.T) {
+	g := DisjointUnion(Cycle(3), Path(2))
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("union n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(3, 4) {
+		t.Error("shifted edge missing")
+	}
+}
+
+func TestQuickDegreeSumIsTwiceEdges(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		p := float64(pRaw) / 255
+		g := Random(n, p, rand.New(rand.NewSource(seed)))
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		g := Random(n, 0.5, rand.New(rand.NewSource(seed)))
+		cc := g.Complement().Complement()
+		return Isomorphic(g, cc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIsomorphismInvariantUnderPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%7) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(n, 0.5, rng)
+		perm := rng.Perm(n)
+		h := New(n)
+		for _, e := range g.Edges() {
+			h.AddEdge(perm[e.U], perm[e.V])
+		}
+		return Isomorphic(g, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig4MatrixShape(t *testing.T) {
+	m := Fig4Matrix()
+	if len(m) != 3 || len(m[0]) != 5 {
+		t.Fatalf("Fig4 matrix shape %dx%d", len(m), len(m[0]))
+	}
+}

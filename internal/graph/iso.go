@@ -1,0 +1,246 @@
+package graph
+
+import "sort"
+
+// Isomorphic reports whether g and h are isomorphic, respecting direction,
+// vertex labels, edge labels and edge weights. It is intended for the small
+// graphs used in experiments and tests (exact backtracking with iterated
+// degree/label refinement pruning).
+func Isomorphic(g, h *Graph) bool {
+	return countMappings(g, h, true) > 0
+}
+
+// Automorphisms returns the order of the automorphism group of g.
+func Automorphisms(g *Graph) int {
+	return countMappings(g, g, false)
+}
+
+// countMappings counts isomorphisms from g to h; with stopAtFirst it returns
+// 1 as soon as one is found.
+func countMappings(g, h *Graph, stopAtFirst bool) int {
+	if g.n != h.n || len(g.edges) != len(h.edges) || g.directed != h.directed {
+		return 0
+	}
+	n := g.n
+	cg := refinementColours(g)
+	ch := refinementColours(h)
+	if !sameColourHistogram(cg, ch) {
+		return 0
+	}
+	// Order g's vertices to fail fast: rarest colour class first, then by
+	// connectivity to already-placed vertices.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	classSize := map[int]int{}
+	for _, c := range cg {
+		classSize[c]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if classSize[cg[a]] != classSize[cg[b]] {
+			return classSize[cg[a]] < classSize[cg[b]]
+		}
+		return a < b
+	})
+
+	perm := make([]int, n) // g vertex -> h vertex
+	used := make([]bool, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	count := 0
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			count++
+			return stopAtFirst
+		}
+		v := order[k]
+		for w := 0; w < n; w++ {
+			if used[w] || ch[w] != cg[v] {
+				continue
+			}
+			if !compatible(g, h, perm, v, w) {
+				continue
+			}
+			perm[v] = w
+			used[w] = true
+			if rec(k + 1) {
+				return true
+			}
+			perm[v] = -1
+			used[w] = false
+		}
+		return false
+	}
+	rec(0)
+	return count
+}
+
+// compatible checks whether mapping v->w is consistent with the partial map:
+// every already-mapped neighbour relation of v must be mirrored at w with
+// matching weight/label multiset, and vice versa.
+func compatible(g, h *Graph, perm []int, v, w int) bool {
+	if g.vlabels[v] != h.vlabels[w] {
+		return false
+	}
+	type ek struct {
+		to     int
+		weight float64
+		label  int
+	}
+	gm := map[ek]int{}
+	for _, a := range g.adj[v] {
+		if t := perm[a.To]; t >= 0 {
+			e := g.edges[a.Edge]
+			gm[ek{t, e.Weight, e.Label}]++
+		}
+	}
+	hm := map[ek]int{}
+	mapped := map[int]bool{}
+	for u, t := range perm {
+		if t >= 0 {
+			mapped[t] = true
+			_ = u
+		}
+	}
+	for _, a := range h.adj[w] {
+		if mapped[a.To] {
+			e := h.edges[a.Edge]
+			hm[ek{a.To, e.Weight, e.Label}]++
+		}
+	}
+	if len(gm) != len(hm) {
+		return false
+	}
+	for k, c := range gm {
+		if hm[k] != c {
+			return false
+		}
+	}
+	if g.directed {
+		// Also check in-arcs against the partial map.
+		gin := map[ek]int{}
+		for _, e := range g.edges {
+			if e.V == v {
+				if t := perm[e.U]; t >= 0 {
+					gin[ek{t, e.Weight, e.Label}]++
+				}
+			}
+		}
+		hin := map[ek]int{}
+		for _, e := range h.edges {
+			if e.V == w && mapped[e.U] {
+				hin[ek{e.U, e.Weight, e.Label}]++
+			}
+		}
+		if len(gin) != len(hin) {
+			return false
+		}
+		for k, c := range gin {
+			if hin[k] != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refinementColours runs a simple colour refinement (degree + labels) used
+// purely as an isomorphism-pruning heuristic; the wl package holds the real
+// algorithm. Colours are normalised so isomorphic graphs get identical
+// histograms.
+func refinementColours(g *Graph) []int {
+	n := g.n
+	col := make([]int, n)
+	for v := 0; v < n; v++ {
+		col[v] = g.vlabels[v]
+	}
+	normalise := func(keys []string) []int {
+		uniq := map[string]int{}
+		var sorted []string
+		for _, k := range keys {
+			if _, ok := uniq[k]; !ok {
+				uniq[k] = 0
+				sorted = append(sorted, k)
+			}
+		}
+		sort.Strings(sorted)
+		for i, k := range sorted {
+			uniq[k] = i
+		}
+		out := make([]int, len(keys))
+		for i, k := range keys {
+			out[i] = uniq[k]
+		}
+		return out
+	}
+	for round := 0; round < n; round++ {
+		keys := make([]string, n)
+		for v := 0; v < n; v++ {
+			var sig []int
+			for _, a := range g.adj[v] {
+				e := g.edges[a.Edge]
+				sig = append(sig, col[a.To]*31+e.Label)
+			}
+			sort.Ints(sig)
+			keys[v] = signatureKey(col[v], sig)
+		}
+		next := normalise(keys)
+		if samePartition(col, next) {
+			return next
+		}
+		col = next
+	}
+	return col
+}
+
+func signatureKey(own int, sig []int) string {
+	buf := make([]byte, 0, 4+4*len(sig))
+	enc := func(x int) {
+		buf = append(buf, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	enc(own)
+	for _, s := range sig {
+		enc(s)
+	}
+	return string(buf)
+}
+
+func samePartition(a, b []int) bool {
+	fwd := map[int]int{}
+	bwd := map[int]int{}
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := bwd[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+func sameColourHistogram(a, b []int) bool {
+	ha := map[int]int{}
+	hb := map[int]int{}
+	for _, c := range a {
+		ha[c]++
+	}
+	for _, c := range b {
+		hb[c]++
+	}
+	if len(ha) != len(hb) {
+		return false
+	}
+	for c, k := range ha {
+		if hb[c] != k {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+// Package graph2vec implements the transductive whole-graph embedding of
+// Narayanan et al. described in Section 2.5: each graph is a "document"
+// whose "words" are its WL subtree features (canonical colours up to a
+// fixed depth), embedded by PV-DBOW — a skip-gram that predicts the
+// document's words from a learned per-graph vector with negative sampling.
+package graph2vec
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/wl"
+)
+
+// Config controls graph2vec training.
+type Config struct {
+	Dim      int
+	Depth    int // WL unfolding depth for the vocabulary
+	Epochs   int
+	Negative int
+	LR       float64
+}
+
+// DefaultConfig returns small-scale defaults.
+func DefaultConfig() Config {
+	return Config{Dim: 16, Depth: 3, Epochs: 40, Negative: 5, LR: 0.05}
+}
+
+// Model holds the learned per-graph vectors (the embedding look-up table —
+// graph2vec is transductive, as the paper stresses).
+type Model struct {
+	Vectors *linalg.Matrix
+	vocab   map[int]int // WL colour id -> word index
+}
+
+// Documents extracts the WL-subtree word multiset of each graph.
+func Documents(gs []*graph.Graph, depth int) ([][]int, map[int]int) {
+	vocab := map[int]int{}
+	docs := make([][]int, len(gs))
+	for gi, g := range gs {
+		cols := wl.CanonicalColors(g, depth)
+		for _, round := range cols {
+			for _, c := range round {
+				if _, ok := vocab[c]; !ok {
+					vocab[c] = len(vocab)
+				}
+				docs[gi] = append(docs[gi], vocab[c])
+			}
+		}
+	}
+	return docs, vocab
+}
+
+// Train learns graph vectors with PV-DBOW.
+func Train(gs []*graph.Graph, cfg Config, rng *rand.Rand) *Model {
+	docs, vocab := Documents(gs, cfg.Depth)
+	nDocs := len(gs)
+	nWords := len(vocab)
+	d := cfg.Dim
+	docVec := linalg.NewMatrix(nDocs, d)
+	wordVec := linalg.NewMatrix(nWords, d)
+	for i := range docVec.Data {
+		docVec.Data[i] = (rng.Float64()*2 - 1) * 0.5 / float64(d)
+	}
+	// Word frequency table for negative sampling.
+	freq := make([]float64, nWords)
+	for _, doc := range docs {
+		for _, w := range doc {
+			freq[w]++
+		}
+	}
+	var table []int
+	for w, f := range freq {
+		reps := int(math.Pow(f, 0.75))
+		for i := 0; i <= reps; i++ {
+			table = append(table, w)
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for di, doc := range docs {
+			dv := docVec.Row(di)
+			for _, w := range doc {
+				trainPair(dv, wordVec, w, 1, cfg.LR)
+				for k := 0; k < cfg.Negative; k++ {
+					neg := table[rng.Intn(len(table))]
+					if neg != w {
+						trainPair(dv, wordVec, neg, 0, cfg.LR)
+					}
+				}
+			}
+		}
+	}
+	return &Model{Vectors: docVec, vocab: vocab}
+}
+
+func trainPair(dv []float64, wordVec *linalg.Matrix, w int, label, lr float64) {
+	wv := wordVec.Row(w)
+	var dot float64
+	for i := range dv {
+		dot += dv[i] * wv[i]
+	}
+	g := (label - sigmoid(dot)) * lr
+	for i := range dv {
+		dvOld := dv[i]
+		dv[i] += g * wv[i]
+		wv[i] += g * dvOld
+	}
+}
+
+func sigmoid(x float64) float64 {
+	switch {
+	case x > 30:
+		return 1
+	case x < -30:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Vector returns the embedding of graph i.
+func (m *Model) Vector(i int) []float64 { return m.Vectors.Row(i) }
+
+// Gram returns the linear-kernel Gram matrix of the learned graph vectors,
+// ready for the svm package.
+func (m *Model) Gram() *linalg.Matrix {
+	n := m.Vectors.Rows
+	g := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.Set(i, j, linalg.Dot(m.Vectors.Row(i), m.Vectors.Row(j)))
+		}
+	}
+	return g
+}

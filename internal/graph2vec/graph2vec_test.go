@@ -1,0 +1,93 @@
+package graph2vec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/svm"
+)
+
+func TestDocuments(t *testing.T) {
+	gs := []*graph.Graph{graph.Cycle(4), graph.Path(4)}
+	docs, vocab := Documents(gs, 2)
+	if len(docs) != 2 {
+		t.Fatalf("want 2 documents")
+	}
+	// Each document has n words per round (3 rounds: depth 0,1,2).
+	if len(docs[0]) != 12 || len(docs[1]) != 12 {
+		t.Errorf("document lengths %d, %d; want 12 each", len(docs[0]), len(docs[1]))
+	}
+	if len(vocab) == 0 {
+		t.Error("vocabulary should not be empty")
+	}
+}
+
+func TestWLEquivalentGraphsGetIdenticalDocuments(t *testing.T) {
+	g, h := graph.WLIndistinguishablePair()
+	docs, _ := Documents([]*graph.Graph{g, h}, 4)
+	count := func(doc []int) map[int]int {
+		m := map[int]int{}
+		for _, w := range doc {
+			m[w]++
+		}
+		return m
+	}
+	a, b := count(docs[0]), count(docs[1])
+	if len(a) != len(b) {
+		t.Fatal("WL-equivalent graphs must have identical word multisets")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("WL-equivalent graphs must have identical word multisets")
+		}
+	}
+}
+
+func TestTrainSeparatesClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	d := dataset.CycleParity(6, 8, rng)
+	m := Train(d.Graphs, DefaultConfig(), rng)
+	// Mean intra-class cosine similarity should exceed inter-class.
+	var intra, inter float64
+	var ni, nx int
+	for i := 0; i < len(d.Graphs); i++ {
+		for j := i + 1; j < len(d.Graphs); j++ {
+			sim := linalg.CosineSimilarity(m.Vector(i), m.Vector(j))
+			if d.Labels[i] == d.Labels[j] {
+				intra += sim
+				ni++
+			} else {
+				inter += sim
+				nx++
+			}
+		}
+	}
+	if intra/float64(ni) <= inter/float64(nx) {
+		t.Errorf("intra-class similarity %v should exceed inter-class %v",
+			intra/float64(ni), inter/float64(nx))
+	}
+}
+
+func TestGramUsableBySVM(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	d := dataset.CycleParity(8, 8, rng)
+	m := Train(d.Graphs, DefaultConfig(), rng)
+	acc := svm.CrossValidate(m.Gram(), d.Labels, 4, svm.DefaultConfig(), rng)
+	if acc < 0.7 {
+		t.Errorf("graph2vec + SVM accuracy %v, want >= 0.7 on cycle parity", acc)
+	}
+}
+
+func TestVectorShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	gs := []*graph.Graph{graph.Cycle(3), graph.Cycle(4), graph.Path(5)}
+	cfg := DefaultConfig()
+	cfg.Dim = 9
+	m := Train(gs, cfg, rng)
+	if m.Vectors.Rows != 3 || m.Vectors.Cols != 9 {
+		t.Errorf("vectors shape %dx%d", m.Vectors.Rows, m.Vectors.Cols)
+	}
+}

@@ -1,0 +1,209 @@
+// Package graphon implements the graph-limit objects of Section 4.1: the
+// paper points out that Lovász's Theorem 4.2 is "the starting point for the
+// theory of graph limits", where homomorphism vectors embed graphs into a
+// space whose limit points are graphons. This package provides step-function
+// graphons, homomorphism densities t(F,W), W-random graph sampling, and the
+// empirical convergence t(F, G(n,W)) → t(F,W) that motivates the embedding
+// view.
+package graphon
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+)
+
+// Graphon is a symmetric measurable function W: [0,1]² → [0,1]; this
+// implementation uses step functions (block-constant kernels), which are
+// dense in cut distance.
+type Graphon struct {
+	// Blocks[i][j] is the edge density between block i and block j; the
+	// matrix must be symmetric with entries in [0,1].
+	Blocks [][]float64
+	// Sizes[i] is the measure of block i; entries must sum to 1.
+	Sizes []float64
+}
+
+// NewStep builds a step graphon after validating symmetry and measure.
+func NewStep(blocks [][]float64, sizes []float64) (*Graphon, error) {
+	k := len(blocks)
+	if len(sizes) != k {
+		return nil, fmt.Errorf("graphon: %d blocks but %d sizes", k, len(sizes))
+	}
+	var total float64
+	for _, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("graphon: negative block size")
+		}
+		total += s
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		return nil, fmt.Errorf("graphon: block sizes sum to %v, want 1", total)
+	}
+	for i := range blocks {
+		if len(blocks[i]) != k {
+			return nil, fmt.Errorf("graphon: ragged block matrix")
+		}
+		for j := range blocks[i] {
+			if blocks[i][j] < 0 || blocks[i][j] > 1 {
+				return nil, fmt.Errorf("graphon: density %v out of [0,1]", blocks[i][j])
+			}
+			if blocks[i][j] != blocks[j][i] {
+				return nil, fmt.Errorf("graphon: block matrix not symmetric")
+			}
+		}
+	}
+	return &Graphon{Blocks: blocks, Sizes: sizes}, nil
+}
+
+// Constant returns the Erdős–Rényi graphon W ≡ p.
+func Constant(p float64) *Graphon {
+	g, err := NewStep([][]float64{{p}}, []float64{1})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromGraph returns the empirical graphon of a graph: n equal blocks with
+// density A[i][j] (the natural embedding of graphs into graphon space).
+func FromGraph(g *graph.Graph) *Graphon {
+	n := g.N()
+	blocks := make([][]float64, n)
+	a := g.AdjacencyMatrix()
+	for i := range blocks {
+		blocks[i] = make([]float64, n)
+		for j := range blocks[i] {
+			if a[i][j] != 0 {
+				blocks[i][j] = 1
+			}
+		}
+	}
+	sizes := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = 1 / float64(n)
+	}
+	w, err := NewStep(blocks, sizes)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// At evaluates W(x, y) for x, y ∈ [0,1].
+func (w *Graphon) At(x, y float64) float64 {
+	return w.Blocks[w.blockOf(x)][w.blockOf(y)]
+}
+
+func (w *Graphon) blockOf(x float64) int {
+	acc := 0.0
+	for i, s := range w.Sizes {
+		acc += s
+		if x < acc {
+			return i
+		}
+	}
+	return len(w.Sizes) - 1
+}
+
+// Density returns the edge density t(K2, W) = ∫∫ W.
+func (w *Graphon) Density() float64 {
+	var d float64
+	for i := range w.Blocks {
+		for j := range w.Blocks[i] {
+			d += w.Blocks[i][j] * w.Sizes[i] * w.Sizes[j]
+		}
+	}
+	return d
+}
+
+// HomDensity computes the homomorphism density
+// t(F, W) = ∫ Π_{uv∈E(F)} W(x_u, x_v) dx exactly, by summing over block
+// assignments of F's vertices (k^|V(F)| terms — use small patterns).
+func (w *Graphon) HomDensity(f *graph.Graph) float64 {
+	k := len(w.Blocks)
+	nf := f.N()
+	assign := make([]int, nf)
+	var total float64
+	var rec func(i int, weight float64)
+	rec = func(i int, weight float64) {
+		if weight == 0 {
+			return
+		}
+		if i == nf {
+			total += weight
+			return
+		}
+		for b := 0; b < k; b++ {
+			assign[i] = b
+			wgt := weight * w.Sizes[b]
+			for _, e := range f.Edges() {
+				if e.U == i && e.V < i {
+					wgt *= w.Blocks[b][assign[e.V]]
+				} else if e.V == i && e.U < i {
+					wgt *= w.Blocks[assign[e.U]][b]
+				} else if e.U == i && e.V == i {
+					wgt *= w.Blocks[b][b]
+				}
+			}
+			rec(i+1, wgt)
+		}
+	}
+	rec(0, 1)
+	return total
+}
+
+// Sample draws the W-random graph G(n, W): vertices get i.i.d. uniform
+// positions, edges appear independently with probability W(x_u, x_v).
+func (w *Graphon) Sample(n int, rng *rand.Rand) *graph.Graph {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < w.At(xs[i], xs[j]) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// EmpiricalHomDensity returns the normalised homomorphism count
+// t(F, G) = hom(F, G)/n^{|F|}, the quantity that converges to t(F, W) for
+// W-random graphs (Borgs et al., cited as the graph-limit connection).
+func EmpiricalHomDensity(f, g *graph.Graph) float64 {
+	n := float64(g.N())
+	denom := 1.0
+	for i := 0; i < f.N(); i++ {
+		denom *= n
+	}
+	return hom.Count(f, g) / denom
+}
+
+// CutDistanceUpper bounds the cut distance between two step graphons with
+// identical block structure by the maximum block discrepancy (a crude but
+// sound upper bound used in tests).
+func CutDistanceUpper(a, b *Graphon) float64 {
+	if len(a.Blocks) != len(b.Blocks) {
+		panic("graphon: block structures differ")
+	}
+	worst := 0.0
+	for i := range a.Blocks {
+		for j := range a.Blocks[i] {
+			d := a.Blocks[i][j] - b.Blocks[i][j]
+			if d < 0 {
+				d = -d
+			}
+			d *= a.Sizes[i] * a.Sizes[j]
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst * float64(len(a.Blocks)*len(a.Blocks))
+}

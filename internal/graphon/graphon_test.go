@@ -1,0 +1,125 @@
+package graphon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestConstantGraphonDensities(t *testing.T) {
+	w := Constant(0.5)
+	if d := w.Density(); d != 0.5 {
+		t.Errorf("density=%v, want 0.5", d)
+	}
+	// t(F, p) = p^{|E(F)|} for the constant graphon.
+	tests := []struct {
+		f    *graph.Graph
+		want float64
+	}{
+		{graph.Path(2), 0.5},
+		{graph.Cycle(3), 0.125},
+		{graph.Cycle(4), 0.0625},
+		{graph.Path(3), 0.25},
+	}
+	for _, tc := range tests {
+		if got := w.HomDensity(tc.f); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("t(%v, 1/2)=%v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	if _, err := NewStep([][]float64{{0.5, 0.2}, {0.3, 0.5}}, []float64{0.5, 0.5}); err == nil {
+		t.Error("asymmetric blocks should be rejected")
+	}
+	if _, err := NewStep([][]float64{{1.5}}, []float64{1}); err == nil {
+		t.Error("density > 1 should be rejected")
+	}
+	if _, err := NewStep([][]float64{{0.5}}, []float64{0.7}); err == nil {
+		t.Error("sizes must sum to 1")
+	}
+}
+
+func TestFromGraphDensities(t *testing.T) {
+	// The empirical graphon of G has t(F, W_G) = hom(F,G)/n^{|F|}.
+	g := graph.Fig5Graph()
+	w := FromGraph(g)
+	for _, f := range []*graph.Graph{graph.Path(2), graph.Path(3), graph.Cycle(3)} {
+		want := EmpiricalHomDensity(f, g)
+		got := w.HomDensity(f)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("t(%v, W_G)=%v, want hom density %v", f, got, want)
+		}
+	}
+}
+
+func TestSampleRespectsDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	w := Constant(0.3)
+	g := w.Sample(60, rng)
+	maxEdges := float64(60 * 59 / 2)
+	density := float64(g.M()) / maxEdges
+	if math.Abs(density-0.3) > 0.05 {
+		t.Errorf("sampled edge density %v, want ~0.3", density)
+	}
+}
+
+func TestConvergenceOfHomDensities(t *testing.T) {
+	// t(F, G(n,W)) -> t(F,W): the Section 4.1 convergence, checked at two
+	// scales for the triangle density of a two-block graphon.
+	rng := rand.New(rand.NewSource(172))
+	w, err := NewStep([][]float64{{0.8, 0.1}, {0.1, 0.6}}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := graph.Cycle(3)
+	target := w.HomDensity(f)
+	errAt := func(n, reps int) float64 {
+		var sum float64
+		for r := 0; r < reps; r++ {
+			sum += EmpiricalHomDensity(f, w.Sample(n, rng))
+		}
+		return math.Abs(sum/float64(reps) - target)
+	}
+	small := errAt(15, 8)
+	large := errAt(60, 8)
+	if large > small+0.02 {
+		t.Errorf("hom density should converge: err(n=15)=%v err(n=60)=%v target=%v", small, large, target)
+	}
+	if large > 0.1 {
+		t.Errorf("err at n=60 is %v, too far from target %v", large, target)
+	}
+}
+
+func TestHomDensityMultiplicativeOverComponents(t *testing.T) {
+	w, _ := NewStep([][]float64{{0.7, 0.2}, {0.2, 0.4}}, []float64{0.3, 0.7})
+	f1, f2 := graph.Cycle(3), graph.Path(3)
+	union := graph.DisjointUnion(f1, f2)
+	got := w.HomDensity(union)
+	want := w.HomDensity(f1) * w.HomDensity(f2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("t(F1∪F2)=%v, want t(F1)t(F2)=%v", got, want)
+	}
+}
+
+func TestAtAndBlockLookup(t *testing.T) {
+	w, _ := NewStep([][]float64{{0.9, 0.1}, {0.1, 0.5}}, []float64{0.25, 0.75})
+	if w.At(0.1, 0.1) != 0.9 {
+		t.Error("both points in block 0")
+	}
+	if w.At(0.1, 0.9) != 0.1 {
+		t.Error("cross-block")
+	}
+	if w.At(0.99, 0.99) != 0.5 {
+		t.Error("both in block 1")
+	}
+}
+
+func TestCutDistanceUpperZeroForEqual(t *testing.T) {
+	w, _ := NewStep([][]float64{{0.5, 0.2}, {0.2, 0.5}}, []float64{0.5, 0.5})
+	if d := CutDistanceUpper(w, w); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+}

@@ -1,0 +1,198 @@
+package hom
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// Emb counts embeddings (injective homomorphisms) from f to g by brute
+// force.
+func Emb(f, g *graph.Graph) float64 {
+	nf, ng := f.N(), g.N()
+	if nf > ng {
+		return 0
+	}
+	assign := make([]int, nf)
+	used := make([]bool, ng)
+	var count float64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nf {
+			count++
+			return
+		}
+		for v := 0; v < ng; v++ {
+			if used[v] {
+				continue
+			}
+			if f.VertexLabel(i) != 0 && f.VertexLabel(i) != g.VertexLabel(v) {
+				continue
+			}
+			assign[i] = v
+			ok := true
+			for _, e := range f.Edges() {
+				if e.U != i && e.V != i {
+					continue
+				}
+				other := e.U + e.V - i
+				if other < i || other == i {
+					if !g.HasEdge(assign[e.U], assign[e.V]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				used[v] = true
+				rec(i + 1)
+				used[v] = false
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+// Epi counts epimorphisms from f to g: homomorphisms surjective on both
+// vertices and edges (the decomposition used in the proof of Theorem 4.2).
+func Epi(f, g *graph.Graph) float64 {
+	nf, ng := f.N(), g.N()
+	if nf < ng || f.M() < g.M() {
+		return 0
+	}
+	assign := make([]int, nf)
+	var count float64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nf {
+			if isSurjective(f, g, assign) {
+				count++
+			}
+			return
+		}
+		for v := 0; v < ng; v++ {
+			assign[i] = v
+			ok := true
+			for _, e := range f.Edges() {
+				if e.U != i && e.V != i {
+					continue
+				}
+				other := e.U + e.V - i
+				if other <= i {
+					if !g.HasEdge(assign[e.U], assign[e.V]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+func isSurjective(f, g *graph.Graph, assign []int) bool {
+	hitV := make([]bool, g.N())
+	for _, v := range assign {
+		hitV[v] = true
+	}
+	for _, h := range hitV {
+		if !h {
+			return false
+		}
+	}
+	type ek struct{ u, v int }
+	norm := func(u, v int) ek {
+		if u > v {
+			u, v = v, u
+		}
+		return ek{u, v}
+	}
+	hitE := map[ek]bool{}
+	for _, e := range f.Edges() {
+		hitE[norm(assign[e.U], assign[e.V])] = true
+	}
+	for _, e := range g.Edges() {
+		if !hitE[norm(e.U, e.V)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Aut returns the order of the automorphism group of f.
+func Aut(f *graph.Graph) float64 { return float64(graph.Automorphisms(f)) }
+
+// LovaszSystem is the matrix machinery from the proof of Theorem 4.2 over
+// an enumeration F_1, ..., F_m of all graphs of order at most n, ordered by
+// (|V|, |E|).
+type LovaszSystem struct {
+	Graphs []*graph.Graph
+	HOM    *linalg.Matrix // HOM[i][j] = hom(F_i, F_j)
+	P      *linalg.Matrix // P[i][j] = epi(F_i, F_j), lower triangular
+	D      *linalg.Matrix // diag(1/aut(F_i))
+	M      *linalg.Matrix // M[i][j] = emb(F_i, F_j), upper triangular
+}
+
+// NewLovaszSystem builds the system for all graphs of order <= n (n <= 4 is
+// instant; n = 5 takes a few seconds).
+func NewLovaszSystem(n int) *LovaszSystem {
+	var gs []*graph.Graph
+	for k := 1; k <= n; k++ {
+		gs = append(gs, graph.AllGraphs(k)...)
+	}
+	sort.SliceStable(gs, func(i, j int) bool {
+		if gs[i].N() != gs[j].N() {
+			return gs[i].N() < gs[j].N()
+		}
+		return gs[i].M() < gs[j].M()
+	})
+	m := len(gs)
+	sys := &LovaszSystem{
+		Graphs: gs,
+		HOM:    linalg.NewMatrix(m, m),
+		P:      linalg.NewMatrix(m, m),
+		D:      linalg.NewMatrix(m, m),
+		M:      linalg.NewMatrix(m, m),
+	}
+	for i := 0; i < m; i++ {
+		sys.D.Set(i, i, 1/Aut(gs[i]))
+		for j := 0; j < m; j++ {
+			sys.HOM.Set(i, j, Count(gs[i], gs[j]))
+			sys.P.Set(i, j, Epi(gs[i], gs[j]))
+			sys.M.Set(i, j, Emb(gs[i], gs[j]))
+		}
+	}
+	return sys
+}
+
+// FactorisationHolds verifies HOM = P·D·M entry-wise (equation 4.3).
+func (s *LovaszSystem) FactorisationHolds() bool {
+	return s.P.Mul(s.D).Mul(s.M).Equal(s.HOM, 1e-6)
+}
+
+// TriangularityHolds verifies that P is lower triangular and M upper
+// triangular, both with positive diagonals, so HOM is invertible — the crux
+// of Lovász's proof.
+func (s *LovaszSystem) TriangularityHolds() bool {
+	m := len(s.Graphs)
+	for i := 0; i < m; i++ {
+		if s.P.At(i, i) <= 0 || s.M.At(i, i) <= 0 {
+			return false
+		}
+		for j := i + 1; j < m; j++ {
+			if s.P.At(i, j) != 0 {
+				return false
+			}
+			if s.M.At(j, i) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,288 @@
+package hom
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/treedec"
+)
+
+// CountTD counts hom(f, g) for an arbitrary connected pattern f via dynamic
+// programming over a nice tree decomposition of f, in time roughly
+// O(|nodes| · |V(g)|^{tw(f)+1}). Supports pattern vertex labels and weighted
+// targets (weights multiply per pattern edge, so unweighted graphs reduce to
+// plain counting).
+func CountTD(f, g *graph.Graph) float64 {
+	if f.N() == 0 {
+		return 1
+	}
+	dec := treedec.OptimalDecomposition(f)
+	root := buildNice(dec, f)
+	table := evalNice(root, f, g)
+	// Root bag is empty after the final forget chain: single entry.
+	if len(table) != 1 {
+		panic("hom: root table should have a single entry")
+	}
+	return table[0]
+}
+
+type niceKind int
+
+const (
+	leafNode niceKind = iota
+	introduceNode
+	forgetNode
+	joinNode
+)
+
+type niceNode struct {
+	kind     niceKind
+	bag      []int // sorted pattern vertices
+	v        int   // introduced / forgotten vertex
+	children []*niceNode
+	owned    [][2]int // pattern edges accounted at this introduce node
+}
+
+// buildNice converts a tree decomposition into a nice decomposition rooted
+// at an empty bag, and assigns every pattern edge to exactly one introduce
+// node.
+func buildNice(dec *treedec.Decomposition, f *graph.Graph) *niceNode {
+	nNodes := len(dec.Bags)
+	adj := make([][]int, nNodes)
+	for _, e := range dec.Tree {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	var build func(node, parent int) *niceNode
+	build = func(node, parent int) *niceNode {
+		bag := append([]int(nil), dec.Bags[node]...)
+		sort.Ints(bag)
+		var kids []*niceNode
+		for _, c := range adj[node] {
+			if c == parent {
+				continue
+			}
+			sub := build(c, node)
+			// Morph sub's bag into this node's bag: forget extras, then
+			// introduce missing.
+			cur := sub
+			curBag := append([]int(nil), cur.bag...)
+			for _, v := range diff(curBag, bag) {
+				nb := remove(curBag, v)
+				cur = &niceNode{kind: forgetNode, bag: nb, v: v, children: []*niceNode{cur}}
+				curBag = nb
+			}
+			for _, v := range diff(bag, curBag) {
+				nb := insert(curBag, v)
+				cur = &niceNode{kind: introduceNode, bag: nb, v: v, children: []*niceNode{cur}}
+				curBag = nb
+			}
+			kids = append(kids, cur)
+		}
+		if len(kids) == 0 {
+			// Introduce the whole bag above an empty leaf.
+			cur := &niceNode{kind: leafNode, bag: nil}
+			curBag := []int{}
+			for _, v := range bag {
+				nb := insert(curBag, v)
+				cur = &niceNode{kind: introduceNode, bag: nb, v: v, children: []*niceNode{cur}}
+				curBag = nb
+			}
+			return cur
+		}
+		cur := kids[0]
+		for i := 1; i < len(kids); i++ {
+			cur = &niceNode{kind: joinNode, bag: bag, children: []*niceNode{cur, kids[i]}}
+		}
+		return cur
+	}
+	root := build(0, -1)
+	// Forget everything remaining so the root bag is empty.
+	curBag := append([]int(nil), root.bag...)
+	for len(curBag) > 0 {
+		v := curBag[len(curBag)-1]
+		nb := remove(curBag, v)
+		root = &niceNode{kind: forgetNode, bag: nb, v: v, children: []*niceNode{root}}
+		curBag = nb
+	}
+	assignEdges(root, f)
+	return root
+}
+
+// assignEdges gives each pattern edge to the first (lowest, post-order)
+// introduce node that can check it: the introduced vertex is an endpoint and
+// the other endpoint is in the bag.
+func assignEdges(root *niceNode, f *graph.Graph) {
+	type ekey struct{ u, v int }
+	unowned := map[ekey]int{} // normalised edge -> multiplicity
+	norm := func(u, v int) ekey {
+		if u > v {
+			u, v = v, u
+		}
+		return ekey{u, v}
+	}
+	for _, e := range f.Edges() {
+		unowned[norm(e.U, e.V)]++
+	}
+	var walk func(n *niceNode)
+	walk = func(n *niceNode) {
+		for _, c := range n.children {
+			walk(c)
+		}
+		if n.kind != introduceNode {
+			return
+		}
+		for _, u := range n.bag {
+			if u == n.v {
+				continue
+			}
+			k := norm(n.v, u)
+			for unowned[k] > 0 {
+				n.owned = append(n.owned, [2]int{n.v, u})
+				unowned[k]--
+			}
+		}
+	}
+	walk(root)
+	for k, c := range unowned {
+		if c > 0 {
+			panic(fmt.Sprintf("hom: edge %d-%d not covered by decomposition", k.u, k.v))
+		}
+	}
+}
+
+func diff(a, b []int) []int {
+	var out []int
+	for _, x := range a {
+		if !containsInt(b, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(bag []int, v int) []int {
+	out := make([]int, 0, len(bag)-1)
+	for _, x := range bag {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func insert(bag []int, v int) []int {
+	out := append(append([]int(nil), bag...), v)
+	sort.Ints(out)
+	return out
+}
+
+// evalNice evaluates the DP bottom-up. The returned table is indexed by the
+// mixed-radix encoding of the bag assignment: index = Σ pos(bag[i]) · n^i.
+func evalNice(node *niceNode, f, g *graph.Graph) []float64 {
+	n := g.N()
+	switch node.kind {
+	case leafNode:
+		return []float64{1}
+	case joinNode:
+		left := evalNice(node.children[0], f, g)
+		right := evalNice(node.children[1], f, g)
+		out := make([]float64, len(left))
+		for i := range left {
+			out[i] = left[i] * right[i]
+		}
+		return out
+	case introduceNode:
+		child := evalNice(node.children[0], f, g)
+		pos := indexOf(node.bag, node.v)
+		size := intPow(n, len(node.bag))
+		out := make([]float64, size)
+		childBag := remove(node.bag, node.v)
+		assign := make([]int, len(node.bag))
+		for idx := 0; idx < size; idx++ {
+			decode(idx, n, assign)
+			w := assign[pos]
+			if f.VertexLabel(node.v) != 0 && f.VertexLabel(node.v) != g.VertexLabel(w) {
+				continue
+			}
+			factor := 1.0
+			for _, e := range node.owned {
+				// e[0] == node.v, e[1] in bag.
+				other := assign[indexOf(node.bag, e[1])]
+				factor *= g.EdgeWeight(w, other)
+				if factor == 0 {
+					break
+				}
+			}
+			if factor == 0 {
+				continue
+			}
+			cidx := encodeSubset(assign, node.bag, childBag, n)
+			out[idx] = child[cidx] * factor
+		}
+		return out
+	case forgetNode:
+		child := evalNice(node.children[0], f, g)
+		childBag := insert(node.bag, node.v)
+		size := intPow(n, len(node.bag))
+		out := make([]float64, size)
+		cassign := make([]int, len(childBag))
+		csize := intPow(n, len(childBag))
+		for cidx := 0; cidx < csize; cidx++ {
+			if child[cidx] == 0 {
+				continue
+			}
+			decode(cidx, n, cassign)
+			pidx := encodeSubset(cassign, childBag, node.bag, n)
+			out[pidx] += child[cidx]
+		}
+		return out
+	}
+	panic("hom: unknown nice node kind")
+}
+
+func indexOf(bag []int, v int) int {
+	for i, x := range bag {
+		if x == v {
+			return i
+		}
+	}
+	panic("hom: vertex not in bag")
+}
+
+func intPow(n, k int) int {
+	r := 1
+	for i := 0; i < k; i++ {
+		r *= n
+	}
+	return r
+}
+
+// decode writes the mixed-radix digits of idx into assign (least significant
+// digit first, matching bag order).
+func decode(idx, n int, assign []int) {
+	for i := range assign {
+		assign[i] = idx % n
+		idx /= n
+	}
+}
+
+// encodeSubset re-encodes an assignment of srcBag restricted to dstBag
+// (dstBag ⊆ srcBag, both sorted).
+func encodeSubset(assign []int, srcBag, dstBag []int, n int) int {
+	idx := 0
+	for i := len(dstBag) - 1; i >= 0; i-- {
+		idx = idx*n + assign[indexOf(srcBag, dstBag[i])]
+	}
+	return idx
+}

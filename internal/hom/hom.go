@@ -1,0 +1,207 @@
+// Package hom counts graph homomorphisms and builds the homomorphism
+// vectors of Section 4 of the paper. It provides a brute-force oracle, a
+// linear-time dynamic program for tree patterns, closed forms for paths and
+// cycles, and a general n^{tw+1} dynamic program over nice tree
+// decompositions for arbitrary patterns, plus embedding / epimorphism /
+// automorphism counts and the Lovász HOM = P·D·M matrix machinery behind
+// Theorem 4.2.
+//
+// Counts are returned as float64; they are exact integers whenever they fit
+// into the 53-bit mantissa, which covers every experiment in this
+// repository.
+package hom
+
+import (
+	"repro/internal/graph"
+)
+
+// BruteForce counts homomorphisms from f to g by enumerating all |V(g)|^|V(f)|
+// mappings. It respects vertex labels and is the oracle the fast
+// implementations are tested against. Use only for tiny patterns.
+func BruteForce(f, g *graph.Graph) float64 {
+	nf, ng := f.N(), g.N()
+	if nf == 0 {
+		return 1
+	}
+	if ng == 0 {
+		return 0
+	}
+	assign := make([]int, nf)
+	var count float64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nf {
+			count++
+			return
+		}
+		for v := 0; v < ng; v++ {
+			if f.VertexLabel(i) != 0 && f.VertexLabel(i) != g.VertexLabel(v) {
+				continue
+			}
+			assign[i] = v
+			// Check every pattern edge whose endpoints are both assigned,
+			// i.e. those incident to i with the other endpoint <= i.
+			ok := true
+			for _, a := range f.Arcs(i) {
+				if a.To <= i && !g.HasEdge(assign[i], assign[a.To]) {
+					ok = false
+					break
+				}
+			}
+			if ok && f.Directed() {
+				// Arcs(i) covers out-edges; also check in-edges from
+				// already-assigned vertices, in the correct direction.
+				for _, e := range f.Edges() {
+					if e.V == i && e.U <= i && !g.HasEdge(assign[e.U], assign[e.V]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+// BruteForceRooted counts homomorphisms h from f to g with h(r) = v pinned.
+func BruteForceRooted(f *graph.Graph, r int, g *graph.Graph, v int) float64 {
+	nf, ng := f.N(), g.N()
+	if f.VertexLabel(r) != 0 && f.VertexLabel(r) != g.VertexLabel(v) {
+		return 0
+	}
+	assign := make([]int, nf)
+	assigned := make([]bool, nf)
+	assign[r] = v
+	assigned[r] = true
+	var count float64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nf {
+			count++
+			return
+		}
+		if assigned[i] {
+			if consistentAt(f, g, assign, assigned, i) {
+				rec(i + 1)
+			}
+			return
+		}
+		for w := 0; w < ng; w++ {
+			if f.VertexLabel(i) != 0 && f.VertexLabel(i) != g.VertexLabel(w) {
+				continue
+			}
+			assign[i] = w
+			assigned[i] = true
+			if consistentAt(f, g, assign, assigned, i) {
+				rec(i + 1)
+			}
+			assigned[i] = false
+		}
+	}
+	// Re-walk vertices in order, treating r as pre-assigned; mark the rest
+	// unassigned initially.
+	for i := 0; i < nf; i++ {
+		if i != r {
+			assigned[i] = false
+		}
+	}
+	rec(0)
+	return count
+}
+
+// consistentAt checks every f-edge incident to i whose other endpoint is
+// already assigned (earlier vertices and the pinned root).
+func consistentAt(f, g *graph.Graph, assign []int, assigned []bool, i int) bool {
+	for _, e := range f.Edges() {
+		if e.U != i && e.V != i {
+			continue
+		}
+		other := e.U + e.V - i
+		if !assigned[other] {
+			continue
+		}
+		if !g.HasEdge(assign[e.U], assign[e.V]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns hom(f, g), dispatching to the fastest applicable method:
+// products over components, the tree DP for forests, the trace formula for
+// cycles, and the tree-decomposition DP otherwise. Patterns with vertex
+// labels fall back to label-aware methods.
+func Count(f, g *graph.Graph) float64 {
+	if f.N() == 0 {
+		return 1
+	}
+	comps := f.ComponentGraphs()
+	result := 1.0
+	for _, c := range comps {
+		result *= countConnected(c, g)
+		if result == 0 {
+			return 0
+		}
+	}
+	return result
+}
+
+func countConnected(f, g *graph.Graph) float64 {
+	if isTree(f) {
+		return CountTree(f, g)
+	}
+	if isCycle(f) && !f.HasVertexLabels() && !g.HasVertexLabels() {
+		return CountCycle(f.N(), g)
+	}
+	return CountTD(f, g)
+}
+
+func isTree(f *graph.Graph) bool {
+	return f.M() == f.N()-1 && f.IsConnected() && !hasLoop(f)
+}
+
+func isCycle(f *graph.Graph) bool {
+	if f.N() < 3 || f.M() != f.N() || hasLoop(f) {
+		return false
+	}
+	for v := 0; v < f.N(); v++ {
+		if f.Degree(v) != 2 {
+			return false
+		}
+	}
+	return f.IsConnected()
+}
+
+func hasLoop(f *graph.Graph) bool {
+	for _, e := range f.Edges() {
+		if e.U == e.V {
+			return true
+		}
+	}
+	return false
+}
+
+// Indistinguishable reports whether g and h are homomorphism-
+// indistinguishable over the given pattern class: hom(F,g) = hom(F,h) for
+// every F in the class.
+func Indistinguishable(class []*graph.Graph, g, h *graph.Graph) bool {
+	for _, f := range class {
+		if Count(f, g) != Count(f, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vector returns the homomorphism vector Hom_class(g).
+func Vector(class []*graph.Graph, g *graph.Graph) []float64 {
+	out := make([]float64, len(class))
+	for i, f := range class {
+		out[i] = Count(f, g)
+	}
+	return out
+}

@@ -1,0 +1,455 @@
+package hom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestExample41StarCounts(t *testing.T) {
+	// Example 4.1: for the Figure 5 graph (reconstructed as the paw graph),
+	// hom(S2, G) = 18 and hom(S4, G) = 114, via hom(S_k,G) = Σ_v deg(v)^k.
+	g := graph.Fig5Graph()
+	if got := Count(graph.Star(2), g); got != 18 {
+		t.Errorf("hom(S2, paw) = %v, want 18", got)
+	}
+	if got := Count(graph.Star(4), g); got != 114 {
+		t.Errorf("hom(S4, paw) = %v, want 114", got)
+	}
+}
+
+func TestStarFormula(t *testing.T) {
+	// hom(S_k, G) = Σ_v deg(v)^k for every G.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(7, 0.5, rng)
+		for k := 1; k <= 4; k++ {
+			var want float64
+			for v := 0; v < g.N(); v++ {
+				want += math.Pow(float64(g.Degree(v)), float64(k))
+			}
+			if got := Count(graph.Star(k), g); got != want {
+				t.Errorf("trial %d: hom(S%d)=%v, want %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestExample47PathCounts(t *testing.T) {
+	// Example 4.7: the co-spectral pair has hom(P3, K1,4) = 20 and
+	// hom(P3, C4+K1) = 16.
+	g, h := graph.CospectralPair()
+	if got := CountPath(3, g); got != 20 {
+		t.Errorf("hom(P3, K1,4) = %v, want 20", got)
+	}
+	if got := CountPath(3, h); got != 16 {
+		t.Errorf("hom(P3, C4+K1) = %v, want 16", got)
+	}
+}
+
+func TestBruteForceBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		f, g *graph.Graph
+		want float64
+	}{
+		{"K1 into K3", graph.New(1), graph.Complete(3), 3},
+		{"K2 into K3", graph.Path(2), graph.Complete(3), 6},
+		{"K3 into K3", graph.Complete(3), graph.Complete(3), 6},
+		{"K3 into C5", graph.Complete(3), graph.Cycle(5), 0},
+		{"P3 into K3", graph.Path(3), graph.Complete(3), 12},
+		{"C4 into K3", graph.Cycle(4), graph.Complete(3), 18},
+		{"C3 into bipartite", graph.Cycle(3), graph.CompleteBipartite(2, 2), 0},
+		{"empty pattern", graph.New(0), graph.Complete(3), 1},
+	}
+	for _, tc := range tests {
+		if got := BruteForce(tc.f, tc.g); got != tc.want {
+			t.Errorf("%s: BruteForce=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	patterns := []*graph.Graph{
+		graph.Path(3), graph.Path(4), graph.Cycle(3), graph.Cycle(4),
+		graph.Cycle(5), graph.Star(3), graph.Complete(4), graph.Fig5Graph(),
+		graph.DisjointUnion(graph.Path(2), graph.Cycle(3)),
+		graph.CompleteBipartite(2, 2),
+	}
+	for trial := 0; trial < 6; trial++ {
+		g := graph.Random(6, 0.5, rng)
+		for _, f := range patterns {
+			want := BruteForce(f, g)
+			if got := Count(f, g); got != want {
+				t.Errorf("trial %d: Count(%v)=%v, brute=%v on %v", trial, f, got, want, g)
+			}
+		}
+	}
+}
+
+func TestCountTDMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	patterns := []*graph.Graph{
+		graph.Cycle(4), graph.Complete(4), graph.Fig5Graph(), graph.Grid(2, 3),
+		graph.CompleteBipartite(2, 3),
+	}
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Random(6, 0.6, rng)
+		for _, f := range patterns {
+			want := BruteForce(f, g)
+			if got := CountTD(f, g); got != want {
+				t.Errorf("trial %d: CountTD(%v)=%v, brute=%v on %v", trial, f, got, want, g)
+			}
+		}
+	}
+}
+
+func TestCountTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Random(6, 0.5, rng)
+		for n := 1; n <= 6; n++ {
+			for _, f := range graph.AllTrees(n) {
+				want := BruteForce(f, g)
+				if got := CountTree(f, g); got != want {
+					t.Errorf("trial %d: CountTree(%v)=%v, brute=%v", trial, f, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountPathCycleClosedForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Random(6, 0.5, rng)
+		for k := 1; k <= 5; k++ {
+			if got, want := CountPath(k, g), BruteForce(graph.Path(k), g); got != want {
+				t.Errorf("CountPath(%d)=%v, want %v", k, got, want)
+			}
+		}
+		for k := 3; k <= 6; k++ {
+			if got, want := CountCycle(k, g), BruteForce(graph.Cycle(k), g); got != want {
+				t.Errorf("CountCycle(%d)=%v, want %v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestRootedCountsSumToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	g := graph.Random(7, 0.4, rng)
+	for n := 2; n <= 5; n++ {
+		for _, f := range graph.AllTrees(n) {
+			per := CountTreeRooted(f, 0, g)
+			var sum float64
+			for _, c := range per {
+				sum += c
+			}
+			if total := CountTree(f, g); sum != total {
+				t.Errorf("rooted counts sum %v != total %v for %v", sum, total, f)
+			}
+		}
+	}
+}
+
+func TestBruteForceRootedMatchesTreeDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := graph.Random(5, 0.5, rng)
+	for _, f := range graph.AllTrees(4) {
+		for r := 0; r < f.N(); r++ {
+			per := CountTreeRooted(f, r, g)
+			for v := 0; v < g.N(); v++ {
+				if got := BruteForceRooted(f, r, g, v); got != per[v] {
+					t.Errorf("rooted brute %v vs DP %v (tree %v root %d target %d)", got, per[v], f, r, v)
+				}
+			}
+		}
+	}
+}
+
+func TestHomMultiplicativeOverDisjointUnion(t *testing.T) {
+	// hom(F, G) where F = F1 ∪ F2 equals hom(F1,G)·hom(F2,G).
+	f1, f2 := graph.Cycle(3), graph.Path(3)
+	f := graph.DisjointUnion(f1, f2)
+	g := graph.Complete(4)
+	if got, want := Count(f, g), Count(f1, g)*Count(f2, g); got != want {
+		t.Errorf("union multiplicativity: %v != %v", got, want)
+	}
+}
+
+func TestHomIntoDisjointUnionAdditiveForConnected(t *testing.T) {
+	// For connected F: hom(F, G1 ∪ G2) = hom(F,G1) + hom(F,G2).
+	f := graph.Cycle(3)
+	g1, g2 := graph.Complete(3), graph.Complete(4)
+	u := graph.DisjointUnion(g1, g2)
+	if got, want := Count(f, u), Count(f, g1)+Count(f, g2); got != want {
+		t.Errorf("additivity: %v != %v", got, want)
+	}
+}
+
+func TestWeightedTreeHomsArePartitionFunctions(t *testing.T) {
+	// Single weighted edge: hom(P2, G) = Σ_{u,v} α(u,v) over ordered pairs.
+	g := graph.New(2)
+	g.AddWeightedEdge(0, 1, 2.5)
+	if got := Count(graph.Path(2), g); got != 5 {
+		t.Errorf("weighted hom(P2)=%v, want 5 (2.5 both directions)", got)
+	}
+	// P3 through the weighted edge: walks of length 2: v0-v1-v0 (2.5*2.5)
+	// and v1-v0-v1: total 12.5.
+	if got := Count(graph.Path(3), g); got != 12.5 {
+		t.Errorf("weighted hom(P3)=%v, want 12.5", got)
+	}
+}
+
+func TestWeightedCycleHom(t *testing.T) {
+	// Triangle with weights 2,3,4: hom(C3) = trace(A^3) = 6·(2·3·4) = 144.
+	g := graph.New(3)
+	g.AddWeightedEdge(0, 1, 2)
+	g.AddWeightedEdge(1, 2, 3)
+	g.AddWeightedEdge(2, 0, 4)
+	if got := Count(graph.Cycle(3), g); got != 144 {
+		t.Errorf("weighted hom(C3)=%v, want 144", got)
+	}
+}
+
+func TestEmbEpiAut(t *testing.T) {
+	k3, p3 := graph.Complete(3), graph.Path(3)
+	if got := Emb(p3, k3); got != 6 {
+		t.Errorf("emb(P3,K3)=%v, want 6", got)
+	}
+	if got := Emb(k3, p3); got != 0 {
+		t.Errorf("emb(K3,P3)=%v, want 0", got)
+	}
+	if got := Epi(p3, graph.Path(2)); got != 2 {
+		// P3 onto K2: middle vertex to one side, ends to other: 2 ways.
+		t.Errorf("epi(P3,K2)=%v, want 2", got)
+	}
+	if got := Epi(graph.Path(2), p3); got != 0 {
+		t.Errorf("epi(K2,P3)=%v, want 0", got)
+	}
+	if got := Aut(graph.Cycle(4)); got != 8 {
+		t.Errorf("aut(C4)=%v, want 8", got)
+	}
+}
+
+func TestHomDecomposition42(t *testing.T) {
+	// Equation (4.2): hom(F,F') = Σ_{F''} epi(F,F'')·emb(F'',F')/aut(F'').
+	f := graph.Path(3)
+	fp := graph.Complete(3)
+	var sum float64
+	for n := 1; n <= 3; n++ {
+		for _, fpp := range graph.AllGraphs(n) {
+			sum += Epi(f, fpp) * Emb(fpp, fp) / Aut(fpp)
+		}
+	}
+	if want := Count(f, fp); sum != want {
+		t.Errorf("decomposition sum %v != hom %v", sum, want)
+	}
+}
+
+func TestLovaszSystemOrder3(t *testing.T) {
+	sys := NewLovaszSystem(3)
+	if !sys.TriangularityHolds() {
+		t.Error("P should be lower triangular and M upper triangular with positive diagonals")
+	}
+	if !sys.FactorisationHolds() {
+		t.Error("HOM = P·D·M factorisation fails")
+	}
+}
+
+func TestLovaszSystemOrder4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("order-4 Lovász system is slower")
+	}
+	sys := NewLovaszSystem(4)
+	if !sys.TriangularityHolds() {
+		t.Error("triangularity fails at order 4")
+	}
+	if !sys.FactorisationHolds() {
+		t.Error("factorisation fails at order 4")
+	}
+}
+
+func TestTheorem42HomVectorsDetermineIsomorphism(t *testing.T) {
+	// Over all pairs of graphs of order <= 4: equality of hom vectors over
+	// patterns of order <= 4 iff isomorphic.
+	var all []*graph.Graph
+	for n := 1; n <= 4; n++ {
+		all = append(all, graph.AllGraphs(n)...)
+	}
+	for i, g := range all {
+		for j, h := range all {
+			same := true
+			for _, f := range all {
+				if Count(f, g) != Count(f, h) {
+					same = false
+					break
+				}
+			}
+			wantSame := i == j
+			if same != wantSame {
+				t.Errorf("hom-vector equality=%v for %v vs %v (iso catalogue index %d,%d)", same, g, h, i, j)
+			}
+		}
+	}
+}
+
+func TestCospectralHaveEqualCycleHoms(t *testing.T) {
+	// Theorem 4.3: co-spectral iff equal cycle homs; the Figure 6 pair.
+	g, h := graph.CospectralPair()
+	if !CycleIndistinguishable(g, h) {
+		t.Error("co-spectral pair should be cycle-hom-indistinguishable")
+	}
+	if PathIndistinguishable(g, h) {
+		t.Error("Example 4.7: path homs distinguish the co-spectral pair")
+	}
+}
+
+func TestTreeIndistinguishabilityC6vs2C3(t *testing.T) {
+	g, h := graph.WLIndistinguishablePair()
+	if !TreeIndistinguishable(g, h) {
+		t.Error("C6 and 2C3 should be tree-hom-indistinguishable (both 2-regular)")
+	}
+	if CycleIndistinguishable(g, h) {
+		t.Error("C6 and 2C3 differ on hom(C3, ·): 0 vs 12")
+	}
+}
+
+func TestVectorAndLogScaledVector(t *testing.T) {
+	class := StandardClass()
+	if len(class) != 20 {
+		t.Errorf("StandardClass size=%d, want 20 (11 binary trees + 9 cycles)", len(class))
+	}
+	g := graph.Petersen()
+	v := Vector(class, g)
+	lv := LogScaledVector(class, g)
+	if len(v) != 20 || len(lv) != 20 {
+		t.Fatal("vector lengths wrong")
+	}
+	for i := range v {
+		want := math.Log1p(v[i]) / float64(class[i].N())
+		if math.Abs(lv[i]-want) > 1e-12 {
+			t.Errorf("log-scaled entry %d = %v, want %v", i, lv[i], want)
+		}
+	}
+}
+
+func TestQuickHomCountInvariantUnderTargetIsomorphism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Random(6, 0.5, rng)
+		perm := rng.Perm(6)
+		h := graph.New(6)
+		for _, e := range g.Edges() {
+			h.AddEdge(perm[e.U], perm[e.V])
+		}
+		pattern := graph.AllTrees(4)[rng.Intn(len(graph.AllTrees(4)))]
+		return Count(pattern, g) == Count(pattern, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHomSubgraphMonotone(t *testing.T) {
+	// Adding an edge to the target never decreases hom counts.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Random(6, 0.4, rng)
+		h := g.Clone()
+		u, v := rng.Intn(6), rng.Intn(6)
+		if u == v {
+			return true
+		}
+		if !h.HasEdge(u, v) {
+			h.AddEdge(u, v)
+		}
+		pattern := graph.Cycle(4)
+		return Count(pattern, h) >= Count(pattern, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllRootedTrees(t *testing.T) {
+	trees, roots := AllRootedTrees(3)
+	// n=1: 1 tree × 1 root; n=2: 1 × 2; n=3: 1 × 3 => 6 rooted entries.
+	if len(trees) != 6 || len(roots) != 6 {
+		t.Errorf("AllRootedTrees(3): %d trees %d roots, want 6 each", len(trees), len(roots))
+	}
+}
+
+func TestLabelledHomCounts(t *testing.T) {
+	// Pattern with labels only maps onto matching labels.
+	f := graph.Path(2)
+	f.SetVertexLabel(0, 1)
+	f.SetVertexLabel(1, 2)
+	g := graph.Path(2)
+	g.SetVertexLabel(0, 1)
+	g.SetVertexLabel(1, 2)
+	if got := BruteForce(f, g); got != 1 {
+		t.Errorf("labelled hom=%v, want 1", got)
+	}
+	if got := CountTree(f, g); got != 1 {
+		t.Errorf("labelled tree DP=%v, want 1", got)
+	}
+	if got := CountTD(f, g); got != 1 {
+		t.Errorf("labelled TD DP=%v, want 1", got)
+	}
+}
+
+func TestDirectedHomomorphisms(t *testing.T) {
+	// Theorem 4.11 setting: homomorphisms of directed patterns preserve
+	// direction. The directed path 0->1->2 has no hom into the reverse
+	// orientation beyond... check small cases exactly.
+	p3 := graph.NewDirected(3)
+	p3.AddEdge(0, 1)
+	p3.AddEdge(1, 2)
+	// Directed triangle cycle.
+	c3 := graph.NewDirected(3)
+	c3.AddEdge(0, 1)
+	c3.AddEdge(1, 2)
+	c3.AddEdge(2, 0)
+	if got := BruteForce(p3, c3); got != 3 {
+		t.Errorf("hom(directed P3, directed C3)=%v, want 3 (one start per vertex)", got)
+	}
+	// Anti-parallel edge pair admits back-and-forth walks.
+	two := graph.NewDirected(2)
+	two.AddEdge(0, 1)
+	two.AddEdge(1, 0)
+	if got := BruteForce(p3, two); got != 2 {
+		t.Errorf("hom(directed P3, 2-cycle)=%v, want 2", got)
+	}
+	// A single directed edge admits no directed 2-step walk.
+	one := graph.NewDirected(2)
+	one.AddEdge(0, 1)
+	if got := BruteForce(p3, one); got != 0 {
+		t.Errorf("hom(directed P3, single arc)=%v, want 0", got)
+	}
+}
+
+func TestDirectedHomVectorsSeparateOrientations(t *testing.T) {
+	// Theorem 4.11: homs from DAGs determine directed graphs up to
+	// isomorphism. Directed C3 vs a directed path triangle (one edge
+	// reversed) are separated by the directed P3 pattern.
+	c3 := graph.NewDirected(3)
+	c3.AddEdge(0, 1)
+	c3.AddEdge(1, 2)
+	c3.AddEdge(2, 0)
+	acyclic := graph.NewDirected(3)
+	acyclic.AddEdge(0, 1)
+	acyclic.AddEdge(1, 2)
+	acyclic.AddEdge(0, 2)
+	p3 := graph.NewDirected(3)
+	p3.AddEdge(0, 1)
+	p3.AddEdge(1, 2)
+	if BruteForce(p3, c3) == BruteForce(p3, acyclic) {
+		t.Error("directed P3 homs should separate the cyclic and transitive triangles")
+	}
+}

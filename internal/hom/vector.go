@@ -1,0 +1,91 @@
+package hom
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// LogScaledVector returns the practically-motivated embedding from
+// Section 4: the vector ( log(1 + hom(F, g)) / |F| )_{F in class}. The
+// paper uses log hom(F,G)/|F|; the +1 shift keeps patterns with zero
+// homomorphism count (e.g. odd cycles into bipartite graphs) finite while
+// preserving ordering.
+func LogScaledVector(class []*graph.Graph, g *graph.Graph) []float64 {
+	out := make([]float64, len(class))
+	for i, f := range class {
+		out[i] = math.Log1p(Count(f, g)) / float64(f.N())
+	}
+	return out
+}
+
+// StandardClass returns the feature class the paper's "initial experiments"
+// describe: a small collection (20 graphs) of binary trees and cycles. The
+// exact composition is the 11 binary trees on up to 6 vertices and the 9
+// cycles C3..C11.
+func StandardClass() []*graph.Graph {
+	class := graph.BinaryTrees(6)
+	class = append(class, graph.CyclesUpTo(11)...)
+	return class
+}
+
+// PathClass returns P_1..P_k, the class P of Theorem 4.6 truncated at k.
+// For graphs of order n, homomorphism counts of paths satisfy a linear
+// recurrence of order <= n, so k >= 2n+1 determines the full vector.
+func PathClass(k int) []*graph.Graph { return graph.PathsUpTo(k) }
+
+// CycleClass returns C_3..C_k, the class C of Theorem 4.3 truncated at k.
+// For graphs of order n, k >= n+2 determines the full spectrum-moment
+// sequence.
+func CycleClass(k int) []*graph.Graph { return graph.CyclesUpTo(k) }
+
+// TreeClass returns all trees with at most k vertices (k <= 8), the class T
+// of Theorem 4.4 / Corollary 4.5 truncated at k.
+func TreeClass(k int) []*graph.Graph { return graph.TreesUpTo(k) }
+
+// PathIndistinguishable reports hom-indistinguishability over paths long
+// enough to be decisive for the pair (length 2·max(|G|,|H|)+1).
+func PathIndistinguishable(g, h *graph.Graph) bool {
+	n := g.N()
+	if h.N() > n {
+		n = h.N()
+	}
+	for k := 1; k <= 2*n+1; k++ {
+		if CountPath(k, g) != CountPath(k, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// CycleIndistinguishable reports hom-indistinguishability over cycles long
+// enough to be decisive (equality of all spectral moments up to n+2 forces
+// equal spectra for graphs of order <= n).
+func CycleIndistinguishable(g, h *graph.Graph) bool {
+	n := g.N()
+	if h.N() > n {
+		n = h.N()
+	}
+	for k := 3; k <= n+3; k++ {
+		if CountCycle(k, g) != CountCycle(k, h) {
+			return false
+		}
+	}
+	return true
+}
+
+// TreeIndistinguishable reports hom-indistinguishability over all trees with
+// at most max(|G|,|H|) vertices. By Theorem 4.4 and the stabilisation of
+// 1-WL within n rounds, trees of order up to n are decisive for graphs of
+// order n; the cap is min(n, 8) because of the tree catalogue bound, which
+// covers all experiment graphs.
+func TreeIndistinguishable(g, h *graph.Graph) bool {
+	n := g.N()
+	if h.N() > n {
+		n = h.N()
+	}
+	if n > 8 {
+		n = 8
+	}
+	return Indistinguishable(TreeClass(n), g, h)
+}

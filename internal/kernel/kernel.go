@@ -1,0 +1,364 @@
+// Package kernel implements the graph kernels surveyed in Sections 2.4 and
+// 3.5 of the paper: the Weisfeiler-Leman subtree kernel (fixed-round and
+// discounted), shortest-path kernel, graphlet kernel, geometric random-walk
+// kernel, and the homomorphism-vector kernel of equation (4.1), together
+// with Gram-matrix utilities (normalisation, positive-semidefiniteness
+// checks) and rooted-homomorphism node kernels.
+package kernel
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/linalg"
+	"repro/internal/wl"
+)
+
+// Kernel is a positive semidefinite similarity between graphs.
+type Kernel interface {
+	// Compute returns K(g, h).
+	Compute(g, h *graph.Graph) float64
+	// Name identifies the kernel in experiment reports.
+	Name() string
+}
+
+// WLSubtree is the t-round Weisfeiler-Leman subtree kernel K_WL^(t) of
+// Section 3.5: the inner product of the colour-count feature vectors
+// wl(c, ·) accumulated over rounds 0..Rounds.
+type WLSubtree struct {
+	Rounds int
+}
+
+// Name implements Kernel.
+func (k WLSubtree) Name() string { return "wl-subtree" }
+
+// Compute implements Kernel.
+func (k WLSubtree) Compute(g, h *graph.Graph) float64 {
+	cg := wl.RoundColorCounts(g, k.Rounds)
+	ch := wl.RoundColorCounts(h, k.Rounds)
+	var s float64
+	for i := 0; i <= k.Rounds; i++ {
+		for c, n := range cg[i] {
+			s += float64(n) * float64(ch[i][c])
+		}
+	}
+	return s
+}
+
+// Features returns the explicit feature map of the WL subtree kernel: the
+// concatenated per-round colour counts keyed by (round, colour canon).
+func (k WLSubtree) Features(g *graph.Graph) map[[2]interface{}]float64 {
+	out := map[[2]interface{}]float64{}
+	counts := wl.RoundColorCounts(g, k.Rounds)
+	for i, m := range counts {
+		for c, n := range m {
+			out[[2]interface{}{i, c}] = float64(n)
+		}
+	}
+	return out
+}
+
+// WLDiscounted is the round-unbounded WL kernel K_WL with geometric
+// discount 1/2^i per round. The infinite series is truncated at a fixed
+// horizon shared by all pairs (so the feature space is consistent and the
+// Gram matrix PSD); the tail beyond round R contributes at most n²/2^R.
+type WLDiscounted struct {
+	Horizon int // 0 means the default of 12 rounds
+}
+
+// Name implements Kernel.
+func (WLDiscounted) Name() string { return "wl-discounted" }
+
+// Compute implements Kernel.
+func (k WLDiscounted) Compute(g, h *graph.Graph) float64 {
+	rounds := k.Horizon
+	if rounds == 0 {
+		rounds = 12
+	}
+	cg := wl.RoundColorCounts(g, rounds)
+	ch := wl.RoundColorCounts(h, rounds)
+	var s float64
+	w := 1.0
+	for i := 0; i <= rounds; i++ {
+		for c, n := range cg[i] {
+			s += w * float64(n) * float64(ch[i][c])
+		}
+		w /= 2
+	}
+	return s
+}
+
+// ShortestPath is the shortest-path kernel of Borgwardt and Kriegel:
+// features are counts of vertex pairs at each finite distance (optionally
+// refined by endpoint labels).
+type ShortestPath struct{}
+
+// Name implements Kernel.
+func (ShortestPath) Name() string { return "shortest-path" }
+
+// Compute implements Kernel.
+func (ShortestPath) Compute(g, h *graph.Graph) float64 {
+	fg := spFeatures(g)
+	fh := spFeatures(h)
+	var s float64
+	for k, a := range fg {
+		s += a * fh[k]
+	}
+	return s
+}
+
+type spKey struct {
+	dist   int
+	la, lb int
+}
+
+func spFeatures(g *graph.Graph) map[spKey]float64 {
+	out := map[spKey]float64{}
+	d := g.AllPairsDistances()
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if d[u][v] <= 0 {
+				continue
+			}
+			la, lb := g.VertexLabel(u), g.VertexLabel(v)
+			if la > lb {
+				la, lb = lb, la
+			}
+			out[spKey{d[u][v], la, lb}]++
+		}
+	}
+	return out
+}
+
+// Graphlet is the 3- and 4-vertex graphlet kernel: features are counts of
+// induced subgraphs on all vertex triples and (optionally) quadruples.
+type Graphlet struct {
+	Size int // 3 or 4
+}
+
+// Name implements Kernel.
+func (Graphlet) Name() string { return "graphlet" }
+
+// Compute implements Kernel.
+func (k Graphlet) Compute(g, h *graph.Graph) float64 {
+	size := k.Size
+	if size == 0 {
+		size = 3
+	}
+	fg := GraphletCounts(g, size)
+	fh := GraphletCounts(h, size)
+	var s float64
+	for i := range fg {
+		s += fg[i] * fh[i]
+	}
+	return s
+}
+
+// GraphletCounts returns induced-subgraph counts on all k-subsets, indexed
+// by a canonical code of the induced subgraph (k <= 4). The index space is
+// the set of isomorphism classes: 4 classes for k=3, 11 for k=4.
+func GraphletCounts(g *graph.Graph, k int) []float64 {
+	reps := graph.AllGraphs(k)
+	counts := make([]float64, len(reps))
+	n := g.N()
+	subset := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			sub := g.InducedSubgraph(subset)
+			for i, r := range reps {
+				if sub.M() == r.M() && graph.Isomorphic(sub, r) {
+					counts[i]++
+					break
+				}
+			}
+			return
+		}
+		for v := start; v < n; v++ {
+			subset[depth] = v
+			rec(v+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return counts
+}
+
+// RandomWalk is the geometric random-walk kernel: K(g,h) = Σ_k λ^k · (number
+// of length-k walk pairs) computed on the direct product graph, truncated at
+// MaxLen steps (λ must satisfy λ·Δ(g)Δ(h) < 1 for convergence of the full
+// series; truncation keeps any λ finite).
+type RandomWalk struct {
+	Lambda float64
+	MaxLen int
+}
+
+// Name implements Kernel.
+func (RandomWalk) Name() string { return "random-walk" }
+
+// Compute implements Kernel.
+func (k RandomWalk) Compute(g, h *graph.Graph) float64 {
+	lambda := k.Lambda
+	if lambda == 0 {
+		lambda = 0.01
+	}
+	maxLen := k.MaxLen
+	if maxLen == 0 {
+		maxLen = 8
+	}
+	// Direct product adjacency (on matching vertex labels).
+	ng, nh := g.N(), h.N()
+	cur := make([]float64, ng*nh)
+	for i := 0; i < ng; i++ {
+		for j := 0; j < nh; j++ {
+			if g.VertexLabel(i) == h.VertexLabel(j) {
+				cur[i*nh+j] = 1
+			}
+		}
+	}
+	total := sum(cur)
+	w := 1.0
+	next := make([]float64, ng*nh)
+	for step := 1; step <= maxLen; step++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i := 0; i < ng; i++ {
+			for _, ai := range g.Arcs(i) {
+				for j := 0; j < nh; j++ {
+					v := cur[i*nh+j]
+					if v == 0 {
+						continue
+					}
+					for _, aj := range h.Arcs(j) {
+						if g.VertexLabel(ai.To) == h.VertexLabel(aj.To) {
+							next[ai.To*nh+aj.To] += v
+						}
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		w *= lambda
+		total += w * sum(cur)
+	}
+	return total
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// HomVector is the homomorphism-vector kernel: the inner product of
+// (scaled) homomorphism counts over a finite pattern class, the truncated
+// form of equation (4.1). With Log set, features are the practically
+// motivated log(1+hom)/|F| entries.
+type HomVector struct {
+	Class []*graph.Graph
+	Log   bool
+}
+
+// Name implements Kernel.
+func (k HomVector) Name() string {
+	if k.Log {
+		return "hom-log"
+	}
+	return "hom"
+}
+
+// Compute implements Kernel.
+func (k HomVector) Compute(g, h *graph.Graph) float64 {
+	class := k.Class
+	if class == nil {
+		class = hom.StandardClass()
+	}
+	var fg, fh []float64
+	if k.Log {
+		fg = hom.LogScaledVector(class, g)
+		fh = hom.LogScaledVector(class, h)
+	} else {
+		fg = scaledHomVector(class, g)
+		fh = scaledHomVector(class, h)
+	}
+	return linalg.Dot(fg, fh)
+}
+
+// scaledHomVector scales hom(F,G) by |F|^{-|F|} as in equation (4.1) to
+// keep magnitudes comparable across pattern sizes.
+func scaledHomVector(class []*graph.Graph, g *graph.Graph) []float64 {
+	out := make([]float64, len(class))
+	for i, f := range class {
+		k := float64(f.N())
+		out[i] = hom.Count(f, g) / math.Pow(k, k)
+	}
+	return out
+}
+
+// Gram computes the kernel matrix of a graph set.
+func Gram(k Kernel, gs []*graph.Graph) *linalg.Matrix {
+	n := len(gs)
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Compute(gs[i], gs[j])
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// Normalize rescales a Gram matrix to unit diagonal: K'ij = Kij/√(Kii·Kjj).
+func Normalize(gram *linalg.Matrix) *linalg.Matrix {
+	n := gram.Rows
+	out := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := math.Sqrt(gram.At(i, i) * gram.At(j, j))
+			if d > 0 {
+				out.Set(i, j, gram.At(i, j)/d)
+			}
+		}
+	}
+	return out
+}
+
+// IsPSD reports whether a symmetric matrix is positive semidefinite within
+// tolerance (smallest eigenvalue >= -tol).
+func IsPSD(m *linalg.Matrix, tol float64) bool {
+	vals := linalg.Eigenvalues(m)
+	if len(vals) == 0 {
+		return true
+	}
+	return vals[len(vals)-1] >= -tol
+}
+
+// NodeKernel is the rooted-tree homomorphism node kernel of Section 4.4:
+// the inner product of rooted hom counts over a class of rooted trees.
+type NodeKernel struct {
+	Trees []*graph.Graph
+	Roots []int
+}
+
+// DefaultNodeKernel uses all rooted trees on up to 4 vertices.
+func DefaultNodeKernel() *NodeKernel {
+	trees, roots := hom.AllRootedTrees(4)
+	return &NodeKernel{Trees: trees, Roots: roots}
+}
+
+// Compute returns the node kernel value between vertex v of g and w of h.
+func (k *NodeKernel) Compute(g *graph.Graph, v int, h *graph.Graph, w int) float64 {
+	fv := hom.RootedVector(k.Trees, k.Roots, g, v)
+	fw := hom.RootedVector(k.Trees, k.Roots, h, w)
+	// Scale like equation (4.1) to temper growth.
+	var s float64
+	for i := range fv {
+		sz := float64(k.Trees[i].N())
+		s += fv[i] * fw[i] / math.Pow(sz, 2*sz)
+	}
+	return s
+}

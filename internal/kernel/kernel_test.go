@@ -1,0 +1,206 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/linalg"
+)
+
+func testGraphs(rng *rand.Rand, n int) []*graph.Graph {
+	gs := []*graph.Graph{
+		graph.Cycle(5), graph.Path(6), graph.Complete(4),
+		graph.Star(4), graph.Fig5Graph(), graph.Petersen(),
+	}
+	for len(gs) < n {
+		gs = append(gs, graph.Random(6, 0.4, rng))
+	}
+	return gs[:n]
+}
+
+func TestAllKernelsSymmetricAndPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	gs := testGraphs(rng, 8)
+	kernels := []Kernel{
+		WLSubtree{Rounds: 3},
+		WLDiscounted{},
+		ShortestPath{},
+		Graphlet{Size: 3},
+		RandomWalk{Lambda: 0.05, MaxLen: 6},
+		HomVector{Class: hom.StandardClass()},
+		HomVector{Class: hom.StandardClass(), Log: true},
+	}
+	for _, k := range kernels {
+		gram := Gram(k, gs)
+		for i := 0; i < gram.Rows; i++ {
+			for j := 0; j < gram.Cols; j++ {
+				if math.Abs(gram.At(i, j)-gram.At(j, i)) > 1e-9 {
+					t.Errorf("%s: Gram not symmetric at (%d,%d)", k.Name(), i, j)
+				}
+			}
+		}
+		if !IsPSD(gram, 1e-6*linalg.Frobenius(gram)) {
+			t.Errorf("%s: Gram matrix not PSD", k.Name())
+		}
+	}
+}
+
+func TestWLSubtreeKnownValue(t *testing.T) {
+	// Round 0: every vertex has the same colour, contributing n(G)·n(H).
+	g, h := graph.Cycle(3), graph.Cycle(4)
+	k0 := WLSubtree{Rounds: 0}.Compute(g, h)
+	if k0 != 12 {
+		t.Errorf("K^(0)(C3,C4)=%v, want 12", k0)
+	}
+	// Round 1 adds degree profiles: all vertices of both are degree 2, so
+	// another 12.
+	k1 := WLSubtree{Rounds: 1}.Compute(g, h)
+	if k1 != 24 {
+		t.Errorf("K^(1)(C3,C4)=%v, want 24", k1)
+	}
+}
+
+func TestWLSubtreeSeparatesNonWLEquivalent(t *testing.T) {
+	g, h := graph.CospectralPair() // K1,4 vs C4+K1, distinguished by WL
+	kGH := WLSubtree{Rounds: 2}.Compute(g, h)
+	kGG := WLSubtree{Rounds: 2}.Compute(g, g)
+	kHH := WLSubtree{Rounds: 2}.Compute(h, h)
+	// Distance in feature space must be positive.
+	if d := kGG + kHH - 2*kGH; d <= 0 {
+		t.Errorf("WL feature distance %v, want > 0", d)
+	}
+}
+
+func TestWLSubtreeBlindToWLEquivalentPair(t *testing.T) {
+	g, h := graph.WLIndistinguishablePair() // C6 vs 2C3
+	for rounds := 0; rounds <= 5; rounds++ {
+		k := WLSubtree{Rounds: rounds}
+		if d := k.Compute(g, g) + k.Compute(h, h) - 2*k.Compute(g, h); math.Abs(d) > 1e-9 {
+			t.Errorf("rounds=%d: WL kernel separates a WL-equivalent pair (distance %v)", rounds, d)
+		}
+	}
+}
+
+func TestShortestPathKernel(t *testing.T) {
+	// P3 has pairs at distance 1 (two) and 2 (one); features (1:2, 2:1).
+	// Self kernel = 4+1 = 5.
+	if got := (ShortestPath{}).Compute(graph.Path(3), graph.Path(3)); got != 5 {
+		t.Errorf("SP(P3,P3)=%v, want 5", got)
+	}
+	// C3: three pairs at distance 1: self kernel 9; cross with P3: 3*2=6.
+	if got := (ShortestPath{}).Compute(graph.Cycle(3), graph.Path(3)); got != 6 {
+		t.Errorf("SP(C3,P3)=%v, want 6", got)
+	}
+}
+
+func TestGraphletCounts(t *testing.T) {
+	// K4 contains C(4,3)=4 triangles and no other triple type.
+	counts := GraphletCounts(graph.Complete(4), 3)
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("K4 triple count=%v, want 4", total)
+	}
+	var triangles float64
+	reps := graph.AllGraphs(3)
+	for i, r := range reps {
+		if r.M() == 3 {
+			triangles = counts[i]
+		}
+	}
+	if triangles != 4 {
+		t.Errorf("K4 triangle graphlets=%v, want 4", triangles)
+	}
+	// C5: all 10 triples, none is a triangle; path-of-3 triples = 5.
+	c5 := GraphletCounts(graph.Cycle(5), 3)
+	var c5tri, c5p3 float64
+	for i, r := range reps {
+		switch r.M() {
+		case 3:
+			c5tri = c5[i]
+		case 2:
+			c5p3 = c5[i]
+		}
+	}
+	if c5tri != 0 || c5p3 != 5 {
+		t.Errorf("C5 graphlets: triangles=%v (want 0), cherries=%v (want 5)", c5tri, c5p3)
+	}
+}
+
+func TestRandomWalkKernelBasics(t *testing.T) {
+	k := RandomWalk{Lambda: 0.1, MaxLen: 4}
+	// Walk pairs of length 0: n(g)*n(h).
+	got := k.Compute(graph.New(2), graph.New(3))
+	if got != 6 {
+		t.Errorf("edgeless RW kernel=%v, want 6", got)
+	}
+	// Single edges: product graph K2xK2 has 4 vertices, 2 edges... verify
+	// positivity and symmetry only.
+	a := k.Compute(graph.Path(2), graph.Cycle(3))
+	b := k.Compute(graph.Cycle(3), graph.Path(2))
+	if math.Abs(a-b) > 1e-9 || a <= 0 {
+		t.Errorf("RW kernel asymmetric or nonpositive: %v vs %v", a, b)
+	}
+}
+
+func TestHomVectorKernelSeparatesCospectralPair(t *testing.T) {
+	g, h := graph.CospectralPair()
+	k := HomVector{Class: hom.StandardClass()}
+	d := k.Compute(g, g) + k.Compute(h, h) - 2*k.Compute(g, h)
+	if d <= 0 {
+		t.Errorf("hom kernel distance %v, want > 0 (trees distinguish the pair)", d)
+	}
+}
+
+func TestNormalizeUnitDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	gs := testGraphs(rng, 6)
+	gram := Normalize(Gram(WLSubtree{Rounds: 3}, gs))
+	for i := 0; i < gram.Rows; i++ {
+		if math.Abs(gram.At(i, i)-1) > 1e-9 {
+			t.Errorf("normalised diagonal entry %d = %v", i, gram.At(i, i))
+		}
+		for j := 0; j < gram.Cols; j++ {
+			if gram.At(i, j) > 1+1e-9 {
+				t.Errorf("normalised entry > 1 at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNodeKernelMatchesWLColours(t *testing.T) {
+	// Vertices with equal 1-WL colour have equal rooted-tree hom vectors
+	// (Theorem 4.14), hence equal node-kernel self-similarity.
+	nk := DefaultNodeKernel()
+	g := graph.Path(5)
+	// Vertices 0 and 4 are WL-equivalent.
+	k00 := nk.Compute(g, 0, g, 0)
+	k44 := nk.Compute(g, 4, g, 4)
+	k04 := nk.Compute(g, 0, g, 4)
+	if math.Abs(k00-k44) > 1e-9 || math.Abs(k00-k04) > 1e-9 {
+		t.Errorf("WL-equivalent nodes should have identical kernel rows: %v %v %v", k00, k44, k04)
+	}
+	// Centre differs from endpoint.
+	k22 := nk.Compute(g, 2, g, 2)
+	if math.Abs(k22-k00) < 1e-12 {
+		t.Error("centre and endpoint should differ in node kernel")
+	}
+}
+
+func TestWLSubtreeFeatures(t *testing.T) {
+	k := WLSubtree{Rounds: 2}
+	f := k.Features(graph.Cycle(4))
+	var total float64
+	for _, v := range f {
+		total += v
+	}
+	// 4 vertices x 3 rounds of counts.
+	if total != 12 {
+		t.Errorf("feature mass %v, want 12", total)
+	}
+}

@@ -1,0 +1,61 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+func TestDiffusionKernelPSDAndSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Random(8, 0.4, rng)
+		k := DiffusionKernel{Beta: 0.5}.Matrix(g)
+		for i := 0; i < k.Rows; i++ {
+			for j := 0; j < k.Cols; j++ {
+				if math.Abs(k.At(i, j)-k.At(j, i)) > 1e-9 {
+					t.Fatal("diffusion kernel not symmetric")
+				}
+			}
+		}
+		if !IsPSD(k, 1e-8) {
+			t.Fatal("diffusion kernel not PSD")
+		}
+	}
+}
+
+func TestDiffusionKernelDecaysWithDistance(t *testing.T) {
+	g := graph.Path(7)
+	k := DiffusionKernel{Beta: 0.5}
+	m := k.Matrix(g)
+	// Heat from vertex 0 decays along the path.
+	prev := m.At(0, 0)
+	for v := 1; v < 7; v++ {
+		cur := m.At(0, v)
+		if cur > prev+1e-12 {
+			t.Errorf("diffusion should decay along the path: K(0,%d)=%v > K(0,%d)=%v", v, cur, v-1, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestDiffusionKernelRowsSumToOneishAtLargeBeta(t *testing.T) {
+	// As β → 0, exp(−βL) → I.
+	g := graph.Cycle(5)
+	m := DiffusionKernel{Beta: 1e-9}.Matrix(g)
+	if !m.Equal(linalg.Identity(5), 1e-6) {
+		t.Error("beta->0 limit should be the identity")
+	}
+}
+
+func TestDiffusionKernelComputeMatchesMatrix(t *testing.T) {
+	g := graph.Star(4)
+	k := DiffusionKernel{Beta: 0.3}
+	m := k.Matrix(g)
+	if got := k.Compute(g, 0, 1); math.Abs(got-m.At(0, 1)) > 1e-12 {
+		t.Errorf("Compute=%v, Matrix entry=%v", got, m.At(0, 1))
+	}
+}

@@ -1,0 +1,373 @@
+// Package kge implements the knowledge-graph embedding algorithms of
+// Section 2.3: TransE (relations as translations of the latent space,
+// trained with a margin ranking loss and negative sampling) and RESCAL
+// (relations as bilinear forms, trained by full-gradient descent on the
+// reconstruction objective ‖X·B_R·Xᵀ − A_R‖²).
+package kge
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Triple is a (head, relation, tail) fact.
+type Triple = [3]int
+
+// TransEConfig controls TransE training.
+type TransEConfig struct {
+	Dim    int
+	Margin float64
+	LR     float64
+	Epochs int
+}
+
+// DefaultTransEConfig returns small-scale defaults.
+func DefaultTransEConfig() TransEConfig {
+	return TransEConfig{Dim: 16, Margin: 1, LR: 0.05, Epochs: 400}
+}
+
+// TransE holds trained entity and relation vectors with the scoring
+// convention score(h,r,t) = ‖h + r − t‖₂ (lower is better).
+type TransE struct {
+	Entities  [][]float64
+	Relations [][]float64
+}
+
+// TrainTransE fits TransE on the triples.
+func TrainTransE(triples []Triple, numEntities, numRelations int, cfg TransEConfig, rng *rand.Rand) *TransE {
+	m := &TransE{
+		Entities:  randomVectors(numEntities, cfg.Dim, rng),
+		Relations: randomVectors(numRelations, cfg.Dim, rng),
+	}
+	for _, e := range m.Entities {
+		normalize(e)
+	}
+	for _, r := range m.Relations {
+		normalize(r)
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, t := range triples {
+			// Corrupt head or tail.
+			corrupt := t
+			if rng.Intn(2) == 0 {
+				corrupt[0] = rng.Intn(numEntities)
+			} else {
+				corrupt[2] = rng.Intn(numEntities)
+			}
+			m.marginStep(t, corrupt, cfg)
+		}
+		// Re-normalise entities (the original algorithm's constraint).
+		for _, e := range m.Entities {
+			normalize(e)
+		}
+	}
+	return m
+}
+
+// Score returns ‖h + r − t‖ (lower means more plausible).
+func (m *TransE) Score(h, r, t int) float64 {
+	var s float64
+	eh, er, et := m.Entities[h], m.Relations[r], m.Entities[t]
+	for d := range eh {
+		diff := eh[d] + er[d] - et[d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+func (m *TransE) marginStep(pos, neg Triple, cfg TransEConfig) {
+	loss := cfg.Margin + m.Score(pos[0], pos[1], pos[2]) - m.Score(neg[0], neg[1], neg[2])
+	if loss <= 0 {
+		return
+	}
+	// Gradient of ‖h+r−t‖ wrt components is (h+r−t)/‖·‖.
+	upd := func(t Triple, sign float64) {
+		eh, er, et := m.Entities[t[0]], m.Relations[t[1]], m.Entities[t[2]]
+		norm := m.Score(t[0], t[1], t[2])
+		if norm < 1e-9 {
+			return
+		}
+		for d := range eh {
+			g := sign * cfg.LR * (eh[d] + er[d] - et[d]) / norm
+			eh[d] -= g
+			er[d] -= g
+			et[d] += g
+		}
+	}
+	upd(pos, 1)  // decrease positive score
+	upd(neg, -1) // increase negative score
+}
+
+// RankMetrics summarises link-prediction quality.
+type RankMetrics struct {
+	MRR    float64
+	HitsAt map[int]float64
+}
+
+// EvaluateTransE ranks the true tail (and head) of each test triple against
+// all entity substitutions, filtering known triples, and returns MRR and
+// Hits@{1,3,10}.
+func EvaluateTransE(m *TransE, test, known []Triple) RankMetrics {
+	knownSet := map[Triple]bool{}
+	for _, t := range known {
+		knownSet[t] = true
+	}
+	var ranks []int
+	numEntities := len(m.Entities)
+	for _, t := range test {
+		for _, side := range []int{0, 2} {
+			trueEnt := t[side]
+			type scored struct {
+				ent   int
+				score float64
+			}
+			var cands []scored
+			for e := 0; e < numEntities; e++ {
+				cand := t
+				cand[side] = e
+				if e != trueEnt && knownSet[cand] {
+					continue // filtered setting
+				}
+				cands = append(cands, scored{e, m.Score(cand[0], cand[1], cand[2])})
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+			for rank, c := range cands {
+				if c.ent == trueEnt {
+					ranks = append(ranks, rank+1)
+					break
+				}
+			}
+		}
+	}
+	met := RankMetrics{HitsAt: map[int]float64{1: 0, 3: 0, 10: 0}}
+	for _, r := range ranks {
+		met.MRR += 1 / float64(r)
+		for k := range met.HitsAt {
+			if r <= k {
+				met.HitsAt[k]++
+			}
+		}
+	}
+	n := float64(len(ranks))
+	if n > 0 {
+		met.MRR /= n
+		for k := range met.HitsAt {
+			met.HitsAt[k] /= n
+		}
+	}
+	return met
+}
+
+// TranslationConsistency measures how well a relation behaves as a single
+// translation: the mean pairwise distance between (tail − head) difference
+// vectors of its triples. Small values mean Paris−France ≈ Santiago−Chile.
+func (m *TransE) TranslationConsistency(triples []Triple, relation int) float64 {
+	var diffs [][]float64
+	for _, t := range triples {
+		if t[1] != relation {
+			continue
+		}
+		d := make([]float64, len(m.Entities[0]))
+		for i := range d {
+			d[i] = m.Entities[t[2]][i] - m.Entities[t[0]][i]
+		}
+		diffs = append(diffs, d)
+	}
+	if len(diffs) < 2 {
+		return 0
+	}
+	var total float64
+	var count int
+	for i := 0; i < len(diffs); i++ {
+		for j := i + 1; j < len(diffs); j++ {
+			var s float64
+			for d := range diffs[i] {
+				x := diffs[i][d] - diffs[j][d]
+				s += x * x
+			}
+			total += math.Sqrt(s)
+			count++
+		}
+	}
+	return total / float64(count)
+}
+
+func randomVectors(n, d int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64() * 0.1
+		}
+	}
+	return out
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return
+	}
+	s = math.Sqrt(s)
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// RESCAL holds the bilinear factorisation: entity matrix X and one mixing
+// matrix B per relation, with score(h,r,t) = x_hᵀ B_r x_t ≈ A_r[h][t].
+type RESCAL struct {
+	X *linalg.Matrix
+	B []*linalg.Matrix
+}
+
+// RESCALConfig controls RESCAL training.
+type RESCALConfig struct {
+	Dim    int
+	LR     float64
+	Epochs int
+}
+
+// DefaultRESCALConfig returns small-scale defaults.
+func DefaultRESCALConfig() RESCALConfig { return RESCALConfig{Dim: 8, LR: 0.01, Epochs: 500} }
+
+// TrainRESCAL fits the factorisation by full-gradient descent on
+// Σ_r ‖X·B_r·Xᵀ − A_r‖²_F.
+func TrainRESCAL(triples []Triple, numEntities, numRelations int, cfg RESCALConfig, rng *rand.Rand) *RESCAL {
+	m := &RESCAL{X: linalg.NewMatrix(numEntities, cfg.Dim)}
+	for i := range m.X.Data {
+		m.X.Data[i] = rng.NormFloat64() * 0.1
+	}
+	adj := make([]*linalg.Matrix, numRelations)
+	for r := range adj {
+		adj[r] = linalg.NewMatrix(numEntities, numEntities)
+	}
+	for _, t := range triples {
+		adj[t[1]].Set(t[0], t[2], 1)
+	}
+	for r := 0; r < numRelations; r++ {
+		b := linalg.NewMatrix(cfg.Dim, cfg.Dim)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64() * 0.1
+		}
+		m.B = append(m.B, b)
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		dX := linalg.NewMatrix(numEntities, cfg.Dim)
+		for r := 0; r < numRelations; r++ {
+			e := m.X.Mul(m.B[r]).Mul(m.X.T()).Sub(adj[r]) // residual
+			dB := m.X.T().Mul(e).Mul(m.X)
+			dXr := e.Mul(m.X.Mul(m.B[r].T())).Add(e.T().Mul(m.X.Mul(m.B[r])))
+			dX = dX.Add(dXr)
+			for i := range m.B[r].Data {
+				m.B[r].Data[i] -= cfg.LR * 2 * dB.Data[i]
+			}
+		}
+		for i := range m.X.Data {
+			m.X.Data[i] -= cfg.LR * 2 * dX.Data[i]
+		}
+	}
+	return m
+}
+
+// Score returns x_hᵀ B_r x_t.
+func (m *RESCAL) Score(h, r, t int) float64 {
+	xh := m.X.Row(h)
+	xt := m.X.Row(t)
+	bxt := m.B[r].MulVec(xt)
+	return linalg.Dot(xh, bxt)
+}
+
+// ReconstructionError returns Σ_r ‖X·B_r·Xᵀ − A_r‖_F for the given triples.
+func (m *RESCAL) ReconstructionError(triples []Triple, numRelations int) float64 {
+	n := m.X.Rows
+	adj := make([]*linalg.Matrix, numRelations)
+	for r := range adj {
+		adj[r] = linalg.NewMatrix(n, n)
+	}
+	for _, t := range triples {
+		adj[t[1]].Set(t[0], t[2], 1)
+	}
+	var total float64
+	for r := 0; r < numRelations; r++ {
+		total += linalg.Frobenius(m.X.Mul(m.B[r]).Mul(m.X.T()).Sub(adj[r]))
+	}
+	return total
+}
+
+// RelationAUC estimates, for one relation, the probability that a random
+// positive pair scores above a random negative pair (1 = perfect bilinear
+// reconstruction).
+func (m *RESCAL) RelationAUC(triples []Triple, relation int, rng *rand.Rand, samples int) float64 {
+	var pos []Triple
+	posSet := map[[2]int]bool{}
+	for _, t := range triples {
+		if t[1] == relation {
+			pos = append(pos, t)
+			posSet[[2]int{t[0], t[2]}] = true
+		}
+	}
+	if len(pos) == 0 {
+		return 0.5
+	}
+	n := m.X.Rows
+	wins, total := 0.0, 0.0
+	for s := 0; s < samples; s++ {
+		p := pos[rng.Intn(len(pos))]
+		h, t := rng.Intn(n), rng.Intn(n)
+		if posSet[[2]int{h, t}] {
+			continue
+		}
+		sp := m.Score(p[0], relation, p[2])
+		sn := m.Score(h, relation, t)
+		switch {
+		case sp > sn:
+			wins++
+		case sp == sn:
+			wins += 0.5
+		}
+		total++
+	}
+	if total == 0 {
+		return 0.5
+	}
+	return wins / total
+}
+
+// AnswerTail answers the analogy-style query (head, relation, ?) by ranking
+// all entities under the TransE score — the "capital of X" lookup of the
+// paper's introduction. Entities in exclude are skipped.
+func (m *TransE) AnswerTail(h, r int, exclude map[int]bool) int {
+	best, bestScore := -1, math.Inf(1)
+	for t := range m.Entities {
+		if t == h || exclude[t] {
+			continue
+		}
+		if s := m.Score(h, r, t); s < bestScore {
+			bestScore = s
+			best = t
+		}
+	}
+	return best
+}
+
+// AnswerHead answers (?, relation, tail) analogously.
+func (m *TransE) AnswerHead(r, t int, exclude map[int]bool) int {
+	best, bestScore := -1, math.Inf(1)
+	for h := range m.Entities {
+		if h == t || exclude[h] {
+			continue
+		}
+		if s := m.Score(h, r, t); s < bestScore {
+			bestScore = s
+			best = h
+		}
+	}
+	return best
+}

@@ -1,0 +1,138 @@
+package kge
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTransELinkPrediction(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	kg := dataset.World(10, rng)
+	train, test := kg.Split(0.15, rng)
+	cfg := DefaultTransEConfig()
+	m := TrainTransE(train, kg.NumEntities(), kg.NumRelations(), cfg, rng)
+	met := EvaluateTransE(m, test, kg.Triples)
+	if met.MRR < 0.3 {
+		t.Errorf("TransE MRR=%v, want >= 0.3 on the synthetic world", met.MRR)
+	}
+	if met.HitsAt[10] < 0.6 {
+		t.Errorf("Hits@10=%v, want >= 0.6", met.HitsAt[10])
+	}
+}
+
+func TestTransETranslationConsistency(t *testing.T) {
+	// The capital-of relation should act as a near-constant translation:
+	// consistency (mean pairwise diff distance) well below that of random
+	// entity pairs.
+	rng := rand.New(rand.NewSource(122))
+	kg := dataset.World(10, rng)
+	m := TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), DefaultTransEConfig(), rng)
+	consistency := m.TranslationConsistency(kg.Triples, dataset.RelCapitalOf)
+
+	// Baseline: differences between random unrelated entity pairs.
+	var fake []Triple
+	for i := 0; i < 10; i++ {
+		fake = append(fake, Triple{rng.Intn(kg.NumEntities()), dataset.RelCapitalOf, rng.Intn(kg.NumEntities())})
+	}
+	baseline := m.TranslationConsistency(fake, dataset.RelCapitalOf)
+	if consistency >= baseline {
+		t.Errorf("capital-of consistency %v should beat random baseline %v", consistency, baseline)
+	}
+}
+
+func TestTransEScoresPositivesBelowNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	kg := dataset.World(8, rng)
+	m := TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), DefaultTransEConfig(), rng)
+	var posMean, negMean float64
+	for _, tr := range kg.Triples {
+		posMean += m.Score(tr[0], tr[1], tr[2])
+		negMean += m.Score(rng.Intn(kg.NumEntities()), tr[1], rng.Intn(kg.NumEntities()))
+	}
+	posMean /= float64(len(kg.Triples))
+	negMean /= float64(len(kg.Triples))
+	if posMean >= negMean {
+		t.Errorf("positive mean score %v should be below negative mean %v", posMean, negMean)
+	}
+}
+
+func TestRESCALReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	kg := dataset.World(6, rng)
+	cfg := DefaultRESCALConfig()
+	m := TrainRESCAL(kg.Triples, kg.NumEntities(), kg.NumRelations(), cfg, rng)
+	err := m.ReconstructionError(kg.Triples, kg.NumRelations())
+	// Untrained baseline.
+	m0 := TrainRESCAL(kg.Triples, kg.NumEntities(), kg.NumRelations(), RESCALConfig{Dim: cfg.Dim, LR: 0, Epochs: 0}, rand.New(rand.NewSource(124)))
+	err0 := m0.ReconstructionError(kg.Triples, kg.NumRelations())
+	if err >= err0 {
+		t.Errorf("training should reduce reconstruction error: %v -> %v", err0, err)
+	}
+}
+
+func TestRESCALRelationAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	kg := dataset.World(8, rng)
+	m := TrainRESCAL(kg.Triples, kg.NumEntities(), kg.NumRelations(), DefaultRESCALConfig(), rng)
+	for r := 0; r < kg.NumRelations(); r++ {
+		auc := m.RelationAUC(kg.Triples, r, rng, 2000)
+		if auc < 0.85 {
+			t.Errorf("relation %d AUC=%v, want >= 0.85", r, auc)
+		}
+	}
+}
+
+func TestEvaluateMetricsRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(126))
+	kg := dataset.World(5, rng)
+	m := TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), TransEConfig{Dim: 4, Margin: 1, LR: 0.05, Epochs: 20}, rng)
+	met := EvaluateTransE(m, kg.Triples[:3], kg.Triples)
+	if met.MRR < 0 || met.MRR > 1 {
+		t.Errorf("MRR out of range: %v", met.MRR)
+	}
+	for k, v := range met.HitsAt {
+		if v < 0 || v > 1 {
+			t.Errorf("Hits@%d out of range: %v", k, v)
+		}
+	}
+	if met.HitsAt[10] < met.HitsAt[1] {
+		t.Error("Hits@10 must dominate Hits@1")
+	}
+}
+
+func TestAnalogyQueries(t *testing.T) {
+	// "What is the capital of country X?" answered by TransE ranking — the
+	// introduction's Paris/France lookup on the synthetic world.
+	rng := rand.New(rand.NewSource(127))
+	kg := dataset.World(8, rng)
+	m := TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), DefaultTransEConfig(), rng)
+	correct, total := 0, 0
+	for _, tr := range kg.Triples {
+		if tr[1] != dataset.RelCapitalOf {
+			continue
+		}
+		total++
+		if m.AnswerHead(dataset.RelCapitalOf, tr[2], nil) == tr[0] {
+			correct++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no capital-of triples")
+	}
+	if float64(correct)/float64(total) < 0.5 {
+		t.Errorf("analogy head queries: %d/%d correct, want >= half", correct, total)
+	}
+}
+
+func TestAnswerTailExcludes(t *testing.T) {
+	rng := rand.New(rand.NewSource(128))
+	kg := dataset.World(4, rng)
+	m := TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), TransEConfig{Dim: 8, Margin: 1, LR: 0.05, Epochs: 50}, rng)
+	first := m.AnswerTail(0, 0, nil)
+	second := m.AnswerTail(0, 0, map[int]bool{first: true})
+	if first == second {
+		t.Error("excluded entity should not be returned")
+	}
+}

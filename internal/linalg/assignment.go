@@ -1,0 +1,208 @@
+package linalg
+
+import "math"
+
+// Hungarian solves the minimum-cost assignment problem for an n-by-n cost
+// matrix in O(n^3) using the potentials formulation. It returns the
+// assignment (row i -> column assign[i]) and the total cost.
+func Hungarian(cost *Matrix) (assign []int, total float64) {
+	n := cost.Rows
+	if cost.Cols != n {
+		panic("linalg: Hungarian requires a square cost matrix")
+	}
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j (1-based)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost.At(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	assign = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost.At(i, assign[i])
+	}
+	return assign, total
+}
+
+// PermutationMatrix returns the n-by-n 0/1 matrix with P[i][assign[i]] = 1.
+func PermutationMatrix(assign []int) *Matrix {
+	n := len(assign)
+	p := NewMatrix(n, n)
+	for i, j := range assign {
+		p.Set(i, j, 1)
+	}
+	return p
+}
+
+// Sinkhorn projects a strictly positive matrix towards the doubly stochastic
+// polytope by alternating row and column normalisation.
+func Sinkhorn(m *Matrix, iters int) *Matrix {
+	x := m.Clone()
+	n := x.Rows
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += x.At(i, j)
+			}
+			if s > 0 {
+				for j := 0; j < n; j++ {
+					x.Set(i, j, x.At(i, j)/s)
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += x.At(i, j)
+			}
+			if s > 0 {
+				for i := 0; i < n; i++ {
+					x.Set(i, j, x.At(i, j)/s)
+				}
+			}
+		}
+	}
+	return x
+}
+
+// IsDoublyStochastic reports whether every entry is nonnegative and every
+// row and column sums to 1 within tol.
+func IsDoublyStochastic(m *Matrix, tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		var rs float64
+		for j := 0; j < n; j++ {
+			v := m.At(i, j)
+			if v < -tol {
+				return false
+			}
+			rs += v
+		}
+		if math.Abs(rs-1) > tol {
+			return false
+		}
+	}
+	for j := 0; j < n; j++ {
+		var cs float64
+		for i := 0; i < n; i++ {
+			cs += m.At(i, j)
+		}
+		if math.Abs(cs-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// FrankWolfeResult reports the outcome of minimising ½‖AX−XB‖²_F over the
+// Birkhoff polytope of doubly stochastic matrices.
+type FrankWolfeResult struct {
+	X         *Matrix   // final iterate
+	Objective float64   // ‖AX−XB‖_F at X
+	Trace     []float64 // objective after each iteration
+}
+
+// FrankWolfe runs the Frank–Wolfe (conditional gradient) algorithm for the
+// fractional-isomorphism objective min_X ‖AX−XB‖_F over doubly stochastic X,
+// the convex relaxation discussed after Theorem 3.2. Each linear subproblem
+// is an assignment problem solved by Hungarian; step sizes come from exact
+// line search of the quadratic objective.
+func FrankWolfe(a, b *Matrix, iters int) FrankWolfeResult {
+	n := a.Rows
+	if a.Cols != n || b.Rows != n || b.Cols != n {
+		panic("linalg: FrankWolfe requires equal-order square matrices")
+	}
+	// Start at the barycentre J/n of the Birkhoff polytope.
+	x := NewMatrix(n, n)
+	for i := range x.Data {
+		x.Data[i] = 1 / float64(n)
+	}
+	residual := func(x *Matrix) *Matrix { return a.Mul(x).Sub(x.Mul(b)) }
+	res := FrankWolfeResult{}
+	for it := 0; it < iters; it++ {
+		r := residual(x)
+		// grad f = Aᵀ R − R Bᵀ
+		grad := a.T().Mul(r).Sub(r.Mul(b.T()))
+		assign, _ := Hungarian(grad)
+		y := PermutationMatrix(assign)
+		d := y.Sub(x)
+		// Exact line search: residual along the segment is R + γ S.
+		s := a.Mul(d).Sub(d.Mul(b))
+		num, den := 0.0, 0.0
+		for i := range r.Data {
+			num += r.Data[i] * s.Data[i]
+			den += s.Data[i] * s.Data[i]
+		}
+		gamma := 0.0
+		if den > 1e-18 {
+			gamma = -num / den
+		}
+		if gamma < 0 {
+			gamma = 0
+		}
+		if gamma > 1 {
+			gamma = 1
+		}
+		x = x.Add(d.Scale(gamma))
+		res.Trace = append(res.Trace, Frobenius(residual(x)))
+	}
+	res.X = x
+	res.Objective = Frobenius(residual(x))
+	return res
+}

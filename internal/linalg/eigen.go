@@ -1,0 +1,180 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SymmetricEigen computes the full eigendecomposition of a symmetric matrix
+// using the cyclic Jacobi method. It returns the eigenvalues in descending
+// order and the matching orthonormal eigenvectors as the columns of V.
+func SymmetricEigen(a *Matrix) (values []float64, v *Matrix) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("linalg: eigen of non-square matrix")
+	}
+	m := a.Clone()
+	v = Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation J(p,q,theta) on both sides of m and
+				// accumulate into v.
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns in step.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	sortedVals := make([]float64, n)
+	sortedV := NewMatrix(n, n)
+	for col, src := range idx {
+		sortedVals[col] = values[src]
+		for r := 0; r < n; r++ {
+			sortedV.Set(r, col, v.At(r, src))
+		}
+	}
+	return sortedVals, sortedV
+}
+
+// Eigenvalues returns just the eigenvalues of a symmetric matrix, descending.
+func Eigenvalues(a *Matrix) []float64 {
+	vals, _ := SymmetricEigen(a)
+	return vals
+}
+
+// SVD computes the thin singular value decomposition A = U Σ Vᵀ via the
+// eigendecomposition of AᵀA (adequate for the small dense matrices used
+// here). Singular values are returned descending; U is r×k, V is c×k with
+// k = min(r,c).
+func SVD(a *Matrix) (u *Matrix, sigma []float64, v *Matrix) {
+	r, c := a.Rows, a.Cols
+	k := r
+	if c < k {
+		k = c
+	}
+	ata := a.T().Mul(a)
+	vals, vecs := SymmetricEigen(ata)
+	sigma = make([]float64, k)
+	v = NewMatrix(c, k)
+	for j := 0; j < k; j++ {
+		lam := vals[j]
+		if lam < 0 {
+			lam = 0
+		}
+		sigma[j] = math.Sqrt(lam)
+		for i := 0; i < c; i++ {
+			v.Set(i, j, vecs.At(i, j))
+		}
+	}
+	u = NewMatrix(r, k)
+	av := a.Mul(v)
+	for j := 0; j < k; j++ {
+		if sigma[j] > 1e-12 {
+			for i := 0; i < r; i++ {
+				u.Set(i, j, av.At(i, j)/sigma[j])
+			}
+		} else {
+			// Null singular direction: leave the column zero; callers using
+			// truncated SVDs never touch it.
+			for i := 0; i < r; i++ {
+				u.Set(i, j, 0)
+			}
+		}
+	}
+	return u, sigma, v
+}
+
+// SpectralEmbedding returns the d-dimensional embedding of a symmetric
+// similarity matrix S: rows of U_d·|Λ_d|^{1/2} for the top-d eigenvalues by
+// magnitude. This is the SVD/matrix-factorisation node embedding of
+// Section 2.1 (Figure 2a/2b).
+func SpectralEmbedding(s *Matrix, d int) *Matrix {
+	n := s.Rows
+	vals, vecs := SymmetricEigen(s)
+	// Order by |λ| descending.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(vals[idx[a]]) > math.Abs(vals[idx[b]])
+	})
+	if d > n {
+		d = n
+	}
+	x := NewMatrix(n, d)
+	for j := 0; j < d; j++ {
+		col := idx[j]
+		scale := math.Sqrt(math.Abs(vals[col]))
+		for i := 0; i < n; i++ {
+			x.Set(i, j, vecs.At(i, col)*scale)
+		}
+	}
+	return x
+}
+
+// PowerIteration approximates the dominant eigenvalue (by magnitude) of a
+// square matrix. Deterministic start vector; iters controls precision.
+func PowerIteration(a *Matrix, iters int) float64 {
+	n := a.Rows
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(n))
+	}
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		y := a.MulVec(x)
+		norm := Norm2(y)
+		if norm == 0 {
+			return 0
+		}
+		for i := range y {
+			y[i] /= norm
+		}
+		lambda = Dot(y, a.MulVec(y))
+		x = y
+	}
+	return lambda
+}

@@ -1,0 +1,157 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters the rows of x into k clusters with Lloyd's algorithm and
+// k-means++ seeding. It returns the cluster assignment per row.
+func KMeans(x *Matrix, k int, rng *rand.Rand) []int {
+	n, d := x.Rows, x.Cols
+	if k <= 0 || n == 0 {
+		return make([]int, n)
+	}
+	if k > n {
+		k = n
+	}
+	centers := kmeansPlusPlus(x, k, rng)
+	assign := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dd := sqDist(x.Row(i), centers[c])
+				if dd < bestD {
+					bestD = dd
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := x.Row(i)
+			for j := 0; j < d; j++ {
+				centers[c][j] += row[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centers[c], x.Row(rng.Intn(n)))
+				continue
+			}
+			for j := 0; j < d; j++ {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+func kmeansPlusPlus(x *Matrix, k int, rng *rand.Rand) [][]float64 {
+	n, d := x.Rows, x.Cols
+	centers := make([][]float64, 0, k)
+	first := make([]float64, d)
+	copy(first, x.Row(rng.Intn(n)))
+	centers = append(centers, first)
+	dist := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if dd := sqDist(x.Row(i), c); dd < best {
+					best = dd
+				}
+			}
+			dist[i] = best
+			total += best
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				acc += dist[i]
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		c := make([]float64, d)
+		copy(c, x.Row(pick))
+		centers = append(centers, c)
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NMI computes the normalised mutual information between two labelings,
+// used to score community recovery of node embeddings (E22). Returns a
+// value in [0,1]; 1 means identical partitions up to renaming.
+func NMI(a, b []int) float64 {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return 0
+	}
+	ca := map[int]int{}
+	cb := map[int]int{}
+	joint := map[[2]int]int{}
+	for i := 0; i < n; i++ {
+		ca[a[i]]++
+		cb[b[i]]++
+		joint[[2]int{a[i], b[i]}]++
+	}
+	entropy := func(counts map[int]int) float64 {
+		var h float64
+		for _, c := range counts {
+			p := float64(c) / float64(n)
+			if p > 0 {
+				h -= p * math.Log(p)
+			}
+		}
+		return h
+	}
+	ha, hb := entropy(ca), entropy(cb)
+	var mi float64
+	for key, c := range joint {
+		pxy := float64(c) / float64(n)
+		px := float64(ca[key[0]]) / float64(n)
+		py := float64(cb[key[1]]) / float64(n)
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	if ha == 0 || hb == 0 {
+		if ha == hb {
+			return 1
+		}
+		return 0
+	}
+	return mi / math.Sqrt(ha*hb)
+}

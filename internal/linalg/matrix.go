@@ -1,0 +1,205 @@
+// Package linalg implements the dense linear algebra the x2vec reproduction
+// needs, from scratch on the standard library: matrix arithmetic, symmetric
+// eigendecomposition (cyclic Jacobi), singular value decomposition, matrix
+// and operator norms including the cut norm, the Hungarian assignment
+// algorithm, Sinkhorn balancing, Frank–Wolfe minimisation over the Birkhoff
+// polytope, exact rational linear-system solving, and k-means clustering.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero r-by-c matrix.
+func NewMatrix(r, c int) *Matrix {
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices (all rows must share a length).
+func FromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns entry (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns entry (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a live slice into the matrix.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m*other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("linalg: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			orow := other.Data[k*other.Cols : (k+1)*other.Cols]
+			dst := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, b := range orow {
+				dst[j] += a * b
+			}
+		}
+	}
+	return out
+}
+
+// Add returns m+other.
+func (m *Matrix) Add(other *Matrix) *Matrix { return m.axpy(other, 1) }
+
+// Sub returns m-other.
+func (m *Matrix) Sub(other *Matrix) *Matrix { return m.axpy(other, -1) }
+
+func (m *Matrix) axpy(other *Matrix, s float64) *Matrix {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("linalg: shape mismatch")
+	}
+	out := m.Clone()
+	for i, v := range other.Data {
+		out.Data[i] += s * v
+	}
+	return out
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// MulVec returns m*x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic("linalg: mulvec shape mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Trace returns the trace of a square matrix.
+func (m *Matrix) Trace() float64 {
+	if m.Rows != m.Cols {
+		panic("linalg: trace of non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.Rows; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// Pow returns m^k for square m and k >= 0 by repeated squaring.
+func (m *Matrix) Pow(k int) *Matrix {
+	if m.Rows != m.Cols {
+		panic("linalg: pow of non-square matrix")
+	}
+	result := Identity(m.Rows)
+	base := m.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	return result
+}
+
+// Equal reports entry-wise equality within tol.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-other.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot is the vector dot product.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 is the Euclidean vector norm.
+func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
+
+// CosineSimilarity returns <a,b>/(|a||b|), the similarity used by the
+// encoder-decoder framing in Section 2.1; zero vectors yield 0.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}

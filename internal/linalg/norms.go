@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Frobenius returns the Frobenius norm ‖M‖_F.
+func Frobenius(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// EntrywisePNorm returns ‖M‖_p = (Σ|Mij|^p)^{1/p}, the flattened-vector norm
+// of Section 5.1 (so EntrywisePNorm(m, 2) == Frobenius(m)).
+func EntrywisePNorm(m *Matrix, p float64) float64 {
+	if p <= 0 {
+		panic("linalg: p-norm needs p > 0")
+	}
+	var s float64
+	for _, v := range m.Data {
+		s += math.Pow(math.Abs(v), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// Operator1Norm returns the operator norm induced by ℓ1, the maximum
+// absolute column sum.
+func Operator1Norm(m *Matrix) float64 {
+	best := 0.0
+	for j := 0; j < m.Cols; j++ {
+		var s float64
+		for i := 0; i < m.Rows; i++ {
+			s += math.Abs(m.At(i, j))
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// OperatorInfNorm returns the operator norm induced by ℓ∞, the maximum
+// absolute row sum.
+func OperatorInfNorm(m *Matrix) float64 {
+	best := 0.0
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for j := 0; j < m.Cols; j++ {
+			s += math.Abs(m.At(i, j))
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// SpectralNorm returns the operator 2-norm (largest singular value),
+// computed by power iteration on MᵀM.
+func SpectralNorm(m *Matrix) float64 {
+	ata := m.T().Mul(m)
+	lam := PowerIteration(ata, 200)
+	if lam < 0 {
+		lam = 0
+	}
+	return math.Sqrt(lam)
+}
+
+// CutNormExact computes the cut norm ‖M‖□ = max_{S,T} |Σ_{i∈S,j∈T} Mij| by
+// exhausting row subsets (2^rows) and choosing columns greedily per subset.
+// Exact; intended for matrices with at most ~20 rows.
+func CutNormExact(m *Matrix) float64 {
+	if m.Rows > 22 {
+		panic("linalg: CutNormExact limited to 22 rows; use CutNormLocalSearch")
+	}
+	best := 0.0
+	colSum := make([]float64, m.Cols)
+	for mask := 0; mask < 1<<uint(m.Rows); mask++ {
+		for j := range colSum {
+			colSum[j] = 0
+		}
+		for i := 0; i < m.Rows; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				row := m.Row(i)
+				for j, v := range row {
+					colSum[j] += v
+				}
+			}
+		}
+		// For fixed S, the optimal T takes either all positive column sums or
+		// all negative ones (absolute value of the total).
+		var pos, neg float64
+		for _, v := range colSum {
+			if v > 0 {
+				pos += v
+			} else {
+				neg -= v
+			}
+		}
+		if pos > best {
+			best = pos
+		}
+		if neg > best {
+			best = neg
+		}
+	}
+	return best
+}
+
+// CutNormLocalSearch lower-bounds the cut norm by randomised local search
+// over (S,T) indicator pairs with restarts. Always ≤ the true cut norm.
+func CutNormLocalSearch(m *Matrix, restarts int, rng *rand.Rand) float64 {
+	best := 0.0
+	for r := 0; r < restarts; r++ {
+		s := make([]bool, m.Rows)
+		t := make([]bool, m.Cols)
+		for i := range s {
+			s[i] = rng.Intn(2) == 0
+		}
+		for j := range t {
+			t[j] = rng.Intn(2) == 0
+		}
+		val := cutValue(m, s, t)
+		for improved := true; improved; {
+			improved = false
+			for i := 0; i < m.Rows; i++ {
+				s[i] = !s[i]
+				if v := cutValue(m, s, t); math.Abs(v) > math.Abs(val) {
+					val = v
+					improved = true
+				} else {
+					s[i] = !s[i]
+				}
+			}
+			for j := 0; j < m.Cols; j++ {
+				t[j] = !t[j]
+				if v := cutValue(m, s, t); math.Abs(v) > math.Abs(val) {
+					val = v
+					improved = true
+				} else {
+					t[j] = !t[j]
+				}
+			}
+		}
+		if math.Abs(val) > best {
+			best = math.Abs(val)
+		}
+	}
+	return best
+}
+
+func cutValue(m *Matrix, s, t []bool) float64 {
+	var v float64
+	for i := 0; i < m.Rows; i++ {
+		if !s[i] {
+			continue
+		}
+		row := m.Row(i)
+		for j, x := range row {
+			if t[j] {
+				v += x
+			}
+		}
+	}
+	return v
+}

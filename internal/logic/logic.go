@@ -1,0 +1,217 @@
+// Package logic implements the counting logic C of Section 3.4: a formula
+// AST with counting quantifiers ∃≥p, an evaluator over graphs, and deciders
+// for the finite-variable fragment C² and the bounded-quantifier-rank
+// fragments C_k (via the bijective counting game), which the paper relates
+// to 1-WL (Theorem 3.1, Corollary 4.15) and to tree-depth-bounded
+// homomorphism vectors (Theorem 4.10).
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Formula is a formula of the counting logic C over graph vocabulary
+// {E, =, labels}, with variables identified by small integers.
+type Formula interface {
+	// Eval evaluates the formula in g under the given assignment of
+	// variables to vertices.
+	Eval(g *graph.Graph, assign map[int]int) bool
+	// Rank returns the quantifier rank.
+	Rank() int
+	// MaxVar returns the largest variable index occurring (free or bound),
+	// or -1 when none do.
+	MaxVar() int
+	String() string
+}
+
+// Adj is the atomic formula E(x, y).
+type Adj struct{ X, Y int }
+
+// Eval implements Formula.
+func (a Adj) Eval(g *graph.Graph, assign map[int]int) bool {
+	return g.HasEdge(assign[a.X], assign[a.Y])
+}
+
+// Rank implements Formula.
+func (a Adj) Rank() int { return 0 }
+
+// MaxVar implements Formula.
+func (a Adj) MaxVar() int { return max(a.X, a.Y) }
+
+func (a Adj) String() string { return fmt.Sprintf("E(x%d,x%d)", a.X, a.Y) }
+
+// Eq is the atomic formula x = y.
+type Eq struct{ X, Y int }
+
+// Eval implements Formula.
+func (e Eq) Eval(g *graph.Graph, assign map[int]int) bool { return assign[e.X] == assign[e.Y] }
+
+// Rank implements Formula.
+func (e Eq) Rank() int { return 0 }
+
+// MaxVar implements Formula.
+func (e Eq) MaxVar() int { return max(e.X, e.Y) }
+
+func (e Eq) String() string { return fmt.Sprintf("x%d=x%d", e.X, e.Y) }
+
+// HasLabel is the atomic formula L_l(x).
+type HasLabel struct {
+	X     int
+	Label int
+}
+
+// Eval implements Formula.
+func (h HasLabel) Eval(g *graph.Graph, assign map[int]int) bool {
+	return g.VertexLabel(assign[h.X]) == h.Label
+}
+
+// Rank implements Formula.
+func (h HasLabel) Rank() int { return 0 }
+
+// MaxVar implements Formula.
+func (h HasLabel) MaxVar() int { return h.X }
+
+func (h HasLabel) String() string { return fmt.Sprintf("L%d(x%d)", h.Label, h.X) }
+
+// Not negates a formula.
+type Not struct{ F Formula }
+
+// Eval implements Formula.
+func (n Not) Eval(g *graph.Graph, assign map[int]int) bool { return !n.F.Eval(g, assign) }
+
+// Rank implements Formula.
+func (n Not) Rank() int { return n.F.Rank() }
+
+// MaxVar implements Formula.
+func (n Not) MaxVar() int { return n.F.MaxVar() }
+
+func (n Not) String() string { return "¬" + n.F.String() }
+
+// And is binary conjunction.
+type And struct{ L, R Formula }
+
+// Eval implements Formula.
+func (a And) Eval(g *graph.Graph, assign map[int]int) bool {
+	return a.L.Eval(g, assign) && a.R.Eval(g, assign)
+}
+
+// Rank implements Formula.
+func (a And) Rank() int { return max(a.L.Rank(), a.R.Rank()) }
+
+// MaxVar implements Formula.
+func (a And) MaxVar() int { return max(a.L.MaxVar(), a.R.MaxVar()) }
+
+func (a And) String() string { return "(" + a.L.String() + "∧" + a.R.String() + ")" }
+
+// Or is binary disjunction.
+type Or struct{ L, R Formula }
+
+// Eval implements Formula.
+func (o Or) Eval(g *graph.Graph, assign map[int]int) bool {
+	return o.L.Eval(g, assign) || o.R.Eval(g, assign)
+}
+
+// Rank implements Formula.
+func (o Or) Rank() int { return max(o.L.Rank(), o.R.Rank()) }
+
+// MaxVar implements Formula.
+func (o Or) MaxVar() int { return max(o.L.MaxVar(), o.R.MaxVar()) }
+
+func (o Or) String() string { return "(" + o.L.String() + "∨" + o.R.String() + ")" }
+
+// CountExists is the counting quantifier ∃≥p x. F.
+type CountExists struct {
+	X int
+	P int
+	F Formula
+}
+
+// Eval implements Formula.
+func (c CountExists) Eval(g *graph.Graph, assign map[int]int) bool {
+	count := 0
+	inner := map[int]int{}
+	for k, v := range assign {
+		inner[k] = v
+	}
+	for v := 0; v < g.N(); v++ {
+		inner[c.X] = v
+		if c.F.Eval(g, inner) {
+			count++
+			if count >= c.P {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Rank implements Formula.
+func (c CountExists) Rank() int { return 1 + c.F.Rank() }
+
+// MaxVar implements Formula.
+func (c CountExists) MaxVar() int { return max(c.X, c.F.MaxVar()) }
+
+func (c CountExists) String() string {
+	return fmt.Sprintf("∃≥%d x%d.%s", c.P, c.X, c.F.String())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Sentence evaluates a closed formula on g.
+func Sentence(g *graph.Graph, f Formula) bool {
+	return f.Eval(g, map[int]int{})
+}
+
+// SatisfiesAt evaluates a formula with one free variable (index 0) at
+// vertex v.
+func SatisfiesAt(g *graph.Graph, f Formula, v int) bool {
+	return f.Eval(g, map[int]int{0: v})
+}
+
+// RandomC2Formula samples a random C² formula with free variable x0 and
+// quantifier rank at most depth, referencing only variables in scope. Used
+// to probe Corollary 4.15 empirically.
+func RandomC2Formula(rng *rand.Rand, depth int) Formula {
+	return randC2(rng, depth, []int{0})
+}
+
+func randC2(rng *rand.Rand, depth int, avail []int) Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		x := avail[rng.Intn(len(avail))]
+		y := avail[rng.Intn(len(avail))]
+		if rng.Intn(2) == 0 {
+			return Adj{x, y}
+		}
+		return Eq{x, y}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Not{randC2(rng, depth, avail)}
+	case 1:
+		return And{randC2(rng, depth, avail), randC2(rng, depth, avail)}
+	default:
+		x := rng.Intn(2)
+		na := avail
+		if !containsVar(avail, x) {
+			na = append(append([]int(nil), avail...), x)
+		}
+		return CountExists{X: x, P: 1 + rng.Intn(3), F: randC2(rng, depth-1, na)}
+	}
+}
+
+func containsVar(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+// Package relational implements relational structures of arbitrary arity
+// and their binary incidence structures (Section 4.2 of the paper). A
+// σ-structure with relations R_1..R_m of arities k_1..k_m is encoded as an
+// incidence graph over vocabulary σ_I = {E_1..E_k, P_1..P_m}: one vertex per
+// universe element, one vertex per tuple (labelled by its relation), and a
+// position-labelled edge from the j-th member of a tuple to the tuple
+// vertex. Corollary 4.12 relates 1-WL on these incidence graphs to
+// tree-homomorphism vectors and C² equivalence; this package provides the
+// encoders and deciders that experiment E12 exercises.
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/logic"
+	"repro/internal/wl"
+)
+
+// Relation is a named relation with fixed arity and a set of tuples.
+type Relation struct {
+	Name   string
+	Arity  int
+	Tuples [][]int
+}
+
+// Structure is a finite relational structure over universe {0..N-1}.
+type Structure struct {
+	N         int
+	Relations []Relation
+}
+
+// AddTuple appends a tuple to relation r, validating arity and range.
+func (s *Structure) AddTuple(r int, tuple ...int) {
+	rel := &s.Relations[r]
+	if len(tuple) != rel.Arity {
+		panic(fmt.Sprintf("relational: tuple arity %d != %d", len(tuple), rel.Arity))
+	}
+	for _, v := range tuple {
+		if v < 0 || v >= s.N {
+			panic("relational: tuple element out of range")
+		}
+	}
+	rel.Tuples = append(rel.Tuples, append([]int(nil), tuple...))
+}
+
+// IncidenceGraph encodes the structure as an undirected vertex-labelled
+// graph: element vertices carry label 1, the tuple vertex of a relation R_i
+// tuple carries label i+2, and the position relations E_j are encoded by
+// subdividing each membership edge through a vertex labelled m+1+j (m =
+// number of relations). Vertex labels alone then carry the full σ_I
+// information, so label-preserving homomorphisms, 1-WL, and C² all see the
+// positions — matching Corollary 4.12's vocabulary.
+func (s *Structure) IncidenceGraph() *graph.Graph {
+	g := graph.New(s.N)
+	for v := 0; v < s.N; v++ {
+		g.SetVertexLabel(v, 1)
+	}
+	m := len(s.Relations)
+	for ri, rel := range s.Relations {
+		for _, tuple := range rel.Tuples {
+			tv := g.AddVertex()
+			g.SetVertexLabel(tv, ri+2)
+			for j, v := range tuple {
+				pv := g.AddVertex()
+				g.SetVertexLabel(pv, m+2+j)
+				g.AddEdge(v, pv)
+				g.AddEdge(pv, tv)
+			}
+		}
+	}
+	return g
+}
+
+// incidenceLabels returns the vertex-label alphabet of the incidence
+// encoding: element, relation, and position labels.
+func (s *Structure) incidenceLabels() []int {
+	maxArity := 0
+	for _, r := range s.Relations {
+		if r.Arity > maxArity {
+			maxArity = r.Arity
+		}
+	}
+	labels := []int{1}
+	for i := range s.Relations {
+		labels = append(labels, i+2)
+	}
+	m := len(s.Relations)
+	for j := 0; j < maxArity; j++ {
+		labels = append(labels, m+2+j)
+	}
+	return labels
+}
+
+// WLEquivalent reports whether 1-WL fails to distinguish the incidence
+// graphs of a and b (Corollary 4.12 condition (2)).
+func WLEquivalent(a, b *Structure) bool {
+	return !wl.Distinguishes(a.IncidenceGraph(), b.IncidenceGraph())
+}
+
+// C2Equivalent reports C²-equivalence of the incidence graphs (Corollary
+// 4.12 condition (3)), decided by the bijective two-pebble game.
+func C2Equivalent(a, b *Structure) bool {
+	return logic.EquivalentC2(a.IncidenceGraph(), b.IncidenceGraph())
+}
+
+// LabelledTrees enumerates all vertex-labelled trees with at most maxN
+// vertices and labels drawn from labels — the pattern class T(σ_I) of
+// Corollary 4.12 truncated for experiments.
+func LabelledTrees(maxN int, labels []int) []*graph.Graph {
+	var out []*graph.Graph
+	for n := 1; n <= maxN; n++ {
+		for _, t := range graph.AllTrees(n) {
+			assignment := make([]int, n)
+			var rec func(i int)
+			rec = func(i int) {
+				if i == n {
+					lt := t.Clone()
+					for v, l := range assignment {
+						lt.SetVertexLabel(v, l)
+					}
+					out = append(out, lt)
+					return
+				}
+				for _, l := range labels {
+					assignment[i] = l
+					rec(i + 1)
+				}
+			}
+			rec(0)
+		}
+	}
+	return out
+}
+
+// TreeHomIndistinguishable reports whether the incidence graphs of a and b
+// have equal homomorphism counts over all labelled trees up to maxN
+// vertices (Corollary 4.12 condition (1), truncated).
+func TreeHomIndistinguishable(a, b *Structure, maxN int) bool {
+	ga, gb := a.IncidenceGraph(), b.IncidenceGraph()
+	labels := a.incidenceLabels()
+	for _, t := range LabelledTrees(maxN, labels) {
+		if hom.Count(t, ga) != hom.Count(t, gb) {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomStructure samples a structure with one ternary relation over n
+// elements containing exactly k distinct random tuples — the simplest
+// higher-arity test bed. Keeping k small keeps the incidence graphs small
+// enough for the exact C² game.
+func RandomStructure(n, k int, rng *rand.Rand) *Structure {
+	s := &Structure{N: n, Relations: []Relation{{Name: "R", Arity: 3}}}
+	seen := map[[3]int]bool{}
+	for len(s.Relations[0].Tuples) < k {
+		t := [3]int{rng.Intn(n), rng.Intn(n), rng.Intn(n)}
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		s.AddTuple(0, t[0], t[1], t[2])
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+package relational
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ternary builds a structure with one ternary relation from tuples.
+func ternary(n int, tuples ...[3]int) *Structure {
+	s := &Structure{N: n, Relations: []Relation{{Name: "R", Arity: 3}}}
+	for _, t := range tuples {
+		s.AddTuple(0, t[0], t[1], t[2])
+	}
+	return s
+}
+
+func TestIncidenceGraphShape(t *testing.T) {
+	s := ternary(3, [3]int{0, 1, 2}, [3]int{2, 1, 0})
+	g := s.IncidenceGraph()
+	if g.N() != 11 { // 3 elements + 2 tuple vertices + 6 position vertices
+		t.Fatalf("incidence graph has %d vertices, want 11", g.N())
+	}
+	if g.M() != 12 { // 2 subdivision edges per position
+		t.Fatalf("incidence graph has %d edges, want 12", g.M())
+	}
+	if g.VertexLabel(3) != 2 || g.VertexLabel(0) != 1 {
+		t.Error("labels: tuple vertices get relation labels, elements label 1")
+	}
+}
+
+func TestIdenticalStructuresEquivalent(t *testing.T) {
+	a := ternary(3, [3]int{0, 1, 2})
+	b := ternary(3, [3]int{1, 2, 0}) // isomorphic relabelling
+	if !WLEquivalent(a, b) {
+		t.Error("isomorphic structures should be WL-equivalent")
+	}
+	if !C2Equivalent(a, b) {
+		t.Error("isomorphic structures should be C2-equivalent")
+	}
+	if !TreeHomIndistinguishable(a, b, 3) {
+		t.Error("isomorphic structures should have equal tree-hom vectors")
+	}
+}
+
+func TestPositionMattersInTuples(t *testing.T) {
+	// (0,1,2) vs (0,2,1): different position structure around elements 1,2
+	// when their roles elsewhere differ; with a second tuple pinning roles
+	// the structures separate.
+	a := ternary(3, [3]int{0, 1, 2}, [3]int{0, 1, 2})
+	b := ternary(3, [3]int{0, 1, 2}, [3]int{0, 2, 1})
+	if WLEquivalent(a, b) {
+		t.Error("tuple position swap should be visible to WL on incidence graphs")
+	}
+	if C2Equivalent(a, b) {
+		t.Error("tuple position swap should be visible to C2")
+	}
+	if TreeHomIndistinguishable(a, b, 3) {
+		t.Error("labelled tree homs should separate the pair")
+	}
+}
+
+func TestCorollary412Consistency(t *testing.T) {
+	// Conditions (1) WL, (2) C2, and (3) truncated tree homs must agree on
+	// random structure pairs.
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 6; trial++ {
+		a := RandomStructure(3, 2, rng)
+		b := RandomStructure(3, 2, rng)
+		wlEq := WLEquivalent(a, b)
+		c2Eq := C2Equivalent(a, b)
+		if wlEq != c2Eq {
+			t.Errorf("trial %d: WL=%v C2=%v disagree", trial, wlEq, c2Eq)
+		}
+		homEq := TreeHomIndistinguishable(a, b, 3)
+		if wlEq && !homEq {
+			t.Errorf("trial %d: WL-equivalent but tree homs differ (violates Cor 4.12)", trial)
+		}
+		if !wlEq && homEq {
+			// Truncation at 3 vertices may fail to separate; log only.
+			t.Logf("trial %d: truncated tree class too small to separate", trial)
+		}
+	}
+}
+
+func TestDifferentTupleCounts(t *testing.T) {
+	a := ternary(3, [3]int{0, 1, 2})
+	b := ternary(3)
+	if WLEquivalent(a, b) {
+		t.Error("different tuple counts should be visible")
+	}
+}
+
+func TestArityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	s := ternary(3)
+	s.AddTuple(0, 1, 2)
+}

@@ -1,0 +1,145 @@
+// Package similarity implements the graph distance measures of Section 5:
+// matrix-norm distances dist‖·‖(G,H) = min_P ‖AP − PB‖ over permutation
+// matrices (exact, for small graphs), the edit-distance identities (5.3) and
+// (5.4), the relaxed distances d̃ist over doubly stochastic matrices solved
+// by Frank–Wolfe (eq. 5.5), fractional isomorphism, and the cut distance.
+package similarity
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/wl"
+)
+
+// Norm identifies a matrix norm for distance computations.
+type Norm int
+
+// Supported norms.
+const (
+	Frobenius Norm = iota // ‖·‖_F = entrywise 2-norm
+	Entry1                // ‖·‖_1 = entrywise 1-norm (edit distance, eq. 5.3)
+	Operator1             // ‖·‖⟨1⟩ = max column sum (eq. 5.4)
+	Cut                   // ‖·‖□ cut norm
+)
+
+func matrixNorm(m *linalg.Matrix, n Norm) float64 {
+	switch n {
+	case Frobenius:
+		return linalg.Frobenius(m)
+	case Entry1:
+		return linalg.EntrywisePNorm(m, 1)
+	case Operator1:
+		return linalg.Operator1Norm(m)
+	case Cut:
+		return linalg.CutNormExact(m)
+	}
+	panic("similarity: unknown norm")
+}
+
+// Dist computes dist‖·‖(g, h) = min over permutation matrices P of
+// ‖AP − PB‖ by exhaustive search over permutations (graphs must have equal
+// order; intended for n <= 8).
+func Dist(g, h *graph.Graph, norm Norm) float64 {
+	n := g.N()
+	if h.N() != n {
+		panic("similarity: Dist requires graphs of equal order (use Blowup)")
+	}
+	a := linalg.FromRows(g.AdjacencyMatrix())
+	b := linalg.FromRows(h.AdjacencyMatrix())
+	best := math.Inf(1)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			p := linalg.PermutationMatrix(perm)
+			if v := matrixNorm(a.Mul(p).Sub(p.Mul(b)), norm); v < best {
+				best = v
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// EditDistance returns the minimum number of edge flips turning g into a
+// graph isomorphic to h (equation 5.3 divided by two).
+func EditDistance(g, h *graph.Graph) int {
+	return int(math.Round(Dist(g, h, Entry1) / 2))
+}
+
+// RelaxedDist computes d̃ist‖·‖_F(g, h): the Frobenius objective minimised
+// over doubly stochastic matrices by Frank–Wolfe (equation 5.5). It is a
+// pseudo-metric: zero exactly on fractionally isomorphic graphs.
+func RelaxedDist(g, h *graph.Graph, iters int) float64 {
+	a := linalg.FromRows(g.AdjacencyMatrix())
+	b := linalg.FromRows(h.AdjacencyMatrix())
+	return linalg.FrankWolfe(a, b, iters).Objective
+}
+
+// FractionallyIsomorphic decides fractional isomorphism. By Theorem 3.2
+// this is equivalent to 1-WL indistinguishability, which is how it is
+// decided here; RelaxedDist offers an independent numerical cross-check.
+func FractionallyIsomorphic(g, h *graph.Graph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	return !wl.Distinguishes(g, h)
+}
+
+// CutDistance is dist‖·‖□, the cut-norm alignment distance (exact, small n).
+func CutDistance(g, h *graph.Graph) float64 { return Dist(g, h, Cut) }
+
+// Blowup replaces every vertex of g by k duplicate vertices (duplicates are
+// non-adjacent; edges become complete bipartite bundles), the standard trick
+// for comparing graphs of different orders (Section 5.1).
+func Blowup(g *graph.Graph, k int) *graph.Graph {
+	h := graph.New(g.N() * k)
+	for v := 0; v < g.N(); v++ {
+		for i := 0; i < k; i++ {
+			h.SetVertexLabel(v*k+i, g.VertexLabel(v))
+		}
+	}
+	for _, e := range g.Edges() {
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				h.AddEdge(e.U*k+i, e.V*k+j)
+			}
+		}
+	}
+	return h
+}
+
+// DistAnyOrder compares graphs of different orders by blowing both up to
+// the least common multiple of their orders. The exact alignment search is
+// factorial in the blown-up order, so callers should ensure
+// lcm(|G|, |H|) stays small (<= 8).
+func DistAnyOrder(g, h *graph.Graph, norm Norm) float64 {
+	ng, nh := g.N(), h.N()
+	if ng == 0 || nh == 0 {
+		return 0
+	}
+	l := lcm(ng, nh)
+	gb := Blowup(g, l/ng)
+	hb := Blowup(h, l/nh)
+	return Dist(gb, hb, norm)
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

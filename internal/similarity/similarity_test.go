@@ -1,0 +1,196 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDistZeroForIsomorphic(t *testing.T) {
+	g := graph.Cycle(5)
+	h := graph.FromEdgeList(5, [][2]int{{0, 2}, {2, 4}, {4, 1}, {1, 3}, {3, 0}})
+	for _, norm := range []Norm{Frobenius, Entry1, Operator1, Cut} {
+		if d := Dist(g, h, norm); d != 0 {
+			t.Errorf("norm %d: distance %v between isomorphic graphs", norm, d)
+		}
+	}
+}
+
+func TestDistPositiveForNonIsomorphic(t *testing.T) {
+	g, h := graph.CospectralPair()
+	for _, norm := range []Norm{Frobenius, Entry1} {
+		if d := Dist(g, h, norm); d <= 0 {
+			t.Errorf("norm %d: distance %v should be positive", norm, d)
+		}
+	}
+}
+
+func TestEditDistanceIdentity(t *testing.T) {
+	// Equation (5.3): dist_1 = 2 × edge flips. C4 vs P4: remove one edge.
+	if d := EditDistance(graph.Cycle(4), graph.Path(4)); d != 1 {
+		t.Errorf("edit distance C4/P4 = %d, want 1", d)
+	}
+	// K3 vs empty triangle: 3 removals.
+	if d := EditDistance(graph.Complete(3), graph.New(3)); d != 3 {
+		t.Errorf("edit distance K3/empty = %d, want 3", d)
+	}
+	// Symmetric.
+	if EditDistance(graph.Path(4), graph.Cycle(4)) != EditDistance(graph.Cycle(4), graph.Path(4)) {
+		t.Error("edit distance should be symmetric")
+	}
+}
+
+func TestEditDistanceBruteCrossCheck(t *testing.T) {
+	// Cross-check dist_1/2 against direct minimisation of the symmetric
+	// difference over bijections.
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.Random(5, 0.5, rng)
+		h := graph.Random(5, 0.5, rng)
+		want := bruteEditDistance(g, h)
+		if got := EditDistance(g, h); got != want {
+			t.Errorf("trial %d: edit distance %d, brute %d", trial, got, want)
+		}
+	}
+}
+
+func bruteEditDistance(g, h *graph.Graph) int {
+	n := g.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 1 << 30
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			diff := 0
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if g.HasEdge(u, v) != h.HasEdge(perm[u], perm[v]) {
+						diff++
+					}
+				}
+			}
+			if diff < best {
+				best = diff
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestRelaxedDistZeroIffFractionallyIsomorphic(t *testing.T) {
+	// C6 vs 2C3: fractionally isomorphic (WL-equivalent) but not isomorphic:
+	// relaxed distance ~0, exact distance > 0.
+	g, h := graph.WLIndistinguishablePair()
+	if !FractionallyIsomorphic(g, h) {
+		t.Fatal("C6 and 2C3 should be fractionally isomorphic")
+	}
+	if d := RelaxedDist(g, h, 300); d > 1e-3 {
+		t.Errorf("relaxed distance %v, want ~0 for fractionally isomorphic pair", d)
+	}
+	if d := Dist(g, h, Frobenius); d <= 0 {
+		t.Errorf("exact distance should be positive: %v", d)
+	}
+}
+
+func TestRelaxedDistPositiveForWLDistinguishable(t *testing.T) {
+	g, h := graph.CospectralPair() // distinguished by WL
+	if FractionallyIsomorphic(g, h) {
+		t.Fatal("pair should not be fractionally isomorphic")
+	}
+	if d := RelaxedDist(g, h, 400); d < 1e-4 {
+		t.Errorf("relaxed distance %v, want > 0 for non-fractionally-isomorphic pair", d)
+	}
+}
+
+func TestRelaxedLEQExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.Random(5, 0.5, rng)
+		h := graph.Random(5, 0.5, rng)
+		relaxed := RelaxedDist(g, h, 200)
+		exact := Dist(g, h, Frobenius)
+		if relaxed > exact+1e-6 {
+			t.Errorf("trial %d: relaxed %v exceeds exact %v", trial, relaxed, exact)
+		}
+	}
+}
+
+func TestCutDistanceBounds(t *testing.T) {
+	// ‖·‖□ ≤ ‖·‖1, so cut distance ≤ entrywise-1 distance.
+	rng := rand.New(rand.NewSource(133))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Random(5, 0.5, rng)
+		h := graph.Random(5, 0.5, rng)
+		if CutDistance(g, h) > Dist(g, h, Entry1)+1e-9 {
+			t.Error("cut distance should be bounded by the 1-norm distance")
+		}
+	}
+}
+
+func TestBlowup(t *testing.T) {
+	g := graph.Path(2)
+	b := Blowup(g, 3)
+	if b.N() != 6 || b.M() != 9 {
+		t.Fatalf("blowup of K2 by 3: n=%d m=%d, want 6, 9", b.N(), b.M())
+	}
+	// Blowup by 1 is the identity.
+	if !graph.Isomorphic(Blowup(g, 1), g) {
+		t.Error("1-blowup should be the same graph")
+	}
+}
+
+func TestDistAnyOrder(t *testing.T) {
+	// Same graph at different "resolutions": C3 vs its own 2-blowup should
+	// be at distance 0 after aligning orders.
+	g := graph.Cycle(3)
+	b := Blowup(g, 2)
+	if d := DistAnyOrder(g, b, Frobenius); d != 0 {
+		t.Errorf("C3 vs its blowup: distance %v, want 0", d)
+	}
+	if d := DistAnyOrder(graph.Cycle(3), graph.Path(2), Entry1); d <= 0 {
+		t.Errorf("C3 vs P2 should have positive distance, got %v", d)
+	}
+}
+
+func TestDistTriangleInequalityFrobenius(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	for trial := 0; trial < 5; trial++ {
+		a := graph.Random(4, 0.5, rng)
+		b := graph.Random(4, 0.5, rng)
+		c := graph.Random(4, 0.5, rng)
+		dab := Dist(a, b, Frobenius)
+		dbc := Dist(b, c, Frobenius)
+		dac := Dist(a, c, Frobenius)
+		if dac > dab+dbc+1e-9 {
+			t.Errorf("triangle inequality violated: %v > %v + %v", dac, dab, dbc)
+		}
+	}
+}
+
+func TestOperator1DistanceInterpretation(t *testing.T) {
+	// Equation (5.4): dist⟨1⟩ is the max per-vertex neighbourhood symmetric
+	// difference under the best alignment. K3 vs P3: best alignment flips
+	// one edge, touching two vertices once each: dist⟨1⟩ = 1... compute and
+	// sanity-bound it instead of asserting a specific alignment.
+	d := Dist(graph.Complete(3), graph.Path(3), Operator1)
+	if d <= 0 || d > 2 {
+		t.Errorf("operator-1 distance %v out of expected range (0,2]", d)
+	}
+}
+
+func TestFractionalIsomorphismRequiresEqualOrder(t *testing.T) {
+	if FractionallyIsomorphic(graph.Cycle(3), graph.Cycle(4)) {
+		t.Error("different orders cannot be fractionally isomorphic")
+	}
+}

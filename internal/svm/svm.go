@@ -1,0 +1,224 @@
+// Package svm implements a kernel support vector machine trained by
+// simplified SMO, with one-vs-rest multiclass and k-fold cross-validation —
+// the downstream classifier used to evaluate graph kernels and
+// homomorphism-vector embeddings (Section 4 "initial experiments" and
+// Section 5's downstream-task methodology).
+package svm
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Config controls SMO training.
+type Config struct {
+	C         float64 // soft-margin penalty
+	Tol       float64 // KKT tolerance
+	MaxPasses int     // consecutive no-change passes before stopping
+}
+
+// DefaultConfig returns serviceable defaults for small Gram matrices.
+func DefaultConfig() Config { return Config{C: 10, Tol: 1e-4, MaxPasses: 8} }
+
+// Model is a trained binary SVM over a fixed training Gram matrix.
+type Model struct {
+	Alpha []float64
+	B     float64
+	Y     []int // ±1 labels of training points
+}
+
+// TrainGram fits a binary SVM on a precomputed Gram matrix with labels ±1
+// using simplified SMO.
+func TrainGram(gram *linalg.Matrix, y []int, cfg Config, rng *rand.Rand) *Model {
+	n := len(y)
+	m := &Model{Alpha: make([]float64, n), Y: y}
+	passes := 0
+	f := func(i int) float64 {
+		var s float64
+		for j := 0; j < n; j++ {
+			if m.Alpha[j] != 0 {
+				s += m.Alpha[j] * float64(y[j]) * gram.At(j, i)
+			}
+		}
+		return s + m.B
+	}
+	for passes < cfg.MaxPasses {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - float64(y[i])
+			if !((float64(y[i])*ei < -cfg.Tol && m.Alpha[i] < cfg.C) ||
+				(float64(y[i])*ei > cfg.Tol && m.Alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - float64(y[j])
+			ai, aj := m.Alpha[i], m.Alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(cfg.C, cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-cfg.C)
+				hi = math.Min(cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*gram.At(i, j) - gram.At(i, i) - gram.At(j, j)
+			if eta >= 0 {
+				continue
+			}
+			newAj := aj - float64(y[j])*(ei-ej)/eta
+			if newAj > hi {
+				newAj = hi
+			}
+			if newAj < lo {
+				newAj = lo
+			}
+			if math.Abs(newAj-aj) < 1e-7 {
+				continue
+			}
+			newAi := ai + float64(y[i]*y[j])*(aj-newAj)
+			m.Alpha[i], m.Alpha[j] = newAi, newAj
+			b1 := m.B - ei - float64(y[i])*(newAi-ai)*gram.At(i, i) - float64(y[j])*(newAj-aj)*gram.At(i, j)
+			b2 := m.B - ej - float64(y[i])*(newAi-ai)*gram.At(i, j) - float64(y[j])*(newAj-aj)*gram.At(j, j)
+			switch {
+			case newAi > 0 && newAi < cfg.C:
+				m.B = b1
+			case newAj > 0 && newAj < cfg.C:
+				m.B = b2
+			default:
+				m.B = (b1 + b2) / 2
+			}
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	return m
+}
+
+// Decision evaluates the decision function for a point given its kernel row
+// against the training set (kRow[j] = K(x, x_j)).
+func (m *Model) Decision(kRow []float64) float64 {
+	var s float64
+	for j, a := range m.Alpha {
+		if a != 0 {
+			s += a * float64(m.Y[j]) * kRow[j]
+		}
+	}
+	return s + m.B
+}
+
+// Multiclass is a one-vs-rest ensemble.
+type Multiclass struct {
+	Classes []int
+	Models  []*Model
+}
+
+// TrainMulticlass fits one-vs-rest binary models on a Gram matrix with
+// arbitrary integer labels.
+func TrainMulticlass(gram *linalg.Matrix, labels []int, cfg Config, rng *rand.Rand) *Multiclass {
+	classSet := map[int]bool{}
+	for _, l := range labels {
+		classSet[l] = true
+	}
+	mc := &Multiclass{}
+	for c := range classSet {
+		mc.Classes = append(mc.Classes, c)
+	}
+	// Deterministic order.
+	for i := 0; i < len(mc.Classes); i++ {
+		for j := i + 1; j < len(mc.Classes); j++ {
+			if mc.Classes[j] < mc.Classes[i] {
+				mc.Classes[i], mc.Classes[j] = mc.Classes[j], mc.Classes[i]
+			}
+		}
+	}
+	for _, c := range mc.Classes {
+		y := make([]int, len(labels))
+		for i, l := range labels {
+			if l == c {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		mc.Models = append(mc.Models, TrainGram(gram, y, cfg, rng))
+	}
+	return mc
+}
+
+// Predict returns the class with the largest decision value for a point
+// given its kernel row against the training set.
+func (mc *Multiclass) Predict(kRow []float64) int {
+	best, bestVal := mc.Classes[0], math.Inf(-1)
+	for i, m := range mc.Models {
+		if v := m.Decision(kRow); v > bestVal {
+			bestVal = v
+			best = mc.Classes[i]
+		}
+	}
+	return best
+}
+
+// CrossValidate runs k-fold cross-validation of a multiclass SVM on a full
+// Gram matrix and returns mean accuracy. The Gram matrix must cover all
+// points; folds index into it.
+func CrossValidate(gram *linalg.Matrix, labels []int, folds int, cfg Config, rng *rand.Rand) float64 {
+	n := len(labels)
+	perm := rng.Perm(n)
+	correct, total := 0, 0
+	for f := 0; f < folds; f++ {
+		var trainIdx, testIdx []int
+		for i, p := range perm {
+			if i%folds == f {
+				testIdx = append(testIdx, p)
+			} else {
+				trainIdx = append(trainIdx, p)
+			}
+		}
+		subGram := linalg.NewMatrix(len(trainIdx), len(trainIdx))
+		subLabels := make([]int, len(trainIdx))
+		for a, ia := range trainIdx {
+			subLabels[a] = labels[ia]
+			for b, ib := range trainIdx {
+				subGram.Set(a, b, gram.At(ia, ib))
+			}
+		}
+		mc := TrainMulticlass(subGram, subLabels, cfg, rng)
+		for _, it := range testIdx {
+			kRow := make([]float64, len(trainIdx))
+			for a, ia := range trainIdx {
+				kRow[a] = gram.At(it, ia)
+			}
+			if mc.Predict(kRow) == labels[it] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+// Accuracy scores predictions against truth.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	c := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(pred))
+}

@@ -1,0 +1,112 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// linearGram builds a Gram matrix of 2-D points under the linear kernel.
+func linearGram(pts [][2]float64) *linalg.Matrix {
+	n := len(pts)
+	g := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.Set(i, j, pts[i][0]*pts[j][0]+pts[i][1]*pts[j][1])
+		}
+	}
+	return g
+}
+
+func separablePoints(rng *rand.Rand, n int) ([][2]float64, []int) {
+	pts := make([][2]float64, n)
+	y := make([]int, n)
+	for i := range pts {
+		if i%2 == 0 {
+			pts[i] = [2]float64{2 + rng.NormFloat64()*0.3, 2 + rng.NormFloat64()*0.3}
+			y[i] = 1
+		} else {
+			pts[i] = [2]float64{-2 + rng.NormFloat64()*0.3, -2 + rng.NormFloat64()*0.3}
+			y[i] = -1
+		}
+	}
+	return pts, y
+}
+
+func TestBinarySVMSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	pts, y := separablePoints(rng, 30)
+	gram := linearGram(pts)
+	m := TrainGram(gram, y, DefaultConfig(), rng)
+	correct := 0
+	for i := range pts {
+		kRow := make([]float64, len(pts))
+		for j := range pts {
+			kRow[j] = gram.At(i, j)
+		}
+		pred := 1
+		if m.Decision(kRow) < 0 {
+			pred = -1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if correct < 28 {
+		t.Errorf("separable data: %d/30 correct", correct)
+	}
+}
+
+func TestMulticlassThreeClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	var pts [][2]float64
+	var labels []int
+	centers := [][2]float64{{3, 0}, {-3, 0}, {0, 4}}
+	for c, ctr := range centers {
+		for i := 0; i < 12; i++ {
+			pts = append(pts, [2]float64{ctr[0] + rng.NormFloat64()*0.4, ctr[1] + rng.NormFloat64()*0.4})
+			labels = append(labels, c)
+		}
+	}
+	gram := linearGram(pts)
+	mc := TrainMulticlass(gram, labels, DefaultConfig(), rng)
+	correct := 0
+	for i := range pts {
+		kRow := make([]float64, len(pts))
+		for j := range pts {
+			kRow[j] = gram.At(i, j)
+		}
+		if mc.Predict(kRow) == labels[i] {
+			correct++
+		}
+	}
+	if correct < 33 {
+		t.Errorf("3-class accuracy %d/36", correct)
+	}
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	pts, yRaw := separablePoints(rng, 40)
+	labels := make([]int, len(yRaw))
+	for i, v := range yRaw {
+		if v > 0 {
+			labels[i] = 1
+		}
+	}
+	gram := linearGram(pts)
+	acc := CrossValidate(gram, labels, 5, DefaultConfig(), rng)
+	if acc < 0.9 {
+		t.Errorf("CV accuracy=%v, want >= 0.9 on separable data", acc)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 0, 1}, []int{1, 1, 1}); got != 2.0/3 {
+		t.Errorf("accuracy=%v", got)
+	}
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Errorf("empty accuracy=%v", got)
+	}
+}

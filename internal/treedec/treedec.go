@@ -1,0 +1,508 @@
+// Package treedec computes tree decompositions, treewidth, and tree-depth of
+// small graphs. Exact treewidth uses the Held-Karp-style dynamic program
+// over elimination orders; decompositions are built from elimination orders
+// via the fill-in construction, and can be converted to "nice" form for the
+// homomorphism-counting DP in package hom.
+package treedec
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Decomposition is a tree decomposition: Bags[i] is the vertex set of node
+// i, Tree lists the decomposition-tree edges.
+type Decomposition struct {
+	Bags [][]int
+	Tree [][2]int
+}
+
+// Width returns the width (max bag size − 1) of the decomposition.
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, b := range d.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w - 1
+}
+
+// Validate checks the three tree-decomposition conditions against g:
+// vertex coverage, edge coverage, and connectedness of every vertex's bags.
+func (d *Decomposition) Validate(g *graph.Graph) error {
+	n := g.N()
+	covered := make([]bool, n)
+	for _, b := range d.Bags {
+		for _, v := range b {
+			if v < 0 || v >= n {
+				return fmt.Errorf("treedec: bag vertex %d out of range", v)
+			}
+			covered[v] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !covered[v] {
+			return fmt.Errorf("treedec: vertex %d not covered", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		ok := false
+		for _, b := range d.Bags {
+			if containsAll(b, e.U, e.V) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("treedec: edge %d-%d not covered", e.U, e.V)
+		}
+	}
+	// Connectedness: the nodes containing each vertex must induce a subtree.
+	adj := make([][]int, len(d.Bags))
+	for _, te := range d.Tree {
+		adj[te[0]] = append(adj[te[0]], te[1])
+		adj[te[1]] = append(adj[te[1]], te[0])
+	}
+	for v := 0; v < n; v++ {
+		var nodes []int
+		for i, b := range d.Bags {
+			if contains(b, v) {
+				nodes = append(nodes, i)
+			}
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		inSet := map[int]bool{}
+		for _, x := range nodes {
+			inSet[x] = true
+		}
+		seen := map[int]bool{nodes[0]: true}
+		stack := []int{nodes[0]}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range adj[x] {
+				if inSet[y] && !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		if len(seen) != len(nodes) {
+			return fmt.Errorf("treedec: bags of vertex %d not connected", v)
+		}
+	}
+	// Tree must be acyclic and connected over its nodes.
+	if len(d.Bags) > 0 && len(d.Tree) != len(d.Bags)-1 {
+		return fmt.Errorf("treedec: %d nodes but %d tree edges", len(d.Bags), len(d.Tree))
+	}
+	return nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAll(xs []int, vs ...int) bool {
+	for _, v := range vs {
+		if !contains(xs, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Treewidth returns the exact treewidth of g (n <= 20) via the subset DP
+// over elimination orders.
+func Treewidth(g *graph.Graph) int {
+	n := g.N()
+	if n == 0 {
+		return -1
+	}
+	if n > 20 {
+		panic("treedec: exact treewidth limited to n <= 20")
+	}
+	adjMask := adjacencyMasks(g)
+	// dp[S] = minimal width achievable when the vertices of S have been
+	// eliminated (in some order), counting |higher neighbourhood| at
+	// elimination time.
+	size := 1 << uint(n)
+	dp := make([]int8, size)
+	for i := range dp {
+		dp[i] = 127
+	}
+	dp[0] = 0
+	for s := 0; s < size; s++ {
+		if dp[s] == 127 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if s&(1<<uint(v)) != 0 {
+				continue
+			}
+			// Eliminating v after S: its degree into V\S\{v} through the
+			// partially eliminated graph equals the number of vertices
+			// outside S∪{v} reachable from v through S.
+			deg := reachDegree(adjMask, n, s, v)
+			w := dp[s]
+			if int8(deg) > w {
+				w = int8(deg)
+			}
+			t := s | 1<<uint(v)
+			if w < dp[t] {
+				dp[t] = w
+			}
+		}
+	}
+	return int(dp[size-1])
+}
+
+// reachDegree counts vertices outside s∪{v} adjacent to v directly or via
+// paths through s (the degree of v in the graph where s is eliminated).
+func reachDegree(adjMask []uint32, n, s, v int) int {
+	visited := uint32(1 << uint(v))
+	frontier := adjMask[v]
+	result := uint32(0)
+	for frontier != 0 {
+		b := frontier & (-frontier)
+		frontier &^= b
+		w := bits.TrailingZeros32(b)
+		if visited&b != 0 {
+			continue
+		}
+		visited |= b
+		if s&(1<<uint(w)) != 0 {
+			frontier |= adjMask[w] &^ visited
+		} else {
+			result |= b
+		}
+	}
+	return bits.OnesCount32(result)
+}
+
+func adjacencyMasks(g *graph.Graph) []uint32 {
+	n := g.N()
+	if n > 32 {
+		panic("treedec: graphs limited to 32 vertices")
+	}
+	masks := make([]uint32, n)
+	for _, e := range g.Edges() {
+		if e.U != e.V {
+			masks[e.U] |= 1 << uint(e.V)
+			masks[e.V] |= 1 << uint(e.U)
+		}
+	}
+	return masks
+}
+
+// EliminationOrderWidth returns the width induced by eliminating vertices in
+// the given order (fill-in simulation).
+func EliminationOrderWidth(g *graph.Graph, order []int) int {
+	n := g.N()
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = map[int]bool{}
+	}
+	for _, e := range g.Edges() {
+		if e.U != e.V {
+			adj[e.U][e.V] = true
+			adj[e.V][e.U] = true
+		}
+	}
+	eliminated := make([]bool, n)
+	width := 0
+	for _, v := range order {
+		var nbrs []int
+		for w := range adj[v] {
+			if !eliminated[w] {
+				nbrs = append(nbrs, w)
+			}
+		}
+		if len(nbrs) > width {
+			width = len(nbrs)
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				adj[nbrs[i]][nbrs[j]] = true
+				adj[nbrs[j]][nbrs[i]] = true
+			}
+		}
+		eliminated[v] = true
+	}
+	return width
+}
+
+// MinFillOrder returns a heuristic elimination order choosing, at each step,
+// the vertex whose elimination adds the fewest fill edges.
+func MinFillOrder(g *graph.Graph) []int {
+	n := g.N()
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = map[int]bool{}
+	}
+	for _, e := range g.Edges() {
+		if e.U != e.V {
+			adj[e.U][e.V] = true
+			adj[e.V][e.U] = true
+		}
+	}
+	eliminated := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		bestV, bestFill := -1, 1<<30
+		for v := 0; v < n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			var nbrs []int
+			for w := range adj[v] {
+				if !eliminated[w] {
+					nbrs = append(nbrs, w)
+				}
+			}
+			fill := 0
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !adj[nbrs[i]][nbrs[j]] {
+						fill++
+					}
+				}
+			}
+			if fill < bestFill {
+				bestFill = fill
+				bestV = v
+			}
+		}
+		v := bestV
+		var nbrs []int
+		for w := range adj[v] {
+			if !eliminated[w] {
+				nbrs = append(nbrs, w)
+			}
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				adj[nbrs[i]][nbrs[j]] = true
+				adj[nbrs[j]][nbrs[i]] = true
+			}
+		}
+		eliminated[v] = true
+		order = append(order, v)
+	}
+	return order
+}
+
+// Decompose builds a tree decomposition from an elimination order via the
+// fill-in construction. The result's width equals the order's induced width.
+func Decompose(g *graph.Graph, order []int) *Decomposition {
+	n := g.N()
+	if n == 0 {
+		return &Decomposition{Bags: [][]int{{}}}
+	}
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = map[int]bool{}
+	}
+	for _, e := range g.Edges() {
+		if e.U != e.V {
+			adj[e.U][e.V] = true
+			adj[e.V][e.U] = true
+		}
+	}
+	// Fill in.
+	bags := make([][]int, n)
+	for _, v := range order {
+		var higher []int
+		for w := range adj[v] {
+			if pos[w] > pos[v] {
+				higher = append(higher, w)
+			}
+		}
+		for i := 0; i < len(higher); i++ {
+			for j := i + 1; j < len(higher); j++ {
+				adj[higher[i]][higher[j]] = true
+				adj[higher[j]][higher[i]] = true
+			}
+		}
+		bag := append([]int{v}, higher...)
+		sort.Ints(bag)
+		bags[pos[v]] = bag
+	}
+	d := &Decomposition{Bags: bags}
+	for i, v := range order {
+		if i == n-1 {
+			break
+		}
+		// Attach bag i to the bag of the earliest-eliminated higher
+		// neighbour of v, or to the next bag if v had none.
+		next := -1
+		for _, w := range bags[i] {
+			if w != v && (next < 0 || pos[w] < next) {
+				next = pos[w]
+			}
+		}
+		if next < 0 {
+			next = i + 1
+		}
+		d.Tree = append(d.Tree, [2]int{i, next})
+	}
+	return d
+}
+
+// OptimalDecomposition returns a tree decomposition of exact minimal width
+// for small graphs by searching elimination orders with branch and bound
+// seeded by min-fill.
+func OptimalDecomposition(g *graph.Graph) *Decomposition {
+	n := g.N()
+	target := Treewidth(g)
+	if n == 0 {
+		return &Decomposition{Bags: [][]int{{}}}
+	}
+	// Branch and bound over orders, pruning when induced width exceeds the
+	// known optimum.
+	best := MinFillOrder(g)
+	if EliminationOrderWidth(g, best) == target {
+		return Decompose(g, best)
+	}
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	adjMask := adjacencyMasks(g)
+	var found []int
+	var rec func(s int) bool
+	rec = func(s int) bool {
+		if len(order) == n {
+			found = append([]int(nil), order...)
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			if reachDegree(adjMask, n, s, v) > target {
+				continue
+			}
+			used[v] = true
+			order = append(order, v)
+			if rec(s | 1<<uint(v)) {
+				return true
+			}
+			order = order[:len(order)-1]
+			used[v] = false
+		}
+		return false
+	}
+	if !rec(0) {
+		// Cannot happen if Treewidth is correct; fall back to heuristic.
+		return Decompose(g, best)
+	}
+	return Decompose(g, found)
+}
+
+// TreeDepth returns the exact tree-depth of g (n <= 16): 0 for the empty
+// graph, 1 for a single vertex, and 1 + min over root removals for
+// connected graphs; the max over components otherwise.
+func TreeDepth(g *graph.Graph) int {
+	n := g.N()
+	if n > 16 {
+		panic("treedec: exact tree-depth limited to n <= 16")
+	}
+	adjMask := adjacencyMasks(g)
+	memo := map[uint32]int{}
+	full := uint32(0)
+	for v := 0; v < n; v++ {
+		full |= 1 << uint(v)
+	}
+	var td func(mask uint32) int
+	td = func(mask uint32) int {
+		if mask == 0 {
+			return 0
+		}
+		if v, ok := memo[mask]; ok {
+			return v
+		}
+		comps := componentsOfMask(adjMask, mask)
+		var result int
+		if len(comps) > 1 {
+			for _, c := range comps {
+				if d := td(c); d > result {
+					result = d
+				}
+			}
+		} else {
+			result = 1 << 30
+			for m := mask; m != 0; {
+				b := m & (-m)
+				m &^= b
+				if d := 1 + td(mask&^b); d < result {
+					result = d
+				}
+			}
+		}
+		memo[mask] = result
+		return result
+	}
+	return td(full)
+}
+
+func componentsOfMask(adjMask []uint32, mask uint32) []uint32 {
+	var comps []uint32
+	remaining := mask
+	for remaining != 0 {
+		b := remaining & (-remaining)
+		comp := b
+		frontier := b
+		for frontier != 0 {
+			nb := frontier & (-frontier)
+			frontier &^= nb
+			v := bits.TrailingZeros32(nb)
+			nbrs := adjMask[v] & mask &^ comp
+			comp |= nbrs
+			frontier |= nbrs
+		}
+		comps = append(comps, comp)
+		remaining &^= comp
+	}
+	return comps
+}
+
+// GraphsOfTreewidthAtMost filters the exhaustive small-graph catalogue to
+// connected graphs of treewidth <= k and order <= maxN (maxN <= 6).
+func GraphsOfTreewidthAtMost(k, maxN int) []*graph.Graph {
+	var out []*graph.Graph
+	for n := 1; n <= maxN; n++ {
+		for _, g := range graph.ConnectedGraphs(n) {
+			if Treewidth(g) <= k {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// GraphsOfTreeDepthAtMost filters the catalogue to connected graphs of
+// tree-depth <= k and order <= maxN (maxN <= 6).
+func GraphsOfTreeDepthAtMost(k, maxN int) []*graph.Graph {
+	var out []*graph.Graph
+	for n := 1; n <= maxN; n++ {
+		for _, g := range graph.ConnectedGraphs(n) {
+			if TreeDepth(g) <= k {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package treedec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestTreewidthKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K1", graph.New(1), 0},
+		{"P5", graph.Path(5), 1},
+		{"tree", graph.Star(4), 1},
+		{"C4", graph.Cycle(4), 2},
+		{"C7", graph.Cycle(7), 2},
+		{"K4", graph.Complete(4), 3},
+		{"K5", graph.Complete(5), 4},
+		{"paw", graph.Fig5Graph(), 2},
+		{"grid33", graph.Grid(3, 3), 3},
+		{"K23", graph.CompleteBipartite(2, 3), 2},
+	}
+	for _, tc := range tests {
+		if got := Treewidth(tc.g); got != tc.want {
+			t.Errorf("%s: treewidth=%d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestOptimalDecompositionIsValidAndTight(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(6), graph.Cycle(5), graph.Complete(4),
+		graph.Grid(3, 3), graph.Petersen(), graph.Fig5Graph(),
+	}
+	for _, g := range graphs {
+		d := OptimalDecomposition(g)
+		if err := d.Validate(g); err != nil {
+			t.Errorf("%v: invalid decomposition: %v", g, err)
+			continue
+		}
+		if d.Width() != Treewidth(g) {
+			t.Errorf("%v: decomposition width %d != treewidth %d", g, d.Width(), Treewidth(g))
+		}
+	}
+}
+
+func TestMinFillOrderSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Random(8, 0.4, rng)
+		order := MinFillOrder(g)
+		w := EliminationOrderWidth(g, order)
+		tw := Treewidth(g)
+		if w < tw {
+			t.Errorf("min-fill width %d below exact treewidth %d (impossible)", w, tw)
+		}
+		d := Decompose(g, order)
+		if err := d.Validate(g); err != nil {
+			t.Errorf("min-fill decomposition invalid: %v", err)
+		}
+		if d.Width() != w {
+			t.Errorf("decomposition width %d != elimination width %d", d.Width(), w)
+		}
+	}
+}
+
+func TestTreeDepthKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K1", graph.New(1), 1},
+		{"K2", graph.Path(2), 2},
+		{"P3", graph.Path(3), 2},
+		{"P4", graph.Path(4), 3},
+		{"P7", graph.Path(7), 3},
+		{"P8", graph.Path(8), 4},
+		{"K4", graph.Complete(4), 4},
+		{"S4", graph.Star(4), 2},
+		{"C4", graph.Cycle(4), 3},
+		{"C5", graph.Cycle(5), 4},
+		{"2K1", graph.New(2), 1},
+	}
+	for _, tc := range tests {
+		if got := TreeDepth(tc.g); got != tc.want {
+			t.Errorf("%s: tree-depth=%d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTreeDepthPathLogarithmic(t *testing.T) {
+	// td(P_n) = ceil(log2(n+1)).
+	want := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 6: 3, 7: 3, 8: 4, 15: 4, 16: 5}
+	for n, w := range want {
+		if got := TreeDepth(graph.Path(n)); got != w {
+			t.Errorf("td(P%d)=%d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestTreewidthLEQTreeDepthMinusOne(t *testing.T) {
+	// tw(G) <= td(G) - 1 for every graph.
+	for n := 1; n <= 5; n++ {
+		for _, g := range graph.ConnectedGraphs(n) {
+			tw, td := Treewidth(g), TreeDepth(g)
+			if tw > td-1 {
+				t.Errorf("%v: tw=%d > td-1=%d", g, tw, td-1)
+			}
+		}
+	}
+}
+
+func TestGraphsOfTreewidthAtMost(t *testing.T) {
+	t1 := GraphsOfTreewidthAtMost(1, 5)
+	// Connected graphs of treewidth <= 1 are exactly trees: 1+1+1+2+3 = 8.
+	if len(t1) != 8 {
+		t.Errorf("tw<=1 connected graphs up to n=5: got %d, want 8 (trees)", len(t1))
+	}
+	for _, g := range t1 {
+		if g.M() != g.N()-1 {
+			t.Errorf("tw<=1 connected graph is not a tree: %v", g)
+		}
+	}
+	t2 := GraphsOfTreewidthAtMost(2, 4)
+	// All connected graphs on <=4 vertices except K4: 1+1+2+5 = 9.
+	if len(t2) != 9 {
+		t.Errorf("tw<=2 connected graphs up to n=4: got %d, want 9", len(t2))
+	}
+}
+
+func TestGraphsOfTreeDepthAtMost(t *testing.T) {
+	d1 := GraphsOfTreeDepthAtMost(1, 4)
+	if len(d1) != 1 {
+		t.Errorf("td<=1 connected graphs: got %d, want 1 (K1 only)", len(d1))
+	}
+	d2 := GraphsOfTreeDepthAtMost(2, 4)
+	// td<=2 connected graphs are stars: K1, K2, S2(=P3), S3.
+	if len(d2) != 4 {
+		t.Errorf("td<=2 connected graphs up to n=4: got %d, want 4 (stars)", len(d2))
+	}
+}
+
+func TestQuickDecompositionValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%7) + 1
+		g := graph.Random(n, 0.5, rand.New(rand.NewSource(seed)))
+		d := OptimalDecomposition(g)
+		return d.Validate(g) == nil && d.Width() == Treewidth(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTreewidthMonotoneUnderEdgeRemoval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Random(6, 0.5, rng)
+		if g.M() == 0 {
+			return true
+		}
+		// Remove a random edge by rebuilding.
+		skip := rng.Intn(g.M())
+		h := graph.New(6)
+		for i, e := range g.Edges() {
+			if i != skip {
+				h.AddEdge(e.U, e.V)
+			}
+		}
+		return Treewidth(h) <= Treewidth(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

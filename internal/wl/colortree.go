@@ -1,0 +1,166 @@
+package wl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ColorTree is the rooted-tree view of a WL colour (Figure 5 of the paper):
+// the colour a vertex receives in round i unfolds to the depth-i tree of its
+// iterated neighbourhoods.
+type ColorTree struct {
+	// Label is the vertex label at this node (0 for unlabelled graphs).
+	Label    int
+	Children []*ColorTree
+}
+
+// Unfold returns the depth-d colour tree of vertex v: the root's children
+// are the depth-(d-1) trees of v's neighbours.
+func Unfold(g *graph.Graph, v, d int) *ColorTree {
+	t := &ColorTree{Label: g.VertexLabel(v)}
+	if d == 0 {
+		return t
+	}
+	for _, w := range g.Neighbors(v) {
+		t.Children = append(t.Children, Unfold(g, w, d-1))
+	}
+	return t
+}
+
+// Canon returns a canonical string encoding of the colour tree; two colour
+// trees encode to the same string exactly when they are isomorphic as rooted
+// trees.
+func (t *ColorTree) Canon() string {
+	prefix := ""
+	if t.Label != 0 {
+		prefix = fmt.Sprintf("%d", t.Label)
+	}
+	if len(t.Children) == 0 {
+		return prefix + "()"
+	}
+	parts := make([]string, len(t.Children))
+	for i, c := range t.Children {
+		parts[i] = c.Canon()
+	}
+	sort.Strings(parts)
+	return prefix + "(" + strings.Join(parts, "") + ")"
+}
+
+// Size returns the number of nodes in the colour tree.
+func (t *ColorTree) Size() int {
+	s := 1
+	for _, c := range t.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Depth returns the height of the colour tree.
+func (t *ColorTree) Depth() int {
+	d := 0
+	for _, c := range t.Children {
+		if cd := c.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// ToGraph converts the colour tree into a rooted tree graph; the root is
+// vertex 0. Useful for feeding colour trees to the hom package.
+func (t *ColorTree) ToGraph() (*graph.Graph, int) {
+	g := graph.New(1)
+	var rec func(node *ColorTree, parent int)
+	rec = func(node *ColorTree, parent int) {
+		for _, c := range node.Children {
+			id := g.AddVertex()
+			g.AddEdge(parent, id)
+			rec(c, id)
+		}
+	}
+	rec(t, 0)
+	return g, 0
+}
+
+// WLCount computes wl(c, G), the number of vertices of G whose depth-d
+// unfolding equals the given colour tree (Section 3.5, Example 3.3).
+func WLCount(g *graph.Graph, c *ColorTree) int {
+	d := c.Depth()
+	key := c.Canon()
+	count := 0
+	for v := 0; v < g.N(); v++ {
+		if Unfold(g, v, d).Canon() == key {
+			count++
+		}
+	}
+	return count
+}
+
+// RoundColorCounts returns, for each round i = 0..t, the multiset of colour
+// trees realised in G at depth i with multiplicities — the explicit feature
+// map of the WL subtree kernel. Colours are hash-consed through a
+// process-global dictionary, so ids are canonical across graphs: two
+// vertices of any two graphs share an id exactly when their depth-i
+// unfolding trees are isomorphic.
+func RoundColorCounts(g *graph.Graph, t int) []map[int]int {
+	cols := CanonicalColors(g, t)
+	out := make([]map[int]int, t+1)
+	for i := 0; i <= t; i++ {
+		m := map[int]int{}
+		for _, c := range cols[i] {
+			m[c]++
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// globalColors hash-conses (label | prev colour, sorted neighbour colours)
+// signatures into dense ids that are stable for the process lifetime,
+// making per-graph refinements comparable without lockstep runs.
+var globalColors = struct {
+	mu  sync.Mutex
+	ids map[string]int
+}{ids: map[string]int{}}
+
+func globalIntern(sig string) int {
+	globalColors.mu.Lock()
+	defer globalColors.mu.Unlock()
+	if id, ok := globalColors.ids[sig]; ok {
+		return id
+	}
+	id := len(globalColors.ids)
+	globalColors.ids[sig] = id
+	return id
+}
+
+// CanonicalColors returns the colour of every vertex after each round
+// 0..t of 1-WL, with process-globally canonical colour ids (equal ids mean
+// isomorphic unfolding trees, across graphs).
+func CanonicalColors(g *graph.Graph, t int) [][]int {
+	n := g.N()
+	out := make([][]int, t+1)
+	cur := make([]int, n)
+	for v := 0; v < n; v++ {
+		cur[v] = globalIntern(fmt.Sprintf("L%d", g.VertexLabel(v)))
+	}
+	out[0] = append([]int(nil), cur...)
+	for round := 1; round <= t; round++ {
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			nbr := make([]int, 0, g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				nbr = append(nbr, cur[w])
+			}
+			sort.Ints(nbr)
+			next[v] = globalIntern(fmt.Sprintf("L%d|%v", g.VertexLabel(v), nbr))
+		}
+		cur = next
+		out[round] = append([]int(nil), cur...)
+	}
+	return out
+}

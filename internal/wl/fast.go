@@ -1,0 +1,114 @@
+package wl
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// RefineFast computes the stable 1-WL partition with worklist partition
+// refinement in the style of Cardon-Crochemore (the O((n+m) log n)
+// algorithm the paper cites): each popped splitter class S induces
+// neighbour counts; every class is split by those counts, and fragments
+// re-enter the worklist. The returned colours are class ids valid within
+// this graph only — use Refine / RefineAll for canonical cross-graph
+// colours. The computed partition always equals Refine's stable partition.
+func RefineFast(g *graph.Graph) []int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	class := make([]int, n)
+	var members [][]int
+
+	// Initial classes by vertex label, in sorted label order.
+	byLabel := map[int][]int{}
+	for v := 0; v < n; v++ {
+		byLabel[g.VertexLabel(v)] = append(byLabel[g.VertexLabel(v)], v)
+	}
+	labels := make([]int, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	for _, l := range labels {
+		id := len(members)
+		for _, v := range byLabel[l] {
+			class[v] = id
+		}
+		members = append(members, byLabel[l])
+	}
+
+	queue := make([]int, len(members))
+	for i := range queue {
+		queue[i] = i
+	}
+	count := make([]int, n)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		// Count, for every vertex, its neighbours inside the splitter.
+		var touched []int
+		for _, u := range members[s] {
+			for _, a := range g.Arcs(u) {
+				if count[a.To] == 0 {
+					touched = append(touched, a.To)
+				}
+				count[a.To]++
+			}
+		}
+		// Classes containing touched vertices are candidates for splitting.
+		candidate := map[int]bool{}
+		for _, v := range touched {
+			candidate[class[v]] = true
+		}
+		for c := range candidate {
+			// Partition members[c] by count value (untouched members have 0).
+			groups := map[int][]int{}
+			for _, v := range members[c] {
+				groups[count[v]] = append(groups[count[v]], v)
+			}
+			if len(groups) <= 1 {
+				continue
+			}
+			// Deterministic fragment order; keep the largest in place.
+			keys := make([]int, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			largestKey := keys[0]
+			for _, k := range keys {
+				if len(groups[k]) > len(groups[largestKey]) {
+					largestKey = k
+				}
+			}
+			members[c] = groups[largestKey]
+			queue = append(queue, c)
+			for _, k := range keys {
+				if k == largestKey {
+					continue
+				}
+				id := len(members)
+				members = append(members, groups[k])
+				for _, v := range groups[k] {
+					class[v] = id
+				}
+				queue = append(queue, id)
+			}
+		}
+		for _, v := range touched {
+			count[v] = 0
+		}
+	}
+	return class
+}
+
+// SamePartition reports whether two colourings of the same vertex set induce
+// the same partition (colour names may differ).
+func SamePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return samePartitionAll([][]int{a}, [][]int{b})
+}

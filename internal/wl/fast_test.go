@@ -1,0 +1,107 @@
+package wl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestRefineFastMatchesRefineOnFixtures(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(7), graph.Cycle(6), graph.Star(5), graph.Petersen(),
+		graph.Fig5Graph(), graph.Grid(3, 4), graph.Complete(5),
+		graph.DisjointUnion(graph.Cycle(3), graph.Cycle(4)),
+	}
+	for _, g := range graphs {
+		slow := Refine(g).Colors
+		fast := RefineFast(g)
+		if !SamePartition(slow, fast) {
+			t.Errorf("%v: fast partition %v != slow %v", g, fast, slow)
+		}
+	}
+}
+
+func TestRefineFastRespectsLabels(t *testing.T) {
+	g := graph.Cycle(6)
+	g.SetVertexLabel(0, 9)
+	slow := Refine(g).Colors
+	fast := RefineFast(g)
+	if !SamePartition(slow, fast) {
+		t.Errorf("labelled: fast %v != slow %v", fast, slow)
+	}
+	if fast[0] == fast[1] {
+		t.Error("labelled vertex should be separated")
+	}
+}
+
+func TestRefineFastEmptyAndSingleton(t *testing.T) {
+	if got := RefineFast(graph.New(0)); got != nil {
+		t.Errorf("empty graph: %v", got)
+	}
+	if got := RefineFast(graph.New(1)); len(got) != 1 {
+		t.Errorf("singleton: %v", got)
+	}
+}
+
+func TestQuickRefineFastEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		p := 0.1 + float64(pRaw%80)/100
+		g := graph.Random(n, p, rand.New(rand.NewSource(seed)))
+		return SamePartition(Refine(g).Colors, RefineFast(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRefineFastOnTreesAndRegular(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%14) + 2
+		rng := rand.New(rand.NewSource(seed))
+		tr := graph.RandomTree(n, rng)
+		if !SamePartition(Refine(tr).Colors, RefineFast(tr)) {
+			return false
+		}
+		if n >= 4 && n%2 == 0 {
+			rg := graph.RandomRegular(n, 3, rng)
+			if !SamePartition(Refine(rg).Colors, RefineFast(rg)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamePartitionHelper(t *testing.T) {
+	if !SamePartition([]int{0, 0, 1}, []int{5, 5, 9}) {
+		t.Error("renamed partitions should match")
+	}
+	if SamePartition([]int{0, 0, 1}, []int{0, 1, 1}) {
+		t.Error("different partitions should not match")
+	}
+	if SamePartition([]int{0}, []int{0, 1}) {
+		t.Error("length mismatch")
+	}
+}
+
+func BenchmarkRefineSlow1000(b *testing.B) {
+	g := graph.Random(1000, 0.01, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refine(g)
+	}
+}
+
+func BenchmarkRefineFast1000(b *testing.B) {
+	g := graph.Random(1000, 0.01, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RefineFast(g)
+	}
+}

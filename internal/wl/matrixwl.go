@@ -1,0 +1,73 @@
+package wl
+
+import (
+	"repro/internal/graph"
+)
+
+// MatrixColoring is the result of matrix WL: stable colour classes for the
+// rows and columns of a matrix.
+type MatrixColoring struct {
+	RowColors []int
+	ColColors []int
+	Rounds    int
+}
+
+// MatrixWL runs the weighted 1-WL of Section 3.2 on the bipartite weighted
+// graph associated with an m×n matrix A: row vertices v_1..v_m, column
+// vertices w_1..w_n, edge weight α(v_i, w_j) = A_ij, and an initial
+// colouring separating rows from columns (Figure 4). The stable partition is
+// the basis of the colour-refinement dimension reduction for linear programs
+// cited in the paper.
+func MatrixWL(a [][]float64) *MatrixColoring {
+	m := len(a)
+	n := 0
+	if m > 0 {
+		n = len(a[0])
+	}
+	g := graph.New(m + n)
+	for i := 0; i < m; i++ {
+		g.SetVertexLabel(i, 1) // rows
+	}
+	for j := 0; j < n; j++ {
+		g.SetVertexLabel(m+j, 2) // columns
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if a[i][j] != 0 {
+				g.AddWeightedEdge(i, m+j, a[i][j])
+			}
+		}
+	}
+	c := RefineWeighted(g)
+	res := &MatrixColoring{Rounds: c.Rounds}
+	res.RowColors = normalizeColors(c.Colors[:m])
+	res.ColColors = normalizeColors(c.Colors[m:])
+	return res
+}
+
+// normalizeColors renames colours to 0,1,2,... in order of first appearance.
+func normalizeColors(cols []int) []int {
+	rename := map[int]int{}
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		if _, ok := rename[c]; !ok {
+			rename[c] = len(rename)
+		}
+		out[i] = rename[c]
+	}
+	return out
+}
+
+// NumRowClasses returns the number of distinct row colours.
+func (mc *MatrixColoring) NumRowClasses() int { return countDistinct(mc.RowColors) }
+
+// NumColClasses returns the number of distinct column colours.
+func (mc *MatrixColoring) NumColClasses() int { return countDistinct(mc.ColColors) }
+
+func countDistinct(xs []int) int {
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}

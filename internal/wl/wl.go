@@ -1,0 +1,270 @@
+// Package wl implements the Weisfeiler-Leman family of colour-refinement
+// algorithms from Section 3 of the paper: 1-dimensional WL (colour
+// refinement) with vertex- and edge-label support, the weighted variant of
+// Grohe-Kersting-Mladenov-Selman, matrix WL on bipartite weighted encodings,
+// and the folklore k-dimensional WL on vertex tuples. Colour names are
+// canonical across graphs refined in lockstep, so equality of colour
+// histograms decides WL-indistinguishability.
+package wl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Coloring is the result of running colour refinement on one graph.
+type Coloring struct {
+	// Colors is the final stable colouring, one entry per vertex. Colour ids
+	// are canonical: two vertices (possibly of different graphs refined in
+	// lockstep) share an id exactly when WL cannot tell them apart.
+	Colors []int
+	// History records the colouring after each round; History[0] is the
+	// initial colouring. The final entry equals Colors.
+	History [][]int
+	// Rounds is the number of refinement rounds until stability.
+	Rounds int
+}
+
+// Classes returns the colour classes of the stable colouring, keyed by
+// colour id.
+func (c *Coloring) Classes() map[int][]int {
+	out := map[int][]int{}
+	for v, col := range c.Colors {
+		out[col] = append(out[col], v)
+	}
+	return out
+}
+
+// Histogram maps each stable colour to its multiplicity.
+func (c *Coloring) Histogram() map[int]int {
+	h := map[int]int{}
+	for _, col := range c.Colors {
+		h[col]++
+	}
+	return h
+}
+
+// NumColors returns the number of distinct stable colours.
+func (c *Coloring) NumColors() int { return len(c.Histogram()) }
+
+// dictionary interns signature strings into dense colour ids shared across
+// all graphs of one refinement run, making colours canonical.
+type dictionary struct {
+	ids map[string]int
+}
+
+func newDictionary() *dictionary { return &dictionary{ids: map[string]int{}} }
+
+func (d *dictionary) intern(sig string) int {
+	if id, ok := d.ids[sig]; ok {
+		return id
+	}
+	id := len(d.ids)
+	d.ids[sig] = id
+	return id
+}
+
+// Refine runs 1-WL (Algorithm 1 of the paper) on a single graph until the
+// colouring is stable. Vertex labels seed the initial colouring; edge labels
+// participate in the refinement signatures. Directed graphs refine on
+// (out-neighbour, in-neighbour) signatures separately.
+func Refine(g *graph.Graph) *Coloring {
+	cs := RefineAll([]*graph.Graph{g})
+	return cs[0]
+}
+
+// RefineRounds runs exactly t refinement rounds (or fewer if the colouring
+// stabilises earlier) on a single graph.
+func RefineRounds(g *graph.Graph, t int) *Coloring {
+	cs := refineAll([]*graph.Graph{g}, t, false)
+	return cs[0]
+}
+
+// RefineAll refines several graphs in lockstep with a shared colour
+// dictionary, so the resulting colour ids are directly comparable across the
+// graphs. This is the canonical way to test WL-indistinguishability.
+func RefineAll(gs []*graph.Graph) []*Coloring {
+	return refineAll(gs, -1, false)
+}
+
+// RefineAllRounds is RefineAll limited to t rounds.
+func RefineAllRounds(gs []*graph.Graph, t int) []*Coloring {
+	return refineAll(gs, t, false)
+}
+
+// RefineWeighted runs the weighted 1-WL of Section 3.2: vertices split when
+// the sums of edge weights into some colour class differ.
+func RefineWeighted(g *graph.Graph) *Coloring {
+	cs := refineAll([]*graph.Graph{g}, -1, true)
+	return cs[0]
+}
+
+// RefineAllWeighted refines several weighted graphs in lockstep.
+func RefineAllWeighted(gs []*graph.Graph) []*Coloring {
+	return refineAll(gs, -1, true)
+}
+
+func refineAll(gs []*graph.Graph, maxRounds int, weighted bool) []*Coloring {
+	dict := newDictionary()
+	cols := make([][]int, len(gs))
+	hist := make([][][]int, len(gs))
+	// Initial colouring from vertex labels.
+	for gi, g := range gs {
+		cols[gi] = make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			cols[gi][v] = dict.intern(fmt.Sprintf("init|%d", g.VertexLabel(v)))
+		}
+		hist[gi] = append(hist[gi], append([]int(nil), cols[gi]...))
+	}
+	rounds := 0
+	for {
+		if maxRounds >= 0 && rounds >= maxRounds {
+			break
+		}
+		next := make([][]int, len(gs))
+		roundDict := newDictionary()
+		for gi, g := range gs {
+			next[gi] = make([]int, g.N())
+			for v := 0; v < g.N(); v++ {
+				sig := vertexSignature(g, v, cols[gi], weighted)
+				next[gi][v] = roundDict.intern(sig)
+			}
+		}
+		// Check global stability: the partition across all graphs must be
+		// unchanged.
+		if samePartitionAll(cols, next) {
+			break
+		}
+		// Re-intern round colours into the global dictionary to keep ids
+		// canonical (signature strings embed the previous canonical ids, so
+		// interning the signature strings directly is canonical too).
+		for gi, g := range gs {
+			for v := 0; v < g.N(); v++ {
+				sig := vertexSignature(g, v, cols[gi], weighted)
+				next[gi][v] = dict.intern(sig)
+			}
+		}
+		cols = next
+		for gi := range gs {
+			hist[gi] = append(hist[gi], append([]int(nil), cols[gi]...))
+		}
+		rounds++
+	}
+	out := make([]*Coloring, len(gs))
+	for gi := range gs {
+		out[gi] = &Coloring{Colors: cols[gi], History: hist[gi], Rounds: rounds}
+	}
+	return out
+}
+
+// vertexSignature builds the refinement signature of v: its own colour plus
+// the multiset of (edge label, neighbour colour) pairs — or, when weighted,
+// the per-colour weight sums. Directed graphs include in-neighbour data.
+func vertexSignature(g *graph.Graph, v int, col []int, weighted bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", col[v])
+	if weighted {
+		sums := map[int]float64{}
+		for _, a := range g.Arcs(v) {
+			e := g.Edges()[a.Edge]
+			sums[col[a.To]] += e.Weight
+		}
+		keys := make([]int, 0, len(sums))
+		for k := range sums {
+			// A zero sum is indistinguishable from having no edges into the
+			// class at all (α = 0 for non-edges), so drop it.
+			if sums[k] > -1e-12 && sums[k] < 1e-12 {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			// Round sums to a fixed grid so float accumulation noise cannot
+			// split classes.
+			fmt.Fprintf(&b, "c%d:%.9f;", k, sums[k])
+		}
+	} else {
+		var sig []string
+		for _, a := range g.Arcs(v) {
+			e := g.Edges()[a.Edge]
+			sig = append(sig, fmt.Sprintf("o%d:%d", e.Label, col[a.To]))
+		}
+		if g.Directed() {
+			for _, e := range g.Edges() {
+				if e.V == v {
+					sig = append(sig, fmt.Sprintf("i%d:%d", e.Label, col[e.U]))
+				}
+			}
+		}
+		sort.Strings(sig)
+		b.WriteString(strings.Join(sig, ";"))
+	}
+	return b.String()
+}
+
+func samePartitionAll(a, b [][]int) bool {
+	fwd := map[int]int{}
+	bwd := map[int]int{}
+	for gi := range a {
+		for v := range a[gi] {
+			x, y := a[gi][v], b[gi][v]
+			if m, ok := fwd[x]; ok && m != y {
+				return false
+			}
+			if m, ok := bwd[y]; ok && m != x {
+				return false
+			}
+			fwd[x] = y
+			bwd[y] = x
+		}
+	}
+	return true
+}
+
+// Distinguishes reports whether 1-WL distinguishes g and h, i.e. whether the
+// stable colour histograms differ after lockstep refinement.
+func Distinguishes(g, h *graph.Graph) bool {
+	cs := RefineAll([]*graph.Graph{g, h})
+	return !equalHistograms(cs[0].Histogram(), cs[1].Histogram())
+}
+
+// DistinguishesWeighted is Distinguishes for the weighted variant.
+func DistinguishesWeighted(g, h *graph.Graph) bool {
+	cs := RefineAllWeighted([]*graph.Graph{g, h})
+	return !equalHistograms(cs[0].Histogram(), cs[1].Histogram())
+}
+
+// DistinguishesInRounds reports whether t-round 1-WL separates g and h.
+func DistinguishesInRounds(g, h *graph.Graph, t int) bool {
+	cs := RefineAllRounds([]*graph.Graph{g, h}, t)
+	return !equalHistograms(cs[0].Histogram(), cs[1].Histogram())
+}
+
+// SameNodeColor reports whether 1-WL assigns v in g and w in h the same
+// stable colour (Theorem 4.14's right-hand side).
+func SameNodeColor(g *graph.Graph, v int, h *graph.Graph, w int) bool {
+	cs := RefineAll([]*graph.Graph{g, h})
+	return cs[0].Colors[v] == cs[1].Colors[w]
+}
+
+// SameNodeColorInRounds is SameNodeColor for t-round refinement.
+func SameNodeColorInRounds(g *graph.Graph, v int, h *graph.Graph, w int, t int) bool {
+	cs := RefineAllRounds([]*graph.Graph{g, h}, t)
+	return cs[0].Colors[v] == cs[1].Colors[w]
+}
+
+func equalHistograms(a, b map[int]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

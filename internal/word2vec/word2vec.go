@@ -1,0 +1,177 @@
+// Package word2vec implements skip-gram with negative sampling (SGNS), the
+// learned-embedding engine of Mikolov et al. that the paper identifies as
+// the common core of DeepWalk, node2vec, and graph2vec: sentences in, dense
+// vectors out. Sentences are sequences of integer token ids; random walks
+// over graphs and WL-subtree documents both reduce to this interface.
+package word2vec
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Config controls SGNS training.
+type Config struct {
+	Dim             int     // embedding dimension
+	Window          int     // context window radius
+	Negative        int     // negative samples per positive pair
+	LearningRate    float64 // initial SGD step size (linearly decayed)
+	Epochs          int     // passes over the corpus
+	UnigramPower    float64 // exponent for the negative-sampling distribution (0.75 in the original)
+	MinLearningRate float64
+}
+
+// DefaultConfig mirrors the common word2vec defaults at small scale.
+func DefaultConfig() Config {
+	return Config{
+		Dim:             16,
+		Window:          4,
+		Negative:        5,
+		LearningRate:    0.05,
+		Epochs:          5,
+		UnigramPower:    0.75,
+		MinLearningRate: 0.0001,
+	}
+}
+
+// Model holds the trained input ("word") and output ("context") vectors.
+type Model struct {
+	Dim   int
+	Vocab int
+	In    [][]float64 // the embedding used downstream
+	Out   [][]float64
+}
+
+// Vector returns the embedding of token t.
+func (m *Model) Vector(t int) []float64 { return m.In[t] }
+
+// Train runs SGNS over the corpus. vocab is the number of distinct tokens
+// (ids must lie in [0, vocab)).
+func Train(corpus [][]int, vocab int, cfg Config, rng *rand.Rand) *Model {
+	if cfg.Dim <= 0 || vocab <= 0 {
+		panic("word2vec: invalid configuration")
+	}
+	m := &Model{Dim: cfg.Dim, Vocab: vocab}
+	m.In = randomMatrix(vocab, cfg.Dim, rng, 0.5/float64(cfg.Dim))
+	m.Out = make([][]float64, vocab)
+	for i := range m.Out {
+		m.Out[i] = make([]float64, cfg.Dim)
+	}
+	table := negativeTable(corpus, vocab, cfg.UnigramPower)
+	totalPairs := 0
+	for _, s := range corpus {
+		totalPairs += len(s)
+	}
+	totalSteps := cfg.Epochs * totalPairs
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, sentence := range corpus {
+			for i, center := range sentence {
+				lr := cfg.LearningRate * (1 - float64(step)/float64(totalSteps+1))
+				if lr < cfg.MinLearningRate {
+					lr = cfg.MinLearningRate
+				}
+				step++
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + cfg.Window
+				if hi >= len(sentence) {
+					hi = len(sentence) - 1
+				}
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					m.trainPair(center, sentence[j], table, cfg.Negative, lr, rng)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// trainPair applies one positive update (center, context) and Negative
+// sampled negative updates with the standard SGNS gradients.
+func (m *Model) trainPair(center, context int, table []int, negative int, lr float64, rng *rand.Rand) {
+	in := m.In[center]
+	grad := make([]float64, m.Dim)
+	apply := func(target int, label float64) {
+		out := m.Out[target]
+		var dot float64
+		for d := 0; d < m.Dim; d++ {
+			dot += in[d] * out[d]
+		}
+		g := (label - sigmoid(dot)) * lr
+		for d := 0; d < m.Dim; d++ {
+			grad[d] += g * out[d]
+			out[d] += g * in[d]
+		}
+	}
+	apply(context, 1)
+	for k := 0; k < negative; k++ {
+		neg := table[rng.Intn(len(table))]
+		if neg == context {
+			continue
+		}
+		apply(neg, 0)
+	}
+	for d := 0; d < m.Dim; d++ {
+		in[d] += grad[d]
+	}
+}
+
+func sigmoid(x float64) float64 {
+	switch {
+	case x > 30:
+		return 1
+	case x < -30:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// negativeTable builds the unigram^power sampling table.
+func negativeTable(corpus [][]int, vocab int, power float64) []int {
+	if power == 0 {
+		power = 0.75
+	}
+	freq := make([]float64, vocab)
+	for _, s := range corpus {
+		for _, t := range s {
+			freq[t]++
+		}
+	}
+	var total float64
+	for i := range freq {
+		freq[i] = math.Pow(freq[i], power)
+		total += freq[i]
+	}
+	const tableSize = 1 << 16
+	table := make([]int, 0, tableSize)
+	if total == 0 {
+		for i := 0; i < tableSize; i++ {
+			table = append(table, i%vocab)
+		}
+		return table
+	}
+	for t := 0; t < vocab; t++ {
+		count := int(freq[t] / total * tableSize)
+		for i := 0; i <= count; i++ {
+			table = append(table, t)
+		}
+	}
+	return table
+}
+
+func randomMatrix(r, c int, rng *rand.Rand, scale float64) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+		for j := range m[i] {
+			m[i][j] = (rng.Float64()*2 - 1) * scale
+		}
+	}
+	return m
+}

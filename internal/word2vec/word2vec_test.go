@@ -1,0 +1,101 @@
+package word2vec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// syntheticCorpus builds sentences where tokens from the same group
+// co-occur: group A = {0..4}, group B = {5..9}.
+func syntheticCorpus(rng *rand.Rand, sentences int) [][]int {
+	var corpus [][]int
+	for s := 0; s < sentences; s++ {
+		group := rng.Intn(2)
+		sent := make([]int, 12)
+		for i := range sent {
+			sent[i] = group*5 + rng.Intn(5)
+		}
+		corpus = append(corpus, sent)
+	}
+	return corpus
+}
+
+func TestTrainSeparatesCooccurrenceGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	corpus := syntheticCorpus(rng, 300)
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 8
+	m := Train(corpus, 10, cfg, rng)
+	// Average intra-group similarity should exceed inter-group similarity.
+	var intra, inter float64
+	var nIntra, nInter int
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			sim := linalg.CosineSimilarity(m.Vector(a), m.Vector(b))
+			if (a < 5) == (b < 5) {
+				intra += sim
+				nIntra++
+			} else {
+				inter += sim
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra <= inter {
+		t.Errorf("intra-group similarity %v should exceed inter-group %v", intra, inter)
+	}
+}
+
+func TestModelShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	m := Train([][]int{{0, 1, 2}}, 3, DefaultConfig(), rng)
+	if m.Vocab != 3 || len(m.In) != 3 || len(m.In[0]) != m.Dim {
+		t.Errorf("model shapes wrong: vocab=%d in=%d dim=%d", m.Vocab, len(m.In), m.Dim)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	corpus := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}}
+	m1 := Train(corpus, 4, DefaultConfig(), rand.New(rand.NewSource(5)))
+	m2 := Train(corpus, 4, DefaultConfig(), rand.New(rand.NewSource(5)))
+	for i := range m1.In {
+		for j := range m1.In[i] {
+			if m1.In[i][j] != m2.In[i][j] {
+				t.Fatal("training should be deterministic under a fixed seed")
+			}
+		}
+	}
+}
+
+func TestNegativeTableRespectsFrequency(t *testing.T) {
+	corpus := [][]int{{0, 0, 0, 0, 0, 0, 1}}
+	table := negativeTable(corpus, 2, 0.75)
+	c0, c1 := 0, 0
+	for _, t := range table {
+		if t == 0 {
+			c0++
+		} else {
+			c1++
+		}
+	}
+	if c0 <= c1 {
+		t.Errorf("token 0 should dominate the table: %d vs %d", c0, c1)
+	}
+	if c1 == 0 {
+		t.Error("rare token should still appear")
+	}
+}
+
+func TestSigmoidBounds(t *testing.T) {
+	if sigmoid(100) != 1 || sigmoid(-100) != 0 {
+		t.Error("sigmoid saturation")
+	}
+	if s := sigmoid(0); s != 0.5 {
+		t.Errorf("sigmoid(0)=%v", s)
+	}
+}
