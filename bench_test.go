@@ -179,6 +179,71 @@ func BenchmarkGraphletKernel(b *testing.B) {
 	}
 }
 
+// --- Gram-construction benchmarks: Section 3.5's efficiency claim ---
+//
+// The pairwise baseline evaluates the kernel on all ~n²/2 pairs, re-running
+// the per-graph work (WL refinement, APSP) each time; the feature-parallel
+// pipeline extracts each graph's explicit feature vector once on a worker
+// pool and fills the matrix with sparse dot products.
+
+func benchKernelCorpus(n, size int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		g := graph.Random(size, 0.15, rng)
+		for v := 0; v < g.N(); v++ {
+			g.SetVertexLabel(v, rng.Intn(3))
+		}
+		gs[i] = g
+	}
+	return gs
+}
+
+func BenchmarkGramWLSubtreePairwise120(b *testing.B) {
+	gs := benchKernelCorpus(120, 20, 42)
+	k := kernel.WLSubtree{Rounds: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.PairwiseGram(k, gs)
+	}
+}
+
+func BenchmarkGramWLSubtreeFeatureParallel120(b *testing.B) {
+	gs := benchKernelCorpus(120, 20, 42)
+	k := kernel.WLSubtree{Rounds: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.Gram(k, gs)
+	}
+}
+
+func BenchmarkGramShortestPathPairwise120(b *testing.B) {
+	gs := benchKernelCorpus(120, 20, 43)
+	k := kernel.ShortestPath{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.PairwiseGram(k, gs)
+	}
+}
+
+func BenchmarkGramShortestPathFeatureParallel120(b *testing.B) {
+	gs := benchKernelCorpus(120, 20, 43)
+	k := kernel.ShortestPath{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.Gram(k, gs)
+	}
+}
+
+func BenchmarkGramRandomWalkPairwiseFallback60(b *testing.B) {
+	gs := benchKernelCorpus(60, 15, 44)
+	k := kernel.RandomWalk{Lambda: 0.05, MaxLen: 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.Gram(k, gs)
+	}
+}
+
 func BenchmarkNode2VecKarate(b *testing.B) {
 	g, _ := graph.KarateClub()
 	for i := 0; i < b.N; i++ {

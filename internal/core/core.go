@@ -26,6 +26,10 @@ import (
 
 // GraphEmbedder maps whole graphs to fixed-dimension vectors (an explicit
 // feature map; every GraphEmbedder induces a kernel via the inner product).
+// EmbedGraph must be safe to call concurrently on distinct graphs: the Gram
+// pipeline extracts embeddings across a worker pool, so implementations
+// must not share unsynchronised mutable state (e.g. a *rand.Rand or a
+// scratch buffer) between calls.
 type GraphEmbedder interface {
 	EmbedGraph(g *graph.Graph) []float64
 	Name() string
@@ -165,22 +169,23 @@ func (e *Node2VecEmbedder) EmbedNodes(g *graph.Graph) *linalg.Matrix {
 func (e *Node2VecEmbedder) Name() string { return "node2vec" }
 
 // GramFromEmbedder computes the linear-kernel Gram matrix of an explicit
-// graph embedding over a graph set.
+// graph embedding over a graph set: one embedding per graph extracted
+// across a worker pool, then a parallel symmetric fill — the same
+// one-extraction-per-graph pipeline kernel.Gram uses for FeatureKernels.
 func GramFromEmbedder(e GraphEmbedder, gs []*graph.Graph) *linalg.Matrix {
+	feats := embedAll(e, gs)
+	return linalg.SymmetricFromFunc(len(gs), func(i, j int) float64 {
+		return linalg.Dot(feats[i], feats[j])
+	})
+}
+
+// embedAll runs EmbedGraph once per graph on a GOMAXPROCS-sized pool.
+func embedAll(e GraphEmbedder, gs []*graph.Graph) [][]float64 {
 	feats := make([][]float64, len(gs))
-	for i, g := range gs {
-		feats[i] = e.EmbedGraph(g)
-	}
-	n := len(gs)
-	gram := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := linalg.Dot(feats[i], feats[j])
-			gram.Set(i, j, v)
-			gram.Set(j, i, v)
-		}
-	}
-	return gram
+	linalg.ParallelFor(len(gs), func(i int) {
+		feats[i] = e.EmbedGraph(gs[i])
+	})
+	return feats
 }
 
 // StandardizedGram embeds every graph, z-scores each feature dimension
@@ -189,10 +194,7 @@ func GramFromEmbedder(e GraphEmbedder, gs []*graph.Graph) *linalg.Matrix {
 // per-dimension scales; standardisation puts them on equal footing before
 // the SVM.
 func StandardizedGram(e GraphEmbedder, gs []*graph.Graph) *linalg.Matrix {
-	feats := make([][]float64, len(gs))
-	for i, g := range gs {
-		feats[i] = e.EmbedGraph(g)
-	}
+	feats := embedAll(e, gs)
 	if len(feats) > 0 {
 		d := len(feats[0])
 		for j := 0; j < d; j++ {
@@ -214,16 +216,9 @@ func StandardizedGram(e GraphEmbedder, gs []*graph.Graph) *linalg.Matrix {
 			}
 		}
 	}
-	n := len(gs)
-	gram := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := linalg.Dot(feats[i], feats[j])
-			gram.Set(i, j, v)
-			gram.Set(j, i, v)
-		}
-	}
-	return gram
+	return linalg.SymmetricFromFunc(len(gs), func(i, j int) float64 {
+		return linalg.Dot(feats[i], feats[j])
+	})
 }
 
 // ClassifyWithEmbedder runs the full downstream pipeline of the paper's

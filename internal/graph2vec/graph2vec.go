@@ -123,14 +123,10 @@ func sigmoid(x float64) float64 {
 func (m *Model) Vector(i int) []float64 { return m.Vectors.Row(i) }
 
 // Gram returns the linear-kernel Gram matrix of the learned graph vectors,
-// ready for the svm package.
+// ready for the svm package. The symmetric fill runs on a worker pool,
+// matching the kernel package's parallel Gram pipeline.
 func (m *Model) Gram() *linalg.Matrix {
-	n := m.Vectors.Rows
-	g := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			g.Set(i, j, linalg.Dot(m.Vectors.Row(i), m.Vectors.Row(j)))
-		}
-	}
-	return g
+	return linalg.SymmetricFromFunc(m.Vectors.Rows, func(i, j int) float64 {
+		return linalg.Dot(m.Vectors.Row(i), m.Vectors.Row(j))
+	})
 }

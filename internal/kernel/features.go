@@ -1,0 +1,120 @@
+package kernel
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/linalg"
+	"repro/internal/wl"
+)
+
+// FeatureKernel is a Kernel with an explicit feature map: Compute(g, h)
+// equals Features(g).Dot(Features(h)). Section 3.5 stresses the explicit
+// map as the reason the WL subtree kernel scales: a Gram matrix over n
+// graphs needs only n feature extractions (one per graph) followed by
+// cheap sparse dot products, instead of O(n²) pairwise kernel evaluations
+// each re-running refinement, APSP, or subgraph counting from scratch.
+type FeatureKernel interface {
+	Kernel
+	// Features returns the explicit sparse feature vector of g. It must be
+	// safe to call concurrently on distinct graphs.
+	Features(g *graph.Graph) linalg.SparseVector
+}
+
+// Features implements FeatureKernel: coordinate (round, colour) holds the
+// colour-count wl(c, g) over rounds 0..Rounds, from a single refinement
+// run per graph. Colour ids are process-globally canonical (see
+// wl.CanonicalColors), so vectors of different graphs are comparable.
+func (k WLSubtree) Features(g *graph.Graph) linalg.SparseVector {
+	out := make(linalg.SparseVector)
+	for i, round := range wl.CanonicalColors(g, k.Rounds) {
+		for _, c := range round {
+			out.Add(linalg.Key(i, c, 0), 1)
+		}
+	}
+	return out
+}
+
+// Features implements FeatureKernel: per-round colour counts scaled by
+// √(1/2ⁱ), so the sparse dot product reproduces the geometric round
+// discount of K_WL.
+func (k WLDiscounted) Features(g *graph.Graph) linalg.SparseVector {
+	rounds := k.rounds()
+	out := make(linalg.SparseVector)
+	w := 1.0
+	for i, m := range wl.RoundColorCounts(g, rounds) {
+		sw := math.Sqrt(w)
+		for c, n := range m {
+			out[linalg.Key(i, c, 0)] = sw * float64(n)
+		}
+		w /= 2
+	}
+	return out
+}
+
+// Features implements FeatureKernel: coordinate (distance, labelA, labelB)
+// counts vertex pairs at each finite distance, from one APSP run per graph.
+func (ShortestPath) Features(g *graph.Graph) linalg.SparseVector {
+	out := make(linalg.SparseVector)
+	d := g.AllPairsDistances()
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if d[u][v] <= 0 {
+				continue
+			}
+			la, lb := g.VertexLabel(u), g.VertexLabel(v)
+			if la > lb {
+				la, lb = lb, la
+			}
+			out.Add(linalg.Key(d[u][v], la, lb), 1)
+		}
+	}
+	return out
+}
+
+// Features implements FeatureKernel: coordinate i holds the count of the
+// i-th isomorphism class of induced k-vertex subgraphs.
+func (k Graphlet) Features(g *graph.Graph) linalg.SparseVector {
+	size := k.Size
+	if size == 0 {
+		size = 3
+	}
+	out := make(linalg.SparseVector)
+	for i, c := range GraphletCounts(g, size) {
+		if c != 0 {
+			out[linalg.Key(i, 0, 0)] = c
+		}
+	}
+	return out
+}
+
+// Features implements FeatureKernel: coordinate i holds the scaled (or
+// log-scaled) homomorphism count of the i-th pattern of the class — the
+// truncated vector of equation (4.1).
+func (k HomVector) Features(g *graph.Graph) linalg.SparseVector {
+	class := k.class()
+	var dense []float64
+	if k.Log {
+		dense = hom.LogScaledVector(class, g)
+	} else {
+		dense = scaledHomVector(class, g)
+	}
+	out := make(linalg.SparseVector)
+	for i, v := range dense {
+		if v != 0 {
+			out[linalg.Key(i, 0, 0)] = v
+		}
+	}
+	return out
+}
+
+// FeatureVectors extracts the explicit feature vector of every graph across
+// a GOMAXPROCS-sized worker pool — exactly one Features call per graph.
+func FeatureVectors(k FeatureKernel, gs []*graph.Graph) []linalg.SparseVector {
+	feats := make([]linalg.SparseVector, len(gs))
+	linalg.ParallelFor(len(gs), func(i int) {
+		feats[i] = k.Features(gs[i])
+	})
+	return feats
+}

@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/linalg"
+)
+
+// mixedLabelCorpus builds a corpus of random graphs with mixed vertex
+// labels, plus a few structured graphs, to exercise label-sensitive feature
+// maps (shortest-path, random-walk) as well as the purely structural ones.
+func mixedLabelCorpus(t testing.TB, n int, seed int64) []*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	gs := []*graph.Graph{
+		graph.Cycle(5), graph.Path(6), graph.Complete(4), graph.Star(4),
+	}
+	for len(gs) < n {
+		g := graph.Random(7, 0.35, rng)
+		for v := 0; v < g.N(); v++ {
+			g.SetVertexLabel(v, rng.Intn(3))
+		}
+		gs = append(gs, g)
+	}
+	return gs[:n]
+}
+
+func allKernels() []Kernel {
+	return []Kernel{
+		WLSubtree{Rounds: 3},
+		WLDiscounted{},
+		ShortestPath{},
+		Graphlet{Size: 3},
+		RandomWalk{Lambda: 0.05, MaxLen: 6},
+		HomVector{Class: hom.StandardClass()},
+		HomVector{Class: hom.StandardClass(), Log: true},
+	}
+}
+
+// TestGramMatchesPairwise checks the core refactor invariant: the parallel
+// feature-map Gram equals the sequential pairwise Gram entry-by-entry
+// (exactly for the integral feature maps, within 1e-12 relative error for
+// the float-weighted ones) for every kernel on a mixed-label corpus.
+func TestGramMatchesPairwise(t *testing.T) {
+	gs := mixedLabelCorpus(t, 12, 71)
+	for _, k := range allKernels() {
+		got := Gram(k, gs)
+		want := PairwiseGram(k, gs)
+		for i := 0; i < want.Rows; i++ {
+			for j := 0; j < want.Cols; j++ {
+				g, w := got.At(i, j), want.At(i, j)
+				tol := 1e-12 * math.Max(1, math.Abs(w))
+				if math.Abs(g-w) > tol {
+					t.Errorf("%s: Gram(%d,%d)=%v, pairwise=%v", k.Name(), i, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestFeatureDotMatchesCompute checks the FeatureKernel contract
+// K(g,h) = ⟨φ(g), φ(h)⟩ for every kernel with an explicit feature map.
+func TestFeatureDotMatchesCompute(t *testing.T) {
+	gs := mixedLabelCorpus(t, 6, 72)
+	for _, k := range allKernels() {
+		fk, ok := k.(FeatureKernel)
+		if !ok {
+			continue
+		}
+		for _, g := range gs {
+			for _, h := range gs {
+				want := k.Compute(g, h)
+				got := fk.Features(g).Dot(fk.Features(h))
+				tol := 1e-12 * math.Max(1, math.Abs(want))
+				if math.Abs(got-want) > tol {
+					t.Errorf("%s: feature dot %v != Compute %v", k.Name(), got, want)
+				}
+			}
+		}
+	}
+}
+
+// countingKernel wraps WLSubtree and counts Features calls, verifying the
+// one-extraction-per-graph contract of the Gram pipeline.
+type countingKernel struct {
+	WLSubtree
+	calls *atomic.Int64
+}
+
+func (c countingKernel) Features(g *graph.Graph) linalg.SparseVector {
+	c.calls.Add(1)
+	return c.WLSubtree.Features(g)
+}
+
+func TestGramExtractsFeaturesOncePerGraph(t *testing.T) {
+	gs := mixedLabelCorpus(t, 10, 73)
+	var calls atomic.Int64
+	k := countingKernel{WLSubtree: WLSubtree{Rounds: 3}, calls: &calls}
+	Gram(k, gs)
+	if got := calls.Load(); got != int64(len(gs)) {
+		t.Errorf("Gram made %d Features calls for %d graphs, want exactly one each", got, len(gs))
+	}
+}
+
+// TestParallelGramInvariants locks in Normalize and IsPSD on the parallel
+// pipeline's output for both the feature path and the pairwise fallback.
+func TestParallelGramInvariants(t *testing.T) {
+	gs := mixedLabelCorpus(t, 10, 74)
+	for _, k := range []Kernel{WLSubtree{Rounds: 3}, RandomWalk{Lambda: 0.05, MaxLen: 6}} {
+		gram := Gram(k, gs)
+		if !IsPSD(gram, 1e-6*linalg.Frobenius(gram)) {
+			t.Errorf("%s: parallel Gram not PSD", k.Name())
+		}
+		norm := Normalize(gram)
+		for i := 0; i < norm.Rows; i++ {
+			if math.Abs(norm.At(i, i)-1) > 1e-9 {
+				t.Errorf("%s: normalised diagonal entry %d = %v", k.Name(), i, norm.At(i, i))
+			}
+		}
+	}
+}
+
+// TestFeatureVectorsParallelDeterministic: repeated parallel extractions
+// agree with a direct sequential extraction (worker scheduling must not
+// leak into the features).
+func TestFeatureVectorsParallelDeterministic(t *testing.T) {
+	gs := mixedLabelCorpus(t, 16, 75)
+	k := WLSubtree{Rounds: 4}
+	par := FeatureVectors(k, gs)
+	for i, g := range gs {
+		seq := k.Features(g)
+		if len(par[i]) != len(seq) {
+			t.Fatalf("graph %d: parallel NNZ %d != sequential %d", i, len(par[i]), len(seq))
+		}
+		for key, v := range seq {
+			if par[i][key] != v {
+				t.Fatalf("graph %d: coordinate %v differs: %v vs %v", i, key, par[i][key], v)
+			}
+		}
+	}
+}

@@ -4,6 +4,16 @@
 // kernel, and the homomorphism-vector kernel of equation (4.1), together
 // with Gram-matrix utilities (normalisation, positive-semidefiniteness
 // checks) and rooted-homomorphism node kernels.
+//
+// Kernels with an explicit feature map additionally implement
+// FeatureKernel, exposing their sparse feature vector directly. This is the
+// efficiency argument of Section 3.5: with an explicit map, building the
+// Gram matrix of n graphs takes n feature extractions — one per graph —
+// plus cheap sparse dot products, whereas a kernel evaluated only pairwise
+// needs O(n²) evaluations each repeating the expensive per-graph work
+// (WL refinement, APSP, subgraph counting). Gram exploits this and runs
+// both the extraction and the matrix fill on a GOMAXPROCS-sized worker
+// pool; PairwiseGram keeps the sequential O(n²) reference path.
 package kernel
 
 import (
@@ -17,7 +27,10 @@ import (
 
 // Kernel is a positive semidefinite similarity between graphs.
 type Kernel interface {
-	// Compute returns K(g, h).
+	// Compute returns K(g, h). It must be safe to call concurrently on
+	// distinct pairs: Gram's pairwise fallback evaluates it across a
+	// worker pool, so implementations must not share unsynchronised
+	// mutable state (e.g. a scratch buffer or memo map) between calls.
 	Compute(g, h *graph.Graph) float64
 	// Name identifies the kernel in experiment reports.
 	Name() string
@@ -33,30 +46,10 @@ type WLSubtree struct {
 // Name implements Kernel.
 func (k WLSubtree) Name() string { return "wl-subtree" }
 
-// Compute implements Kernel.
+// Compute implements Kernel: the inner product of the explicit colour-count
+// feature vectors (all entries are integral, so the sparse dot is exact).
 func (k WLSubtree) Compute(g, h *graph.Graph) float64 {
-	cg := wl.RoundColorCounts(g, k.Rounds)
-	ch := wl.RoundColorCounts(h, k.Rounds)
-	var s float64
-	for i := 0; i <= k.Rounds; i++ {
-		for c, n := range cg[i] {
-			s += float64(n) * float64(ch[i][c])
-		}
-	}
-	return s
-}
-
-// Features returns the explicit feature map of the WL subtree kernel: the
-// concatenated per-round colour counts keyed by (round, colour canon).
-func (k WLSubtree) Features(g *graph.Graph) map[[2]interface{}]float64 {
-	out := map[[2]interface{}]float64{}
-	counts := wl.RoundColorCounts(g, k.Rounds)
-	for i, m := range counts {
-		for c, n := range m {
-			out[[2]interface{}{i, c}] = float64(n)
-		}
-	}
-	return out
+	return k.Features(g).Dot(k.Features(h))
 }
 
 // WLDiscounted is the round-unbounded WL kernel K_WL with geometric
@@ -70,12 +63,17 @@ type WLDiscounted struct {
 // Name implements Kernel.
 func (WLDiscounted) Name() string { return "wl-discounted" }
 
+// rounds resolves the truncation horizon, shared by Compute and Features.
+func (k WLDiscounted) rounds() int {
+	if k.Horizon == 0 {
+		return 12
+	}
+	return k.Horizon
+}
+
 // Compute implements Kernel.
 func (k WLDiscounted) Compute(g, h *graph.Graph) float64 {
-	rounds := k.Horizon
-	if rounds == 0 {
-		rounds = 12
-	}
+	rounds := k.rounds()
 	cg := wl.RoundColorCounts(g, rounds)
 	ch := wl.RoundColorCounts(h, rounds)
 	var s float64
@@ -97,38 +95,10 @@ type ShortestPath struct{}
 // Name implements Kernel.
 func (ShortestPath) Name() string { return "shortest-path" }
 
-// Compute implements Kernel.
-func (ShortestPath) Compute(g, h *graph.Graph) float64 {
-	fg := spFeatures(g)
-	fh := spFeatures(h)
-	var s float64
-	for k, a := range fg {
-		s += a * fh[k]
-	}
-	return s
-}
-
-type spKey struct {
-	dist   int
-	la, lb int
-}
-
-func spFeatures(g *graph.Graph) map[spKey]float64 {
-	out := map[spKey]float64{}
-	d := g.AllPairsDistances()
-	for u := 0; u < g.N(); u++ {
-		for v := u + 1; v < g.N(); v++ {
-			if d[u][v] <= 0 {
-				continue
-			}
-			la, lb := g.VertexLabel(u), g.VertexLabel(v)
-			if la > lb {
-				la, lb = lb, la
-			}
-			out[spKey{d[u][v], la, lb}]++
-		}
-	}
-	return out
+// Compute implements Kernel: the inner product of the distance-histogram
+// feature vectors (integral counts, so the sparse dot is exact).
+func (k ShortestPath) Compute(g, h *graph.Graph) float64 {
+	return k.Features(g).Dot(k.Features(h))
 }
 
 // Graphlet is the 3- and 4-vertex graphlet kernel: features are counts of
@@ -140,19 +110,10 @@ type Graphlet struct {
 // Name implements Kernel.
 func (Graphlet) Name() string { return "graphlet" }
 
-// Compute implements Kernel.
+// Compute implements Kernel: the inner product of the graphlet-count
+// feature vectors (integral counts, so the sparse dot is exact).
 func (k Graphlet) Compute(g, h *graph.Graph) float64 {
-	size := k.Size
-	if size == 0 {
-		size = 3
-	}
-	fg := GraphletCounts(g, size)
-	fh := GraphletCounts(h, size)
-	var s float64
-	for i := range fg {
-		s += fg[i] * fh[i]
-	}
-	return s
+	return k.Features(g).Dot(k.Features(h))
 }
 
 // GraphletCounts returns induced-subgraph counts on all k-subsets, indexed
@@ -270,12 +231,17 @@ func (k HomVector) Name() string {
 	return "hom"
 }
 
+// class resolves the pattern class, shared by Compute and Features.
+func (k HomVector) class() []*graph.Graph {
+	if k.Class == nil {
+		return hom.StandardClass()
+	}
+	return k.Class
+}
+
 // Compute implements Kernel.
 func (k HomVector) Compute(g, h *graph.Graph) float64 {
-	class := k.Class
-	if class == nil {
-		class = hom.StandardClass()
-	}
+	class := k.class()
 	var fg, fh []float64
 	if k.Log {
 		fg = hom.LogScaledVector(class, g)
@@ -298,8 +264,29 @@ func scaledHomVector(class []*graph.Graph, g *graph.Graph) []float64 {
 	return out
 }
 
-// Gram computes the kernel matrix of a graph set.
+// Gram computes the kernel matrix of a graph set. For a FeatureKernel it
+// extracts the explicit feature vector of every graph exactly once across a
+// GOMAXPROCS-sized worker pool and fills the symmetric matrix with parallel
+// sparse dot products — the Section 3.5 efficiency result (n extractions
+// instead of O(n²)). Kernels without a feature map (e.g. RandomWalk) fall
+// back to a parallelised pairwise loop with identical Compute semantics.
 func Gram(k Kernel, gs []*graph.Graph) *linalg.Matrix {
+	if fk, ok := k.(FeatureKernel); ok {
+		feats := FeatureVectors(fk, gs)
+		return linalg.SymmetricFromFunc(len(gs), func(i, j int) float64 {
+			return feats[i].Dot(feats[j])
+		})
+	}
+	return linalg.SymmetricFromFunc(len(gs), func(i, j int) float64 {
+		return k.Compute(gs[i], gs[j])
+	})
+}
+
+// PairwiseGram is the sequential O(n²)-evaluation reference implementation
+// of Gram: one Kernel.Compute call per unordered pair, no feature reuse, no
+// parallelism. It is kept for equivalence tests and as the baseline in the
+// Gram-construction benchmarks and experiment E20.
+func PairwiseGram(k Kernel, gs []*graph.Graph) *linalg.Matrix {
 	n := len(gs)
 	m := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {

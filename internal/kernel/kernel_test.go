@@ -203,4 +203,8 @@ func TestWLSubtreeFeatures(t *testing.T) {
 	if total != 12 {
 		t.Errorf("feature mass %v, want 12", total)
 	}
+	// C4 is vertex-transitive: one colour per round, so 3 coordinates.
+	if f.NNZ() != 3 {
+		t.Errorf("feature NNZ %d, want 3", f.NNZ())
+	}
 }

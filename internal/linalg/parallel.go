@@ -1,0 +1,56 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs f(i) for i = 0..n-1 across a GOMAXPROCS-sized worker
+// pool. Indices are handed out through an atomic counter, so uneven work
+// items (e.g. the shrinking rows of a triangular Gram fill) stay balanced
+// across workers. f must be safe to call concurrently for distinct i.
+func ParallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SymmetricFromFunc fills an n-by-n symmetric matrix from entry(i, j),
+// called exactly once per unordered pair i <= j, with rows distributed
+// across the worker pool. The worker owning row i writes (i, j) and the
+// mirror (j, i) for j >= i, so every matrix element has a unique writer.
+func SymmetricFromFunc(n int, entry func(i, j int) float64) *Matrix {
+	m := NewMatrix(n, n)
+	ParallelFor(n, func(i int) {
+		for j := i; j < n; j++ {
+			v := entry(i, j)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	})
+	return m
+}

@@ -1,0 +1,42 @@
+package linalg
+
+import "math"
+
+// SparseKey identifies one coordinate of a sparse feature space. The three
+// components are kernel-specific: (round, colour, 0) for WL subtree
+// features, (distance, labelA, labelB) for shortest-path features,
+// (patternIndex, 0, 0) for graphlet and homomorphism-vector features.
+type SparseKey [3]int64
+
+// Key builds a SparseKey from up to three integer components.
+func Key(a, b, c int) SparseKey { return SparseKey{int64(a), int64(b), int64(c)} }
+
+// SparseVector is a sparse real vector over an arbitrary integer-keyed
+// coordinate space. The explicit feature maps of the paper's Section 3.5
+// (WL colour counts, shortest-path histograms, graphlet counts, scaled hom
+// vectors) are all SparseVectors, so Gram matrices reduce to sparse dot
+// products after one feature extraction per graph.
+type SparseVector map[SparseKey]float64
+
+// Add accumulates v into coordinate k.
+func (s SparseVector) Add(k SparseKey, v float64) { s[k] += v }
+
+// Dot returns the inner product ⟨s, t⟩, iterating over the smaller operand.
+func (s SparseVector) Dot(t SparseVector) float64 {
+	if len(t) < len(s) {
+		s, t = t, s
+	}
+	var sum float64
+	for k, a := range s {
+		if b, ok := t[k]; ok {
+			sum += a * b
+		}
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm ‖s‖₂.
+func (s SparseVector) Norm() float64 { return math.Sqrt(s.Dot(s)) }
+
+// NNZ returns the number of stored coordinates.
+func (s SparseVector) NNZ() int { return len(s) }

@@ -1,0 +1,58 @@
+package linalg
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSparseVectorDotNorm(t *testing.T) {
+	a := SparseVector{Key(0, 0, 0): 3, Key(1, 2, 0): 4}
+	b := SparseVector{Key(1, 2, 0): 2, Key(5, 0, 0): 7}
+	if got := a.Dot(b); got != 8 {
+		t.Errorf("Dot=%v, want 8", got)
+	}
+	if got := b.Dot(a); got != 8 {
+		t.Errorf("Dot not symmetric: %v", got)
+	}
+	if got := a.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm=%v, want 5", got)
+	}
+	a.Add(Key(0, 0, 0), 1)
+	if a[Key(0, 0, 0)] != 4 {
+		t.Errorf("Add failed: %v", a[Key(0, 0, 0)])
+	}
+	if a.NNZ() != 2 {
+		t.Errorf("NNZ=%d, want 2", a.NNZ())
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		var sum atomic.Int64
+		seen := make([]atomic.Int32, n)
+		ParallelFor(n, func(i int) {
+			seen[i].Add(1)
+			sum.Add(int64(i))
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, seen[i].Load())
+			}
+		}
+		if want := int64(n) * int64(n-1) / 2; n > 0 && sum.Load() != want {
+			t.Fatalf("n=%d: sum=%d, want %d", n, sum.Load(), want)
+		}
+	}
+}
+
+func TestSymmetricFromFunc(t *testing.T) {
+	m := SymmetricFromFunc(5, func(i, j int) float64 { return float64(i + j) })
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != float64(i+j) || m.At(i, j) != m.At(j, i) {
+				t.Fatalf("entry (%d,%d)=%v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
