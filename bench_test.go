@@ -78,8 +78,8 @@ func BenchmarkE20KernelEfficiency(b *testing.B) {
 		if !r.Passed {
 			b.Fatalf("E20 failed: %s", r.Notes)
 		}
-		if len(rows) != 4 {
-			b.Fatal("E20 should time 4 kernels")
+		if len(rows) != 6 {
+			b.Fatal("E20 should time 4 kernels plus the two contention rows")
 		}
 	}
 }
@@ -229,6 +229,29 @@ func BenchmarkGramShortestPathPairwise120(b *testing.B) {
 func BenchmarkGramShortestPathFeatureParallel120(b *testing.B) {
 	gs := benchKernelCorpus(120, 20, 43)
 	k := kernel.ShortestPath{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.Gram(k, gs)
+	}
+}
+
+// Interner-contention head-to-head on the corpus Gram path: the PR 1
+// baseline funnels every worker through one mutex-guarded string map and
+// formats a signature string per vertex per round; the engine extracts the
+// whole corpus in one batched RefineCorpus pass through the lock-striped
+// integer-signature store. CI runs these at -benchtime=1x as a smoke job.
+
+func BenchmarkGramWLCorpusGlobalMutex120(b *testing.B) {
+	gs := benchKernelCorpus(120, 20, 45)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.LegacyMutexWLGram(gs, 4)
+	}
+}
+
+func BenchmarkGramWLCorpusSharded120(b *testing.B) {
+	gs := benchKernelCorpus(120, 20, 45)
+	k := kernel.WLSubtree{Rounds: 4}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kernel.Gram(k, gs)

@@ -4,20 +4,27 @@
 //
 // Usage:
 //
-//	x2vec wl FILE              stable 1-WL colouring
-//	x2vec hom PATTERN FILE     homomorphism count (PATTERN: path:K, cycle:K, star:K, clique:K)
-//	x2vec kernel NAME A B      kernel value between two graphs (wl, sp, graphlet, hom)
-//	x2vec embed METHOD FILE    node embedding (adjacency, distance, node2vec, deepwalk)
-//	x2vec dist NORM A B        aligned distance (frobenius, l1, cut) — small graphs only
+//	x2vec [-rounds T] [-parallel N] wl FILE      stable 1-WL colouring (-rounds T: stop after T rounds)
+//	x2vec hom PATTERN FILE                       homomorphism count (PATTERN: path:K, cycle:K, star:K, clique:K)
+//	x2vec [-rounds T] kernel NAME A B            kernel value between two graphs (wl, sp, graphlet, hom)
+//	x2vec embed METHOD FILE                      node embedding (adjacency, distance, node2vec, deepwalk)
+//	x2vec dist NORM A B                          aligned distance (frobenius, l1, cut) — small graphs only
+//
+// -rounds sets the WL refinement depth (-1, the default, refines to
+// stability for `wl` and uses the kernel default of 5 for `kernel wl`);
+// -parallel caps the worker count of the parallel refinement and Gram
+// pipelines (0 keeps the GOMAXPROCS default).
 //
 // Edge-list format: one "u v [weight]" pair per line; vertex count inferred.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -30,21 +37,31 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	rounds := flag.Int("rounds", -1, "WL refinement depth; -1 = refine to stability (wl) / kernel default (kernel wl)")
+	parallel := flag.Int("parallel", 0, "worker count for parallel pipelines; 0 = GOMAXPROCS")
+	flag.Usage = func() { usage() }
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 	}
+	if *parallel > 0 {
+		// The refinement / Gram worker pools size themselves off
+		// GOMAXPROCS, so capping it caps every parallel pipeline at once.
+		runtime.GOMAXPROCS(*parallel)
+	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "wl":
-		err = cmdWL(os.Args[2:])
+		err = cmdWL(args[1:], *rounds)
 	case "hom":
-		err = cmdHom(os.Args[2:])
+		err = cmdHom(args[1:])
 	case "kernel":
-		err = cmdKernel(os.Args[2:])
+		err = cmdKernel(args[1:], *rounds)
 	case "embed":
-		err = cmdEmbed(os.Args[2:])
+		err = cmdEmbed(args[1:])
 	case "dist":
-		err = cmdDist(os.Args[2:])
+		err = cmdDist(args[1:])
 	default:
 		usage()
 	}
@@ -55,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: x2vec {wl|hom|kernel|embed|dist} ...")
+	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|kernel|embed|dist} ...")
 	os.Exit(2)
 }
 
@@ -132,15 +149,20 @@ func parsePattern(spec string) (*graph.Graph, error) {
 	return nil, fmt.Errorf("unknown pattern kind %q", parts[0])
 }
 
-func cmdWL(args []string) error {
+func cmdWL(args []string, rounds int) error {
 	if len(args) != 1 {
-		return fmt.Errorf("usage: x2vec wl FILE")
+		return fmt.Errorf("usage: x2vec [-rounds T] wl FILE")
 	}
 	g, err := loadGraph(args[0])
 	if err != nil {
 		return err
 	}
-	c := wl.Refine(g)
+	var c *wl.Coloring
+	if rounds >= 0 {
+		c = wl.RefineRounds(g, rounds)
+	} else {
+		c = wl.Refine(g)
+	}
 	fmt.Printf("n=%d m=%d rounds=%d classes=%d\n", g.N(), g.M(), c.Rounds, c.NumColors())
 	for color, vs := range c.Classes() {
 		fmt.Printf("  colour %d: %v\n", color, vs)
@@ -164,14 +186,17 @@ func cmdHom(args []string) error {
 	return nil
 }
 
-func cmdKernel(args []string) error {
+func cmdKernel(args []string, rounds int) error {
 	if len(args) != 3 {
-		return fmt.Errorf("usage: x2vec kernel {wl|sp|graphlet|hom} A B")
+		return fmt.Errorf("usage: x2vec [-rounds T] kernel {wl|sp|graphlet|hom} A B")
+	}
+	if rounds < 0 {
+		rounds = 5 // the WL kernel default shared with the experiments
 	}
 	var k kernel.Kernel
 	switch args[0] {
 	case "wl":
-		k = kernel.WLSubtree{Rounds: 5}
+		k = kernel.WLSubtree{Rounds: rounds}
 	case "sp":
 		k = kernel.ShortestPath{}
 	case "graphlet":

@@ -83,10 +83,12 @@ func TestSubcommands(t *testing.T) {
 		name string
 		run  func() error
 	}{
-		{"wl", func() error { return cmdWL([]string{triangle}) }},
+		{"wl", func() error { return cmdWL([]string{triangle}, -1) }},
+		{"wl-rounds", func() error { return cmdWL([]string{hexagon}, 2) }},
 		{"hom", func() error { return cmdHom([]string{"cycle:3", triangle}) }},
-		{"kernel", func() error { return cmdKernel([]string{"wl", triangle, square}) }},
-		{"kernel-hom", func() error { return cmdKernel([]string{"hom", triangle, square}) }},
+		{"kernel", func() error { return cmdKernel([]string{"wl", triangle, square}, -1) }},
+		{"kernel-rounds", func() error { return cmdKernel([]string{"wl", triangle, square}, 2) }},
+		{"kernel-hom", func() error { return cmdKernel([]string{"hom", triangle, square}, -1) }},
 		{"embed", func() error { return cmdEmbed([]string{"adjacency", triangle}) }},
 		{"dist", func() error { return cmdDist([]string{"frobenius", triangle, hexagon}) }},
 	}
@@ -99,7 +101,7 @@ func TestSubcommands(t *testing.T) {
 
 func TestSubcommandErrors(t *testing.T) {
 	triangle := writeTemp(t, "0 1\n1 2\n2 0\n")
-	if err := cmdKernel([]string{"nope", triangle, triangle}); err == nil {
+	if err := cmdKernel([]string{"nope", triangle, triangle}, -1); err == nil {
 		t.Error("unknown kernel should error")
 	}
 	if err := cmdEmbed([]string{"nope", triangle}); err == nil {
@@ -108,7 +110,7 @@ func TestSubcommandErrors(t *testing.T) {
 	if err := cmdDist([]string{"nope", triangle, triangle}); err == nil {
 		t.Error("unknown norm should error")
 	}
-	if err := cmdWL([]string{}); err == nil {
+	if err := cmdWL([]string{}, -1); err == nil {
 		t.Error("missing args should error")
 	}
 	// Alignment distance rejects pairs whose blown-up order explodes.

@@ -41,6 +41,16 @@ type NodeEmbedder interface {
 	Name() string
 }
 
+// CorpusEmbedder is a GraphEmbedder that can embed a whole corpus from one
+// shared pass (e.g. one batched wl.RefineCorpus refinement instead of one
+// refinement per graph). EmbedCorpus must return exactly one vector per
+// input graph, equal to EmbedGraph(gs[i]) for every i; the Gram pipeline
+// prefers it when available.
+type CorpusEmbedder interface {
+	GraphEmbedder
+	EmbedCorpus(gs []*graph.Graph) [][]float64
+}
+
 // HomEmbedder is the homomorphism-vector graph embedding of Section 4: the
 // log-scaled counts over a fixed pattern class.
 type HomEmbedder struct {
@@ -72,13 +82,13 @@ type WLEmbedder struct {
 	index  map[[2]int]int
 }
 
-// NewWLEmbedder builds the feature index from a reference corpus of graphs.
+// NewWLEmbedder builds the feature index from a reference corpus of graphs
+// with one batched wl.RefineCorpus refinement pass.
 func NewWLEmbedder(rounds int, corpus []*graph.Graph) *WLEmbedder {
 	e := &WLEmbedder{Rounds: rounds, index: map[[2]int]int{}}
-	for _, g := range corpus {
-		counts := wl.RoundColorCounts(g, rounds)
-		for r, m := range counts {
-			for c := range m {
+	for _, cols := range wl.RefineCorpus(corpus, rounds) {
+		for r, round := range cols {
+			for _, c := range round {
 				key := [2]int{r, c}
 				if _, ok := e.index[key]; !ok {
 					e.index[key] = len(e.index)
@@ -89,19 +99,35 @@ func NewWLEmbedder(rounds int, corpus []*graph.Graph) *WLEmbedder {
 	return e
 }
 
-// EmbedGraph implements GraphEmbedder. Colours outside the reference index
-// are dropped (out-of-vocabulary), mirroring how fixed feature maps behave
-// on unseen structure.
-func (e *WLEmbedder) EmbedGraph(g *graph.Graph) []float64 {
+// embedColors folds one graph's per-round canonical colours into the fixed
+// index space. Colours outside the reference index are dropped
+// (out-of-vocabulary), mirroring how fixed feature maps behave on unseen
+// structure.
+func (e *WLEmbedder) embedColors(cols [][]int) []float64 {
 	out := make([]float64, len(e.index))
-	counts := wl.RoundColorCounts(g, e.Rounds)
-	for r, m := range counts {
-		for c, n := range m {
+	for r, round := range cols {
+		for _, c := range round {
 			if i, ok := e.index[[2]int{r, c}]; ok {
-				out[i] = float64(n)
+				out[i]++
 			}
 		}
 	}
+	return out
+}
+
+// EmbedGraph implements GraphEmbedder.
+func (e *WLEmbedder) EmbedGraph(g *graph.Graph) []float64 {
+	return e.embedColors(wl.CanonicalColors(g, e.Rounds))
+}
+
+// EmbedCorpus implements CorpusEmbedder: the whole set refines in one
+// batched pass through the shared canonical colour store.
+func (e *WLEmbedder) EmbedCorpus(gs []*graph.Graph) [][]float64 {
+	cols := wl.RefineCorpus(gs, e.Rounds)
+	out := make([][]float64, len(gs))
+	linalg.ParallelFor(len(gs), func(i int) {
+		out[i] = e.embedColors(cols[i])
+	})
 	return out
 }
 
@@ -179,8 +205,13 @@ func GramFromEmbedder(e GraphEmbedder, gs []*graph.Graph) *linalg.Matrix {
 	})
 }
 
-// embedAll runs EmbedGraph once per graph on a GOMAXPROCS-sized pool.
+// embedAll embeds every graph exactly once: embedders with a corpus pass
+// (CorpusEmbedder) get one batched call, the rest one EmbedGraph per graph
+// on a GOMAXPROCS-sized pool.
 func embedAll(e GraphEmbedder, gs []*graph.Graph) [][]float64 {
+	if ce, ok := e.(CorpusEmbedder); ok {
+		return ce.EmbedCorpus(gs)
+	}
 	feats := make([][]float64, len(gs))
 	linalg.ParallelFor(len(gs), func(i int) {
 		feats[i] = e.EmbedGraph(gs[i])

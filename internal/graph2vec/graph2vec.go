@@ -35,12 +35,14 @@ type Model struct {
 	vocab   map[int]int // WL colour id -> word index
 }
 
-// Documents extracts the WL-subtree word multiset of each graph.
+// Documents extracts the WL-subtree word multiset of each graph. The whole
+// corpus refines in one batched wl.RefineCorpus pass (canonical colour ids
+// are shared across graphs by construction); the vocabulary then densifies
+// ids in deterministic (graph, round, vertex) first-occurrence order.
 func Documents(gs []*graph.Graph, depth int) ([][]int, map[int]int) {
 	vocab := map[int]int{}
 	docs := make([][]int, len(gs))
-	for gi, g := range gs {
-		cols := wl.CanonicalColors(g, depth)
+	for gi, cols := range wl.RefineCorpus(gs, depth) {
 		for _, round := range cols {
 			for _, c := range round {
 				if _, ok := vocab[c]; !ok {

@@ -26,6 +26,16 @@ func BruteForce(f, g *graph.Graph) float64 {
 	if ng == 0 {
 		return 0
 	}
+	// Arcs(i) covers out-edges only on directed patterns; precompute the
+	// per-vertex in-arc sources once so the consistency check below does
+	// not rescan the whole edge slice for every candidate assignment.
+	var inFrom [][]int
+	if f.Directed() {
+		inFrom = make([][]int, nf)
+		for _, e := range f.Edges() {
+			inFrom[e.V] = append(inFrom[e.V], e.U)
+		}
+	}
 	assign := make([]int, nf)
 	var count float64
 	var rec func(i int)
@@ -48,11 +58,11 @@ func BruteForce(f, g *graph.Graph) float64 {
 					break
 				}
 			}
-			if ok && f.Directed() {
-				// Arcs(i) covers out-edges; also check in-edges from
-				// already-assigned vertices, in the correct direction.
-				for _, e := range f.Edges() {
-					if e.V == i && e.U <= i && !g.HasEdge(assign[e.U], assign[e.V]) {
+			if ok && inFrom != nil {
+				// In-edges from already-assigned vertices, in the correct
+				// direction.
+				for _, u := range inFrom[i] {
+					if u <= i && !g.HasEdge(assign[u], assign[i]) {
 						ok = false
 						break
 					}

@@ -72,6 +72,42 @@ func TestBruteForceBasics(t *testing.T) {
 	}
 }
 
+func TestBruteForceDirected(t *testing.T) {
+	dpath := func(n int) *graph.Graph {
+		g := graph.NewDirected(n)
+		for i := 0; i+1 < n; i++ {
+			g.AddEdge(i, i+1)
+		}
+		return g
+	}
+	dcycle := func(n int) *graph.Graph {
+		g := graph.NewDirected(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n)
+		}
+		return g
+	}
+	revArc := graph.NewDirected(2)
+	revArc.AddEdge(1, 0) // forces the in-arc consistency check at vertex 0
+	tests := []struct {
+		name string
+		f, g *graph.Graph
+		want float64
+	}{
+		{"arc into dP3", dpath(2), dpath(3), 2},
+		{"arc into dC3", dpath(2), dcycle(3), 3},
+		{"reversed arc into dP3", revArc, dpath(3), 2},
+		{"dP3 into dP3", dpath(3), dpath(3), 1}, // directed walks of length 2
+		{"dP3 into dC3", dpath(3), dcycle(3), 3},
+		{"dC3 into dP3", dcycle(3), dpath(3), 0},
+	}
+	for _, tc := range tests {
+		if got := BruteForce(tc.f, tc.g); got != tc.want {
+			t.Errorf("%s: BruteForce=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
 func TestCountMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
 	patterns := []*graph.Graph{

@@ -22,16 +22,65 @@ type FeatureKernel interface {
 	Features(g *graph.Graph) linalg.SparseVector
 }
 
+// CorpusFeatureKernel is a FeatureKernel that can extract the feature
+// vectors of a whole corpus from one shared refinement pass. The WL
+// kernels implement it on top of wl.RefineCorpus: the corpus refines once
+// across a worker pool through the lock-striped canonical colour store,
+// instead of n independent CanonicalColors calls. CorpusFeatures must
+// return exactly one vector per input graph, equal to Features(gs[i]) for
+// every i.
+type CorpusFeatureKernel interface {
+	FeatureKernel
+	CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector
+}
+
+// wlSubtreeVector folds one graph's per-round canonical colours (as
+// returned by wl.CanonicalColors or one slot of wl.RefineCorpus) into the
+// sparse colour-count feature vector.
+func wlSubtreeVector(rounds [][]int) linalg.SparseVector {
+	out := make(linalg.SparseVector)
+	for i, round := range rounds {
+		for _, c := range round {
+			out.Add(linalg.Key(i, c, 0), 1)
+		}
+	}
+	return out
+}
+
 // Features implements FeatureKernel: coordinate (round, colour) holds the
 // colour-count wl(c, g) over rounds 0..Rounds, from a single refinement
 // run per graph. Colour ids are process-globally canonical (see
 // wl.CanonicalColors), so vectors of different graphs are comparable.
 func (k WLSubtree) Features(g *graph.Graph) linalg.SparseVector {
+	return wlSubtreeVector(wl.CanonicalColors(g, k.Rounds))
+}
+
+// CorpusFeatures implements CorpusFeatureKernel from one batched
+// wl.RefineCorpus pass over the whole corpus.
+func (k WLSubtree) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
+	cols := wl.RefineCorpus(gs, k.Rounds)
+	feats := make([]linalg.SparseVector, len(gs))
+	linalg.ParallelFor(len(gs), func(i int) {
+		feats[i] = wlSubtreeVector(cols[i])
+	})
+	return feats
+}
+
+// wlDiscountedVector folds per-round canonical colours into the
+// √(1/2ⁱ)-scaled colour-count vector of K_WL.
+func wlDiscountedVector(rounds [][]int) linalg.SparseVector {
 	out := make(linalg.SparseVector)
-	for i, round := range wl.CanonicalColors(g, k.Rounds) {
+	w := 1.0
+	for i, round := range rounds {
+		counts := map[int]int{}
 		for _, c := range round {
-			out.Add(linalg.Key(i, c, 0), 1)
+			counts[c]++
 		}
+		sw := math.Sqrt(w)
+		for c, n := range counts {
+			out[linalg.Key(i, c, 0)] = sw * float64(n)
+		}
+		w /= 2
 	}
 	return out
 }
@@ -40,17 +89,18 @@ func (k WLSubtree) Features(g *graph.Graph) linalg.SparseVector {
 // √(1/2ⁱ), so the sparse dot product reproduces the geometric round
 // discount of K_WL.
 func (k WLDiscounted) Features(g *graph.Graph) linalg.SparseVector {
-	rounds := k.rounds()
-	out := make(linalg.SparseVector)
-	w := 1.0
-	for i, m := range wl.RoundColorCounts(g, rounds) {
-		sw := math.Sqrt(w)
-		for c, n := range m {
-			out[linalg.Key(i, c, 0)] = sw * float64(n)
-		}
-		w /= 2
-	}
-	return out
+	return wlDiscountedVector(wl.CanonicalColors(g, k.rounds()))
+}
+
+// CorpusFeatures implements CorpusFeatureKernel from one batched
+// wl.RefineCorpus pass over the whole corpus.
+func (k WLDiscounted) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
+	cols := wl.RefineCorpus(gs, k.rounds())
+	feats := make([]linalg.SparseVector, len(gs))
+	linalg.ParallelFor(len(gs), func(i int) {
+		feats[i] = wlDiscountedVector(cols[i])
+	})
+	return feats
 }
 
 // Features implements FeatureKernel: coordinate (distance, labelA, labelB)
@@ -109,9 +159,14 @@ func (k HomVector) Features(g *graph.Graph) linalg.SparseVector {
 	return out
 }
 
-// FeatureVectors extracts the explicit feature vector of every graph across
-// a GOMAXPROCS-sized worker pool — exactly one Features call per graph.
+// FeatureVectors extracts the explicit feature vector of every graph,
+// covering each graph exactly once. Kernels with a corpus extractor
+// (CorpusFeatureKernel) get one batched pass over the whole set; the rest
+// get one Features call per graph across a GOMAXPROCS-sized worker pool.
 func FeatureVectors(k FeatureKernel, gs []*graph.Graph) []linalg.SparseVector {
+	if ck, ok := k.(CorpusFeatureKernel); ok {
+		return ck.CorpusFeatures(gs)
+	}
 	feats := make([]linalg.SparseVector, len(gs))
 	linalg.ParallelFor(len(gs), func(i int) {
 		feats[i] = k.Features(gs[i])

@@ -85,25 +85,61 @@ func TestFeatureDotMatchesCompute(t *testing.T) {
 	}
 }
 
-// countingKernel wraps WLSubtree and counts Features calls, verifying the
-// one-extraction-per-graph contract of the Gram pipeline.
+// countingKernel wraps WLSubtree and counts both extraction paths,
+// verifying the each-graph-extracted-exactly-once contract of the Gram
+// pipeline: a corpus kernel gets one batched pass covering every graph,
+// and no per-graph Features calls on top.
 type countingKernel struct {
 	WLSubtree
-	calls *atomic.Int64
+	features     *atomic.Int64 // single-graph Features calls
+	corpusGraphs *atomic.Int64 // graphs covered by batched CorpusFeatures calls
 }
 
 func (c countingKernel) Features(g *graph.Graph) linalg.SparseVector {
-	c.calls.Add(1)
+	c.features.Add(1)
 	return c.WLSubtree.Features(g)
+}
+
+func (c countingKernel) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
+	c.corpusGraphs.Add(int64(len(gs)))
+	return c.WLSubtree.CorpusFeatures(gs)
 }
 
 func TestGramExtractsFeaturesOncePerGraph(t *testing.T) {
 	gs := mixedLabelCorpus(t, 10, 73)
-	var calls atomic.Int64
-	k := countingKernel{WLSubtree: WLSubtree{Rounds: 3}, calls: &calls}
+	var features, corpusGraphs atomic.Int64
+	k := countingKernel{WLSubtree: WLSubtree{Rounds: 3}, features: &features, corpusGraphs: &corpusGraphs}
 	Gram(k, gs)
-	if got := calls.Load(); got != int64(len(gs)) {
-		t.Errorf("Gram made %d Features calls for %d graphs, want exactly one each", got, len(gs))
+	if got := corpusGraphs.Load(); got != int64(len(gs)) {
+		t.Errorf("Gram covered %d graphs via CorpusFeatures for %d graphs, want exactly one batched pass", got, len(gs))
+	}
+	if got := features.Load(); got != 0 {
+		t.Errorf("Gram made %d per-graph Features calls despite the corpus extractor", got)
+	}
+}
+
+// TestCorpusFeaturesMatchSingleGraphFeatures pins the CorpusFeatureKernel
+// contract: the batched corpus pass must yield exactly the vectors of
+// independent per-graph extractions, coordinate for coordinate (the shared
+// colour store is process-globally canonical, so ids must agree).
+func TestCorpusFeaturesMatchSingleGraphFeatures(t *testing.T) {
+	gs := mixedLabelCorpus(t, 14, 76)
+	for _, k := range []CorpusFeatureKernel{WLSubtree{Rounds: 4}, WLDiscounted{Horizon: 5}} {
+		batch := k.CorpusFeatures(gs)
+		if len(batch) != len(gs) {
+			t.Fatalf("%s: %d corpus vectors for %d graphs", k.Name(), len(batch), len(gs))
+		}
+		for i, g := range gs {
+			single := k.Features(g)
+			if len(batch[i]) != len(single) {
+				t.Fatalf("%s graph %d: corpus NNZ %d != single %d", k.Name(), i, len(batch[i]), len(single))
+			}
+			for key, v := range single {
+				if batch[i][key] != v {
+					t.Fatalf("%s graph %d: coordinate %v differs: %v vs %v", k.Name(), i, key, batch[i][key], v)
+				}
+			}
+		}
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/graph"
 )
@@ -119,48 +118,13 @@ func RoundColorCounts(g *graph.Graph, t int) []map[int]int {
 	return out
 }
 
-// globalColors hash-conses (label | prev colour, sorted neighbour colours)
-// signatures into dense ids that are stable for the process lifetime,
-// making per-graph refinements comparable without lockstep runs.
-var globalColors = struct {
-	mu  sync.Mutex
-	ids map[string]int
-}{ids: map[string]int{}}
-
-func globalIntern(sig string) int {
-	globalColors.mu.Lock()
-	defer globalColors.mu.Unlock()
-	if id, ok := globalColors.ids[sig]; ok {
-		return id
-	}
-	id := len(globalColors.ids)
-	globalColors.ids[sig] = id
-	return id
-}
-
 // CanonicalColors returns the colour of every vertex after each round
 // 0..t of 1-WL, with process-globally canonical colour ids (equal ids mean
-// isomorphic unfolding trees, across graphs).
+// isomorphic unfolding trees, across graphs). It is the single-graph form
+// of RefineCorpus: both intern integer signatures through the engine's
+// lock-striped process-global colour store, so ids from either entry point
+// are directly comparable.
 func CanonicalColors(g *graph.Graph, t int) [][]int {
-	n := g.N()
-	out := make([][]int, t+1)
-	cur := make([]int, n)
-	for v := 0; v < n; v++ {
-		cur[v] = globalIntern(fmt.Sprintf("L%d", g.VertexLabel(v)))
-	}
-	out[0] = append([]int(nil), cur...)
-	for round := 1; round <= t; round++ {
-		next := make([]int, n)
-		for v := 0; v < n; v++ {
-			nbr := make([]int, 0, g.Degree(v))
-			for _, w := range g.Neighbors(v) {
-				nbr = append(nbr, cur[w])
-			}
-			sort.Ints(nbr)
-			next[v] = globalIntern(fmt.Sprintf("L%d|%v", g.VertexLabel(v), nbr))
-		}
-		cur = next
-		out[round] = append([]int(nil), cur...)
-	}
-	return out
+	sc := &scratch{}
+	return refinePlainRounds(globalStore, sc, g, t)
 }

@@ -1,0 +1,416 @@
+// The WL refinement engine: one allocation-lean core shared by every
+// refinement variant in this package (plain colour refinement, the
+// labelled/directed variant behind Refine/RefineAll, weighted WL, and the
+// folklore k-WL tuple signatures).
+//
+// Signatures are integer tuples, never strings: a vertex's round signature
+// is its previous colour followed by run-length-encoded sorted
+// neighbour-colour codes, written into a per-goroutine scratch buffer and
+// hash-consed through a lock-striped colour store. The store maps each
+// distinct signature to a dense colour id; ids are canonical by
+// construction (equal id ⟺ equal signature ⟺ WL-equivalent at that round),
+// and a process-global store instance makes ids canonical across graphs and
+// across calls — the contract `CanonicalColors` and `RefineCorpus` expose.
+//
+// Lock striping is the scalability story: PR 1's Gram pipeline funnelled
+// every worker through a single mutex around one big string map, so the
+// near-linear refinement the paper promises was serialized and
+// allocation-bound. Here each signature hashes to one of 64 shards, each
+// with its own mutex, bucket table, and signature arena, so GOMAXPROCS
+// workers interning colours of different graphs rarely collide.
+package wl
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Signature tags keep the signature spaces of the refinement variants
+// disjoint inside one store: a plain-mode signature can never collide with
+// a weighted-mode one.
+const (
+	sigInit     uint64 = 1 + iota // initial colour from the vertex label
+	sigPlain                      // plain 1-WL: unlabelled edges, out-neighbours
+	sigFull                       // full 1-WL: edge labels + direction
+	sigWeighted                   // weighted 1-WL: per-colour weight sums
+	sigAtom                       // k-WL atomic type of a vertex tuple
+	sigKPart                      // k-WL per-extension part (atom + replaced colours)
+	sigKTuple                     // k-WL tuple round signature
+)
+
+// zig maps an int injectively into a uint64 signature word.
+func zig(x int) uint64 { return uint64(int64(x)) }
+
+const storeShards = 64 // power of two; shard = hash & (storeShards-1)
+
+// storeEntry locates one interned signature inside its shard's arena.
+type storeEntry struct {
+	off, n uint32
+	id     int32
+}
+
+type storeShard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]storeEntry
+	arena   []uint64 // concatenated signature words of this shard
+}
+
+// colorStore hash-conses integer signature tuples into dense colour ids.
+// It is safe for concurrent use: signatures are striped across shards by
+// hash, and ids come from one atomic counter, so equal signatures always
+// receive equal ids regardless of interleaving.
+type colorStore struct {
+	next   atomic.Int64
+	shards [storeShards]storeShard
+}
+
+func newColorStore() *colorStore {
+	s := &colorStore{}
+	for i := range s.shards {
+		s.shards[i].buckets = make(map[uint64][]storeEntry)
+	}
+	return s
+}
+
+// hashWords is FNV-1a over 64-bit words with a fmix64 finaliser, so both
+// the bucket key and the shard index get well-mixed bits.
+func hashWords(ws []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range ws {
+		h ^= w
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if b[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// intern returns the dense colour id of sig, allocating a fresh id if the
+// signature is new. sig is copied into the shard arena; callers may reuse
+// the slice immediately.
+func (s *colorStore) intern(sig []uint64) int {
+	h := hashWords(sig)
+	sh := &s.shards[h&(storeShards-1)]
+	sh.mu.Lock()
+	for _, e := range sh.buckets[h] {
+		if wordsEqual(sh.arena[e.off:e.off+e.n], sig) {
+			id := int(e.id)
+			sh.mu.Unlock()
+			return id
+		}
+	}
+	off := uint32(len(sh.arena))
+	sh.arena = append(sh.arena, sig...)
+	id := s.next.Add(1) - 1
+	sh.buckets[h] = append(sh.buckets[h], storeEntry{off: off, n: uint32(len(sig)), id: int32(id)})
+	sh.mu.Unlock()
+	return int(id)
+}
+
+// NumColors returns how many distinct signatures the store has interned.
+func (s *colorStore) NumColors() int { return int(s.next.Load()) }
+
+// globalStore backs the process-canonical entry points (CanonicalColors,
+// RoundColorCounts, RefineCorpus): ids are stable for the process lifetime,
+// so per-graph refinements are comparable without lockstep runs. Per-run
+// entry points (Refine, RefineAll, KWL) use private stores instead, so
+// throwaway refinements do not grow process-global state.
+var globalStore = newColorStore()
+
+// scratch holds one worker's reusable buffers; refinement never allocates
+// per vertex once these have grown to the graph's degree bounds.
+type scratch struct {
+	sig   []uint64 // signature being assembled
+	codes []uint64 // per-arc codes before sorting/RLE
+	sums  []colSum // weighted mode: per-neighbour-colour weight entries
+	parts []uint64 // k-WL: per-extension part ids
+}
+
+type colSum struct {
+	col int
+	w   float64
+}
+
+// arc-code packing for full mode: one uint64 per arc holding direction,
+// per-run edge-label id, and neighbour colour. Colour ids are dense per
+// store, so 32 bits is far beyond any reachable refinement (the arena would
+// exceed memory long before); label ids are dense per run.
+const (
+	codeDirBit   = 1 << 62
+	codeColBits  = 32
+	codeColMask  = 1<<codeColBits - 1
+	maxLabelID   = 1 << 29
+	maxPackedCol = 1 << codeColBits
+)
+
+func packArc(in bool, labelID, col int) uint64 {
+	if col >= maxPackedCol || labelID >= maxLabelID {
+		panic("wl: colour/label id overflows packed arc code")
+	}
+	c := uint64(labelID)<<codeColBits | uint64(col)
+	if in {
+		c |= codeDirBit
+	}
+	return c
+}
+
+// appendRuns sorts codes in place and appends (code, multiplicity) runs to
+// sig — the "sorted neighbour-colour runs" encoding. Two multisets of codes
+// are equal exactly when their run encodings are equal.
+func appendRuns(sig, codes []uint64) []uint64 {
+	sortUint64(codes)
+	for i := 0; i < len(codes); {
+		j := i + 1
+		for j < len(codes) && codes[j] == codes[i] {
+			j++
+		}
+		sig = append(sig, codes[i], uint64(j-i))
+		i = j
+	}
+	return sig
+}
+
+// sortUint64 sorts a small uint64 slice without interface allocations:
+// insertion sort below a cutoff (typical vertex degrees), pdq via the
+// sort package above it.
+func sortUint64(xs []uint64) {
+	if len(xs) <= 24 {
+		for i := 1; i < len(xs); i++ {
+			x := xs[i]
+			j := i - 1
+			for j >= 0 && xs[j] > x {
+				xs[j+1] = xs[j]
+				j--
+			}
+			xs[j+1] = x
+		}
+		return
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// runGraph bundles a graph with the per-run structures the engine needs:
+// dense edge-label ids shared across the run's corpus and, for directed
+// graphs, a precomputed in-arc list (the old implementation rescanned the
+// whole edge slice for every vertex every round).
+type runGraph struct {
+	g      *graph.Graph
+	inAdj  [][]graph.Arc // in-arcs per vertex; nil for undirected graphs
+	labels map[int]int   // edge label -> dense per-run id (full mode only)
+}
+
+// newRunGraphs prepares a corpus for a full-mode run: one edge-label
+// dictionary shared by all graphs (label ids must agree across the corpus
+// for cross-graph canonicality) and in-adjacency for the directed ones.
+func newRunGraphs(gs []*graph.Graph) []runGraph {
+	distinct := map[int]bool{}
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			distinct[e.Label] = true
+		}
+	}
+	ordered := make([]int, 0, len(distinct))
+	for l := range distinct {
+		ordered = append(ordered, l)
+	}
+	sort.Ints(ordered)
+	labels := make(map[int]int, len(ordered))
+	for i, l := range ordered {
+		labels[l] = i
+	}
+	out := make([]runGraph, len(gs))
+	for i, g := range gs {
+		out[i] = runGraph{g: g, labels: labels}
+		if g.Directed() {
+			inAdj := make([][]graph.Arc, g.N())
+			for ei, e := range g.Edges() {
+				inAdj[e.V] = append(inAdj[e.V], graph.Arc{To: e.U, Edge: ei})
+			}
+			out[i].inAdj = inAdj
+		}
+	}
+	return out
+}
+
+// refineMode selects the signature scheme of a run.
+type refineMode int
+
+const (
+	modePlain    refineMode = iota // vertex labels + sorted neighbour colours
+	modeFull                       // + edge labels and direction
+	modeWeighted                   // per-colour edge-weight sums
+)
+
+// initColor interns the initial colour of v (its vertex label).
+func initColor(store *colorStore, sc *scratch, g *graph.Graph, v int) int {
+	sc.sig = append(sc.sig[:0], sigInit, zig(g.VertexLabel(v)))
+	return store.intern(sc.sig)
+}
+
+// roundColor interns the next-round colour of v from the current colouring.
+func roundColor(store *colorStore, sc *scratch, rg *runGraph, v int, cur []int, mode refineMode) int {
+	g := rg.g
+	switch mode {
+	case modePlain:
+		sc.codes = sc.codes[:0]
+		for _, a := range g.Arcs(v) {
+			sc.codes = append(sc.codes, uint64(cur[a.To]))
+		}
+		sc.sig = append(sc.sig[:0], sigPlain, uint64(cur[v]))
+	case modeFull:
+		sc.codes = sc.codes[:0]
+		edges := g.Edges()
+		for _, a := range g.Arcs(v) {
+			sc.codes = append(sc.codes, packArc(false, rg.labels[edges[a.Edge].Label], cur[a.To]))
+		}
+		if rg.inAdj != nil {
+			for _, a := range rg.inAdj[v] {
+				sc.codes = append(sc.codes, packArc(true, rg.labels[edges[a.Edge].Label], cur[a.To]))
+			}
+		}
+		sc.sig = append(sc.sig[:0], sigFull, uint64(cur[v]))
+	case modeWeighted:
+		return weightedColor(store, sc, g, v, cur)
+	}
+	sc.sig = appendRuns(sc.sig, sc.codes)
+	return store.intern(sc.sig)
+}
+
+// weightedColor builds the weighted-WL signature of v: the previous colour
+// plus (neighbour colour, rounded weight sum) pairs in colour order.
+// Sums are rounded to a 1e-9 grid so float accumulation noise cannot split
+// classes, and near-zero sums are dropped — a zero sum is indistinguishable
+// from having no edges into the class at all (α = 0 for non-edges).
+func weightedColor(store *colorStore, sc *scratch, g *graph.Graph, v int, cur []int) int {
+	sc.sums = sc.sums[:0]
+	edges := g.Edges()
+	for _, a := range g.Arcs(v) {
+		sc.sums = append(sc.sums, colSum{col: cur[a.To], w: edges[a.Edge].Weight})
+	}
+	sortColSums(sc.sums)
+	sc.sig = append(sc.sig[:0], sigWeighted, uint64(cur[v]))
+	for i := 0; i < len(sc.sums); {
+		col := sc.sums[i].col
+		var sum float64
+		for ; i < len(sc.sums) && sc.sums[i].col == col; i++ {
+			sum += sc.sums[i].w
+		}
+		if sum > -1e-12 && sum < 1e-12 {
+			continue
+		}
+		sc.sig = append(sc.sig, uint64(col), uint64(int64(math.Round(sum*1e9))))
+	}
+	return store.intern(sc.sig)
+}
+
+func sortColSums(xs []colSum) {
+	if len(xs) <= 24 {
+		for i := 1; i < len(xs); i++ {
+			x := xs[i]
+			j := i - 1
+			for j >= 0 && xs[j].col > x.col {
+				xs[j+1] = xs[j]
+				j--
+			}
+			xs[j+1] = x
+		}
+		return
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].col < xs[j].col })
+}
+
+// RefineCorpus refines a whole corpus in one batched pass across a
+// GOMAXPROCS-sized worker pool: every graph gets exactly `rounds` rounds of
+// plain 1-WL (the CanonicalColors scheme: vertex labels seed the colouring,
+// sorted out-neighbour colours refine it), and the returned colour ids are
+// process-globally canonical — two vertices of any two graphs, in this call
+// or any other, share the id of round i exactly when their depth-i
+// unfolding trees are isomorphic.
+//
+// The result is indexed [graph][round][vertex] with rounds 0..rounds
+// inclusive. Because the shared colour store is canonical by construction,
+// workers need no lockstep barrier between rounds: each graph refines
+// independently, and equal signatures meet in the same store shard and
+// receive the same id regardless of scheduling. This is what lets the
+// feature-map Gram pipeline extract WL features for n graphs from one
+// corpus pass instead of n independent CanonicalColors calls.
+func RefineCorpus(gs []*graph.Graph, rounds int) [][][]int {
+	out := make([][][]int, len(gs))
+	forEachGraph(len(gs), runtime.GOMAXPROCS(0), func(i int, sc *scratch) {
+		out[i] = refinePlainRounds(globalStore, sc, gs[i], rounds)
+	})
+	return out
+}
+
+// refinePlainRounds runs exactly `rounds` plain-mode rounds on one graph.
+func refinePlainRounds(store *colorStore, sc *scratch, g *graph.Graph, rounds int) [][]int {
+	n := g.N()
+	rg := runGraph{g: g}
+	out := make([][]int, rounds+1)
+	cur := make([]int, n)
+	for v := 0; v < n; v++ {
+		cur[v] = initColor(store, sc, g, v)
+	}
+	out[0] = cur
+	for r := 1; r <= rounds; r++ {
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			next[v] = roundColor(store, sc, &rg, v, cur, modePlain)
+		}
+		out[r] = next
+		cur = next
+	}
+	return out
+}
+
+// forEachGraph runs f(i, scratch) for every graph index on a worker pool,
+// handing each worker its own scratch buffers. It is the engine's parallel
+// primitive: indices come from an atomic counter so uneven graph sizes stay
+// balanced, and all interning goes through the (lock-striped) store.
+func forEachGraph(n, workers int, f func(i int, sc *scratch)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := &scratch{}
+		for i := 0; i < n; i++ {
+			f(i, sc)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			sc := &scratch{}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i, sc)
+			}
+		}()
+	}
+	wg.Wait()
+}

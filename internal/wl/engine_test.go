@@ -1,0 +1,555 @@
+package wl
+
+// Equivalence tests pinning the integer-signature engine to the behaviour
+// of the string-based implementations it replaced (per-run string
+// dictionaries in refineAll, the global-mutex string interner behind
+// CanonicalColors, Sprintf tuple signatures in KWL), plus property tests
+// for the canonical-ids contract of RefineCorpus. The legacy
+// implementations live only in this file, as test oracles — the table
+// style follows the equivalence-testing idiom of the tpsi exemplar.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// --- legacy reference implementations (pre-engine, string-based) ---
+
+type legacyDict struct{ ids map[string]int }
+
+func newLegacyDict() *legacyDict { return &legacyDict{ids: map[string]int{}} }
+
+func (d *legacyDict) intern(sig string) int {
+	if id, ok := d.ids[sig]; ok {
+		return id
+	}
+	id := len(d.ids)
+	d.ids[sig] = id
+	return id
+}
+
+func legacyVertexSignature(g *graph.Graph, v int, col []int, weighted bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", col[v])
+	if weighted {
+		sums := map[int]float64{}
+		for _, a := range g.Arcs(v) {
+			e := g.Edges()[a.Edge]
+			sums[col[a.To]] += e.Weight
+		}
+		keys := make([]int, 0, len(sums))
+		for k := range sums {
+			if sums[k] > -1e-12 && sums[k] < 1e-12 {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "c%d:%.9f;", k, sums[k])
+		}
+	} else {
+		var sig []string
+		for _, a := range g.Arcs(v) {
+			e := g.Edges()[a.Edge]
+			sig = append(sig, fmt.Sprintf("o%d:%d", e.Label, col[a.To]))
+		}
+		if g.Directed() {
+			for _, e := range g.Edges() {
+				if e.V == v {
+					sig = append(sig, fmt.Sprintf("i%d:%d", e.Label, col[e.U]))
+				}
+			}
+		}
+		sort.Strings(sig)
+		b.WriteString(strings.Join(sig, ";"))
+	}
+	return b.String()
+}
+
+func legacyRefineAll(gs []*graph.Graph, maxRounds int, weighted bool) []*Coloring {
+	dict := newLegacyDict()
+	cols := make([][]int, len(gs))
+	hist := make([][][]int, len(gs))
+	for gi, g := range gs {
+		cols[gi] = make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			cols[gi][v] = dict.intern(fmt.Sprintf("init|%d", g.VertexLabel(v)))
+		}
+		hist[gi] = append(hist[gi], append([]int(nil), cols[gi]...))
+	}
+	rounds := 0
+	for {
+		if maxRounds >= 0 && rounds >= maxRounds {
+			break
+		}
+		next := make([][]int, len(gs))
+		roundDict := newLegacyDict()
+		for gi, g := range gs {
+			next[gi] = make([]int, g.N())
+			for v := 0; v < g.N(); v++ {
+				next[gi][v] = roundDict.intern(legacyVertexSignature(g, v, cols[gi], weighted))
+			}
+		}
+		if samePartitionAll(cols, next) {
+			break
+		}
+		for gi, g := range gs {
+			for v := 0; v < g.N(); v++ {
+				next[gi][v] = dict.intern(legacyVertexSignature(g, v, cols[gi], weighted))
+			}
+		}
+		cols = next
+		for gi := range gs {
+			hist[gi] = append(hist[gi], append([]int(nil), cols[gi]...))
+		}
+		rounds++
+	}
+	out := make([]*Coloring, len(gs))
+	for gi := range gs {
+		out[gi] = &Coloring{Colors: cols[gi], History: hist[gi], Rounds: rounds}
+	}
+	return out
+}
+
+// legacyCanonicalColors is the PR 1 global-interner refinement, with the
+// process-global map replaced by a caller-supplied dictionary so tests stay
+// hermetic. Ids are canonical across all graphs run through one dict.
+func legacyCanonicalColors(dict *legacyDict, g *graph.Graph, t int) [][]int {
+	n := g.N()
+	out := make([][]int, t+1)
+	cur := make([]int, n)
+	for v := 0; v < n; v++ {
+		cur[v] = dict.intern(fmt.Sprintf("L%d", g.VertexLabel(v)))
+	}
+	out[0] = append([]int(nil), cur...)
+	for round := 1; round <= t; round++ {
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			nbr := make([]int, 0, g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				nbr = append(nbr, cur[w])
+			}
+			sort.Ints(nbr)
+			next[v] = dict.intern(fmt.Sprintf("L%d|%v", g.VertexLabel(v), nbr))
+		}
+		cur = next
+		out[round] = append([]int(nil), cur...)
+	}
+	return out
+}
+
+func legacyAtomicType(g *graph.Graph, tup []int) string {
+	var b strings.Builder
+	b.WriteString("atp|")
+	for _, v := range tup {
+		fmt.Fprintf(&b, "l%d,", g.VertexLabel(v))
+	}
+	for i := range tup {
+		for j := range tup {
+			if i == j {
+				continue
+			}
+			switch {
+			case tup[i] == tup[j]:
+				fmt.Fprintf(&b, "e%d=%d,", i, j)
+			case g.HasEdge(tup[i], tup[j]):
+				fmt.Fprintf(&b, "a%d-%d,", i, j)
+			}
+		}
+	}
+	return b.String()
+}
+
+func legacyKWL(gs []*graph.Graph, k int) []map[int]int {
+	type tupleSpace struct {
+		g      *graph.Graph
+		tuples [][]int
+		col    []int
+	}
+	spaces := make([]*tupleSpace, len(gs))
+	dict := newLegacyDict()
+	for gi, g := range gs {
+		ts := &tupleSpace{g: g, tuples: allTuples(g.N(), k)}
+		ts.col = make([]int, len(ts.tuples))
+		for i, tup := range ts.tuples {
+			ts.col[i] = dict.intern(legacyAtomicType(g, tup))
+		}
+		spaces[gi] = ts
+	}
+	index := func(n int, tup []int) int {
+		idx := 0
+		for _, v := range tup {
+			idx = idx*n + v
+		}
+		return idx
+	}
+	for {
+		next := make([][]int, len(spaces))
+		for gi, ts := range spaces {
+			n := ts.g.N()
+			next[gi] = make([]int, len(ts.tuples))
+			for i, tup := range ts.tuples {
+				var parts []string
+				scratchTup := append([]int(nil), tup...)
+				ext := append(append([]int(nil), tup...), 0)
+				for w := 0; w < n; w++ {
+					ids := make([]int, k)
+					for pos := 0; pos < k; pos++ {
+						old := scratchTup[pos]
+						scratchTup[pos] = w
+						ids[pos] = ts.col[index(n, scratchTup)]
+						scratchTup[pos] = old
+					}
+					ext[k] = w
+					parts = append(parts, legacyAtomicType(ts.g, ext)+fmt.Sprintf("%v", ids))
+				}
+				sort.Strings(parts)
+				next[gi][i] = dict.intern(fmt.Sprintf("k|%d|%s", ts.col[i], strings.Join(parts, ";")))
+			}
+		}
+		var oldAll, newAll [][]int
+		for gi, ts := range spaces {
+			oldAll = append(oldAll, ts.col)
+			newAll = append(newAll, next[gi])
+		}
+		if samePartitionAll(oldAll, newAll) {
+			break
+		}
+		for gi, ts := range spaces {
+			ts.col = next[gi]
+		}
+	}
+	out := make([]map[int]int, len(spaces))
+	for gi, ts := range spaces {
+		h := map[int]int{}
+		for _, c := range ts.col {
+			h[c]++
+		}
+		out[gi] = h
+	}
+	return out
+}
+
+// --- corpus fixtures ---
+
+// testCorpus builds a mixed corpus: plain, vertex-labelled, edge-labelled,
+// directed, and parallel-edge graphs.
+func testCorpus(seed int64, n int, kind string) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		nv := 3 + rng.Intn(8)
+		var g *graph.Graph
+		if kind == "directed" {
+			g = graph.NewDirected(nv)
+			for u := 0; u < nv; u++ {
+				for v := 0; v < nv; v++ {
+					if u != v && rng.Float64() < 0.3 {
+						g.AddLabeledEdge(u, v, rng.Intn(3))
+					}
+				}
+			}
+		} else {
+			g = graph.Random(nv, 0.4, rng)
+			switch kind {
+			case "edge-labelled":
+				for j := range g.Edges() {
+					g.Edges()[j].Label = rng.Intn(3)
+				}
+			case "weighted":
+				for j := range g.Edges() {
+					g.Edges()[j].Weight = 0.25 + 2*rng.Float64()
+				}
+			}
+		}
+		if rng.Float64() < 0.5 {
+			for v := 0; v < g.N(); v++ {
+				g.SetVertexLabel(v, rng.Intn(3))
+			}
+		}
+		gs[i] = g
+	}
+	return gs
+}
+
+// jointRows collects the round-r colour rows of every coloring.
+func jointRows(cs []*Coloring, r int) [][]int {
+	rows := make([][]int, len(cs))
+	for i, c := range cs {
+		rows[i] = c.History[r]
+	}
+	return rows
+}
+
+// --- equivalence tests: engine vs legacy ---
+
+func TestRefineAllMatchesLegacy(t *testing.T) {
+	kinds := []struct {
+		kind     string
+		weighted bool
+	}{
+		{"plain", false},
+		{"edge-labelled", false},
+		{"directed", false},
+		{"weighted", true},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.kind, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				gs := testCorpus(seed, 3, tc.kind)
+				var got, want []*Coloring
+				if tc.weighted {
+					got = RefineAllWeighted(gs)
+					want = legacyRefineAll(gs, -1, true)
+				} else {
+					got = RefineAll(gs)
+					want = legacyRefineAll(gs, -1, false)
+				}
+				for gi := range gs {
+					if got[gi].Rounds != want[gi].Rounds {
+						t.Fatalf("seed %d graph %d: rounds %d != legacy %d", seed, gi, got[gi].Rounds, want[gi].Rounds)
+					}
+					if len(got[gi].History) != len(want[gi].History) {
+						t.Fatalf("seed %d graph %d: history length %d != legacy %d",
+							seed, gi, len(got[gi].History), len(want[gi].History))
+					}
+				}
+				// Joint (cross-graph) partition equality at every round: the
+				// canonical-ids contract, not just per-graph class counts.
+				for r := 0; r < len(got[0].History); r++ {
+					if !samePartitionAll(jointRows(got, r), jointRows(want, r)) {
+						t.Fatalf("seed %d round %d: joint partition differs from legacy", seed, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRefineAllRoundLimitMatchesLegacy(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		gs := testCorpus(seed, 2, "plain")
+		for limit := 0; limit <= 3; limit++ {
+			got := RefineAllRounds(gs, limit)
+			want := legacyRefineAll(gs, limit, false)
+			for r := 0; r < len(got[0].History); r++ {
+				if !samePartitionAll(jointRows(got, r), jointRows(want, r)) {
+					t.Fatalf("seed %d limit %d round %d: partition differs", seed, limit, r)
+				}
+			}
+		}
+	}
+}
+
+func TestCanonicalColorsMatchesLegacy(t *testing.T) {
+	// Refine several graphs through INDEPENDENT CanonicalColors calls and
+	// compare the joint per-round partitions with a shared legacy dict: the
+	// engine's process-global store must make independent calls canonical
+	// across graphs, exactly as the old global interner did.
+	const rounds = 4
+	for seed := int64(0); seed < 8; seed++ {
+		gs := testCorpus(seed, 4, "plain")
+		dict := newLegacyDict()
+		gotRows := make([][][]int, rounds+1)
+		wantRows := make([][][]int, rounds+1)
+		for _, g := range gs {
+			got := CanonicalColors(g, rounds)
+			want := legacyCanonicalColors(dict, g, rounds)
+			for r := 0; r <= rounds; r++ {
+				gotRows[r] = append(gotRows[r], got[r])
+				wantRows[r] = append(wantRows[r], want[r])
+			}
+		}
+		for r := 0; r <= rounds; r++ {
+			if !samePartitionAll(gotRows[r], wantRows[r]) {
+				t.Fatalf("seed %d round %d: canonical partition differs from legacy", seed, r)
+			}
+		}
+	}
+}
+
+func TestKWLMatchesLegacy(t *testing.T) {
+	pairs := [][2]*graph.Graph{
+		{graph.Cycle(6), graph.DisjointUnion(graph.Cycle(3), graph.Cycle(3))},
+		{graph.Path(4), graph.Star(3)},
+		{graph.Cycle(5), graph.Cycle(5)},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 6; i++ {
+		n := 3 + rng.Intn(3)
+		pairs = append(pairs, [2]*graph.Graph{graph.Random(n, 0.5, rng), graph.Random(n, 0.5, rng)})
+	}
+	for _, k := range []int{1, 2} {
+		for i, p := range pairs {
+			gs := []*graph.Graph{p[0], p[1]}
+			got := KWL(gs, k)
+			want := legacyKWL(gs, k)
+			if equalHistograms(got[0], got[1]) != equalHistograms(want[0], want[1]) {
+				t.Errorf("pair %d k=%d: engine distinguishes=%v, legacy=%v",
+					i, k, !equalHistograms(got[0], got[1]), !equalHistograms(want[0], want[1]))
+			}
+			// Histogram shape must match too: same multiset of class sizes.
+			for gi := range gs {
+				if !sameHistogramShape(got[gi], want[gi]) {
+					t.Errorf("pair %d k=%d graph %d: class-size multiset differs", i, k, gi)
+				}
+			}
+		}
+	}
+}
+
+func sameHistogramShape(a, b map[int]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := make([]int, 0, len(a))
+	bs := make([]int, 0, len(b))
+	for _, v := range a {
+		as = append(as, v)
+	}
+	for _, v := range b {
+		bs = append(bs, v)
+	}
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- RefineCorpus canonical-ids property tests ---
+
+func TestRefineCorpusMatchesCanonicalColors(t *testing.T) {
+	gs := testCorpus(21, 20, "plain")
+	const rounds = 4
+	batch := RefineCorpus(gs, rounds)
+	for i, g := range gs {
+		single := CanonicalColors(g, rounds)
+		for r := range single {
+			for v := range single[r] {
+				if batch[i][r][v] != single[r][v] {
+					t.Fatalf("graph %d round %d vertex %d: corpus id %d != single-graph id %d",
+						i, r, v, batch[i][r][v], single[r][v])
+				}
+			}
+		}
+	}
+}
+
+// TestRefineCorpusPermutationStable pins the canonical-ids contract: the
+// colour ids a graph receives must not depend on where it sits in the
+// corpus or on what else is refined alongside it.
+func TestRefineCorpusPermutationStable(t *testing.T) {
+	gs := testCorpus(22, 24, "plain")
+	const rounds = 4
+	ref := RefineCorpus(gs, rounds)
+	rng := rand.New(rand.NewSource(220))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(gs))
+		shuffled := make([]*graph.Graph, len(gs))
+		for i, p := range perm {
+			shuffled[i] = gs[p]
+		}
+		got := RefineCorpus(shuffled, rounds)
+		for i, p := range perm {
+			for r := range got[i] {
+				for v := range got[i][r] {
+					if got[i][r][v] != ref[p][r][v] {
+						t.Fatalf("trial %d: graph %d (orig %d) round %d vertex %d: id %d != reference %d",
+							trial, i, p, r, v, got[i][r][v], ref[p][r][v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRefineCorpusConcurrentCanonical hammers the lock-striped store from
+// many concurrent corpus refinements (run under -race in CI) and checks
+// every call agrees with a sequential reference — ids must be canonical
+// regardless of interleaving.
+func TestRefineCorpusConcurrentCanonical(t *testing.T) {
+	gs := testCorpus(23, 16, "plain")
+	const rounds = 4
+	ref := RefineCorpus(gs, rounds)
+	const callers = 8
+	results := make([][][][]int, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			perm := rng.Perm(len(gs))
+			shuffled := make([]*graph.Graph, len(gs))
+			for i, p := range perm {
+				shuffled[i] = gs[p]
+			}
+			out := RefineCorpus(shuffled, rounds)
+			unshuffled := make([][][]int, len(gs))
+			for i, p := range perm {
+				unshuffled[p] = out[i]
+			}
+			results[c] = unshuffled
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		for i := range gs {
+			for r := range ref[i] {
+				for v := range ref[i][r] {
+					if results[c][i][r][v] != ref[i][r][v] {
+						t.Fatalf("caller %d graph %d round %d vertex %d: id %d != reference %d",
+							c, i, r, v, results[c][i][r][v], ref[i][r][v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- store unit tests ---
+
+func TestColorStoreInternCanonical(t *testing.T) {
+	s := newColorStore()
+	a := s.intern([]uint64{sigPlain, 1, 2, 3})
+	b := s.intern([]uint64{sigPlain, 1, 2, 3})
+	c := s.intern([]uint64{sigPlain, 1, 2, 4})
+	if a != b {
+		t.Errorf("equal signatures got ids %d, %d", a, b)
+	}
+	if a == c {
+		t.Errorf("distinct signatures share id %d", a)
+	}
+	if s.NumColors() != 2 {
+		t.Errorf("NumColors=%d, want 2", s.NumColors())
+	}
+	// A prefix must not collide with its extension.
+	d := s.intern([]uint64{sigPlain, 1, 2})
+	if d == a || d == c {
+		t.Error("prefix signature collided with extension")
+	}
+}
+
+func TestAppendRuns(t *testing.T) {
+	sig := appendRuns(nil, []uint64{3, 1, 3, 2, 1, 3})
+	want := []uint64{1, 2, 2, 1, 3, 3}
+	if len(sig) != len(want) {
+		t.Fatalf("runs %v, want %v", sig, want)
+	}
+	for i := range want {
+		if sig[i] != want[i] {
+			t.Fatalf("runs %v, want %v", sig, want)
+		}
+	}
+}

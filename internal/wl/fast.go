@@ -10,9 +10,12 @@ import (
 // refinement in the style of Cardon-Crochemore (the O((n+m) log n)
 // algorithm the paper cites): each popped splitter class S induces
 // neighbour counts; every class is split by those counts, and fragments
-// re-enter the worklist. The returned colours are class ids valid within
-// this graph only — use Refine / RefineAll for canonical cross-graph
-// colours. The computed partition always equals Refine's stable partition.
+// re-enter the worklist. Edge-labelled and directed graphs are handled by
+// keeping one count per (direction, edge label) bucket, so the splitter
+// counts carry exactly the information of Refine's signatures. The
+// returned colours are class ids valid within this graph only — use
+// Refine / RefineAll for canonical cross-graph colours. The computed
+// partition always equals Refine's stable partition.
 func RefineFast(g *graph.Graph) []int {
 	n := g.N()
 	if n == 0 {
@@ -39,17 +42,44 @@ func RefineFast(g *graph.Graph) []int {
 		members = append(members, byLabel[l])
 	}
 
-	queue := make([]int, len(members))
+	if plainRefinable(g) {
+		refineFastPlain(g, class, &members)
+	} else {
+		refineFastBuckets(g, class, &members)
+	}
+	return class
+}
+
+// plainRefinable reports whether bare neighbour counts capture the full
+// refinement signature: the graph is undirected and all edge labels agree
+// (a uniform label adds no information).
+func plainRefinable(g *graph.Graph) bool {
+	if g.Directed() {
+		return false
+	}
+	edges := g.Edges()
+	for _, e := range edges {
+		if e.Label != edges[0].Label {
+			return false
+		}
+	}
+	return true
+}
+
+// refineFastPlain is the single-count fast path for plain graphs.
+func refineFastPlain(g *graph.Graph, class []int, members *[][]int) {
+	queue := make([]int, len(*members))
 	for i := range queue {
 		queue[i] = i
 	}
-	count := make([]int, n)
+	count := make([]int, g.N())
+	var touched []int
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
 		// Count, for every vertex, its neighbours inside the splitter.
-		var touched []int
-		for _, u := range members[s] {
+		touched = touched[:0]
+		for _, u := range (*members)[s] {
 			for _, a := range g.Arcs(u) {
 				if count[a.To] == 0 {
 					touched = append(touched, a.To)
@@ -57,51 +87,130 @@ func RefineFast(g *graph.Graph) []int {
 				count[a.To]++
 			}
 		}
-		// Classes containing touched vertices are candidates for splitting.
-		candidate := map[int]bool{}
-		for _, v := range touched {
-			candidate[class[v]] = true
-		}
-		for c := range candidate {
-			// Partition members[c] by count value (untouched members have 0).
-			groups := map[int][]int{}
-			for _, v := range members[c] {
-				groups[count[v]] = append(groups[count[v]], v)
-			}
-			if len(groups) <= 1 {
-				continue
-			}
-			// Deterministic fragment order; keep the largest in place.
-			keys := make([]int, 0, len(groups))
-			for k := range groups {
-				keys = append(keys, k)
-			}
-			sort.Ints(keys)
-			largestKey := keys[0]
-			for _, k := range keys {
-				if len(groups[k]) > len(groups[largestKey]) {
-					largestKey = k
-				}
-			}
-			members[c] = groups[largestKey]
-			queue = append(queue, c)
-			for _, k := range keys {
-				if k == largestKey {
-					continue
-				}
-				id := len(members)
-				members = append(members, groups[k])
-				for _, v := range groups[k] {
-					class[v] = id
-				}
-				queue = append(queue, id)
-			}
-		}
+		queue = splitByCounts(count, touched, class, members, queue)
 		for _, v := range touched {
 			count[v] = 0
 		}
 	}
-	return class
+}
+
+// refineFastBuckets handles edge-labelled and directed graphs: per splitter
+// it accumulates one count array per (direction, edge label) bucket and
+// splits classes by each bucket in turn. Every fragment re-enters the
+// worklist, so the fixpoint is stable against every bucket of every final
+// class — exactly Refine's signature information.
+func refineFastBuckets(g *graph.Graph, class []int, members *[][]int) {
+	n := g.N()
+	edges := g.Edges()
+	// Dense edge-label ids and in-adjacency come from the engine's shared
+	// run preparation, so RefineFast can never diverge from Refine's view
+	// of labels/direction again.
+	rg := newRunGraphs([]*graph.Graph{g})[0]
+	nLabels := len(rg.labels)
+	if nLabels == 0 {
+		nLabels = 1 // edgeless graph: one (empty) bucket keeps the loop trivial
+	}
+	// Bucket layout: [0, nLabels) holds out-arc counts per label ("the
+	// vertex has an out-arc with label l into S"); for directed graphs
+	// [nLabels, 2·nLabels) holds the in-arc counts.
+	nBuckets := nLabels
+	if g.Directed() {
+		nBuckets = 2 * nLabels
+	}
+	count := make([][]int, nBuckets)
+	touched := make([][]int, nBuckets)
+	for b := range count {
+		count[b] = make([]int, n)
+	}
+	bump := func(b, v int) {
+		if count[b][v] == 0 {
+			touched[b] = append(touched[b], v)
+		}
+		count[b][v]++
+	}
+	queue := make([]int, len(*members))
+	for i := range queue {
+		queue[i] = i
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		// Harvest all bucket counts from the splitter before any split, so
+		// every bucket refers to the same snapshot of S.
+		for _, u := range (*members)[s] {
+			if rg.inAdj != nil {
+				// u's out-arc u->w means w has an in-arc from S.
+				for _, a := range g.Arcs(u) {
+					bump(nLabels+rg.labels[edges[a.Edge].Label], a.To)
+				}
+				// u's in-arc w->u means w has an out-arc into S.
+				for _, a := range rg.inAdj[u] {
+					bump(rg.labels[edges[a.Edge].Label], a.To)
+				}
+			} else {
+				for _, a := range g.Arcs(u) {
+					bump(rg.labels[edges[a.Edge].Label], a.To)
+				}
+			}
+		}
+		for b := 0; b < nBuckets; b++ {
+			if len(touched[b]) == 0 {
+				continue
+			}
+			queue = splitByCounts(count[b], touched[b], class, members, queue)
+			for _, v := range touched[b] {
+				count[b][v] = 0
+			}
+			touched[b] = touched[b][:0]
+		}
+	}
+}
+
+// splitByCounts splits every class containing a touched vertex by the
+// count values of its members (untouched members count 0), keeping the
+// largest fragment in place and enqueueing every fragment — retained and
+// new — for further splitting. Returns the updated queue.
+func splitByCounts(count []int, touched []int, class []int, members *[][]int, queue []int) []int {
+	candidate := map[int]bool{}
+	for _, v := range touched {
+		candidate[class[v]] = true
+	}
+	for c := range candidate {
+		// Partition members[c] by count value (untouched members have 0).
+		groups := map[int][]int{}
+		for _, v := range (*members)[c] {
+			groups[count[v]] = append(groups[count[v]], v)
+		}
+		if len(groups) <= 1 {
+			continue
+		}
+		// Deterministic fragment order; keep the largest in place.
+		keys := make([]int, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		largestKey := keys[0]
+		for _, k := range keys {
+			if len(groups[k]) > len(groups[largestKey]) {
+				largestKey = k
+			}
+		}
+		(*members)[c] = groups[largestKey]
+		queue = append(queue, c)
+		for _, k := range keys {
+			if k == largestKey {
+				continue
+			}
+			id := len(*members)
+			*members = append(*members, groups[k])
+			for _, v := range groups[k] {
+				class[v] = id
+			}
+			queue = append(queue, id)
+		}
+	}
+	return queue
 }
 
 // SamePartition reports whether two colourings of the same vertex set induce

@@ -78,6 +78,80 @@ func TestQuickRefineFastOnTreesAndRegular(t *testing.T) {
 	}
 }
 
+// TestQuickRefineFastEdgeLabelled locks in RefineFast's handling of
+// edge-labelled graphs: the per-(direction, label) splitter buckets must
+// reproduce Refine's partition exactly.
+func TestQuickRefineFastEdgeLabelled(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Random(n, 0.4, rng)
+		for j := range g.Edges() {
+			g.Edges()[j].Label = rng.Intn(3)
+		}
+		if rng.Intn(2) == 0 {
+			for v := 0; v < n; v++ {
+				g.SetVertexLabel(v, rng.Intn(2))
+			}
+		}
+		return SamePartition(Refine(g).Colors, RefineFast(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRefineFastDirected locks in RefineFast on directed graphs
+// (optionally edge-labelled): out- and in-arc buckets together carry
+// Refine's full signature information.
+func TestQuickRefineFastDirected(t *testing.T) {
+	f := func(seed int64, nRaw uint8, labelled bool) bool {
+		n := int(nRaw%9) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.NewDirected(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.3 {
+					l := 0
+					if labelled {
+						l = rng.Intn(3)
+					}
+					g.AddLabeledEdge(u, v, l)
+				}
+			}
+		}
+		if rng.Intn(2) == 0 {
+			for v := 0; v < n; v++ {
+				g.SetVertexLabel(v, rng.Intn(2))
+			}
+		}
+		return SamePartition(Refine(g).Colors, RefineFast(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefineFastDirectedFixtures(t *testing.T) {
+	// Directed path 0->1->2: source, middle, sink must all separate — the
+	// old Arcs-only counting merged sink and isolated-looking vertices.
+	p := graph.NewDirected(3)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	if got := RefineFast(p); !SamePartition(Refine(p).Colors, got) {
+		t.Errorf("directed P3: fast %v != slow %v", got, Refine(p).Colors)
+	}
+	// Two parallel edges with different labels between the same endpoints.
+	g := graph.New(4)
+	g.AddLabeledEdge(0, 1, 1)
+	g.AddLabeledEdge(0, 1, 2)
+	g.AddLabeledEdge(2, 3, 1)
+	g.AddLabeledEdge(2, 3, 1)
+	if got := RefineFast(g); !SamePartition(Refine(g).Colors, got) {
+		t.Errorf("parallel labelled edges: fast %v != slow %v", got, Refine(g).Colors)
+	}
+}
+
 func TestSamePartitionHelper(t *testing.T) {
 	if !SamePartition([]int{0, 0, 1}, []int{5, 5, 9}) {
 		t.Error("renamed partitions should match")

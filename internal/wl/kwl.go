@@ -1,9 +1,7 @@
 package wl
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"runtime"
 
 	"repro/internal/graph"
 )
@@ -14,26 +12,33 @@ import (
 // (Theorem 3.1) and to homomorphism indistinguishability over treewidth-k
 // graphs (Theorem 4.4).
 //
+// Tuple signatures go through the same integer-signature engine as 1-WL: a
+// tuple's atomic type and its per-extension replaced-coordinate colours are
+// interned as integer tuples in a run-private colour store, so no signature
+// strings are ever built.
+//
 // Intended for small graphs: memory and time grow as n^k.
 func KWL(gs []*graph.Graph, k int) []map[int]int {
 	if k < 1 {
 		panic("wl: k-WL needs k >= 1")
 	}
+	store := newColorStore()
 	type tupleSpace struct {
 		g      *graph.Graph
 		tuples [][]int
 		col    []int
 	}
+	workers := runtime.GOMAXPROCS(0)
 	spaces := make([]*tupleSpace, len(gs))
-	dict := newDictionary()
-	for gi, g := range gs {
+	forEachGraph(len(gs), workers, func(gi int, sc *scratch) {
+		g := gs[gi]
 		ts := &tupleSpace{g: g, tuples: allTuples(g.N(), k)}
 		ts.col = make([]int, len(ts.tuples))
 		for i, tup := range ts.tuples {
-			ts.col[i] = dict.intern(atomicType(g, tup))
+			ts.col[i] = atomicTypeID(store, sc, g, tup)
 		}
 		spaces[gi] = ts
-	}
+	})
 	// tuple index lookup: mixed-radix encoding.
 	index := func(n int, tup []int) int {
 		idx := 0
@@ -44,40 +49,46 @@ func KWL(gs []*graph.Graph, k int) []map[int]int {
 	}
 	for round := 0; ; round++ {
 		next := make([][]int, len(spaces))
-		changedPartition := false
-		for gi, ts := range spaces {
+		forEachGraph(len(spaces), workers, func(gi int, sc *scratch) {
+			ts := spaces[gi]
 			n := ts.g.N()
 			next[gi] = make([]int, len(ts.tuples))
+			replaced := make([]int, k)
+			ext := make([]int, k+1)
+			ids := make([]int, k)
 			for i, tup := range ts.tuples {
-				var parts []string
-				scratch := append([]int(nil), tup...)
-				ext := append(append([]int(nil), tup...), 0)
+				sc.parts = sc.parts[:0]
+				copy(replaced, tup)
+				copy(ext, tup)
 				for w := 0; w < n; w++ {
-					ids := make([]int, k)
 					for pos := 0; pos < k; pos++ {
-						old := scratch[pos]
-						scratch[pos] = w
-						ids[pos] = ts.col[index(n, scratch)]
-						scratch[pos] = old
+						old := replaced[pos]
+						replaced[pos] = w
+						ids[pos] = ts.col[index(n, replaced)]
+						replaced[pos] = old
 					}
 					// The folklore signature carries the atomic type of the
 					// extended tuple (v̄, w) alongside the replaced-coordinate
 					// colours; without it 1-WL would degenerate.
 					ext[k] = w
-					parts = append(parts, atomicType(ts.g, ext)+fmt.Sprintf("%v", ids))
+					atom := atomicTypeID(store, sc, ts.g, ext)
+					sc.sig = append(sc.sig[:0], sigKPart, uint64(atom))
+					for _, id := range ids {
+						sc.sig = append(sc.sig, uint64(id))
+					}
+					sc.parts = append(sc.parts, uint64(store.intern(sc.sig)))
 				}
-				sort.Strings(parts)
-				sig := fmt.Sprintf("k|%d|%s", ts.col[i], strings.Join(parts, ";"))
-				next[gi][i] = dict.intern(sig)
+				sc.sig = append(sc.sig[:0], sigKTuple, uint64(ts.col[i]))
+				sc.sig = appendRuns(sc.sig, sc.parts)
+				next[gi][i] = store.intern(sc.sig)
 			}
-		}
+		})
 		var oldAll, newAll [][]int
 		for gi, ts := range spaces {
 			oldAll = append(oldAll, ts.col)
 			newAll = append(newAll, next[gi])
 		}
-		changedPartition = !samePartitionAll(oldAll, newAll)
-		if !changedPartition {
+		if samePartitionAll(oldAll, newAll) {
 			break
 		}
 		for gi, ts := range spaces {
@@ -123,27 +134,28 @@ func allTuples(n, k int) [][]int {
 	return out
 }
 
-// atomicType encodes the isomorphism type of the ordered induced subgraph on
-// a tuple: vertex labels, the equality pattern, and adjacency with edge
-// labels.
-func atomicType(g *graph.Graph, tup []int) string {
-	var b strings.Builder
-	b.WriteString("atp|")
+// atomicTypeID interns the isomorphism type of the ordered induced subgraph
+// on a tuple — vertex labels, the equality pattern, and adjacency — as an
+// integer signature, returning its dense colour id.
+func atomicTypeID(store *colorStore, sc *scratch, g *graph.Graph, tup []int) int {
+	sc.sig = append(sc.sig[:0], sigAtom, uint64(len(tup)))
 	for _, v := range tup {
-		fmt.Fprintf(&b, "l%d,", g.VertexLabel(v))
+		sc.sig = append(sc.sig, zig(g.VertexLabel(v)))
 	}
 	for i := range tup {
 		for j := range tup {
 			if i == j {
 				continue
 			}
+			var rel uint64
 			switch {
 			case tup[i] == tup[j]:
-				fmt.Fprintf(&b, "e%d=%d,", i, j)
+				rel = 1
 			case g.HasEdge(tup[i], tup[j]):
-				fmt.Fprintf(&b, "a%d-%d,", i, j)
+				rel = 2
 			}
+			sc.sig = append(sc.sig, rel)
 		}
 	}
-	return b.String()
+	return store.intern(sc.sig)
 }

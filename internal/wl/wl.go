@@ -8,9 +8,7 @@
 package wl
 
 import (
-	"fmt"
-	"sort"
-	"strings"
+	"runtime"
 
 	"repro/internal/graph"
 )
@@ -49,23 +47,6 @@ func (c *Coloring) Histogram() map[int]int {
 
 // NumColors returns the number of distinct stable colours.
 func (c *Coloring) NumColors() int { return len(c.Histogram()) }
-
-// dictionary interns signature strings into dense colour ids shared across
-// all graphs of one refinement run, making colours canonical.
-type dictionary struct {
-	ids map[string]int
-}
-
-func newDictionary() *dictionary { return &dictionary{ids: map[string]int{}} }
-
-func (d *dictionary) intern(sig string) int {
-	if id, ok := d.ids[sig]; ok {
-		return id
-	}
-	id := len(d.ids)
-	d.ids[sig] = id
-	return id
-}
 
 // Refine runs 1-WL (Algorithm 1 of the paper) on a single graph until the
 // colouring is stable. Vertex labels seed the initial colouring; edge labels
@@ -107,16 +88,37 @@ func RefineAllWeighted(gs []*graph.Graph) []*Coloring {
 	return refineAll(gs, -1, true)
 }
 
+// refineAll is the per-run entry into the engine: a private colour store
+// (so throwaway runs do not grow process-global state), lockstep rounds
+// with a joint stability check across the corpus, and a final dense remap
+// of the store's ids to 0..k-1 in first-occurrence order — reproducing the
+// compact, run-local ids of the old string-dictionary implementation while
+// the hot path stays integer-only.
 func refineAll(gs []*graph.Graph, maxRounds int, weighted bool) []*Coloring {
-	dict := newDictionary()
+	store := newColorStore()
+	mode := modeFull
+	var rgs []runGraph
+	if weighted {
+		mode = modeWeighted
+		rgs = make([]runGraph, len(gs))
+		for i, g := range gs {
+			rgs[i] = runGraph{g: g}
+		}
+	} else {
+		rgs = newRunGraphs(gs)
+	}
+	workers := runtime.GOMAXPROCS(0)
 	cols := make([][]int, len(gs))
 	hist := make([][][]int, len(gs))
 	// Initial colouring from vertex labels.
-	for gi, g := range gs {
+	forEachGraph(len(gs), workers, func(gi int, sc *scratch) {
+		g := gs[gi]
 		cols[gi] = make([]int, g.N())
 		for v := 0; v < g.N(); v++ {
-			cols[gi][v] = dict.intern(fmt.Sprintf("init|%d", g.VertexLabel(v)))
+			cols[gi][v] = initColor(store, sc, g, v)
 		}
+	})
+	for gi := range gs {
 		hist[gi] = append(hist[gi], append([]int(nil), cols[gi]...))
 	}
 	rounds := 0
@@ -125,27 +127,19 @@ func refineAll(gs []*graph.Graph, maxRounds int, weighted bool) []*Coloring {
 			break
 		}
 		next := make([][]int, len(gs))
-		roundDict := newDictionary()
-		for gi, g := range gs {
+		forEachGraph(len(gs), workers, func(gi int, sc *scratch) {
+			g := gs[gi]
 			next[gi] = make([]int, g.N())
 			for v := 0; v < g.N(); v++ {
-				sig := vertexSignature(g, v, cols[gi], weighted)
-				next[gi][v] = roundDict.intern(sig)
+				next[gi][v] = roundColor(store, sc, &rgs[gi], v, cols[gi], mode)
 			}
-		}
+		})
 		// Check global stability: the partition across all graphs must be
-		// unchanged.
+		// unchanged. Store ids are canonical within the run (signatures embed
+		// the previous canonical ids), so one interning pass suffices for
+		// both the stability check and the committed colouring.
 		if samePartitionAll(cols, next) {
 			break
-		}
-		// Re-intern round colours into the global dictionary to keep ids
-		// canonical (signature strings embed the previous canonical ids, so
-		// interning the signature strings directly is canonical too).
-		for gi, g := range gs {
-			for v := 0; v < g.N(); v++ {
-				sig := vertexSignature(g, v, cols[gi], weighted)
-				next[gi][v] = dict.intern(sig)
-			}
 		}
 		cols = next
 		for gi := range gs {
@@ -153,6 +147,7 @@ func refineAll(gs []*graph.Graph, maxRounds int, weighted bool) []*Coloring {
 		}
 		rounds++
 	}
+	denseRemap(hist, cols)
 	out := make([]*Coloring, len(gs))
 	for gi := range gs {
 		out[gi] = &Coloring{Colors: cols[gi], History: hist[gi], Rounds: rounds}
@@ -160,50 +155,35 @@ func refineAll(gs []*graph.Graph, maxRounds int, weighted bool) []*Coloring {
 	return out
 }
 
-// vertexSignature builds the refinement signature of v: its own colour plus
-// the multiset of (edge label, neighbour colour) pairs — or, when weighted,
-// the per-colour weight sums. Directed graphs include in-neighbour data.
-func vertexSignature(g *graph.Graph, v int, col []int, weighted bool) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", col[v])
-	if weighted {
-		sums := map[int]float64{}
-		for _, a := range g.Arcs(v) {
-			e := g.Edges()[a.Edge]
-			sums[col[a.To]] += e.Weight
-		}
-		keys := make([]int, 0, len(sums))
-		for k := range sums {
-			// A zero sum is indistinguishable from having no edges into the
-			// class at all (α = 0 for non-edges), so drop it.
-			if sums[k] > -1e-12 && sums[k] < 1e-12 {
-				continue
-			}
-			keys = append(keys, k)
-		}
-		sort.Ints(keys)
-		for _, k := range keys {
-			// Round sums to a fixed grid so float accumulation noise cannot
-			// split classes.
-			fmt.Fprintf(&b, "c%d:%.9f;", k, sums[k])
-		}
-	} else {
-		var sig []string
-		for _, a := range g.Arcs(v) {
-			e := g.Edges()[a.Edge]
-			sig = append(sig, fmt.Sprintf("o%d:%d", e.Label, col[a.To]))
-		}
-		if g.Directed() {
-			for _, e := range g.Edges() {
-				if e.V == v {
-					sig = append(sig, fmt.Sprintf("i%d:%d", e.Label, col[e.U]))
+// denseRemap renames the run's colour ids to 0..k-1 by first occurrence in
+// (round, graph, vertex) order — the interning order of the old per-run
+// dictionary — so Refine/RefineAll keep returning small run-local ids. The
+// renaming is injective, so all partitions (and hence canonicality within
+// the run) are preserved.
+func denseRemap(hist [][][]int, cols [][]int) {
+	remap := map[int]int{}
+	if len(hist) == 0 {
+		return
+	}
+	for r := 0; r < len(hist[0]); r++ {
+		for gi := range hist {
+			for _, c := range hist[gi][r] {
+				if _, ok := remap[c]; !ok {
+					remap[c] = len(remap)
 				}
 			}
 		}
-		sort.Strings(sig)
-		b.WriteString(strings.Join(sig, ";"))
 	}
-	return b.String()
+	for gi := range hist {
+		for _, row := range hist[gi] {
+			for v := range row {
+				row[v] = remap[row[v]]
+			}
+		}
+		for v := range cols[gi] {
+			cols[gi][v] = remap[cols[gi][v]]
+		}
+	}
 }
 
 func samePartitionAll(a, b [][]int) bool {
