@@ -78,8 +78,8 @@ func BenchmarkE20KernelEfficiency(b *testing.B) {
 		if !r.Passed {
 			b.Fatalf("E20 failed: %s", r.Notes)
 		}
-		if len(rows) != 6 {
-			b.Fatal("E20 should time 4 kernels plus the two contention rows")
+		if len(rows) != 8 {
+			b.Fatal("E20 should time 4 kernels plus the contention and hom-engine rows")
 		}
 	}
 }
@@ -255,6 +255,42 @@ func BenchmarkGramWLCorpusSharded120(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kernel.Gram(k, gs)
+	}
+}
+
+// Compiled-pattern hom-vector corpus head-to-head: the naive side calls
+// hom.Vector per graph (every matrix power and decomposition rebuilt per
+// pattern per call); the compiled side does one hom.Compile of the class and
+// a batched CorpusVectors pass with shared cycle powers and pooled DP
+// scratch. The corpus is unlabelled so the cycle fast path is on the line.
+// CI runs these at -benchtime=1x as a smoke job (BENCH_Hom.json artifact).
+
+func benchHomCorpus(n, size int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		gs[i] = graph.Random(size, 0.15, rng)
+	}
+	return gs
+}
+
+func BenchmarkHomVectorCorpusNaive120(b *testing.B) {
+	gs := benchHomCorpus(120, 20, 46)
+	class := hom.StandardClass()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range gs {
+			hom.Vector(class, g)
+		}
+	}
+}
+
+func BenchmarkHomVectorCorpusCompiled120(b *testing.B) {
+	gs := benchHomCorpus(120, 20, 46)
+	class := hom.StandardClass()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hom.CorpusVectors(hom.Compile(class), gs)
 	}
 }
 

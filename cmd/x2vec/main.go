@@ -6,6 +6,8 @@
 //
 //	x2vec [-rounds T] [-parallel N] wl FILE      stable 1-WL colouring (-rounds T: stop after T rounds)
 //	x2vec hom PATTERN FILE                       homomorphism count (PATTERN: path:K, cycle:K, star:K, clique:K)
+//	x2vec homvec FILE...                         log-scaled homomorphism vectors over the standard class,
+//	                                             one compiled corpus pass for all files
 //	x2vec [-rounds T] kernel NAME A B            kernel value between two graphs (wl, sp, graphlet, hom)
 //	x2vec embed METHOD FILE                      node embedding (adjacency, distance, node2vec, deepwalk)
 //	x2vec dist NORM A B                          aligned distance (frobenius, l1, cut) — small graphs only
@@ -56,6 +58,8 @@ func main() {
 		err = cmdWL(args[1:], *rounds)
 	case "hom":
 		err = cmdHom(args[1:])
+	case "homvec":
+		err = cmdHomVec(args[1:])
 	case "kernel":
 		err = cmdKernel(args[1:], *rounds)
 	case "embed":
@@ -72,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|kernel|embed|dist} ...")
+	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|homvec|kernel|embed|dist} ...")
 	os.Exit(2)
 }
 
@@ -183,6 +187,33 @@ func cmdHom(args []string) error {
 		return err
 	}
 	fmt.Printf("hom(%s, %s) = %g\n", args[0], args[1], hom.Count(pattern, g))
+	return nil
+}
+
+// cmdHomVec prints the Section 4 log-scaled homomorphism vector of every
+// input graph over the standard ~20-pattern class. The class compiles once
+// and all files evaluate in one batched corpus pass — the CLI face of
+// hom.Compile / hom.CorpusLogScaledVectors.
+func cmdHomVec(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: x2vec homvec FILE...")
+	}
+	gs := make([]*graph.Graph, len(args))
+	for i, path := range args {
+		g, err := loadGraph(path)
+		if err != nil {
+			return err
+		}
+		gs[i] = g
+	}
+	vecs := hom.CorpusLogScaledVectors(hom.Compile(hom.StandardClass()), gs)
+	for i, path := range args {
+		fmt.Printf("%s", path)
+		for _, x := range vecs[i] {
+			fmt.Printf(" %.4f", x)
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

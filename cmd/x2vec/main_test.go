@@ -86,6 +86,7 @@ func TestSubcommands(t *testing.T) {
 		{"wl", func() error { return cmdWL([]string{triangle}, -1) }},
 		{"wl-rounds", func() error { return cmdWL([]string{hexagon}, 2) }},
 		{"hom", func() error { return cmdHom([]string{"cycle:3", triangle}) }},
+		{"homvec", func() error { return cmdHomVec([]string{triangle, square, hexagon}) }},
 		{"kernel", func() error { return cmdKernel([]string{"wl", triangle, square}, -1) }},
 		{"kernel-rounds", func() error { return cmdKernel([]string{"wl", triangle, square}, 2) }},
 		{"kernel-hom", func() error { return cmdKernel([]string{"hom", triangle, square}, -1) }},
@@ -112,6 +113,12 @@ func TestSubcommandErrors(t *testing.T) {
 	}
 	if err := cmdWL([]string{}, -1); err == nil {
 		t.Error("missing args should error")
+	}
+	if err := cmdHomVec([]string{}); err == nil {
+		t.Error("homvec without files should error")
+	}
+	if err := cmdHomVec([]string{filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
+		t.Error("homvec on a missing file should error")
 	}
 	// Alignment distance rejects pairs whose blown-up order explodes.
 	big := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 0\n")

@@ -71,6 +71,14 @@ func (e *HomEmbedder) EmbedGraph(g *graph.Graph) []float64 {
 	return hom.LogScaledVector(e.Class, g)
 }
 
+// EmbedCorpus implements CorpusEmbedder: the pattern class compiles once
+// (hom.Compile) and every graph evaluates through the batched corpus engine,
+// so the Gram pipeline never rebuilds a decomposition or matrix power per
+// graph per pattern.
+func (e *HomEmbedder) EmbedCorpus(gs []*graph.Graph) [][]float64 {
+	return hom.CorpusLogScaledVectors(hom.Compile(e.Class), gs)
+}
+
 // Name implements GraphEmbedder.
 func (e *HomEmbedder) Name() string { return "hom-vector" }
 

@@ -20,6 +20,36 @@ func TestHomEmbedderDefaultClass(t *testing.T) {
 	}
 }
 
+// TestHomEmbedderCorpusMatchesSingle pins the CorpusEmbedder contract on
+// the hom embedder: the batched compiled-class pass must equal independent
+// per-graph embeddings entry for entry.
+func TestHomEmbedderCorpusMatchesSingle(t *testing.T) {
+	e := NewHomEmbedder(nil)
+	rng := rand.New(rand.NewSource(9))
+	gs := []*graph.Graph{graph.Petersen(), graph.Cycle(6), graph.New(1)}
+	for len(gs) < 10 {
+		g := graph.Random(8, 0.3, rng)
+		if len(gs)%2 == 0 {
+			for v := 0; v < g.N(); v++ {
+				g.SetVertexLabel(v, rng.Intn(3))
+			}
+		}
+		gs = append(gs, g)
+	}
+	batch := e.EmbedCorpus(gs)
+	if len(batch) != len(gs) {
+		t.Fatalf("%d corpus embeddings for %d graphs", len(batch), len(gs))
+	}
+	for i, g := range gs {
+		single := e.EmbedGraph(g)
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("graph %d entry %d: corpus=%v single=%v", i, j, batch[i][j], single[j])
+			}
+		}
+	}
+}
+
 func TestHomEmbedderSeparatesCospectral(t *testing.T) {
 	e := NewHomEmbedder(nil)
 	g, h := graph.CospectralPair()

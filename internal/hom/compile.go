@@ -1,0 +1,558 @@
+package hom
+
+// The compiled-pattern engine: every per-pattern analysis that Count redoes
+// on each call — component split, tree/cycle/treewidth dispatch, the nice
+// tree decomposition with its edge assignment, bag positions and mixed-radix
+// layout — is done exactly once by Compile, leaving per-target evaluation as
+// straight-line dynamic programming over reusable scratch buffers. A
+// CompiledClass evaluates bit-identically to the hom.Vector path (they share
+// the same DP loops in the same float operation order; the cycle fast path
+// shares matrix powers across all cycle patterns, which is exact whenever
+// counts are integers below 2^53 — every unweighted or integer-weighted
+// target in this repository).
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/treedec"
+)
+
+// patKind is the per-component dispatch decision, fixed at compile time
+// except that cycle components of labelled targets take their treewidth
+// program instead of the trace fast path (mirroring countConnected).
+type patKind int
+
+const (
+	patTree patKind = iota
+	patCycle
+	patTD
+)
+
+// compiledComp is one analysed connected component of a pattern.
+type compiledComp struct {
+	kind patKind
+	n    int
+
+	// Tree DP (kind == patTree): BFS order from root 0, children of each
+	// vertex in adjacency order, and the pattern vertex labels.
+	order    []int
+	children [][]int
+	vlabels  []int
+
+	// Cycle fast path (kind == patCycle): hom(C_k, g) = trace(A^k), read
+	// from the per-target power table shared by every cycle in the class.
+	cycleLen int
+
+	// Treewidth DP program (kind == patTD, and the labelled-target
+	// fallback for kind == patCycle).
+	prog *tdProgram
+}
+
+// CompiledPattern is one pattern analysed into per-component programs.
+type CompiledPattern struct {
+	n     int // |V(F)|, used by the log/power scalings
+	comps []*compiledComp
+}
+
+// N returns the pattern's vertex count.
+func (p *CompiledPattern) N() int { return p.n }
+
+// CompiledClass is a pattern class analysed once, ready for repeated
+// evaluation against many targets. It is immutable after Compile and safe
+// for concurrent use; all per-evaluation state lives in pooled scratch.
+type CompiledClass struct {
+	pats     []*CompiledPattern
+	maxCycle int // largest cycle length using the trace fast path
+}
+
+// Len returns the number of patterns in the class.
+func (c *CompiledClass) Len() int { return len(c.pats) }
+
+// Pattern returns the i-th compiled pattern.
+func (c *CompiledClass) Pattern(i int) *CompiledPattern { return c.pats[i] }
+
+// Compile analyses every pattern of a class once: component split, dispatch
+// decision, nice tree decompositions with pre-assigned edges and bag
+// layouts. The returned class evaluates hom vectors without rebuilding any
+// of this per target.
+func Compile(class []*graph.Graph) *CompiledClass {
+	c := &CompiledClass{pats: make([]*CompiledPattern, len(class))}
+	for i, f := range class {
+		p := compilePattern(f)
+		c.pats[i] = p
+		for _, comp := range p.comps {
+			if comp.kind == patCycle && comp.cycleLen > c.maxCycle {
+				c.maxCycle = comp.cycleLen
+			}
+		}
+	}
+	return c
+}
+
+func compilePattern(f *graph.Graph) *CompiledPattern {
+	p := &CompiledPattern{n: f.N()}
+	for _, comp := range f.ComponentGraphs() {
+		p.comps = append(p.comps, compileComponent(comp))
+	}
+	return p
+}
+
+func compileComponent(f *graph.Graph) *compiledComp {
+	comp := &compiledComp{n: f.N()}
+	switch {
+	case isTree(f):
+		comp.kind = patTree
+		comp.compileTree(f)
+	case isCycle(f) && !f.HasVertexLabels():
+		// The trace fast path needs an unlabelled target too; compile the
+		// treewidth program as the labelled-target fallback (cycles have
+		// width 2, so this is cheap and done once).
+		comp.kind = patCycle
+		comp.cycleLen = f.N()
+		comp.prog = compileTD(f)
+	default:
+		comp.kind = patTD
+		comp.prog = compileTD(f)
+	}
+	return comp
+}
+
+// compileTree precomputes the rooted orientation CountTreeRooted derives per
+// call: BFS order from vertex 0 and per-vertex child lists in adjacency
+// order (the order the DP multiplies child sums in).
+func (comp *compiledComp) compileTree(t *graph.Graph) {
+	n := t.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[0] = -1
+	order := make([]int, 0, n)
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, w := range t.Neighbors(u) {
+			if parent[w] == -2 {
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	children := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, w := range t.Neighbors(u) {
+			if parent[w] == u {
+				children[u] = append(children[u], w)
+			}
+		}
+	}
+	comp.order = order
+	comp.children = children
+	comp.vlabels = t.VertexLabels()
+}
+
+// tdOp is one node of the linearised nice-tree-decomposition program.
+// Tables are mixed-radix encoded over the sorted bag (least significant
+// digit = smallest bag vertex), so introduce/forget reduce to digit
+// insertion/removal at a precomputed position.
+type tdOp struct {
+	kind   niceKind
+	bagLen int   // bag size of the table this op produces
+	pos    int   // introduce/forget: digit position of v in the larger bag
+	vlabel int   // introduce: pattern label of the introduced vertex
+	owned  []int // introduce: child-bag positions of owned-edge endpoints; -1 marks a self-loop
+}
+
+// tdProgram is the compiled n^{tw+1} dynamic program of one component:
+// a post-order instruction list evaluated with an explicit table stack.
+type tdProgram struct {
+	ops      []tdOp
+	hasLoops bool // some op owns a pattern self-loop: eval needs the target's loop weights
+}
+
+// compileTD builds the nice tree decomposition once and linearises it.
+func compileTD(f *graph.Graph) *tdProgram {
+	dec := treedec.OptimalDecomposition(f)
+	root := buildNice(dec, f)
+	prog := &tdProgram{}
+	var walk func(nd *niceNode)
+	walk = func(nd *niceNode) {
+		for _, c := range nd.children {
+			walk(c)
+		}
+		op := tdOp{kind: nd.kind, bagLen: len(nd.bag)}
+		switch nd.kind {
+		case introduceNode:
+			op.pos = indexOf(nd.bag, nd.v)
+			op.vlabel = f.VertexLabel(nd.v)
+			childBag := remove(nd.bag, nd.v)
+			for _, e := range nd.owned {
+				// e[0] == nd.v; the other endpoint sits in the child bag,
+				// unless the edge is a self-loop at nd.v.
+				if e[1] == nd.v {
+					op.owned = append(op.owned, -1)
+					prog.hasLoops = true
+				} else {
+					op.owned = append(op.owned, indexOf(childBag, e[1]))
+				}
+			}
+		case forgetNode:
+			op.pos = indexOf(insert(nd.bag, nd.v), nd.v)
+		}
+		prog.ops = append(prog.ops, op)
+	}
+	walk(root)
+	return prog
+}
+
+// maxTableEntries caps one DP table of the treewidth program (~2 GiB of
+// float64s). The DP is inherently exponential in the decomposition width, so
+// a wide pattern on a large target can request an impossible table; the cap
+// turns that into an immediate, descriptive (and recoverable) panic instead
+// of the runtime dying on an overflowed or memory-exhausting allocation.
+const maxTableEntries = 1 << 28
+
+// tableSize returns n^k, or -1 when the table would exceed maxTableEntries
+// (which also covers int overflow).
+func tableSize(n, k int) int {
+	size := 1
+	for i := 0; i < k; i++ {
+		if n != 0 && size > maxTableEntries/n {
+			return -1
+		}
+		size *= n
+	}
+	return size
+}
+
+// eval runs the program against one target. Float operations replay
+// evalNice's order exactly (factors multiplied in owned-edge order, forget
+// sums accumulated in ascending child-index order), so results are
+// bit-identical to the per-call path for any target.
+func (p *tdProgram) eval(sc *evalScratch, g *graph.Graph) float64 {
+	n := g.N()
+	// Self-loop weights are the adjacency-matrix diagonal: each loop edge's
+	// weight counted once (1 per plain loop, 0 without one). Both a pattern
+	// self-loop at v and a degenerate mapping of an ordinary pattern edge
+	// onto a target loop (h(u) = h(v) = w) contribute this factor, so the DP
+	// is the partition function of g.AdjacencyMatrix — consistent with the
+	// CountCycle/CountPath trace formulas and, on unweighted targets, with
+	// the boolean brute-force oracle. (g.EdgeWeight(w, w) would double-count
+	// undirected loops, whose two arcs both carry the full weight.)
+	needLoops := p.hasLoops
+	if !needLoops {
+		for _, e := range g.Edges() {
+			if e.U == e.V {
+				needLoops = true
+				break
+			}
+		}
+	}
+	var loopW []float64
+	if needLoops {
+		loopW = sc.ensureFloats(&sc.loopW, n)
+		for i := range loopW {
+			loopW[i] = 0
+		}
+		for _, e := range g.Edges() {
+			if e.U == e.V {
+				loopW[e.U] += e.Weight
+			}
+		}
+	}
+	stack := sc.stack[:0]
+	for oi := range p.ops {
+		op := &p.ops[oi]
+		switch op.kind {
+		case leafNode:
+			t := sc.getTable(1)
+			t[0] = 1
+			stack = append(stack, t)
+		case introduceNode:
+			child := stack[len(stack)-1]
+			size := tableSize(n, op.bagLen)
+			if size < 0 {
+				panic(fmt.Sprintf("hom: infeasible DP table %d^%d — pattern decomposition width %d is too large for a %d-vertex target", n, op.bagLen, op.bagLen-1, n))
+			}
+			out := sc.getTable(size)
+			lowSize := intPow(n, op.pos)
+			cassign := sc.ensureAssign(op.bagLen - 1)
+			for cidx, cv := range child {
+				if cv == 0 {
+					continue
+				}
+				decode(cidx, n, cassign)
+				lo := cidx % lowSize
+				base := (cidx/lowSize)*lowSize*n + lo
+				for w := 0; w < n; w++ {
+					if op.vlabel != 0 && op.vlabel != g.VertexLabel(w) {
+						continue
+					}
+					factor := 1.0
+					for _, cp := range op.owned {
+						var aw float64
+						if cp < 0 {
+							aw = loopW[w]
+						} else if other := cassign[cp]; other != w {
+							aw = g.EdgeWeight(w, other)
+						} else if loopW != nil {
+							aw = loopW[w]
+						}
+						factor *= aw
+						if factor == 0 {
+							break
+						}
+					}
+					if factor == 0 {
+						continue
+					}
+					out[base+w*lowSize] = cv * factor
+				}
+			}
+			sc.putTable(child)
+			stack[len(stack)-1] = out
+		case forgetNode:
+			child := stack[len(stack)-1]
+			out := sc.getTable(intPow(n, op.bagLen))
+			lowSize := intPow(n, op.pos)
+			for cidx, cv := range child {
+				if cv == 0 {
+					continue
+				}
+				out[(cidx/(lowSize*n))*lowSize+cidx%lowSize] += cv
+			}
+			sc.putTable(child)
+			stack[len(stack)-1] = out
+		case joinNode:
+			right := stack[len(stack)-1]
+			left := stack[len(stack)-2]
+			for i := range left {
+				left[i] *= right[i]
+			}
+			sc.putTable(right)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 1 || len(stack[0]) != 1 {
+		panic("hom: compiled program should end with a single root entry")
+	}
+	res := stack[0][0]
+	sc.putTable(stack[0])
+	sc.stack = stack[:0]
+	return res
+}
+
+// evalScratch holds one goroutine's reusable evaluation state: the DP table
+// free list and stack, the tree-DP rows, the assignment decode buffer, and
+// the per-target cycle power table. Scratches are pooled; evaluation never
+// allocates per pattern once the buffers have grown.
+type evalScratch struct {
+	stack  [][]float64
+	free   [][]float64
+	assign []int
+
+	rows [][]float64 // tree DP: one row per pattern vertex
+
+	// Cycle fast path, valid for one target at a time: adj is the flat
+	// weighted adjacency matrix, cur/next the power iteration buffers,
+	// traces[k] = trace(A^k) for k = 2..maxCycle.
+	tracesValid bool
+	traces      []float64
+	adj         []float64
+	cur         []float64
+	next        []float64
+
+	loopW []float64 // loop-pattern evals: per-target-vertex self-loop weights
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &evalScratch{} }}
+
+func (sc *evalScratch) getTable(size int) []float64 {
+	for i := len(sc.free) - 1; i >= 0; i-- {
+		if cap(sc.free[i]) >= size {
+			t := sc.free[i][:size]
+			sc.free[i] = sc.free[len(sc.free)-1]
+			sc.free = sc.free[:len(sc.free)-1]
+			for j := range t {
+				t[j] = 0
+			}
+			return t
+		}
+	}
+	return make([]float64, size)
+}
+
+func (sc *evalScratch) putTable(t []float64) {
+	if len(sc.free) < 8 {
+		sc.free = append(sc.free, t)
+	}
+}
+
+func (sc *evalScratch) ensureAssign(k int) []int {
+	if cap(sc.assign) < k {
+		sc.assign = make([]int, k)
+	}
+	return sc.assign[:k]
+}
+
+func (sc *evalScratch) ensureRows(rows, width int) [][]float64 {
+	for len(sc.rows) < rows {
+		sc.rows = append(sc.rows, nil)
+	}
+	for i := 0; i < rows; i++ {
+		if cap(sc.rows[i]) < width {
+			sc.rows[i] = make([]float64, width)
+		}
+	}
+	return sc.rows
+}
+
+// evalTree replays CountTree's DP (post-order products of child sums, then
+// the sum over root placements) on the precompiled orientation, reusing the
+// scratch rows. Loop and operation order match CountTreeRooted exactly.
+func (comp *compiledComp) evalTree(sc *evalScratch, g *graph.Graph) float64 {
+	n := g.N()
+	rows := sc.ensureRows(comp.n, n)
+	edges := g.Edges()
+	for i := len(comp.order) - 1; i >= 0; i-- {
+		u := comp.order[i]
+		row := rows[u][:n]
+		for v := 0; v < n; v++ {
+			if comp.vlabels[u] != 0 && comp.vlabels[u] != g.VertexLabel(v) {
+				row[v] = 0
+				continue
+			}
+			prod := 1.0
+			for _, w := range comp.children[u] {
+				cw := rows[w]
+				var sum float64
+				for _, a := range g.Arcs(v) {
+					aw := edges[a.Edge].Weight
+					if a.To == v && !g.Directed() {
+						aw *= 0.5 // undirected self-loop: both arcs carry the full weight
+					}
+					sum += aw * cw[a.To]
+				}
+				prod *= sum
+				if prod == 0 {
+					break
+				}
+			}
+			row[v] = prod
+		}
+	}
+	var total float64
+	for _, c := range rows[0][:n] {
+		total += c
+	}
+	return total
+}
+
+func (sc *evalScratch) ensureFloats(buf *[]float64, size int) []float64 {
+	if cap(*buf) < size {
+		*buf = make([]float64, size)
+	}
+	return (*buf)[:size]
+}
+
+// cycleTrace returns trace(A^k) for the target, computing the shared power
+// table A^2..A^maxK on first use per target: one sparse-row multiplication
+// per power serves every cycle pattern in the class, instead of one full
+// matrix Pow per pattern per call.
+func (sc *evalScratch) cycleTrace(g *graph.Graph, k, maxK int) float64 {
+	if !sc.tracesValid {
+		sc.computeTraces(g, maxK)
+		sc.tracesValid = true
+	}
+	return sc.traces[k]
+}
+
+func (sc *evalScratch) computeTraces(g *graph.Graph, maxK int) {
+	n := g.N()
+	sc.traces = sc.ensureFloats(&sc.traces, maxK+1)
+	for i := range sc.traces {
+		sc.traces[i] = 0
+	}
+	adj := sc.ensureFloats(&sc.adj, n*n)
+	for i := range adj {
+		adj[i] = 0
+	}
+	// Mirror graph.AdjacencyMatrix: summed weights, symmetric for
+	// undirected edges, self-loops counted once.
+	for _, e := range g.Edges() {
+		adj[e.U*n+e.V] += e.Weight
+		if !g.Directed() && e.U != e.V {
+			adj[e.V*n+e.U] += e.Weight
+		}
+	}
+	cur := sc.ensureFloats(&sc.cur, n*n)
+	copy(cur, adj)
+	next := sc.ensureFloats(&sc.next, n*n)
+	trace := func(m []float64) float64 {
+		var t float64
+		for i := 0; i < n; i++ {
+			t += m[i*n+i]
+		}
+		return t
+	}
+	if maxK >= 1 {
+		sc.traces[1] = trace(cur)
+	}
+	for k := 2; k <= maxK; k++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for l := 0; l < n; l++ {
+				a := adj[i*n+l]
+				if a == 0 {
+					continue
+				}
+				crow := cur[l*n : (l+1)*n]
+				drow := next[i*n : (i+1)*n]
+				for j, b := range crow {
+					drow[j] += a * b
+				}
+			}
+		}
+		cur, next = next, cur
+		sc.traces[k] = trace(cur)
+	}
+}
+
+// vectorInto evaluates every pattern of the class against one target,
+// mirroring Count's dispatch and component-product order entry for entry.
+func (c *CompiledClass) vectorInto(sc *evalScratch, g *graph.Graph, out []float64) {
+	sc.tracesValid = false
+	gLabelled := g.HasVertexLabels()
+	for i, p := range c.pats {
+		out[i] = c.evalPattern(p, sc, g, gLabelled)
+	}
+}
+
+func (c *CompiledClass) evalPattern(p *CompiledPattern, sc *evalScratch, g *graph.Graph, gLabelled bool) float64 {
+	if p.n == 0 {
+		return 1
+	}
+	result := 1.0
+	for _, comp := range p.comps {
+		var v float64
+		switch {
+		case comp.kind == patTree:
+			v = comp.evalTree(sc, g)
+		case comp.kind == patCycle && !gLabelled:
+			v = sc.cycleTrace(g, comp.cycleLen, c.maxCycle)
+		default:
+			v = comp.prog.eval(sc, g)
+		}
+		result *= v
+		if result == 0 {
+			return 0
+		}
+	}
+	return result
+}

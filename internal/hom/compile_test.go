@@ -1,0 +1,170 @@
+package hom
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// compiledTestTargets builds the target mix every compiled-vs-naive test
+// runs over: plain random graphs, vertex-labelled ones (forcing cycle
+// components onto the treewidth program), integer-weighted ones (keeping
+// all counts exactly representable), and the structured edge cases.
+func compiledTestTargets(rng *rand.Rand, n int) []*graph.Graph {
+	targets := []*graph.Graph{
+		graph.New(0),
+		graph.New(1),
+		graph.Cycle(6),
+		graph.Petersen(),
+		graph.Complete(4),
+	}
+	for len(targets) < n {
+		g := graph.Random(3+rng.Intn(8), 0.4, rng)
+		switch rng.Intn(3) {
+		case 1:
+			for v := 0; v < g.N(); v++ {
+				g.SetVertexLabel(v, rng.Intn(3))
+			}
+		case 2:
+			w := graph.New(g.N())
+			for _, e := range g.Edges() {
+				w.AddWeightedEdge(e.U, e.V, float64(1+rng.Intn(3)))
+			}
+			g = w
+		}
+		targets = append(targets, g)
+	}
+	return targets
+}
+
+// TestCompiledVectorMatchesNaive pins the tentpole invariant: the compiled
+// class produces bit-identical vectors to the per-call hom.Vector path on
+// the standard class, over plain, labelled, and integer-weighted targets.
+func TestCompiledVectorMatchesNaive(t *testing.T) {
+	class := StandardClass()
+	cc := Compile(class)
+	rng := rand.New(rand.NewSource(51))
+	for ti, g := range compiledTestTargets(rng, 40) {
+		want := Vector(class, g)
+		got := cc.Vector(g)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("target %d (%v): pattern %d compiled=%v naive=%v", ti, g, i, got[i], want[i])
+			}
+		}
+		wantLog := LogScaledVector(class, g)
+		gotLog := cc.LogScaledVector(g)
+		for i := range wantLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("target %d: log entry %d compiled=%v naive=%v", ti, i, gotLog[i], wantLog[i])
+			}
+		}
+	}
+}
+
+// TestCompiledTDAndDisconnectedPatterns exercises the treewidth program and
+// the component-product path: dense patterns, labelled cycles (which must
+// refuse the trace fast path), and disjoint unions mixing kinds.
+func TestCompiledTDAndDisconnectedPatterns(t *testing.T) {
+	labCycle := graph.Cycle(5)
+	labCycle.SetVertexLabel(0, 2)
+	class := []*graph.Graph{
+		graph.Complete(4),
+		graph.Fig5Graph(),
+		graph.Grid(2, 3),
+		graph.CompleteBipartite(2, 3),
+		labCycle,
+		graph.DisjointUnion(graph.Cycle(4), graph.AllTrees(4)[0]),
+		graph.DisjointUnion(graph.Complete(3), graph.Path(3)),
+		graph.New(0),
+		graph.New(2),
+	}
+	cc := Compile(class)
+	rng := rand.New(rand.NewSource(52))
+	for ti, g := range compiledTestTargets(rng, 25) {
+		want := Vector(class, g)
+		got := cc.Vector(g)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("target %d (%v): pattern %d compiled=%v naive=%v", ti, g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCorpusVectorsMatchSingle pins the corpus contract: one batched
+// CorpusVectors pass equals independent Vector calls, deterministically
+// across repeated (parallel) runs.
+func TestCorpusVectorsMatchSingle(t *testing.T) {
+	class := StandardClass()
+	cc := Compile(class)
+	rng := rand.New(rand.NewSource(53))
+	gs := compiledTestTargets(rng, 30)
+	first := CorpusVectors(cc, gs)
+	if len(first) != len(gs) {
+		t.Fatalf("%d corpus vectors for %d graphs", len(first), len(gs))
+	}
+	for rep := 0; rep < 2; rep++ {
+		batch := CorpusVectors(cc, gs)
+		for i, g := range gs {
+			single := cc.Vector(g)
+			for j := range single {
+				if batch[i][j] != single[j] || batch[i][j] != first[i][j] {
+					t.Fatalf("graph %d pattern %d: corpus=%v single=%v first=%v", i, j, batch[i][j], single[j], first[i][j])
+				}
+			}
+		}
+	}
+	logs := CorpusLogScaledVectors(cc, gs)
+	for i, g := range gs {
+		single := LogScaledVector(class, g)
+		for j := range single {
+			if logs[i][j] != single[j] {
+				t.Fatalf("graph %d: log corpus %v != naive %v", i, logs[i][j], single[j])
+			}
+		}
+	}
+}
+
+// TestCompiledClassConcurrentUse hammers one compiled class from many
+// goroutines (run under -race in CI): the class must be read-only and the
+// pooled scratches properly isolated.
+func TestCompiledClassConcurrentUse(t *testing.T) {
+	class := StandardClass()
+	cc := Compile(class)
+	rng := rand.New(rand.NewSource(54))
+	gs := compiledTestTargets(rng, 12)
+	want := make([][]float64, len(gs))
+	for i, g := range gs {
+		want[i] = Vector(class, g)
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for rep := 0; rep < 5; rep++ {
+				for i, g := range gs {
+					got := cc.Vector(g)
+					for j := range got {
+						if got[j] != want[i][j] {
+							done <- errMismatch
+							return
+						}
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errString("concurrent compiled evaluation diverged")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,133 @@
+package hom
+
+// Theory-conformance suite for Section 4 / Dvořák / Dell–Grohe–Rattan:
+// homomorphism indistinguishability over trees coincides with 1-WL
+// equivalence (Theorem 4.4), checked against the WL engine's canonical
+// colours, and path indistinguishability is consistent with it (paths are
+// trees, so tree equivalence must imply path equivalence).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/wl"
+)
+
+// wlEquivalent decides 1-WL equivalence through the engine's canonical
+// colour ids: equal final-round colour histograms (ids are process-globally
+// canonical, so histograms of independently refined graphs are comparable).
+func wlEquivalent(g, h *graph.Graph) bool {
+	rounds := g.N()
+	if h.N() > rounds {
+		rounds = h.N()
+	}
+	cg := wl.CanonicalColors(g, rounds)
+	ch := wl.CanonicalColors(h, rounds)
+	hist := func(round []int) map[int]int {
+		m := map[int]int{}
+		for _, c := range round {
+			m[c]++
+		}
+		return m
+	}
+	hg, hh := hist(cg[rounds]), hist(ch[rounds])
+	if len(hg) != len(hh) {
+		return false
+	}
+	for c, k := range hg {
+		if hh[c] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// permuted returns an isomorphic copy of g under a random vertex permutation.
+func permuted(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	perm := rng.Perm(g.N())
+	h := graph.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		h.SetVertexLabel(perm[v], g.VertexLabel(v))
+	}
+	for _, e := range g.Edges() {
+		h.AddWeightedEdge(perm[e.U], perm[e.V], e.Weight)
+	}
+	return h
+}
+
+// TestTreeIndistinguishableMatchesWLOnRandomPairs checks Theorem 4.4 /
+// Dvořák both ways on random pairs: equal tree-hom vectors exactly when
+// 1-WL cannot tell the graphs apart. Isomorphic (permuted) pairs and pairs
+// of same-degree regular graphs supply the indistinguishable side; generic
+// random pairs the distinguishable one.
+func TestTreeIndistinguishableMatchesWLOnRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	type pair struct{ g, h *graph.Graph }
+	var pairs []pair
+	for i := 0; i < 12; i++ {
+		g := graph.Random(4+rng.Intn(4), 0.45, rng)
+		pairs = append(pairs, pair{g, graph.Random(g.N(), 0.45, rng)})
+		pairs = append(pairs, pair{g, permuted(g, rng)})
+	}
+	// Same-degree regular graphs are 1-WL-equivalent whatever their
+	// structure; tree homs must agree too (hom(T, G) = n·d^{|E(T)|}).
+	for i := 0; i < 4; i++ {
+		pairs = append(pairs, pair{graph.RandomRegular(8, 3, rng), graph.RandomRegular(8, 3, rng)})
+	}
+	for i, p := range pairs {
+		wlSame := wlEquivalent(p.g, p.h)
+		homSame := TreeIndistinguishable(p.g, p.h)
+		if wlSame != homSame {
+			t.Fatalf("pair %d: WL equivalent=%v but tree-hom indistinguishable=%v\ng=%v\nh=%v",
+				i, wlSame, homSame, p.g, p.h)
+		}
+	}
+}
+
+// TestTreeIndistinguishabilityClassicPair pins the classic C6 vs 2·C3
+// example: 1-WL-equivalent (hence tree- and path-hom-indistinguishable) yet
+// separated by cycle homs and non-isomorphic.
+func TestTreeIndistinguishabilityClassicPair(t *testing.T) {
+	g, h := graph.WLIndistinguishablePair()
+	if !wlEquivalent(g, h) {
+		t.Error("C6 and 2C3 should be 1-WL equivalent")
+	}
+	if !TreeIndistinguishable(g, h) {
+		t.Error("C6 and 2C3 should be tree-hom indistinguishable (Theorem 4.4)")
+	}
+	if !PathIndistinguishable(g, h) {
+		t.Error("paths are trees: C6 and 2C3 must be path-hom indistinguishable")
+	}
+	if CycleIndistinguishable(g, h) {
+		t.Error("hom(C3, ·) separates C6 from 2C3 (0 vs 12)")
+	}
+	if graph.Isomorphic(g, h) {
+		t.Error("C6 and 2C3 are not isomorphic")
+	}
+}
+
+// TestPathIndistinguishabilityConsistency checks the containment hierarchy
+// on random pairs: tree equivalence implies path equivalence (paths ⊆
+// trees), isomorphic pairs are path-equivalent, and a path-hom difference
+// always certifies a tree-hom difference.
+func TestPathIndistinguishabilityConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for i := 0; i < 15; i++ {
+		g := graph.Random(4+rng.Intn(4), 0.45, rng)
+		var h *graph.Graph
+		if i%3 == 0 {
+			h = permuted(g, rng)
+		} else {
+			h = graph.Random(g.N(), 0.45, rng)
+		}
+		treeSame := TreeIndistinguishable(g, h)
+		pathSame := PathIndistinguishable(g, h)
+		if treeSame && !pathSame {
+			t.Fatalf("pair %d: tree-indistinguishable but path homs differ\ng=%v\nh=%v", i, g, h)
+		}
+		if i%3 == 0 && !pathSame {
+			t.Fatalf("pair %d: isomorphic graphs with different path homs", i)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package hom
+
+// Corpus API over the compiled-pattern engine: one Compile per class, n
+// evaluations across a linalg.ParallelFor worker pool with per-goroutine
+// pooled DP scratch — the homomorphism-side analogue of wl.RefineCorpus.
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// Vector returns hom(F, g) for every pattern of the compiled class,
+// bit-identical to hom.Vector on the same class (integer-exact targets; see
+// the package notes in compile.go).
+func (c *CompiledClass) Vector(g *graph.Graph) []float64 {
+	sc := scratchPool.Get().(*evalScratch)
+	out := make([]float64, len(c.pats))
+	c.vectorInto(sc, g, out)
+	scratchPool.Put(sc)
+	return out
+}
+
+// LogScaledVector returns the log(1+hom)/|F| embedding of Section 4 from
+// the compiled class, matching hom.LogScaledVector entry for entry.
+func (c *CompiledClass) LogScaledVector(g *graph.Graph) []float64 {
+	out := c.Vector(g)
+	c.logScaleInPlace(out)
+	return out
+}
+
+func (c *CompiledClass) logScaleInPlace(v []float64) {
+	for i, p := range c.pats {
+		v[i] = math.Log1p(v[i]) / float64(p.n)
+	}
+}
+
+// CorpusVectors evaluates the compiled class against a whole corpus: one
+// vector per graph, extracted across a GOMAXPROCS-sized worker pool with
+// per-goroutine scratch buffers. CorpusVectors(Compile(class), gs)[i] equals
+// Vector(class, gs[i]) for every i.
+func CorpusVectors(c *CompiledClass, gs []*graph.Graph) [][]float64 {
+	out := make([][]float64, len(gs))
+	linalg.ParallelFor(len(gs), func(i int) {
+		sc := scratchPool.Get().(*evalScratch)
+		v := make([]float64, len(c.pats))
+		c.vectorInto(sc, gs[i], v)
+		out[i] = v
+		scratchPool.Put(sc)
+	})
+	return out
+}
+
+// CorpusLogScaledVectors is CorpusVectors followed by the log(1+hom)/|F|
+// scaling, matching hom.LogScaledVector per graph.
+func CorpusLogScaledVectors(c *CompiledClass, gs []*graph.Graph) [][]float64 {
+	out := CorpusVectors(c, gs)
+	linalg.ParallelFor(len(out), func(i int) {
+		c.logScaleInPlace(out[i])
+	})
+	return out
+}

@@ -1,0 +1,303 @@
+package hom
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/treedec"
+)
+
+// bruteWeighted is the weighted brute-force oracle: the partition function
+// Σ_h Π_{uv ∈ E(F)} α(h(u), h(v)) over all label-respecting vertex maps. On
+// unweighted targets it coincides with BruteForce; with integer weights every
+// product and sum is exactly representable, so the fast paths must match it
+// bit for bit.
+func bruteWeighted(f, g *graph.Graph) float64 {
+	nf, ng := f.N(), g.N()
+	if nf == 0 {
+		return 1
+	}
+	if ng == 0 {
+		return 0
+	}
+	assign := make([]int, nf)
+	var total float64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nf {
+			w := 1.0
+			for _, e := range f.Edges() {
+				w *= g.EdgeWeight(assign[e.U], assign[e.V])
+				if w == 0 {
+					return
+				}
+			}
+			total += w
+			return
+		}
+		for v := 0; v < ng; v++ {
+			if f.VertexLabel(i) != 0 && f.VertexLabel(i) != g.VertexLabel(v) {
+				continue
+			}
+			assign[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return total
+}
+
+// randomConnectedPattern draws a random connected simple pattern on up to
+// maxN vertices: a random tree plus a few random chords, so the draw mixes
+// trees, cycles, and genuinely treewidth-≥2 patterns.
+func randomConnectedPattern(rng *rand.Rand, maxN int) *graph.Graph {
+	n := 2 + rng.Intn(maxN-1)
+	f := graph.RandomTree(n, rng)
+	for extra := rng.Intn(3); extra > 0; extra-- {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !f.HasEdge(u, v) {
+			f.AddEdge(u, v)
+		}
+	}
+	return f
+}
+
+// mutateTarget returns the target in one of three flavours: plain,
+// vertex-labelled, or integer-weighted (weights 1..3 keep all counts exact).
+func mutateTarget(g *graph.Graph, flavour int, rng *rand.Rand) *graph.Graph {
+	switch flavour {
+	case 1:
+		g = g.Clone()
+		for v := 0; v < g.N(); v++ {
+			g.SetVertexLabel(v, rng.Intn(3))
+		}
+	case 2:
+		w := graph.New(g.N())
+		for _, e := range g.Edges() {
+			w.AddWeightedEdge(e.U, e.V, float64(1+rng.Intn(3)))
+		}
+		g = w
+	}
+	return g
+}
+
+// TestDifferentialRandomPatterns pins Count and the compiled path to the
+// brute-force oracle on random connected patterns (≤7 vertices, sometimes
+// vertex-labelled) against random plain, labelled, and weighted targets.
+func TestDifferentialRandomPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	trials := 60
+	if testing.Short() {
+		trials = 20
+	}
+	for trial := 0; trial < trials; trial++ {
+		f := randomConnectedPattern(rng, 7)
+		if trial%3 == 1 {
+			for v := 0; v < f.N(); v++ {
+				f.SetVertexLabel(v, rng.Intn(3))
+			}
+		}
+		g := mutateTarget(graph.Random(5, 0.5, rng), trial%3, rng)
+		want := bruteWeighted(f, g)
+		if got := Count(f, g); got != want {
+			t.Fatalf("trial %d: Count(%v, %v)=%v, brute=%v", trial, f, g, got, want)
+		}
+		if got := Compile([]*graph.Graph{f}).Vector(g)[0]; got != want {
+			t.Fatalf("trial %d: compiled(%v, %v)=%v, brute=%v", trial, f, g, got, want)
+		}
+	}
+}
+
+// TestDifferentialDispatchBranches crosses every dispatch branch with every
+// applicable specialised counter AND the oracle: tree patterns through
+// CountTree, cycles through CountCycle and CountTD, dense patterns through
+// CountTD, each on plain / labelled / weighted targets.
+func TestDifferentialDispatchBranches(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	var trees []*graph.Graph
+	for n := 1; n <= 6; n++ {
+		trees = append(trees, graph.AllTrees(n)...)
+	}
+	var cycles []*graph.Graph
+	for k := 3; k <= 7; k++ {
+		cycles = append(cycles, graph.Cycle(k))
+	}
+	dense := []*graph.Graph{
+		graph.Complete(4), graph.Fig5Graph(), graph.Grid(2, 3),
+		graph.CompleteBipartite(2, 3), graph.Complete(5),
+	}
+	for flavour := 0; flavour < 3; flavour++ {
+		g := mutateTarget(graph.Random(5, 0.5, rng), flavour, rng)
+		for _, f := range trees {
+			want := bruteWeighted(f, g)
+			if got := CountTree(f, g); got != want {
+				t.Fatalf("flavour %d: CountTree(%v)=%v, brute=%v on %v", flavour, f, got, want, g)
+			}
+			if got := Count(f, g); got != want {
+				t.Fatalf("flavour %d: Count(tree %v)=%v, brute=%v", flavour, f, got, want)
+			}
+		}
+		for _, f := range cycles {
+			want := bruteWeighted(f, g)
+			if !g.HasVertexLabels() {
+				if got := CountCycle(f.N(), g); got != want {
+					t.Fatalf("flavour %d: CountCycle(%d)=%v, brute=%v on %v", flavour, f.N(), got, want, g)
+				}
+			}
+			if got := CountTD(f, g); got != want {
+				t.Fatalf("flavour %d: CountTD(cycle %d)=%v, brute=%v", flavour, f.N(), got, want)
+			}
+			if got := Count(f, g); got != want {
+				t.Fatalf("flavour %d: Count(cycle %d)=%v, brute=%v", flavour, f.N(), got, want)
+			}
+		}
+		for _, f := range dense {
+			want := bruteWeighted(f, g)
+			if got := CountTD(f, g); got != want {
+				t.Fatalf("flavour %d: CountTD(%v)=%v, brute=%v", flavour, f, got, want)
+			}
+			if got := Count(f, g); got != want {
+				t.Fatalf("flavour %d: Count(%v)=%v, brute=%v", flavour, f, got, want)
+			}
+		}
+		// The whole branch mix again through one compiled class.
+		all := append(append(append([]*graph.Graph{}, trees...), cycles...), dense...)
+		cc := Compile(all)
+		got := cc.Vector(g)
+		for i, f := range all {
+			if want := bruteWeighted(f, g); got[i] != want {
+				t.Fatalf("flavour %d: compiled pattern %d (%v)=%v, brute=%v", flavour, i, f, got[i], want)
+			}
+		}
+	}
+}
+
+// TestLoopPatternsCountInsteadOfPanicking is the regression test for the
+// self-loop edge assignment: a pattern with a self-loop used to panic
+// assignEdges ("edge not covered by decomposition") through hom.Count and
+// hom.Compile. A loop now contributes the target's loop weight (0 without a
+// loop, 1 per plain loop), matching the boolean brute-force oracle on
+// unweighted targets.
+func TestLoopPatternsCountInsteadOfPanicking(t *testing.T) {
+	loopy := graph.Complete(3)
+	loopy.AddEdge(0, 0)
+	single := graph.New(1)
+	single.AddEdge(0, 0)
+	patterns := []*graph.Graph{loopy, single}
+	k3loop := graph.Complete(3)
+	k3loop.AddEdge(0, 0)
+	targets := []*graph.Graph{graph.Complete(3), k3loop, graph.Cycle(4), graph.New(1)}
+	for pi, f := range patterns {
+		for ti, g := range targets {
+			want := BruteForce(f, g)
+			if got := Count(f, g); got != want {
+				t.Errorf("pattern %d target %d: Count=%v, brute=%v", pi, ti, got, want)
+			}
+			if got := Compile([]*graph.Graph{f}).Vector(g)[0]; got != want {
+				t.Errorf("pattern %d target %d: compiled=%v, brute=%v", pi, ti, got, want)
+			}
+		}
+	}
+}
+
+// TestOversizedPatternFallsBackInsteadOfPanicking is the regression test for
+// the treedec size-limit bugfix: a 24-vertex non-tree non-cycle pattern used
+// to panic the whole job through hom.Count (exact treewidth is capped at 20
+// vertices); now it falls back to the min-fill decomposition.
+func TestOversizedPatternFallsBackInsteadOfPanicking(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	f := graph.RandomTree(24, rng)
+	added := 0
+	for added < 2 {
+		u, v := rng.Intn(24), rng.Intn(24)
+		if u != v && !f.HasEdge(u, v) {
+			f.AddEdge(u, v)
+			added++
+		}
+	}
+	// A tree plus two chords has a low-degree vertex everywhere, so it is
+	// 3-colourable: hom into K3 must be strictly positive.
+	if got := Count(f, graph.Complete(3)); got <= 0 {
+		t.Fatalf("Count(oversized pattern, K3)=%v, want > 0", got)
+	}
+	if got := Compile([]*graph.Graph{f}).Vector(graph.Complete(3))[0]; got <= 0 {
+		t.Fatalf("compiled oversized pattern = %v, want > 0", got)
+	}
+}
+
+// TestOversizedPatternMatchesBruteForceOnK2 checks the fallback still counts
+// correctly: against a 2-vertex target the brute oracle stays feasible even
+// for a 23-vertex pattern.
+func TestOversizedPatternMatchesBruteForceOnK2(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	f := graph.RandomTree(23, rng)
+	for {
+		u, v := rng.Intn(23), rng.Intn(23)
+		if u != v && !f.HasEdge(u, v) {
+			f.AddEdge(u, v)
+			break
+		}
+	}
+	g := graph.Complete(2)
+	want := BruteForce(f, g)
+	if got := Count(f, g); got != want {
+		t.Fatalf("Count(23-vertex pattern, K2)=%v, brute=%v", got, want)
+	}
+}
+
+// TestLoopyTargetsMatchBruteForce pins the adjacency-diagonal loop
+// convention across the whole counting stack: on unweighted targets with
+// self-loops, trees (DP), cycles (trace), and dense patterns (treewidth DP)
+// must all agree with the boolean brute force.
+func TestLoopyTargetsMatchBruteForce(t *testing.T) {
+	target := graph.Cycle(4)
+	target.AddEdge(0, 0)
+	target.AddEdge(2, 2)
+	patterns := []*graph.Graph{
+		graph.Path(2), graph.Path(3), graph.Star(3), // trees
+		graph.Cycle(3), graph.Cycle(4), // cycles (trace path)
+		graph.Complete(4), graph.Fig5Graph(), // treewidth DP
+	}
+	cc := Compile(patterns)
+	vec := cc.Vector(target)
+	for i, f := range patterns {
+		want := BruteForce(f, target)
+		if got := Count(f, target); got != want {
+			t.Errorf("pattern %d (%v): Count=%v, brute=%v", i, f, got, want)
+		}
+		if vec[i] != want {
+			t.Errorf("pattern %d (%v): compiled=%v, brute=%v", i, f, vec[i], want)
+		}
+	}
+}
+
+// TestInfeasibleWidthFailsFast: a wide oversized pattern on a large target
+// would need a DP table beyond any feasible memory; the evaluator must fail
+// immediately with a descriptive panic rather than exhausting memory (or
+// overflowing the table size) deep into the allocation.
+func TestInfeasibleWidthFailsFast(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a descriptive panic for an infeasible DP width")
+		}
+	}()
+	// K22 exceeds the exact-treewidth cap (min-fill fallback, width 21);
+	// against a 1000-vertex target the third table already overflows the cap.
+	Count(graph.Complete(22), graph.New(1000))
+}
+
+// TestOversizedTreewidthSentinel pins the error-returning treedec API the
+// fallback is built on.
+func TestOversizedTreewidthSentinel(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	big := graph.RandomTree(treedec.MaxExactVertices+1, rng)
+	if _, err := treedec.ExactTreewidth(big); err != treedec.ErrTooLarge {
+		t.Fatalf("ExactTreewidth(n=%d) err=%v, want ErrTooLarge", big.N(), err)
+	}
+	small := graph.Cycle(5)
+	if w, err := treedec.ExactTreewidth(small); err != nil || w != 2 {
+		t.Fatalf("ExactTreewidth(C5) = %d, %v; want 2, nil", w, err)
+	}
+}

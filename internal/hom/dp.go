@@ -12,19 +12,24 @@ import (
 // programming over a nice tree decomposition of f, in time roughly
 // O(|nodes| · |V(g)|^{tw(f)+1}). Supports pattern vertex labels and weighted
 // targets (weights multiply per pattern edge, so unweighted graphs reduce to
-// plain counting).
+// plain counting). Patterns above treedec.MaxExactVertices use the min-fill
+// heuristic decomposition instead of the exact one — same counts, possibly a
+// slower DP — so oversized patterns of manageable width no longer panic the
+// whole job. The DP stays exponential in the decomposition width, so a wide
+// pattern on a large target can still be infeasible; that case fails fast
+// with a descriptive (recoverable) panic instead of exhausting memory.
+//
+// Each call compiles the decomposition program afresh; use Compile /
+// CorpusVectors to amortise that analysis across many targets.
 func CountTD(f, g *graph.Graph) float64 {
 	if f.N() == 0 {
 		return 1
 	}
-	dec := treedec.OptimalDecomposition(f)
-	root := buildNice(dec, f)
-	table := evalNice(root, f, g)
-	// Root bag is empty after the final forget chain: single entry.
-	if len(table) != 1 {
-		panic("hom: root table should have a single entry")
-	}
-	return table[0]
+	prog := compileTD(f)
+	sc := scratchPool.Get().(*evalScratch)
+	res := prog.eval(sc, g)
+	scratchPool.Put(sc)
+	return res
 }
 
 type niceKind int
@@ -112,7 +117,8 @@ func buildNice(dec *treedec.Decomposition, f *graph.Graph) *niceNode {
 
 // assignEdges gives each pattern edge to the first (lowest, post-order)
 // introduce node that can check it: the introduced vertex is an endpoint and
-// the other endpoint is in the bag.
+// the other endpoint is in the bag. Self-loops are checked where their
+// vertex is introduced.
 func assignEdges(root *niceNode, f *graph.Graph) {
 	type ekey struct{ u, v int }
 	unowned := map[ekey]int{} // normalised edge -> multiplicity
@@ -142,6 +148,11 @@ func assignEdges(root *niceNode, f *graph.Graph) {
 				n.owned = append(n.owned, [2]int{n.v, u})
 				unowned[k]--
 			}
+		}
+		lk := norm(n.v, n.v)
+		for unowned[lk] > 0 {
+			n.owned = append(n.owned, [2]int{n.v, n.v})
+			unowned[lk]--
 		}
 	}
 	walk(root)
@@ -187,70 +198,6 @@ func insert(bag []int, v int) []int {
 	return out
 }
 
-// evalNice evaluates the DP bottom-up. The returned table is indexed by the
-// mixed-radix encoding of the bag assignment: index = Σ pos(bag[i]) · n^i.
-func evalNice(node *niceNode, f, g *graph.Graph) []float64 {
-	n := g.N()
-	switch node.kind {
-	case leafNode:
-		return []float64{1}
-	case joinNode:
-		left := evalNice(node.children[0], f, g)
-		right := evalNice(node.children[1], f, g)
-		out := make([]float64, len(left))
-		for i := range left {
-			out[i] = left[i] * right[i]
-		}
-		return out
-	case introduceNode:
-		child := evalNice(node.children[0], f, g)
-		pos := indexOf(node.bag, node.v)
-		size := intPow(n, len(node.bag))
-		out := make([]float64, size)
-		childBag := remove(node.bag, node.v)
-		assign := make([]int, len(node.bag))
-		for idx := 0; idx < size; idx++ {
-			decode(idx, n, assign)
-			w := assign[pos]
-			if f.VertexLabel(node.v) != 0 && f.VertexLabel(node.v) != g.VertexLabel(w) {
-				continue
-			}
-			factor := 1.0
-			for _, e := range node.owned {
-				// e[0] == node.v, e[1] in bag.
-				other := assign[indexOf(node.bag, e[1])]
-				factor *= g.EdgeWeight(w, other)
-				if factor == 0 {
-					break
-				}
-			}
-			if factor == 0 {
-				continue
-			}
-			cidx := encodeSubset(assign, node.bag, childBag, n)
-			out[idx] = child[cidx] * factor
-		}
-		return out
-	case forgetNode:
-		child := evalNice(node.children[0], f, g)
-		childBag := insert(node.bag, node.v)
-		size := intPow(n, len(node.bag))
-		out := make([]float64, size)
-		cassign := make([]int, len(childBag))
-		csize := intPow(n, len(childBag))
-		for cidx := 0; cidx < csize; cidx++ {
-			if child[cidx] == 0 {
-				continue
-			}
-			decode(cidx, n, cassign)
-			pidx := encodeSubset(cassign, childBag, node.bag, n)
-			out[pidx] += child[cidx]
-		}
-		return out
-	}
-	panic("hom: unknown nice node kind")
-}
-
 func indexOf(bag []int, v int) int {
 	for i, x := range bag {
 		if x == v {
@@ -275,14 +222,4 @@ func decode(idx, n int, assign []int) {
 		assign[i] = idx % n
 		idx /= n
 	}
-}
-
-// encodeSubset re-encodes an assignment of srcBag restricted to dstBag
-// (dstBag ⊆ srcBag, both sorted).
-func encodeSubset(assign []int, srcBag, dstBag []int, n int) int {
-	idx := 0
-	for i := len(dstBag) - 1; i >= 0; i-- {
-		idx = idx*n + assign[indexOf(srcBag, dstBag[i])]
-	}
-	return idx
 }

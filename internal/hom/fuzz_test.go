@@ -1,0 +1,66 @@
+package hom
+
+// Native fuzz target for the counting stack: arbitrary byte strings decode
+// into a small pattern / target pair, and the Count dispatcher plus the
+// compiled engine must agree with the brute-force oracle exactly. CI runs
+// this with a short budget on every push.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// smallGraphFromBytes decodes bytes into an undirected graph on 1..5
+// vertices with optional vertex labels and (loops permitting) self-loops,
+// consuming at most the first bytes of data; it returns the graph and the
+// unconsumed tail.
+func smallGraphFromBytes(data []byte, loops bool) (*graph.Graph, []byte) {
+	if len(data) == 0 {
+		return graph.New(1), nil
+	}
+	n := int(data[0])%5 + 1
+	data = data[1:]
+	g := graph.New(n)
+	if len(data) > 0 && data[0]&1 == 1 {
+		data = data[1:]
+		for v := 0; v < n && v < len(data); v++ {
+			g.SetVertexLabel(v, int(data[v])%3)
+		}
+		if len(data) > n {
+			data = data[n:]
+		} else {
+			data = nil
+		}
+	} else if len(data) > 0 {
+		data = data[1:]
+	}
+	// Up to 10 edge pairs, skipping duplicates (and loops when disallowed).
+	consumed := 0
+	for consumed+1 < len(data) && consumed < 20 {
+		u := int(data[consumed]) % n
+		v := int(data[consumed+1]) % n
+		consumed += 2
+		if (u != v || loops) && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g, data[consumed:]
+}
+
+func FuzzCountSmallPattern(f *testing.F) {
+	f.Add([]byte{3, 0, 0, 1, 1, 2, 2, 0, 4, 0, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{4, 1, 1, 2, 0, 0, 0, 1, 1, 2, 2, 3, 4, 0, 0, 1})
+	f.Add([]byte{5, 0, 0, 1, 0, 2, 0, 3, 0, 4, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pattern, rest := smallGraphFromBytes(data, true)
+		target, _ := smallGraphFromBytes(rest, true)
+		want := BruteForce(pattern, target)
+		if got := Count(pattern, target); got != want {
+			t.Fatalf("Count(%v, %v)=%v, brute=%v", pattern, target, got, want)
+		}
+		if got := Compile([]*graph.Graph{pattern}).Vector(target)[0]; got != want {
+			t.Fatalf("compiled(%v, %v)=%v, brute=%v", pattern, target, got, want)
+		}
+	})
+}

@@ -24,7 +24,10 @@ func CountTree(t, g *graph.Graph) float64 {
 
 // CountTreeRooted returns, for each target vertex v, the number (or weighted
 // sum) of homomorphisms from t to g mapping root r to v — the rooted
-// homomorphism vector entries hom(t, g; r -> v) of Section 4.4.
+// homomorphism vector entries hom(t, g; r -> v) of Section 4.4. Target
+// self-loops contribute their adjacency-matrix diagonal weight (an
+// undirected loop's two arcs are halved), keeping the tree DP consistent
+// with the trace formulas, the treewidth DP, and the boolean brute force.
 func CountTreeRooted(t *graph.Graph, r int, g *graph.Graph) []float64 {
 	n := g.N()
 	// Build rooted structure: BFS from r.
@@ -62,7 +65,11 @@ func CountTreeRooted(t *graph.Graph, r int, g *graph.Graph) []float64 {
 				}
 				var sum float64
 				for _, a := range g.Arcs(v) {
-					sum += g.Edges()[a.Edge].Weight * cnt[w][a.To]
+					aw := g.Edges()[a.Edge].Weight
+					if a.To == v && !g.Directed() {
+						aw *= 0.5 // undirected self-loop: both arcs carry the full weight
+					}
+					sum += aw * cnt[w][a.To]
 				}
 				prod *= sum
 				if prod == 0 {

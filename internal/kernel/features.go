@@ -150,6 +150,39 @@ func (k HomVector) Features(g *graph.Graph) linalg.SparseVector {
 	} else {
 		dense = scaledHomVector(class, g)
 	}
+	return denseToSparse(dense)
+}
+
+// CorpusFeatures implements CorpusFeatureKernel: the pattern class compiles
+// once (component split, dispatch decision, nice tree decompositions), and
+// the whole corpus evaluates through hom.CorpusVectors on a worker pool with
+// pooled DP scratch — no per-call decomposition rebuilds, no per-table
+// reallocation. Scaling replays the Features formulas on the same counts, so
+// corpus vectors equal per-graph Features coordinate for coordinate.
+func (k HomVector) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
+	class := k.class()
+	cc := hom.Compile(class)
+	var dense [][]float64
+	if k.Log {
+		dense = hom.CorpusLogScaledVectors(cc, gs)
+	} else {
+		dense = hom.CorpusVectors(cc, gs)
+		linalg.ParallelFor(len(dense), func(i int) {
+			for j, f := range class {
+				sz := float64(f.N())
+				dense[i][j] /= math.Pow(sz, sz)
+			}
+		})
+	}
+	feats := make([]linalg.SparseVector, len(gs))
+	linalg.ParallelFor(len(gs), func(i int) {
+		feats[i] = denseToSparse(dense[i])
+	})
+	return feats
+}
+
+// denseToSparse drops zero coordinates of a dense feature vector.
+func denseToSparse(dense []float64) linalg.SparseVector {
 	out := make(linalg.SparseVector)
 	for i, v := range dense {
 		if v != 0 {

@@ -124,7 +124,13 @@ func TestGramExtractsFeaturesOncePerGraph(t *testing.T) {
 // colour store is process-globally canonical, so ids must agree).
 func TestCorpusFeaturesMatchSingleGraphFeatures(t *testing.T) {
 	gs := mixedLabelCorpus(t, 14, 76)
-	for _, k := range []CorpusFeatureKernel{WLSubtree{Rounds: 4}, WLDiscounted{Horizon: 5}} {
+	corpusKernels := []CorpusFeatureKernel{
+		WLSubtree{Rounds: 4},
+		WLDiscounted{Horizon: 5},
+		HomVector{Class: hom.StandardClass()},
+		HomVector{Class: hom.StandardClass(), Log: true},
+	}
+	for _, k := range corpusKernels {
 		batch := k.CorpusFeatures(gs)
 		if len(batch) != len(gs) {
 			t.Fatalf("%s: %d corpus vectors for %d graphs", k.Name(), len(batch), len(gs))

@@ -3,15 +3,33 @@
 // over elimination orders; decompositions are built from elimination orders
 // via the fill-in construction, and can be converted to "nice" form for the
 // homomorphism-counting DP in package hom.
+//
+// Size limits: the exact treewidth DP is exponential in the vertex count and
+// is capped at MaxExactVertices (20); the bitmask machinery behind it caps
+// graphs at 32 vertices, and exact tree-depth at 16. Beyond MaxExactVertices,
+// OptimalDecomposition degrades gracefully to the min-fill heuristic (still a
+// valid decomposition, possibly of suboptimal width) instead of panicking, so
+// a corpus job counting homomorphisms of an oversized pattern keeps running
+// as long as the resulting width stays manageable (downstream dynamic
+// programs fail fast on infeasible widths); callers that need the exact
+// number can use ExactTreewidth and handle ErrTooLarge.
 package treedec
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
 
 	"repro/internal/graph"
 )
+
+// MaxExactVertices is the largest graph order for which the exact treewidth
+// dynamic program (and hence an optimal-width decomposition) is computed.
+const MaxExactVertices = 20
+
+// ErrTooLarge reports that a graph exceeds the exact-computation size limit.
+var ErrTooLarge = errors.New("treedec: graph exceeds exact treewidth limit")
 
 // Decomposition is a tree decomposition: Bags[i] is the vertex set of node
 // i, Tree lists the decomposition-tree edges.
@@ -122,15 +140,26 @@ func containsAll(xs []int, vs ...int) bool {
 	return true
 }
 
-// Treewidth returns the exact treewidth of g (n <= 20) via the subset DP
-// over elimination orders.
+// Treewidth returns the exact treewidth of g (n <= MaxExactVertices) via the
+// subset DP over elimination orders. It panics on oversized graphs; use
+// ExactTreewidth for an error-returning variant.
 func Treewidth(g *graph.Graph) int {
+	w, err := ExactTreewidth(g)
+	if err != nil {
+		panic(fmt.Sprintf("treedec: exact treewidth limited to n <= %d", MaxExactVertices))
+	}
+	return w
+}
+
+// ExactTreewidth returns the exact treewidth of g, or ErrTooLarge when g has
+// more than MaxExactVertices vertices (the subset DP is exponential in n).
+func ExactTreewidth(g *graph.Graph) (int, error) {
 	n := g.N()
 	if n == 0 {
-		return -1
+		return -1, nil
 	}
-	if n > 20 {
-		panic("treedec: exact treewidth limited to n <= 20")
+	if n > MaxExactVertices {
+		return 0, ErrTooLarge
 	}
 	adjMask := adjacencyMasks(g)
 	// dp[S] = minimal width achievable when the vertices of S have been
@@ -164,7 +193,7 @@ func Treewidth(g *graph.Graph) int {
 			}
 		}
 	}
-	return int(dp[size-1])
+	return int(dp[size-1]), nil
 }
 
 // reachDegree counts vertices outside s∪{v} adjacent to v directly or via
@@ -365,12 +394,18 @@ func Decompose(g *graph.Graph, order []int) *Decomposition {
 
 // OptimalDecomposition returns a tree decomposition of exact minimal width
 // for small graphs by searching elimination orders with branch and bound
-// seeded by min-fill.
+// seeded by min-fill. Graphs above MaxExactVertices fall back to the plain
+// min-fill heuristic decomposition — always valid, possibly wider than
+// optimal — so downstream dynamic programs (hom.CountTD on an oversized
+// pattern) degrade in speed rather than panicking.
 func OptimalDecomposition(g *graph.Graph) *Decomposition {
 	n := g.N()
-	target := Treewidth(g)
 	if n == 0 {
 		return &Decomposition{Bags: [][]int{{}}}
+	}
+	target, err := ExactTreewidth(g)
+	if err != nil {
+		return Decompose(g, MinFillOrder(g))
 	}
 	// Branch and bound over orders, pruning when induced width exceeds the
 	// known optimum.

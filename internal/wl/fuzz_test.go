@@ -1,0 +1,69 @@
+package wl
+
+// Native fuzz target for the worklist refinement: arbitrary byte strings
+// decode into (possibly directed, edge-labelled, vertex-labelled) graphs,
+// and RefineFast's stable partition must always equal the signature-based
+// Refine fixpoint. CI runs this with a short budget on every push.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// graphFromBytes decodes an arbitrary byte string into a small graph:
+// byte 0 picks the order (1..12), byte 1 the directedness, then vertex
+// labels, then (u, v, edge label) triples. Every input decodes to some
+// graph, so the fuzzer explores the full structure space.
+func graphFromBytes(data []byte) *graph.Graph {
+	if len(data) < 2 {
+		return graph.New(1)
+	}
+	n := int(data[0])%12 + 1
+	directed := data[1]&1 == 1
+	var g *graph.Graph
+	if directed {
+		g = graph.NewDirected(n)
+	} else {
+		g = graph.New(n)
+	}
+	rest := data[2:]
+	labelled := len(rest) > 0 && rest[0]&1 == 1
+	if len(rest) > 0 {
+		rest = rest[1:]
+	}
+	if labelled {
+		for v := 0; v < n && v < len(rest); v++ {
+			g.SetVertexLabel(v, int(rest[v])%3)
+		}
+		if len(rest) > n {
+			rest = rest[n:]
+		} else {
+			rest = nil
+		}
+	}
+	for i := 0; i+2 < len(rest) && g.M() < 40; i += 3 {
+		u := int(rest[i]) % n
+		v := int(rest[i+1]) % n
+		if u == v {
+			continue
+		}
+		g.AddLabeledEdge(u, v, int(rest[i+2])%3)
+	}
+	return g
+}
+
+func FuzzRefineFast(f *testing.F) {
+	f.Add([]byte{6, 0, 0, 0, 1, 0, 1, 2, 1, 2, 3, 0})
+	f.Add([]byte{5, 1, 1, 1, 0, 2, 0, 1, 2, 3, 4, 0, 1, 2})
+	f.Add([]byte{12, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromBytes(data)
+		fast := RefineFast(g)
+		ref := Refine(g)
+		if !SamePartition(fast, ref.Colors) {
+			t.Fatalf("RefineFast partition diverges from Refine on %v:\nfast=%v\nref =%v",
+				g, fast, ref.Colors)
+		}
+	})
+}
