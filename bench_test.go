@@ -19,6 +19,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/similarity"
 	"repro/internal/wl"
+	"repro/internal/word2vec"
 )
 
 func runExperiment(b *testing.B, f func(io.Writer) experiments.Result) {
@@ -78,8 +79,8 @@ func BenchmarkE20KernelEfficiency(b *testing.B) {
 		if !r.Passed {
 			b.Fatalf("E20 failed: %s", r.Notes)
 		}
-		if len(rows) != 8 {
-			b.Fatal("E20 should time 4 kernels plus the contention and hom-engine rows")
+		if len(rows) != 11 {
+			b.Fatal("E20 should time 4 kernels plus the contention, hom-engine, and sgns rows")
 		}
 	}
 }
@@ -371,4 +372,87 @@ func benchWorld(rng *rand.Rand) ([]kge.Triple, int, int) {
 			kge.Triple{currency, 2, country})
 	}
 	return triples, ne, 3
+}
+
+// --- Hogwild SGNS benchmarks: the Section 2/5 learned-embedding engine ---
+//
+// The legacy baseline is the original scalar trainer (per-pair gradient
+// allocation, exact sigmoid, 64K unigram table); the engine trains the same
+// walk corpus on flat matrices with pooled scratch, a sigmoid LUT and an
+// alias negative sampler — sequentially (Workers: 1, the deterministic
+// reference) and Hogwild across GOMAXPROCS lock-free workers. CI runs these
+// at -benchtime=1x as a smoke job (BENCH_SGNS.json artifact).
+
+func benchWalkCorpus() ([][]int, int) {
+	rng := rand.New(rand.NewSource(47))
+	g := graph.Random(150, 0.06, rng)
+	walks := embed.RandomWalks(g,
+		embed.WalkConfig{WalksPerNode: 10, WalkLength: 40, P: 1, Q: 1}, rng)
+	return walks, g.N()
+}
+
+func benchSGNSConfig() word2vec.Config {
+	cfg := word2vec.DefaultConfig()
+	cfg.Epochs = 2
+	return cfg
+}
+
+func BenchmarkSGNSLegacySequential(b *testing.B) {
+	walks, vocab := benchWalkCorpus()
+	cfg := benchSGNSConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		word2vec.TrainLegacy(walks, vocab, cfg, rand.New(rand.NewSource(48)))
+	}
+}
+
+func BenchmarkSGNSEngineSequential(b *testing.B) {
+	walks, vocab := benchWalkCorpus()
+	cfg := benchSGNSConfig()
+	cfg.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		word2vec.Train(walks, vocab, cfg, rand.New(rand.NewSource(48)))
+	}
+}
+
+func BenchmarkSGNSEngineHogwild(b *testing.B) {
+	walks, vocab := benchWalkCorpus()
+	cfg := benchSGNSConfig()
+	cfg.Workers = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		word2vec.Train(walks, vocab, cfg, rand.New(rand.NewSource(48)))
+	}
+}
+
+// Walk-generation benchmarks: the legacy sampler allocated and renormalised
+// a weight slice per step on one goroutine; the walk engine snapshots the
+// graph into CSR form once and fans the corpus out over linalg.ParallelFor
+// with per-walk counter-based PRNGs (rejection sampling for the (p,q)
+// bias).
+
+func benchWalkGraph() *graph.Graph {
+	return graph.Random(300, 0.05, rand.New(rand.NewSource(49)))
+}
+
+func BenchmarkRandomWalksUniform300(b *testing.B) {
+	g := benchWalkGraph()
+	cfg := embed.WalkConfig{WalksPerNode: 10, WalkLength: 40, P: 1, Q: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		embed.RandomWalks(g, cfg, rand.New(rand.NewSource(50)))
+	}
+}
+
+func BenchmarkRandomWalksNode2vecBias300(b *testing.B) {
+	g := benchWalkGraph()
+	cfg := embed.WalkConfig{WalksPerNode: 10, WalkLength: 40, P: 0.25, Q: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		embed.RandomWalks(g, cfg, rand.New(rand.NewSource(50)))
+	}
 }

@@ -10,6 +10,9 @@
 //	                                             one compiled corpus pass for all files
 //	x2vec [-rounds T] kernel NAME A B            kernel value between two graphs (wl, sp, graphlet, hom)
 //	x2vec embed METHOD FILE                      node embedding (adjacency, distance, node2vec, deepwalk)
+//	x2vec node2vec [-d D] [-p P] [-q Q] [-workers N] FILE
+//	                                             node2vec on the Hogwild SGNS engine (-workers 1 is
+//	                                             deterministic, 0 uses GOMAXPROCS lock-free workers)
 //	x2vec dist NORM A B                          aligned distance (frobenius, l1, cut) — small graphs only
 //
 // -rounds sets the WL refinement depth (-1, the default, refines to
@@ -64,6 +67,8 @@ func main() {
 		err = cmdKernel(args[1:], *rounds)
 	case "embed":
 		err = cmdEmbed(args[1:])
+	case "node2vec":
+		err = cmdNode2Vec(args[1:])
 	case "dist":
 		err = cmdDist(args[1:])
 	default:
@@ -76,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|homvec|kernel|embed|dist} ...")
+	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|homvec|kernel|embed|node2vec|dist} ...")
 	os.Exit(2)
 }
 
@@ -271,6 +276,37 @@ func cmdEmbed(args []string) error {
 	default:
 		return fmt.Errorf("unknown method %q", args[0])
 	}
+	for v := 0; v < g.N(); v++ {
+		fmt.Printf("%d", v)
+		for _, x := range e.Vector(v) {
+			fmt.Printf(" %.4f", x)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// cmdNode2Vec is the learned-embedding face of the Hogwild SGNS engine:
+// (p,q)-biased walks generated in parallel, trained by sgns through
+// embed.Node2VecWorkers. -workers 1 selects the deterministic sequential
+// mode; 0 trains lock-free across GOMAXPROCS workers.
+func cmdNode2Vec(args []string) error {
+	fs := flag.NewFlagSet("node2vec", flag.ContinueOnError)
+	d := fs.Int("d", 8, "embedding dimension")
+	p := fs.Float64("p", 1, "return parameter (bias towards revisiting the previous vertex)")
+	q := fs.Float64("q", 1, "in-out parameter (bias towards leaving the previous neighbourhood)")
+	workers := fs.Int("workers", 0, "SGNS worker count: 0 = GOMAXPROCS Hogwild, 1 = deterministic")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: x2vec node2vec [-d D] [-p P] [-q Q] [-workers N] FILE")
+	}
+	g, err := loadGraph(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	e := embed.Node2VecWorkers(g, *d, *p, *q, *workers, rand.New(rand.NewSource(1)))
 	for v := 0; v < g.N(); v++ {
 		fmt.Printf("%d", v)
 		for _, x := range e.Vector(v) {

@@ -91,6 +91,10 @@ func TestSubcommands(t *testing.T) {
 		{"kernel-rounds", func() error { return cmdKernel([]string{"wl", triangle, square}, 2) }},
 		{"kernel-hom", func() error { return cmdKernel([]string{"hom", triangle, square}, -1) }},
 		{"embed", func() error { return cmdEmbed([]string{"adjacency", triangle}) }},
+		{"node2vec", func() error { return cmdNode2Vec([]string{hexagon}) }},
+		{"node2vec-flags", func() error {
+			return cmdNode2Vec([]string{"-d", "4", "-p", "0.5", "-q", "2", "-workers", "1", hexagon})
+		}},
 		{"dist", func() error { return cmdDist([]string{"frobenius", triangle, hexagon}) }},
 	}
 	for _, tc := range cases {
@@ -113,6 +117,9 @@ func TestSubcommandErrors(t *testing.T) {
 	}
 	if err := cmdWL([]string{}, -1); err == nil {
 		t.Error("missing args should error")
+	}
+	if err := cmdNode2Vec([]string{}); err == nil {
+		t.Error("node2vec without a file should error")
 	}
 	if err := cmdHomVec([]string{}); err == nil {
 		t.Error("homvec without files should error")

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/linalg"
+	"repro/internal/sgns"
 	"repro/internal/word2vec"
 )
 
@@ -96,20 +97,40 @@ type WalkConfig struct {
 // RandomWalks samples second-order biased random walks in the node2vec
 // sense: the unnormalised probability of stepping from v to x, having
 // arrived from t, is 1/P if x = t, 1 if x is adjacent to t, and 1/Q
-// otherwise. P = Q = 1 yields uniform walks (DeepWalk).
+// otherwise. P = Q = 1 yields uniform walks (DeepWalk); non-unit edge
+// weights bias the first-order proposal in proportion.
+//
+// Generation fans out over linalg.ParallelFor: the graph is snapshotted
+// once into the walk engine's CSR form (per-vertex alias tables when
+// weighted, rejection sampling for the (P, Q) bias — see walks.go), and
+// every walk runs on its own counter-based PRNG seeded from (rng, walk
+// index). The corpus is therefore deterministic for a fixed rng seed, with
+// walks in (start vertex, repeat) order, regardless of worker scheduling.
 func RandomWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]int {
-	var corpus [][]int
-	for start := 0; start < g.N(); start++ {
-		for w := 0; w < cfg.WalksPerNode; w++ {
-			walk := biasedWalk(g, start, cfg, rng)
-			if len(walk) > 1 {
-				corpus = append(corpus, walk)
-			}
+	n := g.N()
+	if n == 0 || cfg.WalksPerNode <= 0 {
+		return nil
+	}
+	wk := newWalker(g, cfg.P, cfg.Q)
+	base := uint64(rng.Int63())
+	total := n * cfg.WalksPerNode
+	walks := make([][]int, total)
+	linalg.ParallelFor(total, func(i int) {
+		r := sgns.NewFastRand(base ^ (uint64(i+1) * 0xd1342543de82ef95))
+		walks[i] = wk.walk(i/cfg.WalksPerNode, cfg.WalkLength, r)
+	})
+	corpus := make([][]int, 0, total)
+	for _, w := range walks {
+		if len(w) > 1 {
+			corpus = append(corpus, w)
 		}
 	}
 	return corpus
 }
 
+// biasedWalk is the legacy sequential walk sampler: a weight slice is
+// allocated and renormalised at every step. It is kept as the distribution
+// oracle for the walk engine's rejection sampler (see walks_test.go).
 func biasedWalk(g *graph.Graph, start int, cfg WalkConfig, rng *rand.Rand) []int {
 	walk := []int{start}
 	if g.Degree(start) == 0 {
@@ -163,12 +184,23 @@ func DeepWalk(g *graph.Graph, d int, rng *rand.Rand) *NodeEmbedding {
 }
 
 // Node2Vec embeds nodes by SGNS over (p,q)-biased walks (Grover-Leskovec),
-// the Figure 2(c) method.
+// the Figure 2(c) method. It trains in the engine's sequential mode so the
+// result stays a pure function of the rng seed (core.Node2VecEmbedder and
+// the seeded experiments rely on that); use Node2VecWorkers to opt into
+// Hogwild parallel training.
 func Node2Vec(g *graph.Graph, d int, p, q float64, rng *rand.Rand) *NodeEmbedding {
+	return Node2VecWorkers(g, d, p, q, 1, rng)
+}
+
+// Node2VecWorkers is Node2Vec with an explicit SGNS worker count: 0 uses
+// GOMAXPROCS Hogwild workers, 1 trains sequentially and is bit-reproducible
+// for a fixed rng seed (walk generation is deterministic either way).
+func Node2VecWorkers(g *graph.Graph, d int, p, q float64, workers int, rng *rand.Rand) *NodeEmbedding {
 	walks := RandomWalks(g, WalkConfig{WalksPerNode: 10, WalkLength: 20, P: p, Q: q}, rng)
 	cfg := word2vec.DefaultConfig()
 	cfg.Dim = d
 	cfg.Window = 5
+	cfg.Workers = workers
 	model := word2vec.Train(walks, g.N(), cfg, rng)
 	x := linalg.NewMatrix(g.N(), d)
 	for v := 0; v < g.N(); v++ {

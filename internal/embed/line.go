@@ -1,11 +1,11 @@
 package embed
 
 import (
-	"math"
 	"math/rand"
 
 	"repro/internal/graph"
 	"repro/internal/linalg"
+	"repro/internal/sgns"
 )
 
 // LINE implements the first-order proximity variant of the LINE embedding
@@ -13,52 +13,39 @@ import (
 // vectors, trained by logistic loss with negative sampling over edges —
 // matrix factorisation of the adjacency matrix in disguise, without random
 // walks.
+//
+// It runs on the shared sgns engine: every edge becomes a two-token
+// "sentence" [u, v], trained skip-gram with window 1 and a single Shared
+// vector set (first-order LINE has no separate context matrix), in the
+// engine's sequential mode so the result stays a pure function of the rng
+// seed like every other rng-taking embedding here. Token frequency equals
+// vertex degree, so the engine's alias sampler draws negatives from the
+// degree^0.75 distribution of the original LINE paper.
 func LINE(g *graph.Graph, d, epochs int, lr float64, rng *rand.Rand) *NodeEmbedding {
 	n := g.N()
 	vec := linalg.NewMatrix(n, d)
-	for i := range vec.Data {
-		vec.Data[i] = (rng.Float64()*2 - 1) * 0.5 / float64(d)
-	}
-	edges := g.Edges()
-	if len(edges) == 0 {
+	if n == 0 {
 		return &NodeEmbedding{Vectors: vec, Method: "line"}
 	}
-	const negative = 5
-	for e := 0; e < epochs; e++ {
-		for _, edge := range edges {
-			lineUpdate(vec, edge.U, edge.V, 1, lr)
-			for k := 0; k < negative; k++ {
-				w := rng.Intn(n)
-				if w != edge.V && !g.HasEdge(edge.U, w) {
-					lineUpdate(vec, edge.U, w, 0, lr)
-				}
-			}
-		}
+	edges := g.Edges()
+	sents := make([][]int, len(edges))
+	flat := make([]int, 2*len(edges))
+	for i, e := range edges {
+		s := flat[2*i : 2*i+2]
+		s[0], s[1] = e.U, e.V
+		sents[i] = s
 	}
+	m := sgns.Train(sents, n, sgns.Config{
+		Dim:             d,
+		Window:          1,
+		Negative:        5,
+		LearningRate:    lr,
+		MinLearningRate: lr / 100,
+		Epochs:          epochs,
+		UnigramPower:    0.75,
+		Workers:         1,
+		Shared:          true,
+	}, rng.Int63())
+	copy(vec.Data, m.In)
 	return &NodeEmbedding{Vectors: vec, Method: "line"}
-}
-
-func lineUpdate(vec *linalg.Matrix, u, v int, label, lr float64) {
-	a, b := vec.Row(u), vec.Row(v)
-	var dot float64
-	for i := range a {
-		dot += a[i] * b[i]
-	}
-	p := 1 / (1 + math.Exp(-clamp(dot)))
-	g := (label - p) * lr
-	for i := range a {
-		ai := a[i]
-		a[i] += g * b[i]
-		b[i] += g * ai
-	}
-}
-
-func clamp(x float64) float64 {
-	if x > 30 {
-		return 30
-	}
-	if x < -30 {
-		return -30
-	}
-	return x
 }

@@ -1,0 +1,208 @@
+package embed
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sgns"
+)
+
+// The walk engine behind RandomWalks: a CSR adjacency snapshot with sorted
+// neighbour lists, per-vertex alias tables for weighted proposal sampling,
+// and rejection sampling for the node2vec second-order (p, q) bias — the
+// legacy path allocated and renormalised a weight slice at every step. Each
+// walk runs on its own counter-based PRNG seeded from (base, walk index),
+// so a parallel corpus is deterministic for a fixed seed regardless of how
+// the scheduler interleaves workers.
+
+// walker holds the preprocessed graph for biased random walks.
+type walker struct {
+	offsets []int32       // n+1 CSR offsets into nbrs/wts
+	nbrs    []int32       // neighbour lists, sorted per vertex (binary-searchable)
+	wts     []float64     // edge weights aligned with nbrs; nil when all are 1
+	alias   []*sgns.Alias // per-vertex proposal tables; nil when unweighted
+	p, q    float64
+	biased  bool    // (p, q) != (1, 1): second-order bias active
+	maxBias float64 // max(1/p, 1, 1/q), the rejection envelope
+}
+
+// rejectionTries bounds the rejection-sampling loop before falling back to
+// the exact weighted scan; with reasonable (p, q) the expected number of
+// proposals is a small constant, the fallback only matters for extreme
+// bias ratios on adversarial neighbourhoods.
+const rejectionTries = 32
+
+func newWalker(g *graph.Graph, p, q float64) *walker {
+	if p <= 0 {
+		p = 1
+	}
+	if q <= 0 {
+		q = 1
+	}
+	n := g.N()
+	w := &walker{offsets: make([]int32, n+1), p: p, q: q, biased: p != 1 || q != 1}
+	w.maxBias = 1
+	if 1/p > w.maxBias {
+		w.maxBias = 1 / p
+	}
+	if 1/q > w.maxBias {
+		w.maxBias = 1 / q
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(g.Arcs(v))
+	}
+	w.nbrs = make([]int32, 0, total)
+	edges := g.Edges()
+	weighted := false
+	wts := make([]float64, 0, total)
+	for v := 0; v < n; v++ {
+		arcs := g.Arcs(v)
+		start := len(w.nbrs)
+		for _, a := range arcs {
+			w.nbrs = append(w.nbrs, int32(a.To))
+			wt := edges[a.Edge].Weight
+			if wt != 1 {
+				weighted = true
+			}
+			wts = append(wts, wt)
+		}
+		seg := w.nbrs[start:]
+		segW := wts[start:]
+		sort.Sort(&nbrSort{seg, segW})
+		w.offsets[v+1] = int32(len(w.nbrs))
+	}
+	if weighted {
+		w.wts = wts
+		w.alias = make([]*sgns.Alias, n)
+		for v := 0; v < n; v++ {
+			lo, hi := w.offsets[v], w.offsets[v+1]
+			if lo < hi {
+				w.alias[v] = sgns.NewAlias(wts[lo:hi])
+			}
+		}
+	}
+	return w
+}
+
+// nbrSort sorts a neighbour segment and its weights in lockstep.
+type nbrSort struct {
+	n []int32
+	w []float64
+}
+
+func (s *nbrSort) Len() int           { return len(s.n) }
+func (s *nbrSort) Less(i, j int) bool { return s.n[i] < s.n[j] }
+func (s *nbrSort) Swap(i, j int) {
+	s.n[i], s.n[j] = s.n[j], s.n[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// adjacent reports whether x is a neighbour of v, by binary search in v's
+// sorted neighbour list.
+func (w *walker) adjacent(v, x int) bool {
+	lo, hi := int(w.offsets[v]), int(w.offsets[v+1])
+	t := int32(x)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case w.nbrs[mid] < t:
+			lo = mid + 1
+		case w.nbrs[mid] > t:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// bias is the node2vec second-order factor for stepping to x having
+// arrived at the current vertex from prev.
+func (w *walker) bias(x, prev int) float64 {
+	switch {
+	case x == prev:
+		return 1 / w.p
+	case w.adjacent(prev, x):
+		return 1
+	default:
+		return 1 / w.q
+	}
+}
+
+// propose draws a neighbour of cur from the first-order distribution:
+// uniform on an unweighted graph, edge-weight alias table otherwise.
+func (w *walker) propose(cur int, rng *sgns.FastRand) int {
+	lo := int(w.offsets[cur])
+	deg := int(w.offsets[cur+1]) - lo
+	if w.alias == nil {
+		return int(w.nbrs[lo+rng.Intn(deg)])
+	}
+	return int(w.nbrs[lo+w.alias[cur].Pick(rng.Intn(deg), rng.Float64())])
+}
+
+// step samples the next vertex, or returns -1 at a sink. The biased case
+// proposes from the first-order distribution and accepts with probability
+// bias/maxBias — O(1) per accepted step, no per-step weight slice.
+func (w *walker) step(cur, prev int, rng *sgns.FastRand) int {
+	if w.offsets[cur+1] == w.offsets[cur] {
+		return -1
+	}
+	if prev < 0 || !w.biased {
+		return w.propose(cur, rng)
+	}
+	for try := 0; try < rejectionTries; try++ {
+		x := w.propose(cur, rng)
+		if rng.Float64()*w.maxBias <= w.bias(x, prev) {
+			return x
+		}
+	}
+	return w.exactStep(cur, prev, rng)
+}
+
+// exactStep is the allocation-free exact fallback: two passes over the
+// neighbour segment, weighting each candidate by edge weight times bias.
+func (w *walker) exactStep(cur, prev int, rng *sgns.FastRand) int {
+	lo, hi := int(w.offsets[cur]), int(w.offsets[cur+1])
+	var total float64
+	for i := lo; i < hi; i++ {
+		wt := 1.0
+		if w.wts != nil {
+			wt = w.wts[i]
+		}
+		total += wt * w.bias(int(w.nbrs[i]), prev)
+	}
+	r := rng.Float64() * total
+	var acc float64
+	for i := lo; i < hi; i++ {
+		wt := 1.0
+		if w.wts != nil {
+			wt = w.wts[i]
+		}
+		acc += wt * w.bias(int(w.nbrs[i]), prev)
+		if r <= acc {
+			return int(w.nbrs[i])
+		}
+	}
+	return int(w.nbrs[hi-1])
+}
+
+// walk samples one walk of up to length vertices from start (always at
+// least the start vertex itself, matching the legacy sampler).
+func (w *walker) walk(start, length int, rng *sgns.FastRand) []int {
+	if length < 1 {
+		length = 1
+	}
+	walk := make([]int, 1, length)
+	walk[0] = start
+	cur, prev := start, -1
+	for len(walk) < length {
+		next := w.step(cur, prev, rng)
+		if next < 0 {
+			break
+		}
+		walk = append(walk, next)
+		prev, cur = cur, next
+	}
+	return walk
+}

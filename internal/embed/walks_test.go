@@ -1,0 +1,159 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sgns"
+)
+
+// Parallel walk generation must be deterministic for a fixed seed: the
+// per-walk counter-based PRNGs depend only on (seed, walk index), never on
+// worker scheduling.
+func TestRandomWalksDeterministic(t *testing.T) {
+	g, _ := graph.SBM([]int{15, 15}, 0.6, 0.05, rand.New(rand.NewSource(90)))
+	cfg := WalkConfig{WalksPerNode: 5, WalkLength: 12, P: 0.5, Q: 2}
+	a := RandomWalks(g, cfg, rand.New(rand.NewSource(91)))
+	b := RandomWalks(g, cfg, rand.New(rand.NewSource(91)))
+	if len(a) != len(b) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("walk %d lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("walk %d diverges at step %d", i, j)
+			}
+		}
+	}
+}
+
+// The rejection-sampled walker must realise the same single-step (p, q)
+// transition distribution as the legacy exact-scan oracle.
+func TestWalkerStepMatchesLegacyDistribution(t *testing.T) {
+	g := graph.Petersen()
+	p, q := 0.25, 4.0
+	wk := newWalker(g, p, q)
+	prev, cur := 0, g.Neighbors(0)[0]
+
+	// Exact distribution, legacy formula.
+	nbrs := g.Neighbors(cur)
+	want := make(map[int]float64)
+	var total float64
+	for _, x := range nbrs {
+		w := 1 / q
+		if x == prev {
+			w = 1 / p
+		} else if g.HasEdge(x, prev) {
+			w = 1
+		}
+		want[x] = w
+		total += w
+	}
+	for x := range want {
+		want[x] /= total
+	}
+
+	const draws = 200000
+	counts := make(map[int]int)
+	r := sgns.NewFastRand(12345)
+	for i := 0; i < draws; i++ {
+		counts[wk.step(cur, prev, r)]++
+	}
+	for x, wantP := range want {
+		gotP := float64(counts[x]) / draws
+		if math.Abs(gotP-wantP) > 0.01 {
+			t.Errorf("next=%d: empirical %v vs exact %v", x, gotP, wantP)
+		}
+	}
+}
+
+// Mirrors TestBiasedWalkReturnsMoreWithSmallP for the engine path: tiny P
+// makes the walker return to the previous vertex far more often.
+func TestWalkerReturnsMoreWithSmallP(t *testing.T) {
+	g := graph.Star(5)
+	returns := func(p, q float64) int {
+		wk := newWalker(g, p, q)
+		count := 0
+		for trial := 0; trial < 400; trial++ {
+			r := sgns.NewFastRand(uint64(trial)*0x9e3779b97f4a7c15 + 1)
+			w := wk.walk(1, 3, r)
+			if len(w) == 3 && w[2] == w[0] {
+				count++
+			}
+		}
+		return count
+	}
+	many := returns(0.01, 1)
+	few := returns(100, 1)
+	if many <= few {
+		t.Errorf("small P should cause more returns: %d vs %d", many, few)
+	}
+}
+
+// Non-unit edge weights bias the first-order proposal via the per-vertex
+// alias tables: a heavy edge dominates the step distribution.
+func TestWalkerRespectsEdgeWeights(t *testing.T) {
+	g := graph.New(3)
+	g.AddWeightedEdge(0, 1, 9)
+	g.AddWeightedEdge(0, 2, 1)
+	wk := newWalker(g, 1, 1)
+	r := sgns.NewFastRand(777)
+	heavy := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if wk.step(0, -1, r) == 1 {
+			heavy++
+		}
+	}
+	got := float64(heavy) / draws
+	if math.Abs(got-0.9) > 0.01 {
+		t.Errorf("heavy edge taken with probability %v, want ~0.9", got)
+	}
+}
+
+// Degenerate walk lengths must not panic (regression: make with cap <
+// len): the corpus just comes back empty, like the legacy sampler's.
+func TestRandomWalksZeroLength(t *testing.T) {
+	g := graph.Cycle(4)
+	for _, l := range []int{0, -3, 1} {
+		walks := RandomWalks(g, WalkConfig{WalksPerNode: 2, WalkLength: l, P: 1, Q: 1}, rand.New(rand.NewSource(1)))
+		if len(walks) != 0 {
+			t.Errorf("WalkLength=%d: got %d walks, want an empty corpus", l, len(walks))
+		}
+	}
+}
+
+// The multi-worker parallel-quality gate: Hogwild node2vec must recover SBM
+// communities as well as the sequential deterministic baseline.
+func TestParallelNode2VecCommunityGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	g, truth := graph.SBM([]int{12, 12}, 0.9, 0.02, rng)
+	seq := Node2VecWorkers(g, 8, 1, 0.5, 1, rand.New(rand.NewSource(96)))
+	par := Node2VecWorkers(g, 8, 1, 0.5, 4, rand.New(rand.NewSource(96)))
+	seqNMI := CommunityRecovery(seq, truth, 2, rand.New(rand.NewSource(97)))
+	parNMI := CommunityRecovery(par, truth, 2, rand.New(rand.NewSource(97)))
+	if seqNMI < 0.7 {
+		t.Errorf("sequential baseline NMI=%v, want >= 0.7", seqNMI)
+	}
+	if parNMI < seqNMI-0.15 {
+		t.Errorf("parallel node2vec NMI=%v fell below sequential baseline %v - 0.15", parNMI, seqNMI)
+	}
+}
+
+// Workers: 1 node2vec is end-to-end reproducible: deterministic walks plus
+// the engine's sequential mode.
+func TestSequentialNode2VecDeterministic(t *testing.T) {
+	g, _ := graph.SBM([]int{10, 10}, 0.8, 0.05, rand.New(rand.NewSource(98)))
+	a := Node2VecWorkers(g, 6, 2, 0.5, 1, rand.New(rand.NewSource(99)))
+	b := Node2VecWorkers(g, 6, 2, 0.5, 1, rand.New(rand.NewSource(99)))
+	for i := range a.Vectors.Data {
+		if a.Vectors.Data[i] != b.Vectors.Data[i] {
+			t.Fatal("Workers:1 node2vec must be bit-identical under a fixed seed")
+		}
+	}
+}

@@ -6,11 +6,11 @@
 package graph2vec
 
 import (
-	"math"
 	"math/rand"
 
 	"repro/internal/graph"
 	"repro/internal/linalg"
+	"repro/internal/sgns"
 	"repro/internal/wl"
 )
 
@@ -21,11 +21,13 @@ type Config struct {
 	Epochs   int
 	Negative int
 	LR       float64
+	Workers  int // sgns worker count: 0 = GOMAXPROCS Hogwild, 1 = deterministic sequential
 }
 
-// DefaultConfig returns small-scale defaults.
+// DefaultConfig returns small-scale defaults (sequential, reproducible
+// training; set Workers to 0 for Hogwild parallelism).
 func DefaultConfig() Config {
-	return Config{Dim: 16, Depth: 3, Epochs: 40, Negative: 5, LR: 0.05}
+	return Config{Dim: 16, Depth: 3, Epochs: 40, Negative: 5, LR: 0.05, Workers: 1}
 }
 
 // Model holds the learned per-graph vectors (the embedding look-up table —
@@ -55,70 +57,31 @@ func Documents(gs []*graph.Graph, depth int) ([][]int, map[int]int) {
 	return docs, vocab
 }
 
-// Train learns graph vectors with PV-DBOW.
+// Train learns graph vectors with PV-DBOW on the shared sgns engine: the
+// per-graph vectors are just another input row block (In has one row per
+// document, Out one row per WL word), the negative sampler is the engine's
+// exact alias table over the word frequencies — the former hand-rolled
+// `int(f^0.75)+1`-slot table both duplicated the word2vec scheme and gave
+// zero-frequency words sampling mass — and Workers > 1 trains documents
+// Hogwild-style in parallel. The constant legacy learning rate is preserved
+// by pinning the engine's decay floor to LR.
 func Train(gs []*graph.Graph, cfg Config, rng *rand.Rand) *Model {
 	docs, vocab := Documents(gs, cfg.Depth)
-	nDocs := len(gs)
-	nWords := len(vocab)
-	d := cfg.Dim
-	docVec := linalg.NewMatrix(nDocs, d)
-	wordVec := linalg.NewMatrix(nWords, d)
-	for i := range docVec.Data {
-		docVec.Data[i] = (rng.Float64()*2 - 1) * 0.5 / float64(d)
+	if len(vocab) == 0 {
+		return &Model{Vectors: linalg.NewMatrix(len(gs), cfg.Dim), vocab: vocab}
 	}
-	// Word frequency table for negative sampling.
-	freq := make([]float64, nWords)
-	for _, doc := range docs {
-		for _, w := range doc {
-			freq[w]++
-		}
-	}
-	var table []int
-	for w, f := range freq {
-		reps := int(math.Pow(f, 0.75))
-		for i := 0; i <= reps; i++ {
-			table = append(table, w)
-		}
-	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for di, doc := range docs {
-			dv := docVec.Row(di)
-			for _, w := range doc {
-				trainPair(dv, wordVec, w, 1, cfg.LR)
-				for k := 0; k < cfg.Negative; k++ {
-					neg := table[rng.Intn(len(table))]
-					if neg != w {
-						trainPair(dv, wordVec, neg, 0, cfg.LR)
-					}
-				}
-			}
-		}
-	}
+	m := sgns.TrainDBOW(docs, len(gs), len(vocab), sgns.Config{
+		Dim:             cfg.Dim,
+		Negative:        cfg.Negative,
+		LearningRate:    cfg.LR,
+		MinLearningRate: cfg.LR,
+		Epochs:          cfg.Epochs,
+		UnigramPower:    0.75,
+		Workers:         cfg.Workers,
+	}, rng.Int63())
+	docVec := linalg.NewMatrix(len(gs), cfg.Dim)
+	copy(docVec.Data, m.In)
 	return &Model{Vectors: docVec, vocab: vocab}
-}
-
-func trainPair(dv []float64, wordVec *linalg.Matrix, w int, label, lr float64) {
-	wv := wordVec.Row(w)
-	var dot float64
-	for i := range dv {
-		dot += dv[i] * wv[i]
-	}
-	g := (label - sigmoid(dot)) * lr
-	for i := range dv {
-		dvOld := dv[i]
-		dv[i] += g * wv[i]
-		wv[i] += g * dvOld
-	}
-}
-
-func sigmoid(x float64) float64 {
-	switch {
-	case x > 30:
-		return 1
-	case x < -30:
-		return 0
-	}
-	return 1 / (1 + math.Exp(-x))
 }
 
 // Vector returns the embedding of graph i.

@@ -18,6 +18,7 @@ package kernel
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/hom"
@@ -116,10 +117,113 @@ func (k Graphlet) Compute(g, h *graph.Graph) float64 {
 	return k.Features(g).Dot(k.Features(h))
 }
 
+// graphletTable maps every edge bitmask of a k-vertex subset to its
+// isomorphism-class index in graph.AllGraphs(k). Building it runs the
+// expensive isomorphism tests once per possible mask (2^C(k,2) of them, 64
+// for k = 4) instead of once per subset; after that each of the C(n, k)
+// subsets classifies with bit tests and one array lookup.
+type graphletTable struct {
+	pairs   [][2]int
+	byMask  []int16
+	classes int
+}
+
+// graphletTables caches one table per k across Gram workers.
+var graphletTables sync.Map
+
+func graphletTableFor(k int) *graphletTable {
+	if v, ok := graphletTables.Load(k); ok {
+		return v.(*graphletTable)
+	}
+	reps := graph.AllGraphs(k)
+	var pairs [][2]int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	tbl := &graphletTable{pairs: pairs, byMask: make([]int16, 1<<len(pairs)), classes: len(reps)}
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		sub := graph.New(k)
+		for b, pr := range pairs {
+			if mask>>b&1 == 1 {
+				sub.AddEdge(pr[0], pr[1])
+			}
+		}
+		for ci, r := range reps {
+			if sub.M() == r.M() && graph.Isomorphic(sub, r) {
+				tbl.byMask[mask] = int16(ci)
+				break
+			}
+		}
+	}
+	actual, _ := graphletTables.LoadOrStore(k, tbl)
+	return actual.(*graphletTable)
+}
+
 // GraphletCounts returns induced-subgraph counts on all k-subsets, indexed
-// by a canonical code of the induced subgraph (k <= 4). The index space is
-// the set of isomorphism classes: 4 classes for k=3, 11 for k=4.
+// by the isomorphism class of the induced subgraph (4 classes for k=3, 11
+// for k=4). Each subset is classified by looking its edge bitmask up in the
+// precomputed canonical-code table — no per-subset isomorphism tests. The
+// original enumerate-and-test path is kept as graphletCountsIso, the test
+// oracle and benchmark baseline (and the fallback for k > 5, where the mask
+// table would outgrow its usefulness).
 func GraphletCounts(g *graph.Graph, k int) []float64 {
+	if k > 5 {
+		return graphletCountsIso(g, k)
+	}
+	tbl := graphletTableFor(k)
+	n := g.N()
+	adj := bitsetAdjacency(g)
+	counts := make([]float64, tbl.classes)
+	subset := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			mask := 0
+			for b, pr := range tbl.pairs {
+				u, v := subset[pr[0]], subset[pr[1]]
+				if adj[u][v>>6]&(1<<(uint(v)&63)) != 0 {
+					mask |= 1 << b
+				}
+			}
+			counts[tbl.byMask[mask]]++
+			return
+		}
+		for v := start; v < n; v++ {
+			subset[depth] = v
+			rec(v+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return counts
+}
+
+// bitsetAdjacency snapshots the simple adjacency relation as n bitset rows
+// for O(1) edge tests during subset classification.
+func bitsetAdjacency(g *graph.Graph) [][]uint64 {
+	n := g.N()
+	words := (n + 63) / 64
+	adj := make([][]uint64, n)
+	backing := make([]uint64, n*words)
+	for v := range adj {
+		adj[v] = backing[v*words : (v+1)*words]
+	}
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			continue
+		}
+		adj[e.U][e.V>>6] |= 1 << (uint(e.V) & 63)
+		adj[e.V][e.U>>6] |= 1 << (uint(e.U) & 63)
+	}
+	return adj
+}
+
+// graphletCountsIso is the pre-table reference implementation: build the
+// induced subgraph of every subset and isomorphism-test it against each
+// representative. Kept as the oracle for GraphletCounts and as the
+// benchmark baseline.
+func graphletCountsIso(g *graph.Graph, k int) []float64 {
 	reps := graph.AllGraphs(k)
 	counts := make([]float64, len(reps))
 	n := g.N()

@@ -1,0 +1,92 @@
+package sgns
+
+import "math/rand"
+
+// Alias is Vose's alias-method sampler: O(n) construction, O(1) draws from
+// an arbitrary discrete distribution. It replaces the word2vec "unigram
+// table" (a 64K-slot array whose integer-truncated fill skewed the
+// distribution and gave even zero-frequency tokens a slot) with an exact
+// sampler: entries with zero weight are never drawn, and every positive
+// weight is represented in true proportion. The walk engine reuses it for
+// weighted neighbour proposals.
+type Alias struct {
+	prob []float64
+	alt  []int32
+}
+
+// NewAlias builds a sampler over the given non-negative weights. An
+// all-zero (or empty total) weight vector falls back to the uniform
+// distribution, mirroring the legacy table's behaviour on an empty corpus.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	a := &Alias{prob: make([]float64, n), alt: make([]int32, n)}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("sgns: negative sampling weight")
+		}
+		total += w
+	}
+	if n == 0 {
+		return a
+	}
+	if total == 0 {
+		for i := range a.prob {
+			a.prob[i] = 1
+			a.alt[i] = int32(i)
+		}
+		return a
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alt[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are within floating-point noise of probability 1.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alt[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alt[i] = i
+	}
+	return a
+}
+
+// N returns the support size.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Pick maps a uniform column i in [0, N) and a uniform u in [0, 1) to a
+// sample — the two-random-number form, for callers with their own RNG.
+func (a *Alias) Pick(i int, u float64) int {
+	if u < a.prob[i] {
+		return i
+	}
+	return int(a.alt[i])
+}
+
+// Sample draws one index using rng. It performs no allocations.
+func (a *Alias) Sample(rng *rand.Rand) int {
+	return a.Pick(rng.Intn(len(a.prob)), rng.Float64())
+}

@@ -1,0 +1,80 @@
+package sgns
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The regression test for the legacy negative-table bug: the sampler must
+// follow the true unigram^0.75 distribution, and tokens with zero frequency
+// (which the old `for i := 0; i <= count; i++` builders gave at least one
+// slot each) must never be drawn.
+func TestAliasMatchesUnigramPowerDistribution(t *testing.T) {
+	freq := []float64{0, 5, 1, 0, 10, 2}
+	weights := make([]float64, len(freq))
+	var total float64
+	for i, f := range freq {
+		if f > 0 {
+			weights[i] = math.Pow(f, 0.75)
+		}
+		total += weights[i]
+	}
+	a := NewAlias(weights)
+	rng := rand.New(rand.NewSource(31))
+	const draws = 400000
+	counts := make([]int, len(freq))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(rng)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-frequency tokens were sampled: %v", counts)
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("token %d: empirical %v vs expected %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasUniformFallbackOnZeroWeights(t *testing.T) {
+	a := NewAlias(make([]float64, 4))
+	rng := rand.New(rand.NewSource(32))
+	counts := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, c := range counts {
+		if c < 1500 {
+			t.Errorf("uniform fallback undersamples index %d: %d", i, c)
+		}
+	}
+}
+
+func TestAliasSingletonAndPanic(t *testing.T) {
+	a := NewAlias([]float64{3})
+	for i := 0; i < 10; i++ {
+		if a.Sample(rand.New(rand.NewSource(1))) != 0 {
+			t.Fatal("singleton sampler must return 0")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative weight should panic")
+		}
+	}()
+	NewAlias([]float64{1, -1})
+}
+
+func TestAliasSampleAllocates(t *testing.T) {
+	a := NewAlias([]float64{1, 2, 3})
+	rng := rand.New(rand.NewSource(33))
+	if avg := testing.AllocsPerRun(100, func() { a.Sample(rng) }); avg != 0 {
+		t.Errorf("Sample allocates %v per call, want 0", avg)
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !race
+
+package sgns
+
+// ld and st are the shared-parameter accessors of the Hogwild inner loop.
+// In normal builds they are plain loads and stores (inlined to direct
+// indexing, zero overhead): concurrent workers race on individual float64
+// words, which the Go memory model resolves to some previously written
+// value on 64-bit platforms — the lock-free update scheme of Hogwild, where
+// sparse collisions are statistically benign. Under -race the versions in
+// params_race.go replace these with relaxed atomics so the detector sees a
+// synchronised program.
+func ld(s []float64, i int) float64 { return s[i] }
+
+func st(s []float64, i int, v float64) { s[i] = v }

@@ -1,0 +1,22 @@
+//go:build race
+
+package sgns
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Race-detector builds route every shared-parameter access through relaxed
+// (load/store, not read-modify-write) atomics on the float64 bit patterns.
+// This keeps `go test -race` free of reports while preserving Hogwild's
+// lock-free last-writer-wins semantics; normal builds use the plain
+// accessors in params_norace.go, so the hot loop pays nothing.
+func ld(s []float64, i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(&s[i]))))
+}
+
+func st(s []float64, i int, v float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&s[i])), math.Float64bits(v))
+}

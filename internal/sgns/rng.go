@@ -1,0 +1,29 @@
+package sgns
+
+// FastRand is the worker-local splitmix64 PRNG of the training loop: the
+// negative sampler draws two variates per sample, so the generator is on
+// the hot path and math/rand's generic source (with its modulo-rejection
+// Intn) costs real throughput. Splitmix64 passes BigCrush, allocates
+// nothing, and is trivially seedable per worker; determinism under a fixed
+// seed is preserved by construction. The embed walk engine shares it for
+// its per-walk counter-seeded generators.
+type FastRand struct{ s uint64 }
+
+// NewFastRand returns a generator whose stream is a pure function of seed.
+func NewFastRand(seed uint64) *FastRand { return &FastRand{s: seed} }
+
+func (r *FastRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *FastRand) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Intn returns a uniform int in [0, n). The modulo bias is negligible for
+// the vocabulary sizes involved (below 2^-30 even for million-token
+// vocabularies).
+func (r *FastRand) Intn(n int) int { return int(r.next() % uint64(n)) }

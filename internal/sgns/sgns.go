@@ -1,0 +1,278 @@
+// Package sgns is the shared skip-gram-with-negative-sampling engine under
+// every learned x2vec embedding in the repository: word2vec skip-gram,
+// DeepWalk and node2vec (SGNS over random-walk corpora), graph2vec's
+// PV-DBOW (document vectors predicting WL-subtree words), and first-order
+// LINE (SGNS over edge "sentences" with one shared vector set). The paper's
+// Sections 2 and 5 reduce all of these to the same optimisation; this
+// package reduces them to the same inner loop.
+//
+// The engine is built for throughput:
+//
+//   - Parameters live in two flat row-major []float64 matrices (In for
+//     centre rows, Out for context rows), not row-pointer slices, so the
+//     inner loop walks contiguous memory.
+//   - The logistic sigmoid is a precomputed lookup table (see sigmoid.go).
+//   - Negative samples come from an O(1) alias-method sampler over the
+//     unigram^power context distribution, weighted by true frequency —
+//     zero-frequency tokens are never drawn (see alias.go).
+//   - Each worker owns its gradient scratch and RNG: the steady-state
+//     training loop performs zero heap allocations per (centre, context)
+//     pair.
+//   - Parallel training is Hogwild-style (Recht et al.): workers shard
+//     sentences and update the shared matrices lock-free; sparse collisions
+//     make the races statistically benign. Under the race detector the
+//     parameter accessors switch to relaxed atomics (see params_race.go),
+//     so `go test -race` observes no data races.
+//
+// Determinism contract: with Workers: 1 the engine runs on the calling
+// goroutine in corpus order with a single seeded RNG — output vectors are
+// bit-identical run to run for a fixed (corpus, config, seed). With more
+// workers, scheduling interleaves updates and results vary run to run; use
+// the Workers: 1 mode as the reproducible reference.
+package sgns
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config controls SGNS training.
+type Config struct {
+	Dim             int     // embedding dimension
+	Window          int     // context window radius (skip-gram mode; ignored by DBOW)
+	Negative        int     // negative samples per positive pair
+	LearningRate    float64 // initial SGD step size, linearly decayed
+	MinLearningRate float64 // decay floor
+	Epochs          int     // passes over the corpus
+	UnigramPower    float64 // negative-sampling exponent (0 means the canonical 0.75)
+	Workers         int     // 0 = GOMAXPROCS Hogwild workers, 1 = deterministic sequential
+	Shared          bool    // Out aliases In (first-order LINE); requires equal row counts
+}
+
+// Model holds the trained parameter matrices in flat row-major layout.
+type Model struct {
+	Dim     int
+	InRows  int
+	OutRows int
+	In      []float64 // InRows x Dim: the embedding used downstream
+	Out     []float64 // OutRows x Dim: context vectors (aliases In when Shared)
+}
+
+// Vector returns row i of the input matrix — the embedding of token/doc i.
+func (m *Model) Vector(i int) []float64 {
+	return m.In[i*m.Dim : (i+1)*m.Dim : (i+1)*m.Dim]
+}
+
+// Context returns row i of the output (context) matrix.
+func (m *Model) Context(i int) []float64 {
+	return m.Out[i*m.Dim : (i+1)*m.Dim : (i+1)*m.Dim]
+}
+
+// Train runs skip-gram SGNS over the corpus: for every token, every other
+// token within the window is a positive context. Token ids must lie in
+// [0, vocab). Both matrices have vocab rows.
+func Train(corpus [][]int, vocab int, cfg Config, seed int64) *Model {
+	return train(corpus, vocab, vocab, false, cfg, seed)
+}
+
+// TrainDBOW runs PV-DBOW (the graph2vec objective): sentence i is the word
+// list of document i, and the single positive pair per token is
+// (document i, token) — the document vector predicts each of its words.
+// In has nDocs rows (the document embeddings), Out has nWords rows.
+func TrainDBOW(docs [][]int, nDocs, nWords int, cfg Config, seed int64) *Model {
+	return train(docs, nDocs, nWords, true, cfg, seed)
+}
+
+// trainer is the shared state of one training run. Workers mutate in/out
+// concurrently through the ld/st accessors; everything else is read-only
+// after construction (steps is atomic).
+type trainer struct {
+	dim      int
+	window   int
+	negative int
+	lr0      float64
+	minLR    float64
+	dbow     bool
+
+	in, out []float64
+	neg     *Alias
+
+	steps      atomic.Int64
+	totalSteps float64
+}
+
+func train(sentences [][]int, inRows, outRows int, dbow bool, cfg Config, seed int64) *Model {
+	if cfg.Dim <= 0 || inRows <= 0 || outRows <= 0 {
+		panic("sgns: invalid configuration")
+	}
+	if cfg.Shared && inRows != outRows {
+		panic("sgns: Shared vectors require equal In/Out row counts")
+	}
+	dim := cfg.Dim
+	master := rand.New(rand.NewSource(seed))
+	m := &Model{Dim: dim, InRows: inRows, OutRows: outRows}
+	m.In = make([]float64, inRows*dim)
+	scale := 0.5 / float64(dim)
+	for i := range m.In {
+		m.In[i] = (master.Float64()*2 - 1) * scale
+	}
+	if cfg.Shared {
+		m.Out = m.In
+	} else {
+		m.Out = make([]float64, outRows*dim)
+	}
+
+	power := cfg.UnigramPower
+	if power == 0 {
+		power = 0.75
+	}
+	freq := make([]float64, outRows)
+	totalTokens := 0
+	for _, s := range sentences {
+		totalTokens += len(s)
+		for _, w := range s {
+			freq[w]++
+		}
+	}
+	for i, f := range freq {
+		if f > 0 {
+			freq[i] = math.Pow(f, power)
+		}
+	}
+
+	t := &trainer{
+		dim:        dim,
+		window:     cfg.Window,
+		negative:   cfg.Negative,
+		lr0:        cfg.LearningRate,
+		minLR:      cfg.MinLearningRate,
+		dbow:       dbow,
+		in:         m.In,
+		out:        m.Out,
+		neg:        NewAlias(freq),
+		totalSteps: float64(cfg.Epochs*totalTokens) + 1,
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sentences) {
+		workers = len(sentences)
+	}
+	if workers <= 1 {
+		rng := NewFastRand(uint64(master.Int63()))
+		grad := make([]float64, dim)
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			for si, s := range sentences {
+				t.sentence(s, si, rng, grad)
+			}
+		}
+		return m
+	}
+	// Hogwild: worker w owns the interleaved shard w, w+workers, ... and
+	// runs all epochs over it without barriers; the learning rate decays by
+	// the shared atomic token counter, so stragglers still see the global
+	// schedule. Parameter updates go through ld/st (plain stores in normal
+	// builds, relaxed atomics under -race).
+	seeds := make([]int64, workers)
+	for w := range seeds {
+		seeds[w] = master.Int63()
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := NewFastRand(uint64(seeds[w]))
+			grad := make([]float64, dim)
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for si := w; si < len(sentences); si += workers {
+					t.sentence(sentences[si], si, rng, grad)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}
+
+// sentence trains one sentence: skip-gram pairs within the window, or
+// (doc, token) pairs in DBOW mode. grad is the worker's dim-sized scratch
+// (zeroed on entry and on exit); the loop allocates nothing.
+func (t *trainer) sentence(sent []int, doc int, rng *FastRand, grad []float64) {
+	if len(sent) == 0 {
+		return
+	}
+	done := t.steps.Add(int64(len(sent)))
+	lr := t.lr0 * (1 - float64(done)/t.totalSteps)
+	if lr < t.minLR {
+		lr = t.minLR
+	}
+	if t.dbow {
+		for _, w := range sent {
+			t.update(doc, w, lr, rng, grad)
+		}
+		return
+	}
+	for i, center := range sent {
+		lo := i - t.window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + t.window
+		if hi >= len(sent) {
+			hi = len(sent) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			t.update(center, sent[j], lr, rng, grad)
+		}
+	}
+}
+
+// update applies one positive (inRow, ctx) update plus Negative sampled
+// negative updates. The gradient on the input row accumulates in grad and
+// is applied once at the end, exactly like the reference implementation.
+func (t *trainer) update(inRow, ctx int, lr float64, rng *FastRand, grad []float64) {
+	dim := t.dim
+	in := t.in[inRow*dim : inRow*dim+dim]
+	t.apply(in, ctx, 1, lr, grad)
+	for k := 0; k < t.negative; k++ {
+		n := t.neg.Pick(rng.Intn(t.neg.N()), rng.Float64())
+		if n == ctx {
+			continue
+		}
+		t.apply(in, n, 0, lr, grad)
+	}
+	for d := 0; d < dim; d++ {
+		st(in, d, ld(in, d)+grad[d])
+		grad[d] = 0
+	}
+}
+
+// apply adds one (input row, output row) gradient step with the standard
+// SGNS gradients, reading the sigmoid from the lookup table. The reslices
+// let the compiler prove all three buffers share len(in) and drop the
+// bounds checks from both loops.
+func (t *trainer) apply(in []float64, target int, label, lr float64, grad []float64) {
+	dim := len(in)
+	out := t.out[target*dim:]
+	out = out[:dim]
+	grad = grad[:dim]
+	var dot float64
+	for d := range in {
+		dot += ld(in, d) * ld(out, d)
+	}
+	g := (label - Sigmoid(dot)) * lr
+	for d := range in {
+		od := ld(out, d)
+		grad[d] += g * od
+		st(out, d, od+g*ld(in, d))
+	}
+}

@@ -1,0 +1,218 @@
+package sgns
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// groupedCorpus builds sentences where tokens from the same group co-occur:
+// group A = {0..4}, group B = {5..9}.
+func groupedCorpus(rng *rand.Rand, sentences int) [][]int {
+	var corpus [][]int
+	for s := 0; s < sentences; s++ {
+		group := rng.Intn(2)
+		sent := make([]int, 12)
+		for i := range sent {
+			sent[i] = group*5 + rng.Intn(5)
+		}
+		corpus = append(corpus, sent)
+	}
+	return corpus
+}
+
+func testConfig() Config {
+	return Config{
+		Dim:             8,
+		Window:          4,
+		Negative:        5,
+		LearningRate:    0.05,
+		MinLearningRate: 0.0001,
+		Epochs:          8,
+		UnigramPower:    0.75,
+		Workers:         1,
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// groupGap returns mean intra-group minus mean inter-group cosine
+// similarity over the 10-token grouped vocabulary.
+func groupGap(m *Model) float64 {
+	var intra, inter float64
+	var ni, nx int
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			sim := cosine(m.Vector(a), m.Vector(b))
+			if (a < 5) == (b < 5) {
+				intra += sim
+				ni++
+			} else {
+				inter += sim
+				nx++
+			}
+		}
+	}
+	return intra/float64(ni) - inter/float64(nx)
+}
+
+// The determinism contract: Workers: 1 with a fixed seed is bit-identical
+// run to run, in both parameter matrices.
+func TestSequentialDeterminism(t *testing.T) {
+	corpus := groupedCorpus(rand.New(rand.NewSource(1)), 50)
+	m1 := Train(corpus, 10, testConfig(), 99)
+	m2 := Train(corpus, 10, testConfig(), 99)
+	for i := range m1.In {
+		if m1.In[i] != m2.In[i] {
+			t.Fatal("Workers:1 training must be bit-identical under a fixed seed")
+		}
+	}
+	for i := range m1.Out {
+		if m1.Out[i] != m2.Out[i] {
+			t.Fatal("Workers:1 context vectors must be bit-identical under a fixed seed")
+		}
+	}
+}
+
+func TestSequentialLearnsCooccurrence(t *testing.T) {
+	corpus := groupedCorpus(rand.New(rand.NewSource(2)), 300)
+	m := Train(corpus, 10, testConfig(), 7)
+	if gap := groupGap(m); gap <= 0 {
+		t.Errorf("intra-group similarity should exceed inter-group, gap=%v", gap)
+	}
+}
+
+// Hogwild must not degrade quality: the multi-worker model separates the
+// co-occurrence groups just like the sequential one.
+func TestHogwildQualityMatchesSequential(t *testing.T) {
+	corpus := groupedCorpus(rand.New(rand.NewSource(3)), 300)
+	cfg := testConfig()
+	seq := Train(corpus, 10, cfg, 7)
+	cfg.Workers = 4
+	par := Train(corpus, 10, cfg, 7)
+	seqGap, parGap := groupGap(seq), groupGap(par)
+	if parGap <= 0 {
+		t.Errorf("hogwild model failed to separate groups, gap=%v", parGap)
+	}
+	if parGap < seqGap-0.4 {
+		t.Errorf("hogwild gap %v degraded far below sequential gap %v", parGap, seqGap)
+	}
+}
+
+// DBOW mode: documents over the same word set embed closer together than
+// documents over a disjoint word set.
+func TestDBOWSeparatesDocumentClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	docs := make([][]int, 20)
+	for i := range docs {
+		doc := make([]int, 30)
+		for j := range doc {
+			if i%2 == 0 {
+				doc[j] = rng.Intn(5)
+			} else {
+				doc[j] = 5 + rng.Intn(5)
+			}
+		}
+		docs[i] = doc
+	}
+	cfg := testConfig()
+	cfg.Epochs = 20
+	m := TrainDBOW(docs, len(docs), 10, cfg, 11)
+	if m.InRows != 20 || m.OutRows != 10 {
+		t.Fatalf("DBOW shapes: in=%d out=%d", m.InRows, m.OutRows)
+	}
+	var intra, inter float64
+	var ni, nx int
+	for a := 0; a < 20; a++ {
+		for b := a + 1; b < 20; b++ {
+			sim := cosine(m.Vector(a), m.Vector(b))
+			if a%2 == b%2 {
+				intra += sim
+				ni++
+			} else {
+				inter += sim
+				nx++
+			}
+		}
+	}
+	if intra/float64(ni) <= inter/float64(nx) {
+		t.Errorf("DBOW intra-class similarity %v should exceed inter-class %v",
+			intra/float64(ni), inter/float64(nx))
+	}
+}
+
+func TestSharedVectorsAlias(t *testing.T) {
+	m := Train([][]int{{0, 1}}, 2, Config{
+		Dim: 4, Window: 1, Negative: 2, LearningRate: 0.05, Epochs: 1, Workers: 1, Shared: true,
+	}, 5)
+	if &m.Out[0] != &m.In[0] {
+		t.Error("Shared must alias Out onto In")
+	}
+}
+
+// The steady-state inner loop must not allocate: one sentence through the
+// trainer, repeated, stays at zero allocations per run.
+func TestZeroAllocSteadyState(t *testing.T) {
+	corpus := groupedCorpus(rand.New(rand.NewSource(6)), 10)
+	cfg := testConfig()
+	m := Train(corpus, 10, cfg, 13) // warmed-up parameters
+	tr := &trainer{
+		dim:        cfg.Dim,
+		window:     cfg.Window,
+		negative:   cfg.Negative,
+		lr0:        cfg.LearningRate,
+		minLR:      cfg.MinLearningRate,
+		in:         m.In,
+		out:        m.Out,
+		neg:        NewAlias([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}),
+		totalSteps: 1e9,
+	}
+	rng := NewFastRand(14)
+	grad := make([]float64, cfg.Dim)
+	sent := corpus[0]
+	if avg := testing.AllocsPerRun(200, func() {
+		tr.sentence(sent, 0, rng, grad)
+	}); avg != 0 {
+		t.Errorf("steady-state training allocates %v times per sentence, want 0", avg)
+	}
+}
+
+func TestTrainPanicsOnBadConfig(t *testing.T) {
+	for _, f := range []func(){
+		func() { Train(nil, 0, testConfig(), 1) },
+		func() { Train(nil, 3, Config{Dim: 0}, 1) },
+		func() { TrainDBOW(nil, 2, 3, Config{Dim: 4, Shared: true}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid configuration should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSigmoidTable(t *testing.T) {
+	if Sigmoid(100) != 1 || Sigmoid(-100) != 0 {
+		t.Error("sigmoid must saturate")
+	}
+	for _, x := range []float64{-7.5, -2, -0.3, 0, 0.3, 2, 7.5} {
+		exact := 1 / (1 + math.Exp(-x))
+		if d := math.Abs(Sigmoid(x) - exact); d > 5e-3 {
+			t.Errorf("Sigmoid(%v) off by %v", x, d)
+		}
+	}
+}

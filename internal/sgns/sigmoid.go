@@ -1,0 +1,35 @@
+package sgns
+
+import "math"
+
+// The logistic sigmoid is the only transcendental in the SGNS inner loop;
+// like the original word2vec implementation we precompute it once into a
+// lookup table over [-sigmoidMaxX, sigmoidMaxX] and clamp outside. With
+// 2048 buckets over [-8, 8] the absolute error is below 2e-3, well under
+// the SGD noise floor, and the table build is deterministic — the Workers:1
+// reproducibility contract includes it.
+const (
+	sigmoidTableSize = 2048
+	sigmoidMaxX      = 8.0
+)
+
+var sigmoidTable [sigmoidTableSize]float64
+
+func init() {
+	for i := range sigmoidTable {
+		x := (float64(i)/sigmoidTableSize*2 - 1) * sigmoidMaxX
+		sigmoidTable[i] = 1 / (1 + math.Exp(-x))
+	}
+}
+
+// Sigmoid returns the table-looked-up logistic function 1/(1+e^-x),
+// saturating to exactly 0 and 1 beyond ±8.
+func Sigmoid(x float64) float64 {
+	if x >= sigmoidMaxX {
+		return 1
+	}
+	if x <= -sigmoidMaxX {
+		return 0
+	}
+	return sigmoidTable[int((x+sigmoidMaxX)*(sigmoidTableSize/(2*sigmoidMaxX)))]
+}

@@ -3,11 +3,20 @@
 // the common core of DeepWalk, node2vec, and graph2vec: sentences in, dense
 // vectors out. Sentences are sequences of integer token ids; random walks
 // over graphs and WL-subtree documents both reduce to this interface.
+//
+// Train delegates to the shared internal/sgns engine (flat parameter
+// matrices, sigmoid lookup table, alias-method negative sampler, optional
+// Hogwild parallelism). TrainLegacy keeps the original scalar sequential
+// loop as the reference oracle for equivalence tests and the baseline in
+// the SGNS benchmarks, exactly as the wl package kept its string-based
+// refinement paths.
 package word2vec
 
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/sgns"
 )
 
 // Config controls SGNS training.
@@ -19,9 +28,13 @@ type Config struct {
 	Epochs          int     // passes over the corpus
 	UnigramPower    float64 // exponent for the negative-sampling distribution (0.75 in the original)
 	MinLearningRate float64
+	Workers         int // engine worker count: 0 = GOMAXPROCS Hogwild, 1 = deterministic sequential
 }
 
-// DefaultConfig mirrors the common word2vec defaults at small scale.
+// DefaultConfig mirrors the common word2vec defaults at small scale. The
+// default Workers: 1 keeps training bit-reproducible under a fixed seed;
+// callers that want Hogwild throughput set Workers to 0 (GOMAXPROCS) or an
+// explicit count.
 func DefaultConfig() Config {
 	return Config{
 		Dim:             16,
@@ -31,10 +44,12 @@ func DefaultConfig() Config {
 		Epochs:          5,
 		UnigramPower:    0.75,
 		MinLearningRate: 0.0001,
+		Workers:         1,
 	}
 }
 
 // Model holds the trained input ("word") and output ("context") vectors.
+// The rows are views into the engine's flat matrices.
 type Model struct {
 	Dim   int
 	Vocab int
@@ -45,9 +60,45 @@ type Model struct {
 // Vector returns the embedding of token t.
 func (m *Model) Vector(t int) []float64 { return m.In[t] }
 
-// Train runs SGNS over the corpus. vocab is the number of distinct tokens
-// (ids must lie in [0, vocab)).
+// Train runs SGNS over the corpus on the shared engine. vocab is the number
+// of distinct tokens (ids must lie in [0, vocab)). With cfg.Workers == 1
+// the result is bit-identical run to run for a fixed rng seed; with more
+// workers the engine trains Hogwild-style shards in parallel.
 func Train(corpus [][]int, vocab int, cfg Config, rng *rand.Rand) *Model {
+	if cfg.Dim <= 0 || vocab <= 0 {
+		panic("word2vec: invalid configuration")
+	}
+	sm := sgns.Train(corpus, vocab, sgns.Config{
+		Dim:             cfg.Dim,
+		Window:          cfg.Window,
+		Negative:        cfg.Negative,
+		LearningRate:    cfg.LearningRate,
+		MinLearningRate: cfg.MinLearningRate,
+		Epochs:          cfg.Epochs,
+		UnigramPower:    cfg.UnigramPower,
+		Workers:         cfg.Workers,
+	}, rng.Int63())
+	return &Model{
+		Dim:   cfg.Dim,
+		Vocab: vocab,
+		In:    rowViews(sm.In, vocab, cfg.Dim),
+		Out:   rowViews(sm.Out, vocab, cfg.Dim),
+	}
+}
+
+// rowViews slices a flat row-major matrix into per-row views (no copy).
+func rowViews(flat []float64, rows, dim int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return out
+}
+
+// TrainLegacy is the original sequential scalar trainer: per-pair gradient
+// slices, exact sigmoid, and the 64K-slot unigram table. It is kept as the
+// test oracle and benchmark baseline for the sgns engine.
+func TrainLegacy(corpus [][]int, vocab int, cfg Config, rng *rand.Rand) *Model {
 	if cfg.Dim <= 0 || vocab <= 0 {
 		panic("word2vec: invalid configuration")
 	}
@@ -132,7 +183,13 @@ func sigmoid(x float64) float64 {
 	return 1 / (1 + math.Exp(-x))
 }
 
-// negativeTable builds the unigram^power sampling table.
+// negativeTable builds the unigram^power sampling table for the legacy
+// trainer. Slots are allocated in proportion to true frequency: a token
+// gets int(freq^power/total * tableSize) slots, which is zero for
+// zero-frequency tokens. (The original loop ran `i <= count`, handing every
+// token — including ones absent from the corpus — one extra slot and
+// skewing the distribution; the sgns engine's alias sampler is exact and is
+// regression-tested against this.)
 func negativeTable(corpus [][]int, vocab int, power float64) []int {
 	if power == 0 {
 		power = 0.75
@@ -145,7 +202,9 @@ func negativeTable(corpus [][]int, vocab int, power float64) []int {
 	}
 	var total float64
 	for i := range freq {
-		freq[i] = math.Pow(freq[i], power)
+		if freq[i] > 0 {
+			freq[i] = math.Pow(freq[i], power)
+		}
 		total += freq[i]
 	}
 	const tableSize = 1 << 16
@@ -158,8 +217,17 @@ func negativeTable(corpus [][]int, vocab int, power float64) []int {
 	}
 	for t := 0; t < vocab; t++ {
 		count := int(freq[t] / total * tableSize)
-		for i := 0; i <= count; i++ {
+		for i := 0; i < count; i++ {
 			table = append(table, t)
+		}
+	}
+	if len(table) == 0 {
+		// Degenerate rounding (tiny corpora): fall back to the non-zero
+		// support, uniformly.
+		for t := 0; t < vocab; t++ {
+			if freq[t] > 0 {
+				table = append(table, t)
+			}
 		}
 	}
 	return table

@@ -72,6 +72,71 @@ func TestDeterministicWithSeed(t *testing.T) {
 	}
 }
 
+// The engine (Workers: 1) must reproduce the legacy trainer's qualitative
+// behaviour on the same corpus: both separate the co-occurrence groups, and
+// the engine's separation margin is not materially worse than the oracle's.
+// (Bit-identity is not expected — the engine uses a sigmoid LUT and an
+// alias sampler, so its arithmetic and RNG stream differ by design.)
+func TestEngineMatchesLegacyQuality(t *testing.T) {
+	corpus := syntheticCorpus(rand.New(rand.NewSource(73)), 300)
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 8
+	gap := func(m *Model) float64 {
+		var intra, inter float64
+		var ni, nx int
+		for a := 0; a < 10; a++ {
+			for b := a + 1; b < 10; b++ {
+				sim := linalg.CosineSimilarity(m.Vector(a), m.Vector(b))
+				if (a < 5) == (b < 5) {
+					intra += sim
+					ni++
+				} else {
+					inter += sim
+					nx++
+				}
+			}
+		}
+		return intra/float64(ni) - inter/float64(nx)
+	}
+	legacy := gap(TrainLegacy(corpus, 10, cfg, rand.New(rand.NewSource(9))))
+	engine := gap(Train(corpus, 10, cfg, rand.New(rand.NewSource(9))))
+	if legacy <= 0 || engine <= 0 {
+		t.Fatalf("both trainers must separate the groups: legacy=%v engine=%v", legacy, engine)
+	}
+	if engine < legacy-0.3 {
+		t.Errorf("engine margin %v far below legacy oracle %v", engine, legacy)
+	}
+}
+
+func TestLegacyDeterministicWithSeed(t *testing.T) {
+	corpus := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}}
+	m1 := TrainLegacy(corpus, 4, DefaultConfig(), rand.New(rand.NewSource(5)))
+	m2 := TrainLegacy(corpus, 4, DefaultConfig(), rand.New(rand.NewSource(5)))
+	for i := range m1.In {
+		for j := range m1.In[i] {
+			if m1.In[i][j] != m2.In[i][j] {
+				t.Fatal("legacy training should be deterministic under a fixed seed")
+			}
+		}
+	}
+}
+
+// Regression for the `i <= count` table-fill bug: tokens that never occur
+// in the corpus must get no slots at all.
+func TestNegativeTableExcludesZeroFrequencyTokens(t *testing.T) {
+	corpus := [][]int{{0, 1, 0, 1, 0}}
+	table := negativeTable(corpus, 5, 0.75)
+	if len(table) == 0 {
+		t.Fatal("table should not be empty")
+	}
+	for _, tok := range table {
+		if tok >= 2 {
+			t.Fatalf("zero-frequency token %d found in the negative table", tok)
+		}
+	}
+}
+
 func TestNegativeTableRespectsFrequency(t *testing.T) {
 	corpus := [][]int{{0, 0, 0, 0, 0, 0, 1}}
 	table := negativeTable(corpus, 2, 0.75)
