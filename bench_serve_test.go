@@ -1,0 +1,79 @@
+package repro
+
+// Serving-layer benchmarks: concurrent single-graph requests through the
+// internal/serve micro-batcher, the request shape cmd/x2vecd sees. The
+// *Batch benches disable the cache to measure the coalesce -> one engine
+// pass -> scatter path itself; the *Cached bench measures the steady state
+// of a hot working set, where most requests never reach an engine.
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func serveBenchCorpus(n int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(17))
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		gs[i] = graph.Random(10+rng.Intn(6), 0.35, rng)
+	}
+	return gs
+}
+
+func benchServe(b *testing.B, cacheSize int, call func(s *serve.Server, g *graph.Graph) error) {
+	gs := serveBenchCorpus(64)
+	s := serve.New(serve.Options{
+		MaxBatch:  16,
+		MaxDelay:  500 * time.Microsecond,
+		CacheSize: cacheSize,
+	})
+	defer s.Close()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g := gs[int(next.Add(1))%len(gs)]
+			if err := call(s, g); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if snap := s.Stats().Pipelines["homvec"]; snap.Batches > 0 {
+		b.ReportMetric(snap.BatchOccupancy, "req/batch")
+	}
+}
+
+// BenchmarkServeBatchHomVec is the CI smoke target: uncached concurrent
+// /homvec-shaped load, so every request crosses the batcher into the
+// compiled hom corpus engine.
+func BenchmarkServeBatchHomVec(b *testing.B) {
+	benchServe(b, -1, func(s *serve.Server, g *graph.Graph) error {
+		_, err := s.HomVec(g)
+		return err
+	})
+}
+
+// BenchmarkServeBatchWL is the uncached WL pipeline under the same load.
+func BenchmarkServeBatchWL(b *testing.B) {
+	benchServe(b, -1, func(s *serve.Server, g *graph.Graph) error {
+		_, err := s.WL(g)
+		return err
+	})
+}
+
+// BenchmarkServeBatchCached serves a 64-graph working set out of a 1024-
+// entry cache: after one cold pass per graph, requests are pure hash +
+// LRU lookups.
+func BenchmarkServeBatchCached(b *testing.B) {
+	benchServe(b, 1024, func(s *serve.Server, g *graph.Graph) error {
+		_, err := s.HomVec(g)
+		return err
+	})
+}

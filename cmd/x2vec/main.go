@@ -10,51 +10,58 @@
 //	                                             one compiled corpus pass for all files
 //	x2vec [-rounds T] kernel NAME A B            kernel value between two graphs (wl, sp, graphlet, hom)
 //	x2vec embed METHOD FILE                      node embedding (adjacency, distance, node2vec, deepwalk)
+//	x2vec embed -model M.bin                     print the vectors of a saved model instead of retraining
 //	x2vec node2vec [-d D] [-p P] [-q Q] [-workers N] FILE
 //	                                             node2vec on the Hogwild SGNS engine (-workers 1 is
 //	                                             deterministic, 0 uses GOMAXPROCS lock-free workers)
+//	x2vec train -model M.bin METHOD FILE...      train once and persist (node2vec, deepwalk, line,
+//	                                             graph2vec) or save a pattern class (homclass); the
+//	                                             saved file feeds `x2vec embed -model` and x2vecd
 //	x2vec dist NORM A B                          aligned distance (frobenius, l1, cut) — small graphs only
 //
 // -rounds sets the WL refinement depth (-1, the default, refines to
-// stability for `wl` and uses the kernel default of 5 for `kernel wl`);
-// -parallel caps the worker count of the parallel refinement and Gram
-// pipelines (0 keeps the GOMAXPROCS default).
+// stability for `wl` and uses the kernel default of 5 for `kernel wl`).
+// -parallel caps the workers of the corpus pipelines behind `homvec` and
+// `kernel` (0 = GOMAXPROCS); the learned-embedding commands (`node2vec`,
+// `train`) take their own -workers flag, which caps walk generation and
+// SGNS training together. All of these thread explicit worker counts
+// through the library — nothing mutates the process-global GOMAXPROCS.
 //
-// Edge-list format: one "u v [weight]" pair per line; vertex count inferred.
+// Edge-list format: one "u v [weight]" pair per line; a "# n=K" comment
+// pins the vertex count (for trailing isolated vertices); otherwise the
+// count is inferred from the largest endpoint.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/embed"
 	"repro/internal/graph"
+	"repro/internal/graph2vec"
 	"repro/internal/hom"
 	"repro/internal/kernel"
+	"repro/internal/model"
 	"repro/internal/similarity"
 	"repro/internal/wl"
 )
 
 func main() {
 	rounds := flag.Int("rounds", -1, "WL refinement depth; -1 = refine to stability (wl) / kernel default (kernel wl)")
-	parallel := flag.Int("parallel", 0, "worker count for parallel pipelines; 0 = GOMAXPROCS")
+	parallel := flag.Int("parallel", 0, "worker cap for the homvec/kernel corpus pipelines; 0 = GOMAXPROCS")
 	flag.Usage = func() { usage() }
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
 	}
-	if *parallel > 0 {
-		// The refinement / Gram worker pools size themselves off
-		// GOMAXPROCS, so capping it caps every parallel pipeline at once.
-		runtime.GOMAXPROCS(*parallel)
-	}
+	// -parallel used to mutate runtime.GOMAXPROCS — wrong in-process (it
+	// throttled every goroutine, not just the pipelines) and fatal in a
+	// shared daemon. It now flows through the explicit worker-count APIs.
 	var err error
 	switch args[0] {
 	case "wl":
@@ -62,13 +69,15 @@ func main() {
 	case "hom":
 		err = cmdHom(args[1:])
 	case "homvec":
-		err = cmdHomVec(args[1:])
+		err = cmdHomVec(args[1:], *parallel)
 	case "kernel":
-		err = cmdKernel(args[1:], *rounds)
+		err = cmdKernel(args[1:], *rounds, *parallel)
 	case "embed":
 		err = cmdEmbed(args[1:])
 	case "node2vec":
 		err = cmdNode2Vec(args[1:])
+	case "train":
+		err = cmdTrain(args[1:])
 	case "dist":
 		err = cmdDist(args[1:])
 	default:
@@ -81,59 +90,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|homvec|kernel|embed|node2vec|dist} ...")
+	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|homvec|kernel|embed|node2vec|train|dist} ...")
 	os.Exit(2)
 }
 
+// loadGraph reads one edge-list file through the shared validating reader
+// (internal/graph), which the x2vecd request decoder reuses: bad ids are
+// errors, and "# n=K" headers declare trailing isolated vertices.
 func loadGraph(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var edges [][3]float64
-	maxV := -1
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("bad edge line: %q", line)
-		}
-		u, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, err
-		}
-		v, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, err
-		}
-		w := 1.0
-		if len(fields) >= 3 {
-			w, err = strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, err
-			}
-		}
-		edges = append(edges, [3]float64{float64(u), float64(v), w})
-		if u > maxV {
-			maxV = u
-		}
-		if v > maxV {
-			maxV = v
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	g := graph.New(maxV + 1)
-	for _, e := range edges {
-		g.AddWeightedEdge(int(e[0]), int(e[1]), e[2])
-	}
-	return g, nil
+	return graph.LoadGraphFile(path)
 }
 
 func parsePattern(spec string) (*graph.Graph, error) {
@@ -199,7 +164,7 @@ func cmdHom(args []string) error {
 // input graph over the standard ~20-pattern class. The class compiles once
 // and all files evaluate in one batched corpus pass — the CLI face of
 // hom.Compile / hom.CorpusLogScaledVectors.
-func cmdHomVec(args []string) error {
+func cmdHomVec(args []string, workers int) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: x2vec homvec FILE...")
 	}
@@ -211,7 +176,7 @@ func cmdHomVec(args []string) error {
 		}
 		gs[i] = g
 	}
-	vecs := hom.CorpusLogScaledVectors(hom.Compile(hom.StandardClass()), gs)
+	vecs := hom.CorpusLogScaledVectorsWorkers(hom.Compile(hom.StandardClass()), gs, workers)
 	for i, path := range args {
 		fmt.Printf("%s", path)
 		for _, x := range vecs[i] {
@@ -222,7 +187,7 @@ func cmdHomVec(args []string) error {
 	return nil
 }
 
-func cmdKernel(args []string, rounds int) error {
+func cmdKernel(args []string, rounds, workers int) error {
 	if len(args) != 3 {
 		return fmt.Errorf("usage: x2vec [-rounds T] kernel {wl|sp|graphlet|hom} A B")
 	}
@@ -250,21 +215,42 @@ func cmdKernel(args []string, rounds int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("K_%s = %g\n", k.Name(), k.Compute(a, b))
+	// One worker-capped Gram over the pair exercises the same corpus
+	// pipeline the daemon batches; entry (0,1) is K(a, b).
+	gram := kernel.GramWorkers(k, []*graph.Graph{a, b}, workers)
+	fmt.Printf("K_%s = %g\n", k.Name(), gram.At(0, 1))
 	return nil
 }
 
 func cmdEmbed(args []string) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: x2vec embed {adjacency|distance|node2vec|deepwalk} FILE")
+	fs := flag.NewFlagSet("embed", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "print the vectors of this saved model instead of retraining")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	g, err := loadGraph(args[1])
+	if *modelPath != "" {
+		// Trained once, reused forever: the model-store round trip is
+		// bit-identical, so this prints exactly what training printed.
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: x2vec embed -model M.bin")
+		}
+		e, err := model.LoadNodeEmbedding(*modelPath)
+		if err != nil {
+			return err
+		}
+		printVectors(e, e.Vectors.Rows)
+		return nil
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: x2vec embed {adjacency|distance|node2vec|deepwalk} FILE | x2vec embed -model M.bin")
+	}
+	g, err := loadGraph(fs.Arg(1))
 	if err != nil {
 		return err
 	}
 	rng := rand.New(rand.NewSource(1))
 	var e *embed.NodeEmbedding
-	switch args[0] {
+	switch fs.Arg(0) {
 	case "adjacency":
 		e = embed.AdjacencySpectral(g, 2)
 	case "distance":
@@ -274,16 +260,20 @@ func cmdEmbed(args []string) error {
 	case "deepwalk":
 		e = embed.DeepWalk(g, 8, rng)
 	default:
-		return fmt.Errorf("unknown method %q", args[0])
+		return fmt.Errorf("unknown method %q", fs.Arg(0))
 	}
-	for v := 0; v < g.N(); v++ {
+	printVectors(e, g.N())
+	return nil
+}
+
+func printVectors(e *embed.NodeEmbedding, n int) {
+	for v := 0; v < n; v++ {
 		fmt.Printf("%d", v)
 		for _, x := range e.Vector(v) {
 			fmt.Printf(" %.4f", x)
 		}
 		fmt.Println()
 	}
-	return nil
 }
 
 // cmdNode2Vec is the learned-embedding face of the Hogwild SGNS engine:
@@ -307,12 +297,112 @@ func cmdNode2Vec(args []string) error {
 		return err
 	}
 	e := embed.Node2VecWorkers(g, *d, *p, *q, *workers, rand.New(rand.NewSource(1)))
-	for v := 0; v < g.N(); v++ {
-		fmt.Printf("%d", v)
-		for _, x := range e.Vector(v) {
-			fmt.Printf(" %.4f", x)
+	printVectors(e, g.N())
+	return nil
+}
+
+// cmdTrain is the persistence face of the embedding engines: train once
+// with a fixed seed (workers defaults to 1, the engine's bit-deterministic
+// sequential mode) and save through the versioned model store. A saved
+// model feeds `x2vec embed -model` and the x2vecd daemon, which then serve
+// vectors bit-identical to this offline pipeline without ever retraining.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "output model file (required)")
+	d := fs.Int("d", 8, "embedding dimension")
+	p := fs.Float64("p", 1, "node2vec return parameter")
+	q := fs.Float64("q", 1, "node2vec in-out parameter")
+	workers := fs.Int("workers", 1, "SGNS worker count: 1 = deterministic, 0 = GOMAXPROCS Hogwild")
+	epochs := fs.Int("epochs", 0, "training epochs (0 = method default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	usageErr := fmt.Errorf("usage: x2vec train [-d D] [-p P] [-q Q] [-workers N] [-epochs E] -model M.bin {node2vec|deepwalk|line|graph2vec|homclass} FILE...")
+	if *modelPath == "" || fs.NArg() < 1 {
+		return usageErr
+	}
+	method, files := fs.Arg(0), fs.Args()[1:]
+	rng := rand.New(rand.NewSource(1))
+
+	loadOne := func() (*graph.Graph, error) {
+		if len(files) != 1 {
+			return nil, fmt.Errorf("train %s wants exactly one FILE", method)
 		}
-		fmt.Println()
+		return loadGraph(files[0])
+	}
+
+	switch method {
+	case "node2vec", "deepwalk":
+		g, err := loadOne()
+		if err != nil {
+			return err
+		}
+		pp, qq := *p, *q
+		if method == "deepwalk" {
+			pp, qq = 1, 1
+		}
+		e := embed.Node2VecWorkers(g, *d, pp, qq, *workers, rng)
+		if err := model.SaveNodeEmbedding(*modelPath, e); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s model: %d vertices x %d dims -> %s\n", method, g.N(), *d, *modelPath)
+	case "line":
+		g, err := loadOne()
+		if err != nil {
+			return err
+		}
+		ep := *epochs
+		if ep == 0 {
+			ep = 30
+		}
+		e := embed.LINE(g, *d, ep, 0.025, rng)
+		if err := model.SaveNodeEmbedding(*modelPath, e); err != nil {
+			return err
+		}
+		fmt.Printf("saved line model: %d vertices x %d dims -> %s\n", g.N(), *d, *modelPath)
+	case "graph2vec":
+		if len(files) < 1 {
+			return fmt.Errorf("train graph2vec wants one FILE per corpus graph")
+		}
+		gs := make([]*graph.Graph, len(files))
+		for i, path := range files {
+			g, err := loadGraph(path)
+			if err != nil {
+				return err
+			}
+			gs[i] = g
+		}
+		cfg := graph2vec.DefaultConfig()
+		cfg.Dim = *d
+		cfg.Workers = *workers
+		if *epochs > 0 {
+			cfg.Epochs = *epochs
+		}
+		m := graph2vec.Train(gs, cfg, rng)
+		if err := model.SaveGraph2Vec(*modelPath, m); err != nil {
+			return err
+		}
+		fmt.Printf("saved graph2vec model: %d graphs x %d dims -> %s\n", len(gs), *d, *modelPath)
+	case "homclass":
+		// Arguments are pattern specs (path:4, cycle:5, …); none = the
+		// standard class. The daemon loads this with -homclass.
+		class := hom.StandardClass()
+		if len(files) > 0 {
+			class = nil
+			for _, spec := range files {
+				f, err := parsePattern(spec)
+				if err != nil {
+					return err
+				}
+				class = append(class, f)
+			}
+		}
+		if err := model.SaveHomClass(*modelPath, class); err != nil {
+			return err
+		}
+		fmt.Printf("saved hom class: %d patterns -> %s\n", len(class), *modelPath)
+	default:
+		return usageErr
 	}
 	return nil
 }

@@ -41,6 +41,70 @@ func TestLoadGraphErrors(t *testing.T) {
 	if _, err := loadGraph(p2); err == nil {
 		t.Error("non-numeric vertices should error")
 	}
+	// The shared reader turns what used to be a panic deep inside
+	// graph.AddEdge into a decoding error.
+	p3 := writeTemp(t, "-1 2\n")
+	if _, err := loadGraph(p3); err == nil {
+		t.Error("negative vertex id should error, not panic")
+	}
+}
+
+// TestLoadGraphOrderHeader: the CLI honours "# n=K", so trailing isolated
+// vertices survive the trip through an edge-list file.
+func TestLoadGraphOrderHeader(t *testing.T) {
+	p := writeTemp(t, "# n=6\n0 1\n")
+	g, err := loadGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d, want 6,1", g.N(), g.M())
+	}
+}
+
+// TestTrainAndEmbedFromModel: train once, persist, reprint from the store —
+// the offline half of the "train once, serve forever" acceptance loop.
+func TestTrainAndEmbedFromModel(t *testing.T) {
+	hexagon := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n")
+	mp := filepath.Join(t.TempDir(), "n2v.bin")
+	if err := cmdTrain([]string{"-model", mp, "-d", "4", "node2vec", hexagon}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEmbed([]string{"-model", mp}); err != nil {
+		t.Fatal(err)
+	}
+	// graph2vec over a tiny corpus.
+	triangle := writeTemp(t, "0 1\n1 2\n2 0\n")
+	gp := filepath.Join(t.TempDir(), "g2v.bin")
+	if err := cmdTrain([]string{"-model", gp, "-d", "4", "-epochs", "3", "graph2vec", triangle, hexagon}); err != nil {
+		t.Fatal(err)
+	}
+	// line + homclass kinds.
+	lp := filepath.Join(t.TempDir(), "line.bin")
+	if err := cmdTrain([]string{"-model", lp, "-d", "4", "-epochs", "2", "line", hexagon}); err != nil {
+		t.Fatal(err)
+	}
+	cp := filepath.Join(t.TempDir(), "class.bin")
+	if err := cmdTrain([]string{"-model", cp, "homclass", "path:3", "cycle:4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	triangle := writeTemp(t, "0 1\n1 2\n2 0\n")
+	if err := cmdTrain([]string{"node2vec", triangle}); err == nil {
+		t.Error("train without -model should error")
+	}
+	mp := filepath.Join(t.TempDir(), "m.bin")
+	if err := cmdTrain([]string{"-model", mp, "teleport", triangle}); err == nil {
+		t.Error("unknown method should error")
+	}
+	if err := cmdTrain([]string{"-model", mp, "node2vec"}); err == nil {
+		t.Error("node2vec without a file should error")
+	}
+	if err := cmdTrain([]string{"-model", mp, "homclass", "blob:3"}); err == nil {
+		t.Error("bad pattern spec should error")
+	}
 }
 
 func TestParsePattern(t *testing.T) {
@@ -86,10 +150,12 @@ func TestSubcommands(t *testing.T) {
 		{"wl", func() error { return cmdWL([]string{triangle}, -1) }},
 		{"wl-rounds", func() error { return cmdWL([]string{hexagon}, 2) }},
 		{"hom", func() error { return cmdHom([]string{"cycle:3", triangle}) }},
-		{"homvec", func() error { return cmdHomVec([]string{triangle, square, hexagon}) }},
-		{"kernel", func() error { return cmdKernel([]string{"wl", triangle, square}, -1) }},
-		{"kernel-rounds", func() error { return cmdKernel([]string{"wl", triangle, square}, 2) }},
-		{"kernel-hom", func() error { return cmdKernel([]string{"hom", triangle, square}, -1) }},
+		{"homvec", func() error { return cmdHomVec([]string{triangle, square, hexagon}, 0) }},
+		{"homvec-workers", func() error { return cmdHomVec([]string{triangle, square}, 2) }},
+		{"kernel", func() error { return cmdKernel([]string{"wl", triangle, square}, -1, 0) }},
+		{"kernel-rounds", func() error { return cmdKernel([]string{"wl", triangle, square}, 2, 0) }},
+		{"kernel-workers", func() error { return cmdKernel([]string{"wl", triangle, square}, -1, 2) }},
+		{"kernel-hom", func() error { return cmdKernel([]string{"hom", triangle, square}, -1, 0) }},
 		{"embed", func() error { return cmdEmbed([]string{"adjacency", triangle}) }},
 		{"node2vec", func() error { return cmdNode2Vec([]string{hexagon}) }},
 		{"node2vec-flags", func() error {
@@ -106,7 +172,7 @@ func TestSubcommands(t *testing.T) {
 
 func TestSubcommandErrors(t *testing.T) {
 	triangle := writeTemp(t, "0 1\n1 2\n2 0\n")
-	if err := cmdKernel([]string{"nope", triangle, triangle}, -1); err == nil {
+	if err := cmdKernel([]string{"nope", triangle, triangle}, -1, 0); err == nil {
 		t.Error("unknown kernel should error")
 	}
 	if err := cmdEmbed([]string{"nope", triangle}); err == nil {
@@ -121,10 +187,10 @@ func TestSubcommandErrors(t *testing.T) {
 	if err := cmdNode2Vec([]string{}); err == nil {
 		t.Error("node2vec without a file should error")
 	}
-	if err := cmdHomVec([]string{}); err == nil {
+	if err := cmdHomVec([]string{}, 0); err == nil {
 		t.Error("homvec without files should error")
 	}
-	if err := cmdHomVec([]string{filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
+	if err := cmdHomVec([]string{filepath.Join(t.TempDir(), "missing.txt")}, 0); err == nil {
 		t.Error("homvec on a missing file should error")
 	}
 	// Alignment distance rejects pairs whose blown-up order explodes.

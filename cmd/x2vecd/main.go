@@ -1,0 +1,380 @@
+// Command x2vecd is the x2vec embedding daemon: an HTTP JSON front end over
+// the internal/serve batching layer and the internal/model store. Train
+// once with `x2vec train … -model m.bin`, then serve vectors forever:
+//
+//	x2vecd -addr :8080 -model m.bin
+//
+// Endpoints (request bodies are JSON; graphs travel in the same edge-list
+// text format the CLI reads, including the optional "# n=K" header):
+//
+//	POST /embed    {"id": 3}                      vector of node/graph/token 3
+//	               from the loaded model — no retraining, bit-identical to
+//	               the offline x2vec pipeline that trained it
+//	POST /homvec   {"graph": "0 1\n1 2\n"}        log-scaled homomorphism vector
+//	POST /kernel   {"name": "wl", "a": …, "b": …} kernel value between two graphs
+//	POST /wl       {"graph": "0 1\n1 2\n"}        stable WL colouring
+//	GET  /healthz                                 liveness probe
+//	GET  /stats                                   cache hit rates, batch occupancy,
+//	                                              p50/p99 latency per pipeline
+//
+// Concurrency model: concurrent requests to the graph pipelines coalesce
+// into shared engine batches (-batch, -batch-delay), answers for repeated —
+// even renumbered — graphs come from per-pipeline LRU caches (-cache), and
+// each pipeline's engine parallelism is capped by -workers instead of any
+// process-global knob. SIGINT/SIGTERM drain in-flight requests and exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/graph2vec"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/word2vec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "model file for /embed (from `x2vec train … -model`)")
+	classPath := flag.String("homclass", "", "pattern-class model file for /homvec (default: the standard class)")
+	rounds := flag.Int("rounds", 5, "WL refinement depth for /wl and /kernel")
+	batch := flag.Int("batch", 32, "max requests coalesced into one engine pass")
+	batchDelay := flag.Duration("batch-delay", 2*time.Millisecond, "latency budget while filling a batch")
+	workers := flag.Int("workers", 0, "engine workers per pipeline (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 1024, "LRU entries per pipeline cache (negative disables)")
+	flag.Parse()
+
+	d, err := newDaemon(daemonConfig{
+		ModelPath: *modelPath,
+		ClassPath: *classPath,
+		Options: serve.Options{
+			Rounds:    *rounds,
+			MaxBatch:  *batch,
+			MaxDelay:  *batchDelay,
+			Workers:   *workers,
+			CacheSize: *cacheSize,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "x2vecd:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: d.handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("x2vecd listening on %s (model=%s)", *addr, describeModel(d))
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "x2vecd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("x2vecd shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("x2vecd: shutdown: %v", err)
+	}
+	d.close()
+}
+
+func describeModel(d *daemon) string {
+	if d.emb == nil {
+		return "none"
+	}
+	return d.emb.kind.String()
+}
+
+// daemonConfig bundles everything newDaemon needs; split from the flag
+// parsing so tests construct daemons directly.
+type daemonConfig struct {
+	ModelPath string
+	ClassPath string
+	Options   serve.Options
+}
+
+// loadedModel is the /embed lookup table, whichever kind was loaded.
+type loadedModel struct {
+	kind model.Kind
+	node *embed.NodeEmbedding
+	g2v  *graph2vec.Model
+	w2v  *word2vec.Model
+}
+
+// rows returns how many ids the model serves.
+func (m *loadedModel) rows() int {
+	switch m.kind {
+	case model.KindNodeEmbedding:
+		return m.node.Vectors.Rows
+	case model.KindGraph2Vec:
+		return m.g2v.Vectors.Rows
+	case model.KindWord2Vec:
+		return m.w2v.Vocab
+	}
+	return 0
+}
+
+// vector returns the embedding of id.
+func (m *loadedModel) vector(id int) []float64 {
+	switch m.kind {
+	case model.KindNodeEmbedding:
+		return m.node.Vector(id)
+	case model.KindGraph2Vec:
+		return m.g2v.Vector(id)
+	case model.KindWord2Vec:
+		return m.w2v.Vector(id)
+	}
+	return nil
+}
+
+func (m *loadedModel) method() string {
+	if m.kind == model.KindNodeEmbedding {
+		return m.node.Method
+	}
+	return m.kind.String()
+}
+
+type daemon struct {
+	srv *serve.Server
+	emb *loadedModel
+}
+
+func newDaemon(cfg daemonConfig) (*daemon, error) {
+	d := &daemon{}
+	if cfg.ModelPath != "" {
+		// One read + one CRC pass; kind dispatch happens on the decoded
+		// value, not a second trip through the file.
+		v, kind, err := model.LoadAny(cfg.ModelPath)
+		if err != nil {
+			return nil, err
+		}
+		lm := &loadedModel{kind: kind}
+		switch m := v.(type) {
+		case *embed.NodeEmbedding:
+			lm.node = m
+		case *graph2vec.Model:
+			lm.g2v = m
+		case *word2vec.Model:
+			lm.w2v = m
+		default:
+			return nil, fmt.Errorf("x2vecd: cannot serve /embed from a %v model", kind)
+		}
+		d.emb = lm
+	}
+	if cfg.ClassPath != "" {
+		class, err := model.LoadHomClass(cfg.ClassPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Options.Class = class
+	}
+	d.srv = serve.New(cfg.Options)
+	return d, nil
+}
+
+func (d *daemon) close() { d.srv.Close() }
+
+// maxBody bounds request bodies (32 MiB of edge-list text is far beyond any
+// sensible request graph).
+const maxBody = 32 << 20
+
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.srv.Stats())
+	})
+	mux.HandleFunc("/embed", d.handleEmbed)
+	mux.HandleFunc("/homvec", d.handleHomVec)
+	mux.HandleFunc("/kernel", d.handleKernel)
+	mux.HandleFunc("/wl", d.handleWL)
+	return http.MaxBytesHandler(mux, maxBody)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decode parses a JSON request body into v, rejecting unknown fields so
+// typos ("grpah") fail loudly instead of serving the empty graph.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// requestGraph decodes one edge-list text into a graph through the shared
+// validating reader — a malformed graph is a 400, never a panic.
+func requestGraph(w http.ResponseWriter, text, field string) (*graph.Graph, bool) {
+	if text == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing %q field", field))
+		return nil, false
+	}
+	g, err := graph.ParseGraph(text)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad graph in %q: %w", field, err))
+		return nil, false
+	}
+	return g, true
+}
+
+// serveStatus maps pipeline errors: a closed server is 503, anything else
+// (a failed engine batch) is 500.
+func serveStatus(err error) int {
+	if errors.Is(err, serve.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+type embedRequest struct {
+	ID int `json:"id"`
+}
+
+type embedResponse struct {
+	ID     int       `json:"id"`
+	Method string    `json:"method"`
+	Vector []float64 `json:"vector"`
+}
+
+func (d *daemon) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	var req embedRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if d.emb == nil {
+		writeError(w, http.StatusNotFound, errors.New("no model loaded; start x2vecd with -model"))
+		return
+	}
+	if req.ID < 0 || req.ID >= d.emb.rows() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("id %d out of range [0,%d)", req.ID, d.emb.rows()))
+		return
+	}
+	writeJSON(w, http.StatusOK, embedResponse{ID: req.ID, Method: d.emb.method(), Vector: d.emb.vector(req.ID)})
+}
+
+type graphRequest struct {
+	Graph string `json:"graph"`
+}
+
+type homvecResponse struct {
+	Vector []float64 `json:"vector"`
+}
+
+func (d *daemon) handleHomVec(w http.ResponseWriter, r *http.Request) {
+	var req graphRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, ok := requestGraph(w, req.Graph, "graph")
+	if !ok {
+		return
+	}
+	v, err := d.srv.HomVec(g)
+	if err != nil {
+		writeError(w, serveStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, homvecResponse{Vector: v})
+}
+
+type kernelRequest struct {
+	Name string `json:"name"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+type kernelResponse struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+func (d *daemon) handleKernel(w http.ResponseWriter, r *http.Request) {
+	var req kernelRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	a, ok := requestGraph(w, req.A, "a")
+	if !ok {
+		return
+	}
+	b, ok := requestGraph(w, req.B, "b")
+	if !ok {
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "wl"
+	}
+	v, err := d.srv.Kernel(name, a, b)
+	if err != nil {
+		status := serveStatus(err)
+		if errors.Is(err, serve.ErrUnknownKernel) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, kernelResponse{Name: name, Value: v})
+}
+
+type wlResponse struct {
+	Rounds  int   `json:"rounds"`
+	Classes int   `json:"classes"`
+	Colors  []int `json:"colors"`
+}
+
+func (d *daemon) handleWL(w http.ResponseWriter, r *http.Request) {
+	var req graphRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, ok := requestGraph(w, req.Graph, "graph")
+	if !ok {
+		return
+	}
+	res, err := d.srv.WL(g)
+	if err != nil {
+		writeError(w, serveStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wlResponse{Rounds: res.Rounds, Classes: res.Classes, Colors: res.Colors})
+}

@@ -1,0 +1,374 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/wl"
+)
+
+const hexagonText = "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n"
+
+func newTestDaemon(t *testing.T, cfg daemonConfig) (*daemon, *httptest.Server) {
+	t.Helper()
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		d.close()
+	})
+	return d, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestColdStartBitIdentical is the acceptance criterion: a daemon loading a
+// saved model from disk answers /embed and /homvec with vectors
+// bit-identical to the offline cmd/x2vec pipeline that trained them.
+func TestColdStartBitIdentical(t *testing.T) {
+	g, err := graph.ParseGraph(hexagonText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the offline `x2vec train node2vec -d 4` pipeline: seed 1,
+	// sequential deterministic engine.
+	offline := embed.Node2VecWorkers(g, 4, 1, 1, 1, rand.New(rand.NewSource(1)))
+	mp := filepath.Join(t.TempDir(), "m.bin")
+	if err := model.SaveNodeEmbedding(mp, offline); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp})
+
+	// Cold /embed vs offline vectors, bit for bit.
+	for v := 0; v < g.N(); v++ {
+		resp, body := postJSON(t, ts.URL+"/embed", map[string]int{"id": v})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/embed id=%d: status %d: %s", v, resp.StatusCode, body)
+		}
+		var er embedResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if er.Method != "node2vec" {
+			t.Errorf("method %q, want node2vec", er.Method)
+		}
+		want := offline.Vector(v)
+		if len(er.Vector) != len(want) {
+			t.Fatalf("id %d: %d dims, want %d", v, len(er.Vector), len(want))
+		}
+		for j := range want {
+			if er.Vector[j] != want[j] {
+				t.Fatalf("id %d dim %d: served %v, offline %v (must be bit-identical)", v, j, er.Vector[j], want[j])
+			}
+		}
+	}
+
+	// /homvec vs the offline `x2vec homvec` pipeline, bit for bit.
+	wantVec := hom.CorpusLogScaledVectors(hom.Compile(hom.StandardClass()), []*graph.Graph{g})[0]
+	resp, body := postJSON(t, ts.URL+"/homvec", map[string]string{"graph": hexagonText})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/homvec: status %d: %s", resp.StatusCode, body)
+	}
+	var hr homvecResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.Vector) != len(wantVec) {
+		t.Fatalf("%d coords, want %d", len(hr.Vector), len(wantVec))
+	}
+	for j := range wantVec {
+		if hr.Vector[j] != wantVec[j] {
+			t.Fatalf("coord %d: served %v, offline %v (must be bit-identical)", j, hr.Vector[j], wantVec[j])
+		}
+	}
+}
+
+func TestKernelAndWLEndpoints(t *testing.T) {
+	_, ts := newTestDaemon(t, daemonConfig{Options: serve.Options{Rounds: 5}})
+	triangle := "0 1\n1 2\n2 0\n"
+
+	resp, body := postJSON(t, ts.URL+"/kernel", map[string]string{"name": "wl", "a": hexagonText, "b": triangle})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/kernel: status %d: %s", resp.StatusCode, body)
+	}
+	var kr kernelResponse
+	if err := json.Unmarshal(body, &kr); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := graph.ParseGraph(hexagonText)
+	b, _ := graph.ParseGraph(triangle)
+	if want := (kernel.WLSubtree{Rounds: 5}).Compute(a, b); kr.Value != want {
+		t.Errorf("wl kernel = %v, offline %v", kr.Value, want)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/wl", map[string]string{"graph": hexagonText})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/wl: status %d: %s", resp.StatusCode, body)
+	}
+	var wr wlResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	offline := wl.RefineCorpus([]*graph.Graph{a}, 5)[0]
+	want := offline[len(offline)-1]
+	if wr.Rounds != 5 || len(wr.Colors) != a.N() {
+		t.Fatalf("rounds=%d len=%d", wr.Rounds, len(wr.Colors))
+	}
+	for v := range want {
+		if wr.Colors[v] != want[v] {
+			t.Errorf("vertex %d: colour %d, offline %d", v, wr.Colors[v], want[v])
+		}
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestDaemon(t, daemonConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Drive one request so the stats have a pipeline to report.
+	if resp, body := postJSON(t, ts.URL+"/homvec", map[string]string{"graph": "0 1\n"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/homvec: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	ps, ok := snap.Pipelines["homvec"]
+	if !ok || ps.Requests != 1 || ps.CacheMisses != 1 {
+		t.Errorf("stats = %+v, want one homvec request and miss", snap)
+	}
+}
+
+// TestRequestValidation: the daemon must turn every malformed request into
+// a 4xx JSON error — including the negative-id graphs that used to panic
+// the CLI's parser — and keep serving afterwards.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestDaemon(t, daemonConfig{})
+
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"negative vertex id", "/homvec", map[string]string{"graph": "-1 2\n"}, http.StatusBadRequest},
+		{"edge beyond n header", "/wl", map[string]string{"graph": "# n=2\n0 5\n"}, http.StatusBadRequest},
+		{"missing graph field", "/homvec", map[string]string{}, http.StatusBadRequest},
+		{"unknown field", "/homvec", map[string]string{"grpah": "0 1\n"}, http.StatusBadRequest},
+		{"unknown kernel", "/kernel", map[string]string{"name": "nope", "a": "0 1\n", "b": "0 1\n"}, http.StatusBadRequest},
+		{"kernel missing b", "/kernel", map[string]string{"name": "wl", "a": "0 1\n"}, http.StatusBadRequest},
+		{"embed without model", "/embed", map[string]int{"id": 0}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body %q not a JSON error", tc.name, body)
+		}
+	}
+
+	// GET on a POST endpoint.
+	resp, err := http.Get(ts.URL + "/homvec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /homvec: %d, want 405", resp.StatusCode)
+	}
+
+	// Still alive.
+	if resp, _ := postJSON(t, ts.URL+"/homvec", map[string]string{"graph": "0 1\n"}); resp.StatusCode != http.StatusOK {
+		t.Errorf("daemon stopped serving after bad requests")
+	}
+}
+
+// TestEmbedIDRange covers the model lookup bounds.
+func TestEmbedIDRange(t *testing.T) {
+	g := graph.Cycle(4)
+	e := embed.Node2VecWorkers(g, 3, 1, 1, 1, rand.New(rand.NewSource(1)))
+	mp := filepath.Join(t.TempDir(), "m.bin")
+	if err := model.SaveNodeEmbedding(mp, e); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp})
+	for _, id := range []int{-1, 4} {
+		resp, body := postJSON(t, ts.URL+"/embed", map[string]int{"id": id})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("id %d: status %d, want 400 (%s)", id, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestCustomHomClass: a pattern class saved by `x2vec train homclass` and
+// loaded with -homclass changes the /homvec feature space.
+func TestCustomHomClass(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "class.bin")
+	class := []*graph.Graph{graph.Path(3), graph.Cycle(4)}
+	if err := model.SaveHomClass(cp, class); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestDaemon(t, daemonConfig{ClassPath: cp})
+	resp, body := postJSON(t, ts.URL+"/homvec", map[string]string{"graph": hexagonText})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/homvec: %d %s", resp.StatusCode, body)
+	}
+	var hr homvecResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.Vector) != len(class) {
+		t.Fatalf("%d coords, want %d (the custom class)", len(hr.Vector), len(class))
+	}
+	g, _ := graph.ParseGraph(hexagonText)
+	want := hom.CorpusLogScaledVectors(hom.Compile(class), []*graph.Graph{g})[0]
+	for j := range want {
+		if hr.Vector[j] != want[j] {
+			t.Errorf("coord %d: %v, want %v", j, hr.Vector[j], want[j])
+		}
+	}
+}
+
+// TestBadModelFilesFailClosed: a daemon pointed at a corrupt or wrong-kind
+// model file must refuse to start.
+func TestBadModelFilesFailClosed(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "class.bin")
+	if err := model.SaveHomClass(cp, []*graph.Graph{graph.Path(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// A hom class is not an embedding model.
+	if _, err := newDaemon(daemonConfig{ModelPath: cp}); err == nil {
+		t.Error("hom-class file as -model should fail")
+	}
+	// And an embedding model is not a hom class.
+	g := graph.Cycle(4)
+	mp := filepath.Join(t.TempDir(), "m.bin")
+	if err := model.SaveNodeEmbedding(mp, embed.Node2VecWorkers(g, 3, 1, 1, 1, rand.New(rand.NewSource(1)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newDaemon(daemonConfig{ClassPath: mp}); err == nil {
+		t.Error("embedding model as -homclass should fail")
+	}
+	if _, err := newDaemon(daemonConfig{ModelPath: filepath.Join(t.TempDir(), "missing.bin")}); err == nil {
+		t.Error("missing model file should fail")
+	}
+}
+
+// TestConcurrentHTTPLoad drives the full HTTP stack concurrently and then
+// reads /stats: coalescing and caching must be visible end to end.
+func TestConcurrentHTTPLoad(t *testing.T) {
+	_, ts := newTestDaemon(t, daemonConfig{Options: serve.Options{
+		MaxBatch: 16, MaxDelay: 20 * time.Millisecond, Workers: 2,
+	}})
+	graphs := make([]string, 6)
+	for i := range graphs {
+		graphs[i] = fmt.Sprintf("0 1\n1 2\n2 3\n3 %d\n", 4+i%3)
+	}
+	const loaders = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errCh := make(chan error, loaders)
+	for w := 0; w < loaders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 12; i++ {
+				resp, body := postJSONQuiet(ts.URL+"/homvec", map[string]string{"graph": graphs[(w+i)%len(graphs)]})
+				if resp == nil || resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("homvec failed: %s", body)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	ps := snap.Pipelines["homvec"]
+	if ps.Requests != loaders*12 {
+		t.Fatalf("%d requests recorded, want %d", ps.Requests, loaders*12)
+	}
+	if ps.CacheHits == 0 {
+		t.Error("no cache hits despite repeated graphs")
+	}
+	if ps.Batches > 0 && ps.BatchOccupancy <= 1 && ps.CacheMisses > ps.Batches {
+		t.Errorf("no coalescing: %+v", ps)
+	}
+}
+
+func postJSONQuiet(url string, body any) (*http.Response, []byte) {
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp, out
+}

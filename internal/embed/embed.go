@@ -92,6 +92,7 @@ type WalkConfig struct {
 	WalksPerNode int
 	WalkLength   int
 	P, Q         float64 // node2vec return / in-out parameters; 1,1 = DeepWalk
+	Workers      int     // walk-generation worker cap; 0 = GOMAXPROCS (corpora are deterministic either way)
 }
 
 // RandomWalks samples second-order biased random walks in the node2vec
@@ -115,7 +116,7 @@ func RandomWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]int {
 	base := uint64(rng.Int63())
 	total := n * cfg.WalksPerNode
 	walks := make([][]int, total)
-	linalg.ParallelFor(total, func(i int) {
+	linalg.ParallelForWorkers(cfg.Workers, total, func(i int) {
 		r := sgns.NewFastRand(base ^ (uint64(i+1) * 0xd1342543de82ef95))
 		walks[i] = wk.walk(i/cfg.WalksPerNode, cfg.WalkLength, r)
 	})
@@ -192,11 +193,14 @@ func Node2Vec(g *graph.Graph, d int, p, q float64, rng *rand.Rand) *NodeEmbeddin
 	return Node2VecWorkers(g, d, p, q, 1, rng)
 }
 
-// Node2VecWorkers is Node2Vec with an explicit SGNS worker count: 0 uses
-// GOMAXPROCS Hogwild workers, 1 trains sequentially and is bit-reproducible
-// for a fixed rng seed (walk generation is deterministic either way).
+// Node2VecWorkers is Node2Vec with an explicit worker count covering both
+// stages: walk generation fans out over at most `workers` goroutines
+// (walk corpora are deterministic at any worker count — per-walk counter
+// PRNGs) and SGNS trains with the same cap, where 0 uses GOMAXPROCS
+// Hogwild workers and 1 trains sequentially, bit-reproducible for a fixed
+// rng seed.
 func Node2VecWorkers(g *graph.Graph, d int, p, q float64, workers int, rng *rand.Rand) *NodeEmbedding {
-	walks := RandomWalks(g, WalkConfig{WalksPerNode: 10, WalkLength: 20, P: p, Q: q}, rng)
+	walks := RandomWalks(g, WalkConfig{WalksPerNode: 10, WalkLength: 20, P: p, Q: q, Workers: workers}, rng)
 	cfg := word2vec.DefaultConfig()
 	cfg.Dim = d
 	cfg.Window = 5

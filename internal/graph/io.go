@@ -1,0 +1,160 @@
+package graph
+
+// The edge-list reader shared by the x2vec CLI and the x2vecd request
+// decoder. The CLI used to parse files itself and feed unvalidated ids
+// straight into AddEdge, so a negative vertex id in the input panicked deep
+// inside the graph package, and trailing isolated vertices were
+// unrepresentable because the order was inferred from the maximum edge
+// endpoint. Here parsing is a proper decoder: malformed input becomes an
+// error, and an optional "# n=K" header pins the vertex count.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadGraph parses the x2vec edge-list format from r:
+//
+//   - one "u v [weight]" edge per line, whitespace-separated;
+//   - blank lines and "#" comment lines are ignored, except that a comment
+//     of the exact form "# n=K" declares the vertex count, so graphs with
+//     trailing isolated vertices (or no edges at all) are representable;
+//   - vertex ids must be non-negative integers; the vertex count is
+//     max(K, largest endpoint + 1).
+//
+// Invalid input — negative or non-numeric ids, a malformed weight, an edge
+// endpoint at or above a declared "# n=K" — returns a descriptive error
+// instead of panicking, so a daemon can reject a bad request and keep
+// serving.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	declared := -1 // vertex count from a "# n=K" header, -1 when absent
+	maxV := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			k, ok, err := parseOrderHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if ok {
+				if k < 0 {
+					return nil, fmt.Errorf("line %d: vertex count n=%d must be non-negative", lineNo, k)
+				}
+				declared = k
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("line %d: want \"u v [weight]\", got %q", lineNo, line)
+		}
+		u, err := parseVertex(fields[0], lineNo)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseVertex(fields[1], lineNo)
+		if err != nil {
+			return nil, err
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad edge weight %q", lineNo, fields[2])
+			}
+		}
+		edges = append(edges, edge{u, v, w})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	n := maxV + 1
+	if declared >= 0 {
+		if maxV >= declared {
+			return nil, fmt.Errorf("edge endpoint %d out of range for declared n=%d", maxV, declared)
+		}
+		n = declared
+	}
+	g := New(n)
+	for _, e := range edges {
+		g.AddWeightedEdge(e.u, e.v, e.w)
+	}
+	return g, nil
+}
+
+// parseVertex parses one non-negative vertex id.
+func parseVertex(s string, lineNo int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: bad vertex id %q", lineNo, s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("line %d: vertex id %d must be non-negative", lineNo, v)
+	}
+	return v, nil
+}
+
+// parseOrderHeader recognises the "# n=K" vertex-count declaration
+// (whitespace-tolerant: "#n = 5" works too). Comments that do not match
+// the "n =" shape return ok=false; a comment that DOES match the shape but
+// carries an unparseable count (e.g. "# n=1O") is an error — silently
+// treating a typoed header as prose would serve features for the wrong
+// vertex count with a 200.
+func parseOrderHeader(line string) (k int, ok bool, err error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	if !strings.HasPrefix(rest, "n") {
+		return 0, false, nil
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, "n"))
+	if !strings.HasPrefix(rest, "=") {
+		return 0, false, nil
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, "="))
+	v, convErr := strconv.Atoi(rest)
+	if convErr != nil {
+		return 0, false, fmt.Errorf("bad vertex count in header %q", line)
+	}
+	return v, true, nil
+}
+
+// ParseGraph is ReadGraph over an in-memory edge-list string — the form the
+// daemon's JSON request decoder uses.
+func ParseGraph(s string) (*Graph, error) {
+	return ReadGraph(strings.NewReader(s))
+}
+
+// LoadGraphFile reads one graph from an edge-list file.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadGraph(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}

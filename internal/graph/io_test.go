@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadGraphBasic(t *testing.T) {
+	g, err := ParseGraph("# comment\n0 1\n1 2 2.5\n\n2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 3,3", g.N(), g.M())
+	}
+	if w := g.EdgeWeight(1, 2); w != 2.5 {
+		t.Errorf("weight(1,2)=%v, want 2.5", w)
+	}
+}
+
+// TestReadGraphOrderHeader: "# n=K" must make trailing isolated vertices
+// (and completely empty graphs) representable — the old CLI parser inferred
+// the order from the max edge endpoint and silently dropped them.
+func TestReadGraphOrderHeader(t *testing.T) {
+	g, err := ParseGraph("# n=5\n0 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d, want 5,1", g.N(), g.M())
+	}
+	for v := 2; v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Errorf("vertex %d should be isolated", v)
+		}
+	}
+
+	// Header variants and placement.
+	for _, in := range []string{"#n=4\n", "# n = 4\n0 1\n", "0 1\n# n=4\n"} {
+		g, err := ParseGraph(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if g.N() != 4 {
+			t.Errorf("%q: n=%d, want 4", in, g.N())
+		}
+	}
+
+	// Edgeless declared graph.
+	g, err = ParseGraph("# n=3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("n=%d m=%d, want 3,0", g.N(), g.M())
+	}
+
+	// Empty input is the empty graph, not an error.
+	g, err = ParseGraph("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 {
+		t.Fatalf("n=%d, want 0", g.N())
+	}
+}
+
+// TestReadGraphErrors: every malformed input must come back as an error —
+// the old path panicked inside graph.AddEdge on a negative id.
+func TestReadGraphErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"negative id", "-1 2\n", "non-negative"},
+		{"negative second id", "0 -7\n", "non-negative"},
+		{"non-numeric", "a b\n", "bad vertex id"},
+		{"single field", "0\n", "u v [weight]"},
+		{"too many fields", "0 1 2 3\n", "u v [weight]"},
+		{"bad weight", "0 1 heavy\n", "bad edge weight"},
+		{"endpoint beyond header", "# n=2\n0 5\n", "out of range"},
+		{"negative header", "# n=-3\n", "non-negative"},
+		{"typoed header count", "# n=1O\n0 1\n", "bad vertex count"},
+		{"header with trailing prose", "# n=5 vertices\n0 1\n", "bad vertex count"},
+	}
+	for _, tc := range cases {
+		_, err := ParseGraph(tc.in)
+		if err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLoadGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(p, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraphFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := LoadGraphFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("-1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGraphFile(bad); err == nil {
+		t.Error("negative id should error")
+	} else if !strings.Contains(err.Error(), "bad.txt") {
+		t.Errorf("error should name the file: %v", err)
+	}
+}

@@ -84,6 +84,12 @@ func Train(gs []*graph.Graph, cfg Config, rng *rand.Rand) *Model {
 	return &Model{Vectors: docVec, vocab: vocab}
 }
 
+// NewModel wraps pre-trained per-graph vectors, e.g. loaded back from the
+// model store. graph2vec is transductive — the vectors ARE the model — and
+// the WL-colour vocabulary is process-local interning state, so a restored
+// model carries no vocab.
+func NewModel(vectors *linalg.Matrix) *Model { return &Model{Vectors: vectors} }
+
 // Vector returns the embedding of graph i.
 func (m *Model) Vector(i int) []float64 { return m.Vectors.Row(i) }
 

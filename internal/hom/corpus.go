@@ -41,8 +41,14 @@ func (c *CompiledClass) logScaleInPlace(v []float64) {
 // per-goroutine scratch buffers. CorpusVectors(Compile(class), gs)[i] equals
 // Vector(class, gs[i]) for every i.
 func CorpusVectors(c *CompiledClass, gs []*graph.Graph) [][]float64 {
+	return CorpusVectorsWorkers(c, gs, 0)
+}
+
+// CorpusVectorsWorkers is CorpusVectors with an explicit worker cap (0 or
+// negative = GOMAXPROCS), for per-pipeline parallelism bounds.
+func CorpusVectorsWorkers(c *CompiledClass, gs []*graph.Graph, workers int) [][]float64 {
 	out := make([][]float64, len(gs))
-	linalg.ParallelFor(len(gs), func(i int) {
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
 		sc := scratchPool.Get().(*evalScratch)
 		v := make([]float64, len(c.pats))
 		c.vectorInto(sc, gs[i], v)
@@ -55,8 +61,14 @@ func CorpusVectors(c *CompiledClass, gs []*graph.Graph) [][]float64 {
 // CorpusLogScaledVectors is CorpusVectors followed by the log(1+hom)/|F|
 // scaling, matching hom.LogScaledVector per graph.
 func CorpusLogScaledVectors(c *CompiledClass, gs []*graph.Graph) [][]float64 {
-	out := CorpusVectors(c, gs)
-	linalg.ParallelFor(len(out), func(i int) {
+	return CorpusLogScaledVectorsWorkers(c, gs, 0)
+}
+
+// CorpusLogScaledVectorsWorkers is CorpusLogScaledVectors with an explicit
+// worker cap (0 or negative = GOMAXPROCS).
+func CorpusLogScaledVectorsWorkers(c *CompiledClass, gs []*graph.Graph, workers int) [][]float64 {
+	out := CorpusVectorsWorkers(c, gs, workers)
+	linalg.ParallelForWorkers(workers, len(out), func(i int) {
 		c.logScaleInPlace(out[i])
 	})
 	return out

@@ -28,10 +28,13 @@ type FeatureKernel interface {
 // across a worker pool through the lock-striped canonical colour store,
 // instead of n independent CanonicalColors calls. CorpusFeatures must
 // return exactly one vector per input graph, equal to Features(gs[i]) for
-// every i.
+// every i. workers caps the extraction pool (0 or negative = GOMAXPROCS);
+// it is an explicit parameter so multi-pipeline processes (the serve
+// batcher, the daemon) can bound each pipeline without touching the
+// process-global runtime.GOMAXPROCS.
 type CorpusFeatureKernel interface {
 	FeatureKernel
-	CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector
+	CorpusFeatures(gs []*graph.Graph, workers int) []linalg.SparseVector
 }
 
 // wlSubtreeVector folds one graph's per-round canonical colours (as
@@ -57,10 +60,10 @@ func (k WLSubtree) Features(g *graph.Graph) linalg.SparseVector {
 
 // CorpusFeatures implements CorpusFeatureKernel from one batched
 // wl.RefineCorpus pass over the whole corpus.
-func (k WLSubtree) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
-	cols := wl.RefineCorpus(gs, k.Rounds)
+func (k WLSubtree) CorpusFeatures(gs []*graph.Graph, workers int) []linalg.SparseVector {
+	cols := wl.RefineCorpusWorkers(gs, k.Rounds, workers)
 	feats := make([]linalg.SparseVector, len(gs))
-	linalg.ParallelFor(len(gs), func(i int) {
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
 		feats[i] = wlSubtreeVector(cols[i])
 	})
 	return feats
@@ -94,10 +97,10 @@ func (k WLDiscounted) Features(g *graph.Graph) linalg.SparseVector {
 
 // CorpusFeatures implements CorpusFeatureKernel from one batched
 // wl.RefineCorpus pass over the whole corpus.
-func (k WLDiscounted) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
-	cols := wl.RefineCorpus(gs, k.rounds())
+func (k WLDiscounted) CorpusFeatures(gs []*graph.Graph, workers int) []linalg.SparseVector {
+	cols := wl.RefineCorpusWorkers(gs, k.rounds(), workers)
 	feats := make([]linalg.SparseVector, len(gs))
-	linalg.ParallelFor(len(gs), func(i int) {
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
 		feats[i] = wlDiscountedVector(cols[i])
 	})
 	return feats
@@ -159,15 +162,15 @@ func (k HomVector) Features(g *graph.Graph) linalg.SparseVector {
 // pooled DP scratch — no per-call decomposition rebuilds, no per-table
 // reallocation. Scaling replays the Features formulas on the same counts, so
 // corpus vectors equal per-graph Features coordinate for coordinate.
-func (k HomVector) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
+func (k HomVector) CorpusFeatures(gs []*graph.Graph, workers int) []linalg.SparseVector {
 	class := k.class()
 	cc := hom.Compile(class)
 	var dense [][]float64
 	if k.Log {
-		dense = hom.CorpusLogScaledVectors(cc, gs)
+		dense = hom.CorpusLogScaledVectorsWorkers(cc, gs, workers)
 	} else {
-		dense = hom.CorpusVectors(cc, gs)
-		linalg.ParallelFor(len(dense), func(i int) {
+		dense = hom.CorpusVectorsWorkers(cc, gs, workers)
+		linalg.ParallelForWorkers(workers, len(dense), func(i int) {
 			for j, f := range class {
 				sz := float64(f.N())
 				dense[i][j] /= math.Pow(sz, sz)
@@ -175,7 +178,7 @@ func (k HomVector) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
 		})
 	}
 	feats := make([]linalg.SparseVector, len(gs))
-	linalg.ParallelFor(len(gs), func(i int) {
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
 		feats[i] = denseToSparse(dense[i])
 	})
 	return feats
@@ -197,11 +200,17 @@ func denseToSparse(dense []float64) linalg.SparseVector {
 // (CorpusFeatureKernel) get one batched pass over the whole set; the rest
 // get one Features call per graph across a GOMAXPROCS-sized worker pool.
 func FeatureVectors(k FeatureKernel, gs []*graph.Graph) []linalg.SparseVector {
+	return FeatureVectorsWorkers(k, gs, 0)
+}
+
+// FeatureVectorsWorkers is FeatureVectors with an explicit worker cap
+// (0 or negative = GOMAXPROCS).
+func FeatureVectorsWorkers(k FeatureKernel, gs []*graph.Graph, workers int) []linalg.SparseVector {
 	if ck, ok := k.(CorpusFeatureKernel); ok {
-		return ck.CorpusFeatures(gs)
+		return ck.CorpusFeatures(gs, workers)
 	}
 	feats := make([]linalg.SparseVector, len(gs))
-	linalg.ParallelFor(len(gs), func(i int) {
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
 		feats[i] = k.Features(gs[i])
 	})
 	return feats

@@ -100,9 +100,9 @@ func (c countingKernel) Features(g *graph.Graph) linalg.SparseVector {
 	return c.WLSubtree.Features(g)
 }
 
-func (c countingKernel) CorpusFeatures(gs []*graph.Graph) []linalg.SparseVector {
+func (c countingKernel) CorpusFeatures(gs []*graph.Graph, workers int) []linalg.SparseVector {
 	c.corpusGraphs.Add(int64(len(gs)))
-	return c.WLSubtree.CorpusFeatures(gs)
+	return c.WLSubtree.CorpusFeatures(gs, workers)
 }
 
 func TestGramExtractsFeaturesOncePerGraph(t *testing.T) {
@@ -131,7 +131,7 @@ func TestCorpusFeaturesMatchSingleGraphFeatures(t *testing.T) {
 		HomVector{Class: hom.StandardClass(), Log: true},
 	}
 	for _, k := range corpusKernels {
-		batch := k.CorpusFeatures(gs)
+		batch := k.CorpusFeatures(gs, 0)
 		if len(batch) != len(gs) {
 			t.Fatalf("%s: %d corpus vectors for %d graphs", k.Name(), len(batch), len(gs))
 		}

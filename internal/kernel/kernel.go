@@ -375,13 +375,21 @@ func scaledHomVector(class []*graph.Graph, g *graph.Graph) []float64 {
 // instead of O(n²)). Kernels without a feature map (e.g. RandomWalk) fall
 // back to a parallelised pairwise loop with identical Compute semantics.
 func Gram(k Kernel, gs []*graph.Graph) *linalg.Matrix {
+	return GramWorkers(k, gs, 0)
+}
+
+// GramWorkers is Gram with an explicit worker cap for both the feature
+// extraction and the symmetric matrix fill (0 or negative = GOMAXPROCS) —
+// the per-pipeline knob that replaced the CLI's old runtime.GOMAXPROCS
+// mutation.
+func GramWorkers(k Kernel, gs []*graph.Graph, workers int) *linalg.Matrix {
 	if fk, ok := k.(FeatureKernel); ok {
-		feats := FeatureVectors(fk, gs)
-		return linalg.SymmetricFromFunc(len(gs), func(i, j int) float64 {
+		feats := FeatureVectorsWorkers(fk, gs, workers)
+		return linalg.SymmetricFromFuncWorkers(workers, len(gs), func(i, j int) float64 {
 			return feats[i].Dot(feats[j])
 		})
 	}
-	return linalg.SymmetricFromFunc(len(gs), func(i, j int) float64 {
+	return linalg.SymmetricFromFuncWorkers(workers, len(gs), func(i, j int) float64 {
 		return k.Compute(gs[i], gs[j])
 	})
 }

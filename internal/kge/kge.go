@@ -22,6 +22,12 @@ type TransEConfig struct {
 	Margin float64
 	LR     float64
 	Epochs int
+	// UnfilteredNegatives restores the original sampler, which drew the
+	// corrupting entity blindly: the "negative" could equal the positive
+	// triple itself or another known fact, so the margin step pushed TRUE
+	// facts apart (false negatives). Kept only as the regression baseline —
+	// see TestFilteredNegativesBeatUnfiltered.
+	UnfilteredNegatives bool
 }
 
 // DefaultTransEConfig returns small-scale defaults.
@@ -48,14 +54,21 @@ func TrainTransE(triples []Triple, numEntities, numRelations int, cfg TransEConf
 	for _, r := range m.Relations {
 		normalize(r)
 	}
+	// The known-triple set is built once up front: corrupted triples are
+	// resampled until they are genuinely false (not the positive itself,
+	// not any training fact), so the margin loss never pushes true facts
+	// apart. Bordes et al. call these corrupted-but-true samples the reason
+	// for "filtered" evaluation; filtering them during *training* is what
+	// the daemon-facing models need to not regress on dense KGs.
+	known := make(map[Triple]bool, len(triples))
+	for _, t := range triples {
+		known[t] = true
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for _, t := range triples {
-			// Corrupt head or tail.
-			corrupt := t
-			if rng.Intn(2) == 0 {
-				corrupt[0] = rng.Intn(numEntities)
-			} else {
-				corrupt[2] = rng.Intn(numEntities)
+			corrupt, ok := corruptTriple(t, numEntities, known, cfg.UnfilteredNegatives, rng)
+			if !ok {
+				continue // no false triple found (degenerate dense KG); skip
 			}
 			m.marginStep(t, corrupt, cfg)
 		}
@@ -65,6 +78,32 @@ func TrainTransE(triples []Triple, numEntities, numRelations int, cfg TransEConf
 		}
 	}
 	return m
+}
+
+// corruptResampleCap bounds the rejection loop on KGs so dense that almost
+// every corruption is a known fact.
+const corruptResampleCap = 64
+
+// corruptTriple replaces the head or tail of t with a random entity. In
+// filtered mode (the default) it resamples until the corruption differs
+// from the positive and is not a known triple; unfiltered mode reproduces
+// the legacy single blind draw.
+func corruptTriple(t Triple, numEntities int, known map[Triple]bool, unfiltered bool, rng *rand.Rand) (Triple, bool) {
+	for tries := 0; tries < corruptResampleCap; tries++ {
+		corrupt := t
+		if rng.Intn(2) == 0 {
+			corrupt[0] = rng.Intn(numEntities)
+		} else {
+			corrupt[2] = rng.Intn(numEntities)
+		}
+		if unfiltered {
+			return corrupt, true
+		}
+		if corrupt != t && !known[corrupt] {
+			return corrupt, true
+		}
+	}
+	return t, false
 }
 
 // Score returns ‖h + r − t‖ (lower means more plausible).

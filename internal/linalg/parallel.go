@@ -10,8 +10,18 @@ import (
 // pool. Indices are handed out through an atomic counter, so uneven work
 // items (e.g. the shrinking rows of a triangular Gram fill) stay balanced
 // across workers. f must be safe to call concurrently for distinct i.
-func ParallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+func ParallelFor(n int, f func(i int)) { ParallelForWorkers(0, n, f) }
+
+// ParallelForWorkers is ParallelFor with an explicit worker cap: at most
+// `workers` goroutines run f concurrently (0 or negative selects the
+// GOMAXPROCS default). Pipelines that serve concurrent callers — the serve
+// batcher, the daemon — size their pools through this instead of mutating
+// the process-global runtime.GOMAXPROCS, so one capped pipeline cannot
+// starve every other one in the process.
+func ParallelForWorkers(workers, n int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -44,8 +54,14 @@ func ParallelFor(n int, f func(i int)) {
 // across the worker pool. The worker owning row i writes (i, j) and the
 // mirror (j, i) for j >= i, so every matrix element has a unique writer.
 func SymmetricFromFunc(n int, entry func(i, j int) float64) *Matrix {
+	return SymmetricFromFuncWorkers(0, n, entry)
+}
+
+// SymmetricFromFuncWorkers is SymmetricFromFunc with an explicit worker cap
+// (0 = GOMAXPROCS), for callers that bound per-pipeline parallelism.
+func SymmetricFromFuncWorkers(workers, n int, entry func(i, j int) float64) *Matrix {
 	m := NewMatrix(n, n)
-	ParallelFor(n, func(i int) {
+	ParallelForWorkers(workers, n, func(i int) {
 		for j := i; j < n; j++ {
 			v := entry(i, j)
 			m.Set(i, j, v)

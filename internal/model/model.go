@@ -1,0 +1,556 @@
+// Package model is the versioned binary model store of the serving layer:
+// train once with cmd/x2vec, persist, and let cmd/x2vecd answer requests
+// from the saved parameters without retraining. Before this package the
+// repository had no Save/Load at all — every CLI run retrained from
+// scratch and threw the vectors away with the process.
+//
+// # File format (version 1)
+//
+//	offset  size  field
+//	0       4     magic "x2vm"
+//	4       2     format version, uint16 LE (currently 1)
+//	6       2     model kind, uint16 LE (see Kind)
+//	8       ...   kind-specific payload, little-endian throughout
+//	end-4   4     CRC32 (IEEE) over bytes [0, end-4), uint32 LE
+//
+// Matrices are stored as (precision uint8, rows uint32, cols uint32,
+// rows*cols floats LE) blocks, where precision is 8 for float64 (the
+// native parameter type; round-trips are bit-identical) or 4 for float32
+// (half the bytes, for models whose consumers tolerate quantisation).
+// Strings are (len uint32, bytes); per-graph payloads store order,
+// directedness, vertex labels, and full (u, v, weight, label) edge records.
+//
+// Every loader rejects wrong magic, unknown versions, unknown kinds,
+// truncation, and CRC mismatches with descriptive errors — a daemon must
+// fail closed on a bad model file, not serve garbage vectors.
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/graph2vec"
+	"repro/internal/linalg"
+	"repro/internal/word2vec"
+)
+
+// Kind identifies what a model file holds.
+type Kind uint16
+
+const (
+	// KindWord2Vec is a word2vec.Model: In and Out parameter matrices.
+	KindWord2Vec Kind = 1
+	// KindNodeEmbedding is an embed.NodeEmbedding: one vector per vertex of
+	// the training graph, plus the method name (node2vec, deepwalk, line, …).
+	KindNodeEmbedding Kind = 2
+	// KindGraph2Vec is a graph2vec.Model: one vector per training graph.
+	KindGraph2Vec Kind = 3
+	// KindHomClass is a homomorphism pattern class: the graphs themselves;
+	// the consumer recompiles them with hom.Compile after loading.
+	KindHomClass Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWord2Vec:
+		return "word2vec"
+	case KindNodeEmbedding:
+		return "node-embedding"
+	case KindGraph2Vec:
+		return "graph2vec"
+	case KindHomClass:
+		return "hom-class"
+	}
+	return fmt.Sprintf("kind(%d)", uint16(k))
+}
+
+// Version is the current file format version.
+const Version uint16 = 1
+
+var magic = [4]byte{'x', '2', 'v', 'm'}
+
+// Sentinel errors for the rejection paths; all loader errors wrap one of
+// these (or an os error for I/O failures).
+var (
+	ErrBadMagic   = errors.New("model: not an x2vec model file")
+	ErrBadVersion = errors.New("model: unsupported format version")
+	ErrBadKind    = errors.New("model: unexpected model kind")
+	ErrCorrupt    = errors.New("model: corrupt model file")
+	ErrBadPayload = errors.New("model: malformed payload")
+)
+
+// --- encoding helpers -------------------------------------------------
+
+type encoder struct{ buf bytes.Buffer }
+
+func (e *encoder) u8(x uint8)   { e.buf.WriteByte(x) }
+func (e *encoder) u32(x uint32) { e.put(x) }
+func (e *encoder) i64(x int64)  { e.put(x) }
+func (e *encoder) f64(x float64) {
+	e.put(math.Float64bits(x))
+}
+func (e *encoder) put(x any) { binary.Write(&e.buf, binary.LittleEndian, x) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf.WriteString(s)
+}
+
+// matrix writes one matrix block. prec is 8 (float64, exact) or 4
+// (float32, quantised).
+func (e *encoder) matrix(data []float64, rows, cols, prec int) {
+	e.u8(uint8(prec))
+	e.u32(uint32(rows))
+	e.u32(uint32(cols))
+	for _, x := range data[:rows*cols] {
+		if prec == 4 {
+			e.put(math.Float32bits(float32(x)))
+		} else {
+			e.f64(x)
+		}
+	}
+}
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+// remaining returns how many payload bytes are left to decode.
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) need(n int) ([]byte, error) {
+	if d.off+n > len(d.b) {
+		return nil, fmt.Errorf("%w: payload truncated at byte %d", ErrBadPayload, d.off)
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s, nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	s, err := d.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return s[0], nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	s, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(s), nil
+}
+
+func (d *decoder) i64() (int64, error) {
+	s, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(s)), nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	s, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(s)), nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	s, err := d.need(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+// matrix reads one matrix block back into float64s.
+func (d *decoder) matrix() (data []float64, rows, cols int, err error) {
+	prec, err := d.u8()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if prec != 4 && prec != 8 {
+		return nil, 0, 0, fmt.Errorf("%w: matrix precision %d", ErrBadPayload, prec)
+	}
+	r, err := d.u32()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	c, err := d.u32()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	rows, cols = int(r), int(c)
+	if rows < 0 || cols < 0 || (cols != 0 && rows > (len(d.b)-d.off)/(cols*int(prec))) {
+		return nil, 0, 0, fmt.Errorf("%w: matrix %dx%d exceeds payload", ErrBadPayload, rows, cols)
+	}
+	raw, err := d.need(rows * cols * int(prec))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	data = make([]float64, rows*cols)
+	for i := range data {
+		if prec == 4 {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		} else {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	return data, rows, cols, nil
+}
+
+// --- container --------------------------------------------------------
+
+// writeFile frames payload with the header and CRC trailer and writes it.
+func writeFile(path string, kind Kind, payload []byte) error {
+	var out bytes.Buffer
+	out.Write(magic[:])
+	binary.Write(&out, binary.LittleEndian, Version)
+	binary.Write(&out, binary.LittleEndian, uint16(kind))
+	out.Write(payload)
+	binary.Write(&out, binary.LittleEndian, crc32.ChecksumIEEE(out.Bytes()))
+	return os.WriteFile(path, out.Bytes(), 0o644)
+}
+
+// readFile verifies the container and returns the payload bytes and kind.
+func readFile(path string) ([]byte, Kind, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	const headerLen, trailerLen = 8, 4
+	if len(b) < headerLen+trailerLen {
+		return nil, 0, fmt.Errorf("%w: %d bytes is too short for a model file", ErrCorrupt, len(b))
+	}
+	if !bytes.Equal(b[:4], magic[:]) {
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrBadMagic, b[:4])
+	}
+	body, trailer := b[:len(b)-trailerLen], b[len(b)-trailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
+		return nil, 0, fmt.Errorf("%w: file version %d, this build reads %d", ErrBadVersion, v, Version)
+	}
+	kind := Kind(binary.LittleEndian.Uint16(b[6:8]))
+	return body[headerLen:], kind, nil
+}
+
+// Sniff returns the kind of a model file after full container validation
+// (magic, version, CRC).
+func Sniff(path string) (Kind, error) {
+	_, kind, err := readFile(path)
+	return kind, err
+}
+
+// LoadAny reads a model file ONCE and dispatches on its kind, returning
+// *word2vec.Model, *embed.NodeEmbedding, *graph2vec.Model, or
+// []*graph.Graph — the daemon's -model entry point (a Sniff-then-Load pair
+// would read and CRC a potentially large file twice).
+func LoadAny(path string) (any, Kind, error) {
+	payload, kind, err := readFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var v any
+	switch kind {
+	case KindWord2Vec:
+		v, err = decodeWord2Vec(payload)
+	case KindNodeEmbedding:
+		v, err = decodeNodeEmbedding(payload)
+	case KindGraph2Vec:
+		v, err = decodeGraph2Vec(payload)
+	case KindHomClass:
+		v, err = decodeHomClass(payload)
+	default:
+		return nil, kind, fmt.Errorf("%w: %v", ErrBadKind, kind)
+	}
+	if err != nil {
+		return nil, kind, err
+	}
+	return v, kind, nil
+}
+
+func expectKind(got, want Kind) error {
+	if got != want {
+		return fmt.Errorf("%w: file holds %v, want %v", ErrBadKind, got, want)
+	}
+	return nil
+}
+
+// --- word2vec ---------------------------------------------------------
+
+// SaveWord2Vec persists a word2vec model (both parameter matrices, exact).
+func SaveWord2Vec(path string, m *word2vec.Model) error {
+	var e encoder
+	e.u32(uint32(m.Vocab))
+	e.u32(uint32(m.Dim))
+	e.matrix(flattenRows(m.In, m.Dim), m.Vocab, m.Dim, 8)
+	e.matrix(flattenRows(m.Out, m.Dim), m.Vocab, m.Dim, 8)
+	return writeFile(path, KindWord2Vec, e.buf.Bytes())
+}
+
+// LoadWord2Vec restores a word2vec model saved by SaveWord2Vec.
+func LoadWord2Vec(path string) (*word2vec.Model, error) {
+	payload, kind, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := expectKind(kind, KindWord2Vec); err != nil {
+		return nil, err
+	}
+	return decodeWord2Vec(payload)
+}
+
+func decodeWord2Vec(payload []byte) (*word2vec.Model, error) {
+	d := &decoder{b: payload}
+	vocab, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	dim, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	in, rows, cols, err := d.matrix()
+	if err != nil {
+		return nil, err
+	}
+	if rows != int(vocab) || cols != int(dim) {
+		return nil, fmt.Errorf("%w: In matrix %dx%d, header says %dx%d", ErrBadPayload, rows, cols, vocab, dim)
+	}
+	out, rows, cols, err := d.matrix()
+	if err != nil {
+		return nil, err
+	}
+	if rows != int(vocab) || cols != int(dim) {
+		return nil, fmt.Errorf("%w: Out matrix %dx%d, header says %dx%d", ErrBadPayload, rows, cols, vocab, dim)
+	}
+	return &word2vec.Model{
+		Dim:   int(dim),
+		Vocab: int(vocab),
+		In:    rowViews(in, int(vocab), int(dim)),
+		Out:   rowViews(out, int(vocab), int(dim)),
+	}, nil
+}
+
+// --- node embeddings (node2vec, deepwalk, LINE, spectral) -------------
+
+// SaveNodeEmbedding persists a per-vertex embedding with its method name.
+func SaveNodeEmbedding(path string, e *embed.NodeEmbedding) error {
+	var enc encoder
+	enc.str(e.Method)
+	enc.matrix(e.Vectors.Data, e.Vectors.Rows, e.Vectors.Cols, 8)
+	return writeFile(path, KindNodeEmbedding, enc.buf.Bytes())
+}
+
+// LoadNodeEmbedding restores a node embedding saved by SaveNodeEmbedding.
+func LoadNodeEmbedding(path string) (*embed.NodeEmbedding, error) {
+	payload, kind, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := expectKind(kind, KindNodeEmbedding); err != nil {
+		return nil, err
+	}
+	return decodeNodeEmbedding(payload)
+}
+
+func decodeNodeEmbedding(payload []byte) (*embed.NodeEmbedding, error) {
+	d := &decoder{b: payload}
+	method, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	data, rows, cols, err := d.matrix()
+	if err != nil {
+		return nil, err
+	}
+	m := linalg.NewMatrix(rows, cols)
+	copy(m.Data, data)
+	return &embed.NodeEmbedding{Vectors: m, Method: method}, nil
+}
+
+// --- graph2vec --------------------------------------------------------
+
+// SaveGraph2Vec persists the learned per-graph vectors. The WL vocabulary
+// is process-local interning state and is not persisted; graph2vec is
+// transductive, so the vectors are the entire serving surface.
+func SaveGraph2Vec(path string, m *graph2vec.Model) error {
+	var e encoder
+	e.matrix(m.Vectors.Data, m.Vectors.Rows, m.Vectors.Cols, 8)
+	return writeFile(path, KindGraph2Vec, e.buf.Bytes())
+}
+
+// LoadGraph2Vec restores a graph2vec model saved by SaveGraph2Vec.
+func LoadGraph2Vec(path string) (*graph2vec.Model, error) {
+	payload, kind, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := expectKind(kind, KindGraph2Vec); err != nil {
+		return nil, err
+	}
+	return decodeGraph2Vec(payload)
+}
+
+func decodeGraph2Vec(payload []byte) (*graph2vec.Model, error) {
+	d := &decoder{b: payload}
+	data, rows, cols, err := d.matrix()
+	if err != nil {
+		return nil, err
+	}
+	m := linalg.NewMatrix(rows, cols)
+	copy(m.Data, data)
+	return graph2vec.NewModel(m), nil
+}
+
+// --- homomorphism pattern classes -------------------------------------
+
+// SaveHomClass persists a pattern class graph by graph. Consumers recompile
+// with hom.Compile after loading — the compiled programs are cheap to
+// rebuild and full of pointers, the graphs are the ground truth.
+func SaveHomClass(path string, class []*graph.Graph) error {
+	var e encoder
+	e.u32(uint32(len(class)))
+	for _, g := range class {
+		dir := uint8(0)
+		if g.Directed() {
+			dir = 1
+		}
+		e.u8(dir)
+		e.u32(uint32(g.N()))
+		for v := 0; v < g.N(); v++ {
+			e.i64(int64(g.VertexLabel(v)))
+		}
+		e.u32(uint32(g.M()))
+		for _, ed := range g.Edges() {
+			e.u32(uint32(ed.U))
+			e.u32(uint32(ed.V))
+			e.f64(ed.Weight)
+			e.i64(int64(ed.Label))
+		}
+	}
+	return writeFile(path, KindHomClass, e.buf.Bytes())
+}
+
+// LoadHomClass restores a pattern class saved by SaveHomClass.
+func LoadHomClass(path string) ([]*graph.Graph, error) {
+	payload, kind, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := expectKind(kind, KindHomClass); err != nil {
+		return nil, err
+	}
+	return decodeHomClass(payload)
+}
+
+func decodeHomClass(payload []byte) ([]*graph.Graph, error) {
+	d := &decoder{b: payload}
+	count, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Bound every file-supplied count by the bytes that would have to back
+	// it (like decoder.matrix does): a graph record is at least 9 bytes
+	// (dir + n + m), a vertex label 8, an edge 24. A crafted header cannot
+	// make the loader allocate gigabytes before hitting truncation.
+	if int(count) > d.remaining()/9 {
+		return nil, fmt.Errorf("%w: %d graphs exceed payload", ErrBadPayload, count)
+	}
+	class := make([]*graph.Graph, 0, count)
+	for gi := uint32(0); gi < count; gi++ {
+		dir, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > d.remaining()/8 {
+			return nil, fmt.Errorf("%w: graph %d order %d exceeds payload", ErrBadPayload, gi, n)
+		}
+		var g *graph.Graph
+		if dir == 1 {
+			g = graph.NewDirected(int(n))
+		} else {
+			g = graph.New(int(n))
+		}
+		for v := 0; v < int(n); v++ {
+			l, err := d.i64()
+			if err != nil {
+				return nil, err
+			}
+			g.SetVertexLabel(v, int(l))
+		}
+		m, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(m) > d.remaining()/24 {
+			return nil, fmt.Errorf("%w: graph %d size %d exceeds payload", ErrBadPayload, gi, m)
+		}
+		for ei := uint32(0); ei < m; ei++ {
+			u, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			w, err := d.f64()
+			if err != nil {
+				return nil, err
+			}
+			l, err := d.i64()
+			if err != nil {
+				return nil, err
+			}
+			if int(u) >= int(n) || int(v) >= int(n) {
+				return nil, fmt.Errorf("%w: edge (%d,%d) out of range for n=%d", ErrBadPayload, u, v, n)
+			}
+			g.AddEdgeFull(int(u), int(v), w, int(l))
+		}
+		class = append(class, g)
+	}
+	return class, nil
+}
+
+// --- shared helpers ---------------------------------------------------
+
+// flattenRows concatenates row views back into one flat matrix.
+func flattenRows(rows [][]float64, dim int) []float64 {
+	out := make([]float64, 0, len(rows)*dim)
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// rowViews slices a flat row-major matrix into per-row views (no copy).
+func rowViews(flat []float64, rows, dim int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/graph2vec"
+	"repro/internal/hom"
+	"repro/internal/linalg"
+	"repro/internal/word2vec"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "m.bin")
+}
+
+// TestWord2VecRoundTrip: save → load must be bit-identical on every
+// parameter of both matrices — the acceptance bar for serving from a cold
+// daemon instead of retraining.
+func TestWord2VecRoundTrip(t *testing.T) {
+	corpus := [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {1, 3, 0, 2, 4}}
+	cfg := word2vec.DefaultConfig()
+	cfg.Dim = 9
+	m := word2vec.Train(corpus, 5, cfg, rand.New(rand.NewSource(1)))
+
+	p := tmpPath(t)
+	if err := SaveWord2Vec(p, m); err != nil {
+		t.Fatal(err)
+	}
+	if k, err := Sniff(p); err != nil || k != KindWord2Vec {
+		t.Fatalf("Sniff = %v, %v", k, err)
+	}
+	got, err := LoadWord2Vec(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != m.Dim || got.Vocab != m.Vocab {
+		t.Fatalf("header dim=%d vocab=%d, want %d %d", got.Dim, got.Vocab, m.Dim, m.Vocab)
+	}
+	for i := range m.In {
+		for j := range m.In[i] {
+			if got.In[i][j] != m.In[i][j] {
+				t.Fatalf("In[%d][%d] = %v, want bit-identical %v", i, j, got.In[i][j], m.In[i][j])
+			}
+			if got.Out[i][j] != m.Out[i][j] {
+				t.Fatalf("Out[%d][%d] = %v, want bit-identical %v", i, j, got.Out[i][j], m.Out[i][j])
+			}
+		}
+	}
+}
+
+func TestNodeEmbeddingRoundTrip(t *testing.T) {
+	g := graph.Cycle(8)
+	e := embed.Node2VecWorkers(g, 6, 0.5, 2, 1, rand.New(rand.NewSource(1)))
+	p := tmpPath(t)
+	if err := SaveNodeEmbedding(p, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadNodeEmbedding(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != e.Method {
+		t.Errorf("method %q, want %q", got.Method, e.Method)
+	}
+	if got.Vectors.Rows != e.Vectors.Rows || got.Vectors.Cols != e.Vectors.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Vectors.Rows, got.Vectors.Cols, e.Vectors.Rows, e.Vectors.Cols)
+	}
+	for i, x := range e.Vectors.Data {
+		if got.Vectors.Data[i] != x {
+			t.Fatalf("vector datum %d = %v, want bit-identical %v", i, got.Vectors.Data[i], x)
+		}
+	}
+}
+
+func TestGraph2VecRoundTrip(t *testing.T) {
+	gs := []*graph.Graph{graph.Cycle(5), graph.Path(6), graph.Complete(4)}
+	cfg := graph2vec.DefaultConfig()
+	cfg.Epochs = 5
+	m := graph2vec.Train(gs, cfg, rand.New(rand.NewSource(2)))
+	p := tmpPath(t)
+	if err := SaveGraph2Vec(p, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph2Vec(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gs {
+		want := m.Vector(i)
+		have := got.Vector(i)
+		for j := range want {
+			if have[j] != want[j] {
+				t.Fatalf("graph %d coord %d = %v, want bit-identical %v", i, j, have[j], want[j])
+			}
+		}
+	}
+}
+
+// TestHomClassRoundTrip: the persisted pattern class must rebuild into
+// graphs whose compiled corpus vectors are bit-identical to the original
+// class's — the property the daemon's /homvec pipeline rests on.
+func TestHomClassRoundTrip(t *testing.T) {
+	class := hom.StandardClass()
+	// Add a labelled, weighted, directed specimen to exercise every field.
+	d := graph.NewDirected(3)
+	d.SetVertexLabel(1, 7)
+	d.AddEdgeFull(0, 1, 2.5, 3)
+	d.AddEdge(1, 2)
+	class = append(class, d)
+
+	p := tmpPath(t)
+	if err := SaveHomClass(p, class); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHomClass(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(class) {
+		t.Fatalf("%d graphs, want %d", len(got), len(class))
+	}
+	for i, g := range class {
+		h := got[i]
+		if h.N() != g.N() || h.M() != g.M() || h.Directed() != g.Directed() {
+			t.Fatalf("graph %d: n=%d m=%d dir=%v, want n=%d m=%d dir=%v",
+				i, h.N(), h.M(), h.Directed(), g.N(), g.M(), g.Directed())
+		}
+		for v := 0; v < g.N(); v++ {
+			if h.VertexLabel(v) != g.VertexLabel(v) {
+				t.Fatalf("graph %d vertex %d label %d, want %d", i, v, h.VertexLabel(v), g.VertexLabel(v))
+			}
+		}
+		for ei, e := range g.Edges() {
+			ge := h.Edges()[ei]
+			if ge != e {
+				t.Fatalf("graph %d edge %d = %+v, want %+v", i, ei, ge, e)
+			}
+		}
+	}
+
+	// Compiled evaluation agrees coordinate for coordinate.
+	target := graph.Random(9, 0.4, rand.New(rand.NewSource(3)))
+	want := hom.Compile(hom.StandardClass()).Vector(target)
+	have := hom.Compile(got[:len(got)-1]).Vector(target)
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("restored class pattern %d: %v, want bit-identical %v", i, have[i], want[i])
+		}
+	}
+}
+
+// TestRejection: every container-level failure mode must be a descriptive
+// error, never a parse of garbage — the daemon fails closed on bad files.
+func TestRejection(t *testing.T) {
+	g := graph.Cycle(6)
+	e := embed.Node2VecWorkers(g, 4, 1, 1, 1, rand.New(rand.NewSource(1)))
+	p := tmpPath(t)
+	if err := SaveNodeEmbedding(p, e); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(t *testing.T, b []byte) string {
+		t.Helper()
+		q := filepath.Join(t.TempDir(), "bad.bin")
+		if err := os.WriteFile(q, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), raw...)
+		b[0] = 'Z'
+		if _, err := LoadNodeEmbedding(write(t, b)); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		b := append([]byte(nil), raw...)
+		b[len(b)/2] ^= 0x40
+		if _, err := LoadNodeEmbedding(write(t, b)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := LoadNodeEmbedding(write(t, raw[:len(raw)-5])); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("too short", func(t *testing.T) {
+		if _, err := LoadNodeEmbedding(write(t, raw[:6])); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		b := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint16(b[4:6], Version+1)
+		// Trailer CRC must be recomputed or the version check is shadowed.
+		body := b[:len(b)-4]
+		binary.LittleEndian.PutUint32(b[len(b)-4:], crcOf(body))
+		if _, err := LoadNodeEmbedding(write(t, b)); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("wrong kind", func(t *testing.T) {
+		if _, err := LoadWord2Vec(p); !errors.Is(err, ErrBadKind) {
+			t.Errorf("err = %v, want ErrBadKind", err)
+		}
+		if _, err := LoadHomClass(p); !errors.Is(err, ErrBadKind) {
+			t.Errorf("err = %v, want ErrBadKind", err)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := LoadNodeEmbedding(filepath.Join(t.TempDir(), "none.bin")); err == nil {
+			t.Error("want error for missing file")
+		}
+	})
+}
+
+// TestGoldenBytes pins the version-1 wire format: a fixed tiny model must
+// serialise to exactly these bytes, so an accidental format change (field
+// order, endianness, header width) fails loudly instead of silently
+// orphaning every model file in the fleet.
+func TestGoldenBytes(t *testing.T) {
+	m := linalg.NewMatrix(1, 2)
+	m.Data[0], m.Data[1] = 1, -2
+	e := &embed.NodeEmbedding{Vectors: m, Method: "x"}
+	p := tmpPath(t)
+	if err := SaveNodeEmbedding(p, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'x', '2', 'v', 'm', // magic
+		1, 0, // version 1 LE
+		2, 0, // kind node-embedding LE
+		1, 0, 0, 0, 'x', // method: len=1, "x"
+		8,          // float64 precision
+		1, 0, 0, 0, // rows
+		2, 0, 0, 0, // cols
+		0, 0, 0, 0, 0, 0, 0xf0, 0x3f, // 1.0 LE
+		0, 0, 0, 0, 0, 0, 0x00, 0xc0, // -2.0 LE
+	}
+	want = append(want, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(want[len(want)-4:], crcOf(want[:len(want)-4]))
+	if len(got) != len(want) {
+		t.Fatalf("file is %d bytes, want %d\ngot  %x\nwant %x", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %02x, want %02x\ngot  %x\nwant %x", i, got[i], want[i], got, want)
+		}
+	}
+	back, err := LoadNodeEmbedding(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Method != "x" || back.Vectors.Data[0] != 1 || back.Vectors.Data[1] != -2 {
+		t.Errorf("golden file did not round-trip: %+v", back)
+	}
+}
+
+// TestFloat32Matrix exercises the 4-byte precision path of the matrix
+// block, which trades exactness for half the bytes.
+func TestFloat32Matrix(t *testing.T) {
+	var e encoder
+	data := []float64{0.5, -1.25, 3}
+	e.matrix(data, 1, 3, 4)
+	d := &decoder{b: e.buf.Bytes()}
+	got, rows, cols, err := d.matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 || cols != 3 {
+		t.Fatalf("shape %dx%d", rows, cols)
+	}
+	for i, x := range data {
+		if got[i] != x { // all three are exactly float32-representable
+			t.Errorf("datum %d = %v, want %v", i, got[i], x)
+		}
+	}
+}
+
+func crcOf(b []byte) uint32 {
+	return crc32.ChecksumIEEE(b)
+}
+
+// TestHomClassRejectsOversizedCounts: counts in the header must be bounded
+// by the payload actually present — a crafted file with a valid CRC must
+// fail closed instead of triggering a multi-gigabyte allocation.
+func TestHomClassRejectsOversizedCounts(t *testing.T) {
+	write := func(payload []byte) string {
+		p := filepath.Join(t.TempDir(), "evil.bin")
+		if err := writeFile(p, KindHomClass, payload); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var e encoder
+	e.u32(0xFFFFFFFF) // 4 billion graphs in a 4-byte payload
+	if _, err := LoadHomClass(write(e.buf.Bytes())); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("oversized graph count: err = %v, want ErrBadPayload", err)
+	}
+
+	var e2 encoder
+	e2.u32(1)          // one graph
+	e2.u8(0)           // undirected
+	e2.u32(0xFFFFFFF0) // with ~4 billion vertices
+	if _, err := LoadHomClass(write(e2.buf.Bytes())); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("oversized vertex count: err = %v, want ErrBadPayload", err)
+	}
+
+	var e3 encoder
+	e3.u32(1)
+	e3.u8(0)
+	e3.u32(2)
+	e3.i64(0)
+	e3.i64(0)
+	e3.u32(0xFFFFFFF0) // ~4 billion edges
+	if _, err := LoadHomClass(write(e3.buf.Bytes())); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("oversized edge count: err = %v, want ErrBadPayload", err)
+	}
+}
+
+// TestLoadAny: the single-read dispatch entry must return the right
+// concrete type per kind and reject garbage like the typed loaders.
+func TestLoadAny(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Cycle(5)
+
+	np := filepath.Join(dir, "n.bin")
+	if err := SaveNodeEmbedding(np, embed.Node2VecWorkers(g, 3, 1, 1, 1, rand.New(rand.NewSource(1)))); err != nil {
+		t.Fatal(err)
+	}
+	v, kind, err := LoadAny(np)
+	if err != nil || kind != KindNodeEmbedding {
+		t.Fatalf("LoadAny node: %v, %v", kind, err)
+	}
+	if _, ok := v.(*embed.NodeEmbedding); !ok {
+		t.Fatalf("LoadAny node returned %T", v)
+	}
+
+	cp := filepath.Join(dir, "c.bin")
+	if err := SaveHomClass(cp, []*graph.Graph{graph.Path(3)}); err != nil {
+		t.Fatal(err)
+	}
+	v, kind, err = LoadAny(cp)
+	if err != nil || kind != KindHomClass {
+		t.Fatalf("LoadAny class: %v, %v", kind, err)
+	}
+	if _, ok := v.([]*graph.Graph); !ok {
+		t.Fatalf("LoadAny class returned %T", v)
+	}
+
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadAny(bad); err == nil {
+		t.Error("LoadAny should reject garbage")
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+// The request-coalescing micro-batcher. Every corpus engine in this
+// repository (wl.RefineCorpus, hom.CorpusVectors, the kernel corpus feature
+// extractors) amortises per-batch setup — compiled pattern programs, shared
+// colour-store passes, worker pools — across many graphs, but a network
+// daemon receives graphs one at a time. The coalescer bridges the two
+// shapes: concurrent single-graph requests queue onto one channel, a
+// dispatcher collects them until either the batch size cap or the latency
+// budget is hit, the whole batch runs through ONE engine pass, and the
+// results scatter back to the blocked callers. Batches execute on their own
+// goroutines, so a slow batch never blocks collection of the next one.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by requests issued to (or stranded in) a closed
+// server.
+var ErrClosed = errors.New("serve: server closed")
+
+type result[O any] struct {
+	val O
+	err error
+}
+
+type request[I, O any] struct {
+	in  I
+	out chan result[O]
+}
+
+// coalescer batches requests of type I into calls of run, which must return
+// exactly one O per input, in order.
+type coalescer[I, O any] struct {
+	name     string
+	maxBatch int
+	maxDelay time.Duration
+	run      func([]I) []O
+	stats    *Stats
+
+	ch   chan request[I, O]
+	quit chan struct{}
+	// slots bounds in-flight engine batches: without it, sustained overload
+	// would stack an unbounded number of concurrent engine passes and the
+	// per-pipeline Workers cap would bound each pass but not the pipeline.
+	// Dispatch blocks on a slot before launching a batch, which turns
+	// overload into backpressure on the request channel instead.
+	slots chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	pending sync.WaitGroup
+	batches sync.WaitGroup
+}
+
+// maxInflightBatches is the per-pipeline cap on concurrently running engine
+// passes: one running plus one being scattered keeps the pipeline busy
+// without unbounded stacking, so a pipeline's goroutine count stays within
+// 2x its configured worker cap.
+const maxInflightBatches = 2
+
+func newCoalescer[I, O any](name string, maxBatch int, maxDelay time.Duration, stats *Stats, run func([]I) []O) *coalescer[I, O] {
+	c := &coalescer[I, O]{
+		name:     name,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		run:      run,
+		stats:    stats,
+		ch:       make(chan request[I, O]),
+		quit:     make(chan struct{}),
+		slots:    make(chan struct{}, maxInflightBatches),
+	}
+	go c.dispatch()
+	return c
+}
+
+// do submits one input and blocks until its output is ready (or the server
+// closes before the request could be accepted).
+func (c *coalescer[I, O]) do(in I) (O, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		var zero O
+		return zero, ErrClosed
+	}
+	// Registered before unlocking: close() cannot pass pending.Wait() until
+	// this request has been fully served, so the dispatcher is guaranteed
+	// alive for the send below.
+	c.pending.Add(1)
+	c.mu.Unlock()
+	defer c.pending.Done()
+
+	r := request[I, O]{in: in, out: make(chan result[O], 1)}
+	c.ch <- r
+	res := <-r.out
+	return res.val, res.err
+}
+
+// dispatch is the collection loop: one blocking receive opens a batch, then
+// the size cap races the latency budget.
+func (c *coalescer[I, O]) dispatch() {
+	for {
+		var first request[I, O]
+		select {
+		case <-c.quit:
+			return
+		case first = <-c.ch:
+		}
+		batch := []request[I, O]{first}
+		if c.maxBatch > 1 {
+			timer := time.NewTimer(c.maxDelay)
+		collect:
+			for len(batch) < c.maxBatch {
+				select {
+				case r := <-c.ch:
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		c.stats.recordBatch(c.name, len(batch))
+		c.slots <- struct{}{} // blocks when maxInflightBatches are running
+		c.batches.Add(1)
+		go func(batch []request[I, O]) {
+			defer func() {
+				<-c.slots
+				c.batches.Done()
+			}()
+			c.scatter(batch)
+		}(batch)
+	}
+}
+
+// scatter runs one engine pass and distributes the results. A panicking
+// engine (e.g. a pathological request graph) fails that batch's requests
+// with an error instead of killing the daemon.
+func (c *coalescer[I, O]) scatter(batch []request[I, O]) {
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("serve: %s batch failed: %v", c.name, p)
+			for _, r := range batch {
+				r.out <- result[O]{err: err}
+			}
+		}
+	}()
+	ins := make([]I, len(batch))
+	for i, r := range batch {
+		ins[i] = r.in
+	}
+	outs := c.run(ins)
+	if len(outs) != len(batch) {
+		panic(fmt.Sprintf("engine returned %d results for %d inputs", len(outs), len(batch)))
+	}
+	for i, r := range batch {
+		r.out <- result[O]{val: outs[i]}
+	}
+}
+
+// close drains in-flight requests, stops the dispatcher, and waits for
+// running batches — after it returns, no goroutine of this coalescer is
+// live and every caller has an answer.
+func (c *coalescer[I, O]) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.pending.Wait() // every accepted request has been answered
+	close(c.quit)    // dispatcher's channel is now permanently empty
+	c.batches.Wait()
+}

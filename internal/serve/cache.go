@@ -1,0 +1,74 @@
+package serve
+
+// The LRU feature cache in front of each batched pipeline. Keys are 64-bit
+// canonical graph hashes: wl.Hash for isomorphism-invariant outputs (hom
+// vectors, kernel feature vectors), so a renumbered copy of a seen graph is
+// still a hit, and an order-sensitive structural hash for the /wl pipeline,
+// whose per-vertex colour arrays do depend on the numbering.
+
+import (
+	"container/list"
+	"sync"
+)
+
+type lruEntry[V any] struct {
+	key uint64
+	val V
+}
+
+// lruCache is a fixed-capacity least-recently-used map. capacity <= 0
+// disables caching (every get misses, put is a no-op).
+type lruCache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[uint64]*list.Element
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[uint64]*list.Element),
+	}
+}
+
+func (c *lruCache[V]) get(key uint64) (V, bool) {
+	var zero V
+	if c.capacity <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(lruEntry[V]).val, true
+}
+
+func (c *lruCache[V]) put(key uint64, val V) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = lruEntry[V]{key: key, val: val}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(lruEntry[V]).key)
+	}
+}
+
+func (c *lruCache[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

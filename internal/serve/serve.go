@@ -1,0 +1,273 @@
+// Package serve is the in-process serving layer under cmd/x2vecd: batched,
+// cached, worker-bounded access to the repository's corpus engines.
+//
+// The ROADMAP's north star is a system that serves heavy traffic; PRs 2–4
+// built engines that are fast *per corpus* (one WL refinement pass, one
+// compiled pattern class, one Gram fill for n graphs), but a daemon sees
+// one graph per request. This package turns concurrent unit requests back
+// into corpora: a micro-batcher per pipeline coalesces requests under a
+// size/latency budget into single engine passes (batcher.go), an LRU cache
+// keyed by the canonical graph hash wl.Hash answers repeats — including
+// renumbered copies — without touching the engines (cache.go), and every
+// pipeline's parallelism is capped by an explicit worker count rather than
+// the process-global GOMAXPROCS the CLI used to mutate.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/wl"
+)
+
+// Options configures a Server. The zero value means: 5 WL rounds, the
+// standard hom pattern class, batches of up to 32 requests collected for at
+// most 2ms, GOMAXPROCS engine workers, and 1024-entry caches per pipeline.
+type Options struct {
+	Rounds    int            // WL refinement depth for /wl and /kernel features (0 = 5)
+	Class     []*graph.Graph // hom pattern class for /homvec (nil = hom.StandardClass)
+	MaxBatch  int            // requests coalesced into one engine pass (0 = 32, 1 disables batching)
+	MaxDelay  time.Duration  // latency budget while filling a batch (0 = 2ms)
+	Workers   int            // per-pipeline engine worker cap (0 = GOMAXPROCS)
+	CacheSize int            // LRU entries per pipeline (0 = 1024, negative disables)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds <= 0 {
+		// Negative depths (the CLI's -rounds -1 "refine to stability"
+		// convention) would panic the refinement engine on every batch;
+		// a fixed-depth server clamps them to the default instead.
+		o.Rounds = 5
+	}
+	if o.Class == nil {
+		o.Class = hom.StandardClass()
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	return o
+}
+
+// WLResult is the served output of the WL pipeline: the stable colours of
+// one refinement run at the server's round budget. Colour ids are
+// process-globally canonical (wl.RefineCorpus), so results of different
+// requests are directly comparable.
+type WLResult struct {
+	Rounds  int   // rounds run
+	Colors  []int // final-round colour per vertex
+	Classes int   // number of distinct final colours
+}
+
+// Server provides batched, cached access to the WL, homomorphism-vector,
+// and kernel-feature pipelines. All methods are safe for concurrent use;
+// that is the point.
+type Server struct {
+	opts  Options
+	cc    *hom.CompiledClass
+	wlK   kernel.WLSubtree
+	stats *Stats
+
+	wlBatch   *coalescer[*graph.Graph, [][]int]
+	homBatch  *coalescer[*graph.Graph, []float64]
+	featBatch *coalescer[*graph.Graph, linalg.SparseVector]
+
+	wlCache   *lruCache[[][]int]
+	homCache  *lruCache[[]float64]
+	featCache *lruCache[linalg.SparseVector]
+}
+
+// New builds a Server: the pattern class compiles once, and one dispatcher
+// per pipeline starts collecting.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:      opts,
+		cc:        hom.Compile(opts.Class),
+		wlK:       kernel.WLSubtree{Rounds: opts.Rounds},
+		stats:     newStats(),
+		wlCache:   newLRU[[][]int](opts.CacheSize),
+		homCache:  newLRU[[]float64](opts.CacheSize),
+		featCache: newLRU[linalg.SparseVector](opts.CacheSize),
+	}
+	workers := opts.Workers
+	s.wlBatch = newCoalescer("wl", opts.MaxBatch, opts.MaxDelay, s.stats, func(gs []*graph.Graph) [][][]int {
+		return wl.RefineCorpusWorkers(gs, opts.Rounds, workers)
+	})
+	s.homBatch = newCoalescer("homvec", opts.MaxBatch, opts.MaxDelay, s.stats, func(gs []*graph.Graph) [][]float64 {
+		return hom.CorpusLogScaledVectorsWorkers(s.cc, gs, workers)
+	})
+	s.featBatch = newCoalescer("kernel", opts.MaxBatch, opts.MaxDelay, s.stats, func(gs []*graph.Graph) []linalg.SparseVector {
+		return s.wlK.CorpusFeatures(gs, workers)
+	})
+	return s
+}
+
+// Stats returns a snapshot of the serving metrics.
+func (s *Server) Stats() Snapshot { return s.stats.Snapshot() }
+
+// Close drains in-flight requests and stops all pipeline dispatchers.
+// Subsequent requests return ErrClosed.
+func (s *Server) Close() {
+	s.wlBatch.close()
+	s.homBatch.close()
+	s.featBatch.close()
+}
+
+// WL runs the server's round budget of 1-WL on g. Cached under an
+// order-sensitive structural hash: per-vertex colour arrays depend on the
+// vertex numbering, so only byte-identical graphs may share an entry
+// (unlike the isomorphism-invariant caches of the other pipelines). The
+// result's Colors slice aliases the cache entry; callers must not mutate
+// it.
+func (s *Server) WL(g *graph.Graph) (*WLResult, error) {
+	start := time.Now()
+	defer s.stats.observe("wl", start)
+	key := exactHash(g)
+	rounds, ok := s.wlCache.get(key)
+	if ok {
+		s.stats.hit("wl")
+	} else {
+		s.stats.miss("wl")
+		var err error
+		rounds, err = s.wlBatch.do(g)
+		if err != nil {
+			return nil, err
+		}
+		s.wlCache.put(key, rounds)
+	}
+	final := rounds[len(rounds)-1]
+	distinct := map[int]struct{}{}
+	for _, c := range final {
+		distinct[c] = struct{}{}
+	}
+	return &WLResult{Rounds: len(rounds) - 1, Colors: final, Classes: len(distinct)}, nil
+}
+
+// HomVec returns the log-scaled homomorphism vector of g over the server's
+// pattern class, bit-identical to the offline hom.CorpusLogScaledVectors /
+// `x2vec homvec` pipeline. Cached under wl.Hash — hom vectors are graph
+// invariants, so renumbered repeats hit. The returned slice aliases the
+// cache entry; callers must not mutate it.
+func (s *Server) HomVec(g *graph.Graph) ([]float64, error) {
+	start := time.Now()
+	defer s.stats.observe("homvec", start)
+	key := wl.Hash(g)
+	if v, ok := s.homCache.get(key); ok {
+		s.stats.hit("homvec")
+		return v, nil
+	}
+	s.stats.miss("homvec")
+	v, err := s.homBatch.do(g)
+	if err != nil {
+		return nil, err
+	}
+	s.homCache.put(key, v)
+	return v, nil
+}
+
+// WLFeatures returns the WL subtree feature vector of g at the server's
+// round budget (the explicit map of kernel.WLSubtree), cached under
+// wl.Hash. Callers must not mutate the returned vector.
+func (s *Server) WLFeatures(g *graph.Graph) (linalg.SparseVector, error) {
+	start := time.Now()
+	defer s.stats.observe("kernel", start)
+	key := wl.Hash(g)
+	if v, ok := s.featCache.get(key); ok {
+		s.stats.hit("kernel")
+		return v, nil
+	}
+	s.stats.miss("kernel")
+	v, err := s.featBatch.do(g)
+	if err != nil {
+		return nil, err
+	}
+	s.featCache.put(key, v)
+	return v, nil
+}
+
+// Kernel evaluates the named kernel between two request graphs through the
+// cached feature pipelines: "wl" is the WL subtree kernel at the server's
+// round budget, "hom" the log-scaled homomorphism-vector kernel — both
+// exactly the values the offline kernel.Gram pipeline produces. The two
+// feature requests are issued concurrently, so an idle server coalesces
+// them into ONE engine batch and a kernel request pays one batch-collection
+// delay, not two.
+func (s *Server) Kernel(name string, a, b *graph.Graph) (float64, error) {
+	switch name {
+	case "", "wl":
+		fa, fb, err := concurrently(a, b, s.WLFeatures)
+		if err != nil {
+			return 0, err
+		}
+		return fa.Dot(fb), nil
+	case "hom":
+		va, vb, err := concurrently(a, b, s.HomVec)
+		if err != nil {
+			return 0, err
+		}
+		return linalg.Dot(va, vb), nil
+	}
+	return 0, fmt.Errorf("%w: %q (want wl or hom)", ErrUnknownKernel, name)
+}
+
+// concurrently runs f on both graphs at once — pair requests land in the
+// same coalescer window instead of serialising two batch delays.
+func concurrently[O any](a, b *graph.Graph, f func(*graph.Graph) (O, error)) (O, O, error) {
+	type res struct {
+		v   O
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		v, err := f(b)
+		ch <- res{v, err}
+	}()
+	va, errA := f(a)
+	rb := <-ch
+	if errA != nil {
+		return va, rb.v, errA
+	}
+	return va, rb.v, rb.err
+}
+
+// ErrUnknownKernel is returned by Kernel for unsupported kernel names — the
+// daemon maps it to a 400 rather than a 500.
+var ErrUnknownKernel = errors.New("serve: unknown kernel")
+
+// exactHash is the order-sensitive structural fingerprint for caches whose
+// values depend on vertex numbering: FNV-1a over the exact vertex-label and
+// edge records.
+func exactHash(g *graph.Graph) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	mix(uint64(g.N()))
+	if g.Directed() {
+		mix(1)
+	}
+	for v := 0; v < g.N(); v++ {
+		mix(uint64(int64(g.VertexLabel(v))))
+	}
+	for _, e := range g.Edges() {
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+		mix(math.Float64bits(e.Weight + 0)) // -0 folds into +0
+		mix(uint64(int64(e.Label)))
+	}
+	return h
+}

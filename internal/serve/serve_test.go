@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/kernel"
+	"repro/internal/wl"
+)
+
+func testCorpus(n int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		g := graph.Random(6+rng.Intn(5), 0.45, rng)
+		if i%3 == 0 {
+			for v := 0; v < g.N(); v++ {
+				g.SetVertexLabel(v, rng.Intn(2))
+			}
+		}
+		gs[i] = g
+	}
+	return gs
+}
+
+func permuted(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	perm := rng.Perm(g.N())
+	h := graph.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		h.SetVertexLabel(perm[v], g.VertexLabel(v))
+	}
+	for _, e := range g.Edges() {
+		h.AddEdgeFull(perm[e.U], perm[e.V], e.Weight, e.Label)
+	}
+	return h
+}
+
+// TestHomVecCoalescesAndMatchesOffline is the core acceptance property:
+// concurrent single-graph requests must (a) return vectors bit-identical to
+// the offline corpus pipeline and (b) be coalesced into shared engine
+// passes — strictly more than one request per batch under concurrent load.
+func TestHomVecCoalescesAndMatchesOffline(t *testing.T) {
+	gs := testCorpus(24, 41)
+	want := hom.CorpusLogScaledVectors(hom.Compile(hom.StandardClass()), gs)
+
+	s := New(Options{MaxBatch: 64, MaxDelay: 80 * time.Millisecond, Workers: 2})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	got := make([][]float64, len(gs))
+	errs := make([]error, len(gs))
+	for i := range gs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			got[i], errs[i] = s.HomVec(gs[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := range gs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("request %d: %d coords, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("request %d coord %d: served %v, offline %v (must be bit-identical)", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	snap := s.Stats().Pipelines["homvec"]
+	if snap.Batches >= int64(len(gs)) {
+		t.Errorf("no coalescing: %d batches for %d concurrent requests", snap.Batches, len(gs))
+	}
+	if snap.BatchOccupancy <= 1 {
+		t.Errorf("batch occupancy %v, want > 1 request per engine pass", snap.BatchOccupancy)
+	}
+	if snap.BatchedRequests != int64(len(gs)) {
+		t.Errorf("%d batched requests, want %d", snap.BatchedRequests, len(gs))
+	}
+}
+
+// TestCacheHitsIncludingRenumberedRepeats: repeats must be answered from
+// the LRU without an engine pass, and — because the key is the canonical
+// wl.Hash — a renumbered copy of a seen graph is also a hit, with the
+// identical vector.
+func TestCacheHitsIncludingRenumberedRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Random(9, 0.4, rng)
+	s := New(Options{MaxBatch: 1})
+	defer s.Close()
+
+	first, err := s.HomVec(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.HomVec(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renumbered, err := s.HomVec(permuted(g, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range first {
+		if again[j] != first[j] || renumbered[j] != first[j] {
+			t.Fatalf("coord %d: repeat %v / renumbered %v, want %v", j, again[j], renumbered[j], first[j])
+		}
+	}
+	snap := s.Stats().Pipelines["homvec"]
+	if snap.CacheHits != 2 {
+		t.Errorf("cache hits = %d, want 2 (identical repeat + renumbered repeat)", snap.CacheHits)
+	}
+	if snap.CacheMisses != 1 {
+		t.Errorf("cache misses = %d, want 1", snap.CacheMisses)
+	}
+	if snap.CacheHitRate < 0.6 || snap.CacheHitRate > 0.7 {
+		t.Errorf("hit rate = %v, want 2/3", snap.CacheHitRate)
+	}
+}
+
+// TestWLPipeline: served colourings must equal the offline batched
+// refinement (ids are process-globally canonical), and the WL cache must
+// NOT treat renumbered copies as repeats — per-vertex colours depend on the
+// numbering.
+func TestWLPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Random(8, 0.5, rng)
+	p := permuted(g, rng)
+	s := New(Options{MaxBatch: 1, Rounds: 4})
+	defer s.Close()
+
+	res, err := s.WL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := wl.RefineCorpus([]*graph.Graph{g}, 4)[0]
+	want := offline[len(offline)-1]
+	if res.Rounds != 4 || len(res.Colors) != g.N() {
+		t.Fatalf("rounds=%d len=%d", res.Rounds, len(res.Colors))
+	}
+	for v, c := range want {
+		if res.Colors[v] != c {
+			t.Fatalf("vertex %d: served colour %d, offline %d", v, res.Colors[v], c)
+		}
+	}
+
+	if _, err := s.WL(p); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Stats().Pipelines["wl"]
+	if snap.CacheHits != 0 {
+		t.Errorf("renumbered graph hit the order-sensitive WL cache (%d hits)", snap.CacheHits)
+	}
+	res2, err := s.WL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.Stats().Pipelines["wl"]; snap.CacheHits != 1 {
+		t.Errorf("identical repeat should hit (hits=%d)", snap.CacheHits)
+	}
+	for v := range want {
+		if res2.Colors[v] != want[v] {
+			t.Fatalf("cached colours differ at vertex %d", v)
+		}
+	}
+}
+
+// TestKernelMatchesOffline: served kernel values must equal the offline
+// Kernel.Compute results for both supported kernels.
+func TestKernelMatchesOffline(t *testing.T) {
+	gs := testCorpus(6, 43)
+	s := New(Options{MaxBatch: 4, MaxDelay: time.Millisecond, Rounds: 5})
+	defer s.Close()
+	wlK := kernel.WLSubtree{Rounds: 5}
+	homK := kernel.HomVector{Log: true}
+	for i := 0; i < len(gs); i++ {
+		for j := i; j < len(gs); j++ {
+			got, err := s.Kernel("wl", gs[i], gs[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := wlK.Compute(gs[i], gs[j]); got != want {
+				t.Fatalf("wl kernel (%d,%d): served %v, offline %v", i, j, got, want)
+			}
+			got, err = s.Kernel("hom", gs[i], gs[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := homK.Compute(gs[i], gs[j]); got != want {
+				t.Fatalf("hom kernel (%d,%d): served %v, offline %v", i, j, got, want)
+			}
+		}
+	}
+	if _, err := s.Kernel("nope", gs[0], gs[1]); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+// TestConcurrentMixedLoad is the -race end-to-end: many goroutines firing
+// mixed requests with repeats across every pipeline. Asserts correctness
+// per response plus the two load-level properties: coalescing (>1 request
+// per engine pass on the hot pipeline) and cache hits on repeats.
+func TestConcurrentMixedLoad(t *testing.T) {
+	distinct := testCorpus(12, 44)
+	cc := hom.Compile(hom.StandardClass())
+	wantHom := make(map[*graph.Graph][]float64)
+	for _, g := range distinct {
+		wantHom[g] = cc.LogScaledVector(g)
+	}
+
+	s := New(Options{MaxBatch: 16, MaxDelay: 20 * time.Millisecond, Workers: 2, Rounds: 3})
+	defer s.Close()
+
+	const loaders = 8
+	const perLoader = 30
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errCh := make(chan error, loaders)
+	for w := 0; w < loaders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			<-start
+			for i := 0; i < perLoader; i++ {
+				g := distinct[rng.Intn(len(distinct))]
+				switch i % 3 {
+				case 0:
+					v, err := s.HomVec(g)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					for j, x := range wantHom[g] {
+						if v[j] != x {
+							errCh <- errors.New("hom vector mismatch under concurrent load")
+							return
+						}
+					}
+				case 1:
+					res, err := s.WL(g)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if len(res.Colors) != g.N() {
+						errCh <- errors.New("wl result length mismatch")
+						return
+					}
+				case 2:
+					h := distinct[rng.Intn(len(distinct))]
+					v, err := s.Kernel("wl", g, h)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if v < 0 {
+						errCh <- errors.New("negative WL kernel value")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	snap := s.Stats()
+	var totalHits int64
+	coalesced := false
+	for name, ps := range snap.Pipelines {
+		totalHits += ps.CacheHits
+		if ps.BatchOccupancy > 1 {
+			coalesced = true
+		}
+		t.Logf("%s: %+v", name, ps)
+	}
+	if totalHits == 0 {
+		t.Error("no cache hits across any pipeline despite repeated graphs")
+	}
+	if !coalesced {
+		t.Error("no pipeline coalesced more than one request per engine pass")
+	}
+	if p99 := snap.Pipelines["homvec"].P99Micros; p99 == 0 {
+		t.Error("latency histogram recorded nothing")
+	}
+}
+
+// TestClosedServer: Close drains and subsequent requests fail fast with
+// ErrClosed; Close is idempotent.
+func TestClosedServer(t *testing.T) {
+	s := New(Options{MaxBatch: 4})
+	g := graph.Cycle(5)
+	if _, err := s.HomVec(g); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	if _, err := s.HomVec(graph.Path(4)); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if _, err := s.WL(graph.Path(4)); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Cached entries are still served without an engine.
+	if v, err := s.HomVec(g); err != nil || len(v) == 0 {
+		t.Errorf("cached entry after close: %v, %v", v, err)
+	}
+}
+
+// TestBatchPanicRecovery: a panicking engine pass must fail its batch's
+// requests with an error, not kill the process or strand the callers.
+func TestBatchPanicRecovery(t *testing.T) {
+	st := newStats()
+	c := newCoalescer[int, int]("boom", 8, time.Millisecond, st, func(xs []int) []int {
+		panic("engine exploded")
+	})
+	defer c.close()
+	if _, err := c.do(7); err == nil {
+		t.Fatal("want error from panicking batch")
+	}
+	// The coalescer survives for the next batch.
+	if _, err := c.do(8); err == nil {
+		t.Fatal("want error from second panicking batch")
+	}
+}
+
+// TestLRUEviction pins capacity enforcement and recency order.
+func TestLRUEviction(t *testing.T) {
+	c := newLRU[int](2)
+	c.put(1, 10)
+	c.put(2, 20)
+	if _, ok := c.get(1); !ok { // 1 becomes most recent
+		t.Fatal("expected 1 cached")
+	}
+	c.put(3, 30) // evicts 2
+	if _, ok := c.get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	if v, ok := c.get(1); !ok || v != 10 {
+		t.Errorf("1 = %v,%v", v, ok)
+	}
+	if v, ok := c.get(3); !ok || v != 30 {
+		t.Errorf("3 = %v,%v", v, ok)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d", c.len())
+	}
+	d := newLRU[int](-1)
+	d.put(1, 1)
+	if _, ok := d.get(1); ok {
+		t.Error("disabled cache should never hit")
+	}
+}
+
+// TestNegativeRoundsClamped: the CLI's -rounds -1 convention must not reach
+// the fixed-depth refinement engine (it would panic every /wl and /kernel
+// batch); the server clamps it to the default.
+func TestNegativeRoundsClamped(t *testing.T) {
+	s := New(Options{Rounds: -1, MaxBatch: 1})
+	defer s.Close()
+	res, err := s.WL(graph.Cycle(5))
+	if err != nil {
+		t.Fatalf("WL with Rounds:-1 should serve at the default depth, got %v", err)
+	}
+	if res.Rounds != 5 {
+		t.Errorf("rounds = %d, want the clamped default 5", res.Rounds)
+	}
+	if _, err := s.Kernel("wl", graph.Cycle(5), graph.Path(4)); err != nil {
+		t.Errorf("kernel with Rounds:-1: %v", err)
+	}
+}
+
+// TestKernelPairCoalesces: one kernel request must put both graphs into the
+// same engine batch (the feature fetches are issued concurrently), not pay
+// two batch-collection delays.
+func TestKernelPairCoalesces(t *testing.T) {
+	s := New(Options{MaxBatch: 8, MaxDelay: 60 * time.Millisecond, CacheSize: -1})
+	defer s.Close()
+	if _, err := s.Kernel("wl", graph.Cycle(6), graph.Path(5)); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Stats().Pipelines["kernel"]
+	if snap.Batches != 1 || snap.BatchedRequests != 2 {
+		t.Errorf("pair ran as %d batches / %d requests, want 1 batch of 2", snap.Batches, snap.BatchedRequests)
+	}
+}
+
+// TestInflightBatchesBounded: under sustained overload the coalescer must
+// apply backpressure, never stack unbounded concurrent engine passes — the
+// per-pipeline worker cap is only real if the batch count is bounded too.
+func TestInflightBatchesBounded(t *testing.T) {
+	var inflight, peak atomic.Int64
+	st := newStats()
+	c := newCoalescer[int, int]("load", 1, time.Millisecond, st, func(xs []int) []int {
+		if cur := inflight.Add(1); cur > peak.Load() {
+			peak.Store(cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+		inflight.Add(-1)
+		return xs
+	})
+	defer c.close()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.do(i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > maxInflightBatches {
+		t.Errorf("%d engine passes ran concurrently, cap is %d", p, maxInflightBatches)
+	}
+}

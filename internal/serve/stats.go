@@ -1,0 +1,155 @@
+package serve
+
+// Serving metrics: per-pipeline request counts, cache hit rates, batch
+// occupancy (requests per engine pass — the number that shows coalescing is
+// actually amortising work), and log-bucketed latency with p50/p99 readouts.
+// Everything is a counter under one mutex; observation cost is dwarfed by
+// even a cache-hit request.
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two microsecond buckets; bucket
+// b counts requests with latency in [2^(b-1), 2^b) µs, so 40 buckets cover
+// beyond 15 minutes.
+const latencyBuckets = 40
+
+type pipelineCounters struct {
+	requests    int64
+	cacheHits   int64
+	cacheMisses int64
+	batches     int64
+	batchedReqs int64
+	maxBatch    int64
+	latency     [latencyBuckets]int64
+}
+
+// Stats collects serving metrics across all pipelines of one Server.
+type Stats struct {
+	mu        sync.Mutex
+	start     time.Time
+	pipelines map[string]*pipelineCounters
+}
+
+func newStats() *Stats {
+	return &Stats{start: time.Now(), pipelines: map[string]*pipelineCounters{}}
+}
+
+func (s *Stats) counters(pipeline string) *pipelineCounters {
+	c, ok := s.pipelines[pipeline]
+	if !ok {
+		c = &pipelineCounters{}
+		s.pipelines[pipeline] = c
+	}
+	return c
+}
+
+func (s *Stats) hit(pipeline string) {
+	s.mu.Lock()
+	s.counters(pipeline).cacheHits++
+	s.mu.Unlock()
+}
+
+func (s *Stats) miss(pipeline string) {
+	s.mu.Lock()
+	s.counters(pipeline).cacheMisses++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordBatch(pipeline string, size int) {
+	s.mu.Lock()
+	c := s.counters(pipeline)
+	c.batches++
+	c.batchedReqs += int64(size)
+	if int64(size) > c.maxBatch {
+		c.maxBatch = int64(size)
+	}
+	s.mu.Unlock()
+}
+
+// observe records one served request and its latency.
+func (s *Stats) observe(pipeline string, start time.Time) {
+	us := time.Since(start).Microseconds()
+	b := 0
+	for v := us; v > 0; v >>= 1 {
+		b++
+	}
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	s.mu.Lock()
+	c := s.counters(pipeline)
+	c.requests++
+	c.latency[b]++
+	s.mu.Unlock()
+}
+
+// PipelineSnapshot is the exported per-pipeline view, JSON-ready for the
+// daemon's /stats endpoint.
+type PipelineSnapshot struct {
+	Requests        int64   `json:"requests"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Batches         int64   `json:"batches"`
+	BatchedRequests int64   `json:"batched_requests"`
+	BatchOccupancy  float64 `json:"batch_occupancy"` // mean requests per engine pass
+	MaxBatch        int64   `json:"max_batch"`
+	P50Micros       int64   `json:"p50_us"`
+	P99Micros       int64   `json:"p99_us"`
+}
+
+// Snapshot is the full /stats payload.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Pipelines     map[string]PipelineSnapshot `json:"pipelines"`
+}
+
+// Snapshot returns a consistent copy of all counters.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Snapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Pipelines:     make(map[string]PipelineSnapshot, len(s.pipelines)),
+	}
+	for name, c := range s.pipelines {
+		ps := PipelineSnapshot{
+			Requests:        c.requests,
+			CacheHits:       c.cacheHits,
+			CacheMisses:     c.cacheMisses,
+			Batches:         c.batches,
+			BatchedRequests: c.batchedReqs,
+			MaxBatch:        c.maxBatch,
+			P50Micros:       percentile(&c.latency, c.requests, 0.50),
+			P99Micros:       percentile(&c.latency, c.requests, 0.99),
+		}
+		if lookups := c.cacheHits + c.cacheMisses; lookups > 0 {
+			ps.CacheHitRate = float64(c.cacheHits) / float64(lookups)
+		}
+		if c.batches > 0 {
+			ps.BatchOccupancy = float64(c.batchedReqs) / float64(c.batches)
+		}
+		out.Pipelines[name] = ps
+	}
+	return out
+}
+
+// percentile returns a representative latency (the upper edge of the
+// log-bucket holding the p-quantile observation).
+func percentile(buckets *[latencyBuckets]int64, total int64, p float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total-1))
+	var seen int64
+	for b, n := range buckets {
+		seen += n
+		if n > 0 && seen > rank {
+			return int64(1) << b // upper edge of [2^(b-1), 2^b)
+		}
+	}
+	return int64(1) << (latencyBuckets - 1)
+}

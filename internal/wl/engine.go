@@ -353,8 +353,19 @@ func sortColSums(xs []colSum) {
 // feature-map Gram pipeline extract WL features for n graphs from one
 // corpus pass instead of n independent CanonicalColors calls.
 func RefineCorpus(gs []*graph.Graph, rounds int) [][][]int {
+	return RefineCorpusWorkers(gs, rounds, 0)
+}
+
+// RefineCorpusWorkers is RefineCorpus with an explicit worker cap (0 or
+// negative = GOMAXPROCS). Callers that serve several pipelines in one
+// process — the serve batcher, the daemon — bound each pipeline here
+// instead of mutating the process-global runtime.GOMAXPROCS.
+func RefineCorpusWorkers(gs []*graph.Graph, rounds, workers int) [][][]int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	out := make([][][]int, len(gs))
-	forEachGraph(len(gs), runtime.GOMAXPROCS(0), func(i int, sc *scratch) {
+	forEachGraph(len(gs), workers, func(i int, sc *scratch) {
 		out[i] = refinePlainRounds(globalStore, sc, gs[i], rounds)
 	})
 	return out

@@ -1,0 +1,226 @@
+package wl
+
+// Hash: the canonical graph fingerprint behind the serving layer's feature
+// cache. Unlike the colour ids of the refinement engine — dense, assigned in
+// interning order, canonical only within one process — the hash is pure
+// arithmetic over the graph, so it is stable across processes and restarts,
+// and two isomorphic graphs always hash equal no matter how their vertices
+// are numbered.
+//
+// Construction: every vertex starts from a label/degree/triangle seed, then
+// iterated rounds mix in the sorted multiset of neighbour codes (neighbour
+// hash, edge weight bits, edge label, direction) until the partition induced
+// by the hashes stops refining — a hashed 1-WL with a triangle-augmented
+// initial colouring. The final value folds the sorted vertex-hash multiset
+// with the order, size and directedness.
+//
+// Strength contract: the hash distinguishes everything the triangle-seeded
+// 1-WL distinguishes. Pairs it provably cannot separate are 2-WL-equivalent
+// (e.g. CFI pairs), and 2-WL-equivalent graphs agree on homomorphism counts
+// from every pattern of treewidth <= 2 — in particular on the whole
+// standard class (binary trees + cycles) and on all WL subtree features. So
+// for the pipelines the serve cache fronts, a principled collision returns
+// the right answer anyway; hash_test.go pins this on graph.AllGraphs(<=6)
+// and the CFI pair. (Accidental 64-bit mixing collisions remain possible,
+// as with any fingerprint.)
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Hash returns the canonical 64-bit fingerprint of g. It is invariant under
+// vertex renumbering, sensitive to vertex labels, edge labels, edge weights
+// and direction, and stable across processes. Cost is dominated by the
+// triangle seed, O(Σ_v deg(v)²) on the underlying simple graph.
+func Hash(g *graph.Graph) uint64 {
+	n := g.N()
+	edges := g.Edges()
+
+	// Directed in-degrees in one edge pass (InDegree rescans all edges per
+	// vertex, which would be quadratic here).
+	var inDeg []int
+	if g.Directed() {
+		inDeg = make([]int, n)
+		for _, e := range edges {
+			inDeg[e.V]++
+		}
+	}
+	tri := trianglePairCounts(g)
+
+	h := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		seed := fmix64(hashSeed ^ zig(g.VertexLabel(v)))
+		seed = fmix64(seed ^ uint64(len(g.Arcs(v))))
+		if inDeg != nil {
+			seed = fmix64(seed ^ uint64(inDeg[v])<<1)
+		}
+		h[v] = fmix64(seed ^ uint64(tri[v])<<2)
+	}
+
+	// Iterated neighbour mixing until the induced partition stops refining.
+	// The class count is non-decreasing and bounded by n, so at most n
+	// rounds run; one extra round after the count stabilises is unnecessary
+	// for a fingerprint (1-WL needs it only to certify stability).
+	next := make([]uint64, n)
+	var codes []uint64
+	prevClasses := distinctCount(h)
+	for round := 0; round < n; round++ {
+		for v := 0; v < n; v++ {
+			codes = codes[:0]
+			for _, a := range g.Arcs(v) {
+				e := edges[a.Edge]
+				c := h[a.To]
+				c = fmix64(c ^ weightBits(e.Weight))
+				c = fmix64(c ^ zig(e.Label))
+				codes = append(codes, c)
+			}
+			if g.Directed() {
+				// In-arcs, distinguished from out-arcs by a direction bit.
+				for _, e := range edgesInto(g, v) {
+					c := h[e.U]
+					c = fmix64(c ^ weightBits(e.Weight))
+					c = fmix64(c ^ zig(e.Label) ^ hashDirBit)
+					codes = append(codes, c)
+				}
+			}
+			sortUint64(codes)
+			acc := h[v]
+			for _, c := range codes {
+				acc = fmix64(acc*hashPrime + c)
+			}
+			next[v] = acc
+		}
+		h, next = next, h
+		classes := distinctCount(h)
+		if classes == prevClasses {
+			break
+		}
+		prevClasses = classes
+	}
+
+	final := make([]uint64, n)
+	copy(final, h)
+	sortUint64(final)
+	acc := fmix64(hashSeed ^ uint64(n))
+	acc = fmix64(acc*hashPrime + uint64(len(edges)))
+	if g.Directed() {
+		acc = fmix64(acc ^ hashDirBit)
+	}
+	for _, x := range final {
+		acc = fmix64(acc*hashPrime + x)
+	}
+	return acc
+}
+
+const (
+	hashSeed   uint64 = 0x9e3779b97f4a7c15
+	hashPrime  uint64 = 0x100000001b3
+	hashDirBit uint64 = 1 << 63
+)
+
+// fmix64 is the murmur3 finaliser: a bijective mixer with good avalanche.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// weightBits canonicalises a float64 weight for hashing (-0 folds into +0,
+// every other bit pattern is taken exactly).
+func weightBits(w float64) uint64 {
+	if w == 0 {
+		return 0
+	}
+	return math.Float64bits(w)
+}
+
+// trianglePairCounts returns, per vertex, twice the number of triangles of
+// the underlying simple graph through it — the seed that pushes the hash
+// past plain 1-WL (it splits e.g. K_{3,3} from the triangular prism and C6
+// from C3+C3, which 1-WL cannot), so the cache key respects the cycle
+// coordinates of the homomorphism pipeline on those classic pairs.
+func trianglePairCounts(g *graph.Graph) []int {
+	n := g.N()
+	nbr := make([][]int32, n)
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			continue
+		}
+		nbr[e.U] = append(nbr[e.U], int32(e.V))
+		nbr[e.V] = append(nbr[e.V], int32(e.U))
+	}
+	for v := range nbr {
+		s := nbr[v]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		// Deduplicate parallel edges: triangles are a simple-graph notion.
+		w := 0
+		for i, x := range s {
+			if i == 0 || x != s[w-1] {
+				s[w] = x
+				w++
+			}
+		}
+		nbr[v] = s[:w]
+	}
+	tri := make([]int, n)
+	for u := 0; u < n; u++ {
+		for _, vv := range nbr[u] {
+			v := int(vv)
+			if v <= u {
+				continue
+			}
+			c := sortedIntersectionSize(nbr[u], nbr[v])
+			tri[u] += c
+			tri[v] += c
+		}
+	}
+	return tri
+}
+
+// sortedIntersectionSize merges two sorted id lists.
+func sortedIntersectionSize(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// edgesInto returns the in-edges of v of a directed graph. Built lazily per
+// (graph, vertex) from the cached in-edge index.
+func edgesInto(g *graph.Graph, v int) []graph.Edge {
+	// Small helper without caching: scan once per vertex per round. Directed
+	// request graphs are rare on the serving path; if they become hot, an
+	// in-adjacency snapshot per Hash call amortises this.
+	var in []graph.Edge
+	for _, e := range g.Edges() {
+		if e.V == v {
+			in = append(in, e)
+		}
+	}
+	return in
+}
+
+// distinctCount returns the number of distinct values in xs.
+func distinctCount(xs []uint64) int {
+	seen := make(map[uint64]struct{}, len(xs))
+	for _, x := range xs {
+		seen[x] = struct{}{}
+	}
+	return len(seen)
+}

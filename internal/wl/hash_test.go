@@ -1,0 +1,222 @@
+package wl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hom"
+)
+
+// permutedCopy rebuilds g with vertices renumbered by perm (vertex v becomes
+// perm[v]), preserving labels, weights and direction.
+func permutedCopy(g *graph.Graph, perm []int) *graph.Graph {
+	var h *graph.Graph
+	if g.Directed() {
+		h = graph.NewDirected(g.N())
+	} else {
+		h = graph.New(g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		h.SetVertexLabel(perm[v], g.VertexLabel(v))
+	}
+	for _, e := range g.Edges() {
+		h.AddEdgeFull(perm[e.U], perm[e.V], e.Weight, e.Label)
+	}
+	return h
+}
+
+func shuffledPerm(n int, rng *rand.Rand) []int {
+	perm := rng.Perm(n)
+	return perm
+}
+
+// TestHashPermutationInvariance: the hash is a graph invariant — any
+// renumbering of any graph (random, labelled, weighted, directed) must hash
+// identically, and the value must be reproducible call to call.
+func TestHashPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var gs []*graph.Graph
+	for i := 0; i < 8; i++ {
+		g := graph.Random(9, 0.4, rng)
+		if i%2 == 0 {
+			for v := 0; v < g.N(); v++ {
+				g.SetVertexLabel(v, rng.Intn(3))
+			}
+		}
+		gs = append(gs, g)
+	}
+	// A weighted and a directed specimen.
+	w := graph.Cycle(5)
+	w.AddWeightedEdge(0, 2, 2.5)
+	gs = append(gs, w)
+	d := graph.NewDirected(6)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 0)
+	d.AddLabeledEdge(3, 4, 2)
+	gs = append(gs, d)
+
+	for gi, g := range gs {
+		want := Hash(g)
+		if got := Hash(g); got != want {
+			t.Fatalf("graph %d: Hash not reproducible: %x vs %x", gi, got, want)
+		}
+		for trial := 0; trial < 5; trial++ {
+			p := permutedCopy(g, shuffledPerm(g.N(), rng))
+			if got := Hash(p); got != want {
+				t.Errorf("graph %d trial %d: permuted copy hashes %x, original %x", gi, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestHashSensitivity: attributes that change the served features must
+// change the hash — weights, vertex labels, edge labels, direction, and
+// isolated vertices (which the # n=K reader can now represent).
+func TestHashSensitivity(t *testing.T) {
+	base := graph.Cycle(6)
+	h0 := Hash(base)
+
+	weighted := graph.New(6)
+	for i := 0; i < 6; i++ {
+		w := 1.0
+		if i == 0 {
+			w = 2
+		}
+		weighted.AddWeightedEdge(i, (i+1)%6, w)
+	}
+	if Hash(weighted) == h0 {
+		t.Error("edge weight change did not change the hash")
+	}
+
+	labelled := graph.Cycle(6)
+	labelled.SetVertexLabel(3, 1)
+	if Hash(labelled) == h0 {
+		t.Error("vertex label change did not change the hash")
+	}
+
+	elabel := graph.New(6)
+	for i := 0; i < 6; i++ {
+		l := 0
+		if i == 2 {
+			l = 5
+		}
+		elabel.AddLabeledEdge(i, (i+1)%6, l)
+	}
+	if Hash(elabel) == h0 {
+		t.Error("edge label change did not change the hash")
+	}
+
+	directed := graph.NewDirected(6)
+	for i := 0; i < 6; i++ {
+		directed.AddEdge(i, (i+1)%6)
+	}
+	if Hash(directed) == h0 {
+		t.Error("directed cycle hashes like the undirected one")
+	}
+
+	padded := graph.New(7)
+	for i := 0; i < 6; i++ {
+		padded.AddEdge(i, (i+1)%6)
+	}
+	if Hash(padded) == h0 {
+		t.Error("trailing isolated vertex did not change the hash")
+	}
+}
+
+// TestHashSplitsClassicWLPairs: the triangle-augmented seed must separate
+// the canonical 1-WL-equivalent pairs whose homomorphism vectors differ —
+// exactly the pairs where a plain WL-histogram cache key would serve wrong
+// hom/kernel features.
+func TestHashSplitsClassicWLPairs(t *testing.T) {
+	c6 := graph.Cycle(6)
+	twoTriangles := graph.DisjointUnion(graph.Cycle(3), graph.Cycle(3))
+	if Distinguishes(c6, twoTriangles) {
+		t.Fatal("test premise broken: 1-WL should not distinguish C6 from 2*C3")
+	}
+	if Hash(c6) == Hash(twoTriangles) {
+		t.Error("C6 and C3+C3 share a hash; their cycle hom counts differ")
+	}
+
+	k33 := graph.CompleteBipartite(3, 3)
+	prism := graph.New(6)
+	for i := 0; i < 3; i++ {
+		prism.AddEdge(i, (i+1)%3)
+		prism.AddEdge(3+i, 3+(i+1)%3)
+		prism.AddEdge(i, 3+i)
+	}
+	if Distinguishes(k33, prism) {
+		t.Fatal("test premise broken: 1-WL should not distinguish K33 from the prism")
+	}
+	if Hash(k33) == Hash(prism) {
+		t.Error("K33 and the prism share a hash; their triangle counts differ")
+	}
+}
+
+// TestHashCollisionSanityAllGraphs: over every isomorphism class on up to 6
+// vertices, a hash collision between non-isomorphic graphs is tolerable
+// only when it is principled — the pair must be 1-WL-equivalent AND agree
+// on the full standard-class homomorphism vector, so every pipeline the
+// serve cache fronts would serve identical features anyway.
+func TestHashCollisionSanityAllGraphs(t *testing.T) {
+	var gs []*graph.Graph
+	for n := 1; n <= 6; n++ {
+		gs = append(gs, graph.AllGraphs(n)...)
+	}
+	cc := hom.Compile(hom.StandardClass())
+	hashes := make([]uint64, len(gs))
+	for i, g := range gs {
+		hashes[i] = Hash(g)
+	}
+	collisions := 0
+	for i := 0; i < len(gs); i++ {
+		for j := i + 1; j < len(gs); j++ {
+			if hashes[i] != hashes[j] {
+				continue
+			}
+			collisions++
+			if Distinguishes(gs[i], gs[j]) {
+				t.Errorf("1-WL-distinguishable graphs collide: %v vs %v", gs[i], gs[j])
+				continue
+			}
+			vi, vj := cc.Vector(gs[i]), cc.Vector(gs[j])
+			for k := range vi {
+				if vi[k] != vj[k] {
+					t.Errorf("hash collision with different hom vectors (pattern %d: %g vs %g): %v vs %v",
+						k, vi[k], vj[k], gs[i], gs[j])
+					break
+				}
+			}
+		}
+	}
+	t.Logf("%d graphs, %d principled collisions", len(gs), collisions)
+}
+
+// TestHashCFIPair pins the strength contract on the classic lower-bound
+// pair: the CFI graphs over K4 are non-isomorphic but 2-WL-equivalent, so
+// the hash cannot (and must not pretend to) separate them — and because
+// 2-WL equivalence implies equal homomorphism counts from every pattern of
+// treewidth <= 2, the whole standard class agrees on them, so the shared
+// cache entry is correct for every served pipeline.
+func TestHashCFIPair(t *testing.T) {
+	a, b := graph.CFIPair()
+	ha, hb := Hash(a), Hash(b)
+	if ha != hb {
+		// Stronger than expected is not sanity: it would mean the hash
+		// depends on something beyond its documented invariants.
+		t.Fatalf("CFI pair hashes differ (%x vs %x); the hash should be exactly WL-strength on them", ha, hb)
+	}
+	cc := hom.Compile(hom.StandardClass())
+	va, vb := cc.Vector(a), cc.Vector(b)
+	for k := range va {
+		if va[k] != vb[k] {
+			t.Fatalf("CFI pair differs on standard-class pattern %d (%g vs %g): cache contract broken", k, va[k], vb[k])
+		}
+	}
+	// And the invariance still holds on the twisted copy.
+	rng := rand.New(rand.NewSource(3))
+	if got := Hash(permutedCopy(b, shuffledPerm(b.N(), rng))); got != hb {
+		t.Errorf("permuted twisted CFI graph hashes %x, want %x", got, hb)
+	}
+}
