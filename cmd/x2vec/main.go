@@ -434,7 +434,11 @@ func cmdDist(args []string) error {
 	if l > 8 {
 		return fmt.Errorf("exact alignment distance limited to graphs whose order lcm is <= 8 (got %d)", l)
 	}
-	fmt.Printf("dist = %g\n", similarity.DistAnyOrder(a, b, norm))
+	d, err := similarity.DistAnyOrder(a, b, norm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dist = %g\n", d)
 	return nil
 }
 

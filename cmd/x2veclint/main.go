@@ -1,0 +1,86 @@
+// Command x2veclint machine-checks the repository's hand-built invariants
+// — the ones the compiler cannot see. It loads every package matched by
+// the given go-list patterns (default ./...), runs the rule suite in
+// internal/analysis, prints one `file:line: [rule] message` per finding,
+// and exits non-zero when anything survives its //x2vec:allow audit.
+//
+// Usage:
+//
+//	x2veclint [-rules hotalloc,nopanic,...] [packages]
+//
+// Rules:
+//
+//	hotalloc      no allocation-bearing constructs in //x2vec:hotpath
+//	              functions or their same-package callees
+//	nopanic       internal library code returns errors, never panics
+//	noglobalrand  randomness flows through seeded generators, not the
+//	              math/rand global source
+//	workerpool    no GOMAXPROCS mutation; goroutines only in the
+//	              approved pool packages (linalg, serve, sgns)
+//	racemirror    //go:build race files mirror their !race counterparts
+//	              function-for-function
+//
+// `//x2vec:allow <rule> <justification>` on (or directly above) a line
+// suppresses exactly that rule there; directives without a justification
+// are findings themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: x2veclint [-rules r1,r2] [packages]\nrules: %s\n",
+			strings.Join(analysis.AnalyzerNames(), ", "))
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var picked []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(os.Stderr, "x2veclint: unknown rule %q\n", r)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	pkgs, err := analysis.LoadPatterns(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "x2veclint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := analysis.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Pos
+		if cwd != "" && pos.Filename != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", pos.Filename, pos.Line, f.Rule, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "x2veclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,160 @@
+// Package analysis is the repo's own static-analysis pass: a small
+// stdlib-only framework (loader, directive parser, runner) plus one
+// analyzer per hand-built invariant that the compiler cannot see —
+// zero-allocation hot paths, no-panic library code, seeded randomness,
+// explicit worker pools, and race-build mirror files. `cmd/x2veclint`
+// drives it over the module and CI fails on any finding, so invariants
+// that used to live in reviewer memory are machine-checked on every push.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Analyzer is one named rule over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pkg) []Finding
+}
+
+// Analyzers returns the full rule suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		hotallocAnalyzer,
+		nopanicAnalyzer,
+		noglobalrandAnalyzer,
+		workerpoolAnalyzer,
+		racemirrorAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the names of the full suite.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+const (
+	allowPrefix   = "//x2vec:allow"
+	hotpathMarker = "//x2vec:hotpath"
+)
+
+// directives holds the //x2vec:allow suppressions of one package:
+// file -> line -> rule set. A directive suppresses the named rule on its
+// own line (trailing-comment form) and on the line directly below it
+// (standalone-comment form).
+type directives map[string]map[int]map[string]bool
+
+func (d directives) allows(pos token.Position, rule string) bool {
+	lines := d[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][rule] || lines[pos.Line-1][rule]
+}
+
+// collectDirectives scans every comment of the package (tag-excluded
+// files included) for //x2vec:allow markers. Malformed directives — no
+// rule, unknown rule, or a missing justification — are themselves
+// findings: the escape hatch only works audited.
+func collectDirectives(p *Pkg, known map[string]bool) (directives, []Finding) {
+	d := directives{}
+	var bad []Finding
+	files := append(append([]*ast.File{}, p.Files...), p.TagFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{pos, "directive", "x2vec:allow needs a rule name and a justification"})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{pos, "directive", fmt.Sprintf("x2vec:allow names unknown rule %q", fields[0])})
+				case len(fields) < 2:
+					bad = append(bad, Finding{pos, "directive", fmt.Sprintf("x2vec:allow %s needs a justification", fields[0])})
+				default:
+					lines := d[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						d[pos.Filename] = lines
+					}
+					rules := lines[pos.Line]
+					if rules == nil {
+						rules = map[string]bool{}
+						lines[pos.Line] = rules
+					}
+					rules[fields[0]] = true
+				}
+			}
+		}
+	}
+	return d, bad
+}
+
+// Run executes the analyzers over every package, applies //x2vec:allow
+// suppressions, surfaces type-check failures, and returns the surviving
+// findings sorted by position.
+func Run(pkgs []*Pkg, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		d, bad := collectDirectives(p, known)
+		out = append(out, bad...)
+		for _, err := range p.TypeErrors {
+			out = append(out, Finding{Rule: "typecheck", Message: err.Error(), Pos: typeErrorPos(err)})
+		}
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				if !d.allows(f.Pos, f.Rule) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+func typeErrorPos(err error) token.Position {
+	if te, ok := err.(types.Error); ok && te.Fset != nil {
+		return te.Fset.Position(te.Pos)
+	}
+	return token.Position{}
+}

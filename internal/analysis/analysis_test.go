@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func loadTestPkg(t *testing.T, dir string) *Pkg {
+	t.Helper()
+	p, err := LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("LoadDir(%s) type errors: %v", dir, p.TypeErrors)
+	}
+	return p
+}
+
+// wants collects the `//want rule [rule...]` expectations of a package's
+// sources (tag-excluded files included) as a line -> sorted rules multiset.
+func wants(p *Pkg) map[int][]string {
+	out := map[int][]string{}
+	for _, f := range append(append([]*ast.File{}, p.Files...), p.TagFiles...) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//want ")
+				if !ok {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				out[line] = append(out[line], strings.Fields(rest)...)
+				sort.Strings(out[line])
+			}
+		}
+	}
+	return out
+}
+
+func findingLines(fs []Finding) map[int][]string {
+	out := map[int][]string{}
+	for _, f := range fs {
+		out[f.Pos.Line] = append(out[f.Pos.Line], f.Rule)
+		sort.Strings(out[f.Pos.Line])
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, p *Pkg, a *Analyzer) {
+	t.Helper()
+	got := findingLines(Run([]*Pkg{p}, []*Analyzer{a}))
+	want := wants(p)
+	for line, rules := range want {
+		if fmt.Sprint(got[line]) != fmt.Sprint(rules) {
+			t.Errorf("line %d: got findings %v, want %v", line, got[line], rules)
+		}
+	}
+	for line, rules := range got {
+		if len(want[line]) == 0 {
+			t.Errorf("line %d: unexpected findings %v", line, rules)
+		}
+	}
+}
+
+func TestNopanicGolden(t *testing.T) {
+	checkGolden(t, loadTestPkg(t, "nopanic"), nopanicAnalyzer)
+}
+
+func TestNopanicSkipsNonInternal(t *testing.T) {
+	p := loadTestPkg(t, "nopanic")
+	p.Internal = false
+	if fs := Run([]*Pkg{p}, []*Analyzer{nopanicAnalyzer}); len(fs) != 0 {
+		t.Fatalf("non-internal package should be exempt, got %v", fs)
+	}
+}
+
+func TestNoglobalrandGolden(t *testing.T) {
+	checkGolden(t, loadTestPkg(t, "noglobalrand"), noglobalrandAnalyzer)
+}
+
+func TestWorkerpoolGolden(t *testing.T) {
+	checkGolden(t, loadTestPkg(t, "workerpool"), workerpoolAnalyzer)
+}
+
+func TestWorkerpoolPoolPackageMayGo(t *testing.T) {
+	p := loadTestPkg(t, "workerpool")
+	p.PoolPkg = true
+	fs := Run([]*Pkg{p}, []*Analyzer{workerpoolAnalyzer})
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "GOMAXPROCS") {
+		t.Fatalf("pool package should only flag the GOMAXPROCS mutation, got %v", fs)
+	}
+}
+
+func TestHotallocGolden(t *testing.T) {
+	checkGolden(t, loadTestPkg(t, "hotalloc"), hotallocAnalyzer)
+}
+
+func TestRacemirrorGolden(t *testing.T) {
+	checkGolden(t, loadTestPkg(t, filepath.Join("racemirror", "bad")), racemirrorAnalyzer)
+}
+
+func TestRacemirrorMatchedPairClean(t *testing.T) {
+	p := loadTestPkg(t, filepath.Join("racemirror", "good"))
+	if fs := Run([]*Pkg{p}, []*Analyzer{racemirrorAnalyzer}); len(fs) != 0 {
+		t.Fatalf("matched race mirror should be clean, got %v", fs)
+	}
+}
+
+// TestDirectiveSuppression pins the escape-hatch contract: //x2vec:allow
+// suppresses exactly the named rule on the annotated line, and malformed
+// directives are findings.
+func TestDirectiveSuppression(t *testing.T) {
+	p := loadTestPkg(t, "directive")
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "directive", "directive.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineOf := func(marker string) []int {
+		var out []int
+		for i, l := range strings.Split(string(src), "\n") {
+			if strings.Contains(l, marker) {
+				out = append(out, i+1)
+			}
+		}
+		return out
+	}
+	got := findingLines(Run([]*Pkg{p}, Analyzers()))
+
+	for _, line := range lineOf(`panic("invariant")`) {
+		if len(got[line]) != 0 {
+			t.Errorf("line %d: allowed panic should be suppressed, got %v", line, got[line])
+		}
+	}
+	for _, line := range lineOf("rand.Intn(n)") {
+		if len(got[line]) != 0 {
+			t.Errorf("line %d: standalone allow above should suppress, got %v", line, got[line])
+		}
+	}
+	for _, line := range lineOf("wrong rule on purpose") {
+		if fmt.Sprint(got[line]) != "[nopanic]" {
+			t.Errorf("line %d: allow for another rule must not suppress nopanic, got %v", line, got[line])
+		}
+	}
+	var directiveFindings, nopanicSurvivors int
+	for _, rules := range got {
+		for _, r := range rules {
+			switch r {
+			case "directive":
+				directiveFindings++
+			case "nopanic":
+				nopanicSurvivors++
+			}
+		}
+	}
+	if directiveFindings != 2 {
+		t.Errorf("want 2 malformed-directive findings (no justification, unknown rule), got %d: %v", directiveFindings, got)
+	}
+	if nopanicSurvivors != 2 {
+		t.Errorf("want 2 surviving nopanic findings, got %d: %v", nopanicSurvivors, got)
+	}
+}
+
+// TestModuleIsClean is the dogfood gate in test form: the repository's
+// own tree must lint clean, so `go test` fails the moment a violation
+// lands even if CI's dedicated x2veclint step is skipped.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadPatterns(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	for _, f := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotalloc: functions marked `//x2vec:hotpath` (and every same-package
+// function they reach) are the per-pair / per-vertex inner loops whose
+// zero-allocation steady state the AllocsPerRun tests pin at runtime.
+// This analyzer pins it statically, rejecting the constructs that put an
+// allocation (or a write barrier) in the loop: fmt calls, non-constant
+// string concatenation, string<->[]byte conversions, map literals and
+// make(map/chan), variable-capturing closures, and concrete values boxed
+// into interface parameters at call sites. Constructs that only execute
+// while panicking (arguments of panic calls) are exempt — a message
+// built on the way out of a dying process costs nothing in steady state.
+var hotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation-bearing constructs in //x2vec:hotpath functions and their same-package callees",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(p *Pkg) []Finding {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+			if hasHotpathMarker(fd) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	// Transitive same-package closure, each function attributed to the
+	// first hotpath root that reaches it.
+	rootOf := map[*ast.FuncDecl]string{}
+	var queue []*ast.FuncDecl
+	for _, r := range roots {
+		if _, ok := rootOf[r]; !ok {
+			rootOf[r] = funcKey(r)
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() != p.Types {
+				return true
+			}
+			callee := decls[fn]
+			if callee == nil {
+				return true
+			}
+			if _, seen := rootOf[callee]; !seen {
+				rootOf[callee] = rootOf[fd]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	var out []Finding
+	for fd, root := range rootOf {
+		out = append(out, checkHotFunc(p, fd, root)...)
+	}
+	return out
+}
+
+func hasHotpathMarker(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// panicRanges returns the source ranges of every panic(...) argument list
+// in the body: alloc-bearing constructs inside them are exempt.
+func panicRanges(p *Pkg, body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+				out = append(out, [2]token.Pos{call.Args[0].Pos(), call.Args[len(call.Args)-1].End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotFunc(p *Pkg, fd *ast.FuncDecl, root string) []Finding {
+	if fd.Body == nil {
+		return nil
+	}
+	exempt := panicRanges(p, fd.Body)
+	inPanic := func(pos token.Pos) bool {
+		for _, r := range exempt {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Finding
+	report := func(pos token.Pos, msg string) {
+		if inPanic(pos) {
+			return
+		}
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(pos),
+			Rule:    "hotalloc",
+			Message: fmt.Sprintf("%s (hot path: %s)", msg, root),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, n, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv := p.Info.Types[n]; tv.Value == nil && isStringType(tv.Type) {
+					report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if isStringType(exprType(p, n.Lhs[0])) {
+					report(n.Pos(), "string += allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv := p.Info.Types[n]; tv.Type != nil {
+				if _, ok := tv.Type.Underlying().(*types.Map); ok {
+					report(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if v := capturedVar(p, n); v != "" {
+				report(n.Pos(), fmt.Sprintf("closure captures %q by reference and escapes", v))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotCall(p *Pkg, call *ast.CallExpr, report func(token.Pos, string)) {
+	tv := p.Info.Types[call.Fun]
+	if tv.IsType() {
+		// Conversion: string <-> []byte / []rune copies into fresh memory.
+		if len(call.Args) == 1 {
+			at := p.Info.Types[call.Args[0]].Type
+			if stringBytesConversion(tv.Type, at) {
+				report(call.Pos(), "string/byte-slice conversion allocates a copy")
+			}
+		}
+		return
+	}
+	callee := calleeObject(p, call)
+	if b, ok := callee.(*types.Builtin); ok {
+		if b.Name() == "make" && len(call.Args) >= 1 {
+			switch p.Info.Types[call.Args[0]].Type.Underlying().(type) {
+			case *types.Map:
+				report(call.Pos(), "make(map) allocates; hoist to a reused scratch buffer")
+			case *types.Chan:
+				report(call.Pos(), "make(chan) allocates; hot loops must not create channels")
+			}
+		}
+		return
+	}
+	if fn, ok := callee.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), fmt.Sprintf("fmt.%s allocates (formatting in a hot loop)", fn.Name()))
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		at := p.Info.Types[arg]
+		if at.IsNil() || at.Type == nil || types.IsInterface(at.Type) {
+			continue
+		}
+		report(arg.Pos(), fmt.Sprintf("%s boxed into interface parameter %s at call site", at.Type, pt))
+	}
+}
+
+func calleeObject(p *Pkg, call *ast.CallExpr) types.Object {
+	fun := call.Fun
+	for {
+		paren, ok := fun.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		fun = paren.X
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// capturedVar returns the name of a variable the closure captures from an
+// enclosing scope (forcing a heap allocation for the closure and, often,
+// the variable), or "" if the literal is capture-free.
+func capturedVar(p *Pkg, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || !v.Pos().IsValid() {
+			return true
+		}
+		if p.Types != nil && v.Parent() == p.Types.Scope() {
+			return true // package-level variable, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func exprType(p *Pkg, e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func stringBytesConversion(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

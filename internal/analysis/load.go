@@ -1,0 +1,282 @@
+package analysis
+
+// Package loading without golang.org/x/tools. The repo's linter must stay
+// offline-safe and dependency-free, so packages are discovered with
+// `go list -json`, parsed with go/parser, and type-checked with go/types
+// against gc export data pulled from the build cache via
+// `go list -export`. The toolchain that compiles the code also produces
+// the export data the checker imports, so the two can never skew.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Pkg is one loaded, type-checked package plus the build-tag-excluded
+// files the type checker never sees (needed by racemirror).
+type Pkg struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // parsed + type-checked non-test sources
+	TagFiles   []*ast.File // parsed only: sources excluded by build tags
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+
+	// Internal marks packages subject to the library-code rules
+	// (nopanic, the go-statement half of workerpool).
+	Internal bool
+	// PoolPkg marks the approved goroutine-pool packages where bare go
+	// statements are the implementation, not a violation.
+	PoolPkg bool
+}
+
+// poolPackages are the only internal packages allowed to spawn goroutines
+// directly; everything else rides their ParallelFor*-style pools.
+var poolPackages = map[string]bool{
+	"linalg": true,
+	"serve":  true,
+	"sgns":   true,
+}
+
+type listPkg struct {
+	ImportPath     string
+	Dir            string
+	Export         string
+	GoFiles        []string
+	IgnoredGoFiles []string
+	Standard       bool
+	Error          *struct{ Err string }
+}
+
+// exportCatalog resolves import paths to gc export data files, shelling
+// out to `go list -export` on demand for paths not seen up front.
+type exportCatalog struct {
+	mu    sync.Mutex
+	dir   string // working directory for go list invocations
+	files map[string]string
+}
+
+func (c *exportCatalog) lookup(path string) (io.ReadCloser, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		pkgs, err := goList(c.dir, "-export", "-deps", path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: resolving import %q: %w", path, err)
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				c.files[p.ImportPath] = p.Export
+			}
+		}
+		f, ok = c.files[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(f)
+}
+
+func goList(dir string, extra ...string) ([]listPkg, error) {
+	args := append([]string{"list", "-json"}, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPatterns loads, parses, and type-checks every non-test package
+// matched by the go list patterns (e.g. "./..."), resolving imports —
+// stdlib and in-module alike — through build-cache export data.
+func LoadPatterns(dir string, patterns ...string) ([]*Pkg, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// One -deps -export pass seeds the catalog with every dependency's
+	// export data (and forces compilation into the build cache).
+	deps, err := goList(dir, append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	cat := &exportCatalog{dir: dir, files: map[string]string{}}
+	for _, p := range deps {
+		if p.Export != "" {
+			cat.files[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", cat.lookup)
+	var out []*Pkg
+	for _, t := range targets {
+		if t.Standard || t.Error != nil || len(t.GoFiles)+len(t.IgnoredGoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, t listPkg) (*Pkg, error) {
+	pkg := &Pkg{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Internal:   strings.Contains("/"+t.ImportPath+"/", "/internal/"),
+	}
+	pkg.PoolPkg = pkg.Internal && poolPackages[filepath.Base(t.ImportPath)]
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	for _, name := range t.IgnoredGoFiles {
+		// Excluded-by-tags files are kept for syntactic analysis only; a
+		// parse failure here (e.g. a non-Go artifact) is not our problem.
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err == nil {
+			pkg.TagFiles = append(pkg.TagFiles, f)
+		}
+	}
+	pkg.typeCheck(imp)
+	return pkg, nil
+}
+
+// LoadDir loads a single directory as one package outside the module's
+// package graph — the shape the linter's own testdata packages use. The
+// caller gets the same Pkg a `go list` load would produce, with Internal
+// defaulted to true so the library-code rules are exercised.
+func LoadDir(dir string) (*Pkg, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Pkg{
+		ImportPath: filepath.ToSlash(filepath.Base(abs)),
+		Dir:        abs,
+		Fset:       fset,
+		Internal:   true,
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(abs, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if satisfiedByCurrentBuild(fileConstraint(fset, f)) {
+			pkg.Files = append(pkg.Files, f)
+		} else {
+			pkg.TagFiles = append(pkg.TagFiles, f)
+		}
+	}
+	cat := &exportCatalog{dir: abs, files: map[string]string{}}
+	imp := importer.ForCompiler(fset, "gc", cat.lookup)
+	pkg.typeCheck(imp)
+	return pkg, nil
+}
+
+func (p *Pkg) typeCheck(imp types.Importer) {
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	// Check errors are collected, not fatal: `go build` gates the linter in
+	// CI, so residual errors mean a loader bug and surface as findings.
+	p.Types, _ = conf.Check(p.ImportPath, p.Fset, p.Files, p.Info)
+}
+
+// fileConstraint returns the //go:build expression governing f, or nil.
+func fileConstraint(fset *token.FileSet, f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				if x, err := constraint.Parse(c.Text); err == nil {
+					return x
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// evalConstraint evaluates a build expression with the race tag forced to
+// the given value; GOOS/GOARCH/go1.N tags match the running toolchain and
+// everything else is off.
+func evalConstraint(x constraint.Expr, race bool) bool {
+	if x == nil {
+		return true
+	}
+	return x.Eval(func(tag string) bool {
+		switch {
+		case tag == "race":
+			return race
+		case tag == runtime.GOOS || tag == runtime.GOARCH:
+			return true
+		case strings.HasPrefix(tag, "go1."):
+			return true
+		}
+		return false
+	})
+}
+
+func satisfiedByCurrentBuild(x constraint.Expr) bool { return evalConstraint(x, false) }

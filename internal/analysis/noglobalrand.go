@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// noglobalrand: the engines are bit-deterministic by contract — every
+// random stream flows from an explicit seed through a *rand.Rand or the
+// repo's splitmix64 (sgns.FastRand), never through math/rand's shared
+// global source. A single rand.Intn in an engine silently breaks corpus
+// reproducibility and the differential test suites built on it.
+var noglobalrandAnalyzer = &Analyzer{
+	Name: "noglobalrand",
+	Doc:  "forbid math/rand global-source top-level functions; thread a seeded *rand.Rand",
+	Run:  runNoglobalrand,
+}
+
+// randConstructors are the math/rand package-level functions that do NOT
+// touch the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runNoglobalrand(p *Pkg) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && !randConstructors[fn.Name()] {
+				out = append(out, Finding{
+					Pos:     p.Fset.Position(sel.Pos()),
+					Rule:    "noglobalrand",
+					Message: fmt.Sprintf("rand.%s uses the global math/rand source; thread a seeded *rand.Rand (or splitmix64) for determinism", fn.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nopanic: library code under internal/ must return errors, not panic.
+// PR 3 set the pattern (treedec.ErrTooLarge and friends): callers of a
+// library can always recover an error, but a panic kills the serving
+// daemon. Deliberate invariant panics — impossible-by-construction
+// states, documented small-input caps with an error-returning sibling —
+// survive only under an audited `//x2vec:allow nopanic <why>`.
+var nopanicAnalyzer = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in internal library code; return errors instead",
+	Run:  runNopanic,
+}
+
+func runNopanic(p *Pkg) []Finding {
+	if !p.Internal {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					out = append(out, Finding{
+						Pos:     p.Fset.Position(call.Pos()),
+						Rule:    "nopanic",
+						Message: "panic in library code: return an error (treedec.ErrTooLarge pattern) or justify with //x2vec:allow nopanic",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

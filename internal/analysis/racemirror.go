@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// racemirror: the Hogwild engine swaps its shared-parameter accessors by
+// build tag — plain loads/stores in normal builds, relaxed atomics under
+// -race (internal/sgns/params_race.go vs params_norace.go). The compiler
+// checks each build in isolation, so the two files can drift: a function
+// added to one and not the other only explodes when someone runs the
+// other configuration. This analyzer diffs the package-level function
+// sets (names and signatures) of every race-tagged file against its
+// !race counterparts.
+var racemirrorAnalyzer = &Analyzer{
+	Name: "racemirror",
+	Doc:  "race-build files must declare exactly the package-level functions of their !race counterparts",
+	Run:  runRacemirror,
+}
+
+type mirrorFunc struct {
+	sig string
+	pos token.Pos
+}
+
+func runRacemirror(p *Pkg) []Finding {
+	race := map[string]mirrorFunc{}
+	plain := map[string]mirrorFunc{}
+	haveRaceFile := false
+	all := append(append([]*ast.File{}, p.Files...), p.TagFiles...)
+	for _, f := range all {
+		x := fileConstraint(p.Fset, f)
+		if x == nil {
+			continue
+		}
+		underRace, underPlain := evalConstraint(x, true), evalConstraint(x, false)
+		if underRace == underPlain {
+			continue // not a race-sensitive file
+		}
+		dst := plain
+		if underRace {
+			dst = race
+			haveRaceFile = true
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			dst[funcKey(fd)] = mirrorFunc{sig: funcSig(p.Fset, fd), pos: fd.Pos()}
+		}
+	}
+	if !haveRaceFile {
+		return nil
+	}
+	var out []Finding
+	for key, rf := range race {
+		pf, ok := plain[key]
+		switch {
+		case !ok:
+			out = append(out, Finding{
+				Pos:     p.Fset.Position(rf.pos),
+				Rule:    "racemirror",
+				Message: fmt.Sprintf("race-build function %s has no !race counterpart; the accessor sets have drifted", key),
+			})
+		case pf.sig != rf.sig:
+			out = append(out, Finding{
+				Pos:     p.Fset.Position(rf.pos),
+				Rule:    "racemirror",
+				Message: fmt.Sprintf("race-build function %s has signature %s but the !race counterpart has %s", key, rf.sig, pf.sig),
+			})
+		}
+	}
+	for key, pf := range plain {
+		if _, ok := race[key]; !ok {
+			out = append(out, Finding{
+				Pos:     p.Fset.Position(pf.pos),
+				Rule:    "racemirror",
+				Message: fmt.Sprintf("function %s in a !race file has no race-build counterpart; -race builds will not compile or will silently diverge", key),
+			})
+		}
+	}
+	return out
+}
+
+// funcKey is the identity of a package-level function: receiver base type
+// (if any) plus name.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return typeText(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+func funcSig(fset *token.FileSet, fd *ast.FuncDecl) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, fd.Type)
+	return buf.String()
+}
+
+func typeText(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

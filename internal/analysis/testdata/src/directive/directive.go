@@ -1,0 +1,36 @@
+// Package directive is x2veclint golden testdata for the //x2vec:allow
+// escape hatch: suppression is rule- and line-exact, and unjustified
+// directives are findings themselves. Expectations live in the test, not
+// in want comments, because the directives under test share the lines.
+package directive
+
+import "math/rand"
+
+// Suppressed inline: no nopanic finding on line 12.
+func a() {
+	panic("invariant") //x2vec:allow nopanic documented impossible state
+}
+
+// Suppressed by the standalone form on the line above: no noglobalrand
+// finding on line 19.
+func b(n int) int {
+	//x2vec:allow noglobalrand jitter only, determinism not required here
+	return rand.Intn(n)
+}
+
+// A directive for one rule must not silence another: the nopanic finding
+// on line 25 survives its noglobalrand allow.
+func c() {
+	panic("boom") //x2vec:allow noglobalrand wrong rule on purpose
+}
+
+// A directive without a justification is itself a finding, and the
+// panic on line 31 stays flagged.
+func d() {
+	panic("boom") //x2vec:allow nopanic
+}
+
+// A directive naming an unknown rule is a finding.
+func e() int {
+	return 1 //x2vec:allow madeuprule because reasons
+}

@@ -1,0 +1,54 @@
+// Package hotalloc is x2veclint golden testdata: allocation-bearing
+// constructs inside and outside //x2vec:hotpath functions.
+package hotalloc
+
+import "fmt"
+
+// Hot is the annotated inner loop: every alloc-bearing construct in it
+// (or in a same-package callee) is flagged.
+//
+//x2vec:hotpath
+func Hot(xs []string, b []byte, n int) string {
+	s := ""
+	for _, x := range xs {
+		s += x //want hotalloc
+	}
+	s = s + string(b)      //want hotalloc hotalloc
+	m := make(map[int]int) //want hotalloc
+	_ = m
+	_ = map[string]int{"a": 1} //want hotalloc
+	ch := make(chan int)       //want hotalloc
+	_ = ch
+	k := 0
+	f := func() { k++ } //want hotalloc
+	f()
+	sink(n)    //want hotalloc
+	callee(xs) // pulls callee into the hot closure
+	if n < 0 {
+		// Panic arguments are exempt: this allocation only happens on the
+		// way out of a dying invariant, never in steady state.
+		panic(fmt.Sprintf("hotalloc: bad n %d", n))
+	}
+	return s
+}
+
+// callee is reached from Hot, so its fmt call is flagged too.
+func callee(xs []string) {
+	fmt.Println(xs) //want hotalloc
+}
+
+// sink's interface parameter makes Hot's call site a boxing allocation;
+// sink itself is clean.
+func sink(v any) {}
+
+// Cold has the same constructs but no hotpath annotation and no hot
+// caller: clean.
+func Cold(xs []string, b []byte) string {
+	s := ""
+	for _, x := range xs {
+		s += x
+	}
+	m := map[string]int{"a": 1}
+	_ = m
+	return s + string(b) + fmt.Sprint(len(xs))
+}

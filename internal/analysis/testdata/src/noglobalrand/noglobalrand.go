@@ -1,0 +1,18 @@
+// Package noglobalrand is x2veclint golden testdata: global math/rand
+// source use versus properly seeded generators.
+package noglobalrand
+
+import "math/rand"
+
+// Bad draws from the process-global source: nondeterministic, flagged.
+func Bad(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) //want noglobalrand
+	return rand.Intn(n)                //want noglobalrand
+}
+
+// Good threads a seeded *rand.Rand: clean (rand.New and rand.NewSource
+// are constructors, not global-source draws).
+func Good(n int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

@@ -1,0 +1,29 @@
+// Package nopanic is x2veclint golden testdata: one positive and one
+// negative case for the nopanic rule.
+package nopanic
+
+import "errors"
+
+var errBad = errors.New("nopanic: bad input")
+
+// Bad panics in library code: flagged.
+func Bad(n int) int {
+	if n < 0 {
+		panic("negative") //want nopanic
+	}
+	return n * 2
+}
+
+// Good returns an error instead: clean.
+func Good(n int) (int, error) {
+	if n < 0 {
+		return 0, errBad
+	}
+	return n * 2, nil
+}
+
+// shadowed uses a local function named panic: not the builtin, clean.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

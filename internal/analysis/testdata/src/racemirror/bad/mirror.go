@@ -1,0 +1,18 @@
+//go:build !race
+
+// Package mirror is x2veclint golden testdata: a race/!race file pair
+// whose function sets have drifted in all three possible ways.
+package mirror
+
+func ld(s []float64, i int) float64 { return s[i] }
+
+// st exists only in the !race file: flagged at this declaration.
+func st(s []float64, i int, v float64) { s[i] = v } //want racemirror
+
+// scale exists in both files but with different signatures: flagged at
+// the race-side declaration.
+func scale(s []float64, f float64) {
+	for i := range s {
+		s[i] *= f
+	}
+}

@@ -1,0 +1,14 @@
+//go:build race
+
+package mirror
+
+func ld(s []float64, i int) float64 { return s[i] }
+
+// extra exists only in the race file: flagged.
+func extra(s []float64) float64 { return s[0] } //want racemirror
+
+func scale(s []float64, f float32) { //want racemirror
+	for i := range s {
+		s[i] *= float64(f)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package mirror is x2veclint golden testdata: a race/!race pair whose
+// function sets match exactly — no findings.
+package mirror
+
+func ld(s []float64, i int) float64 { return s[i] }
+
+func st(s []float64, i int, v float64) { s[i] = v }

@@ -1,0 +1,7 @@
+//go:build race
+
+package mirror
+
+func ld(s []float64, i int) float64 { return s[i] }
+
+func st(s []float64, i int, v float64) { s[i] = v }

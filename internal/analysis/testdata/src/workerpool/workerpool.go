@@ -1,0 +1,25 @@
+// Package workerpool is x2veclint golden testdata: GOMAXPROCS mutation
+// and bare goroutine spawns versus the approved read/pool forms.
+package workerpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Bad mutates the global pool and spawns an unpooled goroutine.
+func Bad(done chan struct{}) {
+	runtime.GOMAXPROCS(4) //want workerpool
+	go func() {           //want workerpool
+		close(done)
+	}()
+}
+
+// Good only reads GOMAXPROCS and fans out through a (stand-in) pool
+// helper rather than a bare go statement.
+func Good() int {
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	wg.Wait()
+	return workers
+}

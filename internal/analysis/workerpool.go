@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// workerpool: per-pipeline worker caps replaced the old process-global
+// GOMAXPROCS mutation in PR 5, and all engine fan-out rides the pool
+// primitives (linalg.ParallelFor*, the serve coalescer, the sgns Hogwild
+// pool) so goroutine counts stay bounded per pipeline. Two checks:
+// runtime.GOMAXPROCS may only be called with the constant 0 (a read),
+// and bare go statements are confined to the approved pool packages.
+var workerpoolAnalyzer = &Analyzer{
+	Name: "workerpool",
+	Doc:  "forbid GOMAXPROCS mutation and bare go statements outside the approved pool packages",
+	Run:  runWorkerpool,
+}
+
+func runWorkerpool(p *Pkg) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if p.Internal && !p.PoolPkg {
+					out = append(out, Finding{
+						Pos:     p.Fset.Position(n.Pos()),
+						Rule:    "workerpool",
+						Message: "bare go statement outside the approved pool packages (linalg, serve, sgns); fan out via linalg.ParallelFor* with an explicit worker cap",
+					})
+				}
+			case *ast.CallExpr:
+				if isGOMAXPROCSMutation(p, n) {
+					out = append(out, Finding{
+						Pos:     p.Fset.Position(n.Pos()),
+						Rule:    "workerpool",
+						Message: "runtime.GOMAXPROCS with a non-zero argument mutates the process-global pool; thread an explicit Workers cap instead",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isGOMAXPROCSMutation(p *Pkg, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "GOMAXPROCS" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[x].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "runtime" {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return true
+	}
+	tv := p.Info.Types[call.Args[0]]
+	if tv.Value == nil {
+		return true // non-constant argument: cannot prove it is a read
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return !ok || v != 0
+}

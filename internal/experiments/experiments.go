@@ -607,10 +607,13 @@ func E17RESCAL(w io.Writer) Result {
 // E18Distances exercises Section 5.1/5.2: the edit-distance identity, the
 // relaxed Frank–Wolfe distance, and its pseudo-metric behaviour.
 func E18Distances(w io.Writer) Result {
-	ed := similarity.EditDistance(graph.Cycle(4), graph.Path(4))
+	ed, edErr := similarity.EditDistance(graph.Cycle(4), graph.Path(4))
 	g, h := graph.WLIndistinguishablePair()
 	relaxed := similarity.RelaxedDist(g, h, 300)
-	exact := similarity.Dist(g, h, similarity.Frobenius)
+	exact, exactErr := similarity.Dist(g, h, similarity.Frobenius)
+	if edErr != nil || exactErr != nil {
+		return Result{ID: "E18", Passed: false, Notes: fmt.Sprintf("distance error: %v %v", edErr, exactErr)}
+	}
 	cg, ch := graph.CospectralPair()
 	relaxedPos := similarity.RelaxedDist(cg, ch, 400)
 	a := linalg.FromRows(g.AdjacencyMatrix())

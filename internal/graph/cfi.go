@@ -14,7 +14,7 @@ package graph
 // vertex so the pairing is rigid.
 func CFI(base *Graph, twist bool) *Graph {
 	if base.Directed() {
-		panic("graph: CFI requires an undirected base")
+		panic("graph: CFI requires an undirected base") //x2vec:allow nopanic caller contract: CFI gadgets are only defined over undirected bases
 	}
 	n := base.N()
 	// Incident edge indices per base vertex.

@@ -12,7 +12,7 @@ import (
 // returned graphs.
 func AllGraphs(n int) []*Graph {
 	if n < 0 || n > 6 {
-		panic(fmt.Sprintf("graph: AllGraphs supports n in [0,6], got %d", n))
+		panic(fmt.Sprintf("graph: AllGraphs supports n in [0,6], got %d", n)) //x2vec:allow nopanic enumeration bound; callers pass small literals
 	}
 	allGraphsMu.Lock()
 	defer allGraphsMu.Unlock()
@@ -131,7 +131,7 @@ func ConnectedGraphs(n int) []*Graph {
 // n = 1..8). Results are memoised.
 func AllTrees(n int) []*Graph {
 	if n < 1 || n > 8 {
-		panic(fmt.Sprintf("graph: AllTrees supports n in [1,8], got %d", n))
+		panic(fmt.Sprintf("graph: AllTrees supports n in [1,8], got %d", n)) //x2vec:allow nopanic enumeration bound; callers pass small literals
 	}
 	allTreesMu.Lock()
 	defer allTreesMu.Unlock()

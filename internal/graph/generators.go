@@ -18,7 +18,7 @@ func Path(k int) *Graph {
 // Cycle returns the cycle with k >= 3 vertices.
 func Cycle(k int) *Graph {
 	if k < 3 {
-		panic("graph: cycle needs at least 3 vertices")
+		panic("graph: cycle needs at least 3 vertices") //x2vec:allow nopanic generator precondition; callers pass constants
 	}
 	g := New(k)
 	for i := 0; i < k; i++ {
@@ -143,7 +143,7 @@ func TreeFromPrufer(seq []int) *Graph {
 // the pairing model with restarts. n*d must be even and d < n.
 func RandomRegular(n, d int, rng *rand.Rand) *Graph {
 	if n*d%2 != 0 || d >= n {
-		panic(fmt.Sprintf("graph: no %d-regular graph on %d vertices", d, n))
+		panic(fmt.Sprintf("graph: no %d-regular graph on %d vertices", d, n)) //x2vec:allow nopanic generator precondition; callers pass constants
 	}
 	for attempt := 0; attempt < 1000; attempt++ {
 		stubs := make([]int, 0, n*d)
@@ -167,7 +167,7 @@ func RandomRegular(n, d int, rng *rand.Rand) *Graph {
 			return g
 		}
 	}
-	panic("graph: random regular generation failed after 1000 attempts")
+	panic("graph: random regular generation failed after 1000 attempts") //x2vec:allow nopanic restart exhaustion has vanishing probability for valid (n,d)
 }
 
 // SBM samples a stochastic block model: sizes[i] vertices in block i, edge
@@ -206,7 +206,7 @@ func SBM(sizes []int, pin, pout float64, rng *rand.Rand) (*Graph, []int) {
 // probability proportional to degree.
 func PreferentialAttachment(n, m int, rng *rand.Rand) *Graph {
 	if n < m+1 {
-		panic("graph: preferential attachment needs n >= m+1")
+		panic("graph: preferential attachment needs n >= m+1") //x2vec:allow nopanic generator precondition; callers pass constants
 	}
 	g := New(n)
 	var targets []int

@@ -42,7 +42,7 @@ type Graph struct {
 // New returns an undirected graph with n vertices and no edges.
 func New(n int) *Graph {
 	if n < 0 {
-		panic("graph: negative vertex count")
+		panic("graph: negative vertex count") //x2vec:allow nopanic constructor precondition, mirrors make() semantics
 	}
 	return &Graph{n: n, adj: make([][]Arc, n), vlabels: make([]int, n)}
 }
@@ -85,7 +85,7 @@ func (g *Graph) AddLabeledEdge(u, v, label int) int { return g.AddEdgeFull(u, v,
 // edge index. Parallel edges are permitted.
 func (g *Graph) AddEdgeFull(u, v int, w float64, label int) int {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)) //x2vec:allow nopanic index precondition, mirrors slice bounds semantics
 	}
 	idx := len(g.edges)
 	g.edges = append(g.edges, Edge{U: u, V: v, Weight: w, Label: label})
@@ -219,7 +219,7 @@ func (g *Graph) DegreeSequence() []int {
 // shifted by g.N(). Both graphs must agree on directedness.
 func DisjointUnion(g, h *Graph) *Graph {
 	if g.directed != h.directed {
-		panic("graph: disjoint union of mixed directedness")
+		panic("graph: disjoint union of mixed directedness") //x2vec:allow nopanic caller contract: operands must agree on directedness
 	}
 	u := New(g.n + h.n)
 	u.directed = g.directed
@@ -262,7 +262,7 @@ func (g *Graph) InducedSubgraph(vs []int) *Graph {
 // preserved, loops are never added).
 func (g *Graph) Complement() *Graph {
 	if g.directed {
-		panic("graph: complement of directed graph not supported")
+		panic("graph: complement of directed graph not supported") //x2vec:allow nopanic caller contract: complement is undirected-only
 	}
 	h := New(g.n)
 	copy(h.vlabels, g.vlabels)

@@ -58,19 +58,21 @@ func NewStep(blocks [][]float64, sizes []float64) (*Graphon, error) {
 	return &Graphon{Blocks: blocks, Sizes: sizes}, nil
 }
 
-// Constant returns the Erdős–Rényi graphon W ≡ p.
-func Constant(p float64) *Graphon {
-	g, err := NewStep([][]float64{{p}}, []float64{1})
-	if err != nil {
-		panic(err)
-	}
-	return g
+// Constant returns the Erdős–Rényi graphon W ≡ p, or an error when p is
+// not a probability.
+func Constant(p float64) (*Graphon, error) {
+	return NewStep([][]float64{{p}}, []float64{1})
 }
 
 // FromGraph returns the empirical graphon of a graph: n equal blocks with
 // density A[i][j] (the natural embedding of graphs into graphon space).
-func FromGraph(g *graph.Graph) *Graphon {
+// Directed graphs have no graphon (the block matrix would be asymmetric)
+// and yield an error.
+func FromGraph(g *graph.Graph) (*Graphon, error) {
 	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("graphon: empty graph has no empirical graphon")
+	}
 	blocks := make([][]float64, n)
 	a := g.AdjacencyMatrix()
 	for i := range blocks {
@@ -85,11 +87,7 @@ func FromGraph(g *graph.Graph) *Graphon {
 	for i := range sizes {
 		sizes[i] = 1 / float64(n)
 	}
-	w, err := NewStep(blocks, sizes)
-	if err != nil {
-		panic(err)
-	}
-	return w
+	return NewStep(blocks, sizes)
 }
 
 // At evaluates W(x, y) for x, y ∈ [0,1].
@@ -187,10 +185,11 @@ func EmpiricalHomDensity(f, g *graph.Graph) float64 {
 
 // CutDistanceUpper bounds the cut distance between two step graphons with
 // identical block structure by the maximum block discrepancy (a crude but
-// sound upper bound used in tests).
-func CutDistanceUpper(a, b *Graphon) float64 {
+// sound upper bound used in tests). Graphons with different block counts
+// yield an error.
+func CutDistanceUpper(a, b *Graphon) (float64, error) {
 	if len(a.Blocks) != len(b.Blocks) {
-		panic("graphon: block structures differ")
+		return 0, fmt.Errorf("graphon: block structures differ (%d vs %d blocks)", len(a.Blocks), len(b.Blocks))
 	}
 	worst := 0.0
 	for i := range a.Blocks {
@@ -205,5 +204,5 @@ func CutDistanceUpper(a, b *Graphon) float64 {
 			}
 		}
 	}
-	return worst * float64(len(a.Blocks)*len(a.Blocks))
+	return worst * float64(len(a.Blocks)*len(a.Blocks)), nil
 }

@@ -8,8 +8,17 @@ import (
 	"repro/internal/graph"
 )
 
+func mustConstant(t *testing.T, p float64) *Graphon {
+	t.Helper()
+	w, err := Constant(p)
+	if err != nil {
+		t.Fatalf("Constant(%v): %v", p, err)
+	}
+	return w
+}
+
 func TestConstantGraphonDensities(t *testing.T) {
-	w := Constant(0.5)
+	w := mustConstant(t, 0.5)
 	if d := w.Density(); d != 0.5 {
 		t.Errorf("density=%v, want 0.5", d)
 	}
@@ -45,7 +54,10 @@ func TestStepValidation(t *testing.T) {
 func TestFromGraphDensities(t *testing.T) {
 	// The empirical graphon of G has t(F, W_G) = hom(F,G)/n^{|F|}.
 	g := graph.Fig5Graph()
-	w := FromGraph(g)
+	w, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, f := range []*graph.Graph{graph.Path(2), graph.Path(3), graph.Cycle(3)} {
 		want := EmpiricalHomDensity(f, g)
 		got := w.HomDensity(f)
@@ -57,7 +69,7 @@ func TestFromGraphDensities(t *testing.T) {
 
 func TestSampleRespectsDensity(t *testing.T) {
 	rng := rand.New(rand.NewSource(171))
-	w := Constant(0.3)
+	w := mustConstant(t, 0.3)
 	g := w.Sample(60, rng)
 	maxEdges := float64(60 * 59 / 2)
 	density := float64(g.M()) / maxEdges
@@ -119,7 +131,32 @@ func TestAtAndBlockLookup(t *testing.T) {
 
 func TestCutDistanceUpperZeroForEqual(t *testing.T) {
 	w, _ := NewStep([][]float64{{0.5, 0.2}, {0.2, 0.5}}, []float64{0.5, 0.5})
-	if d := CutDistanceUpper(w, w); d != 0 {
+	d, err := CutDistanceUpper(w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
 		t.Errorf("self distance %v", d)
+	}
+}
+
+// TestBadInputsReturnErrors pins the nopanic contract for the graphon
+// constructors and comparisons: invalid inputs yield errors, not panics.
+func TestBadInputsReturnErrors(t *testing.T) {
+	if _, err := Constant(1.5); err == nil {
+		t.Error("Constant(1.5) should reject a non-probability density")
+	}
+	dg := graph.NewDirected(2)
+	dg.AddEdge(0, 1)
+	if _, err := FromGraph(dg); err == nil {
+		t.Error("FromGraph of a directed graph should be an error (asymmetric blocks)")
+	}
+	one := mustConstant(t, 0.5)
+	two, err := NewStep([][]float64{{0.5, 0.2}, {0.2, 0.5}}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CutDistanceUpper(one, two); err == nil {
+		t.Error("CutDistanceUpper across block structures should be an error")
 	}
 }

@@ -233,6 +233,8 @@ func tableSize(n, k int) int {
 // evalNice's order exactly (factors multiplied in owned-edge order, forget
 // sums accumulated in ascending child-index order), so results are
 // bit-identical to the per-call path for any target.
+//
+//x2vec:hotpath
 func (p *tdProgram) eval(sc *evalScratch, g *graph.Graph) float64 {
 	n := g.N()
 	// Self-loop weights are the adjacency-matrix diagonal: each loop edge's
@@ -276,7 +278,7 @@ func (p *tdProgram) eval(sc *evalScratch, g *graph.Graph) float64 {
 			child := stack[len(stack)-1]
 			size := tableSize(n, op.bagLen)
 			if size < 0 {
-				panic(fmt.Sprintf("hom: infeasible DP table %d^%d — pattern decomposition width %d is too large for a %d-vertex target", n, op.bagLen, op.bagLen-1, n))
+				panic(fmt.Sprintf("hom: infeasible DP table %d^%d — pattern decomposition width %d is too large for a %d-vertex target", n, op.bagLen, op.bagLen-1, n)) //x2vec:allow nopanic recovered at the serve batcher; signals an infeasible compiled program
 			}
 			out := sc.getTable(size)
 			lowSize := intPow(n, op.pos)
@@ -338,7 +340,7 @@ func (p *tdProgram) eval(sc *evalScratch, g *graph.Graph) float64 {
 		}
 	}
 	if len(stack) != 1 || len(stack[0]) != 1 {
-		panic("hom: compiled program should end with a single root entry")
+		panic("hom: compiled program should end with a single root entry") //x2vec:allow nopanic compiler postcondition, unreachable for well-formed decompositions
 	}
 	res := stack[0][0]
 	sc.putTable(stack[0])

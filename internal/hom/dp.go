@@ -158,7 +158,7 @@ func assignEdges(root *niceNode, f *graph.Graph) {
 	walk(root)
 	for k, c := range unowned {
 		if c > 0 {
-			panic(fmt.Sprintf("hom: edge %d-%d not covered by decomposition", k.u, k.v))
+			panic(fmt.Sprintf("hom: edge %d-%d not covered by decomposition", k.u, k.v)) //x2vec:allow nopanic decomposition invariant, unreachable for valid tree decompositions
 		}
 	}
 }
@@ -204,7 +204,7 @@ func indexOf(bag []int, v int) int {
 			return i
 		}
 	}
-	panic("hom: vertex not in bag")
+	panic("hom: vertex not in bag") //x2vec:allow nopanic bag-membership invariant guaranteed by the decomposition walker
 }
 
 func intPow(n, k int) int {

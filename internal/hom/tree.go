@@ -12,7 +12,7 @@ import (
 // partition function in the sense of Theorem 4.13).
 func CountTree(t, g *graph.Graph) float64 {
 	if !isTree(t) {
-		panic("hom: CountTree requires a tree pattern")
+		panic("hom: CountTree requires a tree pattern") //x2vec:allow nopanic caller contract: pattern must be a tree
 	}
 	per := CountTreeRooted(t, 0, g)
 	var total float64
@@ -87,7 +87,7 @@ func CountTreeRooted(t *graph.Graph, r int, g *graph.Graph) []float64 {
 // walks with k-1 steps, i.e. 1ᵀ A^{k-1} 1.
 func CountPath(k int, g *graph.Graph) float64 {
 	if k < 1 {
-		panic("hom: path needs at least one vertex")
+		panic("hom: path needs at least one vertex") //x2vec:allow nopanic caller contract: path length precondition
 	}
 	a := linalg.FromRows(g.AdjacencyMatrix())
 	p := a.Pow(k - 1)
@@ -102,7 +102,7 @@ func CountPath(k int, g *graph.Graph) float64 {
 // (Theorem 4.3's left-hand side).
 func CountCycle(k int, g *graph.Graph) float64 {
 	if k < 3 {
-		panic("hom: cycle needs at least 3 vertices")
+		panic("hom: cycle needs at least 3 vertices") //x2vec:allow nopanic caller contract: cycle length precondition
 	}
 	a := linalg.FromRows(g.AdjacencyMatrix())
 	return a.Pow(k).Trace()

@@ -8,7 +8,7 @@ import "math"
 func Hungarian(cost *Matrix) (assign []int, total float64) {
 	n := cost.Rows
 	if cost.Cols != n {
-		panic("linalg: Hungarian requires a square cost matrix")
+		panic("linalg: Hungarian requires a square cost matrix") //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 	}
 	const inf = math.MaxFloat64
 	u := make([]float64, n+1)
@@ -166,7 +166,7 @@ type FrankWolfeResult struct {
 func FrankWolfe(a, b *Matrix, iters int) FrankWolfeResult {
 	n := a.Rows
 	if a.Cols != n || b.Rows != n || b.Cols != n {
-		panic("linalg: FrankWolfe requires equal-order square matrices")
+		panic("linalg: FrankWolfe requires equal-order square matrices") //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 	}
 	// Start at the barycentre J/n of the Birkhoff polytope.
 	x := NewMatrix(n, n)

@@ -11,7 +11,7 @@ import (
 func SymmetricEigen(a *Matrix) (values []float64, v *Matrix) {
 	n := a.Rows
 	if n != a.Cols {
-		panic("linalg: eigen of non-square matrix")
+		panic("linalg: eigen of non-square matrix") //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 	}
 	m := a.Clone()
 	v = Identity(n)

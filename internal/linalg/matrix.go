@@ -32,7 +32,7 @@ func FromRows(rows [][]float64) *Matrix {
 	m := NewMatrix(r, c)
 	for i, row := range rows {
 		if len(row) != c {
-			panic("linalg: ragged rows")
+			panic("linalg: ragged rows") //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 		}
 		copy(m.Data[i*c:(i+1)*c], row)
 	}
@@ -78,7 +78,7 @@ func (m *Matrix) T() *Matrix {
 // Mul returns m*other.
 func (m *Matrix) Mul(other *Matrix) *Matrix {
 	if m.Cols != other.Rows {
-		panic(fmt.Sprintf("linalg: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+		panic(fmt.Sprintf("linalg: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols)) //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 	}
 	out := NewMatrix(m.Rows, other.Cols)
 	for i := 0; i < m.Rows; i++ {
@@ -105,7 +105,7 @@ func (m *Matrix) Sub(other *Matrix) *Matrix { return m.axpy(other, -1) }
 
 func (m *Matrix) axpy(other *Matrix, s float64) *Matrix {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
-		panic("linalg: shape mismatch")
+		panic("linalg: shape mismatch") //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 	}
 	out := m.Clone()
 	for i, v := range other.Data {
@@ -126,7 +126,7 @@ func (m *Matrix) Scale(s float64) *Matrix {
 // MulVec returns m*x.
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if m.Cols != len(x) {
-		panic("linalg: mulvec shape mismatch")
+		panic("linalg: mulvec shape mismatch") //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 	}
 	out := make([]float64, m.Rows)
 	for i := 0; i < m.Rows; i++ {
@@ -143,7 +143,7 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 // Trace returns the trace of a square matrix.
 func (m *Matrix) Trace() float64 {
 	if m.Rows != m.Cols {
-		panic("linalg: trace of non-square matrix")
+		panic("linalg: trace of non-square matrix") //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 	}
 	var t float64
 	for i := 0; i < m.Rows; i++ {
@@ -155,7 +155,7 @@ func (m *Matrix) Trace() float64 {
 // Pow returns m^k for square m and k >= 0 by repeated squaring.
 func (m *Matrix) Pow(k int) *Matrix {
 	if m.Rows != m.Cols {
-		panic("linalg: pow of non-square matrix")
+		panic("linalg: pow of non-square matrix") //x2vec:allow nopanic shape precondition (programmer error), BLAS-style contract
 	}
 	result := Identity(m.Rows)
 	base := m.Clone()

@@ -18,7 +18,7 @@ func Frobenius(m *Matrix) float64 {
 // of Section 5.1 (so EntrywisePNorm(m, 2) == Frobenius(m)).
 func EntrywisePNorm(m *Matrix, p float64) float64 {
 	if p <= 0 {
-		panic("linalg: p-norm needs p > 0")
+		panic("linalg: p-norm needs p > 0") //x2vec:allow nopanic caller contract: p-norms need p > 0
 	}
 	var s float64
 	for _, v := range m.Data {
@@ -75,7 +75,7 @@ func SpectralNorm(m *Matrix) float64 {
 // Exact; intended for matrices with at most ~20 rows.
 func CutNormExact(m *Matrix) float64 {
 	if m.Rows > 22 {
-		panic("linalg: CutNormExact limited to 22 rows; use CutNormLocalSearch")
+		panic("linalg: CutNormExact limited to 22 rows; use CutNormLocalSearch") //x2vec:allow nopanic documented size cap steering callers to CutNormLocalSearch
 	}
 	best := 0.0
 	colSum := make([]float64, m.Cols)

@@ -22,6 +22,8 @@ type SparseVector map[SparseKey]float64
 func (s SparseVector) Add(k SparseKey, v float64) { s[k] += v }
 
 // Dot returns the inner product ⟨s, t⟩, iterating over the smaller operand.
+//
+//x2vec:hotpath
 func (s SparseVector) Dot(t SparseVector) float64 {
 	if len(t) < len(s) {
 		s, t = t, s

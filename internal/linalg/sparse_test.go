@@ -27,6 +27,25 @@ func TestSparseVectorDotNorm(t *testing.T) {
 	}
 }
 
+// TestSparseDotZeroAlloc pins the //x2vec:hotpath contract on
+// SparseVector.Dot: Gram-matrix assembly calls it O(corpus²) times, and a
+// steady-state dot product over existing vectors must not touch the heap.
+func TestSparseDotZeroAlloc(t *testing.T) {
+	a := make(SparseVector, 64)
+	b := make(SparseVector, 64)
+	for i := 0; i < 64; i++ {
+		a.Add(Key(i, 0, 0), float64(i))
+		if i%2 == 0 {
+			b.Add(Key(i, 0, 0), float64(i)*0.5)
+		}
+	}
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() { sink += a.Dot(b) }); n != 0 {
+		t.Errorf("SparseVector.Dot allocates %v times per call, want 0", n)
+	}
+	_ = sink
+}
+
 func TestParallelForCoversAllIndices(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 1000} {
 		var sum atomic.Int64

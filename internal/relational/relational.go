@@ -32,18 +32,24 @@ type Structure struct {
 	Relations []Relation
 }
 
-// AddTuple appends a tuple to relation r, validating arity and range.
-func (s *Structure) AddTuple(r int, tuple ...int) {
+// AddTuple appends a tuple to relation r, rejecting wrong arities,
+// out-of-range relation indices, and out-of-universe elements with an
+// error (bad ingestion data must not kill the process).
+func (s *Structure) AddTuple(r int, tuple ...int) error {
+	if r < 0 || r >= len(s.Relations) {
+		return fmt.Errorf("relational: relation index %d out of range [0,%d)", r, len(s.Relations))
+	}
 	rel := &s.Relations[r]
 	if len(tuple) != rel.Arity {
-		panic(fmt.Sprintf("relational: tuple arity %d != %d", len(tuple), rel.Arity))
+		return fmt.Errorf("relational: tuple arity %d != %d for relation %s", len(tuple), rel.Arity, rel.Name)
 	}
 	for _, v := range tuple {
 		if v < 0 || v >= s.N {
-			panic("relational: tuple element out of range")
+			return fmt.Errorf("relational: tuple element %d outside universe [0,%d)", v, s.N)
 		}
 	}
 	rel.Tuples = append(rel.Tuples, append([]int(nil), tuple...))
+	return nil
 }
 
 // IncidenceGraph encodes the structure as an undirected vertex-labelled
@@ -162,7 +168,9 @@ func RandomStructure(n, k int, rng *rand.Rand) *Structure {
 			continue
 		}
 		seen[t] = true
-		s.AddTuple(0, t[0], t[1], t[2])
+		// rng.Intn(n) keeps every element in the universe and the arity is
+		// fixed at 3, so AddTuple cannot fail here.
+		_ = s.AddTuple(0, t[0], t[1], t[2])
 	}
 	return s
 }

@@ -9,7 +9,9 @@ import (
 func ternary(n int, tuples ...[3]int) *Structure {
 	s := &Structure{N: n, Relations: []Relation{{Name: "R", Arity: 3}}}
 	for _, t := range tuples {
-		s.AddTuple(0, t[0], t[1], t[2])
+		if err := s.AddTuple(0, t[0], t[1], t[2]); err != nil {
+			panic(err) // test fixtures are well-formed by construction
+		}
 	}
 	return s
 }
@@ -91,11 +93,20 @@ func TestDifferentTupleCounts(t *testing.T) {
 }
 
 func TestArityValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("arity mismatch should panic")
-		}
-	}()
 	s := ternary(3)
-	s.AddTuple(0, 1, 2)
+	if err := s.AddTuple(0, 1, 2); err == nil {
+		t.Error("arity mismatch should be an error")
+	}
+	if err := s.AddTuple(1, 0, 1, 2); err == nil {
+		t.Error("out-of-range relation index should be an error")
+	}
+	if err := s.AddTuple(0, 0, 1, 3); err == nil {
+		t.Error("element outside the universe should be an error")
+	}
+	if err := s.AddTuple(0, -1, 1, 2); err == nil {
+		t.Error("negative element should be an error")
+	}
+	if err := s.AddTuple(0, 0, 1, 2); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
 }

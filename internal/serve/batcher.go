@@ -14,6 +14,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 )
@@ -138,14 +139,13 @@ func (c *coalescer[I, O]) dispatch() {
 
 // scatter runs one engine pass and distributes the results. A panicking
 // engine (e.g. a pathological request graph) fails that batch's requests
-// with an error instead of killing the daemon.
+// with an error instead of killing the daemon; so does an engine that
+// breaches the one-output-per-input contract — a serving daemon logs and
+// sheds the broken batch rather than dying under it.
 func (c *coalescer[I, O]) scatter(batch []request[I, O]) {
 	defer func() {
 		if p := recover(); p != nil {
-			err := fmt.Errorf("serve: %s batch failed: %v", c.name, p)
-			for _, r := range batch {
-				r.out <- result[O]{err: err}
-			}
+			c.failBatch(batch, fmt.Errorf("serve: %s batch failed: %v", c.name, p))
 		}
 	}()
 	ins := make([]I, len(batch))
@@ -154,10 +154,21 @@ func (c *coalescer[I, O]) scatter(batch []request[I, O]) {
 	}
 	outs := c.run(ins)
 	if len(outs) != len(batch) {
-		panic(fmt.Sprintf("engine returned %d results for %d inputs", len(outs), len(batch)))
+		c.failBatch(batch, fmt.Errorf("serve: %s engine returned %d results for %d inputs", c.name, len(outs), len(batch)))
+		return
 	}
 	for i, r := range batch {
 		r.out <- result[O]{val: outs[i]}
+	}
+}
+
+// failBatch answers every request of a broken batch with err, logs once,
+// and bumps the pipeline's engine-error counter.
+func (c *coalescer[I, O]) failBatch(batch []request[I, O], err error) {
+	log.Printf("%v (failing %d request(s))", err, len(batch))
+	c.stats.recordEngineError(c.name)
+	for _, r := range batch {
+		r.out <- result[O]{err: err}
 	}
 }
 

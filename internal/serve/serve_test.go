@@ -344,6 +344,36 @@ func TestBatchPanicRecovery(t *testing.T) {
 	}
 }
 
+// TestBatchSizeMismatch: an engine that breaches the one-output-per-input
+// contract must fail that batch with errors (and count it in the stats),
+// not panic the daemon or hand a caller someone else's result.
+func TestBatchSizeMismatch(t *testing.T) {
+	st := newStats()
+	broken := true
+	c := newCoalescer[int, int]("short", 8, time.Millisecond, st, func(xs []int) []int {
+		if broken {
+			return xs[:len(xs)-1] // one result short
+		}
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			out[i] = x * 2
+		}
+		return out
+	})
+	defer c.close()
+	if _, err := c.do(7); err == nil {
+		t.Fatal("want error from short-returning batch")
+	}
+	if got := st.Snapshot().Pipelines["short"].EngineErrors; got != 1 {
+		t.Errorf("engine_errors = %d, want 1", got)
+	}
+	// The coalescer survives and serves correctly once the engine behaves.
+	broken = false
+	if v, err := c.do(21); err != nil || v != 42 {
+		t.Errorf("after recovery: got %v, %v, want 42, nil", v, err)
+	}
+}
+
 // TestLRUEviction pins capacity enforcement and recency order.
 func TestLRUEviction(t *testing.T) {
 	c := newLRU[int](2)

@@ -17,13 +17,14 @@ import (
 const latencyBuckets = 40
 
 type pipelineCounters struct {
-	requests    int64
-	cacheHits   int64
-	cacheMisses int64
-	batches     int64
-	batchedReqs int64
-	maxBatch    int64
-	latency     [latencyBuckets]int64
+	requests     int64
+	cacheHits    int64
+	cacheMisses  int64
+	batches      int64
+	batchedReqs  int64
+	maxBatch     int64
+	engineErrors int64
+	latency      [latencyBuckets]int64
 }
 
 // Stats collects serving metrics across all pipelines of one Server.
@@ -69,6 +70,15 @@ func (s *Stats) recordBatch(pipeline string, size int) {
 	s.mu.Unlock()
 }
 
+// recordEngineError counts one failed engine pass (a panic or a
+// result-count contract breach); the affected batch's requests get
+// errors, the daemon stays up, and /stats surfaces the damage.
+func (s *Stats) recordEngineError(pipeline string) {
+	s.mu.Lock()
+	s.counters(pipeline).engineErrors++
+	s.mu.Unlock()
+}
+
 // observe records one served request and its latency.
 func (s *Stats) observe(pipeline string, start time.Time) {
 	us := time.Since(start).Microseconds()
@@ -97,6 +107,7 @@ type PipelineSnapshot struct {
 	BatchedRequests int64   `json:"batched_requests"`
 	BatchOccupancy  float64 `json:"batch_occupancy"` // mean requests per engine pass
 	MaxBatch        int64   `json:"max_batch"`
+	EngineErrors    int64   `json:"engine_errors"`
 	P50Micros       int64   `json:"p50_us"`
 	P99Micros       int64   `json:"p99_us"`
 }
@@ -123,6 +134,7 @@ func (s *Stats) Snapshot() Snapshot {
 			Batches:         c.batches,
 			BatchedRequests: c.batchedReqs,
 			MaxBatch:        c.maxBatch,
+			EngineErrors:    c.engineErrors,
 			P50Micros:       percentile(&c.latency, c.requests, 0.50),
 			P99Micros:       percentile(&c.latency, c.requests, 0.99),
 		}

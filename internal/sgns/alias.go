@@ -23,7 +23,7 @@ func NewAlias(weights []float64) *Alias {
 	var total float64
 	for _, w := range weights {
 		if w < 0 {
-			panic("sgns: negative sampling weight")
+			panic("sgns: negative sampling weight") //x2vec:allow nopanic caller contract: sampling weights are frequencies, never negative
 		}
 		total += w
 	}

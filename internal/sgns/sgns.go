@@ -106,10 +106,10 @@ type trainer struct {
 
 func train(sentences [][]int, inRows, outRows int, dbow bool, cfg Config, seed int64) *Model {
 	if cfg.Dim <= 0 || inRows <= 0 || outRows <= 0 {
-		panic("sgns: invalid configuration")
+		panic("sgns: invalid configuration") //x2vec:allow nopanic config precondition validated by exported wrappers
 	}
 	if cfg.Shared && inRows != outRows {
-		panic("sgns: Shared vectors require equal In/Out row counts")
+		panic("sgns: Shared vectors require equal In/Out row counts") //x2vec:allow nopanic config precondition validated by exported wrappers
 	}
 	dim := cfg.Dim
 	master := rand.New(rand.NewSource(seed))
@@ -203,6 +203,8 @@ func train(sentences [][]int, inRows, outRows int, dbow bool, cfg Config, seed i
 // sentence trains one sentence: skip-gram pairs within the window, or
 // (doc, token) pairs in DBOW mode. grad is the worker's dim-sized scratch
 // (zeroed on entry and on exit); the loop allocates nothing.
+//
+//x2vec:hotpath
 func (t *trainer) sentence(sent []int, doc int, rng *FastRand, grad []float64) {
 	if len(sent) == 0 {
 		return

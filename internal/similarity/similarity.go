@@ -6,12 +6,18 @@
 package similarity
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/graph"
 	"repro/internal/linalg"
 	"repro/internal/wl"
 )
+
+// ErrOrderMismatch reports graphs whose orders differ where an exact
+// alignment distance needs them equal (use Blowup or DistAnyOrder).
+var ErrOrderMismatch = errors.New("similarity: graphs must have equal order (use Blowup or DistAnyOrder)")
 
 // Norm identifies a matrix norm for distance computations.
 type Norm int
@@ -24,27 +30,27 @@ const (
 	Cut                   // ‖·‖□ cut norm
 )
 
-func matrixNorm(m *linalg.Matrix, n Norm) float64 {
+func matrixNorm(m *linalg.Matrix, n Norm) (float64, error) {
 	switch n {
 	case Frobenius:
-		return linalg.Frobenius(m)
+		return linalg.Frobenius(m), nil
 	case Entry1:
-		return linalg.EntrywisePNorm(m, 1)
+		return linalg.EntrywisePNorm(m, 1), nil
 	case Operator1:
-		return linalg.Operator1Norm(m)
+		return linalg.Operator1Norm(m), nil
 	case Cut:
-		return linalg.CutNormExact(m)
+		return linalg.CutNormExact(m), nil
 	}
-	panic("similarity: unknown norm")
+	return 0, fmt.Errorf("similarity: unknown norm %d", n)
 }
 
 // Dist computes dist‖·‖(g, h) = min over permutation matrices P of
-// ‖AP − PB‖ by exhaustive search over permutations (graphs must have equal
-// order; intended for n <= 8).
-func Dist(g, h *graph.Graph, norm Norm) float64 {
+// ‖AP − PB‖ by exhaustive search over permutations (graphs must have
+// equal order — ErrOrderMismatch otherwise; intended for n <= 8).
+func Dist(g, h *graph.Graph, norm Norm) (float64, error) {
 	n := g.N()
 	if h.N() != n {
-		panic("similarity: Dist requires graphs of equal order (use Blowup)")
+		return 0, ErrOrderMismatch
 	}
 	a := linalg.FromRows(g.AdjacencyMatrix())
 	b := linalg.FromRows(h.AdjacencyMatrix())
@@ -53,29 +59,42 @@ func Dist(g, h *graph.Graph, norm Norm) float64 {
 	for i := range perm {
 		perm[i] = i
 	}
+	var normErr error
 	var rec func(k int)
 	rec = func(k int) {
 		if k == n {
 			p := linalg.PermutationMatrix(perm)
-			if v := matrixNorm(a.Mul(p).Sub(p.Mul(b)), norm); v < best {
+			v, err := matrixNorm(a.Mul(p).Sub(p.Mul(b)), norm)
+			if err != nil {
+				normErr = err
+				return
+			}
+			if v < best {
 				best = v
 			}
 			return
 		}
-		for i := k; i < n; i++ {
+		for i := k; i < n && normErr == nil; i++ {
 			perm[k], perm[i] = perm[i], perm[k]
 			rec(k + 1)
 			perm[k], perm[i] = perm[i], perm[k]
 		}
 	}
 	rec(0)
-	return best
+	if normErr != nil {
+		return 0, normErr
+	}
+	return best, nil
 }
 
 // EditDistance returns the minimum number of edge flips turning g into a
 // graph isomorphic to h (equation 5.3 divided by two).
-func EditDistance(g, h *graph.Graph) int {
-	return int(math.Round(Dist(g, h, Entry1) / 2))
+func EditDistance(g, h *graph.Graph) (int, error) {
+	d, err := Dist(g, h, Entry1)
+	if err != nil {
+		return 0, err
+	}
+	return int(math.Round(d / 2)), nil
 }
 
 // RelaxedDist computes d̃ist‖·‖_F(g, h): the Frobenius objective minimised
@@ -98,7 +117,7 @@ func FractionallyIsomorphic(g, h *graph.Graph) bool {
 }
 
 // CutDistance is dist‖·‖□, the cut-norm alignment distance (exact, small n).
-func CutDistance(g, h *graph.Graph) float64 { return Dist(g, h, Cut) }
+func CutDistance(g, h *graph.Graph) (float64, error) { return Dist(g, h, Cut) }
 
 // Blowup replaces every vertex of g by k duplicate vertices (duplicates are
 // non-adjacent; edges become complete bipartite bundles), the standard trick
@@ -124,10 +143,10 @@ func Blowup(g *graph.Graph, k int) *graph.Graph {
 // the least common multiple of their orders. The exact alignment search is
 // factorial in the blown-up order, so callers should ensure
 // lcm(|G|, |H|) stays small (<= 8).
-func DistAnyOrder(g, h *graph.Graph, norm Norm) float64 {
+func DistAnyOrder(g, h *graph.Graph, norm Norm) (float64, error) {
 	ng, nh := g.N(), h.N()
 	if ng == 0 || nh == 0 {
-		return 0
+		return 0, nil
 	}
 	l := lcm(ng, nh)
 	gb := Blowup(g, l/ng)

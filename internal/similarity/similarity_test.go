@@ -1,17 +1,68 @@
 package similarity
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/graph"
 )
 
+func mustDist(t *testing.T, g, h *graph.Graph, norm Norm) float64 {
+	t.Helper()
+	d, err := Dist(g, h, norm)
+	if err != nil {
+		t.Fatalf("Dist: %v", err)
+	}
+	return d
+}
+
+func mustEditDistance(t *testing.T, g, h *graph.Graph) int {
+	t.Helper()
+	d, err := EditDistance(g, h)
+	if err != nil {
+		t.Fatalf("EditDistance: %v", err)
+	}
+	return d
+}
+
+func mustCutDistance(t *testing.T, g, h *graph.Graph) float64 {
+	t.Helper()
+	d, err := CutDistance(g, h)
+	if err != nil {
+		t.Fatalf("CutDistance: %v", err)
+	}
+	return d
+}
+
+func mustDistAnyOrder(t *testing.T, g, h *graph.Graph, norm Norm) float64 {
+	t.Helper()
+	d, err := DistAnyOrder(g, h, norm)
+	if err != nil {
+		t.Fatalf("DistAnyOrder: %v", err)
+	}
+	return d
+}
+
+// TestDistBadInputsReturnErrors pins the nopanic contract: mismatched
+// orders and unknown norms are errors, not process death.
+func TestDistBadInputsReturnErrors(t *testing.T) {
+	if _, err := Dist(graph.Cycle(3), graph.Cycle(4), Frobenius); !errors.Is(err, ErrOrderMismatch) {
+		t.Errorf("order mismatch: got err %v, want ErrOrderMismatch", err)
+	}
+	if _, err := EditDistance(graph.Cycle(3), graph.Cycle(4)); !errors.Is(err, ErrOrderMismatch) {
+		t.Errorf("EditDistance order mismatch: got err %v, want ErrOrderMismatch", err)
+	}
+	if _, err := Dist(graph.Cycle(3), graph.Cycle(3), Norm(99)); err == nil {
+		t.Error("unknown norm should be an error")
+	}
+}
+
 func TestDistZeroForIsomorphic(t *testing.T) {
 	g := graph.Cycle(5)
 	h := graph.FromEdgeList(5, [][2]int{{0, 2}, {2, 4}, {4, 1}, {1, 3}, {3, 0}})
 	for _, norm := range []Norm{Frobenius, Entry1, Operator1, Cut} {
-		if d := Dist(g, h, norm); d != 0 {
+		if d := mustDist(t, g, h, norm); d != 0 {
 			t.Errorf("norm %d: distance %v between isomorphic graphs", norm, d)
 		}
 	}
@@ -20,7 +71,7 @@ func TestDistZeroForIsomorphic(t *testing.T) {
 func TestDistPositiveForNonIsomorphic(t *testing.T) {
 	g, h := graph.CospectralPair()
 	for _, norm := range []Norm{Frobenius, Entry1} {
-		if d := Dist(g, h, norm); d <= 0 {
+		if d := mustDist(t, g, h, norm); d <= 0 {
 			t.Errorf("norm %d: distance %v should be positive", norm, d)
 		}
 	}
@@ -28,15 +79,15 @@ func TestDistPositiveForNonIsomorphic(t *testing.T) {
 
 func TestEditDistanceIdentity(t *testing.T) {
 	// Equation (5.3): dist_1 = 2 × edge flips. C4 vs P4: remove one edge.
-	if d := EditDistance(graph.Cycle(4), graph.Path(4)); d != 1 {
+	if d := mustEditDistance(t, graph.Cycle(4), graph.Path(4)); d != 1 {
 		t.Errorf("edit distance C4/P4 = %d, want 1", d)
 	}
 	// K3 vs empty triangle: 3 removals.
-	if d := EditDistance(graph.Complete(3), graph.New(3)); d != 3 {
+	if d := mustEditDistance(t, graph.Complete(3), graph.New(3)); d != 3 {
 		t.Errorf("edit distance K3/empty = %d, want 3", d)
 	}
 	// Symmetric.
-	if EditDistance(graph.Path(4), graph.Cycle(4)) != EditDistance(graph.Cycle(4), graph.Path(4)) {
+	if mustEditDistance(t, graph.Path(4), graph.Cycle(4)) != mustEditDistance(t, graph.Cycle(4), graph.Path(4)) {
 		t.Error("edit distance should be symmetric")
 	}
 }
@@ -49,7 +100,7 @@ func TestEditDistanceBruteCrossCheck(t *testing.T) {
 		g := graph.Random(5, 0.5, rng)
 		h := graph.Random(5, 0.5, rng)
 		want := bruteEditDistance(g, h)
-		if got := EditDistance(g, h); got != want {
+		if got := mustEditDistance(t, g, h); got != want {
 			t.Errorf("trial %d: edit distance %d, brute %d", trial, got, want)
 		}
 	}
@@ -98,7 +149,7 @@ func TestRelaxedDistZeroIffFractionallyIsomorphic(t *testing.T) {
 	if d := RelaxedDist(g, h, 300); d > 1e-3 {
 		t.Errorf("relaxed distance %v, want ~0 for fractionally isomorphic pair", d)
 	}
-	if d := Dist(g, h, Frobenius); d <= 0 {
+	if d := mustDist(t, g, h, Frobenius); d <= 0 {
 		t.Errorf("exact distance should be positive: %v", d)
 	}
 }
@@ -119,7 +170,7 @@ func TestRelaxedLEQExact(t *testing.T) {
 		g := graph.Random(5, 0.5, rng)
 		h := graph.Random(5, 0.5, rng)
 		relaxed := RelaxedDist(g, h, 200)
-		exact := Dist(g, h, Frobenius)
+		exact := mustDist(t, g, h, Frobenius)
 		if relaxed > exact+1e-6 {
 			t.Errorf("trial %d: relaxed %v exceeds exact %v", trial, relaxed, exact)
 		}
@@ -132,7 +183,7 @@ func TestCutDistanceBounds(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		g := graph.Random(5, 0.5, rng)
 		h := graph.Random(5, 0.5, rng)
-		if CutDistance(g, h) > Dist(g, h, Entry1)+1e-9 {
+		if mustCutDistance(t, g, h) > mustDist(t, g, h, Entry1)+1e-9 {
 			t.Error("cut distance should be bounded by the 1-norm distance")
 		}
 	}
@@ -155,10 +206,10 @@ func TestDistAnyOrder(t *testing.T) {
 	// be at distance 0 after aligning orders.
 	g := graph.Cycle(3)
 	b := Blowup(g, 2)
-	if d := DistAnyOrder(g, b, Frobenius); d != 0 {
+	if d := mustDistAnyOrder(t, g, b, Frobenius); d != 0 {
 		t.Errorf("C3 vs its blowup: distance %v, want 0", d)
 	}
-	if d := DistAnyOrder(graph.Cycle(3), graph.Path(2), Entry1); d <= 0 {
+	if d := mustDistAnyOrder(t, graph.Cycle(3), graph.Path(2), Entry1); d <= 0 {
 		t.Errorf("C3 vs P2 should have positive distance, got %v", d)
 	}
 }
@@ -169,9 +220,9 @@ func TestDistTriangleInequalityFrobenius(t *testing.T) {
 		a := graph.Random(4, 0.5, rng)
 		b := graph.Random(4, 0.5, rng)
 		c := graph.Random(4, 0.5, rng)
-		dab := Dist(a, b, Frobenius)
-		dbc := Dist(b, c, Frobenius)
-		dac := Dist(a, c, Frobenius)
+		dab := mustDist(t, a, b, Frobenius)
+		dbc := mustDist(t, b, c, Frobenius)
+		dac := mustDist(t, a, c, Frobenius)
 		if dac > dab+dbc+1e-9 {
 			t.Errorf("triangle inequality violated: %v > %v + %v", dac, dab, dbc)
 		}
@@ -183,7 +234,7 @@ func TestOperator1DistanceInterpretation(t *testing.T) {
 	// difference under the best alignment. K3 vs P3: best alignment flips
 	// one edge, touching two vertices once each: dist⟨1⟩ = 1... compute and
 	// sanity-bound it instead of asserting a specific alignment.
-	d := Dist(graph.Complete(3), graph.Path(3), Operator1)
+	d := mustDist(t, graph.Complete(3), graph.Path(3), Operator1)
 	if d <= 0 || d > 2 {
 		t.Errorf("operator-1 distance %v out of expected range (0,2]", d)
 	}

@@ -146,7 +146,7 @@ func containsAll(xs []int, vs ...int) bool {
 func Treewidth(g *graph.Graph) int {
 	w, err := ExactTreewidth(g)
 	if err != nil {
-		panic(fmt.Sprintf("treedec: exact treewidth limited to n <= %d", MaxExactVertices))
+		panic(fmt.Sprintf("treedec: exact treewidth limited to n <= %d", MaxExactVertices)) //x2vec:allow nopanic Treewidth is the documented must-variant of ExactTreewidth
 	}
 	return w
 }
@@ -222,7 +222,7 @@ func reachDegree(adjMask []uint32, n, s, v int) int {
 func adjacencyMasks(g *graph.Graph) []uint32 {
 	n := g.N()
 	if n > 32 {
-		panic("treedec: graphs limited to 32 vertices")
+		panic("treedec: graphs limited to 32 vertices") //x2vec:allow nopanic unreachable: exported entry points reject n > 32 with ErrTooLarge first
 	}
 	masks := make([]uint32, n)
 	for _, e := range g.Edges() {
@@ -453,7 +453,7 @@ func OptimalDecomposition(g *graph.Graph) *Decomposition {
 func TreeDepth(g *graph.Graph) int {
 	n := g.N()
 	if n > 16 {
-		panic("treedec: exact tree-depth limited to n <= 16")
+		panic("treedec: exact tree-depth limited to n <= 16") //x2vec:allow nopanic documented exact-solver size cap, mirrors ExactTreewidth
 	}
 	adjMask := adjacencyMasks(g)
 	memo := map[uint32]int{}

@@ -163,7 +163,7 @@ const (
 
 func packArc(in bool, labelID, col int) uint64 {
 	if col >= maxPackedCol || labelID >= maxLabelID {
-		panic("wl: colour/label id overflows packed arc code")
+		panic("wl: colour/label id overflows packed arc code") //x2vec:allow nopanic id-space overflow means a broken colour store, not bad input
 	}
 	c := uint64(labelID)<<codeColBits | uint64(col)
 	if in {
@@ -204,7 +204,39 @@ func sortUint64(xs []uint64) {
 		}
 		return
 	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	heapSort(xs, func(a, b uint64) bool { return a < b })
+}
+
+// heapSort is the allocation-free large-slice fallback for the sorting
+// helpers above: sort.Slice boxes its slice into an interface and allocates
+// the comparison closure on every call, which adds two heap allocations per
+// high-degree vertex per round inside roundColor. The comparators passed
+// here capture nothing, so the whole sort stays on the stack.
+func heapSort[T any](xs []T, less func(a, b T) bool) {
+	for i := len(xs)/2 - 1; i >= 0; i-- {
+		siftDown(xs, i, len(xs), less)
+	}
+	for end := len(xs) - 1; end > 0; end-- {
+		xs[0], xs[end] = xs[end], xs[0]
+		siftDown(xs, 0, end, less)
+	}
+}
+
+func siftDown[T any](xs []T, root, end int, less func(a, b T) bool) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && less(xs[child], xs[child+1]) {
+			child++
+		}
+		if !less(xs[root], xs[child]) {
+			return
+		}
+		xs[root], xs[child] = xs[child], xs[root]
+		root = child
+	}
 }
 
 // runGraph bundles a graph with the per-run structures the engine needs:
@@ -266,6 +298,8 @@ func initColor(store *colorStore, sc *scratch, g *graph.Graph, v int) int {
 }
 
 // roundColor interns the next-round colour of v from the current colouring.
+//
+//x2vec:hotpath
 func roundColor(store *colorStore, sc *scratch, rg *runGraph, v int, cur []int, mode refineMode) int {
 	g := rg.g
 	switch mode {
@@ -334,7 +368,7 @@ func sortColSums(xs []colSum) {
 		}
 		return
 	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i].col < xs[j].col })
+	heapSort(xs, func(a, b colSum) bool { return a.col < b.col })
 }
 
 // RefineCorpus refines a whole corpus in one batched pass across a
@@ -411,7 +445,7 @@ func forEachGraph(n, workers int, f func(i int, sc *scratch)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func() { //x2vec:allow workerpool forEachGraph is itself the pool: capped workers, per-worker scratch
 			defer wg.Done()
 			sc := &scratch{}
 			for {

@@ -20,7 +20,7 @@ import (
 // Intended for small graphs: memory and time grow as n^k.
 func KWL(gs []*graph.Graph, k int) []map[int]int {
 	if k < 1 {
-		panic("wl: k-WL needs k >= 1")
+		panic("wl: k-WL needs k >= 1") //x2vec:allow nopanic caller contract: k-WL dimension precondition
 	}
 	store := newColorStore()
 	type tupleSpace struct {

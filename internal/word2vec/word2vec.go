@@ -66,7 +66,7 @@ func (m *Model) Vector(t int) []float64 { return m.In[t] }
 // workers the engine trains Hogwild-style shards in parallel.
 func Train(corpus [][]int, vocab int, cfg Config, rng *rand.Rand) *Model {
 	if cfg.Dim <= 0 || vocab <= 0 {
-		panic("word2vec: invalid configuration")
+		panic("word2vec: invalid configuration") //x2vec:allow nopanic config precondition; cmd layer validates flags before calling
 	}
 	sm := sgns.Train(corpus, vocab, sgns.Config{
 		Dim:             cfg.Dim,
@@ -100,7 +100,7 @@ func rowViews(flat []float64, rows, dim int) [][]float64 {
 // test oracle and benchmark baseline for the sgns engine.
 func TrainLegacy(corpus [][]int, vocab int, cfg Config, rng *rand.Rand) *Model {
 	if cfg.Dim <= 0 || vocab <= 0 {
-		panic("word2vec: invalid configuration")
+		panic("word2vec: invalid configuration") //x2vec:allow nopanic config precondition; cmd layer validates flags before calling
 	}
 	m := &Model{Dim: cfg.Dim, Vocab: vocab}
 	m.In = randomMatrix(vocab, cfg.Dim, rng, 0.5/float64(cfg.Dim))
