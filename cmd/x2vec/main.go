@@ -229,16 +229,30 @@ func cmdEmbed(args []string) error {
 		return err
 	}
 	if *modelPath != "" {
-		// Trained once, reused forever: the model-store round trip is
-		// bit-identical, so this prints exactly what training printed.
+		// Trained once, reused forever: a float64 model round-trips
+		// bit-identically, so this prints exactly what training printed.
+		// OpenEmbeddings negotiates both format versions and every
+		// embedding kind (node2vec, graph2vec, word2vec, quantised tiers).
 		if fs.NArg() != 0 {
 			return fmt.Errorf("usage: x2vec embed -model M.bin")
 		}
-		e, err := model.LoadNodeEmbedding(*modelPath)
+		e, err := model.OpenEmbeddings(*modelPath)
 		if err != nil {
 			return err
 		}
-		printVectors(e, e.Vectors.Rows)
+		defer e.Close()
+		if err := e.Verify(); err != nil {
+			return err
+		}
+		row := make([]float64, e.Cols)
+		for v := 0; v < e.Rows; v++ {
+			e.VectorInto(row, v)
+			fmt.Printf("%d", v)
+			for _, x := range row {
+				fmt.Printf(" %.4f", x)
+			}
+			fmt.Println()
+		}
 		return nil
 	}
 	if fs.NArg() != 2 {
@@ -314,12 +328,27 @@ func cmdTrain(args []string) error {
 	q := fs.Float64("q", 1, "node2vec in-out parameter")
 	workers := fs.Int("workers", 1, "SGNS worker count: 1 = deterministic, 0 = GOMAXPROCS Hogwild")
 	epochs := fs.Int("epochs", 0, "training epochs (0 = method default)")
+	f32 := fs.Bool("f32", false, "train on the float32 fused-kernel SGNS engine (node2vec, deepwalk, graph2vec)")
+	format := fs.String("format", "v2", "model file format: v2 (mmap-friendly serving layout) or v1 (legacy decode-on-load)")
+	quantize := fs.String("quantize", "none", "embedding storage tier: none or int8 (v2 only; symmetric per-row scales behind a cosine quality gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	usageErr := fmt.Errorf("usage: x2vec train [-d D] [-p P] [-q Q] [-workers N] [-epochs E] -model M.bin {node2vec|deepwalk|line|graph2vec|homclass} FILE...")
+	usageErr := fmt.Errorf("usage: x2vec train [-d D] [-p P] [-q Q] [-workers N] [-epochs E] [-f32] [-format v1|v2] [-quantize none|int8] -model M.bin {node2vec|deepwalk|line|graph2vec|homclass} FILE...")
 	if *modelPath == "" || fs.NArg() < 1 {
 		return usageErr
+	}
+	if *format != "v1" && *format != "v2" {
+		return fmt.Errorf("unknown -format %q (want v1 or v2)", *format)
+	}
+	switch *quantize {
+	case "none":
+	case "int8":
+		if *format == "v1" {
+			return fmt.Errorf("-quantize int8 needs the v2 format (the v1 layout has no quantised tier)")
+		}
+	default:
+		return fmt.Errorf("unknown -quantize %q (want none or int8)", *quantize)
 	}
 	method, files := fs.Arg(0), fs.Args()[1:]
 	rng := rand.New(rand.NewSource(1))
@@ -329,6 +358,17 @@ func cmdTrain(args []string) error {
 			return nil, fmt.Errorf("train %s wants exactly one FILE", method)
 		}
 		return loadGraph(files[0])
+	}
+
+	// saveNode persists a node embedding in the chosen format; saveDocs is
+	// its graph2vec twin. Both route v2 through the quantisation-aware
+	// helper below.
+	saveNode := func(e *embed.NodeEmbedding) error {
+		if *format == "v1" {
+			return model.SaveNodeEmbedding(*modelPath, e)
+		}
+		return saveEmbeddingsFile(*modelPath, model.KindNodeEmbedding, e.Method,
+			e.Vectors.Rows, e.Vectors.Cols, e.Vectors.Data, *f32, *quantize)
 	}
 
 	switch method {
@@ -341,12 +381,20 @@ func cmdTrain(args []string) error {
 		if method == "deepwalk" {
 			pp, qq = 1, 1
 		}
-		e := embed.Node2VecWorkers(g, *d, pp, qq, *workers, rng)
-		if err := model.SaveNodeEmbedding(*modelPath, e); err != nil {
+		var e *embed.NodeEmbedding
+		if *f32 {
+			e = embed.Node2VecWorkersF32(g, *d, pp, qq, *workers, rng)
+		} else {
+			e = embed.Node2VecWorkers(g, *d, pp, qq, *workers, rng)
+		}
+		if err := saveNode(e); err != nil {
 			return err
 		}
 		fmt.Printf("saved %s model: %d vertices x %d dims -> %s\n", method, g.N(), *d, *modelPath)
 	case "line":
+		if *f32 {
+			return fmt.Errorf("train line has no -f32 engine (only the SGNS methods train in float32)")
+		}
 		g, err := loadOne()
 		if err != nil {
 			return err
@@ -356,7 +404,7 @@ func cmdTrain(args []string) error {
 			ep = 30
 		}
 		e := embed.LINE(g, *d, ep, 0.025, rng)
-		if err := model.SaveNodeEmbedding(*modelPath, e); err != nil {
+		if err := saveNode(e); err != nil {
 			return err
 		}
 		fmt.Printf("saved line model: %d vertices x %d dims -> %s\n", g.N(), *d, *modelPath)
@@ -375,17 +423,30 @@ func cmdTrain(args []string) error {
 		cfg := graph2vec.DefaultConfig()
 		cfg.Dim = *d
 		cfg.Workers = *workers
+		cfg.Float32 = *f32
 		if *epochs > 0 {
 			cfg.Epochs = *epochs
 		}
 		m := graph2vec.Train(gs, cfg, rng)
-		if err := model.SaveGraph2Vec(*modelPath, m); err != nil {
-			return err
+		var saveErr error
+		if *format == "v1" {
+			saveErr = model.SaveGraph2Vec(*modelPath, m)
+		} else {
+			saveErr = saveEmbeddingsFile(*modelPath, model.KindGraph2Vec, "graph2vec",
+				m.Vectors.Rows, m.Vectors.Cols, m.Vectors.Data, *f32, *quantize)
+		}
+		if saveErr != nil {
+			return saveErr
 		}
 		fmt.Printf("saved graph2vec model: %d graphs x %d dims -> %s\n", len(gs), *d, *modelPath)
 	case "homclass":
+		if *f32 || *quantize != "none" {
+			return fmt.Errorf("train homclass stores graphs, not vectors; -f32/-quantize do not apply")
+		}
 		// Arguments are pattern specs (path:4, cycle:5, …); none = the
-		// standard class. The daemon loads this with -homclass.
+		// standard class. The daemon loads this with -homclass. Pattern
+		// classes always use the v1 container — they are decode-once
+		// graph payloads, not mmap-served vector tables.
 		class := hom.StandardClass()
 		if len(files) > 0 {
 			class = nil
@@ -405,6 +466,28 @@ func cmdTrain(args []string) error {
 		return usageErr
 	}
 	return nil
+}
+
+// saveEmbeddingsFile writes a v2 model: storage precision follows the
+// training precision (float64, or float32 under -f32 — the f32 parameters
+// round-trip exactly either way), and -quantize int8 swaps the dense block
+// for the symmetric per-row-scale tier, refusing when the quantised
+// vectors stray from the trained ones (the pinned cosine regression gate).
+func saveEmbeddingsFile(path string, kind model.Kind, method string, rows, cols int, data []float64, f32 bool, quantize string) error {
+	dtype := model.DTypeF64
+	if f32 {
+		dtype = model.DTypeF32
+	}
+	if quantize == "int8" {
+		mean, min := model.Int8Quality(data, rows, cols)
+		if mean < 0.999 || min < 0.99 {
+			return fmt.Errorf("int8 quantisation fails the quality gate on this model (mean row cosine %.5f, min %.5f; need mean >= 0.999 and min >= 0.99) — save with -quantize none", mean, min)
+		}
+		dtype = model.DTypeInt8
+	}
+	return model.SaveEmbeddings(path, model.EmbeddingsSpec{
+		Kind: kind, Method: method, Rows: rows, Cols: cols, Data: data, DType: dtype,
+	})
 }
 
 func cmdDist(args []string) error {

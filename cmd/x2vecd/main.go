@@ -37,12 +37,9 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/embed"
 	"repro/internal/graph"
-	"repro/internal/graph2vec"
 	"repro/internal/model"
 	"repro/internal/serve"
-	"repro/internal/word2vec"
 )
 
 func main() {
@@ -54,11 +51,13 @@ func main() {
 	batchDelay := flag.Duration("batch-delay", 2*time.Millisecond, "latency budget while filling a batch")
 	workers := flag.Int("workers", 0, "engine workers per pipeline (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 1024, "LRU entries per pipeline cache (negative disables)")
+	skipVerify := flag.Bool("skip-verify", false, "skip the whole-file model CRC at startup (O(1) cold start for mmap'ed v2 models)")
 	flag.Parse()
 
 	d, err := newDaemon(daemonConfig{
-		ModelPath: *modelPath,
-		ClassPath: *classPath,
+		ModelPath:  *modelPath,
+		ClassPath:  *classPath,
+		SkipVerify: *skipVerify,
 		Options: serve.Options{
 			Rounds:    *rounds,
 			MaxBatch:  *batch,
@@ -99,7 +98,11 @@ func describeModel(d *daemon) string {
 	if d.emb == nil {
 		return "none"
 	}
-	return d.emb.kind.String()
+	backing := "heap"
+	if d.emb.Mapped {
+		backing = "mmap"
+	}
+	return fmt.Sprintf("%v/%v/%s", d.emb.Kind, d.emb.DType, backing)
 }
 
 // daemonConfig bundles everything newDaemon needs; split from the flag
@@ -107,80 +110,42 @@ func describeModel(d *daemon) string {
 type daemonConfig struct {
 	ModelPath string
 	ClassPath string
-	Options   serve.Options
-}
-
-// loadedModel is the /embed lookup table, whichever kind was loaded.
-type loadedModel struct {
-	kind model.Kind
-	node *embed.NodeEmbedding
-	g2v  *graph2vec.Model
-	w2v  *word2vec.Model
-}
-
-// rows returns how many ids the model serves.
-func (m *loadedModel) rows() int {
-	switch m.kind {
-	case model.KindNodeEmbedding:
-		return m.node.Vectors.Rows
-	case model.KindGraph2Vec:
-		return m.g2v.Vectors.Rows
-	case model.KindWord2Vec:
-		return m.w2v.Vocab
-	}
-	return 0
-}
-
-// vector returns the embedding of id.
-func (m *loadedModel) vector(id int) []float64 {
-	switch m.kind {
-	case model.KindNodeEmbedding:
-		return m.node.Vector(id)
-	case model.KindGraph2Vec:
-		return m.g2v.Vector(id)
-	case model.KindWord2Vec:
-		return m.w2v.Vector(id)
-	}
-	return nil
-}
-
-func (m *loadedModel) method() string {
-	if m.kind == model.KindNodeEmbedding {
-		return m.node.Method
-	}
-	return m.kind.String()
+	// SkipVerify skips the whole-file CRC pass over a v2 model at startup,
+	// keeping the mmap cold start O(1). The default verifies: a daemon
+	// fails closed on a corrupt model file rather than serving garbage.
+	SkipVerify bool
+	Options    serve.Options
 }
 
 type daemon struct {
 	srv *serve.Server
-	emb *loadedModel
+	emb *model.Embeddings
 }
 
 func newDaemon(cfg daemonConfig) (*daemon, error) {
 	d := &daemon{}
 	if cfg.ModelPath != "" {
-		// One read + one CRC pass; kind dispatch happens on the decoded
-		// value, not a second trip through the file.
-		v, kind, err := model.LoadAny(cfg.ModelPath)
+		// One unified handle for every embedding kind and both format
+		// versions: v2 files serve straight from a page-aligned mapping,
+		// v1 files decode through the legacy loaders.
+		e, err := model.OpenEmbeddings(cfg.ModelPath)
 		if err != nil {
 			return nil, err
 		}
-		lm := &loadedModel{kind: kind}
-		switch m := v.(type) {
-		case *embed.NodeEmbedding:
-			lm.node = m
-		case *graph2vec.Model:
-			lm.g2v = m
-		case *word2vec.Model:
-			lm.w2v = m
-		default:
-			return nil, fmt.Errorf("x2vecd: cannot serve /embed from a %v model", kind)
+		if !cfg.SkipVerify {
+			if err := e.Verify(); err != nil {
+				e.Close()
+				return nil, err
+			}
 		}
-		d.emb = lm
+		d.emb = e
 	}
 	if cfg.ClassPath != "" {
 		class, err := model.LoadHomClass(cfg.ClassPath)
 		if err != nil {
+			if d.emb != nil {
+				d.emb.Close()
+			}
 			return nil, err
 		}
 		cfg.Options.Class = class
@@ -189,7 +154,12 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	return d, nil
 }
 
-func (d *daemon) close() { d.srv.Close() }
+func (d *daemon) close() {
+	d.srv.Close()
+	if d.emb != nil {
+		d.emb.Close() // release the model mapping after the last request drained
+	}
+}
 
 // maxBody bounds request bodies (32 MiB of edge-list text is far beyond any
 // sensible request graph).
@@ -284,11 +254,14 @@ func (d *daemon) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no model loaded; start x2vecd with -model"))
 		return
 	}
-	if req.ID < 0 || req.ID >= d.emb.rows() {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("id %d out of range [0,%d)", req.ID, d.emb.rows()))
+	if req.ID < 0 || req.ID >= d.emb.Rows {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("id %d out of range [0,%d)", req.ID, d.emb.Rows))
 		return
 	}
-	writeJSON(w, http.StatusOK, embedResponse{ID: req.ID, Method: d.emb.method(), Vector: d.emb.vector(req.ID)})
+	start := time.Now()
+	vec := d.emb.Vector(req.ID)
+	d.srv.ObserveEmbed(start)
+	writeJSON(w, http.StatusOK, embedResponse{ID: req.ID, Method: d.emb.Method, Vector: vec})
 }
 
 type graphRequest struct {

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -371,4 +373,125 @@ func postJSONQuiet(url string, body any) (*http.Response, []byte) {
 	defer resp.Body.Close()
 	out, _ := io.ReadAll(resp.Body)
 	return resp, out
+}
+
+// TestV2MmapServingBitIdentical: the mmap'ed v2 fast path must serve the
+// same bits as the offline trainer — float64 blocks are zero-copy views,
+// so nothing may be lost between Save and /embed.
+func TestV2MmapServingBitIdentical(t *testing.T) {
+	g, err := graph.ParseGraph(hexagonText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := embed.Node2VecWorkers(g, 4, 1, 1, 1, rand.New(rand.NewSource(1)))
+	mp := filepath.Join(t.TempDir(), "m2.bin")
+	if err := model.SaveEmbeddings(mp, model.EmbeddingsSpec{
+		Kind: model.KindNodeEmbedding, Method: offline.Method,
+		Rows: offline.Vectors.Rows, Cols: offline.Vectors.Cols,
+		Data: offline.Vectors.Data, DType: model.DTypeF64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, ts := newTestDaemon(t, daemonConfig{ModelPath: mp})
+	for v := 0; v < g.N(); v++ {
+		resp, body := postJSON(t, ts.URL+"/embed", map[string]int{"id": v})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/embed id=%d: status %d: %s", v, resp.StatusCode, body)
+		}
+		var er embedResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		want := offline.Vector(v)
+		for j := range want {
+			if er.Vector[j] != want[j] {
+				t.Fatalf("id %d dim %d: served %v, offline %v (v2 f64 must be bit-identical)", v, j, er.Vector[j], want[j])
+			}
+		}
+	}
+	// /embed lookups surface in /stats through Server.ObserveEmbed.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if ps, ok := snap.Pipelines["embed"]; !ok || ps.Requests != int64(g.N()) {
+		t.Errorf("embed pipeline stats = %+v, want %d requests", snap.Pipelines["embed"], g.N())
+	}
+	_ = d
+}
+
+// TestQuantizedEmbedServing: an int8-tier model serves /embed vectors that
+// stay within the quantisation quality gate of the full-precision model.
+func TestQuantizedEmbedServing(t *testing.T) {
+	g, err := graph.ParseGraph(hexagonText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := embed.Node2VecWorkers(g, 8, 1, 1, 1, rand.New(rand.NewSource(1)))
+	mp := filepath.Join(t.TempDir(), "q.bin")
+	if err := model.SaveEmbeddings(mp, model.EmbeddingsSpec{
+		Kind: model.KindNodeEmbedding, Method: offline.Method,
+		Rows: offline.Vectors.Rows, Cols: offline.Vectors.Cols,
+		Data: offline.Vectors.Data, DType: model.DTypeInt8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp})
+	for v := 0; v < g.N(); v++ {
+		resp, body := postJSON(t, ts.URL+"/embed", map[string]int{"id": v})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/embed id=%d: status %d: %s", v, resp.StatusCode, body)
+		}
+		var er embedResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		want := offline.Vector(v)
+		var dot, na, nb float64
+		for j := range want {
+			dot += er.Vector[j] * want[j]
+			na += want[j] * want[j]
+			nb += er.Vector[j] * er.Vector[j]
+		}
+		if cos := dot / math.Sqrt(na*nb); cos < 0.99 {
+			t.Errorf("id %d: quantised serving cosine %v vs full precision, want >= 0.99", v, cos)
+		}
+	}
+}
+
+// TestCorruptV2FailsClosed: the daemon's default startup verifies the
+// whole-file CRC of a v2 model; -skip-verify trades that pass for an O(1)
+// cold start but still rejects structurally broken headers.
+func TestCorruptV2FailsClosed(t *testing.T) {
+	e := embed.Node2VecWorkers(graph.Cycle(5), 4, 1, 1, 1, rand.New(rand.NewSource(1)))
+	mp := filepath.Join(t.TempDir(), "m2.bin")
+	if err := model.SaveEmbeddings(mp, model.EmbeddingsSpec{
+		Kind: model.KindNodeEmbedding, Method: e.Method,
+		Rows: e.Vectors.Rows, Cols: e.Vectors.Cols, Data: e.Vectors.Data, DType: model.DTypeF64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[4096+5] ^= 0x10 // flip a bit deep in the vector block
+	cp := filepath.Join(t.TempDir(), "corrupt.bin")
+	if err := os.WriteFile(cp, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newDaemon(daemonConfig{ModelPath: cp}); err == nil {
+		t.Error("default startup must CRC the model and refuse a corrupt file")
+	}
+	d, err := newDaemon(daemonConfig{ModelPath: cp, SkipVerify: true})
+	if err != nil {
+		t.Errorf("-skip-verify should defer payload CRC: %v", err)
+	} else {
+		d.close()
+	}
 }

@@ -213,6 +213,24 @@ func Node2VecWorkers(g *graph.Graph, d int, p, q float64, workers int, rng *rand
 	return &NodeEmbedding{Vectors: x, Method: "node2vec"}
 }
 
+// Node2VecWorkersF32 is Node2VecWorkers on the float32 fused-kernel SGNS
+// engine: the same walk corpus (bit-identical for a fixed rng seed at any
+// worker count), trained through sgns.Train32. The returned embedding holds
+// the exact float64 images of the float32 parameters, so saving it with a
+// float32 model block is lossless. The float64 Node2VecWorkers path remains
+// the quality oracle (see TestNode2VecF32QualityMatchesF64).
+func Node2VecWorkersF32(g *graph.Graph, d int, p, q float64, workers int, rng *rand.Rand) *NodeEmbedding {
+	walks := RandomWalks(g, WalkConfig{WalksPerNode: 10, WalkLength: 20, P: p, Q: q, Workers: workers}, rng)
+	cfg := word2vec.DefaultConfig()
+	cfg.Dim = d
+	cfg.Window = 5
+	cfg.Workers = workers
+	model := word2vec.Train32(walks, g.N(), cfg, rng)
+	x := linalg.NewMatrix(g.N(), d)
+	copy(x.Data, model.Float64())
+	return &NodeEmbedding{Vectors: x, Method: "node2vec"}
+}
+
 // WalkSimilarity estimates the implicit similarity matrix the random-walk
 // methods factorise: S_vw = probability that a fixed-length uniform walk
 // from v visits w, estimated from samples.

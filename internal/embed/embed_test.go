@@ -154,3 +154,39 @@ func TestInducedDistanceIsMetricOnEmbedding(t *testing.T) {
 		}
 	}
 }
+
+// The f32/f64 equivalence gate at the embedding level: trained from the same
+// seed, the float32 fused-kernel path walks the same trajectory as the f64
+// oracle (identical walk corpus, identical RNG consumption), so every node
+// vector must stay nearly parallel to its float64 twin and community
+// recovery must match.
+func TestNode2VecF32QualityMatchesF64(t *testing.T) {
+	g, truth := graph.SBM([]int{12, 12}, 0.9, 0.02, rand.New(rand.NewSource(82)))
+	e64 := Node2VecWorkers(g, 8, 1, 0.5, 1, rand.New(rand.NewSource(55)))
+	e32 := Node2VecWorkersF32(g, 8, 1, 0.5, 1, rand.New(rand.NewSource(55)))
+	if e32.Vectors.Rows != e64.Vectors.Rows || e32.Vectors.Cols != e64.Vectors.Cols {
+		t.Fatalf("shape mismatch: f32 %dx%d, f64 %dx%d",
+			e32.Vectors.Rows, e32.Vectors.Cols, e64.Vectors.Rows, e64.Vectors.Cols)
+	}
+	minCos, sumCos := 1.0, 0.0
+	for v := 0; v < g.N(); v++ {
+		c := linalg.CosineSimilarity(e32.Vector(v), e64.Vector(v))
+		sumCos += c
+		if c < minCos {
+			minCos = c
+		}
+	}
+	mean := sumCos / float64(g.N())
+	if mean < 0.995 || minCos < 0.98 {
+		t.Errorf("f32 node2vec diverged from the f64 oracle: mean cosine %.5f (want >= 0.995), min %.5f (want >= 0.98)", mean, minCos)
+	}
+	rng := rand.New(rand.NewSource(7))
+	nmi64 := CommunityRecovery(e64, truth, 2, rng)
+	nmi32 := CommunityRecovery(e32, truth, 2, rand.New(rand.NewSource(7)))
+	if nmi32 < 0.7 {
+		t.Errorf("f32 node2vec NMI=%v, want >= 0.7 on a strong SBM", nmi32)
+	}
+	if math.Abs(nmi32-nmi64) > 0.1 {
+		t.Errorf("f32 community recovery NMI %v strays from f64 oracle %v", nmi32, nmi64)
+	}
+}

@@ -824,20 +824,42 @@ func E20KernelEfficiency(w io.Writer) (Result, []KernelTiming) {
 	sgnsParSpeedup := legacySec / engParSec
 	report(w, "  sgns (%d-sentence walk corpus, %d workers): legacy=%.3fs engine-seq=%.3fs (%.1fx) hogwild=%.3fs (%.1fx)",
 		len(walkCorpus), runtime.GOMAXPROCS(0), legacySec, engSeqSec, sgnsSeqSpeedup, engParSec, sgnsParSpeedup)
+	// The float32 fused-kernel engine on the same corpus: identical
+	// schedule and sampling (the f64 engine is its bit-level oracle up to
+	// rounding), half the parameter traffic, fused dot/update kernels.
+	f32SeqSec, f32ParSec := math.Inf(1), math.Inf(1)
+	for rep := 0; rep < 3; rep++ {
+		w2v.Workers = 1
+		start = time.Now()
+		word2vec.Train32(walkCorpus, walkG.N(), w2v, rand.New(rand.NewSource(25)))
+		f32SeqSec = math.Min(f32SeqSec, time.Since(start).Seconds())
+		w2v.Workers = 0
+		start = time.Now()
+		word2vec.Train32(walkCorpus, walkG.N(), w2v, rand.New(rand.NewSource(25)))
+		f32ParSec = math.Min(f32ParSec, time.Since(start).Seconds())
+	}
+	rows = append(rows, KernelTiming{"sgns-f32-seq", f32SeqSec}, KernelTiming{"sgns-f32-hogwild", f32ParSec})
+	f32SeqSpeedup := engSeqSec / f32SeqSec
+	f32ParSpeedup := engParSec / f32ParSec
+	report(w, "  sgns-f32: seq=%.3fs (%.2fx vs f64) hogwild=%.3fs (%.2fx vs f64)",
+		f32SeqSec, f32SeqSpeedup, f32ParSec, f32ParSpeedup)
 	// WL must not be the slowest kernel (the paper's efficiency point), the
 	// feature map must beat pairwise evaluation at equal parallelism, the
 	// sharded engine must not lose to the global-mutex baseline (beyond
 	// timer noise), both interners must produce the same Gram matrix, the
 	// compiled hom engine must beat the per-call path on bit-identical
 	// vectors (the expected margin is ≥5x; >1 keeps noisy CI runners from
-	// flaking the check), and the sgns engine must not lose to the legacy
+	// flaking the check), the sgns engine must not lose to the legacy
 	// scalar trainer in either mode (expected margins are ≥1.5x sequential
-	// and ≥4x Hogwild on multi-core; >0.8 tolerates single-core CI noise).
+	// and ≥4x Hogwild on multi-core; >0.8 tolerates single-core CI noise),
+	// and the f32 fused-kernel engine must not lose to its f64 twin
+	// (expected ≥1.2x per mode; >0.8 again absorbs timer noise).
 	ok := wlTime < worst && speedup > 1 && gramsAgree && contSpeedup > 0.8 &&
-		homAgree && homSpeedup > 1 && sgnsSeqSpeedup > 0.8 && sgnsParSpeedup > 0.8
+		homAgree && homSpeedup > 1 && sgnsSeqSpeedup > 0.8 && sgnsParSpeedup > 0.8 &&
+		f32SeqSpeedup > 0.8 && f32ParSpeedup > 0.8
 	return Result{ID: "E20", Passed: ok,
-		Notes: fmt.Sprintf("wl=%.3fs worst=%.3fs feature-map=%.1fx contention=%.1fx hom-compiled=%.1fx sgns=%.1fx/%.1fx",
-			wlTime, worst, speedup, contSpeedup, homSpeedup, sgnsSeqSpeedup, sgnsParSpeedup)}, rows
+		Notes: fmt.Sprintf("wl=%.3fs worst=%.3fs feature-map=%.1fx contention=%.1fx hom-compiled=%.1fx sgns=%.1fx/%.1fx f32=%.2fx/%.2fx",
+			wlTime, worst, speedup, contSpeedup, homSpeedup, sgnsSeqSpeedup, sgnsParSpeedup, f32SeqSpeedup, f32ParSpeedup)}, rows
 }
 
 // E21HomComplexity measures hom-counting time as pattern treewidth grows

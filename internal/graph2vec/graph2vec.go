@@ -21,7 +21,8 @@ type Config struct {
 	Epochs   int
 	Negative int
 	LR       float64
-	Workers  int // sgns worker count: 0 = GOMAXPROCS Hogwild, 1 = deterministic sequential
+	Workers  int  // sgns worker count: 0 = GOMAXPROCS Hogwild, 1 = deterministic sequential
+	Float32  bool // train on the float32 fused-kernel engine (f64 remains the oracle)
 }
 
 // DefaultConfig returns small-scale defaults (sequential, reproducible
@@ -70,7 +71,7 @@ func Train(gs []*graph.Graph, cfg Config, rng *rand.Rand) *Model {
 	if len(vocab) == 0 {
 		return &Model{Vectors: linalg.NewMatrix(len(gs), cfg.Dim), vocab: vocab}
 	}
-	m := sgns.TrainDBOW(docs, len(gs), len(vocab), sgns.Config{
+	scfg := sgns.Config{
 		Dim:             cfg.Dim,
 		Negative:        cfg.Negative,
 		LearningRate:    cfg.LR,
@@ -78,9 +79,15 @@ func Train(gs []*graph.Graph, cfg Config, rng *rand.Rand) *Model {
 		Epochs:          cfg.Epochs,
 		UnigramPower:    0.75,
 		Workers:         cfg.Workers,
-	}, rng.Int63())
+	}
 	docVec := linalg.NewMatrix(len(gs), cfg.Dim)
-	copy(docVec.Data, m.In)
+	if cfg.Float32 {
+		// The float32 fused-kernel engine: same schedule and sampling, half
+		// the parameter traffic; the conversion back to float64 is exact.
+		copy(docVec.Data, sgns.TrainDBOW32(docs, len(gs), len(vocab), scfg, rng.Int63()).Float64())
+	} else {
+		copy(docVec.Data, sgns.TrainDBOW(docs, len(gs), len(vocab), scfg, rng.Int63()).In)
+	}
 	return &Model{Vectors: docVec, vocab: vocab}
 }
 

@@ -91,3 +91,45 @@ func TestVectorShape(t *testing.T) {
 		t.Errorf("vectors shape %dx%d", m.Vectors.Rows, m.Vectors.Cols)
 	}
 }
+
+// The float32 engine must preserve graph2vec's class structure: trained from
+// the same seed, the f32 doc vectors stay nearly parallel to the f64
+// oracle's (both engines consume the RNG identically).
+func TestTrainFloat32MatchesF64(t *testing.T) {
+	d := dataset.CycleParity(6, 8, rand.New(rand.NewSource(141)))
+	cfg := DefaultConfig()
+	m64 := Train(d.Graphs, cfg, rand.New(rand.NewSource(9)))
+	cfg.Float32 = true
+	m32 := Train(d.Graphs, cfg, rand.New(rand.NewSource(9)))
+	if m32.Vectors.Rows != m64.Vectors.Rows || m32.Vectors.Cols != m64.Vectors.Cols {
+		t.Fatalf("shape mismatch: f32 %dx%d, f64 %dx%d",
+			m32.Vectors.Rows, m32.Vectors.Cols, m64.Vectors.Rows, m64.Vectors.Cols)
+	}
+	minCos := 1.0
+	for i := 0; i < m32.Vectors.Rows; i++ {
+		if c := linalg.CosineSimilarity(m32.Vector(i), m64.Vector(i)); c < minCos {
+			minCos = c
+		}
+	}
+	if minCos < 0.98 {
+		t.Errorf("f32 graph2vec diverged from the f64 oracle: min doc cosine %.5f, want >= 0.98", minCos)
+	}
+	var intra, inter float64
+	var ni, nx int
+	for i := 0; i < len(d.Graphs); i++ {
+		for j := i + 1; j < len(d.Graphs); j++ {
+			sim := linalg.CosineSimilarity(m32.Vector(i), m32.Vector(j))
+			if d.Labels[i] == d.Labels[j] {
+				intra += sim
+				ni++
+			} else {
+				inter += sim
+				nx++
+			}
+		}
+	}
+	if intra/float64(ni) <= inter/float64(nx) {
+		t.Errorf("f32 intra-class similarity %v should exceed inter-class %v",
+			intra/float64(ni), inter/float64(nx))
+	}
+}

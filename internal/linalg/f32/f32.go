@@ -1,0 +1,105 @@
+// Package f32 holds the float32 inner kernels of the learned-embedding hot
+// paths: the SGNS trainer (internal/sgns) spends essentially all of its time
+// in dot products and scaled row additions over embedding rows, and float32
+// halves the memory traffic of those loops against the float64 matrices the
+// engine started on — the same trick the original word2vec C implementation
+// and every production embedding trainer use. The float64 engine stays the
+// quality/determinism oracle per repo convention; these kernels are the
+// speed path.
+//
+// Every kernel follows the same shape: re-slice the operands to a common
+// length first so the compiler can prove the index bounds once and drop the
+// per-element checks, then run a 4-way unrolled loop with independent
+// accumulators (breaking the add dependency chain so the FPU pipelines
+// overlap) and a scalar tail. None of them allocate; the AllocsPerRun gates
+// in f32_test.go and the hotalloc analyzer pin that.
+package f32
+
+// Dot returns the inner product of a and b. b must be at least as long as
+// a; only the first len(a) entries participate.
+//
+//x2vec:hotpath
+func Dot(a, b []float32) float32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Axpy adds alpha*x into y in place (the BLAS saxpy). y must be at least as
+// long as x.
+//
+//x2vec:hotpath
+func Axpy(alpha float32, x, y []float32) {
+	y = y[:len(x)]
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// PairUpdate is the fused SGNS pair step after the gradient coefficient g
+// has been computed from the dot product and the sigmoid: it accumulates
+// the input-row gradient (grad += g*out) and applies the output-row update
+// (out += g*in) in ONE pass over the three rows, reading each out element
+// once instead of the two passes the unfused axpy pair would take. in, out,
+// and grad must all be at least len(in) long.
+//
+//x2vec:hotpath
+func PairUpdate(g float32, in, out, grad []float32) {
+	out = out[:len(in)]
+	grad = grad[:len(in)]
+	i := 0
+	for ; i+3 < len(in); i += 4 {
+		o0, o1, o2, o3 := out[i], out[i+1], out[i+2], out[i+3]
+		grad[i] += g * o0
+		grad[i+1] += g * o1
+		grad[i+2] += g * o2
+		grad[i+3] += g * o3
+		out[i] = o0 + g*in[i]
+		out[i+1] = o1 + g*in[i+1]
+		out[i+2] = o2 + g*in[i+2]
+		out[i+3] = o3 + g*in[i+3]
+	}
+	for ; i < len(in); i++ {
+		o := out[i]
+		grad[i] += g * o
+		out[i] = o + g*in[i]
+	}
+}
+
+// AddAndZero adds grad into dst and clears grad in one pass — the end of an
+// SGNS pair update, where the accumulated input-row gradient is applied and
+// the scratch row is handed back zeroed for the next pair.
+//
+//x2vec:hotpath
+func AddAndZero(dst, grad []float32) {
+	grad = grad[:len(dst)]
+	i := 0
+	for ; i+3 < len(dst); i += 4 {
+		dst[i] += grad[i]
+		dst[i+1] += grad[i+1]
+		dst[i+2] += grad[i+2]
+		dst[i+3] += grad[i+3]
+		grad[i], grad[i+1], grad[i+2], grad[i+3] = 0, 0, 0, 0
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += grad[i]
+		grad[i] = 0
+	}
+}

@@ -1,0 +1,150 @@
+package f32
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalar references: the unrolled kernels must agree with the obvious loops
+// to within float32 reassociation error (the 4 independent accumulators sum
+// in a different order than the scalar chain).
+func dotRef(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func randRow(rng *rand.Rand, n int) []float32 {
+	r := make([]float32, n)
+	for i := range r {
+		r[i] = float32(rng.NormFloat64())
+	}
+	return r
+}
+
+// All kernels are exercised across lengths that hit every unroll-tail
+// combination (0..4 leftover elements) and a big row.
+var testLens = []int{0, 1, 2, 3, 4, 5, 7, 8, 13, 16, 64, 127, 300}
+
+func TestDotMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range testLens {
+		a, b := randRow(rng, n), randRow(rng, n)
+		got, want := Dot(a, b), dotRef(a, b)
+		if math.Abs(float64(got-want)) > 1e-4*(1+math.Abs(float64(want))) {
+			t.Errorf("Dot len %d = %v, scalar %v", n, got, want)
+		}
+	}
+}
+
+func TestAxpyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range testLens {
+		x, y := randRow(rng, n), randRow(rng, n)
+		want := make([]float32, n)
+		for i := range want {
+			want[i] = y[i] + 0.75*x[i]
+		}
+		Axpy(0.75, x, y)
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("Axpy len %d elem %d = %v, want %v", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+// PairUpdate must be bit-identical to the unfused sequence grad += g*out
+// (old out values), out += g*in — each element is touched once and the per-
+// element arithmetic is the same, so there is no reassociation slack here.
+func TestPairUpdateMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range testLens {
+		in, out, grad := randRow(rng, n), randRow(rng, n), randRow(rng, n)
+		wantGrad := make([]float32, n)
+		wantOut := make([]float32, n)
+		const g = float32(-0.042)
+		for i := range wantGrad {
+			wantGrad[i] = grad[i] + g*out[i]
+			wantOut[i] = out[i] + g*in[i]
+		}
+		PairUpdate(g, in, out, grad)
+		for i := 0; i < n; i++ {
+			if grad[i] != wantGrad[i] || out[i] != wantOut[i] {
+				t.Fatalf("PairUpdate len %d elem %d: grad=%v out=%v, want %v %v",
+					n, i, grad[i], out[i], wantGrad[i], wantOut[i])
+			}
+		}
+	}
+}
+
+func TestAddAndZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range testLens {
+		dst, grad := randRow(rng, n), randRow(rng, n)
+		want := make([]float32, n)
+		for i := range want {
+			want[i] = dst[i] + grad[i]
+		}
+		AddAndZero(dst, grad)
+		for i := 0; i < n; i++ {
+			if dst[i] != want[i] {
+				t.Fatalf("AddAndZero len %d elem %d = %v, want %v", n, i, dst[i], want[i])
+			}
+			if grad[i] != 0 {
+				t.Fatalf("AddAndZero len %d left grad[%d] = %v, want 0", n, i, grad[i])
+			}
+		}
+	}
+}
+
+// The fused pair-update (and the other kernels) must not allocate — this is
+// the static hotalloc invariant pinned at runtime.
+func TestKernelsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in, out, grad := randRow(rng, 96), randRow(rng, 96), make([]float32, 96)
+	var sink float32
+	if avg := testing.AllocsPerRun(200, func() {
+		sink += Dot(in, out)
+		PairUpdate(0.01, in, out, grad)
+		Axpy(-0.01, in, out)
+		AddAndZero(in, grad)
+	}); avg != 0 {
+		t.Errorf("fused kernels allocate %v times per run, want 0", avg)
+	}
+	_ = sink
+}
+
+func benchRows(n int) (a, b, c []float32) {
+	rng := rand.New(rand.NewSource(6))
+	return randRow(rng, n), randRow(rng, n), make([]float32, n)
+}
+
+func BenchmarkDot128(b *testing.B) {
+	x, y, _ := benchRows(128)
+	b.SetBytes(128 * 4 * 2)
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkPairUpdate128(b *testing.B) {
+	x, y, g := benchRows(128)
+	b.SetBytes(128 * 4 * 3)
+	for i := 0; i < b.N; i++ {
+		PairUpdate(0.001, x, y, g)
+	}
+}
+
+func BenchmarkAxpy128(b *testing.B) {
+	x, y, _ := benchRows(128)
+	b.SetBytes(128 * 4 * 2)
+	for i := 0; i < b.N; i++ {
+		Axpy(0.001, x, y)
+	}
+}

@@ -1,0 +1,20 @@
+//go:build linux
+
+package model
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The raw syscall keeps the
+// serving layer dependency-free; the mapping is page-aligned by the
+// kernel, which is what lets parseV2 point float views at it directly.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, errNoMmap
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package model
+
+import "os"
+
+// Non-Linux builds always take the aligned heap-read fallback; the v2
+// format works identically, just without the zero-copy cold start.
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(b []byte) error { return nil }

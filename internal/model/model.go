@@ -88,32 +88,42 @@ var (
 
 // --- encoding helpers -------------------------------------------------
 
-type encoder struct{ buf bytes.Buffer }
+// encoder appends little-endian fields to a plain byte slice. An earlier
+// revision funnelled every scalar through binary.Write, whose reflection
+// (an interface allocation plus a type switch per value) dominated save
+// time on large matrices; the append helpers below encode the same bytes
+// with no per-value allocation (see BenchmarkModelSave).
+type encoder struct{ buf []byte }
 
-func (e *encoder) u8(x uint8)   { e.buf.WriteByte(x) }
-func (e *encoder) u32(x uint32) { e.put(x) }
-func (e *encoder) i64(x int64)  { e.put(x) }
-func (e *encoder) f64(x float64) {
-	e.put(math.Float64bits(x))
-}
-func (e *encoder) put(x any) { binary.Write(&e.buf, binary.LittleEndian, x) }
+func (e *encoder) u8(x uint8)    { e.buf = append(e.buf, x) }
+func (e *encoder) u32(x uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, x) }
+func (e *encoder) u64(x uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, x) }
+func (e *encoder) i64(x int64)   { e.u64(uint64(x)) }
+func (e *encoder) f64(x float64) { e.u64(math.Float64bits(x)) }
 
 func (e *encoder) str(s string) {
 	e.u32(uint32(len(s)))
-	e.buf.WriteString(s)
+	e.buf = append(e.buf, s...)
 }
 
 // matrix writes one matrix block. prec is 8 (float64, exact) or 4
-// (float32, quantised).
+// (float32, quantised). The float region is grown once and filled in
+// place, with the precision branch hoisted out of the loop.
 func (e *encoder) matrix(data []float64, rows, cols, prec int) {
 	e.u8(uint8(prec))
 	e.u32(uint32(rows))
 	e.u32(uint32(cols))
-	for _, x := range data[:rows*cols] {
-		if prec == 4 {
-			e.put(math.Float32bits(float32(x)))
-		} else {
-			e.f64(x)
+	n := rows * cols
+	off := len(e.buf)
+	e.buf = append(e.buf, make([]byte, n*prec)...)
+	b := e.buf[off:]
+	if prec == 4 {
+		for i, x := range data[:n] {
+			binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(float32(x)))
+		}
+	} else {
+		for i, x := range data[:n] {
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
 		}
 	}
 }
@@ -205,10 +215,12 @@ func (d *decoder) matrix() (data []float64, rows, cols int, err error) {
 		return nil, 0, 0, err
 	}
 	data = make([]float64, rows*cols)
-	for i := range data {
-		if prec == 4 {
+	if prec == 4 {
+		for i := range data {
 			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
-		} else {
+		}
+	} else {
+		for i := range data {
 			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
 		}
 	}
@@ -219,13 +231,13 @@ func (d *decoder) matrix() (data []float64, rows, cols int, err error) {
 
 // writeFile frames payload with the header and CRC trailer and writes it.
 func writeFile(path string, kind Kind, payload []byte) error {
-	var out bytes.Buffer
-	out.Write(magic[:])
-	binary.Write(&out, binary.LittleEndian, Version)
-	binary.Write(&out, binary.LittleEndian, uint16(kind))
-	out.Write(payload)
-	binary.Write(&out, binary.LittleEndian, crc32.ChecksumIEEE(out.Bytes()))
-	return os.WriteFile(path, out.Bytes(), 0o644)
+	out := make([]byte, 0, len(payload)+12)
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, uint16(kind))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return os.WriteFile(path, out, 0o644)
 }
 
 // readFile verifies the container and returns the payload bytes and kind.
@@ -303,7 +315,7 @@ func SaveWord2Vec(path string, m *word2vec.Model) error {
 	e.u32(uint32(m.Dim))
 	e.matrix(flattenRows(m.In, m.Dim), m.Vocab, m.Dim, 8)
 	e.matrix(flattenRows(m.Out, m.Dim), m.Vocab, m.Dim, 8)
-	return writeFile(path, KindWord2Vec, e.buf.Bytes())
+	return writeFile(path, KindWord2Vec, e.buf)
 }
 
 // LoadWord2Vec restores a word2vec model saved by SaveWord2Vec.
@@ -357,7 +369,7 @@ func SaveNodeEmbedding(path string, e *embed.NodeEmbedding) error {
 	var enc encoder
 	enc.str(e.Method)
 	enc.matrix(e.Vectors.Data, e.Vectors.Rows, e.Vectors.Cols, 8)
-	return writeFile(path, KindNodeEmbedding, enc.buf.Bytes())
+	return writeFile(path, KindNodeEmbedding, enc.buf)
 }
 
 // LoadNodeEmbedding restores a node embedding saved by SaveNodeEmbedding.
@@ -395,7 +407,7 @@ func decodeNodeEmbedding(payload []byte) (*embed.NodeEmbedding, error) {
 func SaveGraph2Vec(path string, m *graph2vec.Model) error {
 	var e encoder
 	e.matrix(m.Vectors.Data, m.Vectors.Rows, m.Vectors.Cols, 8)
-	return writeFile(path, KindGraph2Vec, e.buf.Bytes())
+	return writeFile(path, KindGraph2Vec, e.buf)
 }
 
 // LoadGraph2Vec restores a graph2vec model saved by SaveGraph2Vec.
@@ -447,7 +459,7 @@ func SaveHomClass(path string, class []*graph.Graph) error {
 			e.i64(int64(ed.Label))
 		}
 	}
-	return writeFile(path, KindHomClass, e.buf.Bytes())
+	return writeFile(path, KindHomClass, e.buf)
 }
 
 // LoadHomClass restores a pattern class saved by SaveHomClass.

@@ -282,7 +282,7 @@ func TestFloat32Matrix(t *testing.T) {
 	var e encoder
 	data := []float64{0.5, -1.25, 3}
 	e.matrix(data, 1, 3, 4)
-	d := &decoder{b: e.buf.Bytes()}
+	d := &decoder{b: e.buf}
 	got, rows, cols, err := d.matrix()
 	if err != nil {
 		t.Fatal(err)
@@ -314,7 +314,7 @@ func TestHomClassRejectsOversizedCounts(t *testing.T) {
 	}
 	var e encoder
 	e.u32(0xFFFFFFFF) // 4 billion graphs in a 4-byte payload
-	if _, err := LoadHomClass(write(e.buf.Bytes())); !errors.Is(err, ErrBadPayload) {
+	if _, err := LoadHomClass(write(e.buf)); !errors.Is(err, ErrBadPayload) {
 		t.Errorf("oversized graph count: err = %v, want ErrBadPayload", err)
 	}
 
@@ -322,7 +322,7 @@ func TestHomClassRejectsOversizedCounts(t *testing.T) {
 	e2.u32(1)          // one graph
 	e2.u8(0)           // undirected
 	e2.u32(0xFFFFFFF0) // with ~4 billion vertices
-	if _, err := LoadHomClass(write(e2.buf.Bytes())); !errors.Is(err, ErrBadPayload) {
+	if _, err := LoadHomClass(write(e2.buf)); !errors.Is(err, ErrBadPayload) {
 		t.Errorf("oversized vertex count: err = %v, want ErrBadPayload", err)
 	}
 
@@ -333,7 +333,7 @@ func TestHomClassRejectsOversizedCounts(t *testing.T) {
 	e3.i64(0)
 	e3.i64(0)
 	e3.u32(0xFFFFFFF0) // ~4 billion edges
-	if _, err := LoadHomClass(write(e3.buf.Bytes())); !errors.Is(err, ErrBadPayload) {
+	if _, err := LoadHomClass(write(e3.buf)); !errors.Is(err, ErrBadPayload) {
 		t.Errorf("oversized edge count: err = %v, want ErrBadPayload", err)
 	}
 }

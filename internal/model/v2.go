@@ -1,0 +1,522 @@
+package model
+
+// Format version 2: the zero-copy serving container. Version 1 stores
+// matrices as decode-on-load payload bytes — opening a model costs a full
+// read, a CRC pass, and a per-element conversion into fresh heap slices.
+// Version 2 lays the vector table out so the serving layer can mmap the
+// file and point float views straight at the mapping:
+//
+//	offset  size  field
+//	0       4     magic "x2vm"
+//	4       2     format version, uint16 LE (2)
+//	6       2     model kind, uint16 LE (embedding kinds only)
+//	8       4     header length H, uint32 LE
+//	12      4     CRC32 (IEEE) over the H header bytes, uint32 LE
+//	16      H     header: method string, dtype uint8, rows uint32,
+//	              cols uint32, dataOff/dataLen/scaleOff/scaleLen uint64
+//	...           zero padding to dataOff (4096-aligned: one page, so the
+//	              mmap'ed block is page-aligned and view-safe)
+//	dataOff .     vector block: rows*cols values of dtype, row-major LE
+//	...           zero padding to scaleOff (64-aligned) when dtype is int8
+//	scaleOff.     per-row float32 dequantisation scales (int8 only)
+//	end-4   4     CRC32 (IEEE) over bytes [0, end-4), uint32 LE
+//
+// Open cost is O(header): the header CRC and every offset/length are
+// validated eagerly (a structurally bad file never produces a handle), but
+// the whole-file trailer CRC is deferred to Verify — an O(size) pass over
+// a potentially multi-gigabyte mapping would forfeit the O(1) cold start
+// this layout exists for. Bad vector bytes can only yield wrong numbers,
+// never out-of-bounds access; callers that want fail-closed float payloads
+// (the daemon does, by default) call Verify once after opening.
+//
+// dtype is the storage width in bytes, except int8: 8 = float64
+// (bit-exact round-trips), 4 = float32, 1 = symmetric per-row int8 —
+// q = round(x*127/maxAbs) with the row's scale maxAbs/127 stored as
+// float32, so each row's codes span the full [-127, 127] range.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"repro/internal/embed"
+	"repro/internal/graph2vec"
+	"repro/internal/word2vec"
+)
+
+// Version2 is the mmap-friendly serving format version.
+const Version2 uint16 = 2
+
+// DType identifies the storage type of a v2 vector block.
+type DType uint8
+
+const (
+	// DTypeInt8 is symmetric per-row-scale quantised int8 (1 byte/value).
+	DTypeInt8 DType = 1
+	// DTypeF32 is little-endian float32 (4 bytes/value).
+	DTypeF32 DType = 4
+	// DTypeF64 is little-endian float64 (8 bytes/value, bit-exact).
+	DTypeF64 DType = 8
+)
+
+func (d DType) String() string {
+	switch d {
+	case DTypeInt8:
+		return "int8"
+	case DTypeF32:
+		return "float32"
+	case DTypeF64:
+		return "float64"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+const (
+	v2HeaderOff  = 16   // fixed prefix: magic, version, kind, headerLen, headerCRC
+	v2DataAlign  = 4096 // vector block alignment: one page
+	v2ScaleAlign = 64   // scale block alignment: one cache line
+)
+
+// EmbeddingsSpec describes one embedding table for SaveEmbeddings.
+type EmbeddingsSpec struct {
+	Kind   Kind   // KindWord2Vec, KindNodeEmbedding, or KindGraph2Vec
+	Method string // pipeline name served back by /embed (node2vec, line, …)
+	Rows   int
+	Cols   int
+	Data   []float64 // row-major Rows*Cols values (exact float64 images of the parameters)
+	DType  DType     // storage precision of the vector block
+}
+
+// SaveEmbeddings writes a version-2 model file: the serving format whose
+// page-aligned vector block OpenEmbeddings maps (or reads) without any
+// per-element decode. DTypeF64 round-trips bit-identically; DTypeF32
+// stores the nearest float32s; DTypeInt8 additionally writes the per-row
+// scale block (see Int8Quality for the train-time regression gate).
+func SaveEmbeddings(path string, spec EmbeddingsSpec) error {
+	switch spec.Kind {
+	case KindWord2Vec, KindNodeEmbedding, KindGraph2Vec:
+	default:
+		return fmt.Errorf("%w: v2 stores embedding tables, not %v", ErrBadKind, spec.Kind)
+	}
+	if spec.Rows < 0 || spec.Cols < 0 {
+		return fmt.Errorf("%w: negative shape %dx%d", ErrBadPayload, spec.Rows, spec.Cols)
+	}
+	n := spec.Rows * spec.Cols
+	if len(spec.Data) < n {
+		return fmt.Errorf("%w: %dx%d spec over %d data values", ErrBadPayload, spec.Rows, spec.Cols, len(spec.Data))
+	}
+	var dataLen, scaleLen int
+	switch spec.DType {
+	case DTypeF64:
+		dataLen = n * 8
+	case DTypeF32:
+		dataLen = n * 4
+	case DTypeInt8:
+		dataLen = n
+		scaleLen = spec.Rows * 4
+	default:
+		return fmt.Errorf("%w: matrix precision %d", ErrBadPayload, uint8(spec.DType))
+	}
+
+	headerLen := 4 + len(spec.Method) + 1 + 4 + 4 + 4*8
+	dataOff := alignUp(v2HeaderOff+headerLen, v2DataAlign)
+	end := dataOff + dataLen
+	scaleOff := 0
+	if scaleLen > 0 {
+		scaleOff = alignUp(end, v2ScaleAlign)
+		end = scaleOff + scaleLen
+	}
+
+	var h encoder
+	h.str(spec.Method)
+	h.u8(uint8(spec.DType))
+	h.u32(uint32(spec.Rows))
+	h.u32(uint32(spec.Cols))
+	h.u64(uint64(dataOff))
+	h.u64(uint64(dataLen))
+	h.u64(uint64(scaleOff))
+	h.u64(uint64(scaleLen))
+	if len(h.buf) != headerLen {
+		return fmt.Errorf("model: internal error: v2 header %d bytes, computed %d", len(h.buf), headerLen)
+	}
+
+	out := make([]byte, end, end+4)
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint16(out[4:], Version2)
+	binary.LittleEndian.PutUint16(out[6:], uint16(spec.Kind))
+	binary.LittleEndian.PutUint32(out[8:], uint32(headerLen))
+	binary.LittleEndian.PutUint32(out[12:], crc32.ChecksumIEEE(h.buf))
+	copy(out[v2HeaderOff:], h.buf)
+
+	db := out[dataOff : dataOff+dataLen]
+	switch spec.DType {
+	case DTypeF64:
+		for i, x := range spec.Data[:n] {
+			binary.LittleEndian.PutUint64(db[i*8:], math.Float64bits(x))
+		}
+	case DTypeF32:
+		for i, x := range spec.Data[:n] {
+			binary.LittleEndian.PutUint32(db[i*4:], math.Float32bits(float32(x)))
+		}
+	case DTypeInt8:
+		sb := out[scaleOff : scaleOff+scaleLen]
+		for r := 0; r < spec.Rows; r++ {
+			scale := quantizeRowInt8(spec.Data[r*spec.Cols:(r+1)*spec.Cols], db[r*spec.Cols:(r+1)*spec.Cols])
+			binary.LittleEndian.PutUint32(sb[r*4:], math.Float32bits(scale))
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return os.WriteFile(path, out, 0o644)
+}
+
+func alignUp(x, a int) int { return (x + a - 1) &^ (a - 1) }
+
+// quantizeRowInt8 quantises one row symmetrically into q and returns the
+// float32 dequantisation scale maxAbs/127 (0 for an all-zero row). Codes
+// are round(x/scale) clamped to [-127, 127], so the row extremes map to
+// ±127 and every value dequantises within scale/2 of its original.
+func quantizeRowInt8(row []float64, q []byte) float32 {
+	var maxAbs float64
+	for _, x := range row {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range q {
+			q[i] = 0
+		}
+		return 0
+	}
+	scale := float32(maxAbs / 127)
+	inv := 1 / float64(scale) // quantise against the rounded float32 scale the reader will use
+	for i, x := range row {
+		v := math.Round(x * inv)
+		if v > 127 {
+			v = 127
+		} else if v < -127 {
+			v = -127
+		}
+		q[i] = byte(int8(v))
+	}
+	return scale
+}
+
+// Int8Quality reports the mean and minimum per-row cosine similarity
+// between data and its int8 round-trip image — the regression gate
+// `x2vec train -quantize int8` enforces before writing a quantised model.
+// Zero rows round-trip exactly and count as cosine 1.
+func Int8Quality(data []float64, rows, cols int) (mean, min float64) {
+	if rows == 0 {
+		return 1, 1
+	}
+	q := make([]byte, cols)
+	min = 1
+	for r := 0; r < rows; r++ {
+		row := data[r*cols : (r+1)*cols]
+		scale := float64(quantizeRowInt8(row, q))
+		var dot, na, nb float64
+		for i, x := range row {
+			d := float64(int8(q[i])) * scale
+			dot += x * d
+			na += x * x
+			nb += d * d
+		}
+		c := 1.0
+		if na > 0 && nb > 0 {
+			c = dot / math.Sqrt(na*nb)
+		}
+		mean += c
+		if c < min {
+			min = c
+		}
+	}
+	return mean / float64(rows), min
+}
+
+// Embeddings is a read-only serving handle over a saved embedding table.
+// Version-2 files back the vector block with a page-aligned mmap view
+// (heap read when mmap is unavailable or X2VEC_NO_MMAP is set); version-1
+// files decode through the legacy loaders into heap float64s, so one open
+// path serves both generations. Close releases the mapping.
+type Embeddings struct {
+	Kind   Kind
+	Method string
+	Rows   int
+	Cols   int
+	DType  DType // DTypeF64 for every v1 model
+	Mapped bool  // vector views point into an mmap'ed file
+
+	f64     []float64
+	f32     []float32
+	q8      []int8
+	scales  []float32
+	file    []byte // full v2 file bytes (mapping or heap) for Verify
+	mapping []byte // non-nil while an mmap is live
+}
+
+// OpenEmbeddings opens a model file for serving. Version 2 opens in
+// O(header) time with the vector block left in place (see the format
+// comment for what is and is not verified eagerly); version 1 falls back
+// to the legacy decode, including its full CRC check. The caller owns the
+// handle and must Close it.
+func OpenEmbeddings(path string) (*Embeddings, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: file too short for a model header", ErrCorrupt)
+	}
+	if string(head[:4]) != string(magic[:]) {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, head[:4])
+	}
+	switch v := binary.LittleEndian.Uint16(head[4:6]); v {
+	case 1:
+		f.Close()
+		return openV1(path)
+	case Version2:
+	default:
+		f.Close()
+		return nil, fmt.Errorf("%w: file version %d, this build reads 1 and 2", ErrBadVersion, v)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := int(st.Size())
+	var b []byte
+	mapped := false
+	if os.Getenv("X2VEC_NO_MMAP") == "" {
+		if m, merr := mmapFile(f, size); merr == nil {
+			b, mapped = m, true
+		}
+	}
+	if b == nil {
+		if b, err = readAligned(f, size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	// The fd can close once mapped — the mapping outlives it.
+	f.Close()
+	e, err := parseV2(b, mapped)
+	if err != nil {
+		if mapped {
+			munmapFile(b)
+		}
+		return nil, err
+	}
+	return e, nil
+}
+
+// readAligned reads size file bytes into a buffer backed by []uint64, so
+// the base is 8-byte aligned and the float64 views parseV2 builds over the
+// page-aligned data offset stay aligned without mmap.
+func readAligned(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("%w: empty model file", ErrCorrupt)
+	}
+	words := make([]uint64, (size+7)/8)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)[:size]
+	if _, err := f.ReadAt(b, 0); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// parseV2 validates the v2 container structure and builds the vector views
+// over b. Everything offset-shaped is checked here — a handle never holds
+// an out-of-bounds view — but the whole-file CRC is Verify's job.
+func parseV2(b []byte, mapped bool) (*Embeddings, error) {
+	if len(b) < v2HeaderOff+4 {
+		return nil, fmt.Errorf("%w: %d bytes is too short for a v2 model file", ErrCorrupt, len(b))
+	}
+	kind := Kind(binary.LittleEndian.Uint16(b[6:8]))
+	switch kind {
+	case KindWord2Vec, KindNodeEmbedding, KindGraph2Vec:
+	default:
+		return nil, fmt.Errorf("%w: cannot serve embeddings from a %v model", ErrBadKind, kind)
+	}
+	headerLen := int(binary.LittleEndian.Uint32(b[8:12]))
+	if headerLen < 0 || v2HeaderOff+headerLen+4 > len(b) {
+		return nil, fmt.Errorf("%w: header length %d exceeds file", ErrCorrupt, headerLen)
+	}
+	hb := b[v2HeaderOff : v2HeaderOff+headerLen]
+	if got, want := crc32.ChecksumIEEE(hb), binary.LittleEndian.Uint32(b[12:16]); got != want {
+		return nil, fmt.Errorf("%w: header checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	d := &decoder{b: hb}
+	method, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	rows32, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	cols32, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	var offs [4]uint64
+	for i := range offs {
+		s, err := d.need(8)
+		if err != nil {
+			return nil, err
+		}
+		offs[i] = binary.LittleEndian.Uint64(s)
+	}
+	rows, cols := int(rows32), int(cols32)
+	dtype := DType(dt)
+	var width int
+	switch dtype {
+	case DTypeF64:
+		width = 8
+	case DTypeF32:
+		width = 4
+	case DTypeInt8:
+		width = 1
+	default:
+		return nil, fmt.Errorf("%w: matrix precision %d", ErrBadPayload, dt)
+	}
+	if cols != 0 && rows > (len(b)-v2HeaderOff)/(cols*width) {
+		return nil, fmt.Errorf("%w: matrix %dx%d exceeds payload", ErrBadPayload, rows, cols)
+	}
+	n := rows * cols
+	dataOff, dataLen := int(offs[0]), int(offs[1])
+	scaleOff, scaleLen := int(offs[2]), int(offs[3])
+	if dataLen != n*width || dataOff%v2DataAlign != 0 || dataOff < v2HeaderOff+headerLen ||
+		dataOff+dataLen > len(b)-4 {
+		return nil, fmt.Errorf("%w: vector block [%d,%d) invalid for %dx%d %v", ErrCorrupt, dataOff, dataOff+dataLen, rows, cols, dtype)
+	}
+	if dtype == DTypeInt8 {
+		if scaleLen != rows*4 || scaleOff%v2ScaleAlign != 0 || scaleOff < dataOff+dataLen ||
+			scaleOff+scaleLen > len(b)-4 {
+			return nil, fmt.Errorf("%w: scale block [%d,%d) invalid for %d rows", ErrCorrupt, scaleOff, scaleOff+scaleLen, rows)
+		}
+	} else if scaleOff != 0 || scaleLen != 0 {
+		return nil, fmt.Errorf("%w: scale block on a %v model", ErrCorrupt, dtype)
+	}
+
+	e := &Embeddings{
+		Kind: kind, Method: method, Rows: rows, Cols: cols,
+		DType: dtype, Mapped: mapped, file: b,
+	}
+	if mapped {
+		e.mapping = b
+	}
+	if n > 0 {
+		switch dtype {
+		case DTypeF64:
+			e.f64 = unsafe.Slice((*float64)(unsafe.Pointer(&b[dataOff])), n)
+		case DTypeF32:
+			e.f32 = unsafe.Slice((*float32)(unsafe.Pointer(&b[dataOff])), n)
+		case DTypeInt8:
+			e.q8 = unsafe.Slice((*int8)(unsafe.Pointer(&b[dataOff])), n)
+			e.scales = unsafe.Slice((*float32)(unsafe.Pointer(&b[scaleOff])), rows)
+		}
+	}
+	return e, nil
+}
+
+// openV1 decodes a version-1 file through the legacy loaders and wraps the
+// embedding table (word2vec In vectors, node-embedding rows, graph2vec doc
+// vectors) in a heap-backed handle.
+func openV1(path string) (*Embeddings, error) {
+	v, kind, err := LoadAny(path)
+	if err != nil {
+		return nil, err
+	}
+	e := &Embeddings{Kind: kind, DType: DTypeF64}
+	switch m := v.(type) {
+	case *word2vec.Model:
+		e.Method = kind.String()
+		e.Rows, e.Cols = m.Vocab, m.Dim
+		e.f64 = flattenRows(m.In, m.Dim)
+	case *embed.NodeEmbedding:
+		e.Method = m.Method
+		e.Rows, e.Cols = m.Vectors.Rows, m.Vectors.Cols
+		e.f64 = m.Vectors.Data
+	case *graph2vec.Model:
+		e.Method = kind.String()
+		e.Rows, e.Cols = m.Vectors.Rows, m.Vectors.Cols
+		e.f64 = m.Vectors.Data
+	default:
+		return nil, fmt.Errorf("%w: cannot serve embeddings from a %v model", ErrBadKind, kind)
+	}
+	return e, nil
+}
+
+// VectorInto dequantises row r into dst (len >= Cols) without allocating.
+// r must be in [0, Rows) — the serving layer validates ids before lookup.
+//
+//x2vec:hotpath
+func (e *Embeddings) VectorInto(dst []float64, r int) {
+	c := e.Cols
+	dst = dst[:c]
+	switch e.DType {
+	case DTypeF64:
+		copy(dst, e.f64[r*c:(r+1)*c])
+	case DTypeF32:
+		src := e.f32[r*c : (r+1)*c : (r+1)*c]
+		for i, x := range src {
+			dst[i] = float64(x)
+		}
+	case DTypeInt8:
+		src := e.q8[r*c : (r+1)*c : (r+1)*c]
+		s := float64(e.scales[r])
+		for i, x := range src {
+			dst[i] = float64(x) * s
+		}
+	}
+}
+
+// Vector returns a fresh copy of row r.
+func (e *Embeddings) Vector(r int) []float64 {
+	dst := make([]float64, e.Cols)
+	e.VectorInto(dst, r)
+	return dst
+}
+
+// Verify runs the deferred whole-file CRC over the vector payload of a v2
+// handle (v1 models were fully CRC-checked at open). It walks the entire
+// mapping once; daemons that want fail-closed float payloads call it right
+// after OpenEmbeddings, before serving.
+func (e *Embeddings) Verify() error {
+	if e.file == nil {
+		return nil
+	}
+	body, trailer := e.file[:len(e.file)-4], e.file[len(e.file)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	return nil
+}
+
+// Close releases the file mapping (a no-op for heap-backed handles). The
+// handle's vector views are invalid afterwards.
+func (e *Embeddings) Close() error {
+	m := e.mapping
+	e.mapping = nil
+	e.f64, e.f32, e.q8, e.scales, e.file = nil, nil, nil, nil, nil
+	if m == nil {
+		return nil
+	}
+	return munmapFile(m)
+}
+
+var errNoMmap = errors.New("model: mmap unavailable")

@@ -1,0 +1,412 @@
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+func writeV2(t *testing.T, spec EmbeddingsSpec) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "m.bin")
+	if err := SaveEmbeddings(p, spec); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func openV2(t *testing.T, path string) *Embeddings {
+	t.Helper()
+	e, err := OpenEmbeddings(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func randomData(rows, cols int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return data
+}
+
+// TestV2GoldenBytes pins the version-2 wire layout byte for byte: the
+// fixed prefix, the header fields, the page-aligned data offset, and the
+// CRC trailer. A layout change breaks every deployed model file — this
+// test is the tripwire.
+func TestV2GoldenBytes(t *testing.T) {
+	data := []float64{1, -2, 0.5, 3}
+	p := writeV2(t, EmbeddingsSpec{
+		Kind: KindNodeEmbedding, Method: "x", Rows: 2, Cols: 2, Data: data, DType: DTypeF64,
+	})
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefix: magic, version 2, kind 2.
+	if string(b[:4]) != "x2vm" {
+		t.Fatalf("magic %q", b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != 2 {
+		t.Fatalf("version %d", v)
+	}
+	if k := binary.LittleEndian.Uint16(b[6:8]); k != uint16(KindNodeEmbedding) {
+		t.Fatalf("kind %d", k)
+	}
+	// Header: method "x" (4+1), dtype (1), rows+cols (8), four u64 (32).
+	wantHeaderLen := 5 + 1 + 8 + 32
+	if hl := binary.LittleEndian.Uint32(b[8:12]); int(hl) != wantHeaderLen {
+		t.Fatalf("header length %d, want %d", hl, wantHeaderLen)
+	}
+	h := b[16 : 16+wantHeaderLen]
+	if binary.LittleEndian.Uint32(h[0:4]) != 1 || h[4] != 'x' {
+		t.Fatalf("method field %v", h[:5])
+	}
+	if h[5] != 8 {
+		t.Fatalf("dtype %d, want 8", h[5])
+	}
+	if r := binary.LittleEndian.Uint32(h[6:10]); r != 2 {
+		t.Fatalf("rows %d", r)
+	}
+	if c := binary.LittleEndian.Uint32(h[10:14]); c != 2 {
+		t.Fatalf("cols %d", c)
+	}
+	dataOff := binary.LittleEndian.Uint64(h[14:22])
+	if dataOff != 4096 {
+		t.Fatalf("dataOff %d, want the first page boundary", dataOff)
+	}
+	if dl := binary.LittleEndian.Uint64(h[22:30]); dl != 32 {
+		t.Fatalf("dataLen %d, want 32", dl)
+	}
+	if so := binary.LittleEndian.Uint64(h[30:38]); so != 0 {
+		t.Fatalf("scaleOff %d, want 0 for float64", so)
+	}
+	if len(b) != int(dataOff)+32+4 {
+		t.Fatalf("file is %d bytes, want data end + CRC trailer = %d", len(b), int(dataOff)+36)
+	}
+	// Padding between header and data must be zero.
+	for i := 16 + wantHeaderLen; i < int(dataOff); i++ {
+		if b[i] != 0 {
+			t.Fatalf("padding byte %d = %d, want 0", i, b[i])
+		}
+	}
+	// The data block is raw little-endian float64 bits.
+	for i, x := range data {
+		if got := math.Float64frombits(binary.LittleEndian.Uint64(b[int(dataOff)+8*i:])); got != x {
+			t.Fatalf("datum %d = %v, want %v", i, got, x)
+		}
+	}
+	// And the round trip through the real opener is bit-identical.
+	e := openV2(t, p)
+	for i := 0; i < 2; i++ {
+		v := e.Vector(i)
+		if v[0] != data[2*i] || v[1] != data[2*i+1] {
+			t.Fatalf("row %d = %v", i, v)
+		}
+	}
+}
+
+func TestV2RoundTripF64BitIdentical(t *testing.T) {
+	data := randomData(37, 16, 1)
+	p := writeV2(t, EmbeddingsSpec{
+		Kind: KindWord2Vec, Method: "word2vec", Rows: 37, Cols: 16, Data: data, DType: DTypeF64,
+	})
+	e := openV2(t, p)
+	if e.Kind != KindWord2Vec || e.Method != "word2vec" || e.Rows != 37 || e.Cols != 16 || e.DType != DTypeF64 {
+		t.Fatalf("handle %+v", e)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatalf("Verify on a clean file: %v", err)
+	}
+	dst := make([]float64, 16)
+	for r := 0; r < 37; r++ {
+		e.VectorInto(dst, r)
+		for i, x := range dst {
+			if x != data[r*16+i] {
+				t.Fatalf("row %d dim %d: %v != %v (float64 must round-trip bit-identically)", r, i, x, data[r*16+i])
+			}
+		}
+	}
+}
+
+func TestV2RoundTripF32(t *testing.T) {
+	data := randomData(9, 5, 2)
+	p := writeV2(t, EmbeddingsSpec{
+		Kind: KindGraph2Vec, Method: "graph2vec", Rows: 9, Cols: 5, Data: data, DType: DTypeF32,
+	})
+	e := openV2(t, p)
+	for r := 0; r < 9; r++ {
+		for i, x := range e.Vector(r) {
+			if want := float64(float32(data[r*5+i])); x != want {
+				t.Fatalf("row %d dim %d: %v, want the exact float32 image %v", r, i, x, want)
+			}
+		}
+	}
+}
+
+// TestV2Int8RoundTripBounds: symmetric per-row quantisation must keep
+// every value within scale/2 of its original, map each row's extreme to
+// exactly ±127*scale, and keep zero rows exactly zero.
+func TestV2Int8RoundTripBounds(t *testing.T) {
+	const rows, cols = 20, 24
+	data := randomData(rows, cols, 3)
+	for i := 0; i < cols; i++ {
+		data[5*cols+i] = 0 // an all-zero row
+	}
+	p := writeV2(t, EmbeddingsSpec{
+		Kind: KindNodeEmbedding, Method: "node2vec", Rows: rows, Cols: cols, Data: data, DType: DTypeInt8,
+	})
+	e := openV2(t, p)
+	if e.DType != DTypeInt8 {
+		t.Fatalf("dtype %v", e.DType)
+	}
+	for r := 0; r < rows; r++ {
+		row := data[r*cols : (r+1)*cols]
+		var maxAbs float64
+		for _, x := range row {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := float64(float32(maxAbs / 127))
+		got := e.Vector(r)
+		for i, x := range row {
+			if maxAbs == 0 {
+				if got[i] != 0 {
+					t.Fatalf("zero row %d dim %d dequantised to %v", r, i, got[i])
+				}
+				continue
+			}
+			if d := math.Abs(got[i] - x); d > scale/2+1e-12 {
+				t.Fatalf("row %d dim %d: |%v - %v| = %v exceeds scale/2 = %v", r, i, got[i], x, d, scale/2)
+			}
+			if math.Abs(x) == maxAbs && math.Abs(math.Abs(got[i])-127*scale) > 1e-12 {
+				t.Fatalf("row %d extreme %v dequantised to %v, want ±127*scale = %v", r, x, got[i], 127*scale)
+			}
+		}
+	}
+}
+
+// TestV2VersionNegotiation: OpenEmbeddings reads version-1 files through
+// the legacy decoder — same vectors, heap-backed, never mapped.
+func TestV2VersionNegotiation(t *testing.T) {
+	g := graph.Cycle(6)
+	ne := &embed.NodeEmbedding{Vectors: linalg.NewMatrix(6, 3), Method: "node2vec"}
+	for i := range ne.Vectors.Data {
+		ne.Vectors.Data[i] = float64(i) * 0.25
+	}
+	p := filepath.Join(t.TempDir(), "v1.bin")
+	if err := SaveNodeEmbedding(p, ne); err != nil {
+		t.Fatal(err)
+	}
+	e := openV2(t, p)
+	if e.Mapped {
+		t.Error("v1 files decode to heap, Mapped must be false")
+	}
+	if e.Kind != KindNodeEmbedding || e.Method != "node2vec" || e.Rows != g.N() || e.Cols != 3 {
+		t.Fatalf("handle %+v", e)
+	}
+	for r := 0; r < 6; r++ {
+		for i, x := range e.Vector(r) {
+			if x != ne.Vectors.At(r, i) {
+				t.Fatalf("row %d dim %d: %v != %v", r, i, x, ne.Vectors.At(r, i))
+			}
+		}
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatalf("Verify on a v1 handle: %v", err)
+	}
+}
+
+// TestV2CorruptionDetection: a flipped header byte fails at open; a
+// flipped vector byte passes the O(1) open (by design) and fails Verify.
+func TestV2CorruptionDetection(t *testing.T) {
+	data := randomData(8, 8, 4)
+	p := writeV2(t, EmbeddingsSpec{
+		Kind: KindNodeEmbedding, Method: "node2vec", Rows: 8, Cols: 8, Data: data, DType: DTypeF64,
+	})
+	orig, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(off int) string {
+		b := append([]byte(nil), orig...)
+		b[off] ^= 0x40
+		cp := filepath.Join(t.TempDir(), "corrupt.bin")
+		if err := os.WriteFile(cp, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+
+	// Header corruption: rejected at open.
+	if _, err := OpenEmbeddings(corrupt(20)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt header: err = %v, want ErrCorrupt", err)
+	}
+	// Vector payload corruption: open succeeds, Verify fails — under mmap.
+	e, err := OpenEmbeddings(corrupt(4096 + 13))
+	if err != nil {
+		t.Fatalf("payload corruption must not fail the O(1) open: %v", err)
+	}
+	defer e.Close()
+	if err := e.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt payload: Verify = %v, want ErrCorrupt", err)
+	}
+	// Truncation inside the data block: rejected at open.
+	tp := filepath.Join(t.TempDir(), "trunc.bin")
+	if err := os.WriteFile(tp, orig[:4096+16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEmbeddings(tp); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated file: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestV2HeapFallback: X2VEC_NO_MMAP forces the aligned heap read; vectors
+// and Verify must behave identically to the mapped path.
+func TestV2HeapFallback(t *testing.T) {
+	data := randomData(12, 7, 5)
+	p := writeV2(t, EmbeddingsSpec{
+		Kind: KindNodeEmbedding, Method: "node2vec", Rows: 12, Cols: 7, Data: data, DType: DTypeF64,
+	})
+	t.Setenv("X2VEC_NO_MMAP", "1")
+	e := openV2(t, p)
+	if e.Mapped {
+		t.Fatal("X2VEC_NO_MMAP=1 must force the heap path")
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 12; r++ {
+		for i, x := range e.Vector(r) {
+			if x != data[r*7+i] {
+				t.Fatalf("heap fallback row %d dim %d: %v != %v", r, i, x, data[r*7+i])
+			}
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2MmapUsedOnLinux(t *testing.T) {
+	if os.Getenv("X2VEC_NO_MMAP") != "" {
+		t.Skip("mmap disabled by environment")
+	}
+	p := writeV2(t, EmbeddingsSpec{
+		Kind: KindNodeEmbedding, Method: "node2vec", Rows: 4, Cols: 4,
+		Data: randomData(4, 4, 6), DType: DTypeF64,
+	})
+	e := openV2(t, p)
+	if !e.Mapped {
+		t.Skip("mmap unavailable on this platform; heap fallback covered elsewhere")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("munmap: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+}
+
+func TestSaveEmbeddingsRejectsBadSpecs(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "m.bin")
+	data := randomData(2, 2, 7)
+	cases := []struct {
+		name string
+		spec EmbeddingsSpec
+		want error
+	}{
+		{"hom class kind", EmbeddingsSpec{Kind: KindHomClass, Rows: 2, Cols: 2, Data: data, DType: DTypeF64}, ErrBadKind},
+		{"unknown dtype", EmbeddingsSpec{Kind: KindWord2Vec, Rows: 2, Cols: 2, Data: data, DType: DType(3)}, ErrBadPayload},
+		{"short data", EmbeddingsSpec{Kind: KindWord2Vec, Rows: 3, Cols: 2, Data: data, DType: DTypeF64}, ErrBadPayload},
+		{"negative shape", EmbeddingsSpec{Kind: KindWord2Vec, Rows: -1, Cols: 2, Data: data, DType: DTypeF64}, ErrBadPayload},
+	}
+	for _, tc := range cases {
+		if err := SaveEmbeddings(p, tc.spec); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestOpenEmbeddingsRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := OpenEmbeddings(write("magic.bin", []byte("nope5678"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	if _, err := OpenEmbeddings(write("short.bin", []byte("x2"))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short file: %v", err)
+	}
+	if _, err := OpenEmbeddings(write("future.bin", []byte{'x', '2', 'v', 'm', 9, 0, 1, 0})); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("future version: %v", err)
+	}
+	// A v1 hom class is a valid model file but not an embedding table.
+	hp := filepath.Join(dir, "class.bin")
+	if err := SaveHomClass(hp, []*graph.Graph{graph.Path(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEmbeddings(hp); !errors.Is(err, ErrBadKind) {
+		t.Errorf("hom class: %v", err)
+	}
+}
+
+// TestVectorIntoZeroAlloc: the serving hot path must not allocate for any
+// dtype — the daemon calls it per request.
+func TestVectorIntoZeroAlloc(t *testing.T) {
+	data := randomData(6, 32, 8)
+	dst := make([]float64, 32)
+	for _, dt := range []DType{DTypeF64, DTypeF32, DTypeInt8} {
+		p := writeV2(t, EmbeddingsSpec{
+			Kind: KindNodeEmbedding, Method: "node2vec", Rows: 6, Cols: 32, Data: data, DType: dt,
+		})
+		e := openV2(t, p)
+		if avg := testing.AllocsPerRun(100, func() {
+			e.VectorInto(dst, 3)
+		}); avg != 0 {
+			t.Errorf("%v VectorInto allocates %v times per call, want 0", dt, avg)
+		}
+	}
+}
+
+// TestInt8QualityGate: the train-time gate must pass on realistic
+// embedding magnitudes and report degraded similarity, not panic, on
+// pathological rows.
+func TestInt8QualityGate(t *testing.T) {
+	mean, min := Int8Quality(randomData(50, 16, 9), 50, 16)
+	if mean < 0.999 || min < 0.99 {
+		t.Errorf("int8 quality on Gaussian rows: mean %v min %v, expected to clear the gate", mean, min)
+	}
+	// One dominant value starves the rest of the row of resolution: the
+	// small components sit below half a quantisation step and vanish.
+	bad := make([]float64, 64)
+	bad[0] = 1
+	for i := 1; i < len(bad); i++ {
+		bad[i] = 0.003
+	}
+	_, minBad := Int8Quality(bad, 1, 64)
+	if minBad > 0.9999 {
+		t.Errorf("starved row reported min cosine %v; the gate must see the damage", minBad)
+	}
+	if m, n := Int8Quality(nil, 0, 4); m != 1 || n != 1 {
+		t.Errorf("empty table: %v %v", m, n)
+	}
+}

@@ -117,6 +117,12 @@ func New(opts Options) *Server {
 // Stats returns a snapshot of the serving metrics.
 func (s *Server) Stats() Snapshot { return s.stats.Snapshot() }
 
+// ObserveEmbed records one /embed lookup in the "embed" pipeline. Model
+// lookups run in the daemon against the opened embedding table — outside
+// the batching pipelines — but they belong on the same /stats surface as
+// every other request the process serves.
+func (s *Server) ObserveEmbed(start time.Time) { s.stats.observe("embed", start) }
+
 // Close drains in-flight requests and stops all pipeline dispatchers.
 // Subsequent requests return ErrClosed.
 func (s *Server) Close() {

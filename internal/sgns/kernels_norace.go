@@ -1,0 +1,22 @@
+//go:build !race
+
+package sgns
+
+import "repro/internal/linalg/f32"
+
+// Float32 twins of the ld/st accessor scheme (params_norace.go): in normal
+// builds the shared-parameter kernels are the plain fused loops of
+// internal/linalg/f32 — concurrent Hogwild workers race on individual
+// float32 words, last writer wins, statistically benign. Under -race the
+// versions in kernels_race.go replace these with relaxed-atomic scalar
+// loops so the detector sees a synchronised program.
+
+func ld32(s []float32, i int) float32 { return s[i] }
+
+func st32(s []float32, i int, v float32) { s[i] = v }
+
+func dot32(a, b []float32) float32 { return f32.Dot(a, b) }
+
+func pairUpdate32(g float32, in, out, grad []float32) { f32.PairUpdate(g, in, out, grad) }
+
+func addAndZero32(dst, grad []float32) { f32.AddAndZero(dst, grad) }

@@ -1,0 +1,47 @@
+//go:build race
+
+package sgns
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Race-detector builds route every shared float32 parameter access through
+// relaxed (load/store, not read-modify-write) atomics on the bit patterns,
+// exactly like the float64 accessors in params_race.go. The fused f32
+// kernels are replaced by scalar loops over these accessors: slower, but
+// `go test -race` observes a synchronised program while normal builds keep
+// the unrolled kernels of internal/linalg/f32.
+
+func ld32(s []float32, i int) float32 {
+	return math.Float32frombits(atomic.LoadUint32((*uint32)(unsafe.Pointer(&s[i]))))
+}
+
+func st32(s []float32, i int, v float32) {
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(&s[i])), math.Float32bits(v))
+}
+
+func dot32(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += ld32(a, i) * ld32(b, i)
+	}
+	return s
+}
+
+func pairUpdate32(g float32, in, out, grad []float32) {
+	for i := range in {
+		o := ld32(out, i)
+		grad[i] += g * o
+		st32(out, i, o+g*ld32(in, i))
+	}
+}
+
+func addAndZero32(dst, grad []float32) {
+	for i := range dst {
+		st32(dst, i, ld32(dst, i)+grad[i])
+		grad[i] = 0
+	}
+}

@@ -1,0 +1,244 @@
+package sgns
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The float32 engine: identical training schedule, sampling, and Hogwild
+// sharding to the float64 engine in sgns.go, but with parameters in flat
+// []float32 matrices and the inner loop running the fused kernels of
+// internal/linalg/f32 (dot → sigmoid LUT → one-pass paired axpy). Float32
+// halves the parameter memory traffic — the resource the SGNS inner loop is
+// actually bound by — and the fused pair update touches each output-row
+// element once instead of twice.
+//
+// The float64 engine remains the quality/determinism oracle per repo
+// convention: TestF32MatchesF64Training gates the f32 path on per-row
+// cosine similarity against float64 training from the same seed, and the
+// embed package gates it on CommunityRecovery over an SBM graph. Both
+// engines consume the master RNG identically (init draws, worker seeds,
+// per-pair negative draws), so with Workers: 1 the two trajectories differ
+// only by rounding.
+
+// Model32 holds float32 parameter matrices in flat row-major layout — the
+// float32 counterpart of Model.
+type Model32 struct {
+	Dim     int
+	InRows  int
+	OutRows int
+	In      []float32 // InRows x Dim: the embedding used downstream
+	Out     []float32 // OutRows x Dim: context vectors (aliases In when Shared)
+}
+
+// Vector returns row i of the input matrix — the embedding of token/doc i.
+func (m *Model32) Vector(i int) []float32 {
+	return m.In[i*m.Dim : (i+1)*m.Dim : (i+1)*m.Dim]
+}
+
+// Context returns row i of the output (context) matrix.
+func (m *Model32) Context(i int) []float32 {
+	return m.Out[i*m.Dim : (i+1)*m.Dim : (i+1)*m.Dim]
+}
+
+// Float64 converts the input matrix to a flat []float64 — the boundary
+// back to the float64 world downstream consumers (linalg.Matrix, the model
+// store's float64 blocks) live in. The conversion is exact.
+func (m *Model32) Float64() []float64 {
+	out := make([]float64, len(m.In))
+	for i, x := range m.In {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Train32 runs skip-gram SGNS on the float32 fused-kernel engine. Semantics
+// match Train: token ids in [0, vocab), both matrices vocab rows, Workers: 1
+// is bit-deterministic for a fixed seed.
+func Train32(corpus [][]int, vocab int, cfg Config, seed int64) *Model32 {
+	return train32(corpus, vocab, vocab, false, cfg, seed)
+}
+
+// TrainDBOW32 runs PV-DBOW on the float32 fused-kernel engine. Semantics
+// match TrainDBOW.
+func TrainDBOW32(docs [][]int, nDocs, nWords int, cfg Config, seed int64) *Model32 {
+	return train32(docs, nDocs, nWords, true, cfg, seed)
+}
+
+// trainer32 is the float32 twin of trainer: workers mutate in/out through
+// the ld32/st32-based fused kernels (plain f32 kernels in normal builds,
+// relaxed atomics under -race); everything else is read-only after
+// construction (steps is atomic).
+type trainer32 struct {
+	dim      int
+	window   int
+	negative int
+	lr0      float64
+	minLR    float64
+	dbow     bool
+
+	in, out []float32
+	neg     *Alias
+
+	steps      atomic.Int64
+	totalSteps float64
+}
+
+func train32(sentences [][]int, inRows, outRows int, dbow bool, cfg Config, seed int64) *Model32 {
+	if cfg.Dim <= 0 || inRows <= 0 || outRows <= 0 {
+		panic("sgns: invalid configuration") //x2vec:allow nopanic config precondition validated by exported wrappers
+	}
+	if cfg.Shared && inRows != outRows {
+		panic("sgns: Shared vectors require equal In/Out row counts") //x2vec:allow nopanic config precondition validated by exported wrappers
+	}
+	dim := cfg.Dim
+	master := rand.New(rand.NewSource(seed))
+	m := &Model32{Dim: dim, InRows: inRows, OutRows: outRows}
+	m.In = make([]float32, inRows*dim)
+	scale := 0.5 / float64(dim)
+	for i := range m.In {
+		m.In[i] = float32((master.Float64()*2 - 1) * scale)
+	}
+	if cfg.Shared {
+		m.Out = m.In
+	} else {
+		m.Out = make([]float32, outRows*dim)
+	}
+
+	power := cfg.UnigramPower
+	if power == 0 {
+		power = 0.75
+	}
+	freq := make([]float64, outRows)
+	totalTokens := 0
+	for _, s := range sentences {
+		totalTokens += len(s)
+		for _, w := range s {
+			freq[w]++
+		}
+	}
+	for i, f := range freq {
+		if f > 0 {
+			freq[i] = math.Pow(f, power)
+		}
+	}
+
+	t := &trainer32{
+		dim:        dim,
+		window:     cfg.Window,
+		negative:   cfg.Negative,
+		lr0:        cfg.LearningRate,
+		minLR:      cfg.MinLearningRate,
+		dbow:       dbow,
+		in:         m.In,
+		out:        m.Out,
+		neg:        NewAlias(freq),
+		totalSteps: float64(cfg.Epochs*totalTokens) + 1,
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sentences) {
+		workers = len(sentences)
+	}
+	if workers <= 1 {
+		rng := NewFastRand(uint64(master.Int63()))
+		grad := make([]float32, dim)
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			for si, s := range sentences {
+				t.sentence(s, si, rng, grad)
+			}
+		}
+		return m
+	}
+	seeds := make([]int64, workers)
+	for w := range seeds {
+		seeds[w] = master.Int63()
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := NewFastRand(uint64(seeds[w]))
+			grad := make([]float32, dim)
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for si := w; si < len(sentences); si += workers {
+					t.sentence(sentences[si], si, rng, grad)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}
+
+// sentence trains one sentence on the fused float32 kernels; grad is the
+// worker's dim-sized scratch (zeroed on entry and on exit). The loop
+// allocates nothing.
+//
+//x2vec:hotpath
+func (t *trainer32) sentence(sent []int, doc int, rng *FastRand, grad []float32) {
+	if len(sent) == 0 {
+		return
+	}
+	done := t.steps.Add(int64(len(sent)))
+	lr := t.lr0 * (1 - float64(done)/t.totalSteps)
+	if lr < t.minLR {
+		lr = t.minLR
+	}
+	if t.dbow {
+		for _, w := range sent {
+			t.update(doc, w, float32(lr), rng, grad)
+		}
+		return
+	}
+	for i, center := range sent {
+		lo := i - t.window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + t.window
+		if hi >= len(sent) {
+			hi = len(sent) - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i {
+				continue
+			}
+			t.update(center, sent[j], float32(lr), rng, grad)
+		}
+	}
+}
+
+// update applies one positive (inRow, ctx) update plus Negative sampled
+// negative updates, accumulating the input-row gradient in grad and
+// applying it once at the end — the same schedule as the float64 oracle,
+// but every row pass is a fused kernel.
+func (t *trainer32) update(inRow, ctx int, lr float32, rng *FastRand, grad []float32) {
+	dim := t.dim
+	in := t.in[inRow*dim : inRow*dim+dim]
+	t.apply(in, ctx, 1, lr, grad)
+	for k := 0; k < t.negative; k++ {
+		n := t.neg.Pick(rng.Intn(t.neg.N()), rng.Float64())
+		if n == ctx {
+			continue
+		}
+		t.apply(in, n, 0, lr, grad)
+	}
+	addAndZero32(in, grad)
+}
+
+// apply adds one (input row, output row) gradient step: fused dot, sigmoid
+// LUT, then the fused pair update (grad += g*out; out += g*in in one pass).
+func (t *trainer32) apply(in []float32, target int, label, lr float32, grad []float32) {
+	dim := len(in)
+	out := t.out[target*dim : target*dim+dim]
+	g := (label - Sigmoid32(dot32(in, out))) * lr
+	pairUpdate32(g, in, out, grad)
+}

@@ -1,0 +1,198 @@
+package sgns
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func cosine32v64(a []float32, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * b[i]
+		na += float64(a[i]) * float64(a[i])
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func groupGap32(m *Model32) float64 {
+	var intra, inter float64
+	var ni, nx int
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			va, vb := m.Vector(a), m.Vector(b)
+			var dot, na, nb float64
+			for i := range va {
+				dot += float64(va[i]) * float64(vb[i])
+				na += float64(va[i]) * float64(va[i])
+				nb += float64(vb[i]) * float64(vb[i])
+			}
+			sim := 0.0
+			if na > 0 && nb > 0 {
+				sim = dot / math.Sqrt(na*nb)
+			}
+			if (a < 5) == (b < 5) {
+				intra += sim
+				ni++
+			} else {
+				inter += sim
+				nx++
+			}
+		}
+	}
+	return intra/float64(ni) - inter/float64(nx)
+}
+
+// The determinism contract carries over: Workers: 1 f32 training is
+// bit-identical run to run for a fixed seed.
+func TestF32SequentialDeterminism(t *testing.T) {
+	corpus := groupedCorpus(rand.New(rand.NewSource(1)), 50)
+	m1 := Train32(corpus, 10, testConfig(), 99)
+	m2 := Train32(corpus, 10, testConfig(), 99)
+	for i := range m1.In {
+		if m1.In[i] != m2.In[i] {
+			t.Fatal("Workers:1 f32 training must be bit-identical under a fixed seed")
+		}
+	}
+	for i := range m1.Out {
+		if m1.Out[i] != m2.Out[i] {
+			t.Fatal("Workers:1 f32 context vectors must be bit-identical under a fixed seed")
+		}
+	}
+}
+
+// The f64-oracle equivalence gate: both engines consume the master RNG
+// identically (init draws, per-pair negative draws), so sequential f32 and
+// f64 training from the same seed walk the same trajectory up to float32
+// rounding and may differ only marginally — every trained row must stay
+// nearly parallel to its float64 twin.
+func TestF32MatchesF64Training(t *testing.T) {
+	corpus := groupedCorpus(rand.New(rand.NewSource(8)), 200)
+	cfg := testConfig()
+	m64 := Train(corpus, 10, cfg, 21)
+	m32 := Train32(corpus, 10, cfg, 21)
+	if m32.InRows != m64.InRows || m32.OutRows != m64.OutRows || m32.Dim != m64.Dim {
+		t.Fatalf("shape mismatch: f32 %dx%d/%d, f64 %dx%d/%d",
+			m32.InRows, m32.OutRows, m32.Dim, m64.InRows, m64.OutRows, m64.Dim)
+	}
+	minCos, sumCos := 1.0, 0.0
+	for r := 0; r < m32.InRows; r++ {
+		c := cosine32v64(m32.Vector(r), m64.In[r*m64.Dim:(r+1)*m64.Dim])
+		sumCos += c
+		if c < minCos {
+			minCos = c
+		}
+	}
+	mean := sumCos / float64(m32.InRows)
+	if mean < 0.995 || minCos < 0.98 {
+		t.Errorf("f32 training diverged from the f64 oracle: mean row cosine %.5f (want >= 0.995), min %.5f (want >= 0.98)", mean, minCos)
+	}
+	// And the learned structure matches: both engines separate the groups
+	// by a comparable margin.
+	gap64 := groupGap(m64)
+	gap32 := groupGap32(m32)
+	if gap32 <= 0 {
+		t.Errorf("f32 model failed to separate groups, gap=%v", gap32)
+	}
+	if math.Abs(gap32-gap64) > 0.1 {
+		t.Errorf("f32 group gap %v strays from f64 oracle gap %v", gap32, gap64)
+	}
+}
+
+// Hogwild f32 must keep quality: multi-worker training separates the
+// co-occurrence groups like the sequential run.
+func TestF32HogwildQuality(t *testing.T) {
+	corpus := groupedCorpus(rand.New(rand.NewSource(9)), 300)
+	cfg := testConfig()
+	cfg.Workers = 4
+	m := Train32(corpus, 10, cfg, 7)
+	if gap := groupGap32(m); gap <= 0 {
+		t.Errorf("hogwild f32 model failed to separate groups, gap=%v", gap)
+	}
+}
+
+func TestF32SharedVectorsAlias(t *testing.T) {
+	m := Train32([][]int{{0, 1}}, 2, Config{
+		Dim: 4, Window: 1, Negative: 2, LearningRate: 0.05, Epochs: 1, Workers: 1, Shared: true,
+	}, 5)
+	if &m.Out[0] != &m.In[0] {
+		t.Error("Shared must alias Out onto In in the f32 engine")
+	}
+}
+
+func TestF32DBOWShapes(t *testing.T) {
+	docs := [][]int{{0, 1, 2}, {2, 3, 4}}
+	m := TrainDBOW32(docs, 2, 5, testConfig(), 3)
+	if m.InRows != 2 || m.OutRows != 5 {
+		t.Fatalf("DBOW32 shapes: in=%d out=%d", m.InRows, m.OutRows)
+	}
+}
+
+func TestFloat64ConversionExact(t *testing.T) {
+	m := Train32(groupedCorpus(rand.New(rand.NewSource(10)), 20), 10, testConfig(), 4)
+	f := m.Float64()
+	for i, x := range m.In {
+		if f[i] != float64(x) {
+			t.Fatalf("Float64()[%d] = %v, want exact %v", i, f[i], x)
+		}
+	}
+}
+
+// The f32 steady-state inner loop must not allocate, like its f64 twin.
+func TestF32ZeroAllocSteadyState(t *testing.T) {
+	corpus := groupedCorpus(rand.New(rand.NewSource(6)), 10)
+	cfg := testConfig()
+	m := Train32(corpus, 10, cfg, 13)
+	tr := &trainer32{
+		dim:        cfg.Dim,
+		window:     cfg.Window,
+		negative:   cfg.Negative,
+		lr0:        cfg.LearningRate,
+		minLR:      cfg.MinLearningRate,
+		in:         m.In,
+		out:        m.Out,
+		neg:        NewAlias([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}),
+		totalSteps: 1e9,
+	}
+	rng := NewFastRand(14)
+	grad := make([]float32, cfg.Dim)
+	sent := corpus[0]
+	if avg := testing.AllocsPerRun(200, func() {
+		tr.sentence(sent, 0, rng, grad)
+	}); avg != 0 {
+		t.Errorf("f32 steady-state training allocates %v times per sentence, want 0", avg)
+	}
+}
+
+func TestTrain32PanicsOnBadConfig(t *testing.T) {
+	for _, f := range []func(){
+		func() { Train32(nil, 0, testConfig(), 1) },
+		func() { Train32(nil, 3, Config{Dim: 0}, 1) },
+		func() { TrainDBOW32(nil, 2, 3, Config{Dim: 4, Shared: true}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid f32 configuration should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSigmoid32Table(t *testing.T) {
+	if Sigmoid32(100) != 1 || Sigmoid32(-100) != 0 {
+		t.Error("Sigmoid32 must saturate")
+	}
+	for _, x := range []float32{-7.5, -2, -0.3, 0, 0.3, 2, 7.5} {
+		exact := 1 / (1 + math.Exp(-float64(x)))
+		if d := math.Abs(float64(Sigmoid32(x)) - exact); d > 5e-3 {
+			t.Errorf("Sigmoid32(%v) off by %v", x, d)
+		}
+	}
+}

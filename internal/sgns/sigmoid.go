@@ -13,12 +13,16 @@ const (
 	sigmoidMaxX      = 8.0
 )
 
-var sigmoidTable [sigmoidTableSize]float64
+var (
+	sigmoidTable   [sigmoidTableSize]float64
+	sigmoidTable32 [sigmoidTableSize]float32
+)
 
 func init() {
 	for i := range sigmoidTable {
 		x := (float64(i)/sigmoidTableSize*2 - 1) * sigmoidMaxX
 		sigmoidTable[i] = 1 / (1 + math.Exp(-x))
+		sigmoidTable32[i] = float32(sigmoidTable[i])
 	}
 }
 
@@ -32,4 +36,17 @@ func Sigmoid(x float64) float64 {
 		return 0
 	}
 	return sigmoidTable[int((x+sigmoidMaxX)*(sigmoidTableSize/(2*sigmoidMaxX)))]
+}
+
+// Sigmoid32 is the float32 face of the same lookup table, used by the
+// fused-kernel trainer: identical buckets, entries rounded once at table
+// build, saturating to exactly 0 and 1 beyond ±8.
+func Sigmoid32(x float32) float32 {
+	if x >= sigmoidMaxX {
+		return 1
+	}
+	if x <= -sigmoidMaxX {
+		return 0
+	}
+	return sigmoidTable32[int((x+sigmoidMaxX)*(sigmoidTableSize/(2*sigmoidMaxX)))]
 }

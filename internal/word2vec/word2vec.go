@@ -86,6 +86,29 @@ func Train(corpus [][]int, vocab int, cfg Config, rng *rand.Rand) *Model {
 	}
 }
 
+// Train32 runs SGNS on the float32 fused-kernel engine (flat []float32
+// matrices, unrolled dot/paired-axpy kernels from internal/linalg/f32) and
+// returns the raw engine model. The float64 Train remains the
+// quality/determinism oracle; Train32 is the throughput path — same
+// schedule, same sampling, half the parameter memory traffic. With
+// cfg.Workers == 1 the result is bit-identical run to run for a fixed rng
+// seed.
+func Train32(corpus [][]int, vocab int, cfg Config, rng *rand.Rand) *sgns.Model32 {
+	if cfg.Dim <= 0 || vocab <= 0 {
+		panic("word2vec: invalid configuration") //x2vec:allow nopanic config precondition; cmd layer validates flags before calling
+	}
+	return sgns.Train32(corpus, vocab, sgns.Config{
+		Dim:             cfg.Dim,
+		Window:          cfg.Window,
+		Negative:        cfg.Negative,
+		LearningRate:    cfg.LearningRate,
+		MinLearningRate: cfg.MinLearningRate,
+		Epochs:          cfg.Epochs,
+		UnigramPower:    cfg.UnigramPower,
+		Workers:         cfg.Workers,
+	}, rng.Int63())
+}
+
 // rowViews slices a flat row-major matrix into per-row views (no copy).
 func rowViews(flat []float64, rows, dim int) [][]float64 {
 	out := make([][]float64, rows)
