@@ -531,3 +531,122 @@ func BenchmarkRandomWalksNode2vecBias300(b *testing.B) {
 		embed.RandomWalks(g, cfg, rand.New(rand.NewSource(50)))
 	}
 }
+
+// --- Dynamic-graph refinement benchmarks: incremental vs from-scratch ---
+//
+// The from-scratch side re-refines the whole 120-graph kernel corpus after
+// a mutation — the only option before wl.Delta. The incremental side keeps
+// one Delta session per corpus graph and pays only the dirty frontier. The
+// 1-edge case is the serving-loop steady state (one mutation arrives, the
+// corpus colourings must be current again); the 1% and 10% batches scale
+// the delta until the fallback threshold starts doing the work. CI runs
+// these at -benchtime=1x as a smoke job (BENCH_Dynamic.json artifact).
+
+const dynRounds = 4
+
+// dynSession pairs a Delta with a designated toggle pair that starts
+// absent, so repeated toggles alternate insert/delete and the session stays
+// in steady state across b.N iterations.
+type dynSession struct {
+	d       *wl.Delta
+	u, v    int
+	present bool
+}
+
+func (s *dynSession) toggle(b *testing.B) {
+	b.Helper()
+	var err error
+	if s.present {
+		err = s.d.DeleteEdge(s.u, s.v)
+	} else {
+		err = s.d.InsertEdge(s.u, s.v)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.present = !s.present
+}
+
+func benchDeltaSessions(b *testing.B, gs []*graph.Graph) []*dynSession {
+	b.Helper()
+	ss := make([]*dynSession, len(gs))
+	for i, g := range gs {
+		d, err := wl.NewDelta(g, wl.DeltaConfig{Rounds: dynRounds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u, v := -1, -1
+	search:
+		for a := 0; a < g.N(); a++ {
+			for bb := a + 1; bb < g.N(); bb++ {
+				if !g.HasEdge(a, bb) {
+					u, v = a, bb
+					break search
+				}
+			}
+		}
+		if u < 0 {
+			b.Fatal("no free vertex pair in bench graph")
+		}
+		ss[i] = &dynSession{d: d, u: u, v: v}
+	}
+	return ss
+}
+
+func BenchmarkDynamicRefineFromScratch120(b *testing.B) {
+	gs := benchKernelCorpus(120, 20, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.RefineCorpus(gs, dynRounds)
+	}
+}
+
+func BenchmarkDynamicRefineOneEdge120(b *testing.B) {
+	ss := benchDeltaSessions(b, benchKernelCorpus(120, 20, 42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss[i%len(ss)].toggle(b)
+	}
+}
+
+// dynDeltaBatch toggles k edges spread round-robin across the corpus
+// sessions — the cost of keeping all 120 colourings current through a
+// batch of k mutations.
+func dynDeltaBatch(b *testing.B, k int) {
+	b.Helper()
+	ss := benchDeltaSessions(b, benchKernelCorpus(120, 20, 42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < k; j++ {
+			ss[(i*k+j)%len(ss)].toggle(b)
+		}
+	}
+}
+
+// ~3.4K edges across the corpus: 34 mutations is the 1% delta, 340 the 10%.
+func BenchmarkDynamicRefineDelta1Pct120(b *testing.B)  { dynDeltaBatch(b, 34) }
+func BenchmarkDynamicRefineDelta10Pct120(b *testing.B) { dynDeltaBatch(b, 340) }
+
+// The per-graph regime: on one 1500-vertex sparse graph, a single edge
+// toggle against a full re-refinement of the same graph.
+
+func benchDynLargeGraph() *graph.Graph {
+	return graph.Random(1500, 0.004, rand.New(rand.NewSource(53)))
+}
+
+func BenchmarkDynamicRefineFromScratchLarge(b *testing.B) {
+	g := benchDynLargeGraph()
+	gs := []*graph.Graph{g}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.RefineCorpus(gs, dynRounds)
+	}
+}
+
+func BenchmarkDynamicRefineOneEdgeLarge(b *testing.B) {
+	ss := benchDeltaSessions(b, []*graph.Graph{benchDynLargeGraph()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss[0].toggle(b)
+	}
+}

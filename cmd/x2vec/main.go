@@ -17,6 +17,10 @@
 //	x2vec train -model M.bin METHOD FILE...      train once and persist (node2vec, deepwalk, line,
 //	                                             graph2vec) or save a pattern class (homclass); the
 //	                                             saved file feeds `x2vec embed -model` and x2vecd
+//	x2vec train -warm P.bin -model M.bin node2vec FILE
+//	                                             warm-start fine-tune from a saved parent in a
+//	                                             fraction of the epochs; the child's lineage chain
+//	                                             records the parent's file CRC
 //	x2vec dist NORM A B                          aligned distance (frobenius, l1, cut) — small graphs only
 //
 // -rounds sets the WL refinement depth (-1, the default, refines to
@@ -45,6 +49,7 @@ import (
 	"repro/internal/graph2vec"
 	"repro/internal/hom"
 	"repro/internal/kernel"
+	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/similarity"
 	"repro/internal/wl"
@@ -331,10 +336,11 @@ func cmdTrain(args []string) error {
 	f32 := fs.Bool("f32", false, "train on the float32 fused-kernel SGNS engine (node2vec, deepwalk, graph2vec)")
 	format := fs.String("format", "v2", "model file format: v2 (mmap-friendly serving layout) or v1 (legacy decode-on-load)")
 	quantize := fs.String("quantize", "none", "embedding storage tier: none or int8 (v2 only; symmetric per-row scales behind a cosine quality gate)")
+	warm := fs.String("warm", "", "warm-start node2vec/deepwalk from this saved model instead of random init; the output records the parent in its lineage chain")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	usageErr := fmt.Errorf("usage: x2vec train [-d D] [-p P] [-q Q] [-workers N] [-epochs E] [-f32] [-format v1|v2] [-quantize none|int8] -model M.bin {node2vec|deepwalk|line|graph2vec|homclass} FILE...")
+	usageErr := fmt.Errorf("usage: x2vec train [-d D] [-p P] [-q Q] [-workers N] [-epochs E] [-f32] [-warm PARENT.bin] [-format v1|v2] [-quantize none|int8] -model M.bin {node2vec|deepwalk|line|graph2vec|homclass} FILE...")
 	if *modelPath == "" || fs.NArg() < 1 {
 		return usageErr
 	}
@@ -351,6 +357,14 @@ func cmdTrain(args []string) error {
 		return fmt.Errorf("unknown -quantize %q (want none or int8)", *quantize)
 	}
 	method, files := fs.Arg(0), fs.Args()[1:]
+	if *warm != "" {
+		if method != "node2vec" && method != "deepwalk" {
+			return fmt.Errorf("-warm fine-tunes the SGNS walk methods only (node2vec, deepwalk)")
+		}
+		if *format == "v1" {
+			return fmt.Errorf("-warm records a lineage chain, which needs -format v2")
+		}
+	}
 	rng := rand.New(rand.NewSource(1))
 
 	loadOne := func() (*graph.Graph, error) {
@@ -363,12 +377,12 @@ func cmdTrain(args []string) error {
 	// saveNode persists a node embedding in the chosen format; saveDocs is
 	// its graph2vec twin. Both route v2 through the quantisation-aware
 	// helper below.
-	saveNode := func(e *embed.NodeEmbedding) error {
+	saveNode := func(e *embed.NodeEmbedding, lineage []model.LineageEntry) error {
 		if *format == "v1" {
 			return model.SaveNodeEmbedding(*modelPath, e)
 		}
 		return saveEmbeddingsFile(*modelPath, model.KindNodeEmbedding, e.Method,
-			e.Vectors.Rows, e.Vectors.Cols, e.Vectors.Data, *f32, *quantize)
+			e.Vectors.Rows, e.Vectors.Cols, e.Vectors.Data, *f32, *quantize, lineage)
 	}
 
 	switch method {
@@ -381,13 +395,16 @@ func cmdTrain(args []string) error {
 		if method == "deepwalk" {
 			pp, qq = 1, 1
 		}
+		if *warm != "" {
+			return fineTuneNode(g, method, *warm, *modelPath, pp, qq, *workers, *epochs, *quantize, rng)
+		}
 		var e *embed.NodeEmbedding
 		if *f32 {
 			e = embed.Node2VecWorkersF32(g, *d, pp, qq, *workers, rng)
 		} else {
 			e = embed.Node2VecWorkers(g, *d, pp, qq, *workers, rng)
 		}
-		if err := saveNode(e); err != nil {
+		if err := saveNode(e, nil); err != nil {
 			return err
 		}
 		fmt.Printf("saved %s model: %d vertices x %d dims -> %s\n", method, g.N(), *d, *modelPath)
@@ -404,7 +421,7 @@ func cmdTrain(args []string) error {
 			ep = 30
 		}
 		e := embed.LINE(g, *d, ep, 0.025, rng)
-		if err := saveNode(e); err != nil {
+		if err := saveNode(e, nil); err != nil {
 			return err
 		}
 		fmt.Printf("saved line model: %d vertices x %d dims -> %s\n", g.N(), *d, *modelPath)
@@ -433,7 +450,7 @@ func cmdTrain(args []string) error {
 			saveErr = model.SaveGraph2Vec(*modelPath, m)
 		} else {
 			saveErr = saveEmbeddingsFile(*modelPath, model.KindGraph2Vec, "graph2vec",
-				m.Vectors.Rows, m.Vectors.Cols, m.Vectors.Data, *f32, *quantize)
+				m.Vectors.Rows, m.Vectors.Cols, m.Vectors.Data, *f32, *quantize, nil)
 		}
 		if saveErr != nil {
 			return saveErr
@@ -473,7 +490,8 @@ func cmdTrain(args []string) error {
 // round-trip exactly either way), and -quantize int8 swaps the dense block
 // for the symmetric per-row-scale tier, refusing when the quantised
 // vectors stray from the trained ones (the pinned cosine regression gate).
-func saveEmbeddingsFile(path string, kind model.Kind, method string, rows, cols int, data []float64, f32 bool, quantize string) error {
+// A non-empty lineage records the fine-tune ancestry in the file header.
+func saveEmbeddingsFile(path string, kind model.Kind, method string, rows, cols int, data []float64, f32 bool, quantize string, lineage []model.LineageEntry) error {
 	dtype := model.DTypeF64
 	if f32 {
 		dtype = model.DTypeF32
@@ -487,7 +505,61 @@ func saveEmbeddingsFile(path string, kind model.Kind, method string, rows, cols 
 	}
 	return model.SaveEmbeddings(path, model.EmbeddingsSpec{
 		Kind: kind, Method: method, Rows: rows, Cols: cols, Data: data, DType: dtype,
+		Lineage: lineage,
 	})
+}
+
+// fineTuneNode is the -warm path of `x2vec train`: load a parent model,
+// fine-tune it on the (possibly mutated) graph through the float32 warm-
+// start engine for a fraction of the from-scratch epoch budget, and save
+// the child with a lineage entry pointing at the parent's file CRC — the
+// identity x2vecd reports per served generation. The dimension comes from
+// the parent (warm-start requires matching shapes), not -d.
+func fineTuneNode(g *graph.Graph, method, warmPath, outPath string, p, q float64, workers, epochs int, quantize string, rng *rand.Rand) error {
+	parent, err := model.OpenEmbeddings(warmPath)
+	if err != nil {
+		return err
+	}
+	if err := parent.Verify(); err != nil {
+		parent.Close()
+		return err
+	}
+	if parent.Kind != model.KindNodeEmbedding {
+		parent.Close()
+		return fmt.Errorf("-warm wants a node-embedding model, got %v", parent.Kind)
+	}
+	warm := linalg.NewMatrix(parent.Rows, parent.Cols)
+	row := make([]float64, parent.Cols)
+	for v := 0; v < parent.Rows; v++ {
+		parent.VectorInto(row, v)
+		copy(warm.Data[v*parent.Cols:(v+1)*parent.Cols], row)
+	}
+	chain := append([]model.LineageEntry(nil), parent.Lineage...)
+	parent.Close()
+	crc, err := model.FileCRC(warmPath)
+	if err != nil {
+		return err
+	}
+	seq := uint32(1)
+	if n := len(chain); n > 0 {
+		seq = chain[n-1].Seq + 1
+	}
+	chain = append(chain, model.LineageEntry{Parent: crc, Seq: seq, Note: method + " fine-tune"})
+
+	if epochs == 0 {
+		epochs = 1 // the warm-start budget: a fraction of the from-scratch default
+	}
+	e, err := embed.Node2VecFineTuneF32(g, warm.Cols, p, q, workers, epochs, warm, rng)
+	if err != nil {
+		return err
+	}
+	if err := saveEmbeddingsFile(outPath, model.KindNodeEmbedding, e.Method,
+		e.Vectors.Rows, e.Vectors.Cols, e.Vectors.Data, true, quantize, chain); err != nil {
+		return err
+	}
+	fmt.Printf("fine-tuned %s model: %d vertices x %d dims (lineage depth %d) -> %s\n",
+		method, g.N(), warm.Cols, len(chain), outPath)
+	return nil
 }
 
 func cmdDist(args []string) error {

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/model"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -197,5 +199,85 @@ func TestSubcommandErrors(t *testing.T) {
 	big := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 0\n")
 	if err := cmdDist([]string{"frobenius", triangle, big}); err == nil {
 		t.Error("lcm(3,5)=15 should be rejected")
+	}
+}
+
+// TestTrainWarmStartLineage: `train -warm` fine-tunes from a saved parent
+// and the child's lineage chain records the parent's file CRC; a second
+// generation extends the chain with an incremented sequence number.
+func TestTrainWarmStartLineage(t *testing.T) {
+	hexagon := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n")
+	dir := t.TempDir()
+	parent := filepath.Join(dir, "parent.bin")
+	if err := cmdTrain([]string{"-model", parent, "-d", "4", "-f32", "node2vec", hexagon}); err != nil {
+		t.Fatal(err)
+	}
+	child := filepath.Join(dir, "child.bin")
+	if err := cmdTrain([]string{"-model", child, "-warm", parent, "node2vec", hexagon}); err != nil {
+		t.Fatal(err)
+	}
+	parentCRC, err := model.FileCRC(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := model.OpenEmbeddings(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows != 6 || e.Cols != 4 {
+		t.Fatalf("child shape %dx%d, want 6x4 (dimension comes from the parent)", e.Rows, e.Cols)
+	}
+	want := model.LineageEntry{Parent: parentCRC, Seq: 1, Note: "node2vec fine-tune"}
+	if len(e.Lineage) != 1 || e.Lineage[0] != want {
+		t.Fatalf("child lineage %+v, want [%+v]", e.Lineage, want)
+	}
+	e.Close()
+
+	// Generation 3 chains onto generation 2.
+	grand := filepath.Join(dir, "grand.bin")
+	if err := cmdTrain([]string{"-model", grand, "-warm", child, "deepwalk", hexagon}); err != nil {
+		t.Fatal(err)
+	}
+	childCRC, err := model.FileCRC(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := model.OpenEmbeddings(grand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ge.Close()
+	if len(ge.Lineage) != 2 {
+		t.Fatalf("grandchild chain %+v, want depth 2", ge.Lineage)
+	}
+	if ge.Lineage[0] != want {
+		t.Errorf("inherited entry %+v, want %+v", ge.Lineage[0], want)
+	}
+	if got := (model.LineageEntry{Parent: childCRC, Seq: 2, Note: "deepwalk fine-tune"}); ge.Lineage[1] != got {
+		t.Errorf("new entry %+v, want %+v", ge.Lineage[1], got)
+	}
+}
+
+func TestTrainWarmStartErrors(t *testing.T) {
+	hexagon := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n")
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.bin")
+	missing := filepath.Join(dir, "missing.bin")
+	if err := cmdTrain([]string{"-model", out, "-warm", missing, "node2vec", hexagon}); err == nil {
+		t.Error("missing -warm parent should fail")
+	}
+	if err := cmdTrain([]string{"-model", out, "-warm", missing, "-format", "v1", "node2vec", hexagon}); err == nil {
+		t.Error("-warm with -format v1 should fail (lineage needs v2)")
+	}
+	if err := cmdTrain([]string{"-model", out, "-warm", missing, "line", hexagon}); err == nil {
+		t.Error("-warm with a non-SGNS method should fail")
+	}
+	// A hom class is not a node-embedding parent.
+	cp := filepath.Join(dir, "class.bin")
+	if err := cmdTrain([]string{"-model", cp, "homclass", "path:3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrain([]string{"-model", out, "-warm", cp, "node2vec", hexagon}); err == nil {
+		t.Error("hom-class parent should fail")
 	}
 }

@@ -13,15 +13,25 @@
 //	POST /homvec   {"graph": "0 1\n1 2\n"}        log-scaled homomorphism vector
 //	POST /kernel   {"name": "wl", "a": …, "b": …} kernel value between two graphs
 //	POST /wl       {"graph": "0 1\n1 2\n"}        stable WL colouring
+//	POST /reload   {"model": "path"}              hot-swap the served model; an
+//	               empty body (or SIGHUP) re-reads the current path in place
 //	GET  /healthz                                 liveness probe
 //	GET  /stats                                   cache hit rates, batch occupancy,
-//	                                              p50/p99 latency per pipeline
+//	                                              p50/p99 latency per pipeline,
+//	                                              plus the served model generation
 //
 // Concurrency model: concurrent requests to the graph pipelines coalesce
 // into shared engine batches (-batch, -batch-delay), answers for repeated —
 // even renumbered — graphs come from per-pipeline LRU caches (-cache), and
 // each pipeline's engine parallelism is capped by -workers instead of any
 // process-global knob. SIGINT/SIGTERM drain in-flight requests and exit.
+//
+// The model behind /embed lives in a serve.EmbedService: /reload (or
+// SIGHUP, for the fine-tune-and-re-save loop of a dynamic pipeline)
+// validates the new file before atomically flipping serving to it, so a
+// bad file never interrupts traffic, no request is ever dropped across a
+// swap, and every response carries the monotone model_version that /stats
+// reports.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -75,6 +86,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP re-reads the current model path in place — the signal half of
+	// /reload, for pipelines that re-save fine-tuned generations to a fixed
+	// path and nudge the daemon.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			snap, err := d.reload("")
+			if err != nil {
+				log.Printf("x2vecd: SIGHUP reload: %v", err)
+				continue
+			}
+			log.Printf("x2vecd: reloaded %s (model_version %d)", snap.Path, snap.Version)
+		}
+	}()
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("x2vecd listening on %s (model=%s)", *addr, describeModel(d))
@@ -95,14 +123,18 @@ func main() {
 }
 
 func describeModel(d *daemon) string {
-	if d.emb == nil {
+	if d.svc == nil {
+		return "none"
+	}
+	snap := d.svc.Snapshot()
+	if snap == nil {
 		return "none"
 	}
 	backing := "heap"
-	if d.emb.Mapped {
+	if snap.Mapped {
 		backing = "mmap"
 	}
-	return fmt.Sprintf("%v/%v/%s", d.emb.Kind, d.emb.DType, backing)
+	return fmt.Sprintf("%s/%s/%s", snap.Kind, snap.DType, backing)
 }
 
 // daemonConfig bundles everything newDaemon needs; split from the flag
@@ -119,45 +151,51 @@ type daemonConfig struct {
 
 type daemon struct {
 	srv *serve.Server
-	emb *model.Embeddings
+	svc *serve.EmbedService // nil when started without -model
 }
 
 func newDaemon(cfg daemonConfig) (*daemon, error) {
-	d := &daemon{}
-	if cfg.ModelPath != "" {
-		// One unified handle for every embedding kind and both format
-		// versions: v2 files serve straight from a page-aligned mapping,
-		// v1 files decode through the legacy loaders.
-		e, err := model.OpenEmbeddings(cfg.ModelPath)
-		if err != nil {
-			return nil, err
-		}
-		if !cfg.SkipVerify {
-			if err := e.Verify(); err != nil {
-				e.Close()
-				return nil, err
-			}
-		}
-		d.emb = e
-	}
 	if cfg.ClassPath != "" {
 		class, err := model.LoadHomClass(cfg.ClassPath)
 		if err != nil {
-			if d.emb != nil {
-				d.emb.Close()
-			}
 			return nil, err
 		}
 		cfg.Options.Class = class
 	}
-	d.srv = serve.New(cfg.Options)
+	d := &daemon{srv: serve.New(cfg.Options)}
+	if cfg.ModelPath != "" {
+		// The hot-swap service owns the model handle: one unified view over
+		// every embedding kind and both format versions (v2 files serve
+		// straight from a page-aligned mapping, v1 files decode through the
+		// legacy loaders), swapped atomically on /reload or SIGHUP.
+		svc, err := d.srv.NewEmbedService(cfg.ModelPath, !cfg.SkipVerify, cfg.Options.CacheSize)
+		if err != nil {
+			d.srv.Close()
+			return nil, err
+		}
+		d.svc = svc
+	}
 	return d, nil
+}
+
+// reload hot-swaps the served model. An empty path re-reads whatever path
+// the current generation came from — the SIGHUP semantics.
+func (d *daemon) reload(path string) (serve.ModelSnapshot, error) {
+	if d.svc == nil {
+		return serve.ModelSnapshot{}, errors.New("no model loaded; start x2vecd with -model")
+	}
+	if path == "" {
+		if cur := d.svc.Snapshot(); cur != nil {
+			path = cur.Path
+		}
+	}
+	return d.svc.Reload(path)
 }
 
 func (d *daemon) close() {
 	d.srv.Close()
-	if d.emb != nil {
-		d.emb.Close() // release the model mapping after the last request drained
+	if d.svc != nil {
+		d.svc.Close() // release the model mapping after the last request drained
 	}
 }
 
@@ -172,9 +210,14 @@ func (d *daemon) handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, d.srv.Stats())
+		snap := d.srv.Stats()
+		if d.svc != nil {
+			snap.Model = d.svc.Snapshot() // current generation, version, swap count
+		}
+		writeJSON(w, http.StatusOK, snap)
 	})
 	mux.HandleFunc("/embed", d.handleEmbed)
+	mux.HandleFunc("/reload", d.handleReload)
 	mux.HandleFunc("/homvec", d.handleHomVec)
 	mux.HandleFunc("/kernel", d.handleKernel)
 	mux.HandleFunc("/wl", d.handleWL)
@@ -240,9 +283,10 @@ type embedRequest struct {
 }
 
 type embedResponse struct {
-	ID     int       `json:"id"`
-	Method string    `json:"method"`
-	Vector []float64 `json:"vector"`
+	ID           int       `json:"id"`
+	Method       string    `json:"method"`
+	ModelVersion uint64    `json:"model_version"` // generation that served this vector
+	Vector       []float64 `json:"vector"`
 }
 
 func (d *daemon) handleEmbed(w http.ResponseWriter, r *http.Request) {
@@ -250,18 +294,56 @@ func (d *daemon) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if d.emb == nil {
+	if d.svc == nil {
 		writeError(w, http.StatusNotFound, errors.New("no model loaded; start x2vecd with -model"))
 		return
 	}
-	if req.ID < 0 || req.ID >= d.emb.Rows {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("id %d out of range [0,%d)", req.ID, d.emb.Rows))
+	vec, method, version, err := d.svc.Lookup(req.ID)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, serve.ErrNoModel):
+			status = http.StatusNotFound
+		case errors.Is(err, serve.ErrEmbedRange):
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
 		return
 	}
-	start := time.Now()
-	vec := d.emb.Vector(req.ID)
-	d.srv.ObserveEmbed(start)
-	writeJSON(w, http.StatusOK, embedResponse{ID: req.ID, Method: d.emb.Method, Vector: vec})
+	writeJSON(w, http.StatusOK, embedResponse{ID: req.ID, Method: method, ModelVersion: version, Vector: vec})
+}
+
+type reloadRequest struct {
+	Model string `json:"model"`
+}
+
+// handleReload hot-swaps the served model: an explicit path swaps to a new
+// file, an empty body re-reads the current path (the HTTP twin of SIGHUP).
+// On failure the current generation keeps serving and the caller gets the
+// error; on success the response is the new generation's snapshot.
+func (d *daemon) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req reloadRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if d.svc == nil {
+		writeError(w, http.StatusNotFound, errors.New("no model loaded; start x2vecd with -model"))
+		return
+	}
+	snap, err := d.reload(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	log.Printf("x2vecd: reloaded %s (model_version %d)", snap.Path, snap.Version)
+	writeJSON(w, http.StatusOK, snap)
 }
 
 type graphRequest struct {

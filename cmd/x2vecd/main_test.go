@@ -495,3 +495,120 @@ func TestCorruptV2FailsClosed(t *testing.T) {
 		d.close()
 	}
 }
+
+// saveVersioned writes a tiny v2 model whose vectors encode gen, so a
+// response proves which generation served it.
+func saveVersioned(t *testing.T, dir string, gen int) string {
+	t.Helper()
+	const rows, cols = 4, 3
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = float64(gen*100 + i/cols)
+	}
+	p := filepath.Join(dir, fmt.Sprintf("gen%d.x2vm", gen))
+	if err := model.SaveEmbeddings(p, model.EmbeddingsSpec{
+		Kind: model.KindNodeEmbedding, Method: "node2vec",
+		Rows: rows, Cols: cols, Data: data, DType: model.DTypeF64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestReloadEndpointHotSwap drives the serving half of the dynamic
+// pipeline: /embed carries the generation's model_version, /stats reports
+// the served model, POST /reload swaps generations without a restart, a
+// failed reload leaves serving untouched, and an empty body re-reads the
+// current path (the SIGHUP semantics).
+func TestReloadEndpointHotSwap(t *testing.T) {
+	dir := t.TempDir()
+	mp1 := saveVersioned(t, dir, 1)
+	d, ts := newTestDaemon(t, daemonConfig{ModelPath: mp1})
+
+	embedAt := func(id int) embedResponse {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/embed", map[string]int{"id": id})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/embed: %d %s", resp.StatusCode, body)
+		}
+		var er embedResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		return er
+	}
+
+	if er := embedAt(2); er.ModelVersion != 1 || er.Vector[0] != 102 {
+		t.Fatalf("gen 1 serving: %+v", er)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Model == nil || snap.Model.Version != 1 || snap.Model.Swaps != 1 || snap.Model.Rows != 4 {
+		t.Fatalf("/stats model section: %+v", snap.Model)
+	}
+
+	// Swap to generation 2 and verify both the response version and vectors.
+	mp2 := saveVersioned(t, dir, 2)
+	resp2, body := postJSON(t, ts.URL+"/reload", map[string]string{"model": mp2})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/reload: %d %s", resp2.StatusCode, body)
+	}
+	var ms serve.ModelSnapshot
+	if err := json.Unmarshal(body, &ms); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Version != 2 || ms.Path != mp2 {
+		t.Fatalf("reload snapshot: %+v", ms)
+	}
+	if er := embedAt(2); er.ModelVersion != 2 || er.Vector[0] != 202 {
+		t.Fatalf("gen 2 serving: %+v", er)
+	}
+
+	// A failed reload must leave generation 2 serving.
+	respBad, _ := postJSON(t, ts.URL+"/reload", map[string]string{"model": filepath.Join(dir, "missing.x2vm")})
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload of missing file: %d", respBad.StatusCode)
+	}
+	if er := embedAt(1); er.ModelVersion != 2 || er.Vector[0] != 201 {
+		t.Fatalf("serving changed after failed reload: %+v", er)
+	}
+
+	// Empty body = re-read the current path in place, same as SIGHUP (which
+	// routes through the identical d.reload("") call).
+	respHup, err := http.Post(ts.URL+"/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respHup.Body.Close()
+	if respHup.StatusCode != http.StatusOK {
+		t.Fatalf("empty-body reload: %d", respHup.StatusCode)
+	}
+	if er := embedAt(0); er.ModelVersion != 3 || er.Vector[0] != 200 {
+		t.Fatalf("in-place reload: %+v", er)
+	}
+	if s := d.svc.Snapshot(); s.Swaps != 3 {
+		t.Fatalf("swap count %d, want 3", s.Swaps)
+	}
+
+	// Method and no-model guards.
+	respGet, err := http.Get(ts.URL + "/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respGet.Body.Close()
+	if respGet.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload: %d", respGet.StatusCode)
+	}
+	_, tsNone := newTestDaemon(t, daemonConfig{})
+	respNone, _ := postJSON(t, tsNone.URL+"/reload", map[string]string{"model": mp2})
+	if respNone.StatusCode != http.StatusNotFound {
+		t.Fatalf("/reload without -model: %d", respNone.StatusCode)
+	}
+}

@@ -1,0 +1,197 @@
+package embed
+
+// Differential pinning for incremental walk maintenance: after any
+// mutation sequence, a WalkSet's corpus must be bit-identical to a
+// from-scratch RandomWalks call on the final graph with the same master
+// seed — and walks that never visit a mutated endpoint must be the very
+// same step sequences they were before the mutation.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func walksEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkWalkSetMatchesScratch asserts the maintained corpus equals a fresh
+// RandomWalks run on the current graph with the same master seed.
+func checkWalkSetMatchesScratch(t *testing.T, ws *WalkSet, seed int64) {
+	t.Helper()
+	scratch := RandomWalks(ws.g, ws.cfg, rand.New(rand.NewSource(seed)))
+	got := ws.Corpus()
+	if len(got) != len(scratch) {
+		t.Fatalf("corpus size: incremental %d, from-scratch %d", len(got), len(scratch))
+	}
+	for i := range scratch {
+		if !walksEqual(got[i], scratch[i]) {
+			t.Fatalf("corpus walk %d diverged:\nincremental %v\nfrom-scratch %v", i, got[i], scratch[i])
+		}
+	}
+}
+
+// dynamicWalkConfigs covers the three walker regimes: uniform (DeepWalk),
+// second-order biased (node2vec), and biased with non-unit edge weights
+// in play (alias-table proposals).
+var dynamicWalkConfigs = []struct {
+	name     string
+	cfg      WalkConfig
+	weighted bool // sprinkle non-unit edge weights into the mutations
+}{
+	{"deepwalk", WalkConfig{WalksPerNode: 3, WalkLength: 8, P: 1, Q: 1}, false},
+	{"node2vec", WalkConfig{WalksPerNode: 3, WalkLength: 8, P: 0.5, Q: 2}, false},
+	{"node2vec-weighted", WalkConfig{WalksPerNode: 2, WalkLength: 6, P: 2, Q: 0.5}, true},
+}
+
+// TestDifferentialWalkInvalidation drives random insert/delete sequences
+// and checks the full from-scratch equality after every step, for every
+// walker regime.
+func TestDifferentialWalkInvalidation(t *testing.T) {
+	for _, tc := range dynamicWalkConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed = 99
+			rng := rand.New(rand.NewSource(7))
+			g := graph.Random(14, 0.2, rng)
+			ws, err := NewWalkSet(g, tc.cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWalkSetMatchesScratch(t, ws, seed)
+			for step := 0; step < 40; step++ {
+				var u, v int
+				if g.M() > 0 && rng.Float64() < 0.4 {
+					e := g.Edges()[rng.Intn(g.M())]
+					u, v = e.U, e.V
+					if !g.RemoveEdge(u, v) {
+						t.Fatalf("RemoveEdge(%d,%d) lost a listed edge", u, v)
+					}
+				} else {
+					u, v = rng.Intn(g.N()), rng.Intn(g.N())
+					w := 1.0
+					if tc.weighted && rng.Float64() < 0.5 {
+						w = float64(rng.Intn(3)) + 0.5
+					}
+					g.AddEdgeFull(u, v, w, 0)
+				}
+				if err := ws.Update(u, v); err != nil {
+					t.Fatalf("step %d: Update(%d,%d): %v", step, u, v, err)
+				}
+				checkWalkSetMatchesScratch(t, ws, seed)
+			}
+			st := ws.Stats()
+			if st.Mutations != 40 {
+				t.Fatalf("stats recorded %d mutations, want 40", st.Mutations)
+			}
+			if st.Resampled == 0 {
+				t.Fatal("no walks resampled over 40 mutations")
+			}
+		})
+	}
+}
+
+// TestWalkInvalidationUntouchedBitIdentical pins the sharper guarantee the
+// fine-tuning path relies on: walks that visit neither endpoint of the
+// mutated edge are not merely re-derivable — they are not regenerated at
+// all, and remain the exact same step sequences.
+func TestWalkInvalidationUntouchedBitIdentical(t *testing.T) {
+	for _, tc := range dynamicWalkConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			g := graph.Random(20, 0.15, rng)
+			ws, err := NewWalkSet(g, tc.cfg, rand.New(rand.NewSource(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 15; step++ {
+				before := make([][]int, len(ws.Walks()))
+				for i, w := range ws.Walks() {
+					before[i] = append([]int(nil), w...)
+				}
+				u, v := rng.Intn(g.N()), rng.Intn(g.N())
+				weight := 1.0
+				if tc.weighted && step%2 == 1 {
+					weight = 2.5
+				}
+				g.AddEdgeFull(u, v, weight, 0)
+				resampledBefore := ws.Stats().Resampled
+				if err := ws.Update(u, v); err != nil {
+					t.Fatal(err)
+				}
+				fullResample := ws.Stats().Resampled-resampledBefore == len(ws.Walks())
+				for i, w := range ws.Walks() {
+					visits := false
+					for _, x := range before[i] {
+						if x == u || x == v {
+							visits = true
+							break
+						}
+					}
+					if !visits && !fullResample && !walksEqual(w, before[i]) {
+						t.Fatalf("step %d: walk %d avoids (%d,%d) but changed: %v -> %v",
+							step, i, u, v, before[i], w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWalkSetWeightednessFlip pins the global edge case: a mutation that
+// introduces the first non-unit weight (or removes the last) changes the
+// per-step draw cadence for every walk, so the set must resample all of
+// them — and still land exactly on the from-scratch corpus.
+func TestWalkSetWeightednessFlip(t *testing.T) {
+	const seed = 21
+	g := graph.Random(10, 0.3, rand.New(rand.NewSource(1)))
+	cfg := WalkConfig{WalksPerNode: 2, WalkLength: 6, P: 1, Q: 1}
+	ws, err := NewWalkSet(g, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdgeFull(0, 1, 3.5, 0) // first weighted edge: cadence flips
+	if err := ws.Update(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Stats().FullResamples != 1 {
+		t.Fatalf("weightedness flip should force a full resample, stats: %+v", ws.Stats())
+	}
+	checkWalkSetMatchesScratch(t, ws, seed)
+	if !g.RemoveEdge(0, 1) { // last weighted edge gone: flips back
+		t.Fatal("RemoveEdge(0,1) found nothing")
+	}
+	if err := ws.Update(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Stats().FullResamples != 2 {
+		t.Fatalf("reverse flip should force a second full resample, stats: %+v", ws.Stats())
+	}
+	checkWalkSetMatchesScratch(t, ws, seed)
+}
+
+func TestWalkSetErrors(t *testing.T) {
+	g := graph.Random(5, 0.5, rand.New(rand.NewSource(2)))
+	if _, err := NewWalkSet(g, WalkConfig{WalksPerNode: 0, WalkLength: 4}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("WalksPerNode 0 accepted")
+	}
+	ws, err := NewWalkSet(g, WalkConfig{WalksPerNode: 1, WalkLength: 4, P: 1, Q: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Update(0, 5); err == nil {
+		t.Fatal("out-of-range update accepted")
+	}
+	if st := ws.Stats(); st.Mutations != 0 {
+		t.Fatalf("failed update recorded in stats: %+v", st)
+	}
+}

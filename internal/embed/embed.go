@@ -6,12 +6,12 @@
 package embed
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/graph"
 	"repro/internal/linalg"
-	"repro/internal/sgns"
 	"repro/internal/word2vec"
 )
 
@@ -117,8 +117,7 @@ func RandomWalks(g *graph.Graph, cfg WalkConfig, rng *rand.Rand) [][]int {
 	total := n * cfg.WalksPerNode
 	walks := make([][]int, total)
 	linalg.ParallelForWorkers(cfg.Workers, total, func(i int) {
-		r := sgns.NewFastRand(base ^ (uint64(i+1) * 0xd1342543de82ef95))
-		walks[i] = wk.walk(i/cfg.WalksPerNode, cfg.WalkLength, r)
+		walks[i] = wk.walk(i/cfg.WalksPerNode, cfg.WalkLength, walkRand(base, i))
 	})
 	corpus := make([][]int, 0, total)
 	for _, w := range walks {
@@ -229,6 +228,42 @@ func Node2VecWorkersF32(g *graph.Graph, d int, p, q float64, workers int, rng *r
 	x := linalg.NewMatrix(g.N(), d)
 	copy(x.Data, model.Float64())
 	return &NodeEmbedding{Vectors: x, Method: "node2vec"}
+}
+
+// Node2VecFineTuneF32 continues node2vec training from a previous
+// embedding instead of a random init: walks are sampled from the current
+// (possibly mutated) graph exactly like Node2VecWorkersF32, but the SGNS
+// input matrix warm-starts from the rows of warm — typically a saved
+// model's table reloaded after the graph changed — and trains for only
+// `epochs` passes. Because untouched regions of a mutated graph yield
+// walk windows the prior model already fits, a small epoch budget (the
+// dynamic pipeline uses ≤ 25% of the fresh-training default) recovers
+// fresh-training quality; TestWarmStartRecoversCommunities pins that on
+// an SBM perturbation. warm must be g.N() x d and is never mutated.
+func Node2VecFineTuneF32(g *graph.Graph, d int, p, q float64, workers, epochs int, warm *linalg.Matrix, rng *rand.Rand) (*NodeEmbedding, error) {
+	if warm == nil || warm.Rows != g.N() || warm.Cols != d {
+		return nil, fmt.Errorf("embed: warm start must be %dx%d to fine-tune this graph", g.N(), d)
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("embed: fine-tune needs a positive epoch budget, got %d", epochs)
+	}
+	walks := RandomWalks(g, WalkConfig{WalksPerNode: 10, WalkLength: 20, P: p, Q: q, Workers: workers}, rng)
+	cfg := word2vec.DefaultConfig()
+	cfg.Dim = d
+	cfg.Window = 5
+	cfg.Workers = workers
+	cfg.Epochs = epochs
+	w32 := make([]float32, len(warm.Data))
+	for i, x := range warm.Data {
+		w32[i] = float32(x)
+	}
+	model, err := word2vec.FineTune32(walks, g.N(), cfg, rng, w32)
+	if err != nil {
+		return nil, err
+	}
+	x := linalg.NewMatrix(g.N(), d)
+	copy(x.Data, model.Float64())
+	return &NodeEmbedding{Vectors: x, Method: "node2vec"}, nil
 }
 
 // WalkSimilarity estimates the implicit similarity matrix the random-walk

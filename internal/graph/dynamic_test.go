@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// adjacencyConsistent checks the structural invariant RemoveEdgeAt must
+// preserve: every edge record is referenced by exactly the arcs AddEdgeFull
+// would have created for it, i.e. rebuilding the adjacency from the edge
+// slice yields the same per-vertex arc multisets.
+func adjacencyConsistent(t *testing.T, g *Graph) {
+	t.Helper()
+	want := make([][]Arc, g.N())
+	for idx, e := range g.Edges() {
+		want[e.U] = append(want[e.U], Arc{To: e.V, Edge: idx})
+		if !g.Directed() {
+			want[e.V] = append(want[e.V], Arc{To: e.U, Edge: idx})
+		}
+	}
+	sortArcs := func(as []Arc) {
+		sort.Slice(as, func(i, j int) bool {
+			if as[i].To != as[j].To {
+				return as[i].To < as[j].To
+			}
+			return as[i].Edge < as[j].Edge
+		})
+	}
+	for v := 0; v < g.N(); v++ {
+		got := append([]Arc(nil), g.Arcs(v)...)
+		sortArcs(got)
+		sortArcs(want[v])
+		if len(got) != len(want[v]) {
+			t.Fatalf("vertex %d: %d arcs, want %d", v, len(got), len(want[v]))
+		}
+		for i := range got {
+			if got[i] != want[v][i] {
+				t.Fatalf("vertex %d arc %d: got %+v want %+v", v, i, got[i], want[v][i])
+			}
+		}
+	}
+}
+
+func TestRemoveEdgeBasic(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge(1,2) found nothing")
+	}
+	if g.M() != 2 || g.HasEdge(1, 2) {
+		t.Fatalf("after removal: m=%d hasEdge(1,2)=%v", g.M(), g.HasEdge(1, 2))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Fatal("removal damaged unrelated edges")
+	}
+	adjacencyConsistent(t, g)
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("second RemoveEdge(1,2) claimed success")
+	}
+	// Reverse orientation must also match on undirected graphs.
+	if !g.RemoveEdge(1, 0) {
+		t.Fatal("RemoveEdge(1,0) should match stored edge (0,1)")
+	}
+	adjacencyConsistent(t, g)
+}
+
+func TestRemoveEdgeDirected(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if g.RemoveEdge(2, 0) {
+		t.Fatal("RemoveEdge on absent arc claimed success")
+	}
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge(0,1) found nothing")
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 1) {
+		t.Fatal("directed removal deleted the wrong orientation")
+	}
+	adjacencyConsistent(t, g)
+}
+
+func TestRemoveEdgeSelfLoopAndParallel(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0) // self-loop: two arcs at vertex 0
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // parallel edge
+	g.AddEdgeFull(1, 2, 2.5, 7)
+	if !g.RemoveEdge(0, 0) {
+		t.Fatal("self-loop removal failed")
+	}
+	adjacencyConsistent(t, g)
+	if len(g.Arcs(0)) != 2 {
+		t.Fatalf("vertex 0 should keep both parallel arcs, has %d", len(g.Arcs(0)))
+	}
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("parallel edge removal failed")
+	}
+	adjacencyConsistent(t, g)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("removing one parallel edge removed both")
+	}
+	// The weighted labelled edge must survive all removals intact.
+	var found bool
+	for _, e := range g.Edges() {
+		if e.U == 1 && e.V == 2 && e.Weight == 2.5 && e.Label == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("weighted labelled edge (1,2,2.5,7) lost or damaged")
+	}
+}
+
+// TestRemoveEdgeRandomised drives long random add/remove sequences on
+// directed and undirected graphs (with self-loops and parallel edges) and
+// checks adjacency consistency after every removal.
+func TestRemoveEdgeRandomised(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(7))
+		var g *Graph
+		if directed {
+			g = NewDirected(8)
+		} else {
+			g = New(8)
+		}
+		for step := 0; step < 400; step++ {
+			if g.M() == 0 || rng.Float64() < 0.6 {
+				g.AddEdgeFull(rng.Intn(8), rng.Intn(8), float64(rng.Intn(3)+1), rng.Intn(2))
+			} else {
+				g.RemoveEdgeAt(rng.Intn(g.M()))
+			}
+			adjacencyConsistent(t, g)
+		}
+	}
+}

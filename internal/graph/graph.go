@@ -96,6 +96,74 @@ func (g *Graph) AddEdgeFull(u, v int, w float64, label int) int {
 	return idx
 }
 
+// RemoveEdgeAt deletes the edge with index idx. The last edge is swapped
+// into the vacated index, so exactly one edge index (the former last one)
+// is renumbered; adjacency-list order is not preserved. Consumers that
+// snapshot edge indices or arc order (CSR walkers, refinement sessions)
+// must rebuild or be notified after a removal — the dynamic-graph sessions
+// in wl and embed do exactly that.
+func (g *Graph) RemoveEdgeAt(idx int) {
+	if idx < 0 || idx >= len(g.edges) {
+		panic(fmt.Sprintf("graph: edge index %d out of range [0,%d)", idx, len(g.edges))) //x2vec:allow nopanic index precondition, mirrors slice bounds semantics
+	}
+	e := g.edges[idx]
+	g.removeArc(e.U, idx)
+	if !g.directed {
+		g.removeArc(e.V, idx)
+	}
+	last := len(g.edges) - 1
+	if idx != last {
+		g.edges[idx] = g.edges[last]
+		moved := g.edges[idx]
+		g.renumberArc(moved.U, last, idx)
+		if !g.directed {
+			g.renumberArc(moved.V, last, idx)
+		}
+	}
+	g.edges = g.edges[:last]
+}
+
+// RemoveEdge deletes one edge between u and v (in either stored orientation
+// for undirected graphs, u->v only for directed ones) and reports whether
+// an edge was found. With parallel edges present, exactly one is removed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			g.RemoveEdgeAt(a.Edge)
+			return true
+		}
+	}
+	return false
+}
+
+// removeArc deletes one arc with the given edge index from v's adjacency
+// list by swap-remove. Self-loops store two arcs with the same edge index
+// in one list; each call removes exactly one of them.
+func (g *Graph) removeArc(v, edge int) {
+	adj := g.adj[v]
+	for i, a := range adj {
+		if a.Edge == edge {
+			adj[i] = adj[len(adj)-1]
+			g.adj[v] = adj[:len(adj)-1]
+			return
+		}
+	}
+}
+
+// renumberArc rewrites one arc referencing edge index from to index to.
+func (g *Graph) renumberArc(v, from, to int) {
+	adj := g.adj[v]
+	for i, a := range adj {
+		if a.Edge == from {
+			adj[i].Edge = to
+			return
+		}
+	}
+}
+
 // Edges returns the underlying edge slice. Callers must not modify it.
 func (g *Graph) Edges() []Edge { return g.edges }
 

@@ -82,6 +82,18 @@ const (
 	v2ScaleAlign = 64   // scale block alignment: one cache line
 )
 
+// LineageEntry is one link of a model's provenance chain: which saved
+// model this one was fine-tuned from, and how many generations deep the
+// chain is. Parent is the parent file's trailer CRC (FileCRC), a stable
+// content identity that needs no registry; Seq is the generation number
+// (1 for the first fine-tune of a fresh model); Note is free-form
+// ("fine-tune +128 edges", a timestamp, …).
+type LineageEntry struct {
+	Parent uint32 // FileCRC of the parent model file
+	Seq    uint32 // generation number, monotone along the chain
+	Note   string
+}
+
 // EmbeddingsSpec describes one embedding table for SaveEmbeddings.
 type EmbeddingsSpec struct {
 	Kind   Kind   // KindWord2Vec, KindNodeEmbedding, or KindGraph2Vec
@@ -90,6 +102,12 @@ type EmbeddingsSpec struct {
 	Cols   int
 	Data   []float64 // row-major Rows*Cols values (exact float64 images of the parameters)
 	DType  DType     // storage precision of the vector block
+	// Lineage is the provenance chain, oldest ancestor first; a warm-started
+	// save appends one entry to its parent's chain. Stored in the v2 header
+	// after the fixed fields — readers that predate the field ignore the
+	// extra header bytes, and files that predate it read back as an empty
+	// chain, so the format stays compatible both directions.
+	Lineage []LineageEntry
 }
 
 // SaveEmbeddings writes a version-2 model file: the serving format whose
@@ -123,7 +141,10 @@ func SaveEmbeddings(path string, spec EmbeddingsSpec) error {
 		return fmt.Errorf("%w: matrix precision %d", ErrBadPayload, uint8(spec.DType))
 	}
 
-	headerLen := 4 + len(spec.Method) + 1 + 4 + 4 + 4*8
+	headerLen := 4 + len(spec.Method) + 1 + 4 + 4 + 4*8 + 4
+	for _, le := range spec.Lineage {
+		headerLen += 4 + 4 + 4 + len(le.Note)
+	}
 	dataOff := alignUp(v2HeaderOff+headerLen, v2DataAlign)
 	end := dataOff + dataLen
 	scaleOff := 0
@@ -141,6 +162,12 @@ func SaveEmbeddings(path string, spec EmbeddingsSpec) error {
 	h.u64(uint64(dataLen))
 	h.u64(uint64(scaleOff))
 	h.u64(uint64(scaleLen))
+	h.u32(uint32(len(spec.Lineage)))
+	for _, le := range spec.Lineage {
+		h.u32(le.Parent)
+		h.u32(le.Seq)
+		h.str(le.Note)
+	}
 	if len(h.buf) != headerLen {
 		return fmt.Errorf("model: internal error: v2 header %d bytes, computed %d", len(h.buf), headerLen)
 	}
@@ -251,6 +278,10 @@ type Embeddings struct {
 	Cols   int
 	DType  DType // DTypeF64 for every v1 model
 	Mapped bool  // vector views point into an mmap'ed file
+	// Lineage is the provenance chain recorded at save time, oldest
+	// ancestor first; empty for fresh models and for files that predate
+	// the field.
+	Lineage []LineageEntry
 
 	f64     []float64
 	f32     []float32
@@ -380,6 +411,30 @@ func parseV2(b []byte, mapped bool) (*Embeddings, error) {
 		}
 		offs[i] = binary.LittleEndian.Uint64(s)
 	}
+	// Lineage chain, if the header carries one (files from before the
+	// field end exactly here and read back as an empty chain).
+	var lineage []LineageEntry
+	if d.remaining() > 0 {
+		cnt, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(cnt) > d.remaining()/12 { // 12 bytes is the minimum entry encoding
+			return nil, fmt.Errorf("%w: lineage count %d exceeds header", ErrCorrupt, cnt)
+		}
+		lineage = make([]LineageEntry, cnt)
+		for i := range lineage {
+			if lineage[i].Parent, err = d.u32(); err != nil {
+				return nil, err
+			}
+			if lineage[i].Seq, err = d.u32(); err != nil {
+				return nil, err
+			}
+			if lineage[i].Note, err = d.str(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	rows, cols := int(rows32), int(cols32)
 	dtype := DType(dt)
 	var width int
@@ -414,7 +469,7 @@ func parseV2(b []byte, mapped bool) (*Embeddings, error) {
 
 	e := &Embeddings{
 		Kind: kind, Method: method, Rows: rows, Cols: cols,
-		DType: dtype, Mapped: mapped, file: b,
+		DType: dtype, Mapped: mapped, Lineage: lineage, file: b,
 	}
 	if mapped {
 		e.mapping = b
@@ -517,6 +572,30 @@ func (e *Embeddings) Close() error {
 		return nil
 	}
 	return munmapFile(m)
+}
+
+// FileCRC returns a saved model file's trailer checksum — the content
+// identity a lineage chain records as Parent. Both format versions end in
+// a CRC32 trailer over everything before it, so the value is defined for
+// any valid model file without parsing it.
+func FileCRC(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() < 4 {
+		return 0, fmt.Errorf("%w: %d bytes is too short for a model trailer", ErrCorrupt, st.Size())
+	}
+	var trailer [4]byte
+	if _, err := f.ReadAt(trailer[:], st.Size()-4); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(trailer[:]), nil
 }
 
 var errNoMmap = errors.New("model: mmap unavailable")

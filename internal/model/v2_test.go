@@ -65,8 +65,9 @@ func TestV2GoldenBytes(t *testing.T) {
 	if k := binary.LittleEndian.Uint16(b[6:8]); k != uint16(KindNodeEmbedding) {
 		t.Fatalf("kind %d", k)
 	}
-	// Header: method "x" (4+1), dtype (1), rows+cols (8), four u64 (32).
-	wantHeaderLen := 5 + 1 + 8 + 32
+	// Header: method "x" (4+1), dtype (1), rows+cols (8), four u64 (32),
+	// lineage count (4, zero for a fresh model).
+	wantHeaderLen := 5 + 1 + 8 + 32 + 4
 	if hl := binary.LittleEndian.Uint32(b[8:12]); int(hl) != wantHeaderLen {
 		t.Fatalf("header length %d, want %d", hl, wantHeaderLen)
 	}
@@ -92,6 +93,9 @@ func TestV2GoldenBytes(t *testing.T) {
 	}
 	if so := binary.LittleEndian.Uint64(h[30:38]); so != 0 {
 		t.Fatalf("scaleOff %d, want 0 for float64", so)
+	}
+	if lc := binary.LittleEndian.Uint32(h[46:50]); lc != 0 {
+		t.Fatalf("lineage count %d, want 0 for a fresh model", lc)
 	}
 	if len(b) != int(dataOff)+32+4 {
 		t.Fatalf("file is %d bytes, want data end + CRC trailer = %d", len(b), int(dataOff)+36)

@@ -1,0 +1,233 @@
+package serve
+
+// EmbedService: the hot-swappable model behind /embed. The daemon used to
+// hold one *model.Embeddings for its whole life — changing models meant a
+// restart, and a restart on a dynamic pipeline that re-saves fine-tuned
+// generations every few minutes means dropping traffic on every
+// generation. The service keeps the current model behind an atomic
+// pointer:
+//
+//   - Lookups load the pointer and pin the handle with a reference count
+//     before touching vectors. The mmap behind a v2 model must not be
+//     unmapped while a request reads from it, so a swapped-out handle is
+//     closed by whichever side drops the LAST reference — the swapper if
+//     the model is idle, the final in-flight request otherwise. Zero
+//     dropped requests, zero use-after-unmap.
+//   - Reload opens and (optionally) CRC-verifies the new file BEFORE the
+//     flip, so a bad file never interrupts serving: the old model keeps
+//     answering and the caller gets the error.
+//   - Every generation gets a monotone version number, and the vector
+//     cache key is (version, id). A stale hit across a swap is therefore
+//     structurally impossible — old entries age out of the LRU rather
+//     than being served.
+//
+// hotswap_test.go hammers lookups against a reload loop under -race and
+// asserts exactly those three properties.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Errors of the embed service, mapped by the daemon to 404/400.
+var (
+	ErrNoModel    = errors.New("serve: no model loaded")
+	ErrEmbedRange = errors.New("serve: embedding id out of range")
+)
+
+// modelHandle is one loaded model generation. refs starts at 1 (the
+// service's ownership); every lookup holds +1 for its critical section.
+// Close happens exactly once, when the last reference drops — after the
+// swap for an idle model, after the final in-flight lookup otherwise.
+type modelHandle struct {
+	emb     *model.Embeddings
+	path    string
+	version uint64
+	refs    atomic.Int64
+}
+
+// acquire pins the handle for a reader; it fails only when the handle
+// already hit zero (swapped out and fully drained), in which case the
+// caller re-reads the current pointer.
+func (h *modelHandle) acquire() bool {
+	for {
+		r := h.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if h.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+func (h *modelHandle) release() {
+	if h.refs.Add(-1) == 0 {
+		h.emb.Close()
+	}
+}
+
+// ModelSnapshot is the /stats view of the currently served model.
+type ModelSnapshot struct {
+	Path         string `json:"path"`
+	Version      uint64 `json:"model_version"` // monotone across reloads
+	Method       string `json:"method"`
+	Kind         string `json:"kind"`
+	DType        string `json:"dtype"`
+	Rows         int    `json:"rows"`
+	Cols         int    `json:"cols"`
+	Mapped       bool   `json:"mmap"`
+	LineageDepth int    `json:"lineage_depth"` // fine-tune generations recorded in the file
+	Swaps        int64  `json:"swaps"`         // successful reloads since start (initial load included)
+}
+
+// EmbedService serves vectors from the current model generation and swaps
+// generations atomically. All methods are safe for concurrent use; Lookup
+// never blocks on Reload.
+type EmbedService struct {
+	verify bool
+	cache  *lruCache[[]float64]
+	stats  *Stats
+
+	cur     atomic.Pointer[modelHandle]
+	version atomic.Uint64 // last assigned generation number
+	swaps   atomic.Int64
+	mu      sync.Mutex // serialises Reload/Close; lookups never take it
+}
+
+// NewEmbedService opens path as the first model generation of a service
+// wired into this server's "embed" stats pipeline. verify runs the
+// whole-file CRC before serving (and before every swap); cacheSize follows
+// Options.CacheSize conventions (0 = 1024, negative disables).
+func (s *Server) NewEmbedService(path string, verify bool, cacheSize int) (*EmbedService, error) {
+	if cacheSize == 0 {
+		cacheSize = 1024
+	}
+	svc := &EmbedService{verify: verify, cache: newLRU[[]float64](cacheSize), stats: s.stats}
+	if _, err := svc.Reload(path); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// Reload opens and validates path, then atomically flips serving to it.
+// On any error the current model keeps serving untouched. The swapped-out
+// generation is closed once its last in-flight lookup finishes.
+func (svc *EmbedService) Reload(path string) (ModelSnapshot, error) {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if path == "" {
+		return ModelSnapshot{}, fmt.Errorf("serve: reload needs a model path")
+	}
+	e, err := model.OpenEmbeddings(path)
+	if err != nil {
+		return ModelSnapshot{}, err
+	}
+	if svc.verify {
+		if err := e.Verify(); err != nil {
+			e.Close()
+			return ModelSnapshot{}, err
+		}
+	}
+	h := &modelHandle{emb: e, path: path, version: svc.version.Add(1)}
+	h.refs.Store(1)
+	old := svc.cur.Swap(h)
+	svc.swaps.Add(1)
+	if old != nil {
+		old.release()
+	}
+	return svc.snapshotOf(h), nil
+}
+
+// Lookup returns a copy of the vector for id from the current generation,
+// with the serving method and the generation's version — the value the
+// response must report so clients can correlate vectors with /stats.
+func (svc *EmbedService) Lookup(id int) ([]float64, string, uint64, error) {
+	start := time.Now()
+	defer func() { svc.stats.observe("embed", start) }()
+	h := svc.pin()
+	if h == nil {
+		return nil, "", 0, ErrNoModel
+	}
+	defer h.release()
+	if id < 0 || id >= h.emb.Rows {
+		return nil, "", 0, fmt.Errorf("%w: id %d outside [0,%d)", ErrEmbedRange, id, h.emb.Rows)
+	}
+	key := h.version<<32 | uint64(uint32(id))
+	if v, ok := svc.cache.get(key); ok {
+		svc.stats.hit("embed")
+		return v, h.emb.Method, h.version, nil
+	}
+	svc.stats.miss("embed")
+	v := h.emb.Vector(id) // a fresh copy: safe to cache and to return past Close
+	svc.cache.put(key, v)
+	return v, h.emb.Method, h.version, nil
+}
+
+// Rows returns the current generation's row count (0 with no model).
+func (svc *EmbedService) Rows() int {
+	h := svc.pin()
+	if h == nil {
+		return 0
+	}
+	defer h.release()
+	return h.emb.Rows
+}
+
+// Snapshot returns the /stats view of the current generation, or nil
+// after Close.
+func (svc *EmbedService) Snapshot() *ModelSnapshot {
+	h := svc.pin()
+	if h == nil {
+		return nil
+	}
+	defer h.release()
+	snap := svc.snapshotOf(h)
+	return &snap
+}
+
+// Close stops serving and releases the service's ownership of the current
+// generation; the mapping itself is released when the last in-flight
+// lookup finishes. Subsequent lookups return ErrNoModel.
+func (svc *EmbedService) Close() {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if old := svc.cur.Swap(nil); old != nil {
+		old.release()
+	}
+}
+
+// pin loads the current handle and acquires it, retrying across the
+// benign race where a generation is swapped out and drained between the
+// load and the acquire.
+func (svc *EmbedService) pin() *modelHandle {
+	for {
+		h := svc.cur.Load()
+		if h == nil {
+			return nil
+		}
+		if h.acquire() {
+			return h
+		}
+	}
+}
+
+func (svc *EmbedService) snapshotOf(h *modelHandle) ModelSnapshot {
+	return ModelSnapshot{
+		Path:         h.path,
+		Version:      h.version,
+		Method:       h.emb.Method,
+		Kind:         h.emb.Kind.String(),
+		DType:        h.emb.DType.String(),
+		Rows:         h.emb.Rows,
+		Cols:         h.emb.Cols,
+		Mapped:       h.emb.Mapped,
+		LineageDepth: len(h.emb.Lineage),
+		Swaps:        svc.swaps.Load(),
+	}
+}

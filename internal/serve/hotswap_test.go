@@ -1,0 +1,190 @@
+package serve
+
+// The hot-swap correctness hammer (issue 8 satellite 3): concurrent
+// lookups against a model-flip loop, asserting under -race that (1) no
+// lookup ever fails, (2) every returned vector belongs to the generation
+// the lookup reports — no stale-cache hits across a version boundary —
+// and (3) versions observed by any one client are monotone, as is the
+// version in the stats snapshot.
+
+import (
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// writeGenModel saves a tiny model whose every value encodes its
+// generation: row r is filled with gen*1000 + r, so one float identifies
+// both the generation and the row.
+func writeGenModel(t *testing.T, dir string, gen int) string {
+	t.Helper()
+	const rows, cols = 8, 4
+	data := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			data[r*cols+c] = float64(gen*1000 + r)
+		}
+	}
+	path := filepath.Join(dir, "gen.x2vm")
+	if gen%2 == 1 {
+		path = filepath.Join(dir, "gen-odd.x2vm")
+	}
+	err := model.SaveEmbeddings(path, model.EmbeddingsSpec{
+		Kind: model.KindNodeEmbedding, Method: "node2vec",
+		Rows: rows, Cols: cols, Data: data, DType: model.DTypeF64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEmbedServiceHotSwapHammer(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{})
+	defer srv.Close()
+	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// genOf maps a service version to the generation constant baked into
+	// that version's vectors. Written before the swap publishes the
+	// version, read by clients only after observing the version.
+	var genOf sync.Map
+	genOf.Store(uint64(1), 0)
+
+	const (
+		clients    = 8
+		lookupsPer = 400
+		swaps      = 60
+		rows       = 8
+	)
+	var failures atomic.Int64
+	var started sync.WaitGroup
+	started.Add(clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			started.Done()
+			var lastVersion uint64
+			for i := 0; i < lookupsPer; i++ {
+				id := (c + i) % rows
+				vec, method, version, err := svc.Lookup(id)
+				if err != nil {
+					t.Errorf("client %d lookup %d: %v", c, i, err)
+					failures.Add(1)
+					return
+				}
+				if method != "node2vec" {
+					t.Errorf("client %d: method %q", c, method)
+					failures.Add(1)
+					return
+				}
+				if version < lastVersion {
+					t.Errorf("client %d: version went backwards %d -> %d", c, lastVersion, version)
+					failures.Add(1)
+					return
+				}
+				lastVersion = version
+				genVal, ok := genOf.Load(version)
+				if !ok {
+					t.Errorf("client %d: lookup returned unpublished version %d", c, version)
+					failures.Add(1)
+					return
+				}
+				if want := float64(genVal.(int)*1000 + id); vec[0] != want || vec[len(vec)-1] != want {
+					t.Errorf("client %d: version %d id %d returned vector %v, want all %v — stale cache across swap",
+						c, version, id, vec, want)
+					failures.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Don't start flipping generations until every client goroutine is
+	// running, so swaps genuinely overlap in-flight lookups.
+	started.Wait()
+	var lastStatsVersion uint64
+	for gen := 1; gen <= swaps; gen++ {
+		path := writeGenModel(t, dir, gen)
+		// Publish the generation for the version the swap WILL assign:
+		// versions are assigned under the reload lock in sequence, so the
+		// next is current+1. Storing before Reload keeps the map ahead of
+		// any client that can observe the new version.
+		genOf.Store(uint64(gen+1), gen)
+		snap, err := svc.Reload(path)
+		if err != nil {
+			t.Fatalf("reload %d: %v", gen, err)
+		}
+		if snap.Version != uint64(gen+1) {
+			t.Fatalf("reload %d assigned version %d", gen, snap.Version)
+		}
+		if cur := svc.Snapshot(); cur == nil || cur.Version < lastStatsVersion {
+			t.Fatalf("stats model version regressed: %v after %d", cur, lastStatsVersion)
+		} else {
+			lastStatsVersion = cur.Version
+		}
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d lookup failures during hot swap", failures.Load())
+	}
+	if snap := svc.Snapshot(); snap.Swaps != swaps+1 {
+		t.Fatalf("swap counter %d, want %d", snap.Swaps, swaps+1)
+	}
+	// The server-level stats surface must carry the embed pipeline.
+	stats := srv.Stats()
+	if stats.Pipelines["embed"].Requests == 0 {
+		t.Fatal("embed pipeline missing from stats")
+	}
+}
+
+func TestEmbedServiceReloadFailureKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{})
+	defer srv.Close()
+	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	before := svc.Snapshot()
+
+	if _, err := svc.Reload(filepath.Join(dir, "missing.x2vm")); err == nil {
+		t.Fatal("reload of a missing file succeeded")
+	}
+	if _, err := svc.Reload(""); err == nil {
+		t.Fatal("reload with empty path succeeded")
+	}
+	vec, _, version, err := svc.Lookup(3)
+	if err != nil {
+		t.Fatalf("lookup after failed reload: %v", err)
+	}
+	if version != before.Version {
+		t.Fatalf("failed reload changed the version: %d -> %d", before.Version, version)
+	}
+	if vec[0] != 3 {
+		t.Fatalf("failed reload corrupted vectors: %v", vec)
+	}
+	if _, _, _, err := svc.Lookup(99); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	svc.Close()
+	if _, _, _, err := svc.Lookup(0); err == nil {
+		t.Fatal("lookup after Close succeeded")
+	}
+	if svc.Snapshot() != nil {
+		t.Fatal("snapshot after Close is non-nil")
+	}
+	if svc.Rows() != 0 {
+		t.Fatal("rows after Close non-zero")
+	}
+}

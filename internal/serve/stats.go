@@ -112,10 +112,13 @@ type PipelineSnapshot struct {
 	P99Micros       int64   `json:"p99_us"`
 }
 
-// Snapshot is the full /stats payload.
+// Snapshot is the full /stats payload. Model is filled in by callers that
+// serve an EmbedService (the daemon) — the batching pipelines know nothing
+// about models.
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Pipelines     map[string]PipelineSnapshot `json:"pipelines"`
+	Model         *ModelSnapshot              `json:"model,omitempty"`
 }
 
 // Snapshot returns a consistent copy of all counters.

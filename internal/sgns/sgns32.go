@@ -1,6 +1,7 @@
 package sgns
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -59,13 +60,33 @@ func (m *Model32) Float64() []float64 {
 // match Train: token ids in [0, vocab), both matrices vocab rows, Workers: 1
 // is bit-deterministic for a fixed seed.
 func Train32(corpus [][]int, vocab int, cfg Config, seed int64) *Model32 {
-	return train32(corpus, vocab, vocab, false, cfg, seed)
+	return train32(corpus, vocab, vocab, false, cfg, seed, nil)
 }
 
 // TrainDBOW32 runs PV-DBOW on the float32 fused-kernel engine. Semantics
 // match TrainDBOW.
 func TrainDBOW32(docs [][]int, nDocs, nWords int, cfg Config, seed int64) *Model32 {
-	return train32(docs, nDocs, nWords, true, cfg, seed)
+	return train32(docs, nDocs, nWords, true, cfg, seed, nil)
+}
+
+// FineTune32 runs skip-gram SGNS warm-started from an existing embedding
+// table: the input matrix starts from warm (vocab*Dim row-major values,
+// e.g. the In table of a previously trained and saved Model32) instead of
+// the random init, and the output matrix starts at zero — the same state
+// fresh training gives it, which is what makes a saved model (which
+// persists only In) a sufficient warm start. Training then proceeds
+// exactly like Train32: same schedule, same sampling, same Hogwild
+// sharding, and Workers: 1 is bit-deterministic for a fixed seed. The
+// warm slice is copied, never mutated.
+func FineTune32(corpus [][]int, vocab int, cfg Config, seed int64, warm []float32) (*Model32, error) {
+	if cfg.Dim <= 0 || vocab <= 0 {
+		return nil, fmt.Errorf("sgns: invalid fine-tune configuration (dim %d, vocab %d)", cfg.Dim, vocab)
+	}
+	if len(warm) != vocab*cfg.Dim {
+		return nil, fmt.Errorf("sgns: warm start has %d values, model needs %d (%d rows x %d dim)",
+			len(warm), vocab*cfg.Dim, vocab, cfg.Dim)
+	}
+	return train32(corpus, vocab, vocab, false, cfg, seed, warm), nil
 }
 
 // trainer32 is the float32 twin of trainer: workers mutate in/out through
@@ -87,7 +108,7 @@ type trainer32 struct {
 	totalSteps float64
 }
 
-func train32(sentences [][]int, inRows, outRows int, dbow bool, cfg Config, seed int64) *Model32 {
+func train32(sentences [][]int, inRows, outRows int, dbow bool, cfg Config, seed int64, warm []float32) *Model32 {
 	if cfg.Dim <= 0 || inRows <= 0 || outRows <= 0 {
 		panic("sgns: invalid configuration") //x2vec:allow nopanic config precondition validated by exported wrappers
 	}
@@ -98,9 +119,16 @@ func train32(sentences [][]int, inRows, outRows int, dbow bool, cfg Config, seed
 	master := rand.New(rand.NewSource(seed))
 	m := &Model32{Dim: dim, InRows: inRows, OutRows: outRows}
 	m.In = make([]float32, inRows*dim)
-	scale := 0.5 / float64(dim)
-	for i := range m.In {
-		m.In[i] = float32((master.Float64()*2 - 1) * scale)
+	if warm != nil {
+		// Warm start: the master RNG skips the init draws and is consumed
+		// for worker seeds only — a fine-tune is its own trajectory, not a
+		// replay of the fresh one.
+		copy(m.In, warm)
+	} else {
+		scale := 0.5 / float64(dim)
+		for i := range m.In {
+			m.In[i] = float32((master.Float64()*2 - 1) * scale)
+		}
 	}
 	if cfg.Shared {
 		m.Out = m.In

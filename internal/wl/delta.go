@@ -1,0 +1,330 @@
+package wl
+
+// Delta: the incremental refinement session for dynamic graphs. The static
+// pipeline treats a graph as immutable — RefineCorpus colours it once and
+// any edge change means a full recompute. A Delta wraps one mutable
+// undirected graph and keeps the fixed-depth plain-WL colouring of
+// RefineCorpus *and* the canonical fingerprint Hash current across
+// InsertEdge/DeleteEdge mutations, recomputing only what a mutation can
+// actually reach:
+//
+//   - Colours: round 0 depends only on vertex labels, so an edge mutation
+//     leaves it untouched. At round 1 only the two endpoints' signatures
+//     change (their neighbour multisets gained or lost a code; every other
+//     vertex sees unchanged neighbour colours over an unchanged adjacency).
+//     From round r to r+1 the dirty set expands by one hop: a vertex needs
+//     recolouring exactly when its own previous colour changed or some
+//     neighbour's did. The session re-interns signatures for that frontier
+//     only, against the same process-global colour store the batch path
+//     uses, so incremental ids are bit-identical to a from-scratch
+//     RefineCorpus call — the differential contract FuzzMutateRefine pins.
+//   - Fallback: dense graphs or deep rounds can grow the frontier towards
+//     n, at which point per-vertex bookkeeping costs more than the batch
+//     loop. Past a dirty-fraction threshold (DefaultDirtyFraction of the
+//     vertex count) the session recomputes the remaining rounds outright;
+//     the result is identical either way, only the constant changes.
+//   - Hash: the fingerprint's dominant cost is its O(Σ deg²) triangle
+//     seed. The session maintains per-vertex triangle counts incrementally
+//     (an edge flip touches the two endpoints and their common neighbours,
+//     O(min degree) with the simple-adjacency index kept here), so Hash()
+//     re-runs only the cheap iterated mixing, memoised until the next
+//     mutation.
+//
+// A Delta owns its graph: mutate only through the session. Directed graphs
+// are not supported (the serving pipelines refine out-neighbour plain WL;
+// a directed session would additionally need an incremental in-adjacency
+// index).
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// DefaultDirtyFraction is the frontier share of the vertex count past which
+// an incremental round falls back to recolouring every vertex. At 0.5 the
+// fallback triggers exactly where the incremental path stops winning: the
+// frontier pass touches each candidate plus its arcs, so beyond half the
+// graph it does the batch round's work with worse locality.
+const DefaultDirtyFraction = 0.5
+
+// Sentinel errors of the dynamic session.
+var (
+	ErrDirected    = errors.New("wl: Delta sessions support undirected graphs only")
+	ErrVertexRange = errors.New("wl: vertex out of range")
+	ErrNoSuchEdge  = errors.New("wl: no such edge")
+)
+
+// DeltaConfig configures a Delta session.
+type DeltaConfig struct {
+	// Rounds is the fixed refinement depth, exactly RefineCorpus's rounds
+	// parameter. Negative is invalid.
+	Rounds int
+	// DirtyFraction is the frontier share of n past which a round is
+	// recomputed in full (0 means DefaultDirtyFraction).
+	DirtyFraction float64
+}
+
+// DeltaStats counts what the incremental paths actually did — the
+// observability hook for tests and the dynamic benchmarks.
+type DeltaStats struct {
+	Mutations      int // InsertEdge/DeleteEdge calls applied
+	Recolored      int // signature re-internings on the incremental path
+	FullRounds     int // rounds recomputed entirely by the fallback
+	FullRecomputes int // mutations that hit the dirty-fraction fallback
+}
+
+// Delta is an incremental refinement session over one mutable undirected
+// graph. Methods are not safe for concurrent use; wrap a session in its
+// own lock if it is shared (the serving layer gives each dynamic model its
+// own session).
+type Delta struct {
+	g      *graph.Graph
+	rounds int
+	frac   float64
+
+	colors [][]int // rounds+1 rows, identical to RefineCorpus(g, rounds)[0]
+
+	// Simple-graph adjacency index for triangle maintenance: neighbour ->
+	// parallel-edge multiplicity, self-loops excluded.
+	nbr []map[int]int
+	tri []int // trianglePairCounts image, maintained incrementally
+
+	hash   uint64
+	hashOK bool
+
+	sc      scratch
+	mark    []int // per-vertex generation marks for frontier dedup
+	markGen int
+	cand    []int // reusable candidate buffer
+	changed []int // reusable changed-vertex buffer
+	stats   DeltaStats
+}
+
+// NewDelta refines g once from scratch and returns a live session. The
+// session takes ownership of g: callers must not mutate the graph except
+// through InsertEdge/DeleteEdge (reads are fine).
+func NewDelta(g *graph.Graph, cfg DeltaConfig) (*Delta, error) {
+	if g.Directed() {
+		return nil, ErrDirected
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("wl: negative Delta round count %d", cfg.Rounds)
+	}
+	frac := cfg.DirtyFraction
+	if frac == 0 {
+		frac = DefaultDirtyFraction
+	}
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("wl: dirty fraction %g outside [0,1]", frac)
+	}
+	d := &Delta{g: g, rounds: cfg.Rounds, frac: frac}
+	d.colors = refinePlainRounds(globalStore, &d.sc, g, cfg.Rounds)
+	n := g.N()
+	d.nbr = make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		d.nbr[v] = map[int]int{}
+	}
+	for _, e := range g.Edges() {
+		if e.U != e.V {
+			d.nbr[e.U][e.V]++
+			d.nbr[e.V][e.U]++
+		}
+	}
+	d.tri = make([]int, n)
+	for v := range d.tri {
+		for w := range d.nbr[v] {
+			if w <= v {
+				continue
+			}
+			c := d.commonNeighbors(v, w)
+			d.tri[v] += c
+			d.tri[w] += c
+		}
+	}
+	d.mark = make([]int, n)
+	return d, nil
+}
+
+// Graph returns the session's graph. Callers must not mutate it.
+func (d *Delta) Graph() *graph.Graph { return d.g }
+
+// Rounds returns the session's fixed refinement depth.
+func (d *Delta) Rounds() int { return d.rounds }
+
+// Stats returns the incremental-work counters accumulated so far.
+func (d *Delta) Stats() DeltaStats { return d.stats }
+
+// Colors returns the maintained colouring, indexed [round][vertex] with
+// rounds 0..Rounds inclusive — bit-identical to RefineCorpus(g, rounds)[0]
+// on the current graph. Callers must not mutate the returned slices, and
+// must not hold them across further mutations.
+func (d *Delta) Colors() [][]int { return d.colors }
+
+// Hash returns wl.Hash of the current graph, recomputed from the
+// incrementally maintained triangle seeds only when the graph changed
+// since the last call.
+func (d *Delta) Hash() uint64 {
+	if !d.hashOK {
+		d.hash = hashWithTriangles(d.g, d.tri)
+		d.hashOK = true
+	}
+	return d.hash
+}
+
+// InsertEdge adds an unweighted, unlabelled edge and re-refines
+// incrementally.
+func (d *Delta) InsertEdge(u, v int) error { return d.InsertEdgeFull(u, v, 1, 0) }
+
+// InsertEdgeFull adds an edge with explicit weight and label and
+// re-refines incrementally. Weight and label do not participate in the
+// plain-WL colouring but do flow into Hash.
+func (d *Delta) InsertEdgeFull(u, v int, w float64, label int) error {
+	if u < 0 || u >= d.g.N() || v < 0 || v >= d.g.N() {
+		return fmt.Errorf("%w: edge (%d,%d) on %d vertices", ErrVertexRange, u, v, d.g.N())
+	}
+	d.g.AddEdgeFull(u, v, w, label)
+	if u != v {
+		if d.nbr[u][v] == 0 {
+			d.flipTriangles(u, v, 1)
+		}
+		d.nbr[u][v]++
+		d.nbr[v][u]++
+	}
+	d.recolor(u, v)
+	return nil
+}
+
+// DeleteEdge removes one edge between u and v (either orientation; with
+// parallel edges exactly one is removed) and re-refines incrementally.
+func (d *Delta) DeleteEdge(u, v int) error {
+	if u < 0 || u >= d.g.N() || v < 0 || v >= d.g.N() {
+		return fmt.Errorf("%w: edge (%d,%d) on %d vertices", ErrVertexRange, u, v, d.g.N())
+	}
+	if !d.g.RemoveEdge(u, v) {
+		return fmt.Errorf("%w: (%d,%d)", ErrNoSuchEdge, u, v)
+	}
+	if u != v {
+		d.nbr[u][v]--
+		d.nbr[v][u]--
+		if d.nbr[u][v] == 0 {
+			delete(d.nbr[u], v)
+			delete(d.nbr[v], u)
+			d.flipTriangles(u, v, -1)
+		}
+	}
+	d.recolor(u, v)
+	return nil
+}
+
+// commonNeighbors counts simple-graph common neighbours of u and v,
+// iterating the smaller index.
+func (d *Delta) commonNeighbors(u, v int) int {
+	a, b := d.nbr[u], d.nbr[v]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	c := 0
+	for w := range a {
+		if _, ok := b[w]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// flipTriangles applies the triangle-count delta of toggling simple edge
+// {u,v}: every common neighbour w forms one triangle {u,v,w}, and each
+// triangle contributes 2 to each of its vertices (the trianglePairCounts
+// convention). Called before the simple sets gain the edge on insert and
+// after they lose it on delete, so the common set is the same either way.
+func (d *Delta) flipTriangles(u, v, sign int) {
+	a, b := d.nbr[u], d.nbr[v]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	c := 0
+	for w := range a {
+		if _, ok := b[w]; ok {
+			c++
+			d.tri[w] += 2 * sign
+		}
+	}
+	d.tri[u] += 2 * sign * c
+	d.tri[v] += 2 * sign * c
+}
+
+// recolor brings the maintained colouring up to date after a mutation on
+// edge (u,v) by per-round frontier expansion, falling back to full rounds
+// past the dirty-fraction threshold.
+func (d *Delta) recolor(u, v int) {
+	d.stats.Mutations++
+	d.hashOK = false
+	if d.rounds == 0 {
+		return // round 0 is the vertex-label colouring; edges cannot move it
+	}
+	n := d.g.N()
+	limit := int(d.frac * float64(n))
+	rg := runGraph{g: d.g}
+
+	// Round 1: only the endpoints' neighbour multisets changed.
+	d.changed = d.changed[:0]
+	d.changed = append(d.changed, u)
+	if v != u {
+		d.changed = append(d.changed, v)
+	}
+	fellBack := false
+	for r := 1; r <= d.rounds; r++ {
+		if r == 1 {
+			d.cand = append(d.cand[:0], d.changed...)
+		} else {
+			// Candidates: vertices whose own or neighbour colour changed.
+			d.markGen++
+			d.cand = d.cand[:0]
+			for _, w := range d.changed {
+				if d.mark[w] != d.markGen {
+					d.mark[w] = d.markGen
+					d.cand = append(d.cand, w)
+				}
+				for _, a := range d.g.Arcs(w) {
+					if d.mark[a.To] != d.markGen {
+						d.mark[a.To] = d.markGen
+						d.cand = append(d.cand, a.To)
+					}
+				}
+			}
+		}
+		if len(d.cand) > limit {
+			// Frontier too wide: recompute rounds r..Rounds outright.
+			// colors[r-1] is exact at this point, and canonical ids make
+			// the recomputation land on identical values.
+			if !fellBack {
+				fellBack = true
+				d.stats.FullRecomputes++
+			}
+			for rr := r; rr <= d.rounds; rr++ {
+				prev, row := d.colors[rr-1], d.colors[rr]
+				for w := 0; w < n; w++ {
+					row[w] = roundColor(globalStore, &d.sc, &rg, w, prev, modePlain)
+				}
+				d.stats.FullRounds++
+			}
+			return
+		}
+		prev, row := d.colors[r-1], d.colors[r]
+		changed := d.changed[:0]
+		for _, w := range d.cand {
+			c := roundColor(globalStore, &d.sc, &rg, w, prev, modePlain)
+			d.stats.Recolored++
+			if c != row[w] {
+				row[w] = c
+				changed = append(changed, w)
+			}
+		}
+		d.changed = changed
+		if len(d.changed) == 0 {
+			return // colouring converged: later rounds cannot differ either
+		}
+	}
+}

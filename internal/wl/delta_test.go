@@ -1,0 +1,195 @@
+package wl
+
+// Differential pinning for the dynamic-graph session: after every mutation
+// a Delta's colours must be id-identical to a from-scratch RefineCorpus
+// call and its hash id-identical to wl.Hash — the "incremental == from
+// scratch" contract, exercised here over random mutation sequences and in
+// FuzzMutateRefine over adversarial ones.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// checkDeltaMatchesScratch asserts every maintained round and the hash
+// against the batch engine on the session's current graph.
+func checkDeltaMatchesScratch(t *testing.T, d *Delta) {
+	t.Helper()
+	want := RefineCorpus([]*graph.Graph{d.Graph()}, d.Rounds())[0]
+	got := d.Colors()
+	if len(got) != len(want) {
+		t.Fatalf("round count: got %d want %d", len(got), len(want))
+	}
+	for r := range want {
+		for v := range want[r] {
+			if got[r][v] != want[r][v] {
+				t.Fatalf("round %d vertex %d: incremental colour %d, from-scratch %d\ngraph: %v",
+					r, v, got[r][v], want[r][v], d.Graph())
+			}
+		}
+	}
+	if dh, sh := d.Hash(), Hash(d.Graph()); dh != sh {
+		t.Fatalf("incremental hash %x, from-scratch %x\ngraph: %v", dh, sh, d.Graph())
+	}
+}
+
+// randomMutation applies one random insert or delete through the session,
+// keeping a healthy mix of self-loops, parallel edges, weights and labels.
+func randomMutation(t *testing.T, d *Delta, rng *rand.Rand) {
+	t.Helper()
+	n := d.Graph().N()
+	if d.Graph().M() > 0 && rng.Float64() < 0.45 {
+		e := d.Graph().Edges()[rng.Intn(d.Graph().M())]
+		if err := d.DeleteEdge(e.U, e.V); err != nil {
+			t.Fatalf("DeleteEdge(%d,%d): %v", e.U, e.V, err)
+		}
+		return
+	}
+	u, v := rng.Intn(n), rng.Intn(n)
+	if err := d.InsertEdgeFull(u, v, float64(rng.Intn(3)+1), rng.Intn(2)); err != nil {
+		t.Fatalf("InsertEdgeFull(%d,%d): %v", u, v, err)
+	}
+}
+
+// TestDifferentialDeltaRefine drives random mutation sequences over random
+// labelled graphs at several refinement depths and dirty-fraction settings,
+// checking the full contract after every single step.
+func TestDifferentialDeltaRefine(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		p      float64
+		rounds int
+		frac   float64
+		steps  int
+	}{
+		{8, 0.3, 3, 0, 60},
+		{16, 0.15, 4, 0, 60},
+		{16, 0.15, 4, 0.05, 40}, // tiny threshold: exercises the fallback path
+		{24, 0.1, 2, 1, 40},     // threshold 1: pure incremental path
+		{10, 0.5, 5, 0, 40},     // dense: frontier covers the graph fast
+		{6, 0.4, 0, 0, 20},      // rounds 0: labels only
+	} {
+		rng := rand.New(rand.NewSource(int64(tc.n)*1000 + int64(tc.rounds)))
+		g := graph.Random(tc.n, tc.p, rng)
+		for v := 0; v < tc.n; v++ {
+			g.SetVertexLabel(v, rng.Intn(3))
+		}
+		d, err := NewDelta(g, DeltaConfig{Rounds: tc.rounds, DirtyFraction: tc.frac})
+		if err != nil {
+			t.Fatalf("NewDelta: %v", err)
+		}
+		checkDeltaMatchesScratch(t, d)
+		for step := 0; step < tc.steps; step++ {
+			randomMutation(t, d, rng)
+			checkDeltaMatchesScratch(t, d)
+		}
+		st := d.Stats()
+		if st.Mutations != tc.steps {
+			t.Fatalf("stats recorded %d mutations, want %d", st.Mutations, tc.steps)
+		}
+		if tc.frac == 1 && st.FullRecomputes != 0 {
+			t.Fatalf("dirty fraction 1 must never fall back, saw %d full recomputes", st.FullRecomputes)
+		}
+		if tc.frac == 0.05 && tc.steps > 0 && st.FullRecomputes == 0 {
+			t.Fatal("dirty fraction 0.05 on a 16-vertex graph should hit the fallback")
+		}
+	}
+}
+
+// TestDeltaHashMemo pins that Hash is memoised between mutations (same
+// value, and stable across repeated calls) and invalidated by each one.
+func TestDeltaHashMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Random(12, 0.25, rng)
+	d, err := NewDelta(g, DeltaConfig{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := d.Hash()
+	if d.Hash() != h1 {
+		t.Fatal("repeated Hash() calls disagree")
+	}
+	if err := d.InsertEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	h2 := d.Hash()
+	if h2 != Hash(d.Graph()) {
+		t.Fatal("hash stale after mutation")
+	}
+	if err := d.DeleteEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Hash() != h1 {
+		t.Fatal("insert+delete of the same edge should restore the original hash")
+	}
+}
+
+func TestDeltaErrors(t *testing.T) {
+	if _, err := NewDelta(graph.NewDirected(3), DeltaConfig{Rounds: 2}); !errors.Is(err, ErrDirected) {
+		t.Fatalf("directed graph: got %v, want ErrDirected", err)
+	}
+	if _, err := NewDelta(graph.New(3), DeltaConfig{Rounds: -1}); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+	if _, err := NewDelta(graph.New(3), DeltaConfig{Rounds: 1, DirtyFraction: 1.5}); err == nil {
+		t.Fatal("dirty fraction 1.5 accepted")
+	}
+	d, err := NewDelta(graph.New(3), DeltaConfig{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InsertEdge(0, 3); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("out-of-range insert: got %v, want ErrVertexRange", err)
+	}
+	if err := d.DeleteEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("negative-vertex delete: got %v, want ErrVertexRange", err)
+	}
+	if err := d.DeleteEdge(0, 1); !errors.Is(err, ErrNoSuchEdge) {
+		t.Fatalf("absent-edge delete: got %v, want ErrNoSuchEdge", err)
+	}
+	// Failed mutations must not count or corrupt state.
+	if st := d.Stats(); st.Mutations != 0 {
+		t.Fatalf("failed mutations recorded in stats: %+v", st)
+	}
+	checkDeltaMatchesScratch(t, d)
+}
+
+// FuzzMutateRefine is the dynamic-engine analogue of FuzzRefineFast: the
+// first half of the input decodes a labelled undirected graph, the second
+// an arbitrary insert/delete sequence, and after every step the session's
+// colours and hash must equal from-scratch refinement.
+func FuzzMutateRefine(f *testing.F) {
+	f.Add([]byte{6, 0, 0, 0, 1, 0, 1, 2, 1, 2, 3, 0}, []byte{0, 1, 2, 3, 1, 1})
+	f.Add([]byte{5, 0, 1, 1, 0, 2, 0, 1, 2, 3, 4, 0, 1, 2}, []byte{4, 4, 5, 0})
+	f.Add([]byte{12, 0, 0}, []byte{0, 0, 1, 0, 3, 2, 1, 2})
+	f.Fuzz(func(t *testing.T, gdata, mdata []byte) {
+		if len(gdata) >= 2 {
+			gdata = append([]byte{gdata[0], 0}, gdata[2:]...) // force undirected
+		}
+		g := graphFromBytes(gdata)
+		rounds := 3
+		if len(mdata) > 0 {
+			rounds = int(mdata[0]) % 5
+		}
+		d, err := NewDelta(g, DeltaConfig{Rounds: rounds})
+		if err != nil {
+			t.Fatalf("NewDelta: %v", err)
+		}
+		checkDeltaMatchesScratch(t, d)
+		n := g.N()
+		for i := 0; i+1 < len(mdata) && i < 32; i += 2 {
+			u, v := int(mdata[i]>>1)%n, int(mdata[i+1])%n
+			if mdata[i]&1 == 1 {
+				if err := d.DeleteEdge(u, v); err != nil && !errors.Is(err, ErrNoSuchEdge) {
+					t.Fatalf("DeleteEdge(%d,%d): %v", u, v, err)
+				}
+			} else if err := d.InsertEdgeFull(u, v, float64(mdata[i+1]%3)+1, int(mdata[i])%2); err != nil {
+				t.Fatalf("InsertEdgeFull(%d,%d): %v", u, v, err)
+			}
+			checkDeltaMatchesScratch(t, d)
+		}
+	})
+}

@@ -36,6 +36,14 @@ import (
 // and direction, and stable across processes. Cost is dominated by the
 // triangle seed, O(Σ_v deg(v)²) on the underlying simple graph.
 func Hash(g *graph.Graph) uint64 {
+	return hashWithTriangles(g, trianglePairCounts(g))
+}
+
+// hashWithTriangles is Hash with the triangle seed supplied by the caller.
+// tri must equal trianglePairCounts(g); the Delta session maintains that
+// array incrementally across mutations, which turns the hash's dominant
+// O(Σ deg²) seed pass into an O(min-degree) update per edge change.
+func hashWithTriangles(g *graph.Graph, tri []int) uint64 {
 	n := g.N()
 	edges := g.Edges()
 
@@ -48,8 +56,6 @@ func Hash(g *graph.Graph) uint64 {
 			inDeg[e.V]++
 		}
 	}
-	tri := trianglePairCounts(g)
-
 	h := make([]uint64, n)
 	for v := 0; v < n; v++ {
 		seed := fmix64(hashSeed ^ zig(g.VertexLabel(v)))

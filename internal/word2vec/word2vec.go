@@ -13,6 +13,7 @@
 package word2vec
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -107,6 +108,28 @@ func Train32(corpus [][]int, vocab int, cfg Config, rng *rand.Rand) *sgns.Model3
 		UnigramPower:    cfg.UnigramPower,
 		Workers:         cfg.Workers,
 	}, rng.Int63())
+}
+
+// FineTune32 runs SGNS on the float32 engine warm-started from an existing
+// embedding table (vocab*Dim row-major values, typically the In table of a
+// saved model) instead of the random init — the continuation path for
+// dynamic corpora, where a few epochs from a good prior beat a full fresh
+// run. Everything else matches Train32, including bit-determinism at
+// cfg.Workers == 1 for a fixed rng seed.
+func FineTune32(corpus [][]int, vocab int, cfg Config, rng *rand.Rand, warm []float32) (*sgns.Model32, error) {
+	if cfg.Dim <= 0 || vocab <= 0 {
+		return nil, fmt.Errorf("word2vec: invalid fine-tune configuration (dim %d, vocab %d)", cfg.Dim, vocab)
+	}
+	return sgns.FineTune32(corpus, vocab, sgns.Config{
+		Dim:             cfg.Dim,
+		Window:          cfg.Window,
+		Negative:        cfg.Negative,
+		LearningRate:    cfg.LearningRate,
+		MinLearningRate: cfg.MinLearningRate,
+		Epochs:          cfg.Epochs,
+		UnigramPower:    cfg.UnigramPower,
+		Workers:         cfg.Workers,
+	}, rng.Int63(), warm)
 }
 
 // rowViews slices a flat row-major matrix into per-row views (no copy).
