@@ -1,0 +1,184 @@
+package repro
+
+// Headline benchmarks of the approximate similarity tier (ISSUE 9), the
+// numbers committed as BENCH_ANN.json:
+//
+//   - BenchmarkNeighborsLSH vs BenchmarkNeighborsExact: top-10 queries over
+//     a 20k-vector clustered corpus. The acceptance gate is recall@10 ≥ 0.9
+//     (reported as the recall_at_10 metric) at ≥ 10x the exact scan's
+//     throughput.
+//   - BenchmarkNystromGram vs BenchmarkGramExactForNystrom: the m = √n
+//     landmark factorisation against the exact Gram fill on a clustered SBM
+//     corpus — the regime whose fast-decaying spectrum the approximation is
+//     for (the spectral-error budget is pinned in kernel/nystrom_test.go).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/similarity"
+)
+
+const (
+	annBenchN   = 20000
+	annBenchDim = 64
+	annBenchK   = 10
+)
+
+// annBenchMatrix: a Gaussian-mixture corpus (200 clusters), the clustered
+// regime LSH serves; queries are perturbed corpus members.
+func annBenchMatrix(n, dim int, seed int64) (*linalg.Matrix, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	const clusters = 200
+	centers := make([][]float64, clusters)
+	for c := range centers {
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		centers[c] = v
+	}
+	m := linalg.NewMatrix(n, dim)
+	for r := 0; r < n; r++ {
+		c := centers[r%clusters]
+		row := m.Row(r)
+		for i := range row {
+			row[i] = c[i] + 0.15*rng.NormFloat64()
+		}
+	}
+	queries := make([][]float64, 64)
+	for qi := range queries {
+		src := m.Row(rng.Intn(n))
+		q := make([]float64, dim)
+		for i := range q {
+			q[i] = src[i] + 0.05*rng.NormFloat64()
+		}
+		queries[qi] = q
+	}
+	return m, queries
+}
+
+func BenchmarkNeighborsLSH(b *testing.B) {
+	m, queries := annBenchMatrix(annBenchN, annBenchDim, 1)
+	ix, err := ann.Build(m, ann.Config{Tables: 12, Bits: 14, Seed: 3}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ann.NewSearcher(ix)
+	dst := make([]ann.Neighbor, 0, annBenchK)
+
+	// Recall@10 vs the similarity.TopK oracle, reported alongside
+	// throughput so BENCH_ANN.json carries the speed/quality pair.
+	var recallSum float64
+	for _, q := range queries {
+		exact, err := similarity.TopK(q, m, annBenchK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		approx, err := s.Search(q, annBenchK, 8, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make(map[int]bool, len(approx))
+		for _, nb := range approx {
+			ids[nb.ID] = true
+		}
+		hits := 0
+		for _, nb := range exact {
+			if ids[nb.ID] {
+				hits++
+			}
+		}
+		recallSum += float64(hits) / float64(len(exact))
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Search(queries[i%len(queries)], annBenchK, 8, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// After the loop: ResetTimer wipes previously reported metrics.
+	b.ReportMetric(recallSum/float64(len(queries)), "recall_at_10")
+}
+
+func BenchmarkNeighborsExact(b *testing.B) {
+	m, queries := annBenchMatrix(annBenchN, annBenchDim, 1)
+	ix, err := ann.Build(m, ann.Config{Tables: 12, Bits: 14, Seed: 3}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ann.NewSearcher(ix)
+	dst := make([]ann.Neighbor, 0, annBenchK)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExactTopK(queries[i%len(queries)], annBenchK, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNeighborsTopKOracle measures the parallel brute-force recall
+// oracle itself (satellite 1) over the same corpus.
+func BenchmarkNeighborsTopKOracle(b *testing.B) {
+	m, queries := annBenchMatrix(annBenchN, annBenchDim, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := similarity.TopK(queries[i%len(queries)], m, annBenchK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// nystromBenchCorpus mirrors kernel/nystrom_test.go's clustered families at
+// benchmark scale.
+func nystromBenchCorpus(perFamily int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	families := []struct {
+		sizes     []int
+		pin, pout float64
+	}{
+		{[]int{10, 10}, 0.85, 0.05},
+		{[]int{7, 7, 7}, 0.9, 0.1},
+		{[]int{15, 5}, 0.7, 0.15},
+		{[]int{6, 6, 6, 6}, 0.8, 0.05},
+	}
+	var gs []*graph.Graph
+	for _, f := range families {
+		for i := 0; i < perFamily; i++ {
+			g, blocks := graph.SBM(f.sizes, f.pin, f.pout, rng)
+			for v, blk := range blocks {
+				g.SetVertexLabel(v, blk%2)
+			}
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+const nystromBenchN = 480 // 4 families x 120
+
+func BenchmarkNystromGram480(b *testing.B) {
+	gs := nystromBenchCorpus(nystromBenchN/4, 7)
+	k := kernel.WLSubtree{Rounds: 1}
+	m := 22 // ≈ √480
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernel.NystromGram(k, gs, m, 0, 99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGramExactForNystrom480(b *testing.B) {
+	gs := nystromBenchCorpus(nystromBenchN/4, 7)
+	k := kernel.WLSubtree{Rounds: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel.GramWorkers(k, gs, 0)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// writeCorpusFiles renders n random unlabelled graphs as edge-list files.
+func writeCorpusFiles(t *testing.T, dir string, n int, seed int64) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	paths := make([]string, n)
+	for i := range paths {
+		g := graph.Random(8+rng.Intn(6), 0.35, rng)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# n=%d\n", g.N())
+		for _, e := range g.Edges() {
+			fmt.Fprintf(&sb, "%d %d\n", e.U, e.V)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("g%02d.txt", i))
+		if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+// TestCmdIndex: the offline half of the /neighbors quickstart — build an
+// index over corpus files and check the saved file opens with the recorded
+// shape and sketch parameters.
+func TestCmdIndex(t *testing.T) {
+	dir := t.TempDir()
+	files := writeCorpusFiles(t, dir, 12, 3)
+	out := filepath.Join(dir, "ix.x2vm")
+	args := append([]string{"-out", out, "-sketch-rounds", "2", "-sketch-width", "32", "-tables", "4", "-bits", "8", "-workers", "2"}, files...)
+	if err := cmdIndex(args); err != nil {
+		t.Fatalf("cmdIndex: %v", err)
+	}
+	h, err := model.OpenANNIndex(out)
+	if err != nil {
+		t.Fatalf("OpenANNIndex: %v", err)
+	}
+	defer h.Close()
+	ix := h.Index
+	if ix.N != len(files) || ix.Dim != 32 || ix.Tables != 4 || ix.Bits != 8 {
+		t.Fatalf("index shape n=%d dim=%d tables=%d bits=%d", ix.N, ix.Dim, ix.Tables, ix.Bits)
+	}
+	if ix.SketchRounds != 2 || ix.SketchWidth != 32 {
+		t.Fatalf("sketch metadata rounds=%d width=%d", ix.SketchRounds, ix.SketchWidth)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestCmdIndexErrors(t *testing.T) {
+	dir := t.TempDir()
+	files := writeCorpusFiles(t, dir, 2, 7)
+	if err := cmdIndex(files); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	out := filepath.Join(dir, "ix.x2vm")
+	if err := cmdIndex([]string{"-out", out}); err == nil {
+		t.Fatal("no corpus files accepted")
+	}
+	if err := cmdIndex([]string{"-out", out, "-sketch-width", "0", files[0]}); err == nil {
+		t.Fatal("zero sketch width accepted")
+	}
+	if err := cmdIndex([]string{"-out", out, "-bits", "64", files[0], files[1]}); err == nil {
+		t.Fatal("oversized bits accepted")
+	}
+	if err := cmdIndex([]string{"-out", out, filepath.Join(dir, "missing.txt")}); err == nil {
+		t.Fatal("missing corpus file accepted")
+	}
+}

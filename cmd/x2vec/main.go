@@ -21,6 +21,9 @@
 //	                                             warm-start fine-tune from a saved parent in a
 //	                                             fraction of the epochs; the child's lineage chain
 //	                                             records the parent's file CRC
+//	x2vec index -out I.x2vm FILE...              build the LSH similarity index over the corpus files
+//	                                             (count-sketch WL features + sign-random-projection
+//	                                             tables); x2vecd -index serves it on /neighbors
 //	x2vec dist NORM A B                          aligned distance (frobenius, l1, cut) — small graphs only
 //
 // -rounds sets the WL refinement depth (-1, the default, refines to
@@ -44,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/ann"
 	"repro/internal/embed"
 	"repro/internal/graph"
 	"repro/internal/graph2vec"
@@ -83,6 +87,8 @@ func main() {
 		err = cmdNode2Vec(args[1:])
 	case "train":
 		err = cmdTrain(args[1:])
+	case "index":
+		err = cmdIndex(args[1:])
 	case "dist":
 		err = cmdDist(args[1:])
 	default:
@@ -95,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|homvec|kernel|embed|node2vec|train|dist} ...")
+	fmt.Fprintln(os.Stderr, "usage: x2vec [-rounds T] [-parallel N] {wl|hom|homvec|kernel|embed|node2vec|train|index|dist} ...")
 	os.Exit(2)
 }
 
@@ -559,6 +565,55 @@ func fineTuneNode(g *graph.Graph, method, warmPath, outPath string, p, q float64
 	}
 	fmt.Printf("fine-tuned %s model: %d vertices x %d dims (lineage depth %d) -> %s\n",
 		method, g.N(), warm.Cols, len(chain), outPath)
+	return nil
+}
+
+// cmdIndex builds the sublinear similarity tier offline: one count-sketch
+// WL feature vector per corpus file, a sign-random-projection LSH index
+// over the sketch matrix, and a KindANNIndex model file. The sketch
+// parameters are recorded in the file, so the daemon embeds /neighbors
+// request graphs into exactly the indexed vector space.
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ContinueOnError)
+	out := fs.String("out", "", "output index file (required)")
+	sketchRounds := fs.Int("sketch-rounds", kernel.DefaultSketchRounds, "WL rounds folded into each count sketch")
+	sketchWidth := fs.Int("sketch-width", kernel.DefaultSketchWidth, "count-sketch width (the indexed vector dimension)")
+	sketchSeed := fs.Uint64("sketch-seed", 2024, "count-sketch hash seed")
+	tables := fs.Int("tables", ann.DefaultTables, "LSH hash tables")
+	bits := fs.Int("bits", ann.DefaultBits, "hyperplane bits per table signature (max 60)")
+	seed := fs.Uint64("seed", 1, "hyperplane seed")
+	workers := fs.Int("workers", 0, "sketch/build workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" || fs.NArg() < 1 {
+		return fmt.Errorf("usage: x2vec index [-sketch-rounds R] [-sketch-width W] [-tables L] [-bits B] [-workers N] -out I.x2vm FILE...")
+	}
+	if *sketchRounds < 1 || *sketchWidth < 1 {
+		return fmt.Errorf("sketch needs at least 1 round and width 1 (got rounds=%d width=%d)", *sketchRounds, *sketchWidth)
+	}
+	gs := make([]*graph.Graph, fs.NArg())
+	for i, path := range fs.Args() {
+		g, err := loadGraph(path)
+		if err != nil {
+			return err
+		}
+		gs[i] = g
+	}
+	sk := kernel.CountSketchWL{Rounds: *sketchRounds, Width: *sketchWidth, Seed: *sketchSeed}
+	vecs := sk.CorpusSketchMatrix(gs, *workers)
+	ix, err := ann.Build(vecs, ann.Config{
+		Tables: *tables, Bits: *bits, Seed: *seed,
+		SketchRounds: *sketchRounds, SketchWidth: *sketchWidth, SketchSeed: *sketchSeed,
+	}, *workers)
+	if err != nil {
+		return err
+	}
+	if err := model.SaveANNIndex(*out, ix); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d graphs: dim %d, %d tables x %d bits -> %s\n",
+		ix.N, ix.Dim, ix.Tables, ix.Bits, *out)
 	return nil
 }
 

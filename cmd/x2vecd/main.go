@@ -13,8 +13,13 @@
 //	POST /homvec   {"graph": "0 1\n1 2\n"}        log-scaled homomorphism vector
 //	POST /kernel   {"name": "wl", "a": …, "b": …} kernel value between two graphs
 //	POST /wl       {"graph": "0 1\n1 2\n"}        stable WL colouring
-//	POST /reload   {"model": "path"}              hot-swap the served model; an
-//	               empty body (or SIGHUP) re-reads the current path in place
+//	POST /neighbors {"graph": …, "k": 10}         top-k most similar indexed corpus
+//	               graphs from the LSH index loaded with -index (built by
+//	               `x2vec index`): count-sketch WL embed, multi-probe lookup,
+//	               exact-cosine rerank — sublinear in the corpus size
+//	POST /reload   {"model": "path", "index": "path"}  hot-swap the served model
+//	               (and index, atomically with it); an empty body (or SIGHUP)
+//	               re-reads the current paths in place
 //	GET  /healthz                                 liveness probe
 //	GET  /stats                                   cache hit rates, batch occupancy,
 //	                                              p50/p99 latency per pipeline,
@@ -56,6 +61,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelPath := flag.String("model", "", "model file for /embed (from `x2vec train … -model`)")
+	indexPath := flag.String("index", "", "ANN index file for /neighbors (from `x2vec index`); requires -model")
 	classPath := flag.String("homclass", "", "pattern-class model file for /homvec (default: the standard class)")
 	rounds := flag.Int("rounds", 5, "WL refinement depth for /wl and /kernel")
 	batch := flag.Int("batch", 32, "max requests coalesced into one engine pass")
@@ -67,6 +73,7 @@ func main() {
 
 	d, err := newDaemon(daemonConfig{
 		ModelPath:  *modelPath,
+		IndexPath:  *indexPath,
 		ClassPath:  *classPath,
 		SkipVerify: *skipVerify,
 		Options: serve.Options{
@@ -94,7 +101,7 @@ func main() {
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
-			snap, err := d.reload("")
+			snap, err := d.reload("", "")
 			if err != nil {
 				log.Printf("x2vecd: SIGHUP reload: %v", err)
 				continue
@@ -141,6 +148,7 @@ func describeModel(d *daemon) string {
 // parsing so tests construct daemons directly.
 type daemonConfig struct {
 	ModelPath string
+	IndexPath string // ANN index for /neighbors; requires ModelPath
 	ClassPath string
 	// SkipVerify skips the whole-file CRC pass over a v2 model at startup,
 	// keeping the mmap cold start O(1). The default verifies: a daemon
@@ -163,12 +171,18 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		cfg.Options.Class = class
 	}
 	d := &daemon{srv: serve.New(cfg.Options)}
+	if cfg.IndexPath != "" && cfg.ModelPath == "" {
+		d.srv.Close()
+		return nil, errors.New("-index requires -model: /neighbors answers carry the served model generation")
+	}
 	if cfg.ModelPath != "" {
 		// The hot-swap service owns the model handle: one unified view over
 		// every embedding kind and both format versions (v2 files serve
 		// straight from a page-aligned mapping, v1 files decode through the
-		// legacy loaders), swapped atomically on /reload or SIGHUP.
-		svc, err := d.srv.NewEmbedService(cfg.ModelPath, !cfg.SkipVerify, cfg.Options.CacheSize)
+		// legacy loaders), swapped atomically on /reload or SIGHUP. The ANN
+		// index rides the same handle, so /neighbors and /embed always agree
+		// on the generation.
+		svc, err := d.srv.NewEmbedService(cfg.ModelPath, cfg.IndexPath, !cfg.SkipVerify, cfg.Options.CacheSize)
 		if err != nil {
 			d.srv.Close()
 			return nil, err
@@ -178,18 +192,23 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	return d, nil
 }
 
-// reload hot-swaps the served model. An empty path re-reads whatever path
-// the current generation came from — the SIGHUP semantics.
-func (d *daemon) reload(path string) (serve.ModelSnapshot, error) {
+// reload hot-swaps the served model and ANN index together. Empty paths
+// re-read whatever the current generation came from — the SIGHUP
+// semantics; a model-only reload therefore keeps (and re-opens) the
+// current index rather than silently dropping /neighbors.
+func (d *daemon) reload(modelPath, indexPath string) (serve.ModelSnapshot, error) {
 	if d.svc == nil {
 		return serve.ModelSnapshot{}, errors.New("no model loaded; start x2vecd with -model")
 	}
-	if path == "" {
-		if cur := d.svc.Snapshot(); cur != nil {
-			path = cur.Path
+	if cur := d.svc.Snapshot(); cur != nil {
+		if modelPath == "" {
+			modelPath = cur.Path
+		}
+		if indexPath == "" && cur.Index != nil {
+			indexPath = cur.Index.Path
 		}
 	}
-	return d.svc.Reload(path)
+	return d.svc.Reload(modelPath, indexPath)
 }
 
 func (d *daemon) close() {
@@ -221,6 +240,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("/homvec", d.handleHomVec)
 	mux.HandleFunc("/kernel", d.handleKernel)
 	mux.HandleFunc("/wl", d.handleWL)
+	mux.HandleFunc("/neighbors", d.handleNeighbors)
 	return http.MaxBytesHandler(mux, maxBody)
 }
 
@@ -315,6 +335,7 @@ func (d *daemon) handleEmbed(w http.ResponseWriter, r *http.Request) {
 
 type reloadRequest struct {
 	Model string `json:"model"`
+	Index string `json:"index"`
 }
 
 // handleReload hot-swaps the served model: an explicit path swaps to a new
@@ -337,7 +358,7 @@ func (d *daemon) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no model loaded; start x2vecd with -model"))
 		return
 	}
-	snap, err := d.reload(req.Model)
+	snap, err := d.reload(req.Model, req.Index)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -409,6 +430,59 @@ func (d *daemon) handleKernel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, kernelResponse{Name: name, Value: v})
+}
+
+type neighborsRequest struct {
+	Graph  string `json:"graph"`
+	K      int    `json:"k"`      // 0 = serve.DefaultNeighborK
+	Probes int    `json:"probes"` // 0 = serve.DefaultProbes
+}
+
+type neighborsResponse struct {
+	IDs          []int     `json:"ids"`    // ranked, most similar first
+	Scores       []float64 `json:"scores"` // exact cosine similarities (reranked)
+	K            int       `json:"k"`
+	IndexRows    int       `json:"index_rows"`
+	ModelVersion uint64    `json:"model_version"`
+}
+
+// handleNeighbors serves sublinear top-k similarity over the indexed
+// corpus: 404 without an index, 400 for malformed graphs, ids ranked by
+// exact cosine after the LSH candidate pass.
+func (d *daemon) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	var req neighborsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if d.svc == nil {
+		writeError(w, http.StatusNotFound, serve.ErrNoIndex)
+		return
+	}
+	g, ok := requestGraph(w, req.Graph, "graph")
+	if !ok {
+		return
+	}
+	res, err := d.svc.Neighbors(g, req.K, req.Probes)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, serve.ErrNoIndex) || errors.Is(err, serve.ErrNoModel) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := neighborsResponse{
+		IDs:          make([]int, len(res.Neighbors)),
+		Scores:       make([]float64, len(res.Neighbors)),
+		K:            res.K,
+		IndexRows:    res.IndexRows,
+		ModelVersion: res.ModelVersion,
+	}
+	for i, nb := range res.Neighbors {
+		resp.IDs[i] = nb.ID
+		resp.Scores[i] = nb.Score
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type wlResponse struct {

@@ -1,0 +1,212 @@
+package main
+
+// /neighbors endpoint tests: build a real index the way `x2vec index` does,
+// serve it, and check the ranked answers, the error statuses, and the
+// reload consistency that the CI socket smoke also exercises.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/model"
+)
+
+// graphText renders g in the daemon's request edge-list format (labels
+// cannot travel in it, so neighbour-test corpora are label-0 graphs).
+func graphText(g *graph.Graph) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# n=%d\n", g.N())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "%d %d\n", e.U, e.V)
+	}
+	return sb.String()
+}
+
+// neighborsFixture saves a node-embedding model plus an LSH index over a
+// corpus of unlabelled random graphs and returns (modelPath, indexPath,
+// corpus).
+func neighborsFixture(t *testing.T, dir string, n int, seed int64) (string, string, []*graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		gs[i] = graph.Random(10+rng.Intn(8), 0.3, rng)
+	}
+	mp := filepath.Join(dir, "m.x2vm")
+	hex, err := graph.ParseGraph(hexagonText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SaveNodeEmbedding(mp, embed.Node2VecWorkers(hex, 4, 1, 1, 1, rand.New(rand.NewSource(1)))); err != nil {
+		t.Fatal(err)
+	}
+	ip := writeIndexFile(t, dir, "ix.x2vm", gs)
+	return mp, ip, gs
+}
+
+func writeIndexFile(t *testing.T, dir, name string, gs []*graph.Graph) string {
+	t.Helper()
+	sk := kernel.CountSketchWL{Rounds: 2, Width: 64, Seed: 2024}
+	ix, err := ann.Build(sk.CorpusSketchMatrix(gs, 2), ann.Config{
+		Tables: 8, Bits: 10, Seed: 7,
+		SketchRounds: 2, SketchWidth: 64, SketchSeed: 2024,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := model.SaveANNIndex(path, ix); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNeighborsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	mp, ip, gs := neighborsFixture(t, dir, 30, 41)
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp, IndexPath: ip})
+
+	// An indexed graph's own text must come back ranked first with
+	// cosine ~1, scores non-increasing.
+	for _, i := range []int{0, 3, 17} {
+		resp, body := postJSON(t, ts.URL+"/neighbors", map[string]any{"graph": graphText(gs[i]), "k": 5})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/neighbors(%d): status %d: %s", i, resp.StatusCode, body)
+		}
+		var nr neighborsResponse
+		if err := json.Unmarshal(body, &nr); err != nil {
+			t.Fatal(err)
+		}
+		if len(nr.IDs) == 0 || nr.IDs[0] != i {
+			t.Fatalf("/neighbors(%d): ids %v, want self first: %s", i, nr.IDs, body)
+		}
+		if nr.Scores[0] < 0.999 {
+			t.Fatalf("/neighbors(%d): self score %v, want ~1", i, nr.Scores[0])
+		}
+		for j := 1; j < len(nr.Scores); j++ {
+			if nr.Scores[j] > nr.Scores[j-1] {
+				t.Fatalf("/neighbors(%d): scores not ranked: %v", i, nr.Scores)
+			}
+		}
+		if nr.IndexRows != len(gs) || nr.ModelVersion == 0 {
+			t.Fatalf("/neighbors(%d): rows=%d version=%d", i, nr.IndexRows, nr.ModelVersion)
+		}
+	}
+
+	// Malformed graph → 400.
+	resp, _ := postJSON(t, ts.URL+"/neighbors", map[string]any{"graph": "0 not-a-vertex\n"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed graph: status %d, want 400", resp.StatusCode)
+	}
+	// Missing graph field → 400.
+	resp, _ = postJSON(t, ts.URL+"/neighbors", map[string]any{"k": 3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing graph: status %d, want 400", resp.StatusCode)
+	}
+
+	// /stats surfaces the pipeline and the index snapshot.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Pipelines map[string]struct {
+			Requests      int64   `json:"requests"`
+			RecallSamples int64   `json:"recall_samples"`
+			MeanRecall    float64 `json:"mean_recall_at_k"`
+		} `json:"pipelines"`
+		Model *struct {
+			Index *struct {
+				Rows int `json:"rows"`
+			} `json:"index"`
+		} `json:"model"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	np, ok := stats.Pipelines["neighbors"]
+	if !ok || np.Requests == 0 {
+		t.Fatalf("stats missing neighbors pipeline: %+v", stats.Pipelines)
+	}
+	if np.RecallSamples == 0 || np.MeanRecall <= 0 {
+		t.Fatalf("stats missing recall sampling: %+v", np)
+	}
+	if stats.Model == nil || stats.Model.Index == nil || stats.Model.Index.Rows != len(gs) {
+		t.Fatalf("stats missing index snapshot: %+v", stats.Model)
+	}
+}
+
+// TestNeighborsAcrossReload: swapping in a re-ordered index flips answers
+// to the new id space atomically — the /reload half of the socket smoke.
+func TestNeighborsAcrossReload(t *testing.T) {
+	dir := t.TempDir()
+	mp, ip, gs := neighborsFixture(t, dir, 20, 43)
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp, IndexPath: ip})
+
+	query := graphText(gs[4])
+	resp, body := postJSON(t, ts.URL+"/neighbors", map[string]any{"graph": query, "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-reload: status %d: %s", resp.StatusCode, body)
+	}
+	var before neighborsResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	if before.IDs[0] != 4 {
+		t.Fatalf("pre-reload top hit %d, want 4", before.IDs[0])
+	}
+
+	// Reversed corpus: graph 4 of 20 lands at id 15.
+	rev := make([]*graph.Graph, len(gs))
+	for i, g := range gs {
+		rev[len(gs)-1-i] = g
+	}
+	ip2 := writeIndexFile(t, dir, "ix2.x2vm", rev)
+	resp, body = postJSON(t, ts.URL+"/reload", map[string]string{"index": ip2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/reload: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/neighbors", map[string]any{"graph": query, "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload: status %d: %s", resp.StatusCode, body)
+	}
+	var after neighborsResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.IDs[0] != len(gs)-1-4 {
+		t.Fatalf("post-reload top hit %d, want %d", after.IDs[0], len(gs)-1-4)
+	}
+	if after.ModelVersion != before.ModelVersion+1 {
+		t.Fatalf("version %d -> %d, want +1", before.ModelVersion, after.ModelVersion)
+	}
+}
+
+func TestNeighborsWithoutIndex404(t *testing.T) {
+	dir := t.TempDir()
+	mp, _, _ := neighborsFixture(t, dir, 5, 47)
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp})
+	resp, body := postJSON(t, ts.URL+"/neighbors", map[string]any{"graph": hexagonText, "k": 3})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no index: status %d, want 404: %s", resp.StatusCode, body)
+	}
+}
+
+func TestIndexFlagRequiresModel(t *testing.T) {
+	dir := t.TempDir()
+	_, ip, _ := neighborsFixture(t, dir, 5, 53)
+	if _, err := newDaemon(daemonConfig{IndexPath: ip}); err == nil {
+		t.Fatal("-index without -model accepted")
+	}
+}

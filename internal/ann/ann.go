@@ -1,0 +1,257 @@
+// Package ann implements sign-random-projection locality-sensitive hashing
+// over a dense embedding matrix — the sublinear answer to "what is similar
+// to g?" once graph similarity has become vector similarity.
+//
+// The scheme is Charikar's SimHash: a hyperplane with Gaussian normal r
+// splits the sphere so that P[sign⟨r,x⟩ = sign⟨r,y⟩] = 1 − θ(x,y)/π. Each of
+// L tables concatenates K such signs into a K-bit signature; near vectors
+// collide in some table with high probability, far vectors rarely do. A
+// query probes its own bucket per table plus the buckets reached by flipping
+// the lowest-|margin| signature bits (multi-probe: the bits most likely to
+// have landed on the wrong side of their hyperplane), then reranks every
+// candidate by exact cosine against the stored vectors, so returned scores
+// are true similarities — the approximation only affects which rows are
+// considered, never how they are scored.
+//
+// Layout is mmap-first: planes, vectors, and the per-table CSR buckets
+// (sorted signatures + offsets + ids) are flat arrays, so internal/model can
+// persist the whole index as one x2vm block and the daemon can cold-start by
+// pointing these slices into a page-cache mapping. The query path allocates
+// nothing: Searcher carries every scratch buffer (float32 query, margins,
+// probe order, epoch-stamped visited set, result heap) preallocated, gated
+// by an AllocsPerRun test and the x2veclint hotalloc analyzer.
+package ann
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/linalg/f32"
+)
+
+// Defaults for Config zero values, shared with the `x2vec index` CLI.
+const (
+	DefaultTables = 8
+	DefaultBits   = 16
+)
+
+// maxBits bounds signature width: signatures live in a uint64 and each table
+// materialises at most 2^Bits buckets' worth of CSR structure.
+const maxBits = 60
+
+// Sentinel errors — preallocated so the hotpath can fail without allocating.
+var (
+	ErrDimMismatch = errors.New("ann: query dimension does not match index")
+	ErrBadConfig   = errors.New("ann: invalid index configuration")
+)
+
+// Config parameterises index construction.
+type Config struct {
+	Tables int    // L hash tables (0 = DefaultTables)
+	Bits   int    // K hyperplanes per table (0 = DefaultBits, max 60)
+	Seed   uint64 // hyperplane RNG seed; 0 is a valid seed
+	// Sketch metadata, persisted alongside the index so the daemon can
+	// reproduce the exact feature map query graphs must pass through. All
+	// zero when the indexed vectors come from elsewhere.
+	SketchRounds int
+	SketchWidth  int
+	SketchSeed   uint64
+}
+
+// Neighbor is one ranked result: a row id of the indexed matrix and its
+// exact cosine similarity to the query.
+type Neighbor struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// Index is a built LSH index. All slices are flat (or per-table views into
+// flat arrays) so the index serialises to — and deserialises from — x2vm
+// blocks without transformation; see internal/model.
+type Index struct {
+	Dim    int
+	N      int
+	Tables int
+	Bits   int
+	Seed   uint64
+
+	SketchRounds int
+	SketchWidth  int
+	SketchSeed   uint64
+
+	// Planes holds the Tables×Bits hyperplane normals, row-major:
+	// table t, bit j occupies Planes[(t*Bits+j)*Dim : (t*Bits+j+1)*Dim].
+	Planes []float32
+	// Vecs holds the indexed vectors, unit-normalised at build time (row i
+	// at Vecs[i*Dim:(i+1)*Dim]), so a dot product is a cosine.
+	Vecs []float32
+	// Per-table CSR buckets: Sigs[t] is the sorted list of distinct
+	// signatures, IDs[t][Offs[t][b]:Offs[t][b+1]] the rows whose table-t
+	// signature is Sigs[t][b]. Every row appears exactly once per table.
+	Sigs [][]uint64
+	Offs [][]uint32
+	IDs  [][]uint32
+}
+
+// splitmix64 steps a deterministic 64-bit stream — the hyperplane RNG.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// gaussianPlanes fills a Tables*Bits*Dim array with N(0,1) normals derived
+// from seed via splitmix64 + Box-Muller — deterministic across processes, so
+// an index and a later rebuild from the same seed agree bit for bit.
+func gaussianPlanes(tables, bits, dim int, seed uint64) []float32 {
+	out := make([]float32, tables*bits*dim)
+	state := seed ^ 0x6a09e667f3bcc909 // keep plane stream clear of the raw seed
+	for i := 0; i < len(out); i += 2 {
+		// Box-Muller from two uniforms in (0,1].
+		u1 := (float64(splitmix64(&state)>>11) + 1) / (1 << 53)
+		u2 := (float64(splitmix64(&state)>>11) + 1) / (1 << 53)
+		r := math.Sqrt(-2 * math.Log(u1))
+		z0 := r * math.Cos(2*math.Pi*u2)
+		out[i] = float32(z0)
+		if i+1 < len(out) {
+			out[i+1] = float32(r * math.Sin(2*math.Pi*u2))
+		}
+	}
+	return out
+}
+
+// signature returns the K-bit signature of vec under the planes of table t.
+func (ix *Index) signature(t int, vec []float32) uint64 {
+	var sig uint64
+	base := t * ix.Bits * ix.Dim
+	for j := 0; j < ix.Bits; j++ {
+		p := ix.Planes[base+j*ix.Dim : base+(j+1)*ix.Dim]
+		if f32.Dot(p, vec) >= 0 {
+			sig |= 1 << uint(j)
+		}
+	}
+	return sig
+}
+
+// Build constructs an index over the rows of vecs. Rows are unit-normalised
+// into float32 storage (zero rows stay zero and score 0 against everything);
+// signatures are computed across a worker pool (0 or negative = GOMAXPROCS).
+// The input matrix is not retained or modified.
+func Build(vecs *linalg.Matrix, cfg Config, workers int) (*Index, error) {
+	if vecs == nil || vecs.Cols < 1 {
+		return nil, ErrBadConfig
+	}
+	tables := cfg.Tables
+	if tables == 0 {
+		tables = DefaultTables
+	}
+	bits := cfg.Bits
+	if bits == 0 {
+		bits = DefaultBits
+	}
+	if tables < 1 || bits < 1 || bits > maxBits {
+		return nil, ErrBadConfig
+	}
+	n, dim := vecs.Rows, vecs.Cols
+	ix := &Index{
+		Dim: dim, N: n, Tables: tables, Bits: bits, Seed: cfg.Seed,
+		SketchRounds: cfg.SketchRounds, SketchWidth: cfg.SketchWidth, SketchSeed: cfg.SketchSeed,
+		Planes: gaussianPlanes(tables, bits, dim, cfg.Seed),
+		Vecs:   make([]float32, n*dim),
+	}
+
+	// Normalise rows into float32: after this every stored dot is a cosine.
+	linalg.ParallelForWorkers(workers, n, func(i int) {
+		row := vecs.Row(i)
+		var sq float64
+		for _, v := range row {
+			sq += v * v
+		}
+		dst := ix.Vecs[i*dim : (i+1)*dim]
+		if sq == 0 {
+			return
+		}
+		inv := 1 / math.Sqrt(sq)
+		for j, v := range row {
+			dst[j] = float32(v * inv)
+		}
+	})
+
+	// All signatures in one parallel pass: sigs[i*tables+t].
+	sigs := make([]uint64, n*tables)
+	linalg.ParallelForWorkers(workers, n, func(i int) {
+		vec := ix.Vecs[i*dim : (i+1)*dim]
+		for t := 0; t < tables; t++ {
+			sigs[i*tables+t] = ix.signature(t, vec)
+		}
+	})
+
+	// Per-table CSR: counting sort by signature. Buckets are discovered by
+	// sorting the (signature, id) pairs; ids within a bucket stay ascending.
+	ix.Sigs = make([][]uint64, tables)
+	ix.Offs = make([][]uint32, tables)
+	ix.IDs = make([][]uint32, tables)
+	linalg.ParallelForWorkers(workers, tables, func(t int) {
+		order := make([]uint32, n)
+		for i := range order {
+			order[i] = uint32(i)
+		}
+		sortIDsBySig(order, sigs, tables, t)
+		var tSigs []uint64
+		var tOffs []uint32
+		ids := make([]uint32, n)
+		for i, id := range order {
+			s := sigs[int(id)*tables+t]
+			if len(tSigs) == 0 || tSigs[len(tSigs)-1] != s {
+				tSigs = append(tSigs, s)
+				tOffs = append(tOffs, uint32(i))
+			}
+			ids[i] = id
+		}
+		tOffs = append(tOffs, uint32(n))
+		ix.Sigs[t] = tSigs
+		ix.Offs[t] = tOffs
+		ix.IDs[t] = ids
+	})
+	return ix, nil
+}
+
+// sortIDsBySig sorts row ids by their table-t signature (ties by id, which
+// the stable starting order provides). Build-time only; uses heapsort to
+// stay allocation-free for large n.
+func sortIDsBySig(order []uint32, sigs []uint64, tables, t int) {
+	key := func(id uint32) uint64 { return sigs[int(id)*tables+t] }
+	less := func(a, b uint32) bool {
+		ka, kb := key(a), key(b)
+		return ka < kb || (ka == kb && a < b)
+	}
+	// Standard heapsort over order.
+	n := len(order)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftOrder(order, i, n, less)
+	}
+	for end := n - 1; end > 0; end-- {
+		order[0], order[end] = order[end], order[0]
+		siftOrder(order, 0, end, less)
+	}
+}
+
+func siftOrder(xs []uint32, root, end int, less func(a, b uint32) bool) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && less(xs[child], xs[child+1]) {
+			child++
+		}
+		if !less(xs[root], xs[child]) {
+			return
+		}
+		xs[root], xs[child] = xs[child], xs[root]
+		root = child
+	}
+}

@@ -1,0 +1,338 @@
+package ann
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func gaussianMatrix(rows, cols int, rng *rand.Rand) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// clusteredMatrix draws rows from a mixture of Gaussian clusters — the
+// regime LSH is for (queries have genuinely near neighbours).
+func clusteredMatrix(rows, cols, clusters int, noise float64, rng *rand.Rand) *linalg.Matrix {
+	centers := gaussianMatrix(clusters, cols, rng)
+	m := linalg.NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		c := centers.Row(r % clusters)
+		row := m.Row(r)
+		for j := range row {
+			row[j] = c[j] + noise*rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// TestSignCollisionProbability pins the SimHash identity the whole tier
+// rests on: for unit vectors at angle θ, a random hyperplane puts them on
+// the same side with probability 1 − θ/π. Pairs at controlled angles are
+// hashed through the index's own plane generator.
+func TestSignCollisionProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	const dim = 24
+	for _, theta := range []float64{0.2, 0.7, math.Pi / 2, 2.4} {
+		// Build an orthonormal pair (v, u) and set w = cos θ·v + sin θ·u.
+		v := make([]float64, dim)
+		u := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			u[i] = rng.NormFloat64()
+		}
+		normalize(v)
+		// Gram-Schmidt u against v.
+		d := dot(v, u)
+		for i := range u {
+			u[i] -= d * v[i]
+		}
+		normalize(u)
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = math.Cos(theta)*v[i] + math.Sin(theta)*u[i]
+		}
+
+		// One big "index" of just the two vectors gives signatures under
+		// many independent hyperplanes: agreement fraction ≈ 1 − θ/π.
+		pair := linalg.NewMatrix(2, dim)
+		copy(pair.Row(0), v)
+		copy(pair.Row(1), w)
+		ix, err := Build(pair, Config{Tables: 64, Bits: 60, Seed: 7}, 0)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		agree, total := 0, 0
+		for tb := 0; tb < ix.Tables; tb++ {
+			s0 := ix.signature(tb, ix.Vecs[0:dim])
+			s1 := ix.signature(tb, ix.Vecs[dim:2*dim])
+			for j := 0; j < ix.Bits; j++ {
+				total++
+				if (s0>>uint(j))&1 == (s1>>uint(j))&1 {
+					agree++
+				}
+			}
+		}
+		got := float64(agree) / float64(total)
+		want := 1 - theta/math.Pi
+		// 3840 Bernoulli trials: 3σ ≈ 0.024; allow 0.04.
+		if math.Abs(got-want) > 0.04 {
+			t.Fatalf("theta=%.2f: collision rate %.4f, want %.4f ± 0.04", theta, got, want)
+		}
+	}
+}
+
+func normalize(v []float64) {
+	n := math.Sqrt(dot(v, v))
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// recallAt computes |approx ∩ exact| / |exact| over result ids.
+func recallAt(approx, exact []Neighbor) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := map[int]bool{}
+	for _, nb := range approx {
+		in[nb.ID] = true
+	}
+	hits := 0
+	for _, nb := range exact {
+		if in[nb.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}
+
+// TestSearchRecallClusteredVectors: multi-probe search over a clustered
+// corpus must recover ≥ 0.9 of the exact top-10 on average. (The SBM-corpus
+// recall gate against similarity.TopK lives in recall_test.go; this one
+// isolates the index from the sketching pipeline.)
+func TestSearchRecallClusteredVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	const n, dim = 4000, 32
+	m := clusteredMatrix(n, dim, 80, 0.35, rng)
+	ix, err := Build(m, Config{Tables: 12, Bits: 12, Seed: 3}, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := NewSearcher(ix)
+	var total float64
+	const queries = 50
+	for q := 0; q < queries; q++ {
+		query := m.Row(rng.Intn(n))
+		approx, err := s.Search(query, 10, 8, nil)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		exact, err := s.ExactTopK(query, 10, nil)
+		if err != nil {
+			t.Fatalf("ExactTopK: %v", err)
+		}
+		total += recallAt(approx, exact)
+	}
+	if mean := total / queries; mean < 0.9 {
+		t.Fatalf("mean recall@10 %.3f < 0.9", mean)
+	}
+}
+
+// TestMultiProbeImprovesRecall: probing more buckets must not hurt, and from
+// 1 to 8 probes it should measurably help on a mid-size index.
+func TestMultiProbeImprovesRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n, dim = 2000, 24
+	m := clusteredMatrix(n, dim, 50, 0.4, rng)
+	ix, err := Build(m, Config{Tables: 6, Bits: 14, Seed: 9}, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := NewSearcher(ix)
+	recall := func(probes int) float64 {
+		var total float64
+		for q := 0; q < 40; q++ {
+			query := m.Row((q * 53) % n)
+			approx, _ := s.Search(query, 10, probes, nil)
+			exact, _ := s.ExactTopK(query, 10, nil)
+			total += recallAt(approx, exact)
+		}
+		return total / 40
+	}
+	r1, r8 := recall(1), recall(8)
+	if r8 < r1 {
+		t.Fatalf("recall fell with more probes: probes=1 %.3f, probes=8 %.3f", r1, r8)
+	}
+	if r8-r1 < 0.02 {
+		t.Logf("multi-probe gain small on this corpus: %.3f -> %.3f", r1, r8)
+	}
+}
+
+// TestSearchZeroAlloc is the hotpath gate: a steady-state query (dst with
+// cap ≥ k, searcher warmed once) must not allocate.
+func TestSearchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := gaussianMatrix(500, 16, rng)
+	ix, err := Build(m, Config{Tables: 8, Bits: 10, Seed: 1}, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := NewSearcher(ix)
+	query := m.Row(123)
+	dst := make([]Neighbor, 0, 10)
+	if _, err := s.Search(query, 10, 4, dst); err != nil { // warm the heap
+		t.Fatalf("Search: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, _ = s.Search(query, 10, 4, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("Search allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSearchMatchesExactWhenExhaustive: with enough tables/probes on a tiny
+// index every bucket gets visited, so Search must equal ExactTopK including
+// order and tie-breaks.
+func TestSearchMatchesExactWhenExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := gaussianMatrix(60, 8, rng)
+	ix, err := Build(m, Config{Tables: 24, Bits: 4, Seed: 5}, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := NewSearcher(ix)
+	for q := 0; q < 10; q++ {
+		query := m.Row(q * 5)
+		approx, _ := s.Search(query, 5, 5, nil)
+		exact, _ := s.ExactTopK(query, 5, nil)
+		if len(approx) != len(exact) {
+			t.Fatalf("query %d: %d vs %d results", q, len(approx), len(exact))
+		}
+		for i := range approx {
+			if approx[i] != exact[i] {
+				t.Fatalf("query %d rank %d: %+v != %+v", q, i, approx[i], exact[i])
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := gaussianMatrix(100, 12, rng)
+	a, err := Build(m, Config{Tables: 4, Bits: 8, Seed: 77}, 3)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b, err := Build(m, Config{Tables: 4, Bits: 8, Seed: 77}, 1)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := range a.Planes {
+		if a.Planes[i] != b.Planes[i] {
+			t.Fatalf("planes differ at %d", i)
+		}
+	}
+	for tb := range a.Sigs {
+		if len(a.Sigs[tb]) != len(b.Sigs[tb]) {
+			t.Fatalf("table %d: bucket counts differ", tb)
+		}
+		for i := range a.Sigs[tb] {
+			if a.Sigs[tb][i] != b.Sigs[tb][i] || a.Offs[tb][i] != b.Offs[tb][i] {
+				t.Fatalf("table %d: buckets differ at %d", tb, i)
+			}
+		}
+		for i := range a.IDs[tb] {
+			if a.IDs[tb][i] != b.IDs[tb][i] {
+				t.Fatalf("table %d: ids differ at %d", tb, i)
+			}
+		}
+	}
+}
+
+func TestBuildAndSearchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Build(nil, Config{}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil matrix: want ErrBadConfig, got %v", err)
+	}
+	if _, err := Build(linalg.NewMatrix(3, 4), Config{Bits: 61}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bits=61: want ErrBadConfig, got %v", err)
+	}
+	if _, err := Build(linalg.NewMatrix(3, 4), Config{Tables: -1}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("tables=-1: want ErrBadConfig, got %v", err)
+	}
+	m := gaussianMatrix(10, 6, rng)
+	ix, err := Build(m, Config{Tables: 2, Bits: 4}, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := NewSearcher(ix)
+	if _, err := s.Search(make([]float64, 5), 3, 1, nil); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("dim mismatch: want ErrDimMismatch, got %v", err)
+	}
+	if _, err := s.ExactTopK(make([]float64, 7), 3, nil); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("exact dim mismatch: want ErrDimMismatch, got %v", err)
+	}
+	// Zero-norm query: empty result, no error.
+	if got, err := s.Search(make([]float64, 6), 3, 2, nil); err != nil || len(got) != 0 {
+		t.Fatalf("zero query: got %d results err %v", len(got), err)
+	}
+	// k > N clamps; k <= 0 empty.
+	if got, _ := s.Search(m.Row(0), 50, 2, nil); len(got) > 10 {
+		t.Fatalf("k>n returned %d results", len(got))
+	}
+	if got, _ := s.Search(m.Row(0), 0, 2, nil); len(got) != 0 {
+		t.Fatalf("k=0 returned %d results", len(got))
+	}
+}
+
+// TestBuildZeroRowsAndZeroVectors: an empty corpus builds and answers; zero
+// rows stay representable and score 0.
+func TestBuildZeroRowsAndZeroVectors(t *testing.T) {
+	empty := linalg.NewMatrix(0, 8)
+	ix, err := Build(empty, Config{}, 0)
+	if err != nil {
+		t.Fatalf("empty Build: %v", err)
+	}
+	s := NewSearcher(ix)
+	q := make([]float64, 8)
+	q[0] = 1
+	if got, err := s.Search(q, 5, 2, nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty index: got %d err %v", len(got), err)
+	}
+
+	m := linalg.NewMatrix(3, 4)
+	m.Row(0)[0] = 1 // rows 1, 2 are all-zero
+	ix, err = Build(m, Config{Tables: 2, Bits: 3}, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s = NewSearcher(ix)
+	got, err := s.ExactTopK([]float64{1, 0, 0, 0}, 3, nil)
+	if err != nil {
+		t.Fatalf("ExactTopK: %v", err)
+	}
+	if len(got) != 3 || got[0].ID != 0 || got[0].Score < 0.99 {
+		t.Fatalf("unexpected results %+v", got)
+	}
+	for _, nb := range got[1:] {
+		if nb.Score != 0 {
+			t.Fatalf("zero row scored %v", nb.Score)
+		}
+	}
+}

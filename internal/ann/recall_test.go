@@ -1,0 +1,71 @@
+package ann
+
+// The end-to-end quality gate of ISSUE 9: LSH over count-sketched WL
+// features of an SBM corpus must reach recall@10 ≥ 0.9 against the exact
+// similarity.TopK oracle — the full pipeline a /neighbors query travels
+// (graph → stable sketch → LSH → rerank), graded against the exact scan.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/similarity"
+)
+
+func TestRecallGateSBMCorpusVsTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	// Four SBM families: distinct block structure gives the corpus real
+	// cluster geometry, like a production corpus of related graphs.
+	var gs []*graph.Graph
+	families := []struct {
+		sizes     []int
+		pin, pout float64
+	}{
+		{[]int{10, 10}, 0.85, 0.05},
+		{[]int{7, 7, 7}, 0.9, 0.1},
+		{[]int{15, 5}, 0.7, 0.15},
+		{[]int{6, 6, 6, 6}, 0.8, 0.05},
+	}
+	const perFamily = 150
+	for _, f := range families {
+		for i := 0; i < perFamily; i++ {
+			g, blocks := graph.SBM(f.sizes, f.pin, f.pout, rng)
+			for v, b := range blocks {
+				g.SetVertexLabel(v, b%2)
+			}
+			gs = append(gs, g)
+		}
+	}
+
+	sk := kernel.CountSketchWL{Rounds: 3, Width: 128, Seed: 2024}
+	corpus := sk.CorpusSketchMatrix(gs, 0)
+	ix, err := Build(corpus, Config{Tables: 16, Bits: 12, Seed: 1}, 0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	s := NewSearcher(ix)
+	const k, probes, queries = 10, 10, 60
+	var total float64
+	for q := 0; q < queries; q++ {
+		query := corpus.Row((q * 7) % len(gs))
+		approx, err := s.Search(query, k, probes, nil)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		exact, err := similarity.TopK(query, corpus, k)
+		if err != nil {
+			t.Fatalf("TopK oracle: %v", err)
+		}
+		asNeighbors := make([]Neighbor, len(exact))
+		for i, nb := range exact {
+			asNeighbors[i] = Neighbor{ID: nb.ID, Score: nb.Score}
+		}
+		total += recallAt(approx, asNeighbors)
+	}
+	if mean := total / queries; mean < 0.9 {
+		t.Fatalf("SBM corpus recall@%d = %.3f < 0.9", k, mean)
+	}
+}

@@ -1,0 +1,273 @@
+package ann
+
+// The query path. A Searcher owns every scratch buffer a query needs, so a
+// steady-state Search performs zero heap allocations — the property the
+// serving daemon leans on at high QPS, enforced by TestSearchZeroAlloc and
+// the x2veclint hotalloc analyzer via the hotpath annotation below. A
+// Searcher is NOT safe for concurrent use; callers pool them (the daemon
+// keeps a sync.Pool per loaded index).
+
+import (
+	"math"
+
+	"repro/internal/linalg/f32"
+)
+
+// Searcher is reusable per-query scratch bound to one Index.
+type Searcher struct {
+	ix      *Index
+	qf      []float32 // normalised float32 query
+	margins []float32 // |signed distance| to each hyperplane of a table
+	order   []int32   // bit indices sorted by ascending margin
+	visited []uint32  // epoch stamps, one per indexed row
+	epoch   uint32
+	heap    []Neighbor // min-heap of current best k
+}
+
+// NewSearcher allocates scratch for queries against ix.
+func NewSearcher(ix *Index) *Searcher {
+	return &Searcher{
+		ix:      ix,
+		qf:      make([]float32, ix.Dim),
+		margins: make([]float32, ix.Bits),
+		order:   make([]int32, ix.Bits),
+		visited: make([]uint32, ix.N),
+	}
+}
+
+// Index returns the index this searcher queries.
+func (s *Searcher) Index() *Index { return s.ix }
+
+// Search returns the (up to) k indexed rows most cosine-similar to q, best
+// first, written into dst (grown as needed; pass a slice with cap ≥ k to
+// stay allocation-free). probes is the number of buckets examined per table:
+// 1 probes only the query's own bucket, p > 1 additionally flips the p−1
+// signature bits with the smallest hyperplane margins — the bits most likely
+// wrong — before lookup. Candidates are deduplicated across tables and
+// reranked by exact cosine, so scores are true similarities. A zero-norm
+// query matches nothing.
+//
+//x2vec:hotpath
+func (s *Searcher) Search(q []float64, k, probes int, dst []Neighbor) ([]Neighbor, error) {
+	ix := s.ix
+	dst = dst[:0]
+	if len(q) != ix.Dim {
+		return dst, ErrDimMismatch
+	}
+	if k <= 0 || ix.N == 0 {
+		return dst, nil
+	}
+	if k > ix.N {
+		k = ix.N
+	}
+	if probes < 1 {
+		probes = 1
+	}
+	if probes > ix.Bits+1 {
+		probes = ix.Bits + 1
+	}
+	if !s.loadQuery(q) {
+		return dst, nil
+	}
+
+	s.bumpEpoch()
+	s.heap = s.heap[:0]
+	for t := 0; t < ix.Tables; t++ {
+		base := s.tableMargins(t)
+		for p := 0; p < probes; p++ {
+			sig := base
+			if p > 0 {
+				sig ^= 1 << uint(s.order[p-1])
+			}
+			b := findSig(ix.Sigs[t], sig)
+			if b < 0 {
+				continue
+			}
+			offs := ix.Offs[t]
+			ids := ix.IDs[t][offs[b]:offs[b+1]]
+			s.scanCandidates(ids, k)
+		}
+	}
+	return s.drainHeap(dst), nil
+}
+
+// ExactTopK scans every indexed row — the per-index brute-force oracle the
+// daemon's recall sampler compares Search against. Same scratch, same
+// normalisation, same tie-breaks; only the candidate set differs (all rows).
+func (s *Searcher) ExactTopK(q []float64, k int, dst []Neighbor) ([]Neighbor, error) {
+	ix := s.ix
+	dst = dst[:0]
+	if len(q) != ix.Dim {
+		return dst, ErrDimMismatch
+	}
+	if k <= 0 || ix.N == 0 {
+		return dst, nil
+	}
+	if k > ix.N {
+		k = ix.N
+	}
+	if !s.loadQuery(q) {
+		return dst, nil
+	}
+	s.heap = s.heap[:0]
+	for id := 0; id < ix.N; id++ {
+		score := float64(f32.Dot(s.qf, ix.Vecs[id*ix.Dim:(id+1)*ix.Dim]))
+		s.push(Neighbor{ID: id, Score: score}, k)
+	}
+	return s.drainHeap(dst), nil
+}
+
+// loadQuery normalises q into the float32 scratch; false means zero norm.
+func (s *Searcher) loadQuery(q []float64) bool {
+	var sq float64
+	for _, v := range q {
+		sq += v * v
+	}
+	if sq == 0 {
+		return false
+	}
+	inv := 1 / math.Sqrt(sq)
+	for i, v := range q {
+		s.qf[i] = float32(v * inv)
+	}
+	return true
+}
+
+// bumpEpoch advances the visited stamp, clearing the array only on the
+// (once per 2³² queries) wraparound.
+func (s *Searcher) bumpEpoch() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// tableMargins computes the query's signature under table t, records each
+// bit's |margin|, and leaves order[] holding bit indices sorted by ascending
+// margin (insertion sort: Bits ≤ 60, and closures or sort.Slice would
+// allocate on the hotpath).
+func (s *Searcher) tableMargins(t int) uint64 {
+	ix := s.ix
+	base := t * ix.Bits * ix.Dim
+	var sig uint64
+	for j := 0; j < ix.Bits; j++ {
+		m := f32.Dot(ix.Planes[base+j*ix.Dim:base+(j+1)*ix.Dim], s.qf)
+		if m >= 0 {
+			sig |= 1 << uint(j)
+		} else {
+			m = -m
+		}
+		s.margins[j] = m
+		s.order[j] = int32(j)
+	}
+	for i := 1; i < ix.Bits; i++ {
+		o := s.order[i]
+		m := s.margins[o]
+		j := i - 1
+		for j >= 0 && s.margins[s.order[j]] > m {
+			s.order[j+1] = s.order[j]
+			j--
+		}
+		s.order[j+1] = o
+	}
+	return sig
+}
+
+// scanCandidates reranks one bucket's rows by exact cosine, deduplicating
+// across tables and probes with the epoch-stamped visited set.
+func (s *Searcher) scanCandidates(ids []uint32, k int) {
+	ix := s.ix
+	for _, id := range ids {
+		if s.visited[id] == s.epoch {
+			continue
+		}
+		s.visited[id] = s.epoch
+		row := ix.Vecs[int(id)*ix.Dim : (int(id)+1)*ix.Dim]
+		score := float64(f32.Dot(s.qf, row))
+		s.push(Neighbor{ID: int(id), Score: score}, k)
+	}
+}
+
+// worse orders heap entries: a ranks strictly below b when its score is
+// lower, ties broken toward the higher id (so results match the exact
+// oracle's deterministic lower-id-wins order).
+func worse(a, b Neighbor) bool {
+	return a.Score < b.Score || (a.Score == b.Score && a.ID > b.ID)
+}
+
+// push offers a candidate to the k-bounded min-heap.
+func (s *Searcher) push(nb Neighbor, k int) {
+	if len(s.heap) < k {
+		s.heap = append(s.heap, nb)
+		i := len(s.heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(s.heap[i], s.heap[parent]) {
+				break
+			}
+			s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+			i = parent
+		}
+		return
+	}
+	if !worse(s.heap[0], nb) {
+		return
+	}
+	s.heap[0] = nb
+	s.siftDown(0)
+}
+
+func (s *Searcher) siftDown(root int) {
+	n := len(s.heap)
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && worse(s.heap[child+1], s.heap[child]) {
+			child++
+		}
+		if !worse(s.heap[child], s.heap[root]) {
+			return
+		}
+		s.heap[root], s.heap[child] = s.heap[child], s.heap[root]
+		root = child
+	}
+}
+
+// drainHeap empties the heap into dst in descending rank order.
+func (s *Searcher) drainHeap(dst []Neighbor) []Neighbor {
+	n := len(s.heap)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Neighbor{})
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = s.heap[0]
+		last := len(s.heap) - 1
+		s.heap[0] = s.heap[last]
+		s.heap = s.heap[:last]
+		s.siftDown(0)
+	}
+	return dst
+}
+
+// findSig locates sig in the sorted signature list, -1 if absent. Manual
+// binary search: sort.Search takes a closure and would allocate per probe.
+func findSig(sigs []uint64, sig uint64) int {
+	lo, hi := 0, len(sigs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sigs[mid] < sig {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(sigs) && sigs[lo] == sig {
+		return lo
+	}
+	return -1
+}

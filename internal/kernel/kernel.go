@@ -253,6 +253,16 @@ func graphletCountsIso(g *graph.Graph, k int) []float64 {
 // of length-k walk pairs) computed on the direct product graph, truncated at
 // MaxLen steps (λ must satisfy λ·Δ(g)Δ(h) < 1 for convergence of the full
 // series; truncation keeps any λ finite).
+//
+// RandomWalk is the one kernel here that cannot join the corpus feature
+// pipeline: its implicit feature space is indexed by labelled walk
+// sequences, so an explicit Features(g) would hold one coordinate per
+// realised label sequence of length ≤ MaxLen — exponential in MaxLen as soon
+// as labels are diverse. Gram instead uses the prepared-pairwise path
+// (prepared.go): the label-bucketed adjacency is built once per graph per
+// Gram, and only the irreducibly pairwise product-graph recurrence runs in
+// the O(n²) loop. Compute below is the sequential reference the prepared
+// path is pinned against.
 type RandomWalk struct {
 	Lambda float64
 	MaxLen int
@@ -387,6 +397,18 @@ func GramWorkers(k Kernel, gs []*graph.Graph, workers int) *linalg.Matrix {
 		feats := FeatureVectorsWorkers(fk, gs, workers)
 		return linalg.SymmetricFromFuncWorkers(workers, len(gs), func(i, j int) float64 {
 			return feats[i].Dot(feats[j])
+		})
+	}
+	if pk, ok := k.(preparedKernel); ok {
+		// No explicit feature map, but per-graph preprocessing factors out:
+		// prepare each graph once, evaluate pairs on the prepared forms
+		// (identical values to Compute — see prepared.go).
+		preps := make([]any, len(gs))
+		linalg.ParallelForWorkers(workers, len(gs), func(i int) {
+			preps[i] = pk.prepare(gs[i])
+		})
+		return linalg.SymmetricFromFuncWorkers(workers, len(gs), func(i, j int) float64 {
+			return pk.computePrepared(preps[i], preps[j])
 		})
 	}
 	return linalg.SymmetricFromFuncWorkers(workers, len(gs), func(i, j int) float64 {

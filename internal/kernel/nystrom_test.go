@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// nystromCorpus builds a clustered corpus (SBM families), the regime the
+// approximation is for: family structure gives the Gram a fast-decaying
+// spectrum that m ≪ n landmark columns can span.
+func nystromCorpus(perFamily int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	families := []struct {
+		sizes     []int
+		pin, pout float64
+	}{
+		{[]int{10, 10}, 0.85, 0.05},
+		{[]int{7, 7, 7}, 0.9, 0.1},
+		{[]int{15, 5}, 0.7, 0.15},
+		{[]int{6, 6, 6, 6}, 0.8, 0.05},
+	}
+	var gs []*graph.Graph
+	for _, f := range families {
+		for i := 0; i < perFamily; i++ {
+			g, blocks := graph.SBM(f.sizes, f.pin, f.pout, rng)
+			for v, b := range blocks {
+				g.SetVertexLabel(v, b%2)
+			}
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+// TestNystromSpectralErrorGate is the pinned quality budget of ISSUE 9: on
+// the structured corpus with m = 2√n landmarks, the relative spectral error
+// ‖G − G̃‖₂/‖G‖₂ of the Nyström Gram must stay under 0.15.
+func TestNystromSpectralErrorGate(t *testing.T) {
+	gs := nystromCorpus(50, 7) // n = 200
+	k := WLSubtree{Rounds: 1}
+	exact := Gram(k, gs)
+	n := len(gs)
+	m := 2 * int(math.Sqrt(float64(n)))
+	approx, err := NystromGram(k, gs, m, 0, 99)
+	if err != nil {
+		t.Fatalf("NystromGram: %v", err)
+	}
+	rel := linalg.SpectralNorm(exact.Sub(approx)) / linalg.SpectralNorm(exact)
+	if rel > 0.15 {
+		t.Fatalf("relative spectral error %.4f > 0.15 at m=%d, n=%d", rel, m, n)
+	}
+	t.Logf("n=%d m=%d relative spectral error %.4f", n, m, rel)
+}
+
+// TestNystromExactAtFullRank: with m = n every column is a landmark, the
+// span is complete, and K̃ must equal K to numerical precision.
+func TestNystromExactAtFullRank(t *testing.T) {
+	gs := nystromCorpus(8, 11) // n = 32
+	k := WLSubtree{Rounds: 1}
+	exact := Gram(k, gs)
+	approx, err := NystromGram(k, gs, len(gs), 0, 3)
+	if err != nil {
+		t.Fatalf("NystromGram: %v", err)
+	}
+	scale := linalg.Frobenius(exact)
+	if diff := linalg.Frobenius(exact.Sub(approx)); diff > 1e-8*scale {
+		t.Fatalf("full-rank Nyström differs from exact Gram: ‖diff‖_F = %v (scale %v)", diff, scale)
+	}
+}
+
+// TestNystromFeaturesFactorConsistency: NystromGram must equal the W·Wᵀ of
+// NystromFeatures with the same seed — the factor IS the approximation.
+func TestNystromFeaturesFactorConsistency(t *testing.T) {
+	gs := nystromCorpus(10, 13)
+	k := WLSubtree{Rounds: 1}
+	w, err := NystromFeatures(k, gs, 12, 0, 5)
+	if err != nil {
+		t.Fatalf("NystromFeatures: %v", err)
+	}
+	gram, err := NystromGram(k, gs, 12, 0, 5)
+	if err != nil {
+		t.Fatalf("NystromGram: %v", err)
+	}
+	if w.Rows != len(gs) || w.Cols != 12 {
+		t.Fatalf("factor shape %dx%d, want %dx12", w.Rows, w.Cols, len(gs))
+	}
+	for i := 0; i < len(gs); i++ {
+		for j := i; j < len(gs); j++ {
+			if got, want := gram.At(i, j), linalg.Dot(w.Row(i), w.Row(j)); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("(%d,%d): gram %v != factor product %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestNystromPSD: K̃ = W·Wᵀ is PSD by construction — the property that lets
+// downstream spectral embeddings consume it unguarded.
+func TestNystromPSD(t *testing.T) {
+	gs := nystromCorpus(10, 17)
+	approx, err := NystromGram(WLSubtree{Rounds: 2}, gs, 10, 0, 1)
+	if err != nil {
+		t.Fatalf("NystromGram: %v", err)
+	}
+	if !IsPSD(approx, 1e-6*linalg.SpectralNorm(approx)) {
+		t.Fatal("Nyström Gram is not PSD")
+	}
+}
+
+// TestNystromDeterministicInSeed and worker-count invariant.
+func TestNystromDeterministic(t *testing.T) {
+	gs := nystromCorpus(6, 19)
+	k := WLSubtree{Rounds: 1}
+	a, err := NystromGram(k, gs, 8, 1, 42)
+	if err != nil {
+		t.Fatalf("NystromGram: %v", err)
+	}
+	b, err := NystromGram(k, gs, 8, 4, 42)
+	if err != nil {
+		t.Fatalf("NystromGram: %v", err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-12 {
+			t.Fatalf("worker count changed Nyström result at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestNystromErrors(t *testing.T) {
+	gs := nystromCorpus(2, 23)
+	if _, err := NystromGram(WLSubtree{Rounds: 1}, gs, 0, 0, 1); !errors.Is(err, ErrBadLandmarks) {
+		t.Fatalf("m=0: want ErrBadLandmarks, got %v", err)
+	}
+	// m > n clamps instead of failing.
+	if _, err := NystromGram(WLSubtree{Rounds: 1}, gs, 10*len(gs), 0, 1); err != nil {
+		t.Fatalf("m>n: %v", err)
+	}
+	// Empty corpus: empty matrices, no error.
+	w, err := NystromFeatures(WLSubtree{Rounds: 1}, nil, 3, 0, 1)
+	if err != nil || w.Rows != 0 {
+		t.Fatalf("empty corpus: rows=%d err=%v", w.Rows, err)
+	}
+}

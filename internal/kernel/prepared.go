@@ -1,0 +1,154 @@
+package kernel
+
+// The prepared-pairwise path: Gram reuse for kernels without a feature map.
+//
+// RandomWalk cannot join the corpus feature pipeline outright: its implicit
+// feature space is indexed by labelled walk sequences — coordinate (ℓ₀, …,
+// ℓ_k) counts the walks through that label sequence, K(g,h) = Σ_k λ^k
+// Σ_seq walks_g(seq)·walks_h(seq) — and the number of realised sequences
+// grows like |labels|^MaxLen, so materialising Features(g) is exponential in
+// MaxLen exactly where the kernel is interesting (many labels). What CAN be
+// hoisted out of Gram's O(n²) pairwise loop is every per-graph quantity the
+// product-graph walk recurrence touches: the label-bucketed out-adjacency
+// (destinations of each vertex grouped by destination label, sorted by
+// label) and the per-label vertex lists that seed the round-0 match matrix.
+// preparedKernel formalises that: Gram prepares each graph once, then every
+// pair multiplies prepared forms — identical arithmetic (walk counts are
+// integers, so bucket-ordered accumulation is exactly equal), no repeated
+// bucketing, no per-arc label comparisons in the inner loop.
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// preparedKernel is a Kernel whose pairwise evaluation factors through a
+// per-graph prepared form. GramWorkers prepares each graph exactly once and
+// evaluates pairs on the prepared forms; computePrepared(prepare(g),
+// prepare(h)) must equal Compute(g, h) for all pairs, which the regression
+// tests pin for every implementor.
+type preparedKernel interface {
+	Kernel
+	prepare(g *graph.Graph) any
+	computePrepared(a, b any) float64
+}
+
+// labelRun is one vertex's out-destinations carrying a single label.
+type labelRun struct {
+	label int
+	dsts  []int32
+}
+
+// rwPrep is RandomWalk's prepared form.
+type rwPrep struct {
+	n       int
+	labels  []int        // vertex labels (round-0 matching)
+	byLabel [][]labelRun // per vertex: out-destinations bucketed by label, label-sorted
+}
+
+// prepare implements preparedKernel: one pass bucketing g's out-adjacency by
+// destination label.
+func (RandomWalk) prepare(g *graph.Graph) any {
+	n := g.N()
+	p := &rwPrep{n: n, labels: make([]int, n), byLabel: make([][]labelRun, n)}
+	var dsts []int32
+	for v := 0; v < n; v++ {
+		p.labels[v] = g.VertexLabel(v)
+		arcs := g.Arcs(v)
+		dsts = dsts[:0]
+		for _, a := range arcs {
+			dsts = append(dsts, int32(a.To))
+		}
+		sort.Slice(dsts, func(i, j int) bool {
+			li, lj := g.VertexLabel(int(dsts[i])), g.VertexLabel(int(dsts[j]))
+			return li < lj || (li == lj && dsts[i] < dsts[j])
+		})
+		var runs []labelRun
+		for i := 0; i < len(dsts); {
+			l := g.VertexLabel(int(dsts[i]))
+			j := i + 1
+			for j < len(dsts) && g.VertexLabel(int(dsts[j])) == l {
+				j++
+			}
+			run := labelRun{label: l, dsts: make([]int32, j-i)}
+			copy(run.dsts, dsts[i:j])
+			runs = append(runs, run)
+			i = j
+		}
+		p.byLabel[v] = runs
+	}
+	return p
+}
+
+// computePrepared implements preparedKernel: the same truncated geometric
+// walk series as Compute, evaluated on prepared forms. Walk counts are
+// integers, so the bucket-ordered accumulation is bit-identical to Compute's
+// arc-ordered one, and the per-round weighting replays Compute's loop
+// exactly.
+func (k RandomWalk) computePrepared(a, b any) float64 {
+	pg := a.(*rwPrep)
+	ph := b.(*rwPrep)
+	lambda := k.Lambda
+	if lambda == 0 {
+		lambda = 0.01
+	}
+	maxLen := k.MaxLen
+	if maxLen == 0 {
+		maxLen = 8
+	}
+	ng, nh := pg.n, ph.n
+	cur := make([]float64, ng*nh)
+	for i := 0; i < ng; i++ {
+		for j := 0; j < nh; j++ {
+			if pg.labels[i] == ph.labels[j] {
+				cur[i*nh+j] = 1
+			}
+		}
+	}
+	total := sum(cur)
+	w := 1.0
+	next := make([]float64, ng*nh)
+	for step := 1; step <= maxLen; step++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for i := 0; i < ng; i++ {
+			runsG := pg.byLabel[i]
+			if len(runsG) == 0 {
+				continue
+			}
+			for j := 0; j < nh; j++ {
+				v := cur[i*nh+j]
+				if v == 0 {
+					continue
+				}
+				runsH := ph.byLabel[j]
+				// Sorted-run merge on destination label: only matching
+				// labels contribute product-graph steps.
+				gi, hi := 0, 0
+				for gi < len(runsG) && hi < len(runsH) {
+					switch {
+					case runsG[gi].label < runsH[hi].label:
+						gi++
+					case runsG[gi].label > runsH[hi].label:
+						hi++
+					default:
+						for _, u := range runsG[gi].dsts {
+							row := next[int(u)*nh:]
+							for _, x := range runsH[hi].dsts {
+								row[x] += v
+							}
+						}
+						gi++
+						hi++
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+		w *= lambda
+		total += w * sum(cur)
+	}
+	return total
+}

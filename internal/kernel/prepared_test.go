@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomWalkCorpus: labelled random graphs, some directed structure via
+// labels, including an empty graph and a single vertex — the edge cases the
+// product-graph recurrence must survive.
+func randomWalkCorpus(n int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gs := make([]*graph.Graph, 0, n)
+	for i := 0; i < n; i++ {
+		g := graph.Random(6+rng.Intn(8), 0.3, rng)
+		for v := 0; v < g.N(); v++ {
+			g.SetVertexLabel(v, rng.Intn(3))
+		}
+		gs = append(gs, g)
+	}
+	gs = append(gs, graph.New(0), graph.New(1), graph.Cycle(5))
+	return gs
+}
+
+// TestRandomWalkPreparedMatchesCompute pins the prepared-pairwise path
+// against the sequential reference pair by pair: walk counts are integral,
+// so prepared evaluation must agree to full precision.
+func TestRandomWalkPreparedMatchesCompute(t *testing.T) {
+	gs := randomWalkCorpus(10, 31)
+	for _, k := range []RandomWalk{{}, {Lambda: 0.05, MaxLen: 4}, {Lambda: 0.2, MaxLen: 2}} {
+		preps := make([]any, len(gs))
+		for i, g := range gs {
+			preps[i] = k.prepare(g)
+		}
+		for i := range gs {
+			for j := i; j < len(gs); j++ {
+				want := k.Compute(gs[i], gs[j])
+				got := k.computePrepared(preps[i], preps[j])
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("λ=%v len=%d pair (%d,%d): prepared %v != reference %v",
+						k.Lambda, k.MaxLen, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomWalkGramUsesPreparedPath: GramWorkers on RandomWalk must equal
+// the sequential PairwiseGram reference — the regression gate for the
+// dispatch added in ISSUE 9.
+func TestRandomWalkGramUsesPreparedPath(t *testing.T) {
+	gs := randomWalkCorpus(8, 37)
+	k := RandomWalk{Lambda: 0.03, MaxLen: 5}
+	want := PairwiseGram(k, gs)
+	got := GramWorkers(k, gs, 3)
+	for i := 0; i < want.Rows; i++ {
+		for j := 0; j < want.Cols; j++ {
+			if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-9*(1+math.Abs(want.At(i, j))) {
+				t.Fatalf("(%d,%d): Gram %v != PairwiseGram %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}

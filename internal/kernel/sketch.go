@@ -1,0 +1,156 @@
+package kernel
+
+// CountSketchWL: feature hashing for the WL subtree kernel. The exact
+// kernel's feature space is unbounded — every new graph can mint new colours,
+// so corpus feature matrices are ragged, sparse, and unusable as input to
+// anything that wants fixed-width vectors (the ANN tier, out-of-core dot
+// products, GPU batching). The count-sketch folds coordinate (round, colour)
+// into one of Width buckets with a ±1 sign, giving every graph a dense
+// Width-long vector whose inner products are unbiased estimates of the exact
+// WLSubtree kernel: E[⟨sketch(g), sketch(h)⟩] = K_WL(g, h) over the hash
+// seed, with variance O(‖φg‖²‖φh‖²/Width) (Weinberger et al.'s hashing-trick
+// bound). Width trades memory and ANN dimensionality against estimator
+// noise; sketch_test.go pins the unbiasedness empirically.
+//
+// Colours come from wl.HashColorRounds, not the refinement engine: engine
+// ids are process-local interning order, and a sketch built by `x2vec index`
+// must land in the same buckets as one built by the daemon answering
+// /neighbors, or the two live in different coordinate systems. The stable
+// codes induce the same partitions as the engine (pinned in
+// wl/stablecolors_test.go), so the sketched kernel estimates exactly the
+// kernel WLSubtree computes.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/linalg"
+	"repro/internal/wl"
+)
+
+// CountSketchWL is the hashed-feature WL subtree kernel. The zero value
+// sketches 3 rounds into 128 buckets with the default seed. Distinct seeds
+// give independent estimators of the same kernel; averaging sketch dot
+// products over seeds converges to the exact WLSubtree value.
+type CountSketchWL struct {
+	Rounds int    // WL rounds (0 = default 3)
+	Width  int    // sketch width in buckets (0 = default 128)
+	Seed   uint64 // hash seed; 0 is a valid (default) seed
+}
+
+// DefaultSketchRounds and DefaultSketchWidth are the zero-value parameters
+// of CountSketchWL, shared with the `x2vec index` CLI defaults.
+const (
+	DefaultSketchRounds = 3
+	DefaultSketchWidth  = 128
+)
+
+func (k CountSketchWL) rounds() int {
+	if k.Rounds <= 0 {
+		return DefaultSketchRounds
+	}
+	return k.Rounds
+}
+
+func (k CountSketchWL) width() int {
+	if k.Width <= 0 {
+		return DefaultSketchWidth
+	}
+	return k.Width
+}
+
+// Name implements Kernel.
+func (CountSketchWL) Name() string { return "wl-sketch" }
+
+// mix64 is the murmur3 finaliser (bijective, strong avalanche) — the local
+// copy of wl's mixer for deriving bucket/sign bits from stable colour codes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// sketchKey derives the per-coordinate hash key: a per-(seed, round) subseed
+// mixed with the stable colour code. The bucket reads the low bits
+// (key % width) and the sign the top bit, so the two are effectively
+// independent — the property count-sketch unbiasedness needs.
+func sketchKey(seed uint64, round int, code uint64) uint64 {
+	sub := mix64(seed ^ uint64(round)*0x9e3779b97f4a7c15)
+	return mix64(sub ^ code)
+}
+
+// Sketch returns the dense Width-long count-sketch of g: every vertex at
+// every round 0..Rounds contributes ±1 to the bucket its stable colour
+// hashes to.
+func (k CountSketchWL) Sketch(g *graph.Graph) []float64 {
+	width := k.width()
+	out := make([]float64, width)
+	k.sketchInto(out, g)
+	return out
+}
+
+// sketchInto accumulates g's sketch into out (len(out) must be k.width()).
+func (k CountSketchWL) sketchInto(out []float64, g *graph.Graph) {
+	width := uint64(len(out))
+	codes := wl.HashColorRounds(g, k.rounds())
+	for r, round := range codes {
+		for _, c := range round {
+			key := sketchKey(k.Seed, r, c)
+			if key>>63 != 0 {
+				out[key%width]--
+			} else {
+				out[key%width]++
+			}
+		}
+	}
+}
+
+// CorpusSketches sketches a whole corpus across a worker pool (0 or negative
+// workers = GOMAXPROCS). Row i equals Sketch(gs[i]) exactly — sketching is
+// per-graph arithmetic, so there is no cross-graph state to batch, just the
+// embarrassing parallelism.
+func (k CountSketchWL) CorpusSketches(gs []*graph.Graph, workers int) [][]float64 {
+	out := make([][]float64, len(gs))
+	width := k.width()
+	backing := make([]float64, len(gs)*width)
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
+		row := backing[i*width : (i+1)*width]
+		k.sketchInto(row, gs[i])
+		out[i] = row
+	})
+	return out
+}
+
+// CorpusSketchMatrix is CorpusSketches shaped as a dense row-major matrix —
+// the form the ANN index builder consumes.
+func (k CountSketchWL) CorpusSketchMatrix(gs []*graph.Graph, workers int) *linalg.Matrix {
+	width := k.width()
+	m := linalg.NewMatrix(len(gs), width)
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
+		k.sketchInto(m.Row(i), gs[i])
+	})
+	return m
+}
+
+// Compute implements Kernel: the inner product of the two sketches — an
+// unbiased estimate of WLSubtree{Rounds}.Compute(g, h).
+func (k CountSketchWL) Compute(g, h *graph.Graph) float64 {
+	return linalg.Dot(k.Sketch(g), k.Sketch(h))
+}
+
+// Features implements FeatureKernel; the sketch is dense, so this exists to
+// slot the kernel into Gram's n-extraction fast path, not to save space.
+func (k CountSketchWL) Features(g *graph.Graph) linalg.SparseVector {
+	return denseToSparse(k.Sketch(g))
+}
+
+// CorpusFeatures implements CorpusFeatureKernel.
+func (k CountSketchWL) CorpusFeatures(gs []*graph.Graph, workers int) []linalg.SparseVector {
+	sketches := k.CorpusSketches(gs, workers)
+	feats := make([]linalg.SparseVector, len(gs))
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
+		feats[i] = denseToSparse(sketches[i])
+	})
+	return feats
+}

@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// TestCountSketchUnbiased is the headline property: averaged over hash
+// seeds, sketch inner products converge to the exact WLSubtree kernel.
+// Width is kept small (64) so per-seed noise is visible and the averaging is
+// doing real work.
+func TestCountSketchUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, _ := graph.SBM([]int{8, 8}, 0.8, 0.1, rng)
+	h, _ := graph.SBM([]int{8, 8}, 0.7, 0.15, rng)
+	for v := 0; v < g.N(); v++ {
+		g.SetVertexLabel(v, v%2)
+	}
+	for v := 0; v < h.N(); v++ {
+		h.SetVertexLabel(v, v%2)
+	}
+	const rounds = 2
+	exact := WLSubtree{Rounds: rounds}.Compute(g, h)
+	if exact <= 0 {
+		t.Fatalf("degenerate test pair: exact kernel %v", exact)
+	}
+	const samples = 500
+	var mean float64
+	for s := 0; s < samples; s++ {
+		k := CountSketchWL{Rounds: rounds, Width: 64, Seed: uint64(s + 1)}
+		mean += k.Compute(g, h)
+	}
+	mean /= samples
+	if rel := math.Abs(mean-exact) / exact; rel > 0.10 {
+		t.Fatalf("sketch estimator biased: mean %v exact %v rel err %.3f", mean, exact, rel)
+	}
+}
+
+// TestCountSketchSelfKernelUpperBiased documents the known self-product
+// bias: E‖sketch‖² = ‖φ‖² + collision mass ≥ ‖φ‖², so self-similarities are
+// never underestimated on average.
+func TestCountSketchSelfKernelUpperBiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Random(14, 0.3, rng)
+	const rounds = 2
+	exact := WLSubtree{Rounds: rounds}.Compute(g, g)
+	const samples = 300
+	var mean float64
+	for s := 0; s < samples; s++ {
+		k := CountSketchWL{Rounds: rounds, Width: 64, Seed: uint64(s + 1)}
+		mean += k.Compute(g, g)
+	}
+	mean /= samples
+	if mean < exact*0.98 {
+		t.Fatalf("self kernel underestimated on average: mean %v exact %v", mean, exact)
+	}
+}
+
+// TestCountSketchDeterministicAndConsistent: same seed → identical sketches,
+// corpus path ≡ per-graph path, Features ≡ Sketch, Compute ≡ Features dot.
+func TestCountSketchDeterministicAndConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	gs := []*graph.Graph{
+		graph.Cycle(7),
+		graph.Random(10, 0.4, rng),
+		graph.RandomTree(9, rng),
+	}
+	k := CountSketchWL{Rounds: 3, Width: 32, Seed: 42}
+	corpus := k.CorpusSketches(gs, 2)
+	mat := k.CorpusSketchMatrix(gs, 2)
+	for i, g := range gs {
+		single := k.Sketch(g)
+		again := k.Sketch(g)
+		for j := range single {
+			if single[j] != again[j] {
+				t.Fatalf("graph %d: sketch not deterministic at %d", i, j)
+			}
+			if corpus[i][j] != single[j] {
+				t.Fatalf("graph %d: corpus sketch differs at %d", i, j)
+			}
+			if mat.At(i, j) != single[j] {
+				t.Fatalf("graph %d: sketch matrix differs at %d", i, j)
+			}
+		}
+		if got, want := k.Compute(g, g), linalg.Dot(single, single); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("graph %d: Compute %v != sketch self-dot %v", i, got, want)
+		}
+		feat := k.Features(g)
+		var fromFeat float64
+		for _, v := range feat {
+			fromFeat += v * v
+		}
+		if math.Abs(fromFeat-linalg.Dot(single, single)) > 1e-9 {
+			t.Fatalf("graph %d: Features mass differs from sketch", i)
+		}
+	}
+}
+
+// TestCountSketchIsomorphismInvariant: renumbering vertices must not move
+// the sketch — the property that makes wl.Hash a sound cache key for
+// /neighbors responses.
+func TestCountSketchIsomorphismInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := graph.Random(12, 0.3, rng)
+	for v := 0; v < g.N(); v++ {
+		g.SetVertexLabel(v, v%3)
+	}
+	perm := rng.Perm(g.N())
+	h := graph.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		h.SetVertexLabel(perm[v], g.VertexLabel(v))
+	}
+	for _, e := range g.Edges() {
+		h.AddEdgeFull(perm[e.U], perm[e.V], e.Weight, e.Label)
+	}
+	k := CountSketchWL{}
+	sg, sh := k.Sketch(g), k.Sketch(h)
+	for i := range sg {
+		if sg[i] != sh[i] {
+			t.Fatalf("sketch differs under renumbering at bucket %d", i)
+		}
+	}
+}
+
+// TestCountSketchDefaults pins the zero-value parameters.
+func TestCountSketchDefaults(t *testing.T) {
+	k := CountSketchWL{}
+	if got := len(k.Sketch(graph.Path(3))); got != DefaultSketchWidth {
+		t.Fatalf("default width: got %d want %d", got, DefaultSketchWidth)
+	}
+	if k.rounds() != DefaultSketchRounds {
+		t.Fatalf("default rounds: got %d want %d", k.rounds(), DefaultSketchRounds)
+	}
+}

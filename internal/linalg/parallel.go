@@ -12,6 +12,12 @@ import (
 // across workers. f must be safe to call concurrently for distinct i.
 func ParallelFor(n int, f func(i int)) { ParallelForWorkers(0, n, f) }
 
+// DefaultWorkers returns the pool size a non-positive worker cap resolves
+// to (GOMAXPROCS). Callers that shard work into per-worker chunks — rather
+// than per-item indices — use this to pick the chunk count that matches the
+// pool ParallelForWorkers will actually run.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // ParallelForWorkers is ParallelFor with an explicit worker cap: at most
 // `workers` goroutines run f concurrently (0 or negative selects the
 // GOMAXPROCS default). Pipelines that serve concurrent callers — the serve

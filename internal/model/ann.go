@@ -1,0 +1,402 @@
+package model
+
+// ANN index persistence: KindANNIndex blocks in the version-2 container.
+// Like the embedding tables, the layout is mmap-first — every array the
+// query path touches (hyperplanes, normalised vectors, per-table signature
+// buckets) is stored little-endian at an aligned offset, so the daemon
+// cold-starts an index by pointing ann.Index slices at the mapping:
+//
+//	offset    size  field
+//	0         4     magic "x2vm"
+//	4         2     format version, uint16 LE (2)
+//	6         2     model kind, uint16 LE (KindANNIndex)
+//	8         4     header length H, uint32 LE
+//	12        4     CRC32 (IEEE) over the H header bytes, uint32 LE
+//	16        H     header: dim/n/tables/bits u32, seed u64, sketchRounds/
+//	                sketchWidth u32, sketchSeed u64, five (off,len) u64
+//	                pairs (planes, vecs, sigs, offs, ids), then tables u32
+//	                bucket counts
+//	planesOff .     tables*bits*dim float32 hyperplane normals (4096-aligned)
+//	vecsOff   .     n*dim float32 unit rows (64-aligned)
+//	sigsOff   .     per-table sorted signatures, concatenated, uint64 (64-aligned)
+//	offsOff   .     per-table CSR offsets (bucketCount+1 each), uint32 (64-aligned)
+//	idsOff    .     per-table row ids, n each, uint32 (64-aligned)
+//	end-4     4     CRC32 (IEEE) over bytes [0, end-4), uint32 LE
+//
+// Open cost is O(header + bucket structure): offsets, alignment, bucket
+// monotonicity and id ranges are validated eagerly — the zero-alloc query
+// path indexes Vecs by ids without bounds checks, so a handle must never
+// hold ids that point outside the vector block — but the (dominant) float
+// payload is only CRC-checked by Verify, preserving the O(1)-ish cold start.
+// The structural scan touches the sigs/offs/ids blocks (4–12 bytes per row),
+// not the vector block that dominates the file.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"repro/internal/ann"
+)
+
+// annMaxBits mirrors ann's signature-width bound for parse validation.
+const annMaxBits = 60
+
+// SaveANNIndex writes ix as a version-2 KindANNIndex file.
+func SaveANNIndex(path string, ix *ann.Index) error {
+	if ix == nil {
+		return fmt.Errorf("%w: nil ann index", ErrBadPayload)
+	}
+	if ix.Dim < 1 || ix.Tables < 1 || ix.Bits < 1 || ix.Bits > annMaxBits || ix.N < 0 {
+		return fmt.Errorf("%w: ann index shape dim=%d n=%d tables=%d bits=%d", ErrBadPayload,
+			ix.Dim, ix.N, ix.Tables, ix.Bits)
+	}
+	if len(ix.Sigs) != ix.Tables || len(ix.Offs) != ix.Tables || len(ix.IDs) != ix.Tables {
+		return fmt.Errorf("%w: ann index has %d/%d/%d table slices, want %d", ErrBadPayload,
+			len(ix.Sigs), len(ix.Offs), len(ix.IDs), ix.Tables)
+	}
+	if len(ix.Planes) != ix.Tables*ix.Bits*ix.Dim || len(ix.Vecs) != ix.N*ix.Dim {
+		return fmt.Errorf("%w: ann index block sizes planes=%d vecs=%d", ErrBadPayload, len(ix.Planes), len(ix.Vecs))
+	}
+	totalSigs := 0
+	for t := 0; t < ix.Tables; t++ {
+		b := len(ix.Sigs[t])
+		if len(ix.Offs[t]) != b+1 || len(ix.IDs[t]) != ix.N {
+			return fmt.Errorf("%w: ann index table %d has %d offsets / %d ids for %d buckets",
+				ErrBadPayload, t, len(ix.Offs[t]), len(ix.IDs[t]), b)
+		}
+		totalSigs += b
+	}
+
+	headerLen := 4*4 + 8 + 4 + 4 + 8 + 5*16 + 4*ix.Tables
+	planesOff := alignUp(v2HeaderOff+headerLen, v2DataAlign)
+	planesLen := len(ix.Planes) * 4
+	vecsOff := alignUp(planesOff+planesLen, v2ScaleAlign)
+	vecsLen := len(ix.Vecs) * 4
+	sigsOff := alignUp(vecsOff+vecsLen, v2ScaleAlign)
+	sigsLen := totalSigs * 8
+	offsOff := alignUp(sigsOff+sigsLen, v2ScaleAlign)
+	offsLen := (totalSigs + ix.Tables) * 4
+	idsOff := alignUp(offsOff+offsLen, v2ScaleAlign)
+	idsLen := ix.Tables * ix.N * 4
+	end := idsOff + idsLen
+
+	var h encoder
+	h.u32(uint32(ix.Dim))
+	h.u32(uint32(ix.N))
+	h.u32(uint32(ix.Tables))
+	h.u32(uint32(ix.Bits))
+	h.u64(ix.Seed)
+	h.u32(uint32(ix.SketchRounds))
+	h.u32(uint32(ix.SketchWidth))
+	h.u64(ix.SketchSeed)
+	for _, v := range []int{planesOff, planesLen, vecsOff, vecsLen, sigsOff, sigsLen, offsOff, offsLen, idsOff, idsLen} {
+		h.u64(uint64(v))
+	}
+	for t := 0; t < ix.Tables; t++ {
+		h.u32(uint32(len(ix.Sigs[t])))
+	}
+	if len(h.buf) != headerLen {
+		return fmt.Errorf("model: internal error: ann header %d bytes, computed %d", len(h.buf), headerLen)
+	}
+
+	out := make([]byte, end, end+4)
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint16(out[4:], Version2)
+	binary.LittleEndian.PutUint16(out[6:], uint16(KindANNIndex))
+	binary.LittleEndian.PutUint32(out[8:], uint32(headerLen))
+	binary.LittleEndian.PutUint32(out[12:], crc32.ChecksumIEEE(h.buf))
+	copy(out[v2HeaderOff:], h.buf)
+
+	for i, x := range ix.Planes {
+		binary.LittleEndian.PutUint32(out[planesOff+i*4:], f32bits(x))
+	}
+	for i, x := range ix.Vecs {
+		binary.LittleEndian.PutUint32(out[vecsOff+i*4:], f32bits(x))
+	}
+	p := sigsOff
+	for t := 0; t < ix.Tables; t++ {
+		for _, s := range ix.Sigs[t] {
+			binary.LittleEndian.PutUint64(out[p:], s)
+			p += 8
+		}
+	}
+	p = offsOff
+	for t := 0; t < ix.Tables; t++ {
+		for _, o := range ix.Offs[t] {
+			binary.LittleEndian.PutUint32(out[p:], o)
+			p += 4
+		}
+	}
+	p = idsOff
+	for t := 0; t < ix.Tables; t++ {
+		for _, id := range ix.IDs[t] {
+			binary.LittleEndian.PutUint32(out[p:], id)
+			p += 4
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return writeFileAtomic(path, out)
+}
+
+func f32bits(x float32) uint32 { return math.Float32bits(x) }
+
+// u64 extends the shared header decoder for the ann block's 64-bit fields.
+func (d *decoder) u64() (uint64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// ANNIndex is a read-only serving handle over a saved index. The wrapped
+// ann.Index's slices point into the file mapping (or an aligned heap read
+// under X2VEC_NO_MMAP); Close releases them.
+type ANNIndex struct {
+	Index  *ann.Index
+	Mapped bool
+
+	file    []byte
+	mapping []byte
+}
+
+// OpenANNIndex opens an index file for serving, mmap-fast: structural
+// validation only, with the whole-file CRC deferred to Verify (see the
+// format comment). The caller owns the handle and must Close it.
+func OpenANNIndex(path string) (*ANNIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: file too short for a model header", ErrCorrupt)
+	}
+	if string(head[:4]) != string(magic[:]) {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != Version2 {
+		f.Close()
+		return nil, fmt.Errorf("%w: ann index file version %d, this build reads 2", ErrBadVersion, v)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := int(st.Size())
+	var b []byte
+	mapped := false
+	if os.Getenv("X2VEC_NO_MMAP") == "" {
+		if m, merr := mmapFile(f, size); merr == nil {
+			b, mapped = m, true
+		}
+	}
+	if b == nil {
+		if b, err = readAligned(f, size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	f.Close()
+	a, err := parseANNIndex(b, mapped)
+	if err != nil {
+		if mapped {
+			munmapFile(b)
+		}
+		return nil, err
+	}
+	return a, nil
+}
+
+// parseANNIndex validates the container and builds an ann.Index over b.
+// Everything the query path would index with is checked here — offsets,
+// alignment, bucket monotonicity, id ranges — so a handle can never drive
+// Search out of bounds; only the float payload bytes are taken on faith
+// until Verify.
+func parseANNIndex(b []byte, mapped bool) (*ANNIndex, error) {
+	if len(b) < v2HeaderOff+4 {
+		return nil, fmt.Errorf("%w: %d bytes is too short for an ann index file", ErrCorrupt, len(b))
+	}
+	if kind := Kind(binary.LittleEndian.Uint16(b[6:8])); kind != KindANNIndex {
+		return nil, fmt.Errorf("%w: cannot serve an ann index from a %v model", ErrBadKind, kind)
+	}
+	headerLen := int(binary.LittleEndian.Uint32(b[8:12]))
+	if headerLen < 0 || v2HeaderOff+headerLen+4 > len(b) {
+		return nil, fmt.Errorf("%w: header length %d exceeds file", ErrCorrupt, headerLen)
+	}
+	hb := b[v2HeaderOff : v2HeaderOff+headerLen]
+	if got, want := crc32.ChecksumIEEE(hb), binary.LittleEndian.Uint32(b[12:16]); got != want {
+		return nil, fmt.Errorf("%w: header checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	d := &decoder{b: hb}
+	var dims [4]uint32
+	for i := range dims {
+		v, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		dims[i] = v
+	}
+	dim, n, tables, bits := int(dims[0]), int(dims[1]), int(dims[2]), int(dims[3])
+	seed, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	skRounds, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	skWidth, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	skSeed, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	var blocks [10]uint64
+	for i := range blocks {
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		blocks[i] = v
+	}
+	if dim < 1 || tables < 1 || bits < 1 || bits > annMaxBits {
+		return nil, fmt.Errorf("%w: ann index shape dim=%d tables=%d bits=%d", ErrCorrupt, dim, tables, bits)
+	}
+	// Dimension sanity against the file size before any multiplication can
+	// overflow: every row costs ≥ 4 bytes in the ids block alone.
+	fileLen := uint64(len(b))
+	if uint64(tables)*uint64(bits)*uint64(dim) > fileLen || uint64(n)*uint64(dim) > fileLen ||
+		uint64(tables)*uint64(n) > fileLen {
+		return nil, fmt.Errorf("%w: ann index shape %dx%d (%d tables) exceeds file", ErrCorrupt, n, dim, tables)
+	}
+	if d.remaining() != 4*tables {
+		return nil, fmt.Errorf("%w: ann header has %d trailing bytes for %d bucket counts", ErrCorrupt, d.remaining(), tables)
+	}
+	counts := make([]int, tables)
+	totalSigs := 0
+	for t := range counts {
+		c, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(c) > n {
+			return nil, fmt.Errorf("%w: table %d has %d buckets over %d rows", ErrCorrupt, t, c, n)
+		}
+		counts[t] = int(c)
+		totalSigs += int(c)
+	}
+
+	type blockSpec struct {
+		name  string
+		align int
+		want  uint64
+	}
+	specs := []blockSpec{
+		{"planes", v2DataAlign, uint64(tables) * uint64(bits) * uint64(dim) * 4},
+		{"vecs", v2ScaleAlign, uint64(n) * uint64(dim) * 4},
+		{"sigs", v2ScaleAlign, uint64(totalSigs) * 8},
+		{"offs", v2ScaleAlign, uint64(totalSigs+tables) * 4},
+		{"ids", v2ScaleAlign, uint64(tables) * uint64(n) * 4},
+	}
+	prevEnd := uint64(v2HeaderOff + headerLen)
+	for i, spec := range specs {
+		off, length := blocks[2*i], blocks[2*i+1]
+		if length != spec.want || off%uint64(spec.align) != 0 || off < prevEnd ||
+			off+length > fileLen-4 || off+length < off {
+			return nil, fmt.Errorf("%w: %s block [%d,%d) invalid (want %d bytes)", ErrCorrupt, spec.name, off, off+length, spec.want)
+		}
+		prevEnd = off + length
+	}
+
+	ix := &ann.Index{
+		Dim: dim, N: n, Tables: tables, Bits: bits, Seed: seed,
+		SketchRounds: int(skRounds), SketchWidth: int(skWidth), SketchSeed: skSeed,
+		Sigs: make([][]uint64, tables),
+		Offs: make([][]uint32, tables),
+		IDs:  make([][]uint32, tables),
+	}
+	ix.Planes = unsafe.Slice((*float32)(unsafe.Pointer(&b[blocks[0]])), tables*bits*dim)
+	if n*dim > 0 {
+		ix.Vecs = unsafe.Slice((*float32)(unsafe.Pointer(&b[blocks[2]])), n*dim)
+	}
+	var allSigs []uint64
+	if totalSigs > 0 {
+		allSigs = unsafe.Slice((*uint64)(unsafe.Pointer(&b[blocks[4]])), totalSigs)
+	}
+	allOffs := unsafe.Slice((*uint32)(unsafe.Pointer(&b[blocks[6]])), totalSigs+tables)
+	var allIDs []uint32
+	if tables*n > 0 {
+		allIDs = unsafe.Slice((*uint32)(unsafe.Pointer(&b[blocks[8]])), tables*n)
+	}
+	sigPos, offPos := 0, 0
+	for t := 0; t < tables; t++ {
+		c := counts[t]
+		sigs := allSigs[sigPos : sigPos+c]
+		offs := allOffs[offPos : offPos+c+1]
+		ids := allIDs[t*n : t*n+n]
+		sigPos += c
+		offPos += c + 1
+		for i := 1; i < c; i++ {
+			if sigs[i] <= sigs[i-1] {
+				return nil, fmt.Errorf("%w: table %d signatures not strictly sorted at %d", ErrCorrupt, t, i)
+			}
+		}
+		if offs[0] != 0 || int(offs[c]) != n {
+			return nil, fmt.Errorf("%w: table %d bucket offsets span [%d,%d), want [0,%d)", ErrCorrupt, t, offs[0], offs[c], n)
+		}
+		for i := 1; i <= c; i++ {
+			if offs[i] <= offs[i-1] {
+				return nil, fmt.Errorf("%w: table %d bucket offsets not increasing at %d", ErrCorrupt, t, i)
+			}
+		}
+		for i, id := range ids {
+			if int(id) >= n {
+				return nil, fmt.Errorf("%w: table %d id %d out of range at %d", ErrCorrupt, t, id, i)
+			}
+		}
+		ix.Sigs[t] = sigs
+		ix.Offs[t] = offs
+		ix.IDs[t] = ids
+	}
+
+	a := &ANNIndex{Index: ix, Mapped: mapped, file: b}
+	if mapped {
+		a.mapping = b
+	}
+	return a, nil
+}
+
+// Verify runs the deferred whole-file CRC — the check that extends trust
+// from the structure (validated at open) to the float payload.
+func (a *ANNIndex) Verify() error {
+	if a.file == nil {
+		return nil
+	}
+	body, trailer := a.file[:len(a.file)-4], a.file[len(a.file)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	return nil
+}
+
+// Close releases the file mapping. The handle's index is invalid afterwards.
+func (a *ANNIndex) Close() error {
+	m := a.mapping
+	a.mapping = nil
+	a.Index, a.file = nil, nil
+	if m == nil {
+		return nil
+	}
+	return munmapFile(m)
+}

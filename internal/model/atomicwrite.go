@@ -1,0 +1,46 @@
+package model
+
+// Atomic file writes for every saved artifact. Model and index files are
+// served mmap'ed MAP_SHARED, so overwriting a path in place (O_TRUNC on the
+// same inode) would mutate the bytes under any generation still mapped —
+// exactly the documented fine-tune workflow that re-saves to a fixed path
+// and SIGHUPs the daemon. Writing to a temp file in the target's directory
+// and renaming over the path gives every save a fresh inode: live mappings
+// keep the old file (the kernel frees it when the last mapping drops), and
+// a crash mid-save can never leave a torn file at the served path.
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename, so the destination is replaced atomically and never truncated in
+// place.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestResaveDoesNotMutateOpenMapping pins the atomic-write guarantee the
+// hot-swap workflow depends on: re-saving a model to the path a live
+// generation is serving from must not change the bytes under that
+// generation's mmap. Before writeFileAtomic, os.WriteFile truncated the
+// same inode and a MAP_SHARED mapping of the old generation read the new
+// model's floats — the documented "re-save to a fixed path, SIGHUP"
+// fine-tune loop corrupted in-flight reads.
+func TestResaveDoesNotMutateOpenMapping(t *testing.T) {
+	const rows, cols = 4, 3
+	p := filepath.Join(t.TempDir(), "m.x2vm")
+	gen := func(g float64) EmbeddingsSpec {
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = g
+		}
+		return EmbeddingsSpec{Kind: KindNodeEmbedding, Method: "node2vec",
+			Rows: rows, Cols: cols, Data: data, DType: DTypeF64}
+	}
+	if err := SaveEmbeddings(p, gen(1)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := OpenEmbeddings(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Overwrite the served path with a new generation. The open handle
+	// must keep reading generation 1 and still pass its whole-file CRC.
+	if err := SaveEmbeddings(p, gen(2)); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Vector(0); v[0] != 1 {
+		t.Fatalf("open mapping mutated by re-save: read %v, want generation-1 value 1", v[0])
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatalf("old generation failed CRC after re-save: %v", err)
+	}
+	e2, err := OpenEmbeddings(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if v := e2.Vector(0); v[0] != 2 {
+		t.Fatalf("re-opened path serves %v, want new generation value 2", v[0])
+	}
+
+	// A failed or in-progress save must never leave temp litter next to
+	// the model once it returns.
+	ents, err := os.ReadDir(filepath.Dir(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if strings.Contains(ent.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", ent.Name())
+		}
+	}
+}

@@ -55,6 +55,10 @@ const (
 	// KindHomClass is a homomorphism pattern class: the graphs themselves;
 	// the consumer recompiles them with hom.Compile after loading.
 	KindHomClass Kind = 4
+	// KindANNIndex is an ann.Index: LSH hyperplanes, the normalised vector
+	// matrix, and the per-table signature buckets, laid out for mmap serving
+	// (see ann.go in this package).
+	KindANNIndex Kind = 5
 )
 
 func (k Kind) String() string {
@@ -67,6 +71,8 @@ func (k Kind) String() string {
 		return "graph2vec"
 	case KindHomClass:
 		return "hom-class"
+	case KindANNIndex:
+		return "ann-index"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -237,7 +243,7 @@ func writeFile(path string, kind Kind, payload []byte) error {
 	out = binary.LittleEndian.AppendUint16(out, uint16(kind))
 	out = append(out, payload...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
-	return os.WriteFile(path, out, 0o644)
+	return writeFileAtomic(path, out)
 }
 
 // readFile verifies the container and returns the payload bytes and kind.

@@ -198,7 +198,7 @@ func SaveEmbeddings(path string, spec EmbeddingsSpec) error {
 		}
 	}
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
-	return os.WriteFile(path, out, 0o644)
+	return writeFileAtomic(path, out)
 }
 
 func alignUp(x, a int) int { return (x + a - 1) &^ (a - 1) }

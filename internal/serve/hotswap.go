@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/model"
 )
 
@@ -38,18 +39,33 @@ import (
 var (
 	ErrNoModel    = errors.New("serve: no model loaded")
 	ErrEmbedRange = errors.New("serve: embedding id out of range")
+	ErrNoIndex    = errors.New("serve: no ann index loaded; start x2vecd with -index")
 )
 
-// modelHandle is one loaded model generation. refs starts at 1 (the
-// service's ownership); every lookup holds +1 for its critical section.
-// Close happens exactly once, when the last reference drops — after the
-// swap for an idle model, after the final in-flight lookup otherwise.
+// modelHandle is one loaded model generation: the embedding table and,
+// optionally, the ANN index that answers /neighbors over the same
+// generation. Both ride the same handle so a reload flips them atomically —
+// a query never sees a new index against an old model version. refs starts
+// at 1 (the service's ownership); every lookup holds +1 for its critical
+// section. Close happens exactly once, when the last reference drops —
+// after the swap for an idle model, after the final in-flight lookup
+// otherwise.
 type modelHandle struct {
 	emb     *model.Embeddings
+	idx     *model.ANNIndex // nil when this generation has no index
+	idxPath string
 	path    string
 	version uint64
 	refs    atomic.Int64
+
+	// searchers pools per-goroutine ann.Searcher scratch over idx: queries
+	// Get one, run the zero-alloc hotpath, and Put it back. Handle-scoped
+	// so a searcher can never outlive the mapping its index points into.
+	searchers sync.Pool
 }
+
+// searcher returns pooled query scratch for this generation's index.
+func (h *modelHandle) searcher() *ann.Searcher { return h.searchers.Get().(*ann.Searcher) }
 
 // acquire pins the handle for a reader; it fails only when the handle
 // already hit zero (swapped out and fully drained), in which case the
@@ -69,62 +85,90 @@ func (h *modelHandle) acquire() bool {
 func (h *modelHandle) release() {
 	if h.refs.Add(-1) == 0 {
 		h.emb.Close()
+		if h.idx != nil {
+			h.idx.Close()
+		}
 	}
 }
 
 // ModelSnapshot is the /stats view of the currently served model.
 type ModelSnapshot struct {
+	Path         string         `json:"path"`
+	Version      uint64         `json:"model_version"` // monotone across reloads
+	Method       string         `json:"method"`
+	Kind         string         `json:"kind"`
+	DType        string         `json:"dtype"`
+	Rows         int            `json:"rows"`
+	Cols         int            `json:"cols"`
+	Mapped       bool           `json:"mmap"`
+	LineageDepth int            `json:"lineage_depth"` // fine-tune generations recorded in the file
+	Swaps        int64          `json:"swaps"`         // successful reloads since start (initial load included)
+	Index        *IndexSnapshot `json:"index,omitempty"`
+}
+
+// IndexSnapshot is the /stats view of the ANN index riding the current
+// generation.
+type IndexSnapshot struct {
 	Path         string `json:"path"`
-	Version      uint64 `json:"model_version"` // monotone across reloads
-	Method       string `json:"method"`
-	Kind         string `json:"kind"`
-	DType        string `json:"dtype"`
 	Rows         int    `json:"rows"`
-	Cols         int    `json:"cols"`
+	Dim          int    `json:"dim"`
+	Tables       int    `json:"tables"`
+	Bits         int    `json:"bits"`
 	Mapped       bool   `json:"mmap"`
-	LineageDepth int    `json:"lineage_depth"` // fine-tune generations recorded in the file
-	Swaps        int64  `json:"swaps"`         // successful reloads since start (initial load included)
+	SketchRounds int    `json:"sketch_rounds"`
+	SketchWidth  int    `json:"sketch_width"`
 }
 
 // EmbedService serves vectors from the current model generation and swaps
 // generations atomically. All methods are safe for concurrent use; Lookup
 // never blocks on Reload.
 type EmbedService struct {
-	verify bool
-	cache  *lruCache[[]float64]
-	stats  *Stats
+	verify   bool
+	cache    *lruCache[[]float64]
+	nbrCache *lruCache[[]ann.Neighbor]
+	stats    *Stats
 
-	cur     atomic.Pointer[modelHandle]
-	version atomic.Uint64 // last assigned generation number
-	swaps   atomic.Int64
-	mu      sync.Mutex // serialises Reload/Close; lookups never take it
+	cur        atomic.Pointer[modelHandle]
+	version    atomic.Uint64 // last assigned generation number
+	swaps      atomic.Int64
+	nbrQueries atomic.Uint64 // total /neighbors queries, drives recall sampling
+	mu         sync.Mutex    // serialises Reload/Close; lookups never take it
 }
 
-// NewEmbedService opens path as the first model generation of a service
-// wired into this server's "embed" stats pipeline. verify runs the
-// whole-file CRC before serving (and before every swap); cacheSize follows
-// Options.CacheSize conventions (0 = 1024, negative disables).
-func (s *Server) NewEmbedService(path string, verify bool, cacheSize int) (*EmbedService, error) {
+// NewEmbedService opens modelPath as the first model generation of a
+// service wired into this server's "embed" stats pipeline, with an optional
+// ANN index (indexPath == "" serves /embed only; /neighbors then returns
+// ErrNoIndex). verify runs the whole-file CRC before serving (and before
+// every swap); cacheSize follows Options.CacheSize conventions (0 = 1024,
+// negative disables).
+func (s *Server) NewEmbedService(modelPath, indexPath string, verify bool, cacheSize int) (*EmbedService, error) {
 	if cacheSize == 0 {
 		cacheSize = 1024
 	}
-	svc := &EmbedService{verify: verify, cache: newLRU[[]float64](cacheSize), stats: s.stats}
-	if _, err := svc.Reload(path); err != nil {
+	svc := &EmbedService{
+		verify:   verify,
+		cache:    newLRU[[]float64](cacheSize),
+		nbrCache: newLRU[[]ann.Neighbor](cacheSize),
+		stats:    s.stats,
+	}
+	if _, err := svc.Reload(modelPath, indexPath); err != nil {
 		return nil, err
 	}
 	return svc, nil
 }
 
-// Reload opens and validates path, then atomically flips serving to it.
-// On any error the current model keeps serving untouched. The swapped-out
-// generation is closed once its last in-flight lookup finishes.
-func (svc *EmbedService) Reload(path string) (ModelSnapshot, error) {
+// Reload opens and validates modelPath (and indexPath, unless empty), then
+// atomically flips serving to the new generation — model and index
+// together, never one without the other. On any error the current
+// generation keeps serving untouched. The swapped-out generation is closed
+// once its last in-flight lookup finishes.
+func (svc *EmbedService) Reload(modelPath, indexPath string) (ModelSnapshot, error) {
 	svc.mu.Lock()
 	defer svc.mu.Unlock()
-	if path == "" {
+	if modelPath == "" {
 		return ModelSnapshot{}, fmt.Errorf("serve: reload needs a model path")
 	}
-	e, err := model.OpenEmbeddings(path)
+	e, err := model.OpenEmbeddings(modelPath)
 	if err != nil {
 		return ModelSnapshot{}, err
 	}
@@ -134,7 +178,19 @@ func (svc *EmbedService) Reload(path string) (ModelSnapshot, error) {
 			return ModelSnapshot{}, err
 		}
 	}
-	h := &modelHandle{emb: e, path: path, version: svc.version.Add(1)}
+	var idx *model.ANNIndex
+	if indexPath != "" {
+		idx, err = svc.openIndex(indexPath)
+		if err != nil {
+			e.Close()
+			return ModelSnapshot{}, err
+		}
+	}
+	h := &modelHandle{emb: e, idx: idx, idxPath: indexPath, path: modelPath, version: svc.version.Add(1)}
+	if idx != nil {
+		ix := idx.Index
+		h.searchers.New = func() any { return ann.NewSearcher(ix) }
+	}
 	h.refs.Store(1)
 	old := svc.cur.Swap(h)
 	svc.swaps.Add(1)
@@ -142,6 +198,30 @@ func (svc *EmbedService) Reload(path string) (ModelSnapshot, error) {
 		old.release()
 	}
 	return svc.snapshotOf(h), nil
+}
+
+// openIndex opens and gates an ANN index for /neighbors serving: the index
+// must carry the sketch metadata that lets the service embed request graphs
+// into its vector space (recorded by `x2vec index`), with the sketch width
+// matching the indexed dimension.
+func (svc *EmbedService) openIndex(path string) (*model.ANNIndex, error) {
+	idx, err := model.OpenANNIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	if svc.verify {
+		if err := idx.Verify(); err != nil {
+			idx.Close()
+			return nil, err
+		}
+	}
+	ix := idx.Index
+	if ix.SketchWidth != ix.Dim || ix.SketchRounds < 1 {
+		idx.Close()
+		return nil, fmt.Errorf("serve: index %s lacks usable sketch metadata (rounds=%d width=%d dim=%d); build it with `x2vec index`",
+			path, ix.SketchRounds, ix.SketchWidth, ix.Dim)
+	}
+	return idx, nil
 }
 
 // Lookup returns a copy of the vector for id from the current generation,
@@ -218,7 +298,22 @@ func (svc *EmbedService) pin() *modelHandle {
 }
 
 func (svc *EmbedService) snapshotOf(h *modelHandle) ModelSnapshot {
+	var idxSnap *IndexSnapshot
+	if h.idx != nil {
+		ix := h.idx.Index
+		idxSnap = &IndexSnapshot{
+			Path:         h.idxPath,
+			Rows:         ix.N,
+			Dim:          ix.Dim,
+			Tables:       ix.Tables,
+			Bits:         ix.Bits,
+			Mapped:       h.idx.Mapped,
+			SketchRounds: ix.SketchRounds,
+			SketchWidth:  ix.SketchWidth,
+		}
+	}
 	return ModelSnapshot{
+		Index:        idxSnap,
 		Path:         h.path,
 		Version:      h.version,
 		Method:       h.emb.Method,

@@ -46,7 +46,7 @@ func TestEmbedServiceHotSwapHammer(t *testing.T) {
 	dir := t.TempDir()
 	srv := New(Options{})
 	defer srv.Close()
-	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), true, 64)
+	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), "", true, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestEmbedServiceHotSwapHammer(t *testing.T) {
 		// next is current+1. Storing before Reload keeps the map ahead of
 		// any client that can observe the new version.
 		genOf.Store(uint64(gen+1), gen)
-		snap, err := svc.Reload(path)
+		snap, err := svc.Reload(path, "")
 		if err != nil {
 			t.Fatalf("reload %d: %v", gen, err)
 		}
@@ -151,17 +151,17 @@ func TestEmbedServiceReloadFailureKeepsServing(t *testing.T) {
 	dir := t.TempDir()
 	srv := New(Options{})
 	defer srv.Close()
-	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), true, 16)
+	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), "", true, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer svc.Close()
 	before := svc.Snapshot()
 
-	if _, err := svc.Reload(filepath.Join(dir, "missing.x2vm")); err == nil {
+	if _, err := svc.Reload(filepath.Join(dir, "missing.x2vm"), ""); err == nil {
 		t.Fatal("reload of a missing file succeeded")
 	}
-	if _, err := svc.Reload(""); err == nil {
+	if _, err := svc.Reload("", ""); err == nil {
 		t.Fatal("reload with empty path succeeded")
 	}
 	vec, _, version, err := svc.Lookup(3)

@@ -1,0 +1,130 @@
+package serve
+
+// The /neighbors pipeline: graph in, top-k nearest corpus members out,
+// in sublinear time. A request graph is embedded with the count-sketch WL
+// map whose parameters the index file recorded at build time (so daemon and
+// indexer agree bit-for-bit on the vector space), looked up in the LSH
+// index with multi-probe + exact-cosine rerank, and cached under the
+// renumbering-invariant wl.Hash — a renumbered repeat of a known graph is a
+// cache hit, not a query. Every recallSampleEvery-th query is re-answered
+// by the exact scan over the same index and the observed recall@k feeds the
+// "neighbors" pipeline's /stats counters: the approximation's quality is a
+// live metric, not a build-time promise.
+
+import (
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/wl"
+)
+
+const (
+	// DefaultProbes is the multi-probe budget per table when the request
+	// does not choose one.
+	DefaultProbes = 8
+	// DefaultNeighborK is the k used when the request does not choose one.
+	DefaultNeighborK = 10
+	// recallSampleEvery picks which queries are re-answered exactly for
+	// recall accounting (the first query of a fresh service is sampled, so
+	// /stats shows a recall figure as soon as traffic starts).
+	recallSampleEvery = 64
+)
+
+// NeighborsResult is one served /neighbors answer. Neighbors aliases a
+// cache entry; callers must not mutate it.
+type NeighborsResult struct {
+	Neighbors    []ann.Neighbor
+	K            int
+	Probes       int
+	ModelVersion uint64
+	IndexRows    int
+}
+
+// Neighbors returns the top-k most cosine-similar indexed corpus members to
+// g under the index's recorded count-sketch WL embedding. k and probes ≤ 0
+// take the defaults. The result may hold fewer than k entries (small index,
+// or a request graph whose sketch is zero).
+func (svc *EmbedService) Neighbors(g *graph.Graph, k, probes int) (*NeighborsResult, error) {
+	start := time.Now()
+	defer func() { svc.stats.observe("neighbors", start) }()
+	if k <= 0 {
+		k = DefaultNeighborK
+	}
+	if probes <= 0 {
+		probes = DefaultProbes
+	}
+	h := svc.pin()
+	if h == nil {
+		return nil, ErrNoModel
+	}
+	defer h.release()
+	if h.idx == nil {
+		return nil, ErrNoIndex
+	}
+	ix := h.idx.Index
+	res := &NeighborsResult{K: k, Probes: probes, ModelVersion: h.version, IndexRows: ix.N}
+
+	key := neighborsKey(wl.Hash(g), h.version, k, probes)
+	if v, ok := svc.nbrCache.get(key); ok {
+		svc.stats.hit("neighbors")
+		res.Neighbors = v
+		return res, nil
+	}
+	svc.stats.miss("neighbors")
+
+	sk := kernel.CountSketchWL{Rounds: ix.SketchRounds, Width: ix.SketchWidth, Seed: ix.SketchSeed}
+	q := sk.Sketch(g)
+	s := h.searcher()
+	nbs, err := s.Search(q, k, probes, nil)
+	if err != nil {
+		h.searchers.Put(s)
+		return nil, err
+	}
+	if svc.nbrQueries.Add(1)%recallSampleEvery == 1 && len(nbs) > 0 {
+		if exact, err := s.ExactTopK(q, k, nil); err == nil && len(exact) > 0 {
+			svc.stats.recordRecall("neighbors", recallOf(nbs, exact))
+		}
+	}
+	h.searchers.Put(s)
+	svc.nbrCache.put(key, nbs)
+	res.Neighbors = nbs
+	return res, nil
+}
+
+// recallOf measures |approx ∩ exact| / |exact| by id.
+func recallOf(approx, exact []ann.Neighbor) float64 {
+	ids := make(map[int]struct{}, len(approx))
+	for _, nb := range approx {
+		ids[nb.ID] = struct{}{}
+	}
+	hits := 0
+	for _, nb := range exact {
+		if _, ok := ids[nb.ID]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}
+
+// neighborsKey folds the query graph's canonical hash with the generation
+// and the query shape: entries can never leak across a model swap or
+// between different (k, probes) requests for the same graph.
+func neighborsKey(gh, version uint64, k, probes int) uint64 {
+	x := gh ^ 0x9e3779b97f4a7c15
+	x = keyMix(x + version)
+	x = keyMix(x + uint64(k)*0x100000001b3)
+	x = keyMix(x + uint64(probes))
+	return x
+}
+
+// keyMix is the murmur3 finaliser — full avalanche per folded field.
+func keyMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

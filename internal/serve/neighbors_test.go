@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/model"
+)
+
+// neighborsCorpus: structurally distinct labelled graphs, so each one's
+// sketch is its own nearest neighbour.
+func neighborsCorpus(n int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		g := graph.Random(8+rng.Intn(8), 0.3, rng)
+		for v := 0; v < g.N(); v++ {
+			g.SetVertexLabel(v, rng.Intn(3))
+		}
+		gs[i] = g
+	}
+	return gs
+}
+
+// writeIndex sketches gs exactly like `x2vec index` and saves the LSH index.
+func writeIndex(t *testing.T, dir, name string, gs []*graph.Graph, sketchSeed uint64) string {
+	t.Helper()
+	sk := kernel.CountSketchWL{Rounds: 2, Width: 64, Seed: sketchSeed}
+	vecs := sk.CorpusSketchMatrix(gs, 2)
+	ix, err := ann.Build(vecs, ann.Config{
+		Tables: 8, Bits: 10, Seed: 7,
+		SketchRounds: 2, SketchWidth: 64, SketchSeed: sketchSeed,
+	}, 2)
+	if err != nil {
+		t.Fatalf("ann.Build: %v", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := model.SaveANNIndex(path, ix); err != nil {
+		t.Fatalf("SaveANNIndex: %v", err)
+	}
+	return path
+}
+
+func TestNeighborsSelfHitAndCache(t *testing.T) {
+	dir := t.TempDir()
+	gs := neighborsCorpus(50, 3)
+	srv := New(Options{})
+	defer srv.Close()
+	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), writeIndex(t, dir, "ix.x2vm", gs, 11), true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	for i, g := range gs[:10] {
+		res, err := svc.Neighbors(g, 5, 0)
+		if err != nil {
+			t.Fatalf("Neighbors(%d): %v", i, err)
+		}
+		if len(res.Neighbors) == 0 {
+			t.Fatalf("Neighbors(%d): empty result", i)
+		}
+		if res.Neighbors[0].ID != i {
+			t.Fatalf("Neighbors(%d): top hit %d (score %v), want self", i, res.Neighbors[0].ID, res.Neighbors[0].Score)
+		}
+		if s := res.Neighbors[0].Score; s < 0.999 {
+			t.Fatalf("Neighbors(%d): self-score %v, want ~1", i, s)
+		}
+		if res.IndexRows != len(gs) {
+			t.Fatalf("IndexRows = %d, want %d", res.IndexRows, len(gs))
+		}
+	}
+
+	// A renumbered repeat must hit the wl.Hash cache.
+	base := srv.Stats().Pipelines["neighbors"]
+	perm := rand.New(rand.NewSource(9)).Perm(gs[0].N())
+	renum := graph.New(gs[0].N())
+	for v := 0; v < gs[0].N(); v++ {
+		renum.SetVertexLabel(perm[v], gs[0].VertexLabel(v))
+	}
+	for _, e := range gs[0].Edges() {
+		renum.AddEdgeFull(perm[e.U], perm[e.V], e.Weight, e.Label)
+	}
+	if _, err := svc.Neighbors(renum, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := srv.Stats().Pipelines["neighbors"]
+	if after.CacheHits != base.CacheHits+1 {
+		t.Fatalf("renumbered repeat missed the cache: hits %d -> %d", base.CacheHits, after.CacheHits)
+	}
+
+	// The first query was recall-sampled; /stats must carry the estimate.
+	if after.RecallSamples == 0 {
+		t.Fatal("no recall samples recorded")
+	}
+	if after.MeanRecall <= 0 || after.MeanRecall > 1 {
+		t.Fatalf("mean recall %v outside (0,1]", after.MeanRecall)
+	}
+
+	// Snapshot carries the index view.
+	snap := svc.Snapshot()
+	if snap.Index == nil || snap.Index.Rows != len(gs) || snap.Index.SketchWidth != 64 {
+		t.Fatalf("snapshot index view: %+v", snap.Index)
+	}
+}
+
+func TestNeighborsWithoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{})
+	defer srv.Close()
+	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), "", true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Neighbors(graph.Cycle(4), 3, 0); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("want ErrNoIndex, got %v", err)
+	}
+	if snap := svc.Snapshot(); snap.Index != nil {
+		t.Fatalf("index snapshot without index: %+v", snap.Index)
+	}
+}
+
+// TestNeighborsReloadFlipsIndex: a reload swaps model and index atomically,
+// results switch to the new index's id space, and cached answers from the
+// old generation cannot resurface (version is part of the key).
+func TestNeighborsReloadFlipsIndex(t *testing.T) {
+	dir := t.TempDir()
+	gsA := neighborsCorpus(30, 5)
+	gsB := neighborsCorpus(30, 6) // disjoint corpus
+	srv := New(Options{})
+	defer srv.Close()
+	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), writeIndex(t, dir, "a.x2vm", gsA, 21), true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	q := gsA[7]
+	res, err := svc.Neighbors(q, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Neighbors[0].ID != 7 {
+		t.Fatalf("pre-reload top hit %d, want 7", res.Neighbors[0].ID)
+	}
+	v1 := res.ModelVersion
+
+	// Index B contains q at position 12.
+	gsB[12] = q
+	if _, err := svc.Reload(writeGenModel(t, dir, 1), writeIndex(t, dir, "b.x2vm", gsB, 21)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = svc.Neighbors(q, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelVersion != v1+1 {
+		t.Fatalf("post-reload version %d, want %d", res.ModelVersion, v1+1)
+	}
+	if res.Neighbors[0].ID != 12 {
+		t.Fatalf("post-reload top hit %d, want 12 (stale pre-reload answer?)", res.Neighbors[0].ID)
+	}
+
+	// A reload to a file without sketch metadata must fail closed and keep
+	// the current generation serving.
+	bare, err := ann.Build(kernel.CountSketchWL{Rounds: 2, Width: 64, Seed: 1}.CorpusSketchMatrix(gsA, 1),
+		ann.Config{Tables: 2, Bits: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barePath := filepath.Join(dir, "bare.x2vm")
+	if err := model.SaveANNIndex(barePath, bare); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Reload(writeGenModel(t, dir, 2), barePath); err == nil {
+		t.Fatal("reload accepted an index without sketch metadata")
+	}
+	if res, err := svc.Neighbors(q, 3, 0); err != nil || res.Neighbors[0].ID != 12 {
+		t.Fatalf("failed reload disturbed serving: %v %+v", err, res)
+	}
+}

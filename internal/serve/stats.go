@@ -24,7 +24,12 @@ type pipelineCounters struct {
 	batchedReqs  int64
 	maxBatch     int64
 	engineErrors int64
-	latency      [latencyBuckets]int64
+	// Recall sampling (the /neighbors pipeline): every Nth approximate
+	// query is re-answered exactly and its recall@k recorded here, so
+	// /stats carries a live estimate of what the LSH tier is trading away.
+	recallSamples int64
+	recallSum     float64
+	latency       [latencyBuckets]int64
 }
 
 // Stats collects serving metrics across all pipelines of one Server.
@@ -79,6 +84,16 @@ func (s *Stats) recordEngineError(pipeline string) {
 	s.mu.Unlock()
 }
 
+// recordRecall records one sampled recall@k measurement (approximate vs
+// exact answer over the same index).
+func (s *Stats) recordRecall(pipeline string, recall float64) {
+	s.mu.Lock()
+	c := s.counters(pipeline)
+	c.recallSamples++
+	c.recallSum += recall
+	s.mu.Unlock()
+}
+
 // observe records one served request and its latency.
 func (s *Stats) observe(pipeline string, start time.Time) {
 	us := time.Since(start).Microseconds()
@@ -108,6 +123,8 @@ type PipelineSnapshot struct {
 	BatchOccupancy  float64 `json:"batch_occupancy"` // mean requests per engine pass
 	MaxBatch        int64   `json:"max_batch"`
 	EngineErrors    int64   `json:"engine_errors"`
+	RecallSamples   int64   `json:"recall_samples,omitempty"`
+	MeanRecall      float64 `json:"mean_recall_at_k,omitempty"`
 	P50Micros       int64   `json:"p50_us"`
 	P99Micros       int64   `json:"p99_us"`
 }
@@ -146,6 +163,10 @@ func (s *Stats) Snapshot() Snapshot {
 		}
 		if c.batches > 0 {
 			ps.BatchOccupancy = float64(c.batchedReqs) / float64(c.batches)
+		}
+		if c.recallSamples > 0 {
+			ps.RecallSamples = c.recallSamples
+			ps.MeanRecall = c.recallSum / float64(c.recallSamples)
 		}
 		out.Pipelines[name] = ps
 	}

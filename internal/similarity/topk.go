@@ -1,0 +1,119 @@
+package similarity
+
+// Exact nearest-neighbour search: the brute-force cosine scan that serves as
+// the recall oracle for the approximate tier in internal/ann. The paper's
+// similarity story ends in vector space — "what is similar to g?" becomes a
+// top-k query against an embedding matrix — and every approximate answer in
+// this repo is graded against this scan, so it stays dead simple: one dot
+// product per corpus row, a bounded heap per worker, a deterministic merge.
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrDimMismatch reports a query whose dimensionality differs from the
+// corpus columns.
+var ErrDimMismatch = errors.New("similarity: query dimension does not match corpus columns")
+
+// Neighbor is one ranked search result: a corpus row id and its cosine
+// similarity to the query.
+type Neighbor struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// TopK returns the k corpus rows most cosine-similar to query, best first,
+// scanning every row exactly once across a GOMAXPROCS-sized worker pool.
+// Fewer than k results are returned when the corpus is smaller than k or the
+// query has zero norm (cosine is undefined; no row can score). Zero-norm
+// corpus rows score 0. Ties break toward the lower row id, so results are
+// deterministic regardless of worker scheduling.
+func TopK(query []float64, corpus *linalg.Matrix, k int) ([]Neighbor, error) {
+	return TopKWorkers(query, corpus, k, 0)
+}
+
+// TopKWorkers is TopK with an explicit worker cap (0 or negative =
+// GOMAXPROCS). Each worker keeps a local k-bounded result set over its row
+// range; the final merge is over workers·k candidates, so the scan writes
+// nothing per-row beyond one dot product.
+func TopKWorkers(query []float64, corpus *linalg.Matrix, k, workers int) ([]Neighbor, error) {
+	if corpus == nil || len(query) != corpus.Cols {
+		return nil, ErrDimMismatch
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	n := corpus.Rows
+	if k > n {
+		k = n
+	}
+	qnorm := math.Sqrt(linalg.Dot(query, query))
+	if qnorm == 0 || n == 0 {
+		return nil, nil
+	}
+
+	// Chunk rows so each worker maintains one local top-k; chunks are sized
+	// for the pool, not per-row, to keep scheduling overhead off the scan.
+	chunks := resolveWorkers(workers)
+	if chunks > n {
+		chunks = n
+	}
+	per := (n + chunks - 1) / chunks
+	local := make([][]Neighbor, chunks)
+	linalg.ParallelForWorkers(workers, chunks, func(c int) {
+		lo, hi := c*per, (c+1)*per
+		if hi > n {
+			hi = n
+		}
+		best := make([]Neighbor, 0, k)
+		for r := lo; r < hi; r++ {
+			row := corpus.Row(r)
+			norm := math.Sqrt(linalg.Dot(row, row))
+			var score float64
+			if norm > 0 {
+				score = linalg.Dot(query, row) / (qnorm * norm)
+			}
+			best = insertNeighbor(best, k, Neighbor{ID: r, Score: score})
+		}
+		local[c] = best
+	})
+
+	merged := make([]Neighbor, 0, k)
+	for _, best := range local {
+		for _, nb := range best {
+			merged = insertNeighbor(merged, k, nb)
+		}
+	}
+	return merged, nil
+}
+
+// insertNeighbor keeps best sorted by (score desc, id asc) and bounded to k
+// entries — insertion sort into a tiny slice, the right shape for k ≪ n.
+func insertNeighbor(best []Neighbor, k int, nb Neighbor) []Neighbor {
+	if len(best) == k {
+		last := best[k-1]
+		if nb.Score < last.Score || (nb.Score == last.Score && nb.ID > last.ID) {
+			return best
+		}
+		best = best[:k-1]
+	}
+	i := len(best)
+	best = append(best, nb)
+	for i > 0 && (best[i-1].Score < nb.Score || (best[i-1].Score == nb.Score && best[i-1].ID > nb.ID)) {
+		best[i] = best[i-1]
+		i--
+	}
+	best[i] = nb
+	return best
+}
+
+// resolveWorkers mirrors linalg's pool sizing for chunk-count purposes.
+func resolveWorkers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return linalg.DefaultWorkers()
+}

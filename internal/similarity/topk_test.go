@@ -1,0 +1,140 @@
+package similarity
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func randomMatrix(rows, cols int, rng *rand.Rand) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// bruteTopK is the independent O(n log n) reference: score every row, full
+// sort, take k.
+func bruteTopK(query []float64, corpus *linalg.Matrix, k int) []Neighbor {
+	qnorm := math.Sqrt(linalg.Dot(query, query))
+	all := make([]Neighbor, 0, corpus.Rows)
+	for r := 0; r < corpus.Rows; r++ {
+		row := corpus.Row(r)
+		norm := math.Sqrt(linalg.Dot(row, row))
+		var score float64
+		if norm > 0 && qnorm > 0 {
+			score = linalg.Dot(query, row) / (qnorm * norm)
+		}
+		all = append(all, Neighbor{ID: r, Score: score})
+	}
+	for i := 1; i < len(all); i++ {
+		x := all[i]
+		j := i - 1
+		for j >= 0 && (all[j].Score < x.Score || (all[j].Score == x.Score && all[j].ID > x.ID)) {
+			all[j+1] = all[j]
+			j--
+		}
+		all[j+1] = x
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	corpus := randomMatrix(200, 16, rng)
+	for trial := 0; trial < 20; trial++ {
+		query := make([]float64, 16)
+		for i := range query {
+			query[i] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(15)
+		got, err := TopK(query, corpus, k)
+		if err != nil {
+			t.Fatalf("TopK: %v", err)
+		}
+		want := bruteTopK(query, corpus, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+				t.Fatalf("trial %d rank %d: got %+v want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKWorkerCountIrrelevant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	corpus := randomMatrix(157, 8, rng)
+	query := make([]float64, 8)
+	for i := range query {
+		query[i] = rng.NormFloat64()
+	}
+	base, err := TopKWorkers(query, corpus, 10, 1)
+	if err != nil {
+		t.Fatalf("TopKWorkers(1): %v", err)
+	}
+	for _, w := range []int{2, 3, 7, 16, 0} {
+		got, err := TopKWorkers(query, corpus, 10, w)
+		if err != nil {
+			t.Fatalf("TopKWorkers(%d): %v", w, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: length %d != %d", w, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d rank %d: %+v != %+v", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestTopKDimensionMismatch(t *testing.T) {
+	corpus := linalg.NewMatrix(4, 8)
+	if _, err := TopK(make([]float64, 5), corpus, 3); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("want ErrDimMismatch, got %v", err)
+	}
+	if _, err := TopK(make([]float64, 8), nil, 3); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("nil corpus: want ErrDimMismatch, got %v", err)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	corpus := randomMatrix(5, 4, rng)
+	query := []float64{1, 0, 0, 0}
+
+	// k larger than corpus: all rows, ranked.
+	got, err := TopK(query, corpus, 50)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("k>n: got %d results err %v", len(got), err)
+	}
+	// k <= 0: empty.
+	if got, err := TopK(query, corpus, 0); err != nil || len(got) != 0 {
+		t.Fatalf("k=0: got %d results err %v", len(got), err)
+	}
+	// Zero-norm query: cosine undefined, empty result, no error.
+	if got, err := TopK(make([]float64, 4), corpus, 3); err != nil || len(got) != 0 {
+		t.Fatalf("zero query: got %d results err %v", len(got), err)
+	}
+	// Zero-norm corpus row scores 0 and ranks below any positive score.
+	corpus.Row(2)[0], corpus.Row(2)[1], corpus.Row(2)[2], corpus.Row(2)[3] = 0, 0, 0, 0
+	got, err = TopK(query, corpus, 5)
+	if err != nil {
+		t.Fatalf("zero row: %v", err)
+	}
+	for _, nb := range got {
+		if nb.ID == 2 && nb.Score != 0 {
+			t.Fatalf("zero-norm row scored %v, want 0", nb.Score)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package wl
+
+// Process-stable WL colours: the bridge between the refinement engine and
+// anything that must agree on colour identity across processes.
+//
+// The engine's colour ids are dense and canonical only within one process —
+// they are assigned in interning order, so the same vertex can get id 17 in
+// the indexer and id 4 in the daemon. That is fine for Grams computed in one
+// pass, but fatal for sketched feature maps: an ANN index built offline by
+// `x2vec index` hashes colours into sketch buckets, and the serving daemon
+// must hash the *same* colour to the *same* bucket or query sketches live in
+// a different coordinate system than the indexed corpus.
+//
+// HashColorRounds solves this the same way Hash does: colours are pure
+// arithmetic over the graph (fmix64-mixed label init, iterated folds of the
+// sorted neighbour-code multiset), so they are stable across processes,
+// restarts and machines. The scheme deliberately mirrors the engine's plain
+// mode — label-only round-0 colouring, rounds refined by the sorted multiset
+// of out-neighbour colours, exactly `rounds` rounds with no early stop — so
+// the partition induced by the codes at round r equals the partition
+// RefineCorpus produces at round r (up to accidental 64-bit collisions),
+// and a count-sketch over these codes estimates the exact WLSubtree kernel.
+
+import "repro/internal/graph"
+
+// stableColorSeed keeps stable colour codes out of Hash's value space: the
+// two constructions mix different init structure anyway, but a distinct seed
+// makes the separation explicit.
+const stableColorSeed uint64 = 0xd1b54a32d192ed03
+
+// HashColorRounds returns process-stable hashed WL colours for g, indexed
+// [round][vertex] with rounds 0..rounds inclusive (matching the shape of one
+// RefineCorpus entry). Two vertices — of this graph or any other, in this
+// process or any other — receive equal codes at round r exactly when plain
+// 1-WL assigns them equal colours at round r, up to 64-bit hash collisions.
+func HashColorRounds(g *graph.Graph, rounds int) [][]uint64 {
+	n := g.N()
+	if rounds < 0 {
+		rounds = 0
+	}
+	out := make([][]uint64, rounds+1)
+	cur := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		cur[v] = fmix64(stableColorSeed ^ zig(g.VertexLabel(v)))
+	}
+	out[0] = cur
+	var codes []uint64
+	for r := 1; r <= rounds; r++ {
+		next := make([]uint64, n)
+		for v := 0; v < n; v++ {
+			codes = codes[:0]
+			for _, a := range g.Arcs(v) {
+				codes = append(codes, cur[a.To])
+			}
+			sortUint64(codes)
+			acc := fmix64(stableColorSeed ^ cur[v])
+			for _, c := range codes {
+				acc = fmix64(acc*hashPrime + c)
+			}
+			next[v] = acc
+		}
+		out[r] = next
+		cur = next
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package wl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// partitionEqual reports whether two colourings of the same vertex set induce
+// the same partition (codes need not match, classes must).
+func partitionEqual[A, B comparable](a []A, b []B) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[A]B{}
+	rev := map[B]A{}
+	for i := range a {
+		if mapped, ok := fwd[a[i]]; ok && mapped != b[i] {
+			return false
+		}
+		if mapped, ok := rev[b[i]]; ok && mapped != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+// TestHashColorRoundsMatchesRefineCorpus pins the contract the count-sketch
+// feature maps depend on: at every round, the partition induced by the
+// process-stable codes equals the engine's plain-mode partition — including
+// cross-graph classes, since RefineCorpus ids are corpus-canonical.
+func TestHashColorRoundsMatchesRefineCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gs := []*graph.Graph{
+		graph.Cycle(6),
+		graph.Path(7),
+		graph.Complete(5),
+		graph.Random(12, 0.3, rng),
+		graph.RandomTree(10, rng),
+	}
+	// Vertex labels on one graph so round 0 is not monochrome.
+	for v := 0; v < gs[3].N(); v++ {
+		gs[3].SetVertexLabel(v, v%3)
+	}
+	const rounds = 4
+	exact := RefineCorpus(gs, rounds)
+	// Flatten per round across the corpus: stable codes must agree with
+	// engine ids across graph boundaries too.
+	for r := 0; r <= rounds; r++ {
+		var ids []int
+		var codes []uint64
+		for gi, g := range gs {
+			hashed := HashColorRounds(g, rounds)
+			ids = append(ids, exact[gi][r]...)
+			codes = append(codes, hashed[r]...)
+		}
+		if !partitionEqual(ids, codes) {
+			t.Fatalf("round %d: stable-code partition differs from RefineCorpus partition", r)
+		}
+	}
+}
+
+// TestHashColorRoundsRenumberingInvariant: permuting vertex ids permutes the
+// codes but leaves the per-round multiset unchanged — the property that makes
+// sketches of isomorphic graphs identical.
+func TestHashColorRoundsRenumberingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.Random(14, 0.25, rng)
+	for v := 0; v < g.N(); v++ {
+		g.SetVertexLabel(v, v%2)
+	}
+	perm := rng.Perm(g.N())
+	h := graph.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		h.SetVertexLabel(perm[v], g.VertexLabel(v))
+	}
+	for _, e := range g.Edges() {
+		h.AddEdgeFull(perm[e.U], perm[e.V], e.Weight, e.Label)
+	}
+	const rounds = 3
+	cg := HashColorRounds(g, rounds)
+	ch := HashColorRounds(h, rounds)
+	for r := 0; r <= rounds; r++ {
+		for v := 0; v < g.N(); v++ {
+			if cg[r][v] != ch[r][perm[v]] {
+				t.Fatalf("round %d vertex %d: code changed under renumbering", r, v)
+			}
+		}
+	}
+}
+
+// TestHashColorRoundsStableValues pins concrete code values so any change to
+// the arithmetic (which would silently orphan every persisted ANN index)
+// fails loudly.
+func TestHashColorRoundsStableValues(t *testing.T) {
+	g := graph.Cycle(4)
+	got := HashColorRounds(g, 1)
+	want0 := fmix64(stableColorSeed ^ zig(0))
+	for v, c := range got[0] {
+		if c != want0 {
+			t.Fatalf("round 0 vertex %d: got %#x want %#x", v, c, want0)
+		}
+	}
+	// C4 is vertex-transitive: all round-1 codes equal, derived from two
+	// identical neighbour codes folded onto the round-0 colour.
+	acc := fmix64(stableColorSeed ^ want0)
+	acc = fmix64(acc*hashPrime + want0)
+	acc = fmix64(acc*hashPrime + want0)
+	for v, c := range got[1] {
+		if c != acc {
+			t.Fatalf("round 1 vertex %d: got %#x want %#x", v, c, acc)
+		}
+	}
+}
+
+func TestHashColorRoundsNegativeRounds(t *testing.T) {
+	g := graph.Path(3)
+	got := HashColorRounds(g, -5)
+	if len(got) != 1 {
+		t.Fatalf("negative rounds: want just round 0, got %d rounds", len(got))
+	}
+}
