@@ -10,8 +10,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/experiments"
+	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/hom"
 	"repro/internal/kernel"
@@ -79,8 +81,8 @@ func BenchmarkE20KernelEfficiency(b *testing.B) {
 		if !r.Passed {
 			b.Fatalf("E20 failed: %s", r.Notes)
 		}
-		if len(rows) != 13 {
-			b.Fatal("E20 should time 4 kernels plus the contention, hom-engine, sgns, and sgns-f32 rows")
+		if len(rows) != 17 {
+			b.Fatal("E20 should time 4 kernels plus the contention, hom-engine, sgns, sgns-f32, kge, and gnn rows")
 		}
 	}
 }
@@ -372,6 +374,114 @@ func benchWorld(rng *rand.Rand) ([]kge.Triple, int, int) {
 			kge.Triple{currency, 2, country})
 	}
 	return triples, ne, 3
+}
+
+// --- KGE trainer benchmarks: f64 oracle vs the f32 Hogwild engine ---
+//
+// Same triples, same filtered negative sampler, same epoch count. The
+// sequential f32 engine isolates the scalar-kernel win (flat float32 rows,
+// fused margin step); the Hogwild run adds lock-free GOMAXPROCS workers on
+// top. CI runs these at -benchtime=1x as a smoke job (BENCH_KGE.json
+// artifact).
+
+func benchKGEWorld() ([]kge.Triple, int, int) {
+	kg := dataset.World(40, rand.New(rand.NewSource(54)))
+	return kg.Triples, kg.NumEntities(), kg.NumRelations()
+}
+
+func BenchmarkKGETransEF64Oracle(b *testing.B) {
+	triples, ne, nr := benchKGEWorld()
+	cfg := kge.DefaultTransEConfig()
+	cfg.Epochs = 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kge.TrainTransE(triples, ne, nr, cfg, rand.New(rand.NewSource(55)))
+	}
+}
+
+func BenchmarkKGETransEF32Sequential(b *testing.B) {
+	triples, ne, nr := benchKGEWorld()
+	cfg := kge.DefaultTransE32Config()
+	cfg.Epochs = 100
+	cfg.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kge.TrainTransE32(triples, ne, nr, cfg, 55)
+	}
+}
+
+func BenchmarkKGETransEF32Hogwild(b *testing.B) {
+	triples, ne, nr := benchKGEWorld()
+	cfg := kge.DefaultTransE32Config()
+	cfg.Epochs = 100
+	cfg.Workers = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kge.TrainTransE32(triples, ne, nr, cfg, 55)
+	}
+}
+
+// --- GNN corpus-embedding benchmarks: dense forward vs the CSR engine ---
+//
+// 120 sparse graphs through the same network: the dense side multiplies the
+// full n x n adjacency per layer per graph; the CSR engine walks the
+// nonzeros with pooled per-worker scratch, sequentially and on the worker
+// pool. Outputs are bit-identical (TestEmbedCorpusMatchesEmbed), so the
+// ratio is pure sparsity + scratch reuse. CI runs these at -benchtime=1x as
+// a smoke job (BENCH_GNN.json artifact).
+
+func benchGNNCorpus(b *testing.B) (*gnn.Network, []*graph.Graph, []*linalg.Matrix) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(56))
+	net, err := gnn.New([]int{2, 16, 16}, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gs := make([]*graph.Graph, 120)
+	x0s := make([]*linalg.Matrix, len(gs))
+	for i := range gs {
+		gs[i] = graph.Random(40, 0.1, rng)
+		x0s[i] = gnn.DegreeFeatures(gs[i], 2)
+	}
+	return net, gs, x0s
+}
+
+func BenchmarkGNNEmbedDense120(b *testing.B) {
+	net, gs, x0s := benchGNNCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, g := range gs {
+			if _, err := net.EmbedDense(g, x0s[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGNNEmbedCorpusCSRSequential120(b *testing.B) {
+	net, gs, x0s := benchGNNCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.EmbedCorpus(gs, x0s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGNNEmbedCorpusCSRParallel120(b *testing.B) {
+	net, gs, x0s := benchGNNCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.EmbedCorpus(gs, x0s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Hogwild SGNS benchmarks: the Section 2/5 learned-embedding engine ---

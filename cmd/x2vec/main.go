@@ -17,10 +17,18 @@
 //	x2vec train -model M.bin METHOD FILE...      train once and persist (node2vec, deepwalk, line,
 //	                                             graph2vec) or save a pattern class (homclass); the
 //	                                             saved file feeds `x2vec embed -model` and x2vecd
+//	x2vec train -model M.x2vm transe TRIPLES     knowledge-graph embedding from "head relation tail"
+//	                                             integer-id lines (transe or rescal; transe -f32 runs
+//	                                             the Hogwild float32 engine); x2vecd serves the saved
+//	                                             model on /link-predict in the filtered setting
+//	x2vec train -model M.x2vm gnn GRAPH LABELS   message-passing network on one graph (one integer
+//	                                             label per vertex line, -1 = unlabeled); x2vecd then
+//	                                             embeds request graphs through POST /embed {"graph":…}
 //	x2vec train -warm P.bin -model M.bin node2vec FILE
 //	                                             warm-start fine-tune from a saved parent in a
 //	                                             fraction of the epochs; the child's lineage chain
-//	                                             records the parent's file CRC
+//	                                             records the parent's file CRC (node2vec, deepwalk,
+//	                                             transe, gnn)
 //	x2vec index -out I.x2vm FILE...              build the LSH similarity index over the corpus files
 //	                                             (count-sketch WL features + sign-random-projection
 //	                                             tables); x2vecd -index serves it on /neighbors
@@ -40,6 +48,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -49,10 +58,12 @@ import (
 
 	"repro/internal/ann"
 	"repro/internal/embed"
+	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/graph2vec"
 	"repro/internal/hom"
 	"repro/internal/kernel"
+	"repro/internal/kge"
 	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/similarity"
@@ -346,7 +357,7 @@ func cmdTrain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	usageErr := fmt.Errorf("usage: x2vec train [-d D] [-p P] [-q Q] [-workers N] [-epochs E] [-f32] [-warm PARENT.bin] [-format v1|v2] [-quantize none|int8] -model M.bin {node2vec|deepwalk|line|graph2vec|homclass} FILE...")
+	usageErr := fmt.Errorf("usage: x2vec train [-d D] [-p P] [-q Q] [-workers N] [-epochs E] [-f32] [-warm PARENT.bin] [-format v1|v2] [-quantize none|int8] -model M.bin {node2vec|deepwalk|line|graph2vec|homclass|transe|rescal|gnn} FILE...")
 	if *modelPath == "" || fs.NArg() < 1 {
 		return usageErr
 	}
@@ -364,8 +375,10 @@ func cmdTrain(args []string) error {
 	}
 	method, files := fs.Arg(0), fs.Args()[1:]
 	if *warm != "" {
-		if method != "node2vec" && method != "deepwalk" {
-			return fmt.Errorf("-warm fine-tunes the SGNS walk methods only (node2vec, deepwalk)")
+		switch method {
+		case "node2vec", "deepwalk", "transe", "gnn":
+		default:
+			return fmt.Errorf("-warm fine-tunes node2vec, deepwalk, transe and gnn only")
 		}
 		if *format == "v1" {
 			return fmt.Errorf("-warm records a lineage chain, which needs -format v2")
@@ -462,6 +475,25 @@ func cmdTrain(args []string) error {
 			return saveErr
 		}
 		fmt.Printf("saved graph2vec model: %d graphs x %d dims -> %s\n", len(gs), *d, *modelPath)
+	case "transe", "rescal":
+		if *format == "v1" {
+			return fmt.Errorf("train %s needs -format v2 (the v1 layout has no KGE kind)", method)
+		}
+		if len(files) != 1 {
+			return fmt.Errorf("train %s wants exactly one TRIPLES file (\"head relation tail\" integer-id lines)", method)
+		}
+		return trainKGE(method, files[0], *modelPath, *warm, *d, *epochs, *workers, *f32, *quantize)
+	case "gnn":
+		if *format == "v1" {
+			return fmt.Errorf("train gnn needs -format v2 (the v1 layout has no GNN kind)")
+		}
+		if *quantize != "none" {
+			return fmt.Errorf("train gnn stores network parameters applied layer over layer; -quantize does not apply")
+		}
+		if len(files) != 2 {
+			return fmt.Errorf("train gnn wants GRAPH and LABELS files (one integer label per vertex line, -1 = unlabeled)")
+		}
+		return trainGNN(files[0], files[1], *modelPath, *warm, *d, *epochs, *f32, rng)
 	case "homclass":
 		if *f32 || *quantize != "none" {
 			return fmt.Errorf("train homclass stores graphs, not vectors; -f32/-quantize do not apply")
@@ -540,17 +572,12 @@ func fineTuneNode(g *graph.Graph, method, warmPath, outPath string, p, q float64
 		parent.VectorInto(row, v)
 		copy(warm.Data[v*parent.Cols:(v+1)*parent.Cols], row)
 	}
-	chain := append([]model.LineageEntry(nil), parent.Lineage...)
+	parentChain := parent.Lineage
 	parent.Close()
-	crc, err := model.FileCRC(warmPath)
+	chain, err := extendLineage(parentChain, warmPath, method+" fine-tune")
 	if err != nil {
 		return err
 	}
-	seq := uint32(1)
-	if n := len(chain); n > 0 {
-		seq = chain[n-1].Seq + 1
-	}
-	chain = append(chain, model.LineageEntry{Parent: crc, Seq: seq, Note: method + " fine-tune"})
 
 	if epochs == 0 {
 		epochs = 1 // the warm-start budget: a fraction of the from-scratch default
@@ -566,6 +593,250 @@ func fineTuneNode(g *graph.Graph, method, warmPath, outPath string, p, q float64
 	fmt.Printf("fine-tuned %s model: %d vertices x %d dims (lineage depth %d) -> %s\n",
 		method, g.N(), warm.Cols, len(chain), outPath)
 	return nil
+}
+
+// extendLineage copies a parent's recorded chain and appends one entry
+// pointing at the parent's file CRC — the identity x2vecd reports per
+// served generation.
+func extendLineage(parentChain []model.LineageEntry, warmPath, note string) ([]model.LineageEntry, error) {
+	chain := append([]model.LineageEntry(nil), parentChain...)
+	crc, err := model.FileCRC(warmPath)
+	if err != nil {
+		return nil, err
+	}
+	seq := uint32(1)
+	if n := len(chain); n > 0 {
+		seq = chain[n-1].Seq + 1
+	}
+	return append(chain, model.LineageEntry{Parent: crc, Seq: seq, Note: note}), nil
+}
+
+// trainKGE is the knowledge-graph face of `x2vec train`: triples in, a
+// KindKGE model out. transe trains on the float64 oracle by default, on the
+// float32 Hogwild engine under -f32 (-workers caps the shards; 1 is
+// bit-deterministic), and -warm fine-tunes a saved transe parent through
+// the float32 engine with the lineage chain extended. rescal always runs
+// the float64 full-gradient engine. The training triples are stored in the
+// file so x2vecd answers /link-predict in the filtered setting.
+func trainKGE(method, triplesPath, outPath, warmPath string, d, epochs, workers int, f32 bool, quantize string) error {
+	triples, nE, nR, err := kge.LoadTriplesFile(triplesPath)
+	if err != nil {
+		return err
+	}
+	var view *kge.KGView
+	var chain []model.LineageEntry
+	dtype := model.DTypeF64
+	switch {
+	case method == "rescal":
+		if f32 || warmPath != "" {
+			return fmt.Errorf("train rescal runs the float64 full-gradient engine only (no -f32/-warm)")
+		}
+		cfg := kge.DefaultRESCALConfig()
+		cfg.Dim = d
+		if epochs > 0 {
+			cfg.Epochs = epochs
+		}
+		view = kge.TrainRESCAL(triples, nE, nR, cfg, rand.New(rand.NewSource(1))).View()
+	case warmPath != "":
+		parent, err := model.OpenKGE(warmPath)
+		if err != nil {
+			return err
+		}
+		if err := parent.Verify(); err != nil {
+			parent.Close()
+			return err
+		}
+		if parent.Method != "transe" {
+			parent.Close()
+			return fmt.Errorf("-warm transe wants a transe parent, got %s", parent.Method)
+		}
+		if parent.NumEntities < nE || parent.NumRelations < nR {
+			parent.Close()
+			return fmt.Errorf("warm parent covers %d entities / %d relations, triples need %d/%d",
+				parent.NumEntities, parent.NumRelations, nE, nR)
+		}
+		// The parent may know more entities than this triples file mentions;
+		// fine-tuning keeps the parent's id space so served ids stay stable.
+		nE, nR = parent.NumEntities, parent.NumRelations
+		dim := parent.Dim
+		we := make([]float32, nE*dim)
+		wr := make([]float32, nR*dim)
+		row := make([]float64, dim) // RelWidth == Dim for transe
+		for i := 0; i < nE; i++ {
+			parent.EntityInto(row, i)
+			for j, x := range row {
+				we[i*dim+j] = float32(x)
+			}
+		}
+		for i := 0; i < nR; i++ {
+			parent.RelationInto(row, i)
+			for j, x := range row {
+				wr[i*dim+j] = float32(x)
+			}
+		}
+		parentChain := parent.Lineage
+		parent.Close()
+		if chain, err = extendLineage(parentChain, warmPath, "transe fine-tune"); err != nil {
+			return err
+		}
+		cfg := kge.DefaultTransE32Config()
+		cfg.Dim = dim
+		cfg.Workers = workers
+		cfg.Epochs = 100 // the warm-start budget: a fraction of the from-scratch default
+		if epochs > 0 {
+			cfg.Epochs = epochs
+		}
+		cfg.WarmEntities, cfg.WarmRelations = we, wr
+		m, err := kge.TrainTransE32(triples, nE, nR, cfg, 1)
+		if err != nil {
+			return err
+		}
+		view = m.View()
+		dtype = model.DTypeF32
+	case f32:
+		cfg := kge.DefaultTransE32Config()
+		cfg.Dim = d
+		cfg.Workers = workers
+		if epochs > 0 {
+			cfg.Epochs = epochs
+		}
+		m, err := kge.TrainTransE32(triples, nE, nR, cfg, 1)
+		if err != nil {
+			return err
+		}
+		view = m.View()
+		dtype = model.DTypeF32
+	default:
+		cfg := kge.DefaultTransEConfig()
+		cfg.Dim = d
+		if epochs > 0 {
+			cfg.Epochs = epochs
+		}
+		view = kge.TrainTransE(triples, nE, nR, cfg, rand.New(rand.NewSource(1))).View()
+	}
+	spec := model.KGESpecFrom(view, triples, dtype)
+	spec.Lineage = chain
+	if quantize == "int8" {
+		mean, min := model.Int8Quality(spec.Entities, spec.NumEntities, spec.Dim)
+		if mean < 0.999 || min < 0.99 {
+			return fmt.Errorf("int8 quantisation fails the quality gate on this model (mean row cosine %.5f, min %.5f; need mean >= 0.999 and min >= 0.99) — save with -quantize none", mean, min)
+		}
+		spec.DType = model.DTypeInt8
+	}
+	if err := model.SaveKGE(outPath, spec); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s model: %d entities / %d relations x %d dims, %d triples -> %s\n",
+		method, spec.NumEntities, spec.NumRelations, spec.Dim, len(spec.Triples), outPath)
+	return nil
+}
+
+// trainGNN trains a node-classification message-passing network on one
+// graph with degree features and saves the KindGNN model x2vecd serves
+// graph /embed from. The labels file carries one integer per vertex line;
+// -1 marks an unlabeled vertex (excluded from the loss but still embedded).
+// -warm continues training a saved parent network on the new graph.
+func trainGNN(graphPath, labelsPath, outPath, warmPath string, d, epochs int, f32 bool, rng *rand.Rand) error {
+	g, err := loadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	labels, mask, classes, err := loadNodeLabels(labelsPath, g.N())
+	if err != nil {
+		return err
+	}
+	var net *gnn.Network
+	var chain []model.LineageEntry
+	features := "degree"
+	if warmPath != "" {
+		parent, err := model.OpenGNN(warmPath)
+		if err != nil {
+			return err
+		}
+		if parent.Classes < classes {
+			return fmt.Errorf("warm parent has a %d-class head, labels need %d", parent.Classes, classes)
+		}
+		net, features = parent.Net, parent.Features
+		if chain, err = extendLineage(parent.Lineage, warmPath, "gnn fine-tune"); err != nil {
+			return err
+		}
+		if epochs == 0 {
+			epochs = 50 // the warm-start budget
+		}
+	} else {
+		if net, err = gnn.New([]int{2, d}, classes, rng); err != nil {
+			return err
+		}
+		if epochs == 0 {
+			epochs = 200
+		}
+	}
+	x0 := gnn.DegreeFeatures(g, net.InDim())
+	if features == "const" {
+		x0 = gnn.ConstantFeatures(g.N(), net.InDim())
+	}
+	losses, err := net.TrainNodes(g, x0, labels, mask, epochs, 0.05)
+	if err != nil {
+		return err
+	}
+	dtype := model.DTypeF64
+	if f32 {
+		dtype = model.DTypeF32
+	}
+	spec := model.GNNSpec{Net: net, Features: features, DType: dtype, Lineage: chain}
+	if err := model.SaveGNN(outPath, spec); err != nil {
+		return err
+	}
+	fmt.Printf("saved gnn model: layers %v, %d classes, %d epochs (final loss %.4f) -> %s\n",
+		net.Dims(), net.Classes(), epochs, losses[len(losses)-1], outPath)
+	return nil
+}
+
+// loadNodeLabels reads one integer label per line (blank lines and
+// '#' comments skipped); -1 masks the vertex out of the training loss.
+func loadNodeLabels(path string, n int) (labels []int, mask []bool, classes int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		l, perr := strconv.Atoi(text)
+		if perr != nil {
+			return nil, nil, 0, fmt.Errorf("labels line %d: %q is not an integer", line, text)
+		}
+		if l < -1 {
+			return nil, nil, 0, fmt.Errorf("labels line %d: label %d (want >= -1)", line, l)
+		}
+		labels = append(labels, l)
+		mask = append(mask, l >= 0)
+		if l+1 > classes {
+			classes = l + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, 0, err
+	}
+	if len(labels) != n {
+		return nil, nil, 0, fmt.Errorf("%d labels for a graph of order %d", len(labels), n)
+	}
+	if classes == 0 {
+		return nil, nil, 0, fmt.Errorf("no labeled vertices (every line is -1)")
+	}
+	// Masked vertices carry a placeholder inside the head's range.
+	for i, l := range labels {
+		if l < 0 {
+			labels[i] = 0
+		}
+	}
+	return labels, mask, classes, nil
 }
 
 // cmdIndex builds the sublinear similarity tier offline: one count-sketch

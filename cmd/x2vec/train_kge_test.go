@@ -1,0 +1,215 @@
+package main
+
+// CLI tests for the KGE and GNN training kinds of `x2vec train` (issue 10):
+// triples file in → KindKGE model out on both engines (float64 oracle and
+// -f32 Hogwild), rescal, the int8 serving tier, warm-start lineage chains,
+// and the graph+labels → KindGNN path.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+)
+
+const worldTriples = `# head relation tail
+0 0 1
+0 1 2
+1 1 2
+3 0 4
+3 1 5
+4 1 5
+6 0 7
+6 1 2
+7 1 2
+8 0 9
+8 1 5
+9 1 5
+10 0 11
+10 1 2
+11 1 2
+`
+
+func TestTrainTransEAndRESCAL(t *testing.T) {
+	triples := writeTemp(t, worldTriples)
+	dir := t.TempDir()
+
+	out := filepath.Join(dir, "transe.x2vm")
+	if err := cmdTrain([]string{"-model", out, "-d", "8", "-epochs", "40", "transe", triples}); err != nil {
+		t.Fatalf("train transe: %v", err)
+	}
+	m, err := model.OpenKGE(out)
+	if err != nil {
+		t.Fatalf("open saved transe: %v", err)
+	}
+	if m.Method != "transe" || m.DType != model.DTypeF64 || m.NumEntities != 12 ||
+		m.NumRelations != 2 || m.Dim != 8 || len(m.Triples) != 15 {
+		t.Fatalf("saved model %+v", m)
+	}
+	if len(m.KnownTails(0, 0)) != 1 || m.KnownTails(0, 0)[0] != 1 {
+		t.Fatalf("stored triples lost: known tails of (0,0) = %v", m.KnownTails(0, 0))
+	}
+	m.Close()
+
+	out32 := filepath.Join(dir, "transe32.x2vm")
+	if err := cmdTrain([]string{"-model", out32, "-d", "8", "-epochs", "40", "-f32", "-workers", "0", "transe", triples}); err != nil {
+		t.Fatalf("train transe -f32: %v", err)
+	}
+	m32, err := model.OpenKGE(out32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m32.DType != model.DTypeF32 {
+		t.Fatalf("-f32 model stored as %v", m32.DType)
+	}
+	m32.Close()
+
+	q8 := filepath.Join(dir, "transe8.x2vm")
+	if err := cmdTrain([]string{"-model", q8, "-d", "8", "-epochs", "40", "-quantize", "int8", "transe", triples}); err != nil {
+		t.Fatalf("train transe -quantize int8: %v", err)
+	}
+	mq, err := model.OpenKGE(q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.DType != model.DTypeInt8 {
+		t.Fatalf("quantised model stored as %v", mq.DType)
+	}
+	// The quantised tier still answers: top tails come back in range.
+	preds, err := mq.View().TopTails(0, 0, 3, 1, nil)
+	if err != nil || len(preds) != 3 {
+		t.Fatalf("quantised TopTails: %v %v", preds, err)
+	}
+	mq.Close()
+
+	outR := filepath.Join(dir, "rescal.x2vm")
+	if err := cmdTrain([]string{"-model", outR, "-d", "4", "-epochs", "60", "rescal", triples}); err != nil {
+		t.Fatalf("train rescal: %v", err)
+	}
+	mr, err := model.OpenKGE(outR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Method != "rescal" || mr.RelWidth != 16 {
+		t.Fatalf("rescal model %+v", mr)
+	}
+	mr.Close()
+}
+
+func TestTrainTransEWarmLineage(t *testing.T) {
+	triples := writeTemp(t, worldTriples)
+	dir := t.TempDir()
+	parent := filepath.Join(dir, "parent.x2vm")
+	child := filepath.Join(dir, "child.x2vm")
+	grand := filepath.Join(dir, "grand.x2vm")
+
+	if err := cmdTrain([]string{"-model", parent, "-d", "8", "-epochs", "40", "-f32", "transe", triples}); err != nil {
+		t.Fatal(err)
+	}
+	parentCRC, err := model.FileCRC(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrain([]string{"-model", child, "-warm", parent, "-epochs", "10", "transe", triples}); err != nil {
+		t.Fatalf("warm transe: %v", err)
+	}
+	m, err := model.OpenKGE(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Lineage) != 1 || m.Lineage[0].Parent != parentCRC || m.Lineage[0].Seq != 1 {
+		t.Fatalf("child lineage %+v, want parent CRC %08x seq 1", m.Lineage, parentCRC)
+	}
+	if m.DType != model.DTypeF32 {
+		t.Fatalf("warm child stored as %v", m.DType)
+	}
+	m.Close()
+
+	if err := cmdTrain([]string{"-model", grand, "-warm", child, "-epochs", "10", "transe", triples}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := model.OpenKGE(grand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Lineage) != 2 || g.Lineage[1].Seq != 2 {
+		t.Fatalf("grandchild lineage %+v", g.Lineage)
+	}
+	g.Close()
+}
+
+func TestTrainGNN(t *testing.T) {
+	hexagon := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n")
+	labels := writeTemp(t, "0\n1\n0\n-1\n0\n1\n")
+	dir := t.TempDir()
+	out := filepath.Join(dir, "gnn.x2vm")
+
+	if err := cmdTrain([]string{"-model", out, "-d", "4", "-epochs", "20", "gnn", hexagon, labels}); err != nil {
+		t.Fatalf("train gnn: %v", err)
+	}
+	m, err := model.OpenGNN(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Dims) != 2 || m.Dims[0] != 2 || m.Dims[1] != 4 || m.Classes != 2 || m.Features != "degree" {
+		t.Fatalf("saved gnn %+v", m)
+	}
+
+	child := filepath.Join(dir, "gnn2.x2vm")
+	if err := cmdTrain([]string{"-model", child, "-warm", out, "-epochs", "5", "gnn", hexagon, labels}); err != nil {
+		t.Fatalf("warm gnn: %v", err)
+	}
+	c, err := model.OpenGNN(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc, err := model.FileCRC(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Lineage) != 1 || c.Lineage[0].Parent != crc {
+		t.Fatalf("gnn child lineage %+v", c.Lineage)
+	}
+}
+
+func TestTrainKGEAndGNNErrors(t *testing.T) {
+	triples := writeTemp(t, worldTriples)
+	hexagon := writeTemp(t, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n")
+	out := filepath.Join(t.TempDir(), "m.x2vm")
+
+	if err := cmdTrain([]string{"-model", out, "-f32", "rescal", triples}); err == nil {
+		t.Fatal("rescal -f32 accepted")
+	}
+	if err := cmdTrain([]string{"-model", out, "-format", "v1", "transe", triples}); err == nil {
+		t.Fatal("transe -format v1 accepted")
+	}
+	if err := cmdTrain([]string{"-model", out, "-warm", triples, "rescal", triples}); err == nil {
+		t.Fatal("rescal -warm accepted")
+	}
+	if err := cmdTrain([]string{"-model", out, "transe", triples, triples}); err == nil {
+		t.Fatal("two triples files accepted")
+	}
+	if err := cmdTrain([]string{"-model", out, "transe", writeTemp(t, "0 zero 1\n")}); err == nil {
+		t.Fatal("malformed triples accepted")
+	}
+	if err := cmdTrain([]string{"-model", out, "-quantize", "int8", "gnn", hexagon, writeTemp(t, "0\n1\n0\n1\n0\n1\n")}); err == nil {
+		t.Fatal("gnn -quantize accepted")
+	}
+	if err := cmdTrain([]string{"-model", out, "gnn", hexagon}); err == nil {
+		t.Fatal("gnn without labels accepted")
+	}
+	if err := cmdTrain([]string{"-model", out, "gnn", hexagon, writeTemp(t, "0\n1\n")}); err == nil {
+		t.Fatal("short labels file accepted")
+	}
+	if err := cmdTrain([]string{"-model", out, "gnn", hexagon, writeTemp(t, "-1\n-1\n-1\n-1\n-1\n-1\n")}); err == nil {
+		t.Fatal("all-masked labels accepted")
+	}
+	// A rescal parent cannot warm-start transe.
+	rp := filepath.Join(t.TempDir(), "r.x2vm")
+	if err := cmdTrain([]string{"-model", rp, "-d", "4", "-epochs", "5", "rescal", triples}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrain([]string{"-model", out, "-warm", rp, "transe", triples}); err == nil {
+		t.Fatal("transe warm-start from a rescal parent accepted")
+	}
+}

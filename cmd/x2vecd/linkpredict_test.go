@@ -1,0 +1,285 @@
+package main
+
+// Daemon-level tests for the KGE and GNN endpoints (issue 10): a daemon
+// cold-started on a trained-and-saved TransE model answers /link-predict
+// with a sane filtered top-k, rejects malformed queries with 400, and stays
+// consistent across /reload; a GNN model serves graph /embed bit-identical
+// to the offline forward pass.
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/kge"
+	"repro/internal/model"
+)
+
+// mustParse parses edge-list text or fails the test.
+func mustParse(t *testing.T, text string) *graph.Graph {
+	t.Helper()
+	g, err := graph.ParseGraph(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLinkPredictEndpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	kg := dataset.World(12, rng)
+	train, test := kg.Split(0.2, rng)
+	m := kge.TrainTransE(train, kg.NumEntities(), kg.NumRelations(), kge.DefaultTransEConfig(), rng)
+	mp := filepath.Join(t.TempDir(), "kg.x2vm")
+	if err := model.SaveKGE(mp, model.KGESpecFrom(m.View(), train, model.DTypeF64)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp})
+
+	// Cold-start sanity on a held-out fact: the ranking is non-empty, capped
+	// at k, sorted ascending (TransE: lower is better) and never contains
+	// the anchor or a known training tail.
+	knownTails := map[[2]int]map[int]bool{}
+	for _, tr := range train {
+		key := [2]int{tr[0], tr[1]}
+		if knownTails[key] == nil {
+			knownTails[key] = map[int]bool{}
+		}
+		knownTails[key][tr[2]] = true
+	}
+	probe := test[0]
+	resp, body := postJSON(t, ts.URL+"/link-predict", map[string]int{"head": probe[0], "relation": probe[1], "k": 10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/link-predict: status %d: %s", resp.StatusCode, body)
+	}
+	var lp linkPredictResponse
+	if err := json.Unmarshal(body, &lp); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Mode != "tail" || lp.Method != "transe" || lp.ModelVersion != 1 {
+		t.Fatalf("response shape %+v", lp)
+	}
+	if len(lp.Entities) == 0 || len(lp.Entities) > 10 || len(lp.Scores) != len(lp.Entities) {
+		t.Fatalf("%d entities / %d scores", len(lp.Entities), len(lp.Scores))
+	}
+	for i, e := range lp.Entities {
+		if e == probe[0] || knownTails[[2]int{probe[0], probe[1]}][e] {
+			t.Fatalf("anchor or known fact %d served in the filtered ranking %v", e, lp.Entities)
+		}
+		if i > 0 && lp.Scores[i] < lp.Scores[i-1] {
+			t.Fatalf("scores not ascending: %v", lp.Scores)
+		}
+	}
+
+	// Head mode answers too, under its own exclusion set.
+	resp, body = postJSON(t, ts.URL+"/link-predict", map[string]int{"tail": probe[2], "relation": probe[1], "k": 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("head mode: status %d: %s", resp.StatusCode, body)
+	}
+	var hp linkPredictResponse
+	if err := json.Unmarshal(body, &hp); err != nil {
+		t.Fatal(err)
+	}
+	if hp.Mode != "head" || len(hp.Entities) == 0 {
+		t.Fatalf("head response %+v", hp)
+	}
+
+	// Malformed queries are 400s: out-of-range ids, a missing relation,
+	// both sides bound, neither side bound.
+	for _, bad := range []map[string]int{
+		{"head": kg.NumEntities(), "relation": 0},
+		{"head": -1, "relation": 0},
+		{"head": 0, "relation": kg.NumRelations()},
+		{"head": 0},
+		{"head": 0, "tail": 1, "relation": 0},
+		{"relation": 0},
+	} {
+		if resp, body := postJSON(t, ts.URL+"/link-predict", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%v: status %d, want 400: %s", bad, resp.StatusCode, body)
+		}
+	}
+
+	// /embed serves entity rows from a KGE model; a graph is a kind
+	// mismatch (400), exactly like /link-predict against a table.
+	resp, body = postJSON(t, ts.URL+"/embed", map[string]int{"id": probe[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/embed entity row: status %d: %s", resp.StatusCode, body)
+	}
+	var er embedResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	for j, x := range m.Entities[probe[0]] {
+		if er.Vector[j] != x {
+			t.Fatalf("entity row differs from the trained model at dim %d", j)
+		}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/embed", map[string]string{"graph": hexagonText}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("graph /embed on KGE model: status %d, want 400", resp.StatusCode)
+	}
+
+	// /stats reports the KGE generation and the link-predict pipeline.
+	sresp, sbody := postGet(t, ts.URL+"/stats")
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %d", sresp.StatusCode)
+	}
+	var stats struct {
+		Model     *serveModelStats           `json:"model"`
+		Pipelines map[string]json.RawMessage `json:"pipelines"`
+	}
+	if err := json.Unmarshal(sbody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Model == nil || stats.Model.Kind != "kge" || stats.Model.Relations != kg.NumRelations() {
+		t.Fatalf("stats model %+v", stats.Model)
+	}
+	if _, ok := stats.Pipelines["link-predict"]; !ok {
+		t.Fatal("link-predict pipeline missing from /stats")
+	}
+
+	// A hot /reload of the same file answers the same query identically at
+	// the next generation.
+	if resp, body := postJSON(t, ts.URL+"/reload", map[string]string{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/reload: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/link-predict", map[string]int{"head": probe[0], "relation": probe[1], "k": 10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload: status %d: %s", resp.StatusCode, body)
+	}
+	var lp2 linkPredictResponse
+	if err := json.Unmarshal(body, &lp2); err != nil {
+		t.Fatal(err)
+	}
+	if lp2.ModelVersion != 2 {
+		t.Fatalf("post-reload version %d, want 2", lp2.ModelVersion)
+	}
+	if len(lp2.Entities) != len(lp.Entities) {
+		t.Fatalf("reload changed the answer: %v vs %v", lp2.Entities, lp.Entities)
+	}
+	for i := range lp.Entities {
+		if lp2.Entities[i] != lp.Entities[i] || lp2.Scores[i] != lp.Scores[i] {
+			t.Fatalf("reload changed the answer: %v/%v vs %v/%v", lp2.Entities, lp2.Scores, lp.Entities, lp.Scores)
+		}
+	}
+}
+
+// serveModelStats decodes just the snapshot fields this test asserts on.
+type serveModelStats struct {
+	Kind      string `json:"kind"`
+	Relations int    `json:"relations"`
+}
+
+// postGet is the GET twin of postJSON, for /stats.
+func postGet(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestReloadIndexDropForKindFlip pins the reload index semantics a kind
+// flip depends on: an absent "index" field inherits the current ANN index
+// (so a table→KGE swap is rejected, since the index only rides embedding
+// tables), while an explicit empty string drops it and the swap lands.
+func TestReloadIndexDropForKindFlip(t *testing.T) {
+	dir := t.TempDir()
+	mp, ip, _ := neighborsFixture(t, dir, 6, 3)
+
+	rng := rand.New(rand.NewSource(7))
+	kg := dataset.World(8, rng)
+	m := kge.TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), kge.DefaultTransEConfig(), rng)
+	kp := filepath.Join(dir, "kg.x2vm")
+	if err := model.SaveKGE(kp, model.KGESpecFrom(m.View(), kg.Triples, model.DTypeF64)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp, IndexPath: ip})
+
+	// Absent index field: the current index is inherited, which a KGE model
+	// cannot carry — the swap must fail and generation 1 keeps serving.
+	if resp, body := postJSON(t, ts.URL+"/reload", map[string]string{"model": kp}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("kind flip with inherited index: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/embed", map[string]int{"id": 0}); resp.StatusCode != http.StatusOK {
+		t.Fatal("generation 1 stopped serving after the failed swap")
+	}
+
+	// Explicit "" drops the index; the same swap now lands and /neighbors
+	// reports the index as gone rather than answering from a stale one.
+	resp, body := postJSON(t, ts.URL+"/reload", map[string]any{"model": kp, "index": ""})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kind flip with dropped index: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/link-predict", map[string]int{"head": 0, "relation": 0, "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/link-predict after flip: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/neighbors", map[string]any{"graph": hexagonText, "k": 1}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/neighbors after index drop: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestGNNEmbedEndpoint(t *testing.T) {
+	net, err := gnn.New([]int{2, 5}, 3, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := filepath.Join(t.TempDir(), "gnn.x2vm")
+	if err := model.SaveGNN(mp, model.GNNSpec{Net: net, Features: "degree", DType: model.DTypeF64}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestDaemon(t, daemonConfig{ModelPath: mp})
+
+	resp, body := postJSON(t, ts.URL+"/embed", map[string]string{"graph": hexagonText})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph /embed: status %d: %s", resp.StatusCode, body)
+	}
+	var er embedResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	g := mustParse(t, hexagonText)
+	want, err := net.GraphEmbed(g, gnn.DegreeFeatures(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Method != "gnn" || len(er.Vector) != len(want) {
+		t.Fatalf("response %+v, want %d dims", er, len(want))
+	}
+	for j := range want {
+		if er.Vector[j] != want[j] {
+			t.Fatalf("served dim %d = %v, offline %v (must be bit-identical)", j, er.Vector[j], want[j])
+		}
+	}
+
+	// Kind and shape mismatches are 400s.
+	if resp, _ := postJSON(t, ts.URL+"/embed", map[string]int{"id": 0}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("id /embed on GNN model: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/embed", map[string]any{"id": 0, "graph": hexagonText}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("id+graph /embed: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/embed", map[string]any{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty /embed: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/embed", map[string]string{"graph": "not a graph"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed graph: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/link-predict", map[string]int{"head": 0, "relation": 0}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/link-predict on GNN model: status %d, want 400", resp.StatusCode)
+	}
+}

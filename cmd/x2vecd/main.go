@@ -9,7 +9,16 @@
 //
 //	POST /embed    {"id": 3}                      vector of node/graph/token 3
 //	               from the loaded model — no retraining, bit-identical to
-//	               the offline x2vec pipeline that trained it
+//	               the offline x2vec pipeline that trained it. KGE models
+//	               serve entity rows by id; against a GNN model the request
+//	               carries a graph instead: {"graph": "0 1\n1 2\n"} embeds
+//	               the request graph with the stored network and feature
+//	               scheme
+//	POST /link-predict {"head": 0, "relation": 2, "k": 10}
+//	               top-k tail completions of (head, relation, ?) from the
+//	               loaded KGE model in the filtered setting (known facts
+//	               and the anchor excluded); {"tail": …} instead of "head"
+//	               ranks head completions of (?, relation, tail)
 //	POST /homvec   {"graph": "0 1\n1 2\n"}        log-scaled homomorphism vector
 //	POST /kernel   {"name": "wl", "a": …, "b": …} kernel value between two graphs
 //	POST /wl       {"graph": "0 1\n1 2\n"}        stable WL colouring
@@ -101,7 +110,7 @@ func main() {
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
-			snap, err := d.reload("", "")
+			snap, err := d.reload("", nil)
 			if err != nil {
 				log.Printf("x2vecd: SIGHUP reload: %v", err)
 				continue
@@ -192,23 +201,29 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	return d, nil
 }
 
-// reload hot-swaps the served model and ANN index together. Empty paths
-// re-read whatever the current generation came from — the SIGHUP
-// semantics; a model-only reload therefore keeps (and re-opens) the
-// current index rather than silently dropping /neighbors.
-func (d *daemon) reload(modelPath, indexPath string) (serve.ModelSnapshot, error) {
+// reload hot-swaps the served model and ANN index together. An empty model
+// path re-reads whatever the current generation came from — the SIGHUP
+// semantics. indexPath nil inherits (and re-opens) the current index rather
+// than silently dropping /neighbors; an explicit empty string drops it,
+// which a swap onto a non-table kind (KGE, GNN) requires since the ANN
+// index only rides embedding tables.
+func (d *daemon) reload(modelPath string, indexPath *string) (serve.ModelSnapshot, error) {
 	if d.svc == nil {
 		return serve.ModelSnapshot{}, errors.New("no model loaded; start x2vecd with -model")
+	}
+	idx := ""
+	if indexPath != nil {
+		idx = *indexPath
 	}
 	if cur := d.svc.Snapshot(); cur != nil {
 		if modelPath == "" {
 			modelPath = cur.Path
 		}
-		if indexPath == "" && cur.Index != nil {
-			indexPath = cur.Index.Path
+		if indexPath == nil && cur.Index != nil {
+			idx = cur.Index.Path
 		}
 	}
-	return d.svc.Reload(modelPath, indexPath)
+	return d.svc.Reload(modelPath, idx)
 }
 
 func (d *daemon) close() {
@@ -236,6 +251,7 @@ func (d *daemon) handler() http.Handler {
 		writeJSON(w, http.StatusOK, snap)
 	})
 	mux.HandleFunc("/embed", d.handleEmbed)
+	mux.HandleFunc("/link-predict", d.handleLinkPredict)
 	mux.HandleFunc("/reload", d.handleReload)
 	mux.HandleFunc("/homvec", d.handleHomVec)
 	mux.HandleFunc("/kernel", d.handleKernel)
@@ -299,14 +315,27 @@ func serveStatus(err error) int {
 }
 
 type embedRequest struct {
-	ID int `json:"id"`
+	ID    *int   `json:"id,omitempty"`    // table/KGE models: row or entity id
+	Graph string `json:"graph,omitempty"` // GNN models: edge-list text to embed
 }
 
 type embedResponse struct {
-	ID           int       `json:"id"`
+	ID           *int      `json:"id,omitempty"`
 	Method       string    `json:"method"`
 	ModelVersion uint64    `json:"model_version"` // generation that served this vector
 	Vector       []float64 `json:"vector"`
+}
+
+// embedStatus maps embed-service errors: no model is 404, a bad id or a
+// kind mismatch is the client's fault, anything else the server's.
+func embedStatus(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrNoModel):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrEmbedRange), errors.Is(err, serve.ErrWrongModel):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 func (d *daemon) handleEmbed(w http.ResponseWriter, r *http.Request) {
@@ -318,24 +347,96 @@ func (d *daemon) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no model loaded; start x2vecd with -model"))
 		return
 	}
-	vec, method, version, err := d.svc.Lookup(req.ID)
-	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, serve.ErrNoModel):
-			status = http.StatusNotFound
-		case errors.Is(err, serve.ErrEmbedRange):
-			status = http.StatusBadRequest
+	if (req.ID == nil) == (req.Graph == "") {
+		writeError(w, http.StatusBadRequest, errors.New(`need exactly one of "id" or "graph"`))
+		return
+	}
+	if req.Graph != "" {
+		g, ok := requestGraph(w, req.Graph, "graph")
+		if !ok {
+			return
 		}
-		writeError(w, status, err)
+		vec, version, err := d.svc.EmbedGraph(g)
+		if err != nil {
+			writeError(w, embedStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, embedResponse{Method: "gnn", ModelVersion: version, Vector: vec})
+		return
+	}
+	vec, method, version, err := d.svc.Lookup(*req.ID)
+	if err != nil {
+		writeError(w, embedStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, embedResponse{ID: req.ID, Method: method, ModelVersion: version, Vector: vec})
 }
 
+type linkPredictRequest struct {
+	Head     *int `json:"head,omitempty"` // rank tails of (head, relation, ?)
+	Tail     *int `json:"tail,omitempty"` // rank heads of (?, relation, tail)
+	Relation *int `json:"relation"`
+	K        int  `json:"k"` // 0 = serve.DefaultLinkK
+}
+
+type linkPredictResponse struct {
+	Mode         string    `json:"mode"`   // "tail" or "head": which side was ranked
+	Method       string    `json:"method"` // "transe" (lower is better) or "rescal" (higher)
+	K            int       `json:"k"`
+	ModelVersion uint64    `json:"model_version"`
+	Entities     []int     `json:"entities"` // ranked, best completion first
+	Scores       []float64 `json:"scores"`
+}
+
+// handleLinkPredict serves filtered top-k triple completion from the loaded
+// KGE model: exactly one of "head"/"tail" picks the open side, known facts
+// and the anchor never appear in the ranking.
+func (d *daemon) handleLinkPredict(w http.ResponseWriter, r *http.Request) {
+	var req linkPredictRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if d.svc == nil {
+		writeError(w, http.StatusNotFound, errors.New("no model loaded; start x2vecd with -model"))
+		return
+	}
+	if req.Relation == nil {
+		writeError(w, http.StatusBadRequest, errors.New(`missing "relation" field`))
+		return
+	}
+	if (req.Head == nil) == (req.Tail == nil) {
+		writeError(w, http.StatusBadRequest, errors.New(`need exactly one of "head" or "tail"`))
+		return
+	}
+	anchor, mode := 0, ""
+	if req.Head != nil {
+		anchor, mode = *req.Head, "tail"
+	} else {
+		anchor, mode = *req.Tail, "head"
+	}
+	res, err := d.svc.LinkPredict(anchor, *req.Relation, req.K, mode)
+	if err != nil {
+		writeError(w, embedStatus(err), err)
+		return
+	}
+	resp := linkPredictResponse{
+		Mode:         res.Mode,
+		Method:       res.Method,
+		K:            res.K,
+		ModelVersion: res.ModelVersion,
+		Entities:     make([]int, len(res.Predictions)),
+		Scores:       make([]float64, len(res.Predictions)),
+	}
+	for i, p := range res.Predictions {
+		resp.Entities[i] = p.Entity
+		resp.Scores[i] = p.Score
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 type reloadRequest struct {
-	Model string `json:"model"`
-	Index string `json:"index"`
+	Model string  `json:"model"`
+	Index *string `json:"index"` // absent: keep the current index; "": drop it
 }
 
 // handleReload hot-swaps the served model: an explicit path swaps to a new

@@ -152,13 +152,23 @@ type GNNEmbedder struct {
 
 // NewGNNEmbedder creates an untrained random GNN embedder (useful as a
 // structural fingerprint bounded by 1-WL).
-func NewGNNEmbedder(dims []int, outDim int, rng *rand.Rand) *GNNEmbedder {
-	return &GNNEmbedder{Net: gnn.New(dims, outDim, rng), InputDim: dims[0]}
+func NewGNNEmbedder(dims []int, outDim int, rng *rand.Rand) (*GNNEmbedder, error) {
+	net, err := gnn.New(dims, outDim, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &GNNEmbedder{Net: net, InputDim: dims[0]}, nil
 }
 
 // EmbedGraph implements GraphEmbedder.
 func (e *GNNEmbedder) EmbedGraph(g *graph.Graph) []float64 {
-	return e.Net.GraphLogits(g, gnn.ConstantFeatures(g.N(), e.InputDim))
+	// Features are constructed to match the network, so the only error path
+	// is a nil graph; surface it as an empty embedding.
+	logits, err := e.Net.GraphLogits(g, gnn.ConstantFeatures(g.N(), e.InputDim))
+	if err != nil {
+		return make([]float64, e.Net.Classes())
+	}
+	return logits
 }
 
 // Name implements GraphEmbedder.

@@ -83,7 +83,10 @@ func TestWLEmbedderConsistentDimensions(t *testing.T) {
 
 func TestGNNEmbedderRespects1WL(t *testing.T) {
 	rng := rand.New(rand.NewSource(161))
-	e := NewGNNEmbedder([]int{2, 6}, 4, rng)
+	e, err := NewGNNEmbedder([]int{2, 6}, 4, rng)
+	if err != nil {
+		t.Fatalf("NewGNNEmbedder: %v", err)
+	}
 	g, h := graph.WLIndistinguishablePair()
 	if d := InducedGraphDistance(e, g, h); d > 1e-9 {
 		t.Errorf("untrained GNN embedder separates a WL-equivalent pair: %v", d)

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -20,18 +21,28 @@ type Autoencoder struct {
 
 // NewAutoencoder builds an encoder with the given widths (dims[0] is the
 // input feature width; the final width is the latent dimension).
-func NewAutoencoder(dims []int, rng *rand.Rand) *Autoencoder {
+func NewAutoencoder(dims []int, rng *rand.Rand) (*Autoencoder, error) {
 	// The output head is unused; give it width 1.
-	return &Autoencoder{Encoder: New(dims, 1, rng), Dim: dims[len(dims)-1]}
+	enc, err := New(dims, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Autoencoder{Encoder: enc, Dim: dims[len(dims)-1]}, nil
 }
 
 // Encode returns the latent node states Z. The final encoder layer is
 // applied without its ReLU (a linear output layer, as in the original graph
 // autoencoder) so latent coordinates can be negative and inner products are
 // unconstrained.
-func (ae *Autoencoder) Encode(g *graph.Graph, x0 *linalg.Matrix) *linalg.Matrix {
-	st := ae.Encoder.forward(g, x0)
-	return st.pre[len(st.pre)-1]
+func (ae *Autoencoder) Encode(g *graph.Graph, x0 *linalg.Matrix) (*linalg.Matrix, error) {
+	if err := ae.Encoder.checkInput(g, x0); err != nil {
+		return nil, err
+	}
+	st := ae.Encoder.forward(newCSR(g), x0)
+	if len(st.pre) == 0 {
+		return nil, fmt.Errorf("gnn: autoencoder has no encoder layers")
+	}
+	return st.pre[len(st.pre)-1], nil
 }
 
 // posWeight returns the standard GAE class-balance factor: the ratio of
@@ -59,8 +70,11 @@ func posWeight(g *graph.Graph) float64 {
 // ReconstructionLoss is the mean binary cross-entropy between σ(ZZᵀ) and
 // the adjacency matrix (diagonal excluded), with positive pairs re-weighted
 // by the non-edge/edge ratio.
-func (ae *Autoencoder) ReconstructionLoss(g *graph.Graph, x0 *linalg.Matrix) float64 {
-	z := ae.Encode(g, x0)
+func (ae *Autoencoder) ReconstructionLoss(g *graph.Graph, x0 *linalg.Matrix) (float64, error) {
+	z, err := ae.Encode(g, x0)
+	if err != nil {
+		return 0, err
+	}
 	a := g.AdjacencyMatrix()
 	n := g.N()
 	pw := posWeight(g)
@@ -81,25 +95,33 @@ func (ae *Autoencoder) ReconstructionLoss(g *graph.Graph, x0 *linalg.Matrix) flo
 		}
 	}
 	if count == 0 {
-		return 0
+		return 0, nil
 	}
-	return loss / float64(count)
+	return loss / float64(count), nil
 }
 
 // Train runs full-batch gradient descent on the reconstruction loss via
 // backprop through the inner-product decoder and the encoder layers,
-// returning the loss trace.
-func (ae *Autoencoder) Train(g *graph.Graph, x0 *linalg.Matrix, epochs int, lr float64) []float64 {
+// returning the loss trace. The adjacency snapshot is built once and shared
+// by every epoch.
+func (ae *Autoencoder) Train(g *graph.Graph, x0 *linalg.Matrix, epochs int, lr float64) ([]float64, error) {
+	if err := ae.Encoder.checkInput(g, x0); err != nil {
+		return nil, err
+	}
+	if len(ae.Encoder.Layers) == 0 {
+		return nil, fmt.Errorf("gnn: autoencoder has no encoder layers")
+	}
+	adj := newCSR(g)
 	trace := make([]float64, 0, epochs)
 	for e := 0; e < epochs; e++ {
-		trace = append(trace, ae.step(g, x0, lr))
+		trace = append(trace, ae.step(adj, g, x0, lr))
 	}
-	return trace
+	return trace, nil
 }
 
-func (ae *Autoencoder) step(g *graph.Graph, x0 *linalg.Matrix, lr float64) float64 {
+func (ae *Autoencoder) step(adj *csrAdj, g *graph.Graph, x0 *linalg.Matrix, lr float64) float64 {
 	net := ae.Encoder
-	st := net.forward(g, x0)
+	st := net.forward(adj, x0)
 	z := st.pre[len(st.pre)-1]
 	a := g.AdjacencyMatrix()
 	n := g.N()
@@ -137,7 +159,8 @@ func (ae *Autoencoder) step(g *graph.Graph, x0 *linalg.Matrix, lr float64) float
 		}
 	}
 	loss /= float64(count)
-	// Backprop dZ through the encoder layers (same machinery as step()).
+	// Backprop dZ through the encoder layers (same machinery as
+	// nodeGradients, aggregating over the CSR snapshot).
 	dX := dZ
 	for l := len(net.Layers) - 1; l >= 0; l-- {
 		dZl := dX.Clone()
@@ -151,12 +174,12 @@ func (ae *Autoencoder) step(g *graph.Graph, x0 *linalg.Matrix, lr float64) float
 			}
 		}
 		xin := st.inputs[l]
-		ax := st.a.Mul(xin)
+		ax := st.adj.mul(xin)
 		dWSelf := xin.T().Mul(dZl)
 		dWAgg := ax.T().Mul(dZl)
-		dBias := colSums(dZl)
+		dBias := colSumsOf(dZl)
 		if l > 0 {
-			dX = dZl.Mul(net.Layers[l].WSelf.T()).Add(st.a.T().Mul(dZl).Mul(net.Layers[l].WAgg.T()))
+			dX = dZl.Mul(net.Layers[l].WSelf.T()).Add(st.adj.tMul(dZl).Mul(net.Layers[l].WAgg.T()))
 		}
 		applyUpdate(net.Layers[l].WSelf, dWSelf, lr)
 		applyUpdate(net.Layers[l].WAgg, dWAgg, lr)

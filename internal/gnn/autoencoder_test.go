@@ -8,14 +8,29 @@ import (
 	"repro/internal/linalg"
 )
 
+func mustNewAutoencoder(t *testing.T, dims []int, rng *rand.Rand) *Autoencoder {
+	t.Helper()
+	ae, err := NewAutoencoder(dims, rng)
+	if err != nil {
+		t.Fatalf("NewAutoencoder(%v): %v", dims, err)
+	}
+	return ae
+}
+
 func TestAutoencoderTrainingReducesLoss(t *testing.T) {
 	rng := rand.New(rand.NewSource(181))
 	g, _ := graph.SBM([]int{8, 8}, 0.8, 0.05, rng)
-	ae := NewAutoencoder([]int{g.N(), 8, 4}, rng)
+	ae := mustNewAutoencoder(t, []int{g.N(), 8, 4}, rng)
 	x0 := identityFeatures(g.N())
-	before := ae.ReconstructionLoss(g, x0)
-	trace := ae.Train(g, x0, 200, 0.02)
-	after := ae.ReconstructionLoss(g, x0)
+	before, err := ae.ReconstructionLoss(g, x0)
+	if err != nil {
+		t.Fatalf("ReconstructionLoss: %v", err)
+	}
+	trace, err := ae.Train(g, x0, 200, 0.02)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	after, _ := ae.ReconstructionLoss(g, x0)
 	if after >= before {
 		t.Errorf("autoencoder loss did not drop: %v -> %v", before, after)
 	}
@@ -28,10 +43,15 @@ func TestAutoencoderLatentSeparatesCommunities(t *testing.T) {
 	rng := rand.New(rand.NewSource(182))
 	g, truth := graph.SBM([]int{10, 10}, 0.85, 0.05, rng)
 	// One-hot identity features: the standard GAE setup.
-	ae := NewAutoencoder([]int{g.N(), 12, 4}, rng)
+	ae := mustNewAutoencoder(t, []int{g.N(), 12, 4}, rng)
 	x0 := identityFeatures(g.N())
-	ae.Train(g, x0, 400, 0.02)
-	z := ae.Encode(g, x0)
+	if _, err := ae.Train(g, x0, 400, 0.02); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	z, err := ae.Encode(g, x0)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
 	assign := linalg.KMeans(z, 2, rng)
 	if nmi := linalg.NMI(truth, assign); nmi < 0.4 {
 		t.Errorf("autoencoder latent NMI=%v, want >= 0.4", nmi)
@@ -48,14 +68,28 @@ func identityFeatures(n int) *linalg.Matrix {
 
 func TestAutoencoderOnEmptyishGraph(t *testing.T) {
 	rng := rand.New(rand.NewSource(183))
-	ae := NewAutoencoder([]int{2, 3}, rng)
+	ae := mustNewAutoencoder(t, []int{2, 3}, rng)
 	g := graph.New(1)
 	x0 := ConstantFeatures(1, 2)
-	_ = rng
-	if loss := ae.ReconstructionLoss(g, x0); loss != 0 {
-		t.Errorf("single-vertex graph loss=%v, want 0 (no off-diagonal pairs)", loss)
+	if loss, err := ae.ReconstructionLoss(g, x0); err != nil || loss != 0 {
+		t.Errorf("single-vertex graph loss=%v err=%v, want 0 (no off-diagonal pairs)", loss, err)
 	}
-	if got := ae.Train(g, x0, 3, 0.1); len(got) != 3 {
-		t.Error("training on trivial graph should still produce a trace")
+	got, err := ae.Train(g, x0, 3, 0.1)
+	if err != nil || len(got) != 3 {
+		t.Errorf("training on trivial graph should still produce a trace (err=%v)", err)
+	}
+}
+
+func TestAutoencoderRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	if _, err := NewAutoencoder(nil, rng); err == nil {
+		t.Error("empty dims should be rejected")
+	}
+	ae := mustNewAutoencoder(t, []int{2, 3}, rng)
+	if _, err := ae.Encode(graph.Cycle(4), ConstantFeatures(4, 5)); err == nil {
+		t.Error("wrong feature width should be an error")
+	}
+	if _, err := ae.Train(graph.Cycle(4), ConstantFeatures(3, 2), 2, 0.1); err == nil {
+		t.Error("row-count mismatch should be an error")
 	}
 }

@@ -1,0 +1,227 @@
+package gnn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// Corpus batching: the serving pipelines and experiments embed hundreds of
+// graphs per call, and the one-graph-at-a-time path paid an adjacency
+// materialisation plus fresh activation matrices per graph. EmbedCorpus
+// fans the corpus out over linalg.ParallelForWorkers with per-worker
+// scratch pooled in a sync.Pool — CSR snapshot build plus ping-pong
+// activation buffers that grow to the corpus maximum once and are reused —
+// and TrainCorpus trains one shared network by deterministic full-batch
+// gradient descent over per-graph gradients computed in parallel.
+
+// embedScratch is one worker's reusable inference state: the aggregation
+// buffer, the WSelf/WAgg product buffer, and the ping-pong activation
+// pair. Buffers grow monotonically and are recycled through the pool.
+type embedScratch struct {
+	ax, aw, ping, pong []float64
+}
+
+func growBuf(buf []float64, size int) []float64 {
+	if cap(buf) < size {
+		return make([]float64, size)
+	}
+	return buf[:size]
+}
+
+// matMulInto computes dst = a·b over a row-major an×am buffer, replaying
+// the dense linalg.Mul loop exactly (zero-skip, ascending-k accumulation)
+// so the scratch-buffer inference path stays bit-identical to the
+// allocating one.
+//
+//x2vec:hotpath
+func matMulInto(dst, a []float64, an, am int, b *linalg.Matrix) {
+	bc := b.Cols
+	for i := 0; i < an; i++ {
+		drow := dst[i*bc : i*bc+bc]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a[i*am : i*am+am]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*bc : k*bc+bc]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// embedWith runs the inference-only forward pass over pooled scratch and
+// returns a fresh matrix holding the final node states.
+func (net *Network) embedWith(adj *csrAdj, x0 *linalg.Matrix, sc *embedScratch) *linalg.Matrix {
+	n := adj.n
+	cur, curW := x0.Data, x0.Cols
+	usePing := true
+	for _, l := range net.Layers {
+		din, dout := l.WSelf.Rows, l.WSelf.Cols
+		sc.ax = growBuf(sc.ax, n*din)
+		adj.aggInto(sc.ax, cur, din)
+		var dst []float64
+		if usePing {
+			sc.ping = growBuf(sc.ping, n*dout)
+			dst = sc.ping
+		} else {
+			sc.pong = growBuf(sc.pong, n*dout)
+			dst = sc.pong
+		}
+		matMulInto(dst, cur, n, din, l.WSelf)
+		sc.aw = growBuf(sc.aw, n*dout)
+		matMulInto(sc.aw, sc.ax, n, din, l.WAgg)
+		for i := 0; i < n; i++ {
+			row := dst[i*dout : i*dout+dout]
+			for j := range row {
+				v := row[j] + sc.aw[i*dout+j] + l.Bias[j]
+				if v < 0 {
+					v = 0
+				}
+				row[j] = v
+			}
+		}
+		cur, curW = dst, dout
+		usePing = !usePing
+	}
+	out := linalg.NewMatrix(n, curW)
+	copy(out.Data, cur[:n*curW])
+	return out
+}
+
+// EmbedCorpus embeds every graph of the corpus (final node states per
+// graph) over the worker pool (workers ≤ 0 = GOMAXPROCS). x0s[i] is graph
+// i's initial feature matrix. Results are bit-identical to per-graph Embed
+// calls for every pool size.
+func (net *Network) EmbedCorpus(gs []*graph.Graph, x0s []*linalg.Matrix, workers int) ([]*linalg.Matrix, error) {
+	if len(gs) != len(x0s) {
+		return nil, fmt.Errorf("gnn: %d graphs with %d feature matrices", len(gs), len(x0s))
+	}
+	for i := range gs {
+		if err := net.checkInput(gs[i], x0s[i]); err != nil {
+			return nil, fmt.Errorf("graph %d: %w", i, err)
+		}
+	}
+	out := make([]*linalg.Matrix, len(gs))
+	var pool sync.Pool
+	pool.New = func() any { return &embedScratch{} }
+	linalg.ParallelForWorkers(workers, len(gs), func(i int) {
+		sc := pool.Get().(*embedScratch)
+		out[i] = net.embedWith(newCSR(gs[i]), x0s[i], sc)
+		pool.Put(sc)
+	})
+	return out, nil
+}
+
+// NodeTask is one labelled graph of a TrainCorpus batch.
+type NodeTask struct {
+	G      *graph.Graph
+	X0     *linalg.Matrix
+	Labels []int
+	Mask   []bool // nil = all nodes train
+}
+
+// TrainCorpus trains the shared network on node classification across a
+// corpus by full-batch gradient descent: each epoch computes every graph's
+// parameter gradient in parallel over the worker pool, reduces them in
+// graph order (so the result is identical for every pool size), and takes
+// one step along the mean. Adjacency snapshots build once and are reused
+// across epochs. Returns the per-epoch mean loss trace.
+func (net *Network) TrainCorpus(tasks []NodeTask, epochs int, lr float64, workers int) ([]float64, error) {
+	for i, t := range tasks {
+		if err := net.checkInput(t.G, t.X0); err != nil {
+			return nil, fmt.Errorf("graph %d: %w", i, err)
+		}
+		if err := net.checkLabels(t.G, t.Labels, t.Mask); err != nil {
+			return nil, fmt.Errorf("graph %d: %w", i, err)
+		}
+	}
+	if epochs < 0 {
+		return nil, fmt.Errorf("gnn: negative epoch count %d", epochs)
+	}
+	adjs := make([]*csrAdj, len(tasks))
+	linalg.ParallelForWorkers(workers, len(tasks), func(i int) { adjs[i] = newCSR(tasks[i].G) })
+	losses := make([]float64, len(tasks))
+	grads := make([]*netGrads, len(tasks))
+	trace := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		linalg.ParallelForWorkers(workers, len(tasks), func(i int) {
+			losses[i], grads[i] = net.nodeGradients(adjs[i], tasks[i].X0, tasks[i].Labels, tasks[i].Mask)
+		})
+		total, active := net.zeroGrads(), 0
+		var meanLoss float64
+		for i := range tasks { // fixed reduction order: deterministic
+			if grads[i] == nil {
+				continue
+			}
+			active++
+			meanLoss += losses[i]
+			addGrads(total, grads[i])
+		}
+		if active > 0 {
+			scaleGrads(total, 1/float64(active))
+			net.apply(total, lr)
+			meanLoss /= float64(active)
+		}
+		trace = append(trace, meanLoss)
+	}
+	return trace, nil
+}
+
+// zeroGrads allocates a gradient holder shaped like the network.
+func (net *Network) zeroGrads() *netGrads {
+	gr := &netGrads{
+		layers: make([]layerGrad, len(net.Layers)),
+		dWOut:  linalg.NewMatrix(net.WOut.Rows, net.WOut.Cols),
+		dBOut:  make([]float64, len(net.BOut)),
+	}
+	for l, lay := range net.Layers {
+		gr.layers[l] = layerGrad{
+			dWSelf: linalg.NewMatrix(lay.WSelf.Rows, lay.WSelf.Cols),
+			dWAgg:  linalg.NewMatrix(lay.WAgg.Rows, lay.WAgg.Cols),
+			dBias:  make([]float64, len(lay.Bias)),
+		}
+	}
+	return gr
+}
+
+func addGrads(dst, src *netGrads) {
+	for l := range dst.layers {
+		addInto(dst.layers[l].dWSelf.Data, src.layers[l].dWSelf.Data)
+		addInto(dst.layers[l].dWAgg.Data, src.layers[l].dWAgg.Data)
+		addIntoVec(dst.layers[l].dBias, src.layers[l].dBias)
+	}
+	addInto(dst.dWOut.Data, src.dWOut.Data)
+	addIntoVec(dst.dBOut, src.dBOut)
+}
+
+func scaleGrads(gr *netGrads, s float64) {
+	for l := range gr.layers {
+		scaleVec(gr.layers[l].dWSelf.Data, s)
+		scaleVec(gr.layers[l].dWAgg.Data, s)
+		scaleVec(gr.layers[l].dBias, s)
+	}
+	scaleVec(gr.dWOut.Data, s)
+	scaleVec(gr.dBOut, s)
+}
+
+func addInto(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+func addIntoVec(dst, src []float64) { addInto(dst, src) }
+
+func scaleVec(xs []float64, s float64) {
+	for i := range xs {
+		xs[i] *= s
+	}
+}

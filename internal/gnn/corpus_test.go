@@ -1,0 +1,128 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+func TestEmbedCorpusMatchesEmbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(411))
+	net := mustNew(t, []int{2, 7, 5}, 3, rng)
+	var gs []*graph.Graph
+	var x0s []*linalg.Matrix
+	for i := 0; i < 25; i++ {
+		g := randomWeightedGraph(3+rng.Intn(10), i%3 == 0, rng)
+		gs = append(gs, g)
+		x0s = append(x0s, RandomFeatures(g.N(), 2, rng))
+	}
+	for _, workers := range []int{1, 4, 0} {
+		out, err := net.EmbedCorpus(gs, x0s, workers)
+		if err != nil {
+			t.Fatalf("EmbedCorpus(workers=%d): %v", workers, err)
+		}
+		for i := range gs {
+			want := mustEmbed(t, net, gs[i], x0s[i])
+			if out[i].Rows != want.Rows || out[i].Cols != want.Cols {
+				t.Fatalf("graph %d: shape mismatch", i)
+			}
+			for j, v := range out[i].Data {
+				if math.Float64bits(v) != math.Float64bits(want.Data[j]) {
+					t.Fatalf("workers=%d graph %d: corpus embedding diverges from Embed at %d: %v vs %v",
+						workers, i, j, v, want.Data[j])
+				}
+			}
+		}
+	}
+}
+
+func TestEmbedCorpusValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(412))
+	net := mustNew(t, []int{2, 4}, 2, rng)
+	g := graph.Cycle(4)
+	if _, err := net.EmbedCorpus([]*graph.Graph{g}, nil, 2); err == nil {
+		t.Error("length mismatch should be an error")
+	}
+	if _, err := net.EmbedCorpus([]*graph.Graph{g}, []*linalg.Matrix{ConstantFeatures(4, 9)}, 2); err == nil {
+		t.Error("feature-width mismatch should be an error")
+	}
+}
+
+func TestTrainCorpusDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(413))
+	var tasks []NodeTask
+	for i := 0; i < 8; i++ {
+		nc := dataset.SBMNodes([]int{5, 5}, 0.8, 0.1, rng)
+		tasks = append(tasks, NodeTask{
+			G:      nc.Graph,
+			X0:     DegreeFeatures(nc.Graph, 2),
+			Labels: nc.Labels,
+		})
+	}
+	train := func(workers int) (*Network, []float64) {
+		net := mustNew(t, []int{2, 6}, 2, rand.New(rand.NewSource(99)))
+		trace, err := net.TrainCorpus(tasks, 20, 0.2, workers)
+		if err != nil {
+			t.Fatalf("TrainCorpus(workers=%d): %v", workers, err)
+		}
+		return net, trace
+	}
+	n1, tr1 := train(1)
+	n4, tr4 := train(4)
+	for e := range tr1 {
+		if math.Float64bits(tr1[e]) != math.Float64bits(tr4[e]) {
+			t.Fatalf("epoch %d: loss trace differs across worker counts: %v vs %v", e, tr1[e], tr4[e])
+		}
+	}
+	for l := range n1.Layers {
+		for i, v := range n1.Layers[l].WSelf.Data {
+			if math.Float64bits(v) != math.Float64bits(n4.Layers[l].WSelf.Data[i]) {
+				t.Fatalf("layer %d WSelf[%d] differs across worker counts", l, i)
+			}
+		}
+	}
+	if tr1[len(tr1)-1] >= tr1[0] {
+		t.Errorf("corpus training loss did not decrease: %v -> %v", tr1[0], tr1[len(tr1)-1])
+	}
+}
+
+func TestTrainCorpusValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(414))
+	net := mustNew(t, []int{2, 4}, 2, rng)
+	g := graph.Cycle(4)
+	bad := []NodeTask{{G: g, X0: ConstantFeatures(4, 2), Labels: []int{0, 1}}}
+	if _, err := net.TrainCorpus(bad, 2, 0.1, 2); err == nil {
+		t.Error("label-length mismatch should be an error")
+	}
+}
+
+// TestGraphEmbedRenumberingInvariant pins the serving-path property: with
+// degree features, sum-pooled graph embeddings ignore node numbering.
+func TestGraphEmbedRenumberingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(415))
+	net := mustNew(t, []int{2, 5, 4}, 2, rng)
+	g := randomWeightedGraph(9, false, rng)
+	// Relabel nodes by a random permutation.
+	perm := rng.Perm(g.N())
+	h := graph.New(g.N())
+	for _, e := range g.Edges() {
+		h.AddEdgeFull(perm[e.U], perm[e.V], e.Weight, e.Label)
+	}
+	eg, err := net.GraphEmbed(g, DegreeFeatures(g, 2))
+	if err != nil {
+		t.Fatalf("GraphEmbed: %v", err)
+	}
+	eh, err := net.GraphEmbed(h, DegreeFeatures(h, 2))
+	if err != nil {
+		t.Fatalf("GraphEmbed: %v", err)
+	}
+	for i := range eg {
+		if math.Abs(eg[i]-eh[i]) > 1e-9 {
+			t.Fatalf("graph embedding is not renumbering-invariant: %v vs %v", eg, eh)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package gnn
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// csrAdj is a CSR snapshot of the weighted adjacency matrix, following the
+// walker snapshot idiom of embed/walks.go: int32 offsets into flat
+// neighbour/weight arrays, built once per graph and shared by every layer
+// of a forward/backward pass. The dense path materialised an n×n
+// AdjacencyMatrix per forward call — O(n²) memory that made corpus-scale
+// GNN embedding unusable; the CSR aggregation touches O(n + m) instead.
+//
+// Bit-identity with the dense path is load-bearing (the differential suite
+// pins it): linalg's dense Mul skips zero entries and accumulates columns
+// in ascending order, so aggregating over column-sorted nonzero cells
+// replays the exact float operation sequence. Duplicate (u,v) edges are
+// merged by summing weights in edge order — the same per-cell accumulation
+// order as AdjacencyMatrix — and cells whose merged weight is exactly zero
+// are dropped, matching the dense multiply's zero-skip.
+type csrAdj struct {
+	n       int
+	offsets []int32 // len n+1; row u's cells are cols/wts[offsets[u]:offsets[u+1]]
+	cols    []int32 // column ids, ascending within each row
+	wts     []float64
+
+	// Transpose views for the backward pass (Aᵀ·dZ). Undirected adjacency
+	// is exactly symmetric — same cells, same merged values — so these
+	// alias the forward arrays; directed graphs build a real transpose.
+	tOffsets []int32
+	tCols    []int32
+	tWts     []float64
+}
+
+type csrCell struct {
+	col int32
+	w   float64
+}
+
+// newCSR snapshots g's adjacency structure.
+func newCSR(g *graph.Graph) *csrAdj {
+	n := g.N()
+	rows := make([][]csrCell, n)
+	for _, e := range g.Edges() {
+		rows[e.U] = append(rows[e.U], csrCell{int32(e.V), e.Weight})
+		if !g.Directed() && e.U != e.V {
+			rows[e.V] = append(rows[e.V], csrCell{int32(e.U), e.Weight})
+		}
+	}
+	c := &csrAdj{n: n, offsets: make([]int32, n+1)}
+	for u, row := range rows {
+		// Stable by column: cells of one (u,v) pair stay in edge order, so
+		// the merge below accumulates exactly like the dense fill.
+		sort.SliceStable(row, func(i, j int) bool { return row[i].col < row[j].col })
+		for i := 0; i < len(row); {
+			j := i + 1
+			w := row[i].w
+			for j < len(row) && row[j].col == row[i].col {
+				w += row[j].w
+				j++
+			}
+			if w != 0 { // dense Mul skips zero entries
+				c.cols = append(c.cols, row[i].col)
+				c.wts = append(c.wts, w)
+			}
+			i = j
+		}
+		c.offsets[u+1] = int32(len(c.cols))
+	}
+	if !g.Directed() {
+		c.tOffsets, c.tCols, c.tWts = c.offsets, c.cols, c.wts
+		return c
+	}
+	// Counting-sort transpose: walking forward rows in ascending u fills
+	// each transpose row in ascending column order for free.
+	c.tOffsets = make([]int32, n+1)
+	for _, col := range c.cols {
+		c.tOffsets[col+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.tOffsets[i+1] += c.tOffsets[i]
+	}
+	c.tCols = make([]int32, len(c.cols))
+	c.tWts = make([]float64, len(c.wts))
+	next := make([]int32, n)
+	copy(next, c.tOffsets[:n])
+	for u := 0; u < n; u++ {
+		for p := c.offsets[u]; p < c.offsets[u+1]; p++ {
+			v := c.cols[p]
+			q := next[v]
+			next[v]++
+			c.tCols[q] = int32(u)
+			c.tWts[q] = c.wts[p]
+		}
+	}
+	return c
+}
+
+// aggInto computes dst = A·x over row-major n×d buffers: the sparse
+// message-aggregation inner loop of every GNN layer. dst is overwritten.
+//
+//x2vec:hotpath
+func (c *csrAdj) aggInto(dst, x []float64, d int) {
+	aggRows(c.offsets, c.cols, c.wts, dst, x, d)
+}
+
+// tAggInto computes dst = Aᵀ·x, the backward-pass aggregation.
+//
+//x2vec:hotpath
+func (c *csrAdj) tAggInto(dst, x []float64, d int) {
+	aggRows(c.tOffsets, c.tCols, c.tWts, dst, x, d)
+}
+
+// aggRows is the shared CSR row-times-matrix kernel. Accumulation per
+// destination element runs over ascending columns, replaying the dense
+// multiply's operation order exactly.
+//
+//x2vec:hotpath
+func aggRows(offsets, cols []int32, wts, dst, x []float64, d int) {
+	n := len(offsets) - 1
+	for i := 0; i < n; i++ {
+		drow := dst[i*d : i*d+d]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for p := offsets[i]; p < offsets[i+1]; p++ {
+			w := wts[p]
+			xrow := x[int(cols[p])*d : int(cols[p])*d+d]
+			for j, v := range xrow {
+				drow[j] += w * v
+			}
+		}
+	}
+}
+
+// mul returns A·x as a fresh matrix (the allocating convenience over
+// aggInto used by the training path, which retains activations anyway).
+func (c *csrAdj) mul(x *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(c.n, x.Cols)
+	c.aggInto(out.Data, x.Data, x.Cols)
+	return out
+}
+
+// tMul returns Aᵀ·x as a fresh matrix.
+func (c *csrAdj) tMul(x *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(c.n, x.Cols)
+	c.tAggInto(out.Data, x.Data, x.Cols)
+	return out
+}

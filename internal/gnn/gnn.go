@@ -5,13 +5,17 @@
 //
 // with shared parameters across nodes, trained by manual backpropagation
 // for node classification (softmax cross-entropy) or sum-pooled graph
-// classification. The package also provides the expressiveness probes of
+// classification. Aggregation runs over a CSR adjacency snapshot (csr.go) —
+// O(n + m) per layer, bit-identical to the dense-adjacency oracle kept as
+// EmbedDense — and whole corpora batch over the linalg worker pool
+// (corpus.go). The package also provides the expressiveness probes of
 // Section 3.6: GNN outputs are invariant across 1-WL-equivalent nodes when
 // initial features are constant, and random initial features break that
 // ceiling at the price of per-run invariance.
 package gnn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -35,7 +39,18 @@ type Network struct {
 
 // New creates a network with the given layer widths: dims[0] is the input
 // feature width, dims[1..] the hidden widths, classes the output width.
-func New(dims []int, classes int, rng *rand.Rand) *Network {
+func New(dims []int, classes int, rng *rand.Rand) (*Network, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("gnn: empty layer width list")
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("gnn: layer width dims[%d] = %d must be positive", i, d)
+		}
+	}
+	if classes <= 0 {
+		return nil, fmt.Errorf("gnn: output width %d must be positive", classes)
+	}
 	net := &Network{}
 	for i := 0; i+1 < len(dims); i++ {
 		net.Layers = append(net.Layers, &Layer{
@@ -46,7 +61,30 @@ func New(dims []int, classes int, rng *rand.Rand) *Network {
 	}
 	net.WOut = glorot(dims[len(dims)-1], classes, rng)
 	net.BOut = make([]float64, classes)
-	return net
+	return net, nil
+}
+
+// InDim returns the input feature width the network expects.
+func (net *Network) InDim() int {
+	if len(net.Layers) > 0 {
+		return net.Layers[0].WSelf.Rows
+	}
+	return net.WOut.Rows
+}
+
+// OutDim returns the width of the final node states (the embedding width).
+func (net *Network) OutDim() int { return net.WOut.Rows }
+
+// Classes returns the output head width.
+func (net *Network) Classes() int { return net.WOut.Cols }
+
+// Dims reconstructs the layer width list [in, hidden..., last].
+func (net *Network) Dims() []int {
+	dims := []int{net.InDim()}
+	for _, l := range net.Layers {
+		dims = append(dims, l.WSelf.Cols)
+	}
+	return dims
 }
 
 func glorot(in, out int, rng *rand.Rand) *linalg.Matrix {
@@ -78,37 +116,118 @@ func RandomFeatures(n, d int, rng *rand.Rand) *linalg.Matrix {
 	return x
 }
 
+// DegreeFeatures returns the degree-based initial states used by the
+// serving and CLI training paths: column 0 is the constant 1, column 1 (if
+// present) the normalised degree deg(v)/n, further columns zero. Unlike
+// random features the scheme is deterministic and permutation-equivariant,
+// so pooled graph embeddings stay renumbering-invariant.
+func DegreeFeatures(g *graph.Graph, d int) *linalg.Matrix {
+	n := g.N()
+	x := linalg.NewMatrix(n, d)
+	for v := 0; v < n; v++ {
+		row := x.Row(v)
+		row[0] = 1
+		if d > 1 && n > 0 {
+			row[1] = float64(g.Degree(v)) / float64(n)
+		}
+	}
+	return x
+}
+
+// checkInput validates the feature matrix against the graph and the
+// network: silent shape mismatches used to read out of step or panic deep
+// inside the matrix kernels.
+func (net *Network) checkInput(g *graph.Graph, x0 *linalg.Matrix) error {
+	if g == nil {
+		return fmt.Errorf("gnn: nil graph")
+	}
+	if x0 == nil {
+		return fmt.Errorf("gnn: nil feature matrix")
+	}
+	if x0.Rows != g.N() {
+		return fmt.Errorf("gnn: feature matrix has %d rows for a graph of order %d", x0.Rows, g.N())
+	}
+	if x0.Cols != net.InDim() {
+		return fmt.Errorf("gnn: feature width %d, network expects %d", x0.Cols, net.InDim())
+	}
+	return nil
+}
+
+// checkLabels validates a label vector against the graph order and the
+// output head width.
+func (net *Network) checkLabels(g *graph.Graph, labels []int, mask []bool) error {
+	if len(labels) != g.N() {
+		return fmt.Errorf("gnn: %d labels for a graph of order %d", len(labels), g.N())
+	}
+	if mask != nil && len(mask) != g.N() {
+		return fmt.Errorf("gnn: %d mask entries for a graph of order %d", len(mask), g.N())
+	}
+	classes := net.Classes()
+	for v, l := range labels {
+		if mask != nil && !mask[v] {
+			continue
+		}
+		if l < 0 || l >= classes {
+			return fmt.Errorf("gnn: label %d of node %d outside [0,%d)", l, v, classes)
+		}
+	}
+	return nil
+}
+
 // forwardState captures intermediate activations for backprop.
 type forwardState struct {
-	a      *linalg.Matrix   // adjacency
+	adj    *csrAdj          // adjacency snapshot shared by every layer
 	inputs []*linalg.Matrix // X_0 .. X_L (post-activation)
 	pre    []*linalg.Matrix // Z_1 .. Z_L (pre-activation)
 }
 
 // Embed runs the message-passing layers and returns the final node states —
 // the GNN node embedding of Section 2.2.
-func (net *Network) Embed(g *graph.Graph, x0 *linalg.Matrix) *linalg.Matrix {
-	st := net.forward(g, x0)
-	return st.inputs[len(st.inputs)-1]
+func (net *Network) Embed(g *graph.Graph, x0 *linalg.Matrix) (*linalg.Matrix, error) {
+	if err := net.checkInput(g, x0); err != nil {
+		return nil, err
+	}
+	st := net.forward(newCSR(g), x0)
+	return st.inputs[len(st.inputs)-1], nil
 }
 
-func (net *Network) forward(g *graph.Graph, x0 *linalg.Matrix) *forwardState {
+// EmbedDense is the dense-adjacency oracle: the original O(n²) forward
+// pass, kept (like the float64 trainers elsewhere) as the reference the
+// differential suite pins the CSR path against bit-for-bit.
+func (net *Network) EmbedDense(g *graph.Graph, x0 *linalg.Matrix) (*linalg.Matrix, error) {
+	if err := net.checkInput(g, x0); err != nil {
+		return nil, err
+	}
 	a := linalg.FromRows(g.AdjacencyMatrix())
-	st := &forwardState{a: a, inputs: []*linalg.Matrix{x0}}
 	x := x0
 	for _, l := range net.Layers {
 		z := x.Mul(l.WSelf).Add(a.Mul(x).Mul(l.WAgg))
-		for i := 0; i < z.Rows; i++ {
-			row := z.Row(i)
-			for j := range row {
-				row[j] += l.Bias[j]
-			}
-		}
+		addBias(z, l.Bias)
+		x = relu(z)
+	}
+	return x, nil
+}
+
+func (net *Network) forward(adj *csrAdj, x0 *linalg.Matrix) *forwardState {
+	st := &forwardState{adj: adj, inputs: []*linalg.Matrix{x0}}
+	x := x0
+	for _, l := range net.Layers {
+		z := x.Mul(l.WSelf).Add(adj.mul(x).Mul(l.WAgg))
+		addBias(z, l.Bias)
 		st.pre = append(st.pre, z)
 		x = relu(z)
 		st.inputs = append(st.inputs, x)
 	}
 	return st
+}
+
+func addBias(z *linalg.Matrix, bias []float64) {
+	for i := 0; i < z.Rows; i++ {
+		row := z.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
 }
 
 func relu(m *linalg.Matrix) *linalg.Matrix {
@@ -122,32 +241,36 @@ func relu(m *linalg.Matrix) *linalg.Matrix {
 }
 
 // NodeLogits returns per-node class scores.
-func (net *Network) NodeLogits(g *graph.Graph, x0 *linalg.Matrix) *linalg.Matrix {
-	emb := net.Embed(g, x0)
-	return net.head(emb)
+func (net *Network) NodeLogits(g *graph.Graph, x0 *linalg.Matrix) (*linalg.Matrix, error) {
+	emb, err := net.Embed(g, x0)
+	if err != nil {
+		return nil, err
+	}
+	return net.head(emb), nil
 }
 
 func (net *Network) head(emb *linalg.Matrix) *linalg.Matrix {
 	logits := emb.Mul(net.WOut)
-	for i := 0; i < logits.Rows; i++ {
-		row := logits.Row(i)
-		for j := range row {
-			row[j] += net.BOut[j]
-		}
-	}
+	addBias(logits, net.BOut)
 	return logits
+}
+
+// GraphEmbed sum-pools the final node states into one vector — the
+// whole-graph embedding the daemon serves for GNN models.
+func (net *Network) GraphEmbed(g *graph.Graph, x0 *linalg.Matrix) ([]float64, error) {
+	emb, err := net.Embed(g, x0)
+	if err != nil {
+		return nil, err
+	}
+	return colSumsOf(emb), nil
 }
 
 // GraphLogits sum-pools final node states and applies the output head —
 // the simplest whole-graph embedding of Section 2.5.
-func (net *Network) GraphLogits(g *graph.Graph, x0 *linalg.Matrix) []float64 {
-	emb := net.Embed(g, x0)
-	pooled := make([]float64, emb.Cols)
-	for i := 0; i < emb.Rows; i++ {
-		row := emb.Row(i)
-		for j, v := range row {
-			pooled[j] += v
-		}
+func (net *Network) GraphLogits(g *graph.Graph, x0 *linalg.Matrix) ([]float64, error) {
+	pooled, err := net.GraphEmbed(g, x0)
+	if err != nil {
+		return nil, err
 	}
 	logits := make([]float64, net.WOut.Cols)
 	for j := 0; j < net.WOut.Cols; j++ {
@@ -157,17 +280,20 @@ func (net *Network) GraphLogits(g *graph.Graph, x0 *linalg.Matrix) []float64 {
 		}
 		logits[j] = s
 	}
-	return logits
+	return logits, nil
 }
 
 // PredictNodes returns argmax class per node.
-func (net *Network) PredictNodes(g *graph.Graph, x0 *linalg.Matrix) []int {
-	logits := net.NodeLogits(g, x0)
+func (net *Network) PredictNodes(g *graph.Graph, x0 *linalg.Matrix) ([]int, error) {
+	logits, err := net.NodeLogits(g, x0)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]int, logits.Rows)
 	for i := 0; i < logits.Rows; i++ {
 		out[i] = argmax(logits.Row(i))
 	}
-	return out
+	return out, nil
 }
 
 func argmax(xs []float64) int {
@@ -182,8 +308,14 @@ func argmax(xs []float64) int {
 }
 
 // NodeLoss computes the mean softmax cross-entropy over the masked nodes.
-func (net *Network) NodeLoss(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask []bool) float64 {
-	logits := net.NodeLogits(g, x0)
+func (net *Network) NodeLoss(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask []bool) (float64, error) {
+	if err := net.checkLabels(g, labels, mask); err != nil {
+		return 0, err
+	}
+	logits, err := net.NodeLogits(g, x0)
+	if err != nil {
+		return 0, err
+	}
 	loss, count := 0.0, 0
 	for i := 0; i < logits.Rows; i++ {
 		if mask != nil && !mask[i] {
@@ -194,9 +326,9 @@ func (net *Network) NodeLoss(g *graph.Graph, x0 *linalg.Matrix, labels []int, ma
 		count++
 	}
 	if count == 0 {
-		return 0
+		return 0, nil
 	}
-	return loss / float64(count)
+	return loss / float64(count), nil
 }
 
 func softmax(xs []float64) []float64 {
@@ -219,19 +351,57 @@ func softmax(xs []float64) []float64 {
 }
 
 // TrainNodes runs full-batch gradient descent on node classification and
-// returns the loss trace. mask selects training nodes (nil = all).
-func (net *Network) TrainNodes(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask []bool, epochs int, lr float64) []float64 {
+// returns the loss trace. mask selects training nodes (nil = all). The
+// adjacency snapshot is built once and shared by every epoch.
+func (net *Network) TrainNodes(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask []bool, epochs int, lr float64) ([]float64, error) {
+	if err := net.checkInput(g, x0); err != nil {
+		return nil, err
+	}
+	if err := net.checkLabels(g, labels, mask); err != nil {
+		return nil, err
+	}
+	adj := newCSR(g)
 	trace := make([]float64, 0, epochs)
 	for e := 0; e < epochs; e++ {
-		loss := net.step(g, x0, labels, mask, lr)
+		loss, gr := net.nodeGradients(adj, x0, labels, mask)
+		if gr != nil {
+			net.apply(gr, lr)
+		}
 		trace = append(trace, loss)
 	}
-	return trace
+	return trace, nil
 }
 
-// step does one forward/backward/update pass and returns the loss.
+// step does one forward/backward/update pass and returns the loss (the
+// finite-difference suite drives it directly; inputs are pre-validated by
+// the exported callers).
 func (net *Network) step(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask []bool, lr float64) float64 {
-	st := net.forward(g, x0)
+	loss, gr := net.nodeGradients(newCSR(g), x0, labels, mask)
+	if gr != nil {
+		net.apply(gr, lr)
+	}
+	return loss
+}
+
+// layerGrad holds one layer's parameter gradients.
+type layerGrad struct {
+	dWSelf, dWAgg *linalg.Matrix
+	dBias         []float64
+}
+
+// netGrads holds a full parameter gradient, the unit TrainCorpus reduces
+// across graphs before applying.
+type netGrads struct {
+	layers []layerGrad
+	dWOut  *linalg.Matrix
+	dBOut  []float64
+}
+
+// nodeGradients computes the node-classification loss and the full
+// parameter gradient for one graph (nil gradient when the mask selects no
+// nodes).
+func (net *Network) nodeGradients(adj *csrAdj, x0 *linalg.Matrix, labels []int, mask []bool) (float64, *netGrads) {
+	st := net.forward(adj, x0)
 	emb := st.inputs[len(st.inputs)-1]
 	logits := net.head(emb)
 	n := logits.Rows
@@ -247,7 +417,7 @@ func (net *Network) step(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask [
 		count++
 	}
 	if count == 0 {
-		return 0
+		return 0, nil
 	}
 	for i := 0; i < n; i++ {
 		if mask != nil && !mask[i] {
@@ -265,17 +435,14 @@ func (net *Network) step(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask [
 	}
 	loss /= float64(count)
 
-	// Output head gradients.
-	dWOut := emb.T().Mul(dLogits)
-	dBOut := colSums(dLogits)
+	gr := &netGrads{
+		layers: make([]layerGrad, len(net.Layers)),
+		dWOut:  emb.T().Mul(dLogits),
+		dBOut:  colSumsOf(dLogits),
+	}
 	dX := dLogits.Mul(net.WOut.T())
 
 	// Layer gradients, backwards.
-	type layerGrad struct {
-		dWSelf, dWAgg *linalg.Matrix
-		dBias         []float64
-	}
-	grads := make([]layerGrad, len(net.Layers))
 	for l := len(net.Layers) - 1; l >= 0; l-- {
 		z := st.pre[l]
 		dZ := dX.Clone()
@@ -285,32 +452,35 @@ func (net *Network) step(g *graph.Graph, x0 *linalg.Matrix, labels []int, mask [
 			}
 		}
 		xin := st.inputs[l]
-		ax := st.a.Mul(xin)
-		grads[l] = layerGrad{
+		ax := st.adj.mul(xin)
+		gr.layers[l] = layerGrad{
 			dWSelf: xin.T().Mul(dZ),
 			dWAgg:  ax.T().Mul(dZ),
-			dBias:  colSums(dZ),
+			dBias:  colSumsOf(dZ),
 		}
 		if l > 0 {
 			// dX_{l-1} = dZ Wselfᵀ + Aᵀ dZ Waggᵀ (A symmetric for
-			// undirected graphs; use transpose for generality).
-			dX = dZ.Mul(net.Layers[l].WSelf.T()).Add(st.a.T().Mul(dZ).Mul(net.Layers[l].WAgg.T()))
+			// undirected graphs; the snapshot's transpose view covers the
+			// directed case).
+			dX = dZ.Mul(net.Layers[l].WSelf.T()).Add(st.adj.tMul(dZ).Mul(net.Layers[l].WAgg.T()))
 		}
 	}
+	return loss, gr
+}
 
-	// SGD update.
-	for l, lg := range grads {
+// apply takes one SGD step along gr.
+func (net *Network) apply(gr *netGrads, lr float64) {
+	for l, lg := range gr.layers {
 		applyUpdate(net.Layers[l].WSelf, lg.dWSelf, lr)
 		applyUpdate(net.Layers[l].WAgg, lg.dWAgg, lr)
 		for j := range net.Layers[l].Bias {
 			net.Layers[l].Bias[j] -= lr * lg.dBias[j]
 		}
 	}
-	applyUpdate(net.WOut, dWOut, lr)
+	applyUpdate(net.WOut, gr.dWOut, lr)
 	for j := range net.BOut {
-		net.BOut[j] -= lr * dBOut[j]
+		net.BOut[j] -= lr * gr.dBOut[j]
 	}
-	return loss
 }
 
 func applyUpdate(w, g *linalg.Matrix, lr float64) {
@@ -319,7 +489,7 @@ func applyUpdate(w, g *linalg.Matrix, lr float64) {
 	}
 }
 
-func colSums(m *linalg.Matrix) []float64 {
+func colSumsOf(m *linalg.Matrix) []float64 {
 	out := make([]float64, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)

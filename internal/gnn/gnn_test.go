@@ -11,21 +11,88 @@ import (
 	"repro/internal/wl"
 )
 
+func mustNew(t *testing.T, dims []int, classes int, rng *rand.Rand) *Network {
+	t.Helper()
+	net, err := New(dims, classes, rng)
+	if err != nil {
+		t.Fatalf("New(%v, %d): %v", dims, classes, err)
+	}
+	return net
+}
+
+func mustEmbed(t *testing.T, net *Network, g *graph.Graph, x0 *linalg.Matrix) *linalg.Matrix {
+	t.Helper()
+	emb, err := net.Embed(g, x0)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	return emb
+}
+
+func mustGraphLogits(t *testing.T, net *Network, g *graph.Graph, x0 *linalg.Matrix) []float64 {
+	t.Helper()
+	gl, err := net.GraphLogits(g, x0)
+	if err != nil {
+		t.Fatalf("GraphLogits: %v", err)
+	}
+	return gl
+}
+
 func TestForwardShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(111))
-	net := New([]int{4, 8, 6}, 3, rng)
+	net := mustNew(t, []int{4, 8, 6}, 3, rng)
 	g := graph.Cycle(5)
-	emb := net.Embed(g, ConstantFeatures(5, 4))
+	emb := mustEmbed(t, net, g, ConstantFeatures(5, 4))
 	if emb.Rows != 5 || emb.Cols != 6 {
 		t.Fatalf("embedding shape %dx%d, want 5x6", emb.Rows, emb.Cols)
 	}
-	logits := net.NodeLogits(g, ConstantFeatures(5, 4))
+	logits, err := net.NodeLogits(g, ConstantFeatures(5, 4))
+	if err != nil {
+		t.Fatalf("NodeLogits: %v", err)
+	}
 	if logits.Rows != 5 || logits.Cols != 3 {
 		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
 	}
-	gl := net.GraphLogits(g, ConstantFeatures(5, 4))
+	gl := mustGraphLogits(t, net, g, ConstantFeatures(5, 4))
 	if len(gl) != 3 {
 		t.Fatalf("graph logits length %d", len(gl))
+	}
+}
+
+func TestNewRejectsBadShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(nil, 2, rng); err == nil {
+		t.Error("empty dims should be rejected")
+	}
+	if _, err := New([]int{3, 0}, 2, rng); err == nil {
+		t.Error("zero width should be rejected")
+	}
+	if _, err := New([]int{3, 4}, 0, rng); err == nil {
+		t.Error("zero classes should be rejected")
+	}
+}
+
+func TestShapeMismatchesAreErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := mustNew(t, []int{3, 4}, 2, rng)
+	g := graph.Cycle(5)
+	if _, err := net.Embed(g, ConstantFeatures(5, 7)); err == nil {
+		t.Error("wrong feature width should be an error")
+	}
+	if _, err := net.Embed(g, ConstantFeatures(4, 3)); err == nil {
+		t.Error("wrong row count should be an error")
+	}
+	if _, err := net.Embed(nil, ConstantFeatures(5, 3)); err == nil {
+		t.Error("nil graph should be an error")
+	}
+	if _, err := net.Embed(g, nil); err == nil {
+		t.Error("nil features should be an error")
+	}
+	if _, err := net.TrainNodes(g, ConstantFeatures(5, 3), []int{0, 1, 0}, nil, 3, 0.1); err == nil {
+		t.Error("label length mismatch should be an error")
+	}
+	if _, err := net.TrainNodes(g, ConstantFeatures(5, 3), []int{0, 1, 0, 1, 9}, nil, 3, 0.1); err == nil {
+		t.Error("out-of-range label should be an error")
 	}
 }
 
@@ -34,8 +101,8 @@ func TestGNNBoundedBy1WLOnNodes(t *testing.T) {
 	// states to 1-WL-equivalent nodes. Try several random weight draws.
 	g := graph.Path(5) // WL classes {0,4}, {1,3}, {2}
 	for seed := int64(0); seed < 5; seed++ {
-		net := New([]int{3, 7, 5}, 2, rand.New(rand.NewSource(seed)))
-		emb := net.Embed(g, ConstantFeatures(5, 3))
+		net := mustNew(t, []int{3, 7, 5}, 2, rand.New(rand.NewSource(seed)))
+		emb := mustEmbed(t, net, g, ConstantFeatures(5, 3))
 		for _, pair := range [][2]int{{0, 4}, {1, 3}} {
 			a, b := emb.Row(pair[0]), emb.Row(pair[1])
 			for d := range a {
@@ -52,9 +119,9 @@ func TestGNNBoundedBy1WLOnGraphs(t *testing.T) {
 	// any weights.
 	g, h := graph.WLIndistinguishablePair()
 	for seed := int64(0); seed < 5; seed++ {
-		net := New([]int{2, 6, 4}, 2, rand.New(rand.NewSource(seed)))
-		lg := net.GraphLogits(g, ConstantFeatures(g.N(), 2))
-		lh := net.GraphLogits(h, ConstantFeatures(h.N(), 2))
+		net := mustNew(t, []int{2, 6, 4}, 2, rand.New(rand.NewSource(seed)))
+		lg := mustGraphLogits(t, net, g, ConstantFeatures(g.N(), 2))
+		lh := mustGraphLogits(t, net, h, ConstantFeatures(h.N(), 2))
 		for i := range lg {
 			if math.Abs(lg[i]-lh[i]) > 1e-9 {
 				t.Fatalf("seed %d: GNN separates a 1-WL-equivalent pair", seed)
@@ -70,11 +137,11 @@ func TestRandomFeaturesBreakTheWLCeiling(t *testing.T) {
 	// With random initial features, some draw separates C6 from 2C3.
 	g, h := graph.WLIndistinguishablePair()
 	rng := rand.New(rand.NewSource(112))
-	net := New([]int{4, 8, 4}, 2, rng)
+	net := mustNew(t, []int{4, 8, 4}, 2, rng)
 	separated := false
 	for trial := 0; trial < 10 && !separated; trial++ {
-		lg := net.GraphLogits(g, RandomFeatures(g.N(), 4, rng))
-		lh := net.GraphLogits(h, RandomFeatures(h.N(), 4, rng))
+		lg := mustGraphLogits(t, net, g, RandomFeatures(g.N(), 4, rng))
+		lh := mustGraphLogits(t, net, h, RandomFeatures(h.N(), 4, rng))
 		for i := range lg {
 			if math.Abs(lg[i]-lh[i]) > 1e-6 {
 				separated = true
@@ -92,11 +159,17 @@ func TestGradientsMatchFiniteDifferences(t *testing.T) {
 	g := graph.Random(6, 0.5, rng)
 	labels := []int{0, 1, 0, 1, 0, 1}
 	x0 := RandomFeatures(6, 3, rng)
-	net := New([]int{3, 4}, 2, rng)
+	net := mustNew(t, []int{3, 4}, 2, rng)
 
 	// Analytic gradient for one parameter via a single training step with
 	// tiny lr on a cloned network.
-	lossAt := func(n *Network) float64 { return n.NodeLoss(g, x0, labels, nil) }
+	lossAt := func(n *Network) float64 {
+		loss, err := n.NodeLoss(g, x0, labels, nil)
+		if err != nil {
+			t.Fatalf("NodeLoss: %v", err)
+		}
+		return loss
+	}
 	base := lossAt(net)
 
 	// Finite-difference check on a few entries of the first layer's WSelf.
@@ -136,9 +209,12 @@ func cloneNetwork(net *Network) *Network {
 func TestTrainingReducesLoss(t *testing.T) {
 	rng := rand.New(rand.NewSource(114))
 	nc := dataset.SBMNodes([]int{10, 10}, 0.8, 0.05, rng)
-	net := New([]int{4, 8}, 2, rng)
+	net := mustNew(t, []int{4, 8}, 2, rng)
 	x0 := RandomFeatures(nc.Graph.N(), 4, rng)
-	trace := net.TrainNodes(nc.Graph, x0, nc.Labels, nil, 150, 0.3)
+	trace, err := net.TrainNodes(nc.Graph, x0, nc.Labels, nil, 150, 0.3)
+	if err != nil {
+		t.Fatalf("TrainNodes: %v", err)
+	}
 	if trace[len(trace)-1] >= trace[0] {
 		t.Errorf("loss did not decrease: %v -> %v", trace[0], trace[len(trace)-1])
 	}
@@ -148,7 +224,7 @@ func TestNodeClassificationSBM(t *testing.T) {
 	rng := rand.New(rand.NewSource(115))
 	nc := dataset.SBMNodes([]int{12, 12}, 0.8, 0.05, rng)
 	n := nc.Graph.N()
-	net := New([]int{n, 16}, 2, rng)
+	net := mustNew(t, []int{n, 16}, 2, rng)
 	// One-hot identity features: the standard transductive GCN setup; the
 	// aggregation step propagates community signal to held-out nodes.
 	x0 := linalg.NewMatrix(n, n)
@@ -160,8 +236,13 @@ func TestNodeClassificationSBM(t *testing.T) {
 	for i := range mask {
 		mask[i] = i%2 == 0
 	}
-	net.TrainNodes(nc.Graph, x0, nc.Labels, mask, 400, 0.3)
-	pred := net.PredictNodes(nc.Graph, x0)
+	if _, err := net.TrainNodes(nc.Graph, x0, nc.Labels, mask, 400, 0.3); err != nil {
+		t.Fatalf("TrainNodes: %v", err)
+	}
+	pred, err := net.PredictNodes(nc.Graph, x0)
+	if err != nil {
+		t.Fatalf("PredictNodes: %v", err)
+	}
 	correct, total := 0, 0
 	for i := range pred {
 		if !mask[i] {
@@ -185,17 +266,14 @@ func TestInductiveApplication(t *testing.T) {
 	train := dataset.SBMNodes([]int{14, 14}, 0.75, 0.04, rng)
 	test := dataset.SBMNodes([]int{14, 14}, 0.75, 0.04, rng)
 
-	feats := func(g *graph.Graph) *linalg.Matrix {
-		x := linalg.NewMatrix(g.N(), 2)
-		for v := 0; v < g.N(); v++ {
-			x.Set(v, 0, 1)
-			x.Set(v, 1, float64(g.Degree(v))/float64(g.N()))
-		}
-		return x
+	net := mustNew(t, []int{2, 10, 10}, 2, rng)
+	if _, err := net.TrainNodes(train.Graph, DegreeFeatures(train.Graph, 2), train.Labels, nil, 300, 0.3); err != nil {
+		t.Fatalf("TrainNodes: %v", err)
 	}
-	net := New([]int{2, 10, 10}, 2, rng)
-	net.TrainNodes(train.Graph, feats(train.Graph), train.Labels, nil, 300, 0.3)
-	pred := net.PredictNodes(test.Graph, feats(test.Graph))
+	pred, err := net.PredictNodes(test.Graph, DegreeFeatures(test.Graph, 2))
+	if err != nil {
+		t.Fatalf("PredictNodes: %v", err)
+	}
 	// Community identity is symmetric; accept either labelling.
 	agree := 0
 	for i := range pred {
@@ -219,10 +297,13 @@ func TestInductiveApplication(t *testing.T) {
 func TestPredictNodesDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(117))
 	g := graph.Cycle(6)
-	net := New([]int{2, 4}, 2, rng)
+	net := mustNew(t, []int{2, 4}, 2, rng)
 	x0 := ConstantFeatures(6, 2)
-	p1 := net.PredictNodes(g, x0)
-	p2 := net.PredictNodes(g, x0)
+	p1, err := net.PredictNodes(g, x0)
+	if err != nil {
+		t.Fatalf("PredictNodes: %v", err)
+	}
+	p2, _ := net.PredictNodes(g, x0)
 	for i := range p1 {
 		if p1[i] != p2[i] {
 			t.Fatal("prediction should be deterministic")

@@ -1,0 +1,22 @@
+//go:build !race
+
+package kge
+
+import "repro/internal/linalg/f32"
+
+// Float32 shared-parameter kernels of the Hogwild TransE trainer, normal
+// builds: the plain fused loops of internal/linalg/f32. Concurrent epoch
+// shards race on individual float32 words of the entity/relation matrices —
+// last writer wins, statistically benign (the Hogwild scheme). Under -race
+// the versions in kernels_race.go replace these with relaxed-atomic scalar
+// loops so the detector sees a synchronised program.
+
+func ld32(s []float32, i int) float32 { return s[i] }
+
+func st32(s []float32, i int, v float32) { s[i] = v }
+
+func tripleNormSq32(h, r, t []float32) float32 { return f32.TripleNormSq(h, r, t) }
+
+func tripleStep32(g float32, h, r, t []float32) { f32.TripleStep(g, h, r, t) }
+
+func scale32(alpha float32, x []float32) { f32.Scale(alpha, x) }

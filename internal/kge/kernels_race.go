@@ -1,0 +1,48 @@
+//go:build race
+
+package kge
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Race-detector builds route every shared float32 parameter access of the
+// Hogwild TransE trainer through relaxed (load/store, not read-modify-write)
+// atomics on the bit patterns, mirroring internal/sgns/kernels_race.go. The
+// fused kernels of internal/linalg/f32 are replaced by scalar loops over
+// these accessors: slower, but `go test -race` observes a synchronised
+// program while normal builds keep the unrolled kernels.
+
+func ld32(s []float32, i int) float32 {
+	return math.Float32frombits(atomic.LoadUint32((*uint32)(unsafe.Pointer(&s[i]))))
+}
+
+func st32(s []float32, i int, v float32) {
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(&s[i])), math.Float32bits(v))
+}
+
+func tripleNormSq32(h, r, t []float32) float32 {
+	var s float32
+	for i := range h {
+		d := ld32(h, i) + ld32(r, i) - ld32(t, i)
+		s += d * d
+	}
+	return s
+}
+
+func tripleStep32(g float32, h, r, t []float32) {
+	for i := range h {
+		g0 := g * (ld32(h, i) + ld32(r, i) - ld32(t, i))
+		st32(h, i, ld32(h, i)-g0)
+		st32(r, i, ld32(r, i)-g0)
+		st32(t, i, ld32(t, i)+g0)
+	}
+}
+
+func scale32(alpha float32, x []float32) {
+	for i := range x {
+		st32(x, i, ld32(x, i)*alpha)
+	}
+}

@@ -28,6 +28,11 @@ type TransEConfig struct {
 	// facts apart (false negatives). Kept only as the regression baseline —
 	// see TestFilteredNegativesBeatUnfiltered.
 	UnfilteredNegatives bool
+
+	// trace, when set, observes every sampled (positive, corrupted) update
+	// pair in order — the differential suite's hook for pinning the float32
+	// engine's sequential mode to this oracle's update order.
+	trace func(pos, neg Triple)
 }
 
 // DefaultTransEConfig returns small-scale defaults.
@@ -70,6 +75,9 @@ func TrainTransE(triples []Triple, numEntities, numRelations int, cfg TransEConf
 			if !ok {
 				continue // no false triple found (degenerate dense KG); skip
 			}
+			if cfg.trace != nil {
+				cfg.trace(t, corrupt)
+			}
 			m.marginStep(t, corrupt, cfg)
 		}
 		// Re-normalise entities (the original algorithm's constraint).
@@ -84,11 +92,17 @@ func TrainTransE(triples []Triple, numEntities, numRelations int, cfg TransEConf
 // every corruption is a known fact.
 const corruptResampleCap = 64
 
+// randInts is the sampling surface corruption needs: satisfied by both the
+// oracle's *rand.Rand and the Hogwild workers' per-shard sgns.FastRand.
+type randInts interface {
+	Intn(n int) int
+}
+
 // corruptTriple replaces the head or tail of t with a random entity. In
 // filtered mode (the default) it resamples until the corruption differs
 // from the positive and is not a known triple; unfiltered mode reproduces
 // the legacy single blind draw.
-func corruptTriple(t Triple, numEntities int, known map[Triple]bool, unfiltered bool, rng *rand.Rand) (Triple, bool) {
+func corruptTriple(t Triple, numEntities int, known map[Triple]bool, unfiltered bool, rng randInts) (Triple, bool) {
 	for tries := 0; tries < corruptResampleCap; tries++ {
 		corrupt := t
 		if rng.Intn(2) == 0 {
@@ -150,37 +164,25 @@ type RankMetrics struct {
 // all entity substitutions, filtering known triples, and returns MRR and
 // Hits@{1,3,10}.
 func EvaluateTransE(m *TransE, test, known []Triple) RankMetrics {
+	return EvaluateTransEWorkers(m, test, known, 1)
+}
+
+// EvaluateTransEWorkers is EvaluateTransE over a linalg.ParallelForWorkers
+// pool (0 = GOMAXPROCS): test triples rank independently, so each one is a
+// work item writing its two ranks into fixed slots, and the sequential
+// aggregation over those slots makes the result bit-identical to the
+// workers=1 path for every pool size (pinned by
+// TestEvaluateTransEWorkersMatchesSequential).
+func EvaluateTransEWorkers(m *TransE, test, known []Triple, workers int) RankMetrics {
 	knownSet := map[Triple]bool{}
 	for _, t := range known {
 		knownSet[t] = true
 	}
-	var ranks []int
-	numEntities := len(m.Entities)
-	for _, t := range test {
-		for _, side := range []int{0, 2} {
-			trueEnt := t[side]
-			type scored struct {
-				ent   int
-				score float64
-			}
-			var cands []scored
-			for e := 0; e < numEntities; e++ {
-				cand := t
-				cand[side] = e
-				if e != trueEnt && knownSet[cand] {
-					continue // filtered setting
-				}
-				cands = append(cands, scored{e, m.Score(cand[0], cand[1], cand[2])})
-			}
-			sort.Slice(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
-			for rank, c := range cands {
-				if c.ent == trueEnt {
-					ranks = append(ranks, rank+1)
-					break
-				}
-			}
-		}
-	}
+	ranks := make([]int, 2*len(test))
+	linalg.ParallelForWorkers(workers, len(test), func(i int) {
+		ranks[2*i] = filteredRank(m, test[i], 0, knownSet)
+		ranks[2*i+1] = filteredRank(m, test[i], 2, knownSet)
+	})
 	met := RankMetrics{HitsAt: map[int]float64{1: 0, 3: 0, 10: 0}}
 	for _, r := range ranks {
 		met.MRR += 1 / float64(r)
@@ -198,6 +200,33 @@ func EvaluateTransE(m *TransE, test, known []Triple) RankMetrics {
 		}
 	}
 	return met
+}
+
+// filteredRank ranks the true entity on one side of t (0 = head, 2 = tail)
+// against all substitutions, skipping other known facts.
+func filteredRank(m *TransE, t Triple, side int, knownSet map[Triple]bool) int {
+	trueEnt := t[side]
+	numEntities := len(m.Entities)
+	type scored struct {
+		ent   int
+		score float64
+	}
+	var cands []scored
+	for e := 0; e < numEntities; e++ {
+		cand := t
+		cand[side] = e
+		if e != trueEnt && knownSet[cand] {
+			continue // filtered setting
+		}
+		cands = append(cands, scored{e, m.Score(cand[0], cand[1], cand[2])})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	for rank, c := range cands {
+		if c.ent == trueEnt {
+			return rank + 1
+		}
+	}
+	return len(cands) // unreachable: the true entity is never filtered out
 }
 
 // TranslationConsistency measures how well a relation behaves as a single

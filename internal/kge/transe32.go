@@ -1,0 +1,234 @@
+package kge
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/linalg/f32"
+	"repro/internal/sgns"
+)
+
+// TransE32 is the engine-grade TransE trainer: flat row-major float32
+// parameter matrices updated through the fused kernels of
+// internal/linalg/f32, following the SGNS float32 engine convention
+// (internal/sgns/sgns32.go). The float64 TrainTransE stays the quality and
+// determinism oracle; this is the speed path behind `x2vec train transe
+// -f32` and the serving models.
+type TransE32 struct {
+	Dim          int
+	NumEntities  int
+	NumRelations int
+	Entities     []float32 // NumEntities × Dim, row-major
+	Relations    []float32 // NumRelations × Dim, row-major
+}
+
+// TransE32Config controls the float32 trainer.
+type TransE32Config struct {
+	Dim    int
+	Margin float32
+	LR     float32
+	Epochs int
+	// Workers caps the Hogwild pool: each epoch is sharded into Workers
+	// interleaved slices of the triple list, raced lock-free over the shared
+	// parameter matrices with per-worker splitmix64 RNG streams. Workers ≤ 1
+	// runs the bit-deterministic sequential mode, which consumes the master
+	// RNG exactly like the float64 oracle — same negative-sampling sequence,
+	// same update order (pinned by TestTransE32UpdateOrderMatchesOracle).
+	Workers int
+	// UnfilteredNegatives restores the legacy blind corruption draw; see
+	// TransEConfig.
+	UnfilteredNegatives bool
+	// WarmEntities/WarmRelations warm-start training from a parent model's
+	// parameters (row-major, NumEntities×Dim and NumRelations×Dim). Both
+	// must be set together; the random init (and its RNG draws) is skipped,
+	// mirroring the SGNS fine-tune convention.
+	WarmEntities  []float32
+	WarmRelations []float32
+
+	// trace, when set, observes every sampled (positive, corrupted) update
+	// pair of the sequential mode in order — the hook the differential suite
+	// uses to pin the Workers:1 update order against the float64 oracle.
+	trace func(pos, neg Triple)
+}
+
+// DefaultTransE32Config mirrors DefaultTransEConfig.
+func DefaultTransE32Config() TransE32Config {
+	return TransE32Config{Dim: 16, Margin: 1, LR: 0.05, Epochs: 400}
+}
+
+// TrainTransE32 fits TransE in float32. The seed drives a master RNG that
+// (like the SGNS engine) is consumed identically for every worker count:
+// init draws first, then either the sequential sampling stream (Workers ≤ 1)
+// or one splitmix64 seed per epoch shard.
+func TrainTransE32(triples []Triple, numEntities, numRelations int, cfg TransE32Config, seed int64) (*TransE32, error) {
+	if numEntities <= 0 || numRelations <= 0 {
+		return nil, fmt.Errorf("kge: transe32 needs positive entity/relation counts, got %d/%d", numEntities, numRelations)
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("kge: transe32 dimension %d must be positive", cfg.Dim)
+	}
+	if cfg.Epochs < 0 {
+		return nil, fmt.Errorf("kge: transe32 epochs %d must be non-negative", cfg.Epochs)
+	}
+	for _, t := range triples {
+		if t[0] < 0 || t[0] >= numEntities || t[2] < 0 || t[2] >= numEntities {
+			return nil, fmt.Errorf("kge: triple %v entity outside [0,%d)", t, numEntities)
+		}
+		if t[1] < 0 || t[1] >= numRelations {
+			return nil, fmt.Errorf("kge: triple %v relation outside [0,%d)", t, numRelations)
+		}
+	}
+	d := cfg.Dim
+	m := &TransE32{
+		Dim:          d,
+		NumEntities:  numEntities,
+		NumRelations: numRelations,
+		Entities:     make([]float32, numEntities*d),
+		Relations:    make([]float32, numRelations*d),
+	}
+	master := rand.New(rand.NewSource(seed))
+	if cfg.WarmEntities != nil || cfg.WarmRelations != nil {
+		if len(cfg.WarmEntities) != len(m.Entities) || len(cfg.WarmRelations) != len(m.Relations) {
+			return nil, fmt.Errorf("kge: warm start shapes %d/%d, want %d/%d",
+				len(cfg.WarmEntities), len(cfg.WarmRelations), len(m.Entities), len(m.Relations))
+		}
+		copy(m.Entities, cfg.WarmEntities)
+		copy(m.Relations, cfg.WarmRelations)
+	} else {
+		// Same draw order as the oracle's randomVectors: entities row by
+		// row, then relations, one NormFloat64 per element.
+		for i := range m.Entities {
+			m.Entities[i] = float32(master.NormFloat64() * 0.1)
+		}
+		for i := range m.Relations {
+			m.Relations[i] = float32(master.NormFloat64() * 0.1)
+		}
+		for i := 0; i < numEntities; i++ {
+			renormRow32(m.Entities[i*d : (i+1)*d])
+		}
+		for i := 0; i < numRelations; i++ {
+			renormRow32(m.Relations[i*d : (i+1)*d])
+		}
+	}
+	known := make(map[Triple]bool, len(triples))
+	for _, t := range triples {
+		known[t] = true
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if workers <= 1 {
+			for _, t := range triples {
+				corrupt, ok := corruptTriple(t, numEntities, known, cfg.UnfilteredNegatives, master)
+				if !ok {
+					continue
+				}
+				if cfg.trace != nil {
+					cfg.trace(t, corrupt)
+				}
+				m.marginStep32(t, corrupt, cfg.Margin, cfg.LR)
+			}
+		} else {
+			// Hogwild epoch sharding: worker w owns triples w, w+workers, …
+			// with its own splitmix64 stream seeded from the master RNG.
+			// Shard steps race on the shared matrices (see kernels_race.go
+			// for what -race builds see).
+			seeds := make([]uint64, workers)
+			for w := range seeds {
+				seeds[w] = uint64(master.Int63())
+			}
+			linalg.ParallelForWorkers(workers, workers, func(w int) {
+				rng := sgns.NewFastRand(seeds[w])
+				for i := w; i < len(triples); i += workers {
+					t := triples[i]
+					corrupt, ok := corruptTriple(t, numEntities, known, cfg.UnfilteredNegatives, rng)
+					if !ok {
+						continue
+					}
+					m.marginStep32(t, corrupt, cfg.Margin, cfg.LR)
+				}
+			})
+		}
+		// Re-normalise entities (the algorithm's per-epoch constraint); the
+		// epoch barrier above means rows are no longer contended.
+		linalg.ParallelForWorkers(workers, numEntities, func(i int) {
+			renormRow32(m.Entities[i*d : (i+1)*d])
+		})
+	}
+	return m, nil
+}
+
+// marginStep32 is the fused float32 margin-ranking step. It mirrors the
+// float64 oracle exactly: the loss gate uses both pre-update scores, the
+// positive triple is pushed together first, and the negative gradient is
+// scaled by the score recomputed AFTER the positive step (the two triples
+// share rows).
+//
+//x2vec:hotpath
+func (m *TransE32) marginStep32(pos, neg Triple, margin, lr float32) {
+	d := m.Dim
+	ph := m.Entities[pos[0]*d : pos[0]*d+d]
+	pr := m.Relations[pos[1]*d : pos[1]*d+d]
+	pt := m.Entities[pos[2]*d : pos[2]*d+d]
+	nh := m.Entities[neg[0]*d : neg[0]*d+d]
+	nr := m.Relations[neg[1]*d : neg[1]*d+d]
+	nt := m.Entities[neg[2]*d : neg[2]*d+d]
+	sp := sqrt32(tripleNormSq32(ph, pr, pt))
+	sn := sqrt32(tripleNormSq32(nh, nr, nt))
+	if margin+sp-sn <= 0 {
+		return
+	}
+	if sp >= 1e-9 {
+		tripleStep32(lr/sp, ph, pr, pt)
+	}
+	if sn2 := sqrt32(tripleNormSq32(nh, nr, nt)); sn2 >= 1e-9 {
+		tripleStep32(-lr/sn2, nh, nr, nt)
+	}
+}
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// renormRow32 scales row to unit L2 norm (no-op for a zero row).
+func renormRow32(row []float32) {
+	s := f32.Dot(row, row)
+	if s == 0 {
+		return
+	}
+	f32.Scale(1/sqrt32(s), row)
+}
+
+// Score returns ‖h + r − t‖ under the float32 parameters.
+func (m *TransE32) Score(h, r, t int) float64 {
+	d := m.Dim
+	return math.Sqrt(float64(tripleNormSq32(
+		m.Entities[h*d:h*d+d], m.Relations[r*d:r*d+d], m.Entities[t*d:t*d+d])))
+}
+
+// ToTransE widens the parameters to the float64 model shape, so the oracle
+// evaluation and answering paths apply unchanged to engine-trained models.
+func (m *TransE32) ToTransE() *TransE {
+	out := &TransE{
+		Entities:  make([][]float64, m.NumEntities),
+		Relations: make([][]float64, m.NumRelations),
+	}
+	d := m.Dim
+	for i := range out.Entities {
+		row := make([]float64, d)
+		for j, x := range m.Entities[i*d : (i+1)*d] {
+			row[j] = float64(x)
+		}
+		out.Entities[i] = row
+	}
+	for i := range out.Relations {
+		row := make([]float64, d)
+		for j, x := range m.Relations[i*d : (i+1)*d] {
+			row[j] = float64(x)
+		}
+		out.Relations[i] = row
+	}
+	return out
+}

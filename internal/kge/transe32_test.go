@@ -1,0 +1,299 @@
+package kge
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func parseTriplesString(s string) ([]Triple, int, int, error) {
+	return ParseTriples(strings.NewReader(s))
+}
+
+// TestTransE32UpdateOrderMatchesOracle pins the differential contract of the
+// sequential float32 mode: with the same seed it consumes the master RNG
+// exactly like the float64 oracle, so both trainers sample the identical
+// sequence of (positive, corrupted) update pairs.
+func TestTransE32UpdateOrderMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	kg := dataset.World(8, rng)
+	const seed = 77
+
+	var oraclePairs, enginePairs [][2]Triple
+	cfg64 := DefaultTransEConfig()
+	cfg64.Epochs = 5
+	cfg64.trace = func(pos, neg Triple) { oraclePairs = append(oraclePairs, [2]Triple{pos, neg}) }
+	TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), cfg64, rand.New(rand.NewSource(seed)))
+
+	cfg32 := DefaultTransE32Config()
+	cfg32.Epochs = 5
+	cfg32.Workers = 1
+	cfg32.trace = func(pos, neg Triple) { enginePairs = append(enginePairs, [2]Triple{pos, neg}) }
+	if _, err := TrainTransE32(kg.Triples, kg.NumEntities(), kg.NumRelations(), cfg32, seed); err != nil {
+		t.Fatalf("TrainTransE32: %v", err)
+	}
+
+	if len(oraclePairs) == 0 || len(oraclePairs) != len(enginePairs) {
+		t.Fatalf("update counts differ: oracle %d vs engine %d", len(oraclePairs), len(enginePairs))
+	}
+	for i := range oraclePairs {
+		if oraclePairs[i] != enginePairs[i] {
+			t.Fatalf("update %d differs: oracle %v vs engine %v", i, oraclePairs[i], enginePairs[i])
+		}
+	}
+}
+
+func TestTransE32SequentialDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	kg := dataset.World(6, rng)
+	cfg := DefaultTransE32Config()
+	cfg.Epochs = 10
+	cfg.Workers = 1
+	a, err := TrainTransE32(kg.Triples, kg.NumEntities(), kg.NumRelations(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := TrainTransE32(kg.Triples, kg.NumEntities(), kg.NumRelations(), cfg, 5)
+	for i := range a.Entities {
+		if math.Float32bits(a.Entities[i]) != math.Float32bits(b.Entities[i]) {
+			t.Fatalf("sequential mode not bit-deterministic at entity slot %d", i)
+		}
+	}
+	for i := range a.Relations {
+		if math.Float32bits(a.Relations[i]) != math.Float32bits(b.Relations[i]) {
+			t.Fatalf("sequential mode not bit-deterministic at relation slot %d", i)
+		}
+	}
+}
+
+// TestTransE32HogwildQualityParity gates the engine path on quality: the
+// racy multi-worker trainer must match the float64 oracle's filtered MRR on
+// the synthetic world within a small tolerance.
+func TestTransE32HogwildQualityParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	kg := dataset.World(10, rng)
+	train, test := kg.Split(0.15, rng)
+
+	oracle := TrainTransE(train, kg.NumEntities(), kg.NumRelations(), DefaultTransEConfig(), rand.New(rand.NewSource(9)))
+	metOracle := EvaluateTransE(oracle, test, kg.Triples)
+
+	cfg := DefaultTransE32Config()
+	cfg.Workers = 4
+	engine, err := TrainTransE32(train, kg.NumEntities(), kg.NumRelations(), cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metEngine := EvaluateTransE(engine.ToTransE(), test, kg.Triples)
+
+	t.Logf("oracle MRR=%.3f hogwild MRR=%.3f", metOracle.MRR, metEngine.MRR)
+	if metEngine.MRR < 0.25 {
+		t.Errorf("hogwild MRR=%v, want >= 0.25", metEngine.MRR)
+	}
+	if metEngine.MRR < metOracle.MRR-0.1 {
+		t.Errorf("hogwild MRR=%v trails the oracle %v by more than 0.1", metEngine.MRR, metOracle.MRR)
+	}
+}
+
+func TestTransE32RejectsBadInput(t *testing.T) {
+	cfg := DefaultTransE32Config()
+	if _, err := TrainTransE32([]Triple{{0, 0, 0}}, 0, 1, cfg, 1); err == nil {
+		t.Error("zero entities should be rejected")
+	}
+	if _, err := TrainTransE32([]Triple{{0, 0, 5}}, 2, 1, cfg, 1); err == nil {
+		t.Error("out-of-range entity should be rejected")
+	}
+	if _, err := TrainTransE32([]Triple{{0, 3, 1}}, 2, 1, cfg, 1); err == nil {
+		t.Error("out-of-range relation should be rejected")
+	}
+	bad := cfg
+	bad.Dim = 0
+	if _, err := TrainTransE32([]Triple{{0, 0, 1}}, 2, 1, bad, 1); err == nil {
+		t.Error("zero dim should be rejected")
+	}
+	warm := cfg
+	warm.WarmEntities = []float32{1}
+	warm.WarmRelations = []float32{1}
+	if _, err := TrainTransE32([]Triple{{0, 0, 1}}, 2, 1, warm, 1); err == nil {
+		t.Error("mis-shaped warm start should be rejected")
+	}
+}
+
+func TestTransE32WarmStartSkipsInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	kg := dataset.World(6, rng)
+	cfg := DefaultTransE32Config()
+	cfg.Epochs = 3
+	parent, err := TrainTransE32(kg.Triples, kg.NumEntities(), kg.NumRelations(), cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cfg
+	warm.Epochs = 2
+	warm.WarmEntities = append([]float32(nil), parent.Entities...)
+	warm.WarmRelations = append([]float32(nil), parent.Relations...)
+	child, err := TrainTransE32(kg.Triples, kg.NumEntities(), kg.NumRelations(), warm, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.NumEntities != parent.NumEntities || child.Dim != parent.Dim {
+		t.Fatal("warm-started model shape mismatch")
+	}
+}
+
+func TestMarginStep32ZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	kg := dataset.World(6, rng)
+	cfg := DefaultTransE32Config()
+	cfg.Epochs = 1
+	m, err := TrainTransE32(kg.Triples, kg.NumEntities(), kg.NumRelations(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := kg.Triples[0]
+	neg := Triple{pos[0], pos[1], (pos[2] + 1) % kg.NumEntities()}
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.marginStep32(pos, neg, 1, 0.01)
+	}); allocs != 0 {
+		t.Errorf("marginStep32 allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestEvaluateTransEWorkersMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(306))
+	kg := dataset.World(8, rng)
+	train, test := kg.Split(0.2, rng)
+	m := TrainTransE(train, kg.NumEntities(), kg.NumRelations(), DefaultTransEConfig(), rng)
+	seq := EvaluateTransEWorkers(m, test, kg.Triples, 1)
+	for _, workers := range []int{2, 4, 0} {
+		par := EvaluateTransEWorkers(m, test, kg.Triples, workers)
+		if math.Float64bits(seq.MRR) != math.Float64bits(par.MRR) {
+			t.Fatalf("workers=%d: MRR %v differs from sequential %v", workers, par.MRR, seq.MRR)
+		}
+		for k, v := range seq.HitsAt {
+			if math.Float64bits(v) != math.Float64bits(par.HitsAt[k]) {
+				t.Fatalf("workers=%d: Hits@%d differs", workers, k)
+			}
+		}
+	}
+}
+
+func TestAnswerTailKMatchesAnswerTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	kg := dataset.World(8, rng)
+	m := TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), DefaultTransEConfig(), rng)
+	exclude := map[int]bool{2: true}
+	for h := 0; h < 4; h++ {
+		for r := 0; r < kg.NumRelations(); r++ {
+			want := m.AnswerTail(h, r, exclude)
+			got, err := m.AnswerTailK(h, r, 3, 4, exclude)
+			if err != nil {
+				t.Fatalf("AnswerTailK(%d,%d): %v", h, r, err)
+			}
+			if len(got) == 0 || got[0].Entity != want {
+				t.Fatalf("AnswerTailK(%d,%d) top-1 %v, AnswerTail says %d", h, r, got, want)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1].Score > got[i].Score {
+					t.Fatalf("AnswerTailK results not sorted ascending: %v", got)
+				}
+			}
+		}
+	}
+	wantH := m.AnswerHead(0, 1, nil)
+	gotH, err := m.AnswerHeadK(0, 1, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotH) == 0 || gotH[0].Entity != wantH {
+		t.Fatalf("AnswerHeadK top-1 %v, AnswerHead says %d", gotH, wantH)
+	}
+}
+
+func TestTopTailsDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(308))
+	kg := dataset.World(8, rng)
+	m := TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), DefaultTransEConfig(), rng)
+	v := m.View()
+	base, err := v.TopTails(1, 0, 5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		got, err := v.TopTails(1, 0, 5, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: length %d vs %d", workers, len(got), len(base))
+		}
+		for i := range got {
+			if got[i].Entity != base[i].Entity || math.Float64bits(got[i].Score) != math.Float64bits(base[i].Score) {
+				t.Fatalf("workers=%d: result %d differs: %v vs %v", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestTopTailsRejectsOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(309))
+	kg := dataset.World(5, rng)
+	m := TrainTransE(kg.Triples, kg.NumEntities(), kg.NumRelations(), DefaultTransEConfig(), rng)
+	v := m.View()
+	if _, err := v.TopTails(-1, 0, 3, 1, nil); err == nil {
+		t.Error("negative entity should be rejected")
+	}
+	if _, err := v.TopTails(0, kg.NumRelations(), 3, 1, nil); err == nil {
+		t.Error("out-of-range relation should be rejected")
+	}
+	if _, err := v.TopTails(0, 0, 0, 1, nil); err == nil {
+		t.Error("non-positive k should be rejected")
+	}
+}
+
+func TestRESCALViewTopTailsAgreesWithScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(310))
+	kg := dataset.World(6, rng)
+	m := TrainRESCAL(kg.Triples, kg.NumEntities(), kg.NumRelations(), DefaultRESCALConfig(), rng)
+	v := m.View()
+	got, err := v.TopTails(0, 0, kg.NumEntities(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != kg.NumEntities() {
+		t.Fatalf("want all %d candidates, got %d", kg.NumEntities(), len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Score < got[i].Score {
+			t.Fatalf("rescal ranking should be descending: %v", got)
+		}
+	}
+	for _, p := range got[:3] {
+		want := m.Score(0, 0, p.Entity)
+		if math.Abs(p.Score-want) > 1e-9 {
+			t.Fatalf("entity %d: view score %v vs model score %v", p.Entity, p.Score, want)
+		}
+	}
+}
+
+func TestParseTriples(t *testing.T) {
+	in := "# comment\n0 0 1\n\n1 0 2\n2 1 0\n"
+	triples, ne, nr, err := parseTriplesString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 3 || ne != 3 || nr != 2 {
+		t.Fatalf("got %d triples, %d entities, %d relations", len(triples), ne, nr)
+	}
+	if _, _, _, err := parseTriplesString("0 0\n"); err == nil {
+		t.Error("malformed line should be an error")
+	}
+	if _, _, _, err := parseTriplesString("0 -1 2\n"); err == nil {
+		t.Error("negative id should be an error")
+	}
+	if _, _, _, err := parseTriplesString("# only comments\n"); err == nil {
+		t.Error("empty input should be an error")
+	}
+}

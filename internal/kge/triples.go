@@ -1,0 +1,59 @@
+package kge
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ParseTriples reads a knowledge graph as whitespace-separated
+// "head relation tail" integer-id lines — the `x2vec train transe` input
+// format. Blank lines and lines starting with '#' are skipped. Entity and
+// relation counts are inferred as max id + 1.
+func ParseTriples(r io.Reader) (triples []Triple, numEntities, numRelations int, err error) {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var h, rel, t int
+		if _, err := fmt.Sscanf(text, "%d %d %d", &h, &rel, &t); err != nil {
+			return nil, 0, 0, fmt.Errorf("kge: triples line %d: %q is not \"head relation tail\"", line, text)
+		}
+		if h < 0 || rel < 0 || t < 0 {
+			return nil, 0, 0, fmt.Errorf("kge: triples line %d: negative id in %q", line, text)
+		}
+		triples = append(triples, Triple{h, rel, t})
+		if h >= numEntities {
+			numEntities = h + 1
+		}
+		if t >= numEntities {
+			numEntities = t + 1
+		}
+		if rel >= numRelations {
+			numRelations = rel + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, 0, err
+	}
+	if len(triples) == 0 {
+		return nil, 0, 0, fmt.Errorf("kge: no triples in input")
+	}
+	return triples, numEntities, numRelations, nil
+}
+
+// LoadTriplesFile reads a triples file (see ParseTriples).
+func LoadTriplesFile(path string) ([]Triple, int, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	return ParseTriples(f)
+}

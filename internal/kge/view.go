@@ -1,0 +1,237 @@
+package kge
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Prediction is one ranked link-prediction candidate.
+type Prediction struct {
+	Entity int     `json:"entity"`
+	Score  float64 `json:"score"`
+}
+
+// KGView is a storage-agnostic scoring view over a knowledge-graph
+// embedding: the serving layer wraps rows read straight out of a (possibly
+// quantised, possibly mmap'ed) model file, the in-memory trainers wrap
+// their own parameter matrices, and the top-k answering path underneath
+// /link-predict is the same either way. Entity and Relation write row i
+// into dst (len ≥ Dim for entities; ≥ RelWidth for relations).
+type KGView struct {
+	// Method selects the scoring rule: "transe" ranks by ‖h + r − t‖
+	// ascending (lower is better), "rescal" by the bilinear form xₕᵀ·B_r·xₜ
+	// descending (higher is better).
+	Method       string
+	NumEntities  int
+	NumRelations int
+	Dim          int
+	Entity       func(i int, dst []float64)
+	Relation     func(i int, dst []float64)
+}
+
+// RelWidth returns the relation row width: Dim for translations, Dim² for
+// bilinear mixing matrices.
+func (v *KGView) RelWidth() int {
+	if v.Method == "rescal" {
+		return v.Dim * v.Dim
+	}
+	return v.Dim
+}
+
+// TopTails ranks every candidate tail for (h, r, ?) and returns the k best,
+// skipping entities for which exclude returns true (nil excludes nothing).
+// Candidate scores are computed independently per entity across a
+// linalg.ParallelForWorkers pool (workers ≤ 0 = GOMAXPROCS) and selected
+// sequentially, so the result is identical for every pool size.
+func (v *KGView) TopTails(h, r, k, workers int, exclude func(int) bool) ([]Prediction, error) {
+	if err := v.check(h, r); err != nil {
+		return nil, err
+	}
+	return v.top(h, r, k, workers, exclude, true)
+}
+
+// TopHeads ranks every candidate head for (?, r, t) analogously.
+func (v *KGView) TopHeads(r, t, k, workers int, exclude func(int) bool) ([]Prediction, error) {
+	if err := v.check(t, r); err != nil {
+		return nil, err
+	}
+	return v.top(t, r, k, workers, exclude, false)
+}
+
+func (v *KGView) check(e, r int) error {
+	if e < 0 || e >= v.NumEntities {
+		return fmt.Errorf("kge: entity %d outside [0,%d)", e, v.NumEntities)
+	}
+	if r < 0 || r >= v.NumRelations {
+		return fmt.Errorf("kge: relation %d outside [0,%d)", r, v.NumRelations)
+	}
+	switch v.Method {
+	case "transe", "rescal":
+		return nil
+	}
+	return fmt.Errorf("kge: unknown scoring method %q", v.Method)
+}
+
+// top scores all candidates on one side of (anchor, rel, ?) / (?, rel,
+// anchor) and selects the best k. tails selects which side is ranked.
+func (v *KGView) top(anchor, rel, k, workers int, exclude func(int) bool, tails bool) ([]Prediction, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("kge: top-k size %d must be positive", k)
+	}
+	if k > v.NumEntities {
+		k = v.NumEntities
+	}
+	avec := make([]float64, v.Dim)
+	v.Entity(anchor, avec)
+	rvec := make([]float64, v.RelWidth())
+	v.Relation(rel, rvec)
+	// RESCAL folds the anchor side into the mixing matrix once: ranking
+	// tails needs xₐᵀ·B_r, ranking heads needs B_r·xₜ; either way each
+	// candidate then costs one Dim-length dot product, same as TransE.
+	var fold []float64
+	if v.Method == "rescal" {
+		fold = make([]float64, v.Dim)
+		for i := 0; i < v.Dim; i++ {
+			var s float64
+			for j := 0; j < v.Dim; j++ {
+				if tails {
+					s += avec[j] * rvec[j*v.Dim+i] // (xₐᵀ·B_r)[i]
+				} else {
+					s += rvec[i*v.Dim+j] * avec[j] // (B_r·xₜ)[i]
+				}
+			}
+			fold[i] = s
+		}
+	}
+	scores := make([]float64, v.NumEntities)
+	if workers <= 0 {
+		workers = linalg.DefaultWorkers()
+	}
+	if workers > v.NumEntities {
+		workers = v.NumEntities
+	}
+	// Contiguous chunks, one per pool slot, each with its own candidate-row
+	// scratch; every score has a unique writer, so the fill is deterministic
+	// regardless of scheduling.
+	linalg.ParallelForWorkers(workers, workers, func(c int) {
+		lo := c * v.NumEntities / workers
+		hi := (c + 1) * v.NumEntities / workers
+		cvec := make([]float64, v.Dim)
+		for e := lo; e < hi; e++ {
+			v.Entity(e, cvec)
+			if v.Method == "rescal" {
+				var s float64
+				for i, x := range cvec {
+					s += fold[i] * x
+				}
+				scores[e] = s
+				continue
+			}
+			var s float64
+			if tails {
+				for i, x := range cvec {
+					d := avec[i] + rvec[i] - x
+					s += d * d
+				}
+			} else {
+				for i, x := range cvec {
+					d := x + rvec[i] - avec[i]
+					s += d * d
+				}
+			}
+			scores[e] = math.Sqrt(s)
+		}
+	})
+	better := func(a, b Prediction) bool {
+		if a.Score != b.Score {
+			if v.Method == "rescal" {
+				return a.Score > b.Score
+			}
+			return a.Score < b.Score
+		}
+		return a.Entity < b.Entity // deterministic tie-break
+	}
+	// k-bounded insertion selection: O(n·k) with tiny k beats sorting all n
+	// candidate scores per query.
+	best := make([]Prediction, 0, k)
+	for e, s := range scores {
+		if exclude != nil && exclude(e) {
+			continue
+		}
+		p := Prediction{Entity: e, Score: s}
+		if len(best) == k && !better(p, best[k-1]) {
+			continue
+		}
+		pos := len(best)
+		if len(best) < k {
+			best = append(best, p)
+		} else {
+			pos = k - 1
+		}
+		for pos > 0 && better(p, best[pos-1]) {
+			best[pos] = best[pos-1]
+			pos--
+		}
+		best[pos] = p
+	}
+	return best, nil
+}
+
+// View wraps the float64 model for serving-path answering.
+func (m *TransE) View() *KGView {
+	dim := 0
+	if len(m.Entities) > 0 {
+		dim = len(m.Entities[0])
+	}
+	return &KGView{
+		Method:       "transe",
+		NumEntities:  len(m.Entities),
+		NumRelations: len(m.Relations),
+		Dim:          dim,
+		Entity:       func(i int, dst []float64) { copy(dst, m.Entities[i]) },
+		Relation:     func(i int, dst []float64) { copy(dst, m.Relations[i]) },
+	}
+}
+
+// View wraps the float32 engine model for serving-path answering.
+func (m *TransE32) View() *KGView {
+	widen := func(src []float32, dst []float64) {
+		for i, x := range src {
+			dst[i] = float64(x)
+		}
+	}
+	return &KGView{
+		Method:       "transe",
+		NumEntities:  m.NumEntities,
+		NumRelations: m.NumRelations,
+		Dim:          m.Dim,
+		Entity:       func(i int, dst []float64) { widen(m.Entities[i*m.Dim:(i+1)*m.Dim], dst) },
+		Relation:     func(i int, dst []float64) { widen(m.Relations[i*m.Dim:(i+1)*m.Dim], dst) },
+	}
+}
+
+// View wraps the bilinear model for serving-path answering.
+func (m *RESCAL) View() *KGView {
+	return &KGView{
+		Method:       "rescal",
+		NumEntities:  m.X.Rows,
+		NumRelations: len(m.B),
+		Dim:          m.X.Cols,
+		Entity:       func(i int, dst []float64) { copy(dst, m.X.Row(i)) },
+		Relation:     func(i int, dst []float64) { copy(dst, m.B[i].Data) },
+	}
+}
+
+// AnswerTailK is the batch form of AnswerTail: the k best tails for
+// (h, r, ?) under the same exclusion semantics (h itself plus the exclude
+// set), computed over the worker pool.
+func (m *TransE) AnswerTailK(h, r, k, workers int, exclude map[int]bool) ([]Prediction, error) {
+	return m.View().TopTails(h, r, k, workers, func(t int) bool { return t == h || exclude[t] })
+}
+
+// AnswerHeadK is the batch form of AnswerHead.
+func (m *TransE) AnswerHeadK(r, t, k, workers int, exclude map[int]bool) ([]Prediction, error) {
+	return m.View().TopHeads(r, t, k, workers, func(h int) bool { return h == t || exclude[h] })
+}

@@ -83,6 +83,90 @@ func PairUpdate(g float32, in, out, grad []float32) {
 	}
 }
 
+// TripleNormSq returns ‖h + r − t‖² — the squared TransE translation
+// residual, the score kernel of the knowledge-graph embedding trainer
+// (internal/kge). The caller takes the square root once per triple instead
+// of per element. r and t must be at least as long as h.
+//
+//x2vec:hotpath
+func TripleNormSq(h, r, t []float32) float32 {
+	r = r[:len(h)]
+	t = t[:len(h)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+3 < len(h); i += 4 {
+		d0 := h[i] + r[i] - t[i]
+		d1 := h[i+1] + r[i+1] - t[i+1]
+		d2 := h[i+2] + r[i+2] - t[i+2]
+		d3 := h[i+3] + r[i+3] - t[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(h); i++ {
+		d := h[i] + r[i] - t[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// TripleStep applies the fused TransE margin update with coefficient g
+// (sign·lr/‖h+r−t‖ folded in by the caller): per dimension d it reads the
+// residual h[d]+r[d]−t[d] once, then moves h and r against it and t with
+// it — three row updates in one pass. The read-then-write order within each
+// dimension matches the float64 oracle exactly, including the self-loop
+// case where h and t alias the same row. r and t must be at least as long
+// as h.
+//
+//x2vec:hotpath
+func TripleStep(g float32, h, r, t []float32) {
+	r = r[:len(h)]
+	t = t[:len(h)]
+	i := 0
+	for ; i+3 < len(h); i += 4 {
+		g0 := g * (h[i] + r[i] - t[i])
+		h[i] -= g0
+		r[i] -= g0
+		t[i] += g0
+		g1 := g * (h[i+1] + r[i+1] - t[i+1])
+		h[i+1] -= g1
+		r[i+1] -= g1
+		t[i+1] += g1
+		g2 := g * (h[i+2] + r[i+2] - t[i+2])
+		h[i+2] -= g2
+		r[i+2] -= g2
+		t[i+2] += g2
+		g3 := g * (h[i+3] + r[i+3] - t[i+3])
+		h[i+3] -= g3
+		r[i+3] -= g3
+		t[i+3] += g3
+	}
+	for ; i < len(h); i++ {
+		g0 := g * (h[i] + r[i] - t[i])
+		h[i] -= g0
+		r[i] -= g0
+		t[i] += g0
+	}
+}
+
+// Scale multiplies x by alpha in place — the per-epoch entity
+// renormalisation of the TransE trainer (alpha = 1/‖x‖).
+//
+//x2vec:hotpath
+func Scale(alpha float32, x []float32) {
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		x[i] *= alpha
+		x[i+1] *= alpha
+		x[i+2] *= alpha
+		x[i+3] *= alpha
+	}
+	for ; i < len(x); i++ {
+		x[i] *= alpha
+	}
+}
+
 // AddAndZero adds grad into dst and clears grad in one pass — the end of an
 // SGNS pair update, where the accumulated input-row gradient is applied and
 // the scratch row is handed back zeroed for the next pair.

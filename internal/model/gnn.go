@@ -1,0 +1,290 @@
+package model
+
+// KindGNN files carry a message-passing network in the version-2 container:
+// the standard fixed prefix and CRC trailer, a GNN header (feature scheme,
+// dtype, layer widths, output head width), and one page-aligned parameter
+// block holding, in order, each layer's WSelf, WAgg and Bias followed by
+// WOut and BOut, row-major in the declared dtype (float64 or float32 —
+// int8 makes no sense for a network applied multiplicatively layer over
+// layer). Networks are small (KBs, not GBs), so unlike embedding tables the
+// whole file is read, CRC-checked and decoded to the heap eagerly: a handle
+// never holds wrong parameter bytes.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// GNNSpec describes a trained network for SaveGNN.
+type GNNSpec struct {
+	Net *gnn.Network
+	// Features names the initial-feature scheme the network was trained
+	// with and that serving must reproduce: "const" or "degree".
+	Features string
+	DType    DType // DTypeF64 or DTypeF32
+	Lineage  []LineageEntry
+}
+
+// gnnParamCount returns the total parameter count of a network with the
+// given widths and head.
+func gnnParamCount(dims []int, classes int) int {
+	n := 0
+	for i := 0; i+1 < len(dims); i++ {
+		n += 2*dims[i]*dims[i+1] + dims[i+1]
+	}
+	return n + dims[len(dims)-1]*classes + classes
+}
+
+// SaveGNN writes a version-2 GNN model file atomically.
+func SaveGNN(path string, spec GNNSpec) error {
+	if spec.Net == nil {
+		return fmt.Errorf("%w: nil network", ErrBadPayload)
+	}
+	switch spec.Features {
+	case "const", "degree":
+	default:
+		return fmt.Errorf("%w: unknown feature scheme %q", ErrBadPayload, spec.Features)
+	}
+	var width int
+	switch spec.DType {
+	case DTypeF64:
+		width = 8
+	case DTypeF32:
+		width = 4
+	default:
+		return fmt.Errorf("%w: GNN precision %v", ErrBadPayload, spec.DType)
+	}
+	dims := spec.Net.Dims()
+	classes := spec.Net.Classes()
+	paramLen := gnnParamCount(dims, classes) * width
+
+	headerLen := 4 + len(spec.Features) + 1 + 4 + 4*len(dims) + 4 + 2*8 + 4
+	for _, le := range spec.Lineage {
+		headerLen += 4 + 4 + 4 + len(le.Note)
+	}
+	paramOff := alignUp(v2HeaderOff+headerLen, v2DataAlign)
+	end := paramOff + paramLen
+
+	var h encoder
+	h.str(spec.Features)
+	h.u8(uint8(spec.DType))
+	h.u32(uint32(len(dims)))
+	for _, d := range dims {
+		h.u32(uint32(d))
+	}
+	h.u32(uint32(classes))
+	h.u64(uint64(paramOff))
+	h.u64(uint64(paramLen))
+	h.u32(uint32(len(spec.Lineage)))
+	for _, le := range spec.Lineage {
+		h.u32(le.Parent)
+		h.u32(le.Seq)
+		h.str(le.Note)
+	}
+	if len(h.buf) != headerLen {
+		return fmt.Errorf("model: internal error: GNN header %d bytes, computed %d", len(h.buf), headerLen)
+	}
+
+	out := make([]byte, end, end+4)
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint16(out[4:], Version2)
+	binary.LittleEndian.PutUint16(out[6:], uint16(KindGNN))
+	binary.LittleEndian.PutUint32(out[8:], uint32(headerLen))
+	binary.LittleEndian.PutUint32(out[12:], crc32.ChecksumIEEE(h.buf))
+	copy(out[v2HeaderOff:], h.buf)
+
+	pb := out[paramOff:end]
+	off := 0
+	put := func(xs []float64) {
+		for _, x := range xs {
+			if width == 8 {
+				binary.LittleEndian.PutUint64(pb[off:], math.Float64bits(x))
+			} else {
+				binary.LittleEndian.PutUint32(pb[off:], math.Float32bits(float32(x)))
+			}
+			off += width
+		}
+	}
+	for _, l := range spec.Net.Layers {
+		put(l.WSelf.Data)
+		put(l.WAgg.Data)
+		put(l.Bias)
+	}
+	put(spec.Net.WOut.Data)
+	put(spec.Net.BOut)
+	if off != paramLen {
+		return fmt.Errorf("model: internal error: GNN params %d bytes, computed %d", off, paramLen)
+	}
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return writeFileAtomic(path, out)
+}
+
+// GNNModel is a decoded serving handle over a saved network.
+type GNNModel struct {
+	Net      *gnn.Network
+	Dims     []int
+	Classes  int
+	Features string
+	DType    DType
+	Lineage  []LineageEntry
+}
+
+// OpenGNN reads, CRC-checks and decodes a KindGNN model file.
+func OpenGNN(path string) (*GNNModel, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < v2HeaderOff+4 {
+		return nil, fmt.Errorf("%w: %d bytes is too short for a v2 model file", ErrCorrupt, len(b))
+	}
+	if string(b[:4]) != string(magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version2 {
+		return nil, fmt.Errorf("%w: file version %d, GNN models are version 2", ErrBadVersion, v)
+	}
+	if kind := Kind(binary.LittleEndian.Uint16(b[6:8])); kind != KindGNN {
+		return nil, fmt.Errorf("%w: cannot serve GNN embeddings from a %v model", ErrBadKind, kind)
+	}
+	// Small file, decoded fully: run the trailer CRC eagerly.
+	body, trailer := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	headerLen := int(binary.LittleEndian.Uint32(b[8:12]))
+	if headerLen < 0 || v2HeaderOff+headerLen+4 > len(b) {
+		return nil, fmt.Errorf("%w: header length %d exceeds file", ErrCorrupt, headerLen)
+	}
+	hb := b[v2HeaderOff : v2HeaderOff+headerLen]
+	if got, want := crc32.ChecksumIEEE(hb), binary.LittleEndian.Uint32(b[12:16]); got != want {
+		return nil, fmt.Errorf("%w: header checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	d := &decoder{b: hb}
+	features, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	switch features {
+	case "const", "degree":
+	default:
+		return nil, fmt.Errorf("%w: unknown feature scheme %q", ErrCorrupt, features)
+	}
+	dt, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	dtype := DType(dt)
+	var width int
+	switch dtype {
+	case DTypeF64:
+		width = 8
+	case DTypeF32:
+		width = 4
+	default:
+		return nil, fmt.Errorf("%w: GNN precision %d", ErrBadPayload, dt)
+	}
+	nDims, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nDims == 0 || int(nDims) > d.remaining()/4 {
+		return nil, fmt.Errorf("%w: layer width count %d", ErrCorrupt, nDims)
+	}
+	dims := make([]int, nDims)
+	for i := range dims {
+		w, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if w == 0 || w > 1<<20 {
+			return nil, fmt.Errorf("%w: layer width %d", ErrCorrupt, w)
+		}
+		dims[i] = int(w)
+	}
+	classes32, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	classes := int(classes32)
+	if classes <= 0 || classes > 1<<20 {
+		return nil, fmt.Errorf("%w: output width %d", ErrCorrupt, classes)
+	}
+	var offs [2]uint64
+	for i := range offs {
+		s, err := d.need(8)
+		if err != nil {
+			return nil, err
+		}
+		offs[i] = binary.LittleEndian.Uint64(s)
+	}
+	lineage, err := decodeLineage(d)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the parameter count before trusting the multiplication: widths
+	// are capped at 2^20 above, so products fit comfortably in int64.
+	var count64 int64
+	for i := 0; i+1 < len(dims); i++ {
+		count64 += 2*int64(dims[i])*int64(dims[i+1]) + int64(dims[i+1])
+	}
+	count64 += int64(dims[len(dims)-1])*int64(classes) + int64(classes)
+	if count64 > int64(len(b))/int64(width) {
+		return nil, fmt.Errorf("%w: %d parameters exceed payload", ErrBadPayload, count64)
+	}
+	paramOff, paramLen := int(offs[0]), int(offs[1])
+	if paramLen != int(count64)*width || paramOff%v2DataAlign != 0 ||
+		paramOff < v2HeaderOff+headerLen || paramOff+paramLen > len(b)-4 {
+		return nil, fmt.Errorf("%w: parameter block [%d,%d) invalid", ErrCorrupt, paramOff, paramOff+paramLen)
+	}
+
+	pb := b[paramOff : paramOff+paramLen]
+	off := 0
+	take := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			if width == 8 {
+				xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(pb[off:]))
+			} else {
+				xs[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(pb[off:])))
+			}
+			off += width
+		}
+		return xs
+	}
+	net := &gnn.Network{}
+	for i := 0; i+1 < len(dims); i++ {
+		l := &gnn.Layer{
+			WSelf: linalg.NewMatrix(dims[i], dims[i+1]),
+			WAgg:  linalg.NewMatrix(dims[i], dims[i+1]),
+		}
+		copy(l.WSelf.Data, take(dims[i]*dims[i+1]))
+		copy(l.WAgg.Data, take(dims[i]*dims[i+1]))
+		l.Bias = take(dims[i+1])
+		net.Layers = append(net.Layers, l)
+	}
+	net.WOut = linalg.NewMatrix(dims[len(dims)-1], classes)
+	copy(net.WOut.Data, take(dims[len(dims)-1]*classes))
+	net.BOut = take(classes)
+
+	return &GNNModel{
+		Net: net, Dims: dims, Classes: classes,
+		Features: features, DType: dtype, Lineage: lineage,
+	}, nil
+}
+
+// FeatureMatrix builds the initial feature matrix the model's stored
+// scheme prescribes for g, matching what training used.
+func (m *GNNModel) FeatureMatrix(g *graph.Graph) *linalg.Matrix {
+	if m.Features == "degree" {
+		return gnn.DegreeFeatures(g, m.Dims[0])
+	}
+	return gnn.ConstantFeatures(g.N(), m.Dims[0])
+}

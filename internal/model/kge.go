@@ -1,0 +1,544 @@
+package model
+
+// KindKGE files carry a knowledge-graph embedding in the version-2
+// container: the same fixed prefix (magic, version, kind, header length,
+// header CRC) and whole-file CRC trailer as embedding tables, with a
+// KGE-specific header and three aligned blocks —
+//
+//	entOff    (4096-aligned)  entity matrix, NumEntities×Dim of dtype
+//	entScale  (64-aligned)    per-row float32 scales (int8 only)
+//	relOff    (64-aligned)    relation matrix, NumRelations×RelWidth of dtype
+//	relScale  (64-aligned)    per-row float32 scales (int8 only)
+//	tripleOff (64-aligned)    training triples, 3×uint32 LE each
+//
+// RelWidth is Dim for TransE translations and Dim² for RESCAL mixing
+// matrices. The training triples ride along so the serving layer can answer
+// /link-predict in the filtered setting (excluding known facts) without a
+// side channel back to the training corpus. Like embedding tables, the
+// entity block is page-aligned so serving can mmap the file and score
+// candidates straight off the mapping; structural validation is eager,
+// the whole-file CRC is Verify's deferred job.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"repro/internal/kge"
+)
+
+// KGESpec describes a knowledge-graph embedding for SaveKGE.
+type KGESpec struct {
+	Method       string // "transe" or "rescal"
+	NumEntities  int
+	NumRelations int
+	Dim          int
+	Entities     []float64 // NumEntities×Dim, row-major float64 images
+	Relations    []float64 // NumRelations×RelWidth, row-major
+	Triples      [][3]int  // training triples for filtered serving
+	DType        DType
+	Lineage      []LineageEntry
+}
+
+// RelWidth returns the relation row width implied by the scoring method.
+func (s *KGESpec) RelWidth() int {
+	if s.Method == "rescal" {
+		return s.Dim * s.Dim
+	}
+	return s.Dim
+}
+
+// KGESpecFrom flattens a trained model through its scoring view — the one
+// surface all three trainers (TransE, TransE32, RESCAL) share — into a
+// saveable spec. triples become the filtered-serving exclusion set.
+func KGESpecFrom(v *kge.KGView, triples [][3]int, dtype DType) KGESpec {
+	spec := KGESpec{
+		Method:       v.Method,
+		NumEntities:  v.NumEntities,
+		NumRelations: v.NumRelations,
+		Dim:          v.Dim,
+		Triples:      triples,
+		DType:        dtype,
+	}
+	relWidth := v.RelWidth()
+	spec.Entities = make([]float64, v.NumEntities*v.Dim)
+	for i := 0; i < v.NumEntities; i++ {
+		v.Entity(i, spec.Entities[i*v.Dim:(i+1)*v.Dim])
+	}
+	spec.Relations = make([]float64, v.NumRelations*relWidth)
+	for i := 0; i < v.NumRelations; i++ {
+		v.Relation(i, spec.Relations[i*relWidth:(i+1)*relWidth])
+	}
+	return spec
+}
+
+// SaveKGE writes a version-2 KGE model file atomically.
+func SaveKGE(path string, spec KGESpec) error {
+	switch spec.Method {
+	case "transe", "rescal":
+	default:
+		return fmt.Errorf("%w: unknown KGE method %q", ErrBadPayload, spec.Method)
+	}
+	if spec.NumEntities <= 0 || spec.NumRelations <= 0 || spec.Dim <= 0 {
+		return fmt.Errorf("%w: KGE shape %d entities / %d relations / dim %d",
+			ErrBadPayload, spec.NumEntities, spec.NumRelations, spec.Dim)
+	}
+	relWidth := spec.RelWidth()
+	if len(spec.Entities) != spec.NumEntities*spec.Dim {
+		return fmt.Errorf("%w: entity matrix has %d values, want %d", ErrBadPayload, len(spec.Entities), spec.NumEntities*spec.Dim)
+	}
+	if len(spec.Relations) != spec.NumRelations*relWidth {
+		return fmt.Errorf("%w: relation matrix has %d values, want %d", ErrBadPayload, len(spec.Relations), spec.NumRelations*relWidth)
+	}
+	for _, t := range spec.Triples {
+		if t[0] < 0 || t[0] >= spec.NumEntities || t[2] < 0 || t[2] >= spec.NumEntities ||
+			t[1] < 0 || t[1] >= spec.NumRelations {
+			return fmt.Errorf("%w: triple %v outside the entity/relation ranges", ErrBadPayload, t)
+		}
+	}
+	var width int
+	switch spec.DType {
+	case DTypeF64:
+		width = 8
+	case DTypeF32:
+		width = 4
+	case DTypeInt8:
+		width = 1
+	default:
+		return fmt.Errorf("%w: matrix precision %d", ErrBadPayload, uint8(spec.DType))
+	}
+
+	entLen := spec.NumEntities * spec.Dim * width
+	relLen := spec.NumRelations * relWidth * width
+	tripleLen := len(spec.Triples) * 12
+	var entScaleLen, relScaleLen int
+	if spec.DType == DTypeInt8 {
+		entScaleLen = spec.NumEntities * 4
+		relScaleLen = spec.NumRelations * 4
+	}
+
+	headerLen := 4 + len(spec.Method) + 1 + 5*4 + 10*8 + 4
+	for _, le := range spec.Lineage {
+		headerLen += 4 + 4 + 4 + len(le.Note)
+	}
+	entOff := alignUp(v2HeaderOff+headerLen, v2DataAlign)
+	cursor := entOff + entLen
+	entScaleOff := 0
+	if entScaleLen > 0 {
+		entScaleOff = alignUp(cursor, v2ScaleAlign)
+		cursor = entScaleOff + entScaleLen
+	}
+	relOff := alignUp(cursor, v2ScaleAlign)
+	cursor = relOff + relLen
+	relScaleOff := 0
+	if relScaleLen > 0 {
+		relScaleOff = alignUp(cursor, v2ScaleAlign)
+		cursor = relScaleOff + relScaleLen
+	}
+	tripleOff := alignUp(cursor, v2ScaleAlign)
+	end := tripleOff + tripleLen
+
+	var h encoder
+	h.str(spec.Method)
+	h.u8(uint8(spec.DType))
+	h.u32(uint32(spec.NumEntities))
+	h.u32(uint32(spec.NumRelations))
+	h.u32(uint32(spec.Dim))
+	h.u32(uint32(relWidth))
+	h.u32(uint32(len(spec.Triples)))
+	for _, off := range []int{entOff, entLen, entScaleOff, entScaleLen, relOff, relLen, relScaleOff, relScaleLen, tripleOff, tripleLen} {
+		h.u64(uint64(off))
+	}
+	h.u32(uint32(len(spec.Lineage)))
+	for _, le := range spec.Lineage {
+		h.u32(le.Parent)
+		h.u32(le.Seq)
+		h.str(le.Note)
+	}
+	if len(h.buf) != headerLen {
+		return fmt.Errorf("model: internal error: KGE header %d bytes, computed %d", len(h.buf), headerLen)
+	}
+
+	out := make([]byte, end, end+4)
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint16(out[4:], Version2)
+	binary.LittleEndian.PutUint16(out[6:], uint16(KindKGE))
+	binary.LittleEndian.PutUint32(out[8:], uint32(headerLen))
+	binary.LittleEndian.PutUint32(out[12:], crc32.ChecksumIEEE(h.buf))
+	copy(out[v2HeaderOff:], h.buf)
+
+	writeBlock := func(data []float64, rows, cols, off, scaleOff int) {
+		db := out[off : off+rows*cols*width]
+		switch spec.DType {
+		case DTypeF64:
+			for i, x := range data {
+				binary.LittleEndian.PutUint64(db[i*8:], math.Float64bits(x))
+			}
+		case DTypeF32:
+			for i, x := range data {
+				binary.LittleEndian.PutUint32(db[i*4:], math.Float32bits(float32(x)))
+			}
+		case DTypeInt8:
+			sb := out[scaleOff : scaleOff+rows*4]
+			for r := 0; r < rows; r++ {
+				scale := quantizeRowInt8(data[r*cols:(r+1)*cols], db[r*cols:(r+1)*cols])
+				binary.LittleEndian.PutUint32(sb[r*4:], math.Float32bits(scale))
+			}
+		}
+	}
+	writeBlock(spec.Entities, spec.NumEntities, spec.Dim, entOff, entScaleOff)
+	writeBlock(spec.Relations, spec.NumRelations, relWidth, relOff, relScaleOff)
+	tb := out[tripleOff : tripleOff+tripleLen]
+	for i, t := range spec.Triples {
+		binary.LittleEndian.PutUint32(tb[i*12:], uint32(t[0]))
+		binary.LittleEndian.PutUint32(tb[i*12+4:], uint32(t[1]))
+		binary.LittleEndian.PutUint32(tb[i*12+8:], uint32(t[2]))
+	}
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return writeFileAtomic(path, out)
+}
+
+// kgeBlock is one dequantisable matrix view over the file bytes.
+type kgeBlock struct {
+	cols   int
+	dtype  DType
+	f64    []float64
+	f32    []float32
+	q8     []int8
+	scales []float32
+}
+
+// rowInto dequantises row r into dst (len ≥ cols) without allocating.
+//
+//x2vec:hotpath
+func (b *kgeBlock) rowInto(dst []float64, r int) {
+	c := b.cols
+	dst = dst[:c]
+	switch b.dtype {
+	case DTypeF64:
+		copy(dst, b.f64[r*c:(r+1)*c])
+	case DTypeF32:
+		src := b.f32[r*c : (r+1)*c : (r+1)*c]
+		for i, x := range src {
+			dst[i] = float64(x)
+		}
+	case DTypeInt8:
+		src := b.q8[r*c : (r+1)*c : (r+1)*c]
+		s := float64(b.scales[r])
+		for i, x := range src {
+			dst[i] = float64(x) * s
+		}
+	}
+}
+
+// KGEModel is a read-only serving handle over a saved knowledge-graph
+// embedding: mmap-backed matrix views plus the known-fact index for
+// filtered answering. The caller owns the handle and must Close it.
+type KGEModel struct {
+	Method       string
+	NumEntities  int
+	NumRelations int
+	Dim          int
+	RelWidth     int
+	DType        DType
+	Mapped       bool
+	Lineage      []LineageEntry
+	Triples      [][3]int
+
+	ent, rel kgeBlock
+	// knownTails[h<<32|r] lists known tails of (h, r, ?); knownHeads[r<<32|t]
+	// lists known heads of (?, r, t). Built once at open from the stored
+	// triples, so filtered /link-predict needs no per-query pass.
+	knownTails map[uint64][]int
+	knownHeads map[uint64][]int
+
+	file    []byte
+	mapping []byte
+}
+
+// OpenKGE opens a KindKGE model file for serving in O(header + triples)
+// time, with the matrix blocks left in place (mmap'ed when possible).
+func OpenKGE(path string) (*KGEModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: file too short for a model header", ErrCorrupt)
+	}
+	if string(head[:4]) != string(magic[:]) {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != Version2 {
+		f.Close()
+		return nil, fmt.Errorf("%w: file version %d, KGE models are version 2", ErrBadVersion, v)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := int(st.Size())
+	var b []byte
+	mapped := false
+	if os.Getenv("X2VEC_NO_MMAP") == "" {
+		if m, merr := mmapFile(f, size); merr == nil {
+			b, mapped = m, true
+		}
+	}
+	if b == nil {
+		if b, err = readAligned(f, size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	f.Close()
+	m, err := parseKGE(b, mapped)
+	if err != nil {
+		if mapped {
+			munmapFile(b)
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseKGE(b []byte, mapped bool) (*KGEModel, error) {
+	if len(b) < v2HeaderOff+4 {
+		return nil, fmt.Errorf("%w: %d bytes is too short for a v2 model file", ErrCorrupt, len(b))
+	}
+	if kind := Kind(binary.LittleEndian.Uint16(b[6:8])); kind != KindKGE {
+		return nil, fmt.Errorf("%w: cannot serve link prediction from a %v model", ErrBadKind, kind)
+	}
+	headerLen := int(binary.LittleEndian.Uint32(b[8:12]))
+	if headerLen < 0 || v2HeaderOff+headerLen+4 > len(b) {
+		return nil, fmt.Errorf("%w: header length %d exceeds file", ErrCorrupt, headerLen)
+	}
+	hb := b[v2HeaderOff : v2HeaderOff+headerLen]
+	if got, want := crc32.ChecksumIEEE(hb), binary.LittleEndian.Uint32(b[12:16]); got != want {
+		return nil, fmt.Errorf("%w: header checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	d := &decoder{b: hb}
+	method, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	var dims [5]uint32 // numEntities, numRelations, dim, relWidth, numTriples
+	for i := range dims {
+		if dims[i], err = d.u32(); err != nil {
+			return nil, err
+		}
+	}
+	var offs [10]uint64
+	for i := range offs {
+		s, err := d.need(8)
+		if err != nil {
+			return nil, err
+		}
+		offs[i] = binary.LittleEndian.Uint64(s)
+	}
+	lineage, err := decodeLineage(d)
+	if err != nil {
+		return nil, err
+	}
+
+	nE, nR := int(dims[0]), int(dims[1])
+	dim, relWidth, nT := int(dims[2]), int(dims[3]), int(dims[4])
+	dtype := DType(dt)
+	var width int
+	switch dtype {
+	case DTypeF64:
+		width = 8
+	case DTypeF32:
+		width = 4
+	case DTypeInt8:
+		width = 1
+	default:
+		return nil, fmt.Errorf("%w: matrix precision %d", ErrBadPayload, dt)
+	}
+	wantRelWidth := dim
+	if method == "rescal" {
+		wantRelWidth = dim * dim
+	} else if method != "transe" {
+		return nil, fmt.Errorf("%w: unknown KGE method %q", ErrBadPayload, method)
+	}
+	if nE <= 0 || nR <= 0 || dim <= 0 || relWidth != wantRelWidth || nT < 0 {
+		return nil, fmt.Errorf("%w: KGE shape %d/%d dim %d relWidth %d triples %d", ErrCorrupt, nE, nR, dim, relWidth, nT)
+	}
+	// Overflow-safe size bounds before any multiplication-derived offsets.
+	maxVals := (len(b) - v2HeaderOff) / width
+	if dim != 0 && (nE > maxVals/dim || nR > maxVals/relWidth) {
+		return nil, fmt.Errorf("%w: matrices exceed payload", ErrBadPayload)
+	}
+	if nT > (len(b)-v2HeaderOff)/12 {
+		return nil, fmt.Errorf("%w: %d triples exceed payload", ErrBadPayload, nT)
+	}
+
+	entOff, entLen := int(offs[0]), int(offs[1])
+	entScaleOff, entScaleLen := int(offs[2]), int(offs[3])
+	relOff, relLen := int(offs[4]), int(offs[5])
+	relScaleOff, relScaleLen := int(offs[6]), int(offs[7])
+	tripleOff, tripleLen := int(offs[8]), int(offs[9])
+
+	checkBlock := func(name string, off, length, want, align, floor int) error {
+		if length != want || off%align != 0 || off < floor || off+length > len(b)-4 {
+			return fmt.Errorf("%w: %s block [%d,%d) invalid", ErrCorrupt, name, off, off+length)
+		}
+		return nil
+	}
+	if err := checkBlock("entity", entOff, entLen, nE*dim*width, v2DataAlign, v2HeaderOff+headerLen); err != nil {
+		return nil, err
+	}
+	if err := checkBlock("relation", relOff, relLen, nR*relWidth*width, v2ScaleAlign, entOff+entLen); err != nil {
+		return nil, err
+	}
+	if err := checkBlock("triple", tripleOff, tripleLen, nT*12, v2ScaleAlign, relOff+relLen); err != nil {
+		return nil, err
+	}
+	if dtype == DTypeInt8 {
+		if err := checkBlock("entity scale", entScaleOff, entScaleLen, nE*4, v2ScaleAlign, entOff+entLen); err != nil {
+			return nil, err
+		}
+		if err := checkBlock("relation scale", relScaleOff, relScaleLen, nR*4, v2ScaleAlign, relOff+relLen); err != nil {
+			return nil, err
+		}
+	} else if entScaleOff != 0 || entScaleLen != 0 || relScaleOff != 0 || relScaleLen != 0 {
+		return nil, fmt.Errorf("%w: scale blocks on a %v model", ErrCorrupt, dtype)
+	}
+
+	m := &KGEModel{
+		Method: method, NumEntities: nE, NumRelations: nR,
+		Dim: dim, RelWidth: relWidth, DType: dtype, Mapped: mapped,
+		Lineage: lineage, file: b,
+		ent: kgeBlock{cols: dim, dtype: dtype},
+		rel: kgeBlock{cols: relWidth, dtype: dtype},
+	}
+	if mapped {
+		m.mapping = b
+	}
+	view := func(blk *kgeBlock, off, scaleOff, rows, cols int) {
+		n := rows * cols
+		if n == 0 {
+			return
+		}
+		switch dtype {
+		case DTypeF64:
+			blk.f64 = unsafe.Slice((*float64)(unsafe.Pointer(&b[off])), n)
+		case DTypeF32:
+			blk.f32 = unsafe.Slice((*float32)(unsafe.Pointer(&b[off])), n)
+		case DTypeInt8:
+			blk.q8 = unsafe.Slice((*int8)(unsafe.Pointer(&b[off])), n)
+			blk.scales = unsafe.Slice((*float32)(unsafe.Pointer(&b[scaleOff])), rows)
+		}
+	}
+	view(&m.ent, entOff, entScaleOff, nE, dim)
+	view(&m.rel, relOff, relScaleOff, nR, relWidth)
+
+	m.Triples = make([][3]int, nT)
+	m.knownTails = make(map[uint64][]int)
+	m.knownHeads = make(map[uint64][]int)
+	tb := b[tripleOff : tripleOff+tripleLen]
+	for i := range m.Triples {
+		h := int(binary.LittleEndian.Uint32(tb[i*12:]))
+		r := int(binary.LittleEndian.Uint32(tb[i*12+4:]))
+		t := int(binary.LittleEndian.Uint32(tb[i*12+8:]))
+		if h >= nE || t >= nE || r >= nR {
+			return nil, fmt.Errorf("%w: stored triple (%d,%d,%d) outside the entity/relation ranges", ErrCorrupt, h, r, t)
+		}
+		m.Triples[i] = [3]int{h, r, t}
+		m.knownTails[uint64(h)<<32|uint64(r)] = append(m.knownTails[uint64(h)<<32|uint64(r)], t)
+		m.knownHeads[uint64(r)<<32|uint64(t)] = append(m.knownHeads[uint64(r)<<32|uint64(t)], h)
+	}
+	return m, nil
+}
+
+// decodeLineage reads the trailing lineage chain of a v2-family header
+// (empty when the header ends before the field).
+func decodeLineage(d *decoder) ([]LineageEntry, error) {
+	if d.remaining() == 0 {
+		return nil, nil
+	}
+	cnt, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(cnt) > d.remaining()/12 {
+		return nil, fmt.Errorf("%w: lineage count %d exceeds header", ErrCorrupt, cnt)
+	}
+	lineage := make([]LineageEntry, cnt)
+	for i := range lineage {
+		if lineage[i].Parent, err = d.u32(); err != nil {
+			return nil, err
+		}
+		if lineage[i].Seq, err = d.u32(); err != nil {
+			return nil, err
+		}
+		if lineage[i].Note, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	return lineage, nil
+}
+
+// EntityInto dequantises entity row i into dst (len ≥ Dim).
+//
+//x2vec:hotpath
+func (m *KGEModel) EntityInto(dst []float64, i int) { m.ent.rowInto(dst, i) }
+
+// RelationInto dequantises relation row i into dst (len ≥ RelWidth).
+func (m *KGEModel) RelationInto(dst []float64, i int) { m.rel.rowInto(dst, i) }
+
+// View wraps the stored matrices in the storage-agnostic scoring view the
+// answering paths consume.
+func (m *KGEModel) View() *kge.KGView {
+	return &kge.KGView{
+		Method:       m.Method,
+		NumEntities:  m.NumEntities,
+		NumRelations: m.NumRelations,
+		Dim:          m.Dim,
+		Entity:       func(i int, dst []float64) { m.ent.rowInto(dst, i) },
+		Relation:     func(i int, dst []float64) { m.rel.rowInto(dst, i) },
+	}
+}
+
+// KnownTails returns the stored tails of (h, r, ?) — the filtered setting's
+// exclusion set. The returned slice is shared; callers must not mutate it.
+func (m *KGEModel) KnownTails(h, r int) []int { return m.knownTails[uint64(h)<<32|uint64(r)] }
+
+// KnownHeads returns the stored heads of (?, r, t).
+func (m *KGEModel) KnownHeads(r, t int) []int { return m.knownHeads[uint64(r)<<32|uint64(t)] }
+
+// Verify runs the deferred whole-file CRC (see Embeddings.Verify).
+func (m *KGEModel) Verify() error {
+	if m.file == nil {
+		return nil
+	}
+	body, trailer := m.file[:len(m.file)-4], m.file[len(m.file)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	return nil
+}
+
+// Close releases the file mapping; the handle's views are invalid after.
+func (m *KGEModel) Close() error {
+	mp := m.mapping
+	m.mapping = nil
+	m.ent, m.rel = kgeBlock{}, kgeBlock{}
+	m.file = nil
+	if mp == nil {
+		return nil
+	}
+	return munmapFile(mp)
+}

@@ -1,0 +1,389 @@
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+)
+
+func kgeSpecFixture(method string) KGESpec {
+	rng := rand.New(rand.NewSource(71))
+	dim := 4
+	nE, nR := 6, 2
+	relWidth := dim
+	if method == "rescal" {
+		relWidth = dim * dim
+	}
+	ent := make([]float64, nE*dim)
+	for i := range ent {
+		ent[i] = rng.NormFloat64()
+	}
+	rel := make([]float64, nR*relWidth)
+	for i := range rel {
+		rel[i] = rng.NormFloat64()
+	}
+	return KGESpec{
+		Method: method, NumEntities: nE, NumRelations: nR, Dim: dim,
+		Entities: ent, Relations: rel,
+		Triples: [][3]int{{0, 0, 1}, {1, 1, 2}, {0, 0, 3}},
+		DType:   DTypeF64,
+	}
+}
+
+func TestKGERoundTripF64BitIdentical(t *testing.T) {
+	for _, method := range []string{"transe", "rescal"} {
+		spec := kgeSpecFixture(method)
+		path := filepath.Join(t.TempDir(), "kge.bin")
+		if err := SaveKGE(path, spec); err != nil {
+			t.Fatalf("SaveKGE(%s): %v", method, err)
+		}
+		m, err := OpenKGE(path)
+		if err != nil {
+			t.Fatalf("OpenKGE(%s): %v", method, err)
+		}
+		defer m.Close()
+		if err := m.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if m.Method != method || m.NumEntities != spec.NumEntities || m.Dim != spec.Dim ||
+			m.RelWidth != spec.RelWidth() || len(m.Triples) != len(spec.Triples) {
+			t.Fatalf("header mismatch: %+v", m)
+		}
+		row := make([]float64, m.Dim)
+		for i := 0; i < m.NumEntities; i++ {
+			m.EntityInto(row, i)
+			for j, v := range row {
+				if math.Float64bits(v) != math.Float64bits(spec.Entities[i*m.Dim+j]) {
+					t.Fatalf("entity %d[%d] not bit-identical", i, j)
+				}
+			}
+		}
+		rrow := make([]float64, m.RelWidth)
+		for i := 0; i < m.NumRelations; i++ {
+			m.RelationInto(rrow, i)
+			for j, v := range rrow {
+				if math.Float64bits(v) != math.Float64bits(spec.Relations[i*m.RelWidth+j]) {
+					t.Fatalf("relation %d[%d] not bit-identical", i, j)
+				}
+			}
+		}
+		if tails := m.KnownTails(0, 0); len(tails) != 2 {
+			t.Fatalf("KnownTails(0,0) = %v, want the two stored facts", tails)
+		}
+		if heads := m.KnownHeads(1, 2); len(heads) != 1 || heads[0] != 1 {
+			t.Fatalf("KnownHeads(1,2) = %v", heads)
+		}
+	}
+}
+
+func TestKGEInt8QuantizedServing(t *testing.T) {
+	spec := kgeSpecFixture("transe")
+	spec.DType = DTypeInt8
+	path := filepath.Join(t.TempDir(), "kge8.bin")
+	if err := SaveKGE(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenKGE(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	row := make([]float64, m.Dim)
+	for i := 0; i < m.NumEntities; i++ {
+		m.EntityInto(row, i)
+		var maxAbs float64
+		for _, x := range spec.Entities[i*m.Dim : (i+1)*m.Dim] {
+			maxAbs = math.Max(maxAbs, math.Abs(x))
+		}
+		for j, v := range row {
+			if math.Abs(v-spec.Entities[i*m.Dim+j]) > maxAbs/127+1e-9 {
+				t.Fatalf("entity %d[%d] dequantised outside the scale bound: %v vs %v", i, j, v, spec.Entities[i*m.Dim+j])
+			}
+		}
+	}
+	// The view must answer top-k without error on quantised storage.
+	if _, err := m.View().TopTails(0, 0, 3, 2, nil); err != nil {
+		t.Fatalf("TopTails over int8: %v", err)
+	}
+}
+
+func TestKGEViewMatchesSpec(t *testing.T) {
+	spec := kgeSpecFixture("transe")
+	path := filepath.Join(t.TempDir(), "kge.bin")
+	if err := SaveKGE(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenKGE(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	preds, err := m.View().TopTails(0, 0, m.NumEntities, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != m.NumEntities {
+		t.Fatalf("want all candidates, got %d", len(preds))
+	}
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1].Score > preds[i].Score {
+			t.Fatal("transe ranking should ascend")
+		}
+	}
+}
+
+func TestKGERejectsBadSpecs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kge.bin")
+	spec := kgeSpecFixture("transe")
+	bad := spec
+	bad.Method = "distmult"
+	if err := SaveKGE(path, bad); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("unknown method: err = %v", err)
+	}
+	bad = spec
+	bad.Entities = bad.Entities[:3]
+	if err := SaveKGE(path, bad); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("short entities: err = %v", err)
+	}
+	bad = spec
+	bad.Triples = [][3]int{{0, 5, 0}}
+	if err := SaveKGE(path, bad); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("out-of-range triple: err = %v", err)
+	}
+}
+
+func TestKGECorruptionAndVersionNegotiation(t *testing.T) {
+	spec := kgeSpecFixture("transe")
+	path := filepath.Join(t.TempDir(), "kge.bin")
+	if err := SaveKGE(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(off int) string {
+		b := append([]byte(nil), raw...)
+		b[off] ^= 0xff
+		cp := filepath.Join(t.TempDir(), "corrupt.bin")
+		if err := os.WriteFile(cp, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return cp
+	}
+	// Header corruption: rejected at open, never a panic.
+	if _, err := OpenKGE(corrupt(20)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt header: err = %v, want ErrCorrupt", err)
+	}
+	// Payload corruption: open succeeds (O(header) contract), Verify fails.
+	m, err := OpenKGE(corrupt(4096 + 7))
+	if err != nil {
+		t.Fatalf("payload corruption must not fail open: %v", err)
+	}
+	if err := m.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt payload: Verify = %v, want ErrCorrupt", err)
+	}
+	m.Close()
+	// Truncation: rejected structurally.
+	short := filepath.Join(t.TempDir(), "short.bin")
+	if err := os.WriteFile(short, raw[:100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenKGE(short); err == nil {
+		t.Error("truncated file should be rejected")
+	}
+	// A v1 file is not a KGE container.
+	v1 := filepath.Join(t.TempDir(), "v1.bin")
+	v1b := append([]byte(nil), raw[:8]...)
+	binary.LittleEndian.PutUint16(v1b[4:], 1)
+	v1b = append(v1b, raw[8:]...)
+	if err := os.WriteFile(v1, v1b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenKGE(v1); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("v1 file: err = %v, want ErrBadVersion", err)
+	}
+	// The embeddings opener must reject the KGE kind cleanly.
+	if _, err := OpenEmbeddings(path); !errors.Is(err, ErrBadKind) {
+		t.Errorf("OpenEmbeddings on KGE: err = %v, want ErrBadKind", err)
+	}
+	// And the GNN opener too.
+	if _, err := OpenGNN(path); !errors.Is(err, ErrBadKind) {
+		t.Errorf("OpenGNN on KGE: err = %v, want ErrBadKind", err)
+	}
+	// The dispatch sniffer reports the new kind and version.
+	if k, v, err := SniffKind(path); err != nil || k != KindKGE || v != 2 {
+		t.Errorf("SniffKind = %v, %d, %v; want KindKGE v2", k, v, err)
+	}
+}
+
+func trainedGNNFixture(t *testing.T) *gnn.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(72))
+	net, err := gnn.New([]int{2, 5, 3}, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestGNNRoundTripF64BitIdentical(t *testing.T) {
+	net := trainedGNNFixture(t)
+	path := filepath.Join(t.TempDir(), "gnn.bin")
+	if err := SaveGNN(path, GNNSpec{Net: net, Features: "degree", DType: DTypeF64,
+		Lineage: []LineageEntry{{Parent: 7, Seq: 1, Note: "fresh"}}}); err != nil {
+		t.Fatalf("SaveGNN: %v", err)
+	}
+	m, err := OpenGNN(path)
+	if err != nil {
+		t.Fatalf("OpenGNN: %v", err)
+	}
+	if m.Features != "degree" || m.Classes != 2 || len(m.Dims) != 3 {
+		t.Fatalf("header mismatch: %+v", m)
+	}
+	if len(m.Lineage) != 1 || m.Lineage[0].Parent != 7 {
+		t.Fatalf("lineage mismatch: %+v", m.Lineage)
+	}
+	for l := range net.Layers {
+		for i, v := range net.Layers[l].WSelf.Data {
+			if math.Float64bits(v) != math.Float64bits(m.Net.Layers[l].WSelf.Data[i]) {
+				t.Fatalf("layer %d WSelf[%d] not bit-identical", l, i)
+			}
+		}
+		for i, v := range net.Layers[l].WAgg.Data {
+			if math.Float64bits(v) != math.Float64bits(m.Net.Layers[l].WAgg.Data[i]) {
+				t.Fatalf("layer %d WAgg[%d] not bit-identical", l, i)
+			}
+		}
+	}
+	for i, v := range net.WOut.Data {
+		if math.Float64bits(v) != math.Float64bits(m.Net.WOut.Data[i]) {
+			t.Fatalf("WOut[%d] not bit-identical", i)
+		}
+	}
+	// The decoded network embeds graphs identically to the original.
+	g := graph.Cycle(6)
+	x0 := m.FeatureMatrix(g)
+	want, err := net.GraphEmbed(g, gnn.DegreeFeatures(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Net.GraphEmbed(g, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("decoded network embedding diverges at %d", i)
+		}
+	}
+}
+
+func TestGNNRoundTripF32(t *testing.T) {
+	net := trainedGNNFixture(t)
+	path := filepath.Join(t.TempDir(), "gnn32.bin")
+	if err := SaveGNN(path, GNNSpec{Net: net, Features: "const", DType: DTypeF32}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenGNN(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range net.WOut.Data {
+		if math.Float64bits(float64(float32(v))) != math.Float64bits(m.Net.WOut.Data[i]) {
+			t.Fatalf("WOut[%d] not float32-exact", i)
+		}
+	}
+}
+
+func TestGNNRejectsBadInput(t *testing.T) {
+	net := trainedGNNFixture(t)
+	path := filepath.Join(t.TempDir(), "gnn.bin")
+	if err := SaveGNN(path, GNNSpec{Net: nil, Features: "const", DType: DTypeF64}); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("nil net: err = %v", err)
+	}
+	if err := SaveGNN(path, GNNSpec{Net: net, Features: "random", DType: DTypeF64}); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("bad features: err = %v", err)
+	}
+	if err := SaveGNN(path, GNNSpec{Net: net, Features: "const", DType: DTypeInt8}); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("int8 gnn: err = %v", err)
+	}
+
+	if err := SaveGNN(path, GNNSpec{Net: net, Features: "const", DType: DTypeF64}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any single-byte corruption is rejected at open (full eager CRC).
+	for _, off := range []int{6, 20, 4096 + 3, len(raw) - 2} {
+		b := append([]byte(nil), raw...)
+		b[off] ^= 0xff
+		cp := filepath.Join(t.TempDir(), "corrupt.bin")
+		if err := os.WriteFile(cp, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenGNN(cp); err == nil {
+			t.Errorf("corruption at %d not rejected", off)
+		}
+	}
+	if _, err := OpenEmbeddings(path); !errors.Is(err, ErrBadKind) {
+		t.Errorf("OpenEmbeddings on GNN: err = %v, want ErrBadKind", err)
+	}
+	if _, err := OpenKGE(path); !errors.Is(err, ErrBadKind) {
+		t.Errorf("OpenKGE on GNN: err = %v, want ErrBadKind", err)
+	}
+	if k, v, err := SniffKind(path); err != nil || k != KindGNN || v != 2 {
+		t.Errorf("SniffKind = %v, %d, %v; want KindGNN v2", k, v, err)
+	}
+}
+
+// TestKGEGoldenBytes pins the on-disk prefix of the KGE container so
+// accidental layout changes fail loudly.
+func TestKGEGoldenBytes(t *testing.T) {
+	spec := kgeSpecFixture("transe")
+	spec.Lineage = nil
+	path := filepath.Join(t.TempDir(), "kge.bin")
+	if err := SaveKGE(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:4]) != "x2vm" {
+		t.Errorf("magic %q", raw[:4])
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:6]); v != 2 {
+		t.Errorf("version %d", v)
+	}
+	if k := binary.LittleEndian.Uint16(raw[6:8]); Kind(k) != KindKGE {
+		t.Errorf("kind %d", k)
+	}
+	// Header: method string first ("transe", length-prefixed u32).
+	if n := binary.LittleEndian.Uint32(raw[16:20]); n != 6 {
+		t.Errorf("method length %d", n)
+	}
+	if string(raw[20:26]) != "transe" {
+		t.Errorf("method %q", raw[20:26])
+	}
+	if raw[26] != 8 {
+		t.Errorf("dtype byte %d, want 8 (f64)", raw[26])
+	}
+	if nE := binary.LittleEndian.Uint32(raw[27:31]); nE != 6 {
+		t.Errorf("entity count %d", nE)
+	}
+	// Entity block starts at the first page boundary.
+	first := math.Float64frombits(binary.LittleEndian.Uint64(raw[4096:]))
+	if math.Float64bits(first) != math.Float64bits(spec.Entities[0]) {
+		t.Errorf("entity block at 4096 holds %v, want %v", first, spec.Entities[0])
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 
@@ -59,6 +60,15 @@ const (
 	// matrix, and the per-table signature buckets, laid out for mmap serving
 	// (see ann.go in this package).
 	KindANNIndex Kind = 5
+	// KindKGE is a knowledge-graph embedding: entity and relation matrices
+	// (TransE translations or RESCAL mixing matrices) plus the training
+	// triples, so the daemon can serve filtered /link-predict (see kge.go in
+	// this package).
+	KindKGE Kind = 6
+	// KindGNN is a message-passing network: per-layer WSelf/WAgg/Bias
+	// parameters plus the output head and the feature scheme (see gnn.go in
+	// this package).
+	KindGNN Kind = 7
 )
 
 func (k Kind) String() string {
@@ -73,6 +83,10 @@ func (k Kind) String() string {
 		return "hom-class"
 	case KindANNIndex:
 		return "ann-index"
+	case KindKGE:
+		return "kge"
+	case KindGNN:
+		return "gnn"
 	}
 	return fmt.Sprintf("kind(%d)", uint16(k))
 }
@@ -271,10 +285,30 @@ func readFile(path string) ([]byte, Kind, error) {
 }
 
 // Sniff returns the kind of a model file after full container validation
-// (magic, version, CRC).
+// (magic, version, CRC). Version-1 only; use SniffKind to dispatch across
+// format generations without paying a full read.
 func Sniff(path string) (Kind, error) {
 	_, kind, err := readFile(path)
 	return kind, err
+}
+
+// SniffKind reads just the 8-byte fixed prefix and returns the model kind
+// and format version — the serving layer's O(1) dispatch before choosing an
+// opener. Structural validation stays with that opener.
+func SniffKind(path string) (Kind, uint16, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: file too short for a model header", ErrCorrupt)
+	}
+	if !bytes.Equal(head[:4], magic[:]) {
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrBadMagic, head[:4])
+	}
+	return Kind(binary.LittleEndian.Uint16(head[6:8])), binary.LittleEndian.Uint16(head[4:6]), nil
 }
 
 // LoadAny reads a model file ONCE and dispatches on its kind, returning

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/ann"
+	"repro/internal/kge"
 	"repro/internal/model"
 )
 
@@ -40,19 +41,26 @@ var (
 	ErrNoModel    = errors.New("serve: no model loaded")
 	ErrEmbedRange = errors.New("serve: embedding id out of range")
 	ErrNoIndex    = errors.New("serve: no ann index loaded; start x2vecd with -index")
+	// ErrWrongModel flags an endpoint/model-kind mismatch: /link-predict
+	// against an embedding table, an id lookup against a GNN, a graph embed
+	// against a KGE. The daemon maps it to 400 — the request is well-formed,
+	// the loaded model just does not answer it.
+	ErrWrongModel = errors.New("serve: loaded model does not answer this endpoint")
 )
 
-// modelHandle is one loaded model generation: the embedding table and,
-// optionally, the ANN index that answers /neighbors over the same
-// generation. Both ride the same handle so a reload flips them atomically —
-// a query never sees a new index against an old model version. refs starts
-// at 1 (the service's ownership); every lookup holds +1 for its critical
-// section. Close happens exactly once, when the last reference drops —
-// after the swap for an idle model, after the final in-flight lookup
-// otherwise.
+// modelHandle is one loaded model generation. Exactly one of emb, kge and
+// gnn is non-nil — the handle's kind is the file's kind — and, for
+// embedding tables only, the ANN index that answers /neighbors rides the
+// same handle so a reload flips them atomically: a query never sees a new
+// index against an old model version. refs starts at 1 (the service's
+// ownership); every lookup holds +1 for its critical section. Close
+// happens exactly once, when the last reference drops — after the swap for
+// an idle model, after the final in-flight lookup otherwise.
 type modelHandle struct {
-	emb     *model.Embeddings
-	idx     *model.ANNIndex // nil when this generation has no index
+	emb     *model.Embeddings // embedding-table kinds (v1 and v2)
+	kge     *model.KGEModel   // KindKGE: /link-predict and entity-row /embed
+	gnn     *model.GNNModel   // KindGNN: graph /embed
+	idx     *model.ANNIndex   // nil when this generation has no index
 	idxPath string
 	path    string
 	version uint64
@@ -84,14 +92,22 @@ func (h *modelHandle) acquire() bool {
 
 func (h *modelHandle) release() {
 	if h.refs.Add(-1) == 0 {
-		h.emb.Close()
+		if h.emb != nil {
+			h.emb.Close()
+		}
+		if h.kge != nil {
+			h.kge.Close()
+		}
 		if h.idx != nil {
 			h.idx.Close()
 		}
+		// GNN models are fully decoded to the heap; nothing to unmap.
 	}
 }
 
-// ModelSnapshot is the /stats view of the currently served model.
+// ModelSnapshot is the /stats view of the currently served model. Rows/Cols
+// are the embedding-table shape for table kinds and the entity-matrix shape
+// for KGE models; GNN models report their layer widths instead.
 type ModelSnapshot struct {
 	Path         string         `json:"path"`
 	Version      uint64         `json:"model_version"` // monotone across reloads
@@ -100,6 +116,9 @@ type ModelSnapshot struct {
 	DType        string         `json:"dtype"`
 	Rows         int            `json:"rows"`
 	Cols         int            `json:"cols"`
+	Relations    int            `json:"relations,omitempty"`  // KGE: relation count
+	Triples      int            `json:"triples,omitempty"`    // KGE: stored known facts
+	LayerDims    []int          `json:"layer_dims,omitempty"` // GNN: widths, input to last hidden
 	Mapped       bool           `json:"mmap"`
 	LineageDepth int            `json:"lineage_depth"` // fine-tune generations recorded in the file
 	Swaps        int64          `json:"swaps"`         // successful reloads since start (initial load included)
@@ -124,8 +143,10 @@ type IndexSnapshot struct {
 // never blocks on Reload.
 type EmbedService struct {
 	verify   bool
+	workers  int // engine worker cap for candidate scans (0 = GOMAXPROCS)
 	cache    *lruCache[[]float64]
 	nbrCache *lruCache[[]ann.Neighbor]
+	lpCache  *lruCache[[]kge.Prediction]
 	stats    *Stats
 
 	cur        atomic.Pointer[modelHandle]
@@ -147,8 +168,10 @@ func (s *Server) NewEmbedService(modelPath, indexPath string, verify bool, cache
 	}
 	svc := &EmbedService{
 		verify:   verify,
+		workers:  s.opts.Workers,
 		cache:    newLRU[[]float64](cacheSize),
 		nbrCache: newLRU[[]ann.Neighbor](cacheSize),
+		lpCache:  newLRU[[]kge.Prediction](cacheSize),
 		stats:    s.stats,
 	}
 	if _, err := svc.Reload(modelPath, indexPath); err != nil {
@@ -168,25 +191,67 @@ func (svc *EmbedService) Reload(modelPath, indexPath string) (ModelSnapshot, err
 	if modelPath == "" {
 		return ModelSnapshot{}, fmt.Errorf("serve: reload needs a model path")
 	}
-	e, err := model.OpenEmbeddings(modelPath)
-	if err != nil {
-		return ModelSnapshot{}, err
-	}
-	if svc.verify {
-		if err := e.Verify(); err != nil {
-			e.Close()
+	h := &modelHandle{idxPath: indexPath, path: modelPath}
+
+	// Dispatch on the file's kind prefix: KGE and GNN files get their own
+	// handles, everything else (v1 files, v2 embedding tables) goes through
+	// the embedding opener, which produces the right error for bad files.
+	kind, fileVersion, _ := model.SniffKind(modelPath)
+	switch {
+	case fileVersion == model.Version2 && kind == model.KindKGE:
+		m, err := model.OpenKGE(modelPath)
+		if err != nil {
 			return ModelSnapshot{}, err
+		}
+		if svc.verify {
+			if err := m.Verify(); err != nil {
+				m.Close()
+				return ModelSnapshot{}, err
+			}
+		}
+		h.kge = m
+	case fileVersion == model.Version2 && kind == model.KindGNN:
+		m, err := model.OpenGNN(modelPath) // small file: CRC always runs at open
+		if err != nil {
+			return ModelSnapshot{}, err
+		}
+		h.gnn = m
+	default:
+		e, err := model.OpenEmbeddings(modelPath)
+		if err != nil {
+			return ModelSnapshot{}, err
+		}
+		if svc.verify {
+			if err := e.Verify(); err != nil {
+				e.Close()
+				return ModelSnapshot{}, err
+			}
+		}
+		h.emb = e
+	}
+	closeModel := func() {
+		if h.emb != nil {
+			h.emb.Close()
+		}
+		if h.kge != nil {
+			h.kge.Close()
 		}
 	}
 	var idx *model.ANNIndex
 	if indexPath != "" {
+		if h.emb == nil {
+			closeModel()
+			return ModelSnapshot{}, fmt.Errorf("serve: an ann index serves /neighbors over an embedding table, not a %v model", kind)
+		}
+		var err error
 		idx, err = svc.openIndex(indexPath)
 		if err != nil {
-			e.Close()
+			closeModel()
 			return ModelSnapshot{}, err
 		}
 	}
-	h := &modelHandle{emb: e, idx: idx, idxPath: indexPath, path: modelPath, version: svc.version.Add(1)}
+	h.idx = idx
+	h.version = svc.version.Add(1)
 	if idx != nil {
 		ix := idx.Index
 		h.searchers.New = func() any { return ann.NewSearcher(ix) }
@@ -235,27 +300,50 @@ func (svc *EmbedService) Lookup(id int) ([]float64, string, uint64, error) {
 		return nil, "", 0, ErrNoModel
 	}
 	defer h.release()
-	if id < 0 || id >= h.emb.Rows {
-		return nil, "", 0, fmt.Errorf("%w: id %d outside [0,%d)", ErrEmbedRange, id, h.emb.Rows)
+	if h.gnn != nil {
+		return nil, "", 0, fmt.Errorf("%w: a GNN model embeds graphs; POST a \"graph\" to /embed", ErrWrongModel)
+	}
+	rows, method := 0, ""
+	if h.kge != nil {
+		rows, method = h.kge.NumEntities, h.kge.Method
+	} else {
+		rows, method = h.emb.Rows, h.emb.Method
+	}
+	if id < 0 || id >= rows {
+		return nil, "", 0, fmt.Errorf("%w: id %d outside [0,%d)", ErrEmbedRange, id, rows)
 	}
 	key := h.version<<32 | uint64(uint32(id))
 	if v, ok := svc.cache.get(key); ok {
 		svc.stats.hit("embed")
-		return v, h.emb.Method, h.version, nil
+		return v, method, h.version, nil
 	}
 	svc.stats.miss("embed")
-	v := h.emb.Vector(id) // a fresh copy: safe to cache and to return past Close
+	// A fresh copy in both arms: safe to cache and to return past Close.
+	var v []float64
+	if h.kge != nil {
+		v = make([]float64, h.kge.Dim)
+		h.kge.EntityInto(v, id)
+	} else {
+		v = h.emb.Vector(id)
+	}
 	svc.cache.put(key, v)
-	return v, h.emb.Method, h.version, nil
+	return v, method, h.version, nil
 }
 
-// Rows returns the current generation's row count (0 with no model).
+// Rows returns the current generation's row count — table rows or KGE
+// entities; 0 with no model or a GNN model, which has no id space.
 func (svc *EmbedService) Rows() int {
 	h := svc.pin()
 	if h == nil {
 		return 0
 	}
 	defer h.release()
+	switch {
+	case h.kge != nil:
+		return h.kge.NumEntities
+	case h.gnn != nil:
+		return 0
+	}
 	return h.emb.Rows
 }
 
@@ -312,17 +400,31 @@ func (svc *EmbedService) snapshotOf(h *modelHandle) ModelSnapshot {
 			SketchWidth:  ix.SketchWidth,
 		}
 	}
-	return ModelSnapshot{
-		Index:        idxSnap,
-		Path:         h.path,
-		Version:      h.version,
-		Method:       h.emb.Method,
-		Kind:         h.emb.Kind.String(),
-		DType:        h.emb.DType.String(),
-		Rows:         h.emb.Rows,
-		Cols:         h.emb.Cols,
-		Mapped:       h.emb.Mapped,
-		LineageDepth: len(h.emb.Lineage),
-		Swaps:        svc.swaps.Load(),
+	snap := ModelSnapshot{
+		Index:   idxSnap,
+		Path:    h.path,
+		Version: h.version,
+		Swaps:   svc.swaps.Load(),
 	}
+	switch {
+	case h.kge != nil:
+		m := h.kge
+		snap.Method, snap.Kind, snap.DType = m.Method, model.KindKGE.String(), m.DType.String()
+		snap.Rows, snap.Cols, snap.Relations = m.NumEntities, m.Dim, m.NumRelations
+		snap.Triples = len(m.Triples)
+		snap.Mapped = m.Mapped
+		snap.LineageDepth = len(m.Lineage)
+	case h.gnn != nil:
+		m := h.gnn
+		snap.Method, snap.Kind, snap.DType = "gnn", model.KindGNN.String(), m.DType.String()
+		snap.Cols = m.Net.OutDim() // width of the pooled graph embedding
+		snap.LayerDims = m.Dims
+		snap.LineageDepth = len(m.Lineage)
+	default:
+		snap.Method, snap.Kind, snap.DType = h.emb.Method, h.emb.Kind.String(), h.emb.DType.String()
+		snap.Rows, snap.Cols = h.emb.Rows, h.emb.Cols
+		snap.Mapped = h.emb.Mapped
+		snap.LineageDepth = len(h.emb.Lineage)
+	}
+	return snap
 }

@@ -1,0 +1,161 @@
+package serve
+
+// The /link-predict and GNN /embed pipelines: the KGE and GNN model kinds
+// of PR 10, served through the same refcounted hot-swap handle as embedding
+// tables. Link prediction ranks every candidate entity for (h, r, ?) or
+// (?, r, t) straight off the (possibly int8-quantised, possibly mmap'ed)
+// model file in the FILTERED setting — the training triples stored in the
+// file exclude known facts, so the top-k are new predictions, not a replay
+// of the training set. GNN graph embedding rebuilds the model's recorded
+// initial-feature scheme for the request graph and sum-pools the final
+// message-passing layer; the cache key is the renumbering-invariant
+// wl.Hash, so an isomorphic renumbered repeat is a cache hit (DegreeFeatures
+// and ConstantFeatures are permutation-equivariant, sum-pooling collapses
+// the ordering — the served vector is a graph invariant).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/kge"
+	"repro/internal/wl"
+)
+
+// DefaultLinkK is the k used when a /link-predict request does not choose
+// one.
+const DefaultLinkK = 10
+
+// LinkPredictResult is one served /link-predict answer. Predictions aliases
+// a cache entry; callers must not mutate it.
+type LinkPredictResult struct {
+	Predictions  []kge.Prediction
+	Method       string // "transe" (lower score is better) or "rescal" (higher)
+	Mode         string // "tail" ranks (h, r, ?), "head" ranks (?, r, t)
+	K            int
+	ModelVersion uint64
+}
+
+// LinkPredict ranks the top-k candidate entities for the open side of a
+// triple against the current KGE generation. mode "tail" (or "") ranks
+// tails of (anchor, rel, ?); mode "head" ranks heads of (?, rel, anchor).
+// Entities stored as true completions in the model's training triples are
+// excluded (the filtered setting), as is the anchor itself.
+func (svc *EmbedService) LinkPredict(anchor, rel, k int, mode string) (*LinkPredictResult, error) {
+	start := time.Now()
+	defer func() { svc.stats.observe("link-predict", start) }()
+	switch mode {
+	case "":
+		mode = "tail"
+	case "tail", "head":
+	default:
+		return nil, fmt.Errorf("%w: mode %q (want tail or head)", ErrEmbedRange, mode)
+	}
+	if k <= 0 {
+		k = DefaultLinkK
+	}
+	h := svc.pin()
+	if h == nil {
+		return nil, ErrNoModel
+	}
+	defer h.release()
+	if h.kge == nil {
+		return nil, fmt.Errorf("%w: /link-predict needs a KGE model (x2vec train transe|rescal)", ErrWrongModel)
+	}
+	m := h.kge
+	if anchor < 0 || anchor >= m.NumEntities {
+		return nil, fmt.Errorf("%w: entity %d outside [0,%d)", ErrEmbedRange, anchor, m.NumEntities)
+	}
+	if rel < 0 || rel >= m.NumRelations {
+		return nil, fmt.Errorf("%w: relation %d outside [0,%d)", ErrEmbedRange, rel, m.NumRelations)
+	}
+	if k > m.NumEntities {
+		k = m.NumEntities
+	}
+	res := &LinkPredictResult{Method: m.Method, Mode: mode, K: k, ModelVersion: h.version}
+
+	key := linkKey(h.version, anchor, rel, k, mode)
+	if v, ok := svc.lpCache.get(key); ok {
+		svc.stats.hit("link-predict")
+		res.Predictions = v
+		return res, nil
+	}
+	svc.stats.miss("link-predict")
+
+	var known []int
+	if mode == "tail" {
+		known = m.KnownTails(anchor, rel)
+	} else {
+		known = m.KnownHeads(rel, anchor)
+	}
+	skip := make(map[int]struct{}, len(known)+1)
+	skip[anchor] = struct{}{}
+	for _, e := range known {
+		skip[e] = struct{}{}
+	}
+	exclude := func(e int) bool { _, ok := skip[e]; return ok }
+
+	var preds []kge.Prediction
+	var err error
+	if mode == "tail" {
+		preds, err = m.View().TopTails(anchor, rel, k, svc.workers, exclude)
+	} else {
+		preds, err = m.View().TopHeads(rel, anchor, k, svc.workers, exclude)
+	}
+	if err != nil {
+		return nil, err
+	}
+	svc.lpCache.put(key, preds)
+	res.Predictions = preds
+	return res, nil
+}
+
+// EmbedGraph embeds a request graph with the current GNN generation: the
+// model's stored feature scheme, its message-passing layers, sum-pooled.
+// The returned vector aliases a cache entry; callers must not mutate it.
+func (svc *EmbedService) EmbedGraph(g *graph.Graph) ([]float64, uint64, error) {
+	start := time.Now()
+	defer func() { svc.stats.observe("gnn-embed", start) }()
+	h := svc.pin()
+	if h == nil {
+		return nil, 0, ErrNoModel
+	}
+	defer h.release()
+	if h.gnn == nil {
+		return nil, 0, fmt.Errorf("%w: graph /embed needs a GNN model (x2vec train gnn)", ErrWrongModel)
+	}
+	key := gnnKey(wl.Hash(g), h.version)
+	if v, ok := svc.cache.get(key); ok {
+		svc.stats.hit("gnn-embed")
+		return v, h.version, nil
+	}
+	svc.stats.miss("gnn-embed")
+	m := h.gnn
+	v, err := m.Net.GraphEmbed(g, m.FeatureMatrix(g))
+	if err != nil {
+		return nil, 0, err
+	}
+	svc.cache.put(key, v)
+	return v, h.version, nil
+}
+
+// linkKey folds the generation and the full query shape — entries can never
+// leak across a model swap or between queries.
+func linkKey(version uint64, anchor, rel, k int, mode string) uint64 {
+	x := version ^ 0xa24baed4963ee407
+	x = keyMix(x + uint64(anchor))
+	x = keyMix(x + uint64(rel)*0x100000001b3)
+	x = keyMix(x + uint64(k))
+	if mode == "head" {
+		x = keyMix(x ^ 0x9e3779b97f4a7c15)
+	}
+	return x
+}
+
+// gnnKey folds the request graph's canonical hash with the generation. It
+// shares the service's vector cache with id lookups: a generation serves
+// either ids or graphs, never both, so the two key families cannot collide
+// within a version.
+func gnnKey(gh, version uint64) uint64 {
+	return keyMix(keyMix(gh^0x5851f42d4c957f2d) + version)
+}

@@ -1,0 +1,379 @@
+package serve
+
+// Serving tests for the KGE and GNN model kinds (issue 10): /link-predict
+// answers in the filtered setting off a saved (and possibly reloaded) KGE
+// file, GNN graph /embed is bit-identical to the offline forward pass and
+// invariant under vertex renumbering, kind mismatches are typed errors the
+// daemon can map to 400, and the hot-swap hammer holds for link prediction
+// exactly as it does for vector lookups.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// writeTransEModel saves a dim-2 TransE model with hand-placed geometry:
+// entity e sits at (e, 0) except e3=(0,1) and e4=(5,5); relation 0 is the
+// unit translation (1, 0). The stored triple (0,0,1) makes e1 a known fact.
+func writeTransEModel(t *testing.T, dir string) string {
+	t.Helper()
+	entities := []float64{
+		0, 0, // e0
+		1, 0, // e1: exactly e0 + r0 — the known completion
+		2, 0, // e2
+		0, 1, // e3
+		5, 5, // e4
+		1.1, 0, // e5: the best NEW tail for (e0, r0, ?)
+	}
+	path := filepath.Join(dir, "kg.x2vm")
+	err := model.SaveKGE(path, model.KGESpec{
+		Method: "transe", NumEntities: 6, NumRelations: 1, Dim: 2,
+		Entities:  entities,
+		Relations: []float64{1, 0},
+		Triples:   [][3]int{{0, 0, 1}},
+		DType:     model.DTypeF64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeGNNModel saves a small random degree-feature network and returns the
+// path with the network itself, for oracle forward passes.
+func writeGNNModel(t *testing.T, dir string, seed int64) (string, *gnn.Network) {
+	t.Helper()
+	net, err := gnn.New([]int{2, 4}, 3, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "gnn.x2vm")
+	if err := model.SaveGNN(path, model.GNNSpec{Net: net, Features: "degree", DType: model.DTypeF64}); err != nil {
+		t.Fatal(err)
+	}
+	return path, net
+}
+
+func TestLinkPredictServing(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{})
+	defer srv.Close()
+	svc, err := srv.NewEmbedService(writeTransEModel(t, dir), "", true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// /embed against a KGE model serves entity rows.
+	vec, method, _, err := svc.Lookup(1)
+	if err != nil {
+		t.Fatalf("entity lookup: %v", err)
+	}
+	if method != "transe" || vec[0] != 1 || vec[1] != 0 {
+		t.Fatalf("entity row = %v (%s)", vec, method)
+	}
+	if svc.Rows() != 6 {
+		t.Fatalf("rows = %d", svc.Rows())
+	}
+
+	// Tail mode: the known tail e1 and the anchor e0 are excluded, so the
+	// best candidate is e5 at distance 0.1 from e0 + r0.
+	res, err := svc.LinkPredict(0, 0, 3, "")
+	if err != nil {
+		t.Fatalf("link-predict: %v", err)
+	}
+	if res.Mode != "tail" || res.Method != "transe" || res.K != 3 {
+		t.Fatalf("result shape %+v", res)
+	}
+	if len(res.Predictions) != 3 || res.Predictions[0].Entity != 5 {
+		t.Fatalf("tail predictions %v, want e5 first", res.Predictions)
+	}
+	if math.Abs(res.Predictions[0].Score-0.1) > 1e-12 {
+		t.Fatalf("top score %v, want 0.1", res.Predictions[0].Score)
+	}
+	for _, p := range res.Predictions {
+		if p.Entity == 0 || p.Entity == 1 {
+			t.Fatalf("excluded entity served: %v", res.Predictions)
+		}
+	}
+
+	// A repeat is a cache hit: the served slice is the same object.
+	again, err := svc.LinkPredict(0, 0, 3, "tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again.Predictions[0] != &res.Predictions[0] {
+		t.Fatal("repeat link-predict missed the cache")
+	}
+
+	// Head mode for (?, r0, e1): known head e0 and anchor e1 excluded; the
+	// remaining entity closest to e1 - r0 = (0, 0) is e3 at distance 1.
+	heads, err := svc.LinkPredict(1, 0, 2, "head")
+	if err != nil {
+		t.Fatalf("head mode: %v", err)
+	}
+	if len(heads.Predictions) != 2 || heads.Predictions[0].Entity != 3 {
+		t.Fatalf("head predictions %v, want e3 first", heads.Predictions)
+	}
+
+	// Malformed queries are range errors, not panics or 500s.
+	for _, bad := range []struct {
+		anchor, rel int
+		mode        string
+	}{{-1, 0, ""}, {6, 0, ""}, {0, -1, ""}, {0, 1, ""}, {0, 0, "sideways"}} {
+		if _, err := svc.LinkPredict(bad.anchor, bad.rel, 2, bad.mode); !errors.Is(err, ErrEmbedRange) {
+			t.Fatalf("LinkPredict(%+v) error %v, want ErrEmbedRange", bad, err)
+		}
+	}
+
+	// Kind mismatches are typed: a KGE model does not embed graphs.
+	g, _ := graph.ParseGraph("0 1\n1 2\n")
+	if _, _, err := svc.EmbedGraph(g); !errors.Is(err, ErrWrongModel) {
+		t.Fatalf("EmbedGraph on KGE: %v", err)
+	}
+
+	// An ANN index cannot ride a KGE generation — rejected before the flip,
+	// with the old generation intact.
+	before := svc.Snapshot()
+	if _, err := svc.Reload(writeTransEModel(t, dir), filepath.Join(dir, "whatever.idx")); err == nil {
+		t.Fatal("index accepted on a KGE model")
+	}
+	if after := svc.Snapshot(); after.Version != before.Version {
+		t.Fatalf("failed reload advanced the version %d -> %d", before.Version, after.Version)
+	}
+
+	snap := svc.Snapshot()
+	if snap.Kind != "kge" || snap.Rows != 6 || snap.Cols != 2 || snap.Relations != 1 || snap.Triples != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestGNNEmbedServing(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{})
+	defer srv.Close()
+	path, net := writeGNNModel(t, dir, 42)
+	svc, err := srv.NewEmbedService(path, "", true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	star, _ := graph.ParseGraph("0 1\n0 2\n0 3\n")
+	got, version, err := svc.EmbedGraph(star)
+	if err != nil {
+		t.Fatalf("EmbedGraph: %v", err)
+	}
+	want, err := net.GraphEmbed(star, gnn.DegreeFeatures(star, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("width %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("served embedding %v differs from offline forward %v", got, want)
+		}
+	}
+
+	// A renumbered isomorphic copy (centre moved to vertex 3) hits the
+	// wl.Hash cache: the very same slice comes back.
+	renumbered, _ := graph.ParseGraph("3 0\n3 1\n3 2\n")
+	cached, v2, err := svc.EmbedGraph(renumbered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != version || &cached[0] != &got[0] {
+		t.Fatal("renumbered isomorphic graph missed the cache")
+	}
+
+	// Kind mismatches: a GNN model serves graphs, not ids or triples.
+	if _, _, _, err := svc.Lookup(0); !errors.Is(err, ErrWrongModel) {
+		t.Fatalf("Lookup on GNN: %v", err)
+	}
+	if _, err := svc.LinkPredict(0, 0, 2, ""); !errors.Is(err, ErrWrongModel) {
+		t.Fatalf("LinkPredict on GNN: %v", err)
+	}
+	if svc.Rows() != 0 {
+		t.Fatalf("GNN rows = %d", svc.Rows())
+	}
+	snap := svc.Snapshot()
+	if snap.Kind != "gnn" || snap.Method != "gnn" || len(snap.LayerDims) != 2 || snap.Cols != 4 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+// TestServeKindFlip reloads across all three handle kinds and asserts every
+// endpoint answers (or refuses) according to the CURRENT kind — no stale
+// behaviour survives a swap.
+func TestServeKindFlip(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{})
+	defer srv.Close()
+	svc, err := srv.NewEmbedService(writeGenModel(t, dir, 0), "", true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	g, _ := graph.ParseGraph("0 1\n1 2\n")
+
+	if _, _, _, err := svc.Lookup(2); err != nil {
+		t.Fatalf("table lookup: %v", err)
+	}
+	if _, err := svc.LinkPredict(0, 0, 2, ""); !errors.Is(err, ErrWrongModel) {
+		t.Fatalf("LinkPredict on table: %v", err)
+	}
+
+	if _, err := svc.Reload(writeTransEModel(t, dir), ""); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := svc.LinkPredict(0, 0, 2, ""); err != nil || len(res.Predictions) == 0 {
+		t.Fatalf("LinkPredict after flip to KGE: %v %v", res, err)
+	}
+	if vec, _, _, err := svc.Lookup(3); err != nil || vec[1] != 1 {
+		t.Fatalf("entity lookup after flip: %v %v", vec, err)
+	}
+
+	gnnPath, _ := writeGNNModel(t, dir, 7)
+	if _, err := svc.Reload(gnnPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.EmbedGraph(g); err != nil {
+		t.Fatalf("EmbedGraph after flip to GNN: %v", err)
+	}
+	if _, _, _, err := svc.Lookup(0); !errors.Is(err, ErrWrongModel) {
+		t.Fatalf("Lookup after flip to GNN: %v", err)
+	}
+
+	if _, err := svc.Reload(writeGenModel(t, dir, 5), ""); err != nil {
+		t.Fatal(err)
+	}
+	vec, _, _, err := svc.Lookup(2)
+	if err != nil || vec[0] != 5002 {
+		t.Fatalf("table lookup after flip back: %v %v", vec, err)
+	}
+}
+
+// writeHammerKGE saves a KGE generation whose relation encodes the
+// generation: entity e sits at (e,e,e,e), relation 0 at gen+8 per
+// coordinate, so the best tail for (e0, r0, ?) is always e7 with score
+// exactly 2*(gen+1) — one float pins both the generation and correctness.
+func writeHammerKGE(t *testing.T, dir string, gen int) string {
+	t.Helper()
+	const nE, dim = 8, 4
+	entities := make([]float64, nE*dim)
+	for e := 0; e < nE; e++ {
+		for c := 0; c < dim; c++ {
+			entities[e*dim+c] = float64(e)
+		}
+	}
+	rel := make([]float64, dim)
+	for c := range rel {
+		rel[c] = float64(gen + 8)
+	}
+	path := filepath.Join(dir, "hammer.x2vm")
+	if gen%2 == 1 {
+		path = filepath.Join(dir, "hammer-odd.x2vm")
+	}
+	err := model.SaveKGE(path, model.KGESpec{
+		Method: "transe", NumEntities: nE, NumRelations: 1, Dim: dim,
+		Entities: entities, Relations: rel, DType: model.DTypeF64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLinkPredictHotSwapHammer is the issue-8 hot-swap hammer re-run over
+// /link-predict: concurrent predictions against a reload loop, asserting
+// no dropped request, monotone versions per client, and scores that always
+// match the generation the response reports — no stale cache across swaps.
+func TestLinkPredictHotSwapHammer(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Options{})
+	defer srv.Close()
+	svc, err := srv.NewEmbedService(writeHammerKGE(t, dir, 0), "", true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var genOf sync.Map
+	genOf.Store(uint64(1), 0)
+
+	const (
+		clients    = 8
+		queriesPer = 300
+		swaps      = 40
+	)
+	var failures atomic.Int64
+	var started, wg sync.WaitGroup
+	started.Add(clients)
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			started.Done()
+			var lastVersion uint64
+			for i := 0; i < queriesPer; i++ {
+				res, err := svc.LinkPredict(0, 0, 2, "tail")
+				if err != nil {
+					t.Errorf("client %d query %d: %v", c, i, err)
+					failures.Add(1)
+					return
+				}
+				if res.ModelVersion < lastVersion {
+					t.Errorf("client %d: version went backwards %d -> %d", c, lastVersion, res.ModelVersion)
+					failures.Add(1)
+					return
+				}
+				lastVersion = res.ModelVersion
+				genVal, ok := genOf.Load(res.ModelVersion)
+				if !ok {
+					t.Errorf("client %d: unpublished version %d", c, res.ModelVersion)
+					failures.Add(1)
+					return
+				}
+				want := 2 * float64(genVal.(int)+1)
+				if len(res.Predictions) != 2 || res.Predictions[0].Entity != 7 || res.Predictions[0].Score != want {
+					t.Errorf("client %d: version %d served %v, want e7 at score %v — stale cache across swap",
+						c, res.ModelVersion, res.Predictions, want)
+					failures.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+
+	started.Wait()
+	for gen := 1; gen <= swaps; gen++ {
+		path := writeHammerKGE(t, dir, gen)
+		genOf.Store(uint64(gen+1), gen)
+		snap, err := svc.Reload(path, "")
+		if err != nil {
+			t.Fatalf("reload %d: %v", gen, err)
+		}
+		if snap.Version != uint64(gen+1) {
+			t.Fatalf("reload %d assigned version %d", gen, snap.Version)
+		}
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d link-predict failures during hot swap", failures.Load())
+	}
+	stats := srv.Stats()
+	if stats.Pipelines["link-predict"].Requests == 0 {
+		t.Fatal("link-predict pipeline missing from stats")
+	}
+}
